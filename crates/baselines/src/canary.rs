@@ -1,0 +1,145 @@
+//! Canary-cluster evaluation, à la WSMeter (Lee et al., ASPLOS'18 — the
+//! paper's reference \[58\]).
+//!
+//! Instead of sampling scenarios from the production corpus, a *canary*
+//! dedicates a few live machines to the feature: the canary runs the same
+//! workload mix, the feature is applied to it, and its observed
+//! colocations are measured directly. The paper's critique (§1): the
+//! canary "still suffers from nontrivial overheads (tens to hundreds of
+//! machines) and the possibility of damaging production jobs" — and, being
+//! a small fleet, it *samples a different colocation distribution* than
+//! the full datacenter (fewer machines change scheduler packing).
+
+use crate::fulldc::full_datacenter_impact;
+use flare_core::replayer::Testbed;
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Sizing of a canary deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CanaryConfig {
+    /// Machines dedicated to the canary.
+    pub machines: usize,
+    /// Observation period, days.
+    pub days: f64,
+    /// Seed for the canary's own submission randomness (a canary sees its
+    /// own arrival sample, not the production one).
+    pub seed: u64,
+}
+
+/// A canary measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CanaryEstimate {
+    /// Observation-weighted mean MIPS reduction measured on the canary, %.
+    pub impact_pct: f64,
+    /// Distinct scenarios the canary exhibited (its replay-equivalent
+    /// evaluation cost).
+    pub evaluation_cost: usize,
+    /// Machine-days of live hardware the canary consumed.
+    pub machine_days: f64,
+}
+
+/// Runs a canary deployment: a `canary.machines`-machine fleet with the
+/// production workload model, measured under baseline and feature
+/// configurations.
+///
+/// The canary inherits every workload parameter from
+/// `production_config` except fleet size, duration, and seed.
+pub fn canary_impact<T: Testbed>(
+    testbed: &T,
+    production_config: &CorpusConfig,
+    canary: &CanaryConfig,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+) -> CanaryEstimate {
+    let canary_corpus_cfg = CorpusConfig {
+        machines: canary.machines,
+        days: canary.days,
+        seed: canary.seed,
+        ..production_config.clone()
+    };
+    let canary_corpus = Corpus::generate(&canary_corpus_cfg);
+    let truth = full_datacenter_impact(&canary_corpus, testbed, baseline, feature_config, true);
+    CanaryEstimate {
+        impact_pct: truth.impact_pct,
+        evaluation_cost: truth.evaluation_cost,
+        machine_days: canary.machines as f64 * canary.days,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_core::replayer::SimTestbed;
+    use flare_sim::feature::Feature;
+
+    fn production() -> CorpusConfig {
+        CorpusConfig {
+            machines: 6,
+            days: 3.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        }
+    }
+
+    #[test]
+    fn canary_measures_same_direction_as_production() {
+        let prod_cfg = production();
+        let baseline = prod_cfg.machine_config.clone();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let prod_corpus = Corpus::generate(&prod_cfg);
+        let truth =
+            full_datacenter_impact(&prod_corpus, &SimTestbed, &baseline, &f2, true).impact_pct;
+        let canary = canary_impact(
+            &SimTestbed,
+            &prod_cfg,
+            &CanaryConfig {
+                machines: 2,
+                days: 2.0,
+                seed: 777,
+            },
+            &baseline,
+            &f2,
+        );
+        assert!(canary.impact_pct > 0.0);
+        // Small canary approximates, does not match, the truth.
+        assert!(
+            (canary.impact_pct - truth).abs() < 10.0,
+            "canary {:.2}% vs truth {truth:.2}%",
+            canary.impact_pct
+        );
+        assert_eq!(canary.machine_days, 4.0);
+        assert!(canary.evaluation_cost > 0);
+    }
+
+    #[test]
+    fn bigger_canary_sees_more_scenarios() {
+        let prod_cfg = production();
+        let baseline = prod_cfg.machine_config.clone();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let small = canary_impact(
+            &SimTestbed,
+            &prod_cfg,
+            &CanaryConfig {
+                machines: 1,
+                days: 1.0,
+                seed: 7,
+            },
+            &baseline,
+            &f1,
+        );
+        let large = canary_impact(
+            &SimTestbed,
+            &prod_cfg,
+            &CanaryConfig {
+                machines: 4,
+                days: 3.0,
+                seed: 7,
+            },
+            &baseline,
+            &f1,
+        );
+        assert!(large.evaluation_cost > small.evaluation_cost);
+    }
+}

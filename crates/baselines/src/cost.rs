@@ -1,0 +1,144 @@
+//! Evaluation cost vs estimation fidelity: the Fig. 13 trade-off.
+//!
+//! The cost unit is *scenario replays on the testbed* (machine-hours scale
+//! linearly with it). FLARE costs one replay per representative; sampling
+//! costs one per sampled scenario; the full datacenter costs one per
+//! distinct scenario.
+
+use crate::fulldc::full_datacenter_impact;
+use crate::sampling::{sampling_distribution, SamplingConfig};
+use flare_core::replayer::Testbed;
+use flare_sim::datacenter::Corpus;
+use flare_sim::machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// One point of the cost/accuracy curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostPoint {
+    /// Evaluation cost in scenario replays.
+    pub cost: usize,
+    /// Expected max error: 97.5th percentile of |estimate − truth|, in
+    /// percentage points of MIPS reduction.
+    pub expected_max_error: f64,
+}
+
+/// The Fig. 13 dataset: the sampling cost curve plus FLARE's single point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostAccuracyCurve {
+    /// Sampling points at increasing cost.
+    pub sampling: Vec<CostPoint>,
+    /// FLARE's point.
+    pub flare: CostPoint,
+    /// Ground-truth cost (the full-datacenter replay count).
+    pub full_cost: usize,
+    /// Ground-truth impact the errors are measured against, %.
+    pub truth_pct: f64,
+}
+
+impl CostAccuracyCurve {
+    /// Overhead reduction of FLARE vs full-datacenter evaluation
+    /// (the paper's headline 50×).
+    pub fn flare_overhead_reduction(&self) -> f64 {
+        self.full_cost as f64 / self.flare.cost.max(1) as f64
+    }
+
+    /// The smallest sampling cost whose expected max error beats FLARE's,
+    /// or `None` if no evaluated sampling point does (the paper finds none
+    /// within 10× FLARE's cost).
+    pub fn sampling_cost_to_match_flare(&self) -> Option<usize> {
+        self.sampling
+            .iter()
+            .filter(|p| p.expected_max_error <= self.flare.expected_max_error)
+            .map(|p| p.cost)
+            .min()
+    }
+}
+
+/// Builds the Fig. 13 curve: evaluates sampling at each cost in
+/// `sample_sizes` (each with `trials` trials) and places FLARE's point
+/// from its estimate and replay cost.
+#[allow(clippy::too_many_arguments)]
+pub fn cost_accuracy_curve<T: Testbed>(
+    corpus: &Corpus,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    sample_sizes: &[usize],
+    trials: usize,
+    seed: u64,
+    flare_estimate_pct: f64,
+    flare_cost: usize,
+) -> CostAccuracyCurve {
+    let truth = full_datacenter_impact(corpus, testbed, baseline, feature_config, true);
+    let sampling = sample_sizes
+        .iter()
+        .filter_map(|&n| {
+            let dist = sampling_distribution(
+                corpus,
+                testbed,
+                baseline,
+                feature_config,
+                &SamplingConfig {
+                    n_samples: n,
+                    trials,
+                    seed,
+                    weight_by_observations: true,
+                },
+            )?;
+            Some(CostPoint {
+                cost: n,
+                expected_max_error: dist.expected_max_error(truth.impact_pct),
+            })
+        })
+        .collect();
+    CostAccuracyCurve {
+        sampling,
+        flare: CostPoint {
+            cost: flare_cost,
+            expected_max_error: (flare_estimate_pct - truth.impact_pct).abs(),
+        },
+        full_cost: truth.evaluation_cost,
+        truth_pct: truth.impact_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_core::replayer::SimTestbed;
+    use flare_sim::datacenter::CorpusConfig;
+    use flare_sim::feature::Feature;
+
+    #[test]
+    fn curve_is_monotone_ish_and_flare_point_valid() {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let baseline = cfg.machine_config.clone();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let curve = cost_accuracy_curve(
+            &corpus,
+            &SimTestbed,
+            &baseline,
+            &f1,
+            &[5, 20, 80],
+            150,
+            7,
+            0.0, // placeholder FLARE estimate
+            18,
+        );
+        assert_eq!(curve.sampling.len(), 3);
+        // Error shrinks with cost (allow slack for trial noise).
+        assert!(
+            curve.sampling[2].expected_max_error < curve.sampling[0].expected_max_error,
+            "errors: {:?}",
+            curve.sampling
+        );
+        assert!(curve.full_cost > 80);
+        assert!(curve.flare_overhead_reduction() > 1.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Full-datacenter evaluation: the ground truth.
+//!
+//! Evaluates a feature on *every* scenario of the corpus, weighted by how
+//! often each scenario was observed — what the paper calls "the true
+//! impact" measured from the whole datacenter (Fig. 12). It is accurate
+//! and maximally expensive: the evaluation cost is the full corpus size,
+//! the 50× baseline of Fig. 13.
+
+use flare_core::replayer::{replay_impact, replay_job_impact, Testbed};
+use flare_metrics::database::ScenarioId;
+use flare_sim::datacenter::Corpus;
+use flare_sim::machine::MachineConfig;
+use flare_workloads::job::JobName;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth impact of a feature over the whole corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Observation-weighted mean MIPS reduction over HP jobs, %.
+    pub impact_pct: f64,
+    /// Per-scenario impacts `(id, weight, impact_pct)` for scenarios with
+    /// HP jobs.
+    pub per_scenario: Vec<(ScenarioId, f64, f64)>,
+    /// Number of scenario replays this evaluation cost.
+    pub evaluation_cost: usize,
+}
+
+impl GroundTruth {
+    /// The scenario impacts alone (for distribution analyses).
+    pub fn impacts(&self) -> Vec<f64> {
+        self.per_scenario.iter().map(|&(_, _, i)| i).collect()
+    }
+}
+
+/// Evaluates `feature_config` against `baseline` on every HP-bearing
+/// scenario of the corpus.
+pub fn full_datacenter_impact<T: Testbed>(
+    corpus: &Corpus,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    weight_by_observations: bool,
+) -> GroundTruth {
+    let mut per_scenario = Vec::new();
+    let mut cost = 0usize;
+    for e in corpus.entries() {
+        if !e.scenario.has_hp_job() {
+            continue;
+        }
+        cost += 1;
+        if let Some(impact) = replay_impact(testbed, &e.scenario, baseline, feature_config) {
+            let w = if weight_by_observations {
+                e.observations as f64
+            } else {
+                1.0
+            };
+            per_scenario.push((e.id, w, impact));
+        }
+    }
+    let total_w: f64 = per_scenario.iter().map(|&(_, w, _)| w).sum();
+    let impact_pct = if total_w > 0.0 {
+        per_scenario
+            .iter()
+            .map(|&(_, w, i)| w * i)
+            .sum::<f64>()
+            / total_w
+    } else {
+        0.0
+    };
+    GroundTruth {
+        impact_pct,
+        per_scenario,
+        evaluation_cost: cost,
+    }
+}
+
+/// Parallel variant of [`full_datacenter_impact`]: scenarios are replayed
+/// across `threads` worker threads with crossbeam's scoped threads. The
+/// result is identical to the serial evaluation (per-scenario replays are
+/// independent and deterministic); only wall-clock changes.
+///
+/// Full-datacenter evaluation is the 50×-more-expensive baseline, so it is
+/// the one place worth parallelizing — FLARE itself only replays ~18
+/// scenarios.
+pub fn full_datacenter_impact_parallel<T: Testbed + Sync>(
+    corpus: &Corpus,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    weight_by_observations: bool,
+    threads: usize,
+) -> GroundTruth {
+    let entries: Vec<_> = corpus
+        .entries()
+        .iter()
+        .filter(|e| e.scenario.has_hp_job())
+        .collect();
+    let threads = threads.clamp(1, entries.len().max(1));
+    let chunk = entries.len().div_ceil(threads);
+
+    let mut per_scenario: Vec<(ScenarioId, f64, f64)> = Vec::with_capacity(entries.len());
+    if !entries.is_empty() {
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = entries
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move |_| {
+                        slice
+                            .iter()
+                            .filter_map(|e| {
+                                replay_impact(testbed, &e.scenario, baseline, feature_config)
+                                    .map(|impact| {
+                                        let w = if weight_by_observations {
+                                            e.observations as f64
+                                        } else {
+                                            1.0
+                                        };
+                                        (e.id, w, impact)
+                                    })
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope");
+        for chunk_result in results {
+            per_scenario.extend(chunk_result);
+        }
+    }
+    // Deterministic ordering regardless of thread interleaving.
+    per_scenario.sort_by_key(|&(id, _, _)| id);
+
+    let cost = entries.len();
+    let total_w: f64 = per_scenario.iter().map(|&(_, w, _)| w).sum();
+    let impact_pct = if total_w > 0.0 {
+        per_scenario.iter().map(|&(_, w, i)| w * i).sum::<f64>() / total_w
+    } else {
+        0.0
+    };
+    GroundTruth {
+        impact_pct,
+        per_scenario,
+        evaluation_cost: cost,
+    }
+}
+
+/// Ground-truth impact on one HP job: the observation-and-instance
+/// weighted mean over every scenario containing the job (the paper's
+/// "average of all instances of each service").
+///
+/// Returns `None` if the job never appears.
+pub fn full_datacenter_job_impact<T: Testbed>(
+    corpus: &Corpus,
+    testbed: &T,
+    job: JobName,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    weight_by_observations: bool,
+) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for e in corpus.entries() {
+        let instances = e.scenario.instances_of(job);
+        if instances == 0 {
+            continue;
+        }
+        if let Some(impact) = replay_job_impact(testbed, &e.scenario, job, baseline, feature_config)
+        {
+            let w = instances as f64
+                * if weight_by_observations {
+                    e.observations as f64
+                } else {
+                    1.0
+                };
+            num += w * impact;
+            den += w;
+        }
+    }
+    (den > 0.0).then(|| num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_core::replayer::SimTestbed;
+    use flare_sim::datacenter::CorpusConfig;
+    use flare_sim::feature::Feature;
+
+    fn setup() -> (Corpus, MachineConfig) {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        (Corpus::generate(&cfg), cfg.machine_config)
+    }
+
+    #[test]
+    fn ground_truth_covers_hp_scenarios() {
+        let (corpus, baseline) = setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let gt = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f1, true);
+        assert_eq!(gt.evaluation_cost, corpus.hp_entries().len());
+        assert_eq!(gt.per_scenario.len(), gt.evaluation_cost);
+        assert!(gt.impact_pct > 0.0 && gt.impact_pct < 40.0, "{}", gt.impact_pct);
+    }
+
+    #[test]
+    fn baseline_vs_itself_is_zero() {
+        let (corpus, baseline) = setup();
+        let gt = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &baseline, true);
+        assert!(gt.impact_pct.abs() < 1e-9);
+        assert!(gt.impacts().iter().all(|i| i.abs() < 1e-9));
+    }
+
+    #[test]
+    fn per_job_truth_exists_for_hp_jobs() {
+        let (corpus, baseline) = setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        for &job in JobName::HIGH_PRIORITY {
+            let impact =
+                full_datacenter_job_impact(&corpus, &SimTestbed, job, &baseline, &f2, true);
+            assert!(impact.is_some(), "{job} should appear in the corpus");
+            let i = impact.unwrap();
+            assert!(i > 0.0 && i < 50.0, "{job}: {i}%");
+        }
+    }
+
+    #[test]
+    fn per_job_truth_none_for_absent_job() {
+        let (corpus, baseline) = setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        // LP jobs are never measured as HP.
+        assert_eq!(
+            full_datacenter_job_impact(&corpus, &SimTestbed, JobName::Mcf, &baseline, &f1, true),
+            None
+        );
+    }
+
+    #[test]
+    fn weighting_mode_changes_result() {
+        let (corpus, baseline) = setup();
+        let f3 = Feature::paper_feature3().apply(&baseline);
+        let w = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f3, true);
+        let u = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f3, false);
+        // Same scenario set, different weighting — results differ but stay
+        // in the same ballpark.
+        assert!((w.impact_pct - u.impact_pct).abs() < 10.0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use flare_core::replayer::SimTestbed;
+    use flare_sim::datacenter::CorpusConfig;
+    use flare_sim::feature::Feature;
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let baseline = cfg.machine_config.clone();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let serial = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f1, true);
+        for threads in [1, 2, 4, 64] {
+            let parallel = full_datacenter_impact_parallel(
+                &corpus, &SimTestbed, &baseline, &f1, true, threads,
+            );
+            assert_eq!(serial.per_scenario, parallel.per_scenario, "threads={threads}");
+            assert_eq!(serial.evaluation_cost, parallel.evaluation_cost);
+            assert!((serial.impact_pct - parallel.impact_pct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_population() {
+        // A corpus whose snapshots are all LP-only: construct by evaluating
+        // on an empty corpus is impossible via the driver, so check the
+        // zero-entry path directly with a tiny corpus filtered to nothing.
+        let cfg = CorpusConfig {
+            machines: 2,
+            days: 0.05,
+            lp_submit_prob: 0.0,
+            hp_peak_share: 0.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let baseline = cfg.machine_config.clone();
+        let gt = full_datacenter_impact_parallel(
+            &corpus, &SimTestbed, &baseline, &baseline, true, 4,
+        );
+        assert_eq!(gt.impact_pct, 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # flare-baselines
+//!
+//! The evaluation baselines FLARE is compared against in §5:
+//!
+//! - [`fulldc`] — full-datacenter evaluation (the accurate, 50×-more
+//!   expensive ground truth);
+//! - [`sampling`] — random sampling of job-colocation scenarios with
+//!   trial distributions (Fig. 12's violins, Fig. 13's curve);
+//! - [`loadtest`] — conventional colocation-unaware load-testing (the
+//!   Fig. 2 pitfall);
+//! - [`cost`] — the evaluation-cost/accuracy trade-off (Fig. 13);
+//! - [`canary`] — a WSMeter-style live canary cluster (the paper's \[58\]).
+
+#![warn(missing_docs)]
+
+pub mod canary;
+pub mod cost;
+pub mod fulldc;
+pub mod loadtest;
+pub mod sampling;

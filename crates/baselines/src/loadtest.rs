@@ -1,0 +1,125 @@
+//! Conventional (colocation-unaware) load-testing: the §3.1 baseline.
+//!
+//! "Similar to previous works, we populate instances of each service on a
+//! single machine and measure the feature's impact on it." The pitfall the
+//! paper demonstrates (Fig. 2) is that this single-service measurement can
+//! deviate wildly from the in-datacenter impact because it ignores
+//! interference from co-located jobs.
+
+use flare_core::replayer::{replay_job_impact, Testbed};
+use flare_sim::machine::MachineConfig;
+use flare_sim::scenario::Scenario;
+use flare_workloads::job::JobName;
+use flare_workloads::loadgen::load_test_instances;
+use serde::{Deserialize, Serialize};
+
+/// A load-testing measurement for one service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadTestResult {
+    /// The service measured.
+    pub job: JobName,
+    /// Instances populated on the machine.
+    pub instances: u32,
+    /// Measured MIPS reduction of the feature, %.
+    pub impact_pct: f64,
+}
+
+/// Measures a feature's impact on `job` with the conventional recipe:
+/// fill one machine with instances of the service alone, run under
+/// baseline and feature configurations, compare.
+///
+/// Returns `None` for LP jobs (their performance is unmanaged).
+pub fn load_test_impact<T: Testbed>(
+    testbed: &T,
+    job: JobName,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+) -> Option<LoadTestResult> {
+    let instances = load_test_instances(job, baseline.schedulable_vcpus());
+    let scenario = Scenario::from_instances(&instances);
+    let impact = replay_job_impact(testbed, &scenario, job, baseline, feature_config)?;
+    Some(LoadTestResult {
+        job,
+        instances: instances.len() as u32,
+        impact_pct: impact,
+    })
+}
+
+/// Load-tests every HP service (the bar set of Fig. 2).
+pub fn load_test_all_hp<T: Testbed>(
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+) -> Vec<LoadTestResult> {
+    JobName::HIGH_PRIORITY
+        .iter()
+        .filter_map(|&j| load_test_impact(testbed, j, baseline, feature_config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_core::replayer::SimTestbed;
+    use flare_sim::feature::Feature;
+    use flare_sim::machine::MachineShape;
+
+    fn baseline() -> MachineConfig {
+        MachineShape::default_shape().baseline_config()
+    }
+
+    #[test]
+    fn load_test_fills_the_machine() {
+        let b = baseline();
+        let f1 = Feature::paper_feature1().apply(&b);
+        let r = load_test_impact(&SimTestbed, JobName::WebSearch, &b, &f1).unwrap();
+        assert_eq!(r.instances, 12); // 48 vCPUs / 4
+        assert!(r.impact_pct.is_finite());
+    }
+
+    #[test]
+    fn lp_jobs_not_measured() {
+        let b = baseline();
+        let f1 = Feature::paper_feature1().apply(&b);
+        assert!(load_test_impact(&SimTestbed, JobName::Mcf, &b, &f1).is_none());
+    }
+
+    #[test]
+    fn all_hp_measured() {
+        let b = baseline();
+        let f2 = Feature::paper_feature2().apply(&b);
+        let results = load_test_all_hp(&SimTestbed, &b, &f2);
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert!(r.impact_pct > 0.0, "{}: {}%", r.job, r.impact_pct);
+        }
+    }
+
+    #[test]
+    fn load_test_differs_from_mixed_colocation() {
+        // The Fig. 2 pitfall: a machine full of one service behaves unlike
+        // the same service colocated with a realistic mix.
+        let b = baseline();
+        let f1 = Feature::paper_feature1().apply(&b);
+        let solo = load_test_impact(&SimTestbed, JobName::MediaStreaming, &b, &f1)
+            .unwrap()
+            .impact_pct;
+        let mixed_scenario = Scenario::from_counts([
+            (JobName::MediaStreaming, 2),
+            (JobName::GraphAnalytics, 4),
+            (JobName::Mcf, 4),
+        ]);
+        let mixed = replay_job_impact(
+            &SimTestbed,
+            &mixed_scenario,
+            JobName::MediaStreaming,
+            &b,
+            &f1,
+        )
+        .unwrap();
+        assert!(
+            (solo - mixed).abs() > 0.5,
+            "load-testing ({solo}%) should mispredict the mixed case ({mixed}%)"
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! Random-sampling evaluation: the statistical baseline of Figs. 12/13.
+//!
+//! "For the sampling, we randomly pick 18 job co-location scenarios (the
+//! same evaluation overheads as FLARE) and estimate the performance from
+//! them. We perform 1,000 sampling trials and show the resulting
+//! distribution" (§5.3).
+
+use flare_core::replayer::{replay_impact, replay_job_impact, Testbed};
+use flare_linalg::stats::DistributionSummary;
+use flare_sim::datacenter::Corpus;
+use flare_sim::machine::MachineConfig;
+use flare_workloads::job::JobName;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a sampling experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Scenarios replayed per trial (paper: 18 to match FLARE's cost).
+    pub n_samples: usize,
+    /// Independent trials (paper: 1 000).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Sample scenarios proportionally to their observation counts
+    /// (`true` = observing the datacenter at random instants).
+    pub weight_by_observations: bool,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            n_samples: 18,
+            trials: 1000,
+            seed: 0x5A3717,
+            weight_by_observations: true,
+        }
+    }
+}
+
+/// The distribution of estimates across sampling trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingDistribution {
+    /// One estimate per trial.
+    pub estimates: Vec<f64>,
+    /// Summary statistics (violin/box data of Fig. 12a).
+    pub summary: DistributionSummary,
+    /// Scenario replays a *single* trial costs.
+    pub cost_per_trial: usize,
+}
+
+impl SamplingDistribution {
+    /// The 95 %-band half-width around the median — the paper's "expected
+    /// max error" proxy for Fig. 13 when centred on the truth.
+    pub fn central95_half_width(&self) -> f64 {
+        self.summary.central95_half_width()
+    }
+
+    /// Worst absolute deviation of any trial estimate from `truth`.
+    pub fn max_abs_error(&self, truth: f64) -> f64 {
+        self.estimates
+            .iter()
+            .map(|e| (e - truth).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The 97.5th percentile of |estimate − truth| — a robust "expected
+    /// max error" (Fig. 13's y-axis).
+    pub fn expected_max_error(&self, truth: f64) -> f64 {
+        let mut errs: Vec<f64> = self.estimates.iter().map(|e| (e - truth).abs()).collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((errs.len() as f64 - 1.0) * 0.975).round() as usize;
+        errs[idx]
+    }
+}
+
+/// Weighted random index sampler (linear scan; populations are ≤ ~1 000).
+fn sample_index(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Runs the all-job sampling experiment: each trial draws `n_samples`
+/// HP-bearing scenarios (without replacement) and averages their impacts.
+///
+/// Returns `None` if the corpus has no HP scenarios or `n_samples == 0`.
+pub fn sampling_distribution<T: Testbed>(
+    corpus: &Corpus,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    config: &SamplingConfig,
+) -> Option<SamplingDistribution> {
+    if config.n_samples == 0 || config.trials == 0 {
+        return None;
+    }
+    // Pre-compute every HP scenario's impact once (the testbed is
+    // deterministic, so this is exact and keeps 1 000 trials fast).
+    let population: Vec<(f64, f64)> = corpus
+        .entries()
+        .iter()
+        .filter(|e| e.scenario.has_hp_job())
+        .filter_map(|e| {
+            replay_impact(testbed, &e.scenario, baseline, feature_config).map(|impact| {
+                let w = if config.weight_by_observations {
+                    e.observations as f64
+                } else {
+                    1.0
+                };
+                (w, impact)
+            })
+        })
+        .collect();
+    if population.is_empty() {
+        return None;
+    }
+    run_trials(&population, config)
+}
+
+/// Runs the per-job sampling experiment over scenarios containing `job`.
+pub fn sampling_job_distribution<T: Testbed>(
+    corpus: &Corpus,
+    testbed: &T,
+    job: JobName,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    config: &SamplingConfig,
+) -> Option<SamplingDistribution> {
+    if config.n_samples == 0 || config.trials == 0 {
+        return None;
+    }
+    let population: Vec<(f64, f64)> = corpus
+        .entries()
+        .iter()
+        .filter(|e| e.scenario.has_job(job))
+        .filter_map(|e| {
+            replay_job_impact(testbed, &e.scenario, job, baseline, feature_config).map(|impact| {
+                let w = e.scenario.instances_of(job) as f64
+                    * if config.weight_by_observations {
+                        e.observations as f64
+                    } else {
+                        1.0
+                    };
+                (w, impact)
+            })
+        })
+        .collect();
+    if population.is_empty() {
+        return None;
+    }
+    run_trials(&population, config)
+}
+
+fn run_trials(population: &[(f64, f64)], config: &SamplingConfig) -> Option<SamplingDistribution> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n_samples.min(population.len());
+    let mut estimates = Vec::with_capacity(config.trials);
+    for _ in 0..config.trials {
+        // Weighted sampling without replacement.
+        let mut weights: Vec<f64> = population.iter().map(|&(w, _)| w).collect();
+        let mut total_impact = 0.0;
+        for _ in 0..n {
+            let idx = sample_index(&weights, &mut rng);
+            total_impact += population[idx].1;
+            weights[idx] = 0.0;
+        }
+        estimates.push(total_impact / n as f64);
+    }
+    let summary = DistributionSummary::from_samples(&estimates).ok()?;
+    Some(SamplingDistribution {
+        estimates,
+        summary,
+        cost_per_trial: n,
+    })
+}
+
+/// Occupancy-stratified sampling: a smarter baseline than the paper's
+/// uniform sampling. Scenarios are bucketed by machine occupancy decile;
+/// each trial draws proportionally from every bucket (a heuristic a
+/// practitioner might reach for before FLARE: "cover the load range").
+///
+/// Returns `None` under the same conditions as [`sampling_distribution`].
+pub fn stratified_sampling_distribution<T: Testbed>(
+    corpus: &Corpus,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    config: &SamplingConfig,
+) -> Option<SamplingDistribution> {
+    if config.n_samples == 0 || config.trials == 0 {
+        return None;
+    }
+    let vcpus = baseline.schedulable_vcpus();
+    // Bucket the HP population by occupancy decile.
+    let mut buckets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 11];
+    for e in corpus.entries() {
+        if !e.scenario.has_hp_job() {
+            continue;
+        }
+        if let Some(impact) = replay_impact(testbed, &e.scenario, baseline, feature_config) {
+            let w = if config.weight_by_observations {
+                e.observations as f64
+            } else {
+                1.0
+            };
+            let b = ((e.scenario.occupancy(vcpus) * 10.0).floor() as usize).min(10);
+            buckets[b].push((w, impact));
+        }
+    }
+    let total_w: f64 = buckets.iter().flatten().map(|&(w, _)| w).sum();
+    if total_w <= 0.0 {
+        return None;
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut estimates = Vec::with_capacity(config.trials);
+    for _ in 0..config.trials {
+        // Allocate the sample budget proportionally to bucket weight
+        // (at least 1 draw per non-empty bucket while budget lasts).
+        let mut drawn = Vec::new();
+        let mut budget = config.n_samples;
+        let nonempty: Vec<usize> = (0..buckets.len())
+            .filter(|&b| !buckets[b].is_empty())
+            .collect();
+        for &b in &nonempty {
+            if budget == 0 {
+                break;
+            }
+            let bucket_w: f64 = buckets[b].iter().map(|&(w, _)| w).sum();
+            let quota = ((bucket_w / total_w * config.n_samples as f64).round() as usize)
+                .clamp(1, budget)
+                .min(buckets[b].len());
+            let mut weights: Vec<f64> = buckets[b].iter().map(|&(w, _)| w).collect();
+            for _ in 0..quota {
+                let idx = sample_index(&weights, &mut rng);
+                drawn.push(buckets[b][idx].1);
+                weights[idx] = 0.0;
+            }
+            budget -= quota;
+        }
+        estimates.push(drawn.iter().sum::<f64>() / drawn.len() as f64);
+    }
+    let summary = DistributionSummary::from_samples(&estimates).ok()?;
+    let cost = estimates
+        .first()
+        .map(|_| config.n_samples.min(buckets.iter().map(Vec::len).sum()))
+        .unwrap_or(0);
+    Some(SamplingDistribution {
+        estimates,
+        summary,
+        cost_per_trial: cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_core::replayer::SimTestbed;
+    use flare_sim::datacenter::CorpusConfig;
+    use flare_sim::feature::Feature;
+
+    fn setup() -> (Corpus, MachineConfig) {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        (Corpus::generate(&cfg), cfg.machine_config)
+    }
+
+    fn quick_config() -> SamplingConfig {
+        SamplingConfig {
+            n_samples: 10,
+            trials: 200,
+            ..SamplingConfig::default()
+        }
+    }
+
+    #[test]
+    fn sampling_centers_on_truth() {
+        let (corpus, baseline) = setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let truth = crate::fulldc::full_datacenter_impact(
+            &corpus, &SimTestbed, &baseline, &f2, true,
+        )
+        .impact_pct;
+        let dist =
+            sampling_distribution(&corpus, &SimTestbed, &baseline, &f2, &quick_config()).unwrap();
+        // Sampling is unbiased: the mean of estimates tracks the truth.
+        assert!(
+            (dist.summary.mean - truth).abs() < 1.5,
+            "sampling mean {} vs truth {truth}",
+            dist.summary.mean
+        );
+        // But individual trials scatter.
+        assert!(dist.summary.std_dev > 0.0);
+        assert_eq!(dist.estimates.len(), 200);
+        assert_eq!(dist.cost_per_trial, 10);
+    }
+
+    #[test]
+    fn more_samples_reduce_spread() {
+        let (corpus, baseline) = setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let small = sampling_distribution(
+            &corpus,
+            &SimTestbed,
+            &baseline,
+            &f1,
+            &SamplingConfig {
+                n_samples: 5,
+                trials: 300,
+                ..SamplingConfig::default()
+            },
+        )
+        .unwrap();
+        let large = sampling_distribution(
+            &corpus,
+            &SimTestbed,
+            &baseline,
+            &f1,
+            &SamplingConfig {
+                n_samples: 50,
+                trials: 300,
+                ..SamplingConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            large.summary.std_dev < small.summary.std_dev,
+            "50-sample σ {} !< 5-sample σ {}",
+            large.summary.std_dev,
+            small.summary.std_dev
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (corpus, baseline) = setup();
+        let f3 = Feature::paper_feature3().apply(&baseline);
+        let a = sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &quick_config())
+            .unwrap();
+        let b = sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &quick_config())
+            .unwrap();
+        assert_eq!(a.estimates, b.estimates);
+    }
+
+    #[test]
+    fn per_job_sampling_works() {
+        let (corpus, baseline) = setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let dist = sampling_job_distribution(
+            &corpus,
+            &SimTestbed,
+            JobName::GraphAnalytics,
+            &baseline,
+            &f1,
+            &quick_config(),
+        )
+        .unwrap();
+        assert!(dist.summary.mean.is_finite());
+        // LP job: no HP measurements → None.
+        assert!(sampling_job_distribution(
+            &corpus,
+            &SimTestbed,
+            JobName::Sjeng,
+            &baseline,
+            &f1,
+            &quick_config(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn error_metrics_behave() {
+        let (corpus, baseline) = setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let dist =
+            sampling_distribution(&corpus, &SimTestbed, &baseline, &f2, &quick_config()).unwrap();
+        let truth = dist.summary.mean;
+        assert!(dist.expected_max_error(truth) <= dist.max_abs_error(truth) + 1e-12);
+        assert!(dist.central95_half_width() >= 0.0);
+    }
+
+    #[test]
+    fn stratified_sampling_is_unbiased_and_often_tighter() {
+        let (corpus, baseline) = setup();
+        let f3 = Feature::paper_feature3().apply(&baseline);
+        let truth = crate::fulldc::full_datacenter_impact(
+            &corpus, &SimTestbed, &baseline, &f3, true,
+        )
+        .impact_pct;
+        let cfg = SamplingConfig {
+            n_samples: 15,
+            trials: 300,
+            ..SamplingConfig::default()
+        };
+        let uniform = sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &cfg).unwrap();
+        let strat =
+            stratified_sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &cfg).unwrap();
+        // Near-unbiased (stratification can introduce small quota rounding
+        // bias; allow a slightly wider band than uniform sampling).
+        assert!(
+            (strat.summary.mean - truth).abs() < 2.0,
+            "stratified mean {} vs truth {truth}",
+            strat.summary.mean
+        );
+        // Stratification should not be wildly worse than uniform.
+        assert!(strat.summary.std_dev < uniform.summary.std_dev * 2.0);
+        // Deterministic given the seed.
+        let again =
+            stratified_sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &cfg).unwrap();
+        assert_eq!(strat.estimates, again.estimates);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let (corpus, baseline) = setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let zero = SamplingConfig {
+            n_samples: 0,
+            ..quick_config()
+        };
+        assert!(sampling_distribution(&corpus, &SimTestbed, &baseline, &f1, &zero).is_none());
+    }
+}

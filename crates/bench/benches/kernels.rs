@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of FLARE's computational kernels — the
+//! numbers behind the "fast and lightweight" claim: the entire analysis
+//! costs milliseconds-to-seconds on corpus-scale data.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flare_cluster::kmeans::{kmeans, KMeansConfig};
+use flare_cluster::quality::silhouette_score;
+use flare_linalg::eigen::symmetric_eigen;
+use flare_linalg::pca::{covariance, Pca};
+use flare_linalg::Matrix;
+use flare_metrics::correlation::refine;
+use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+use flare_metrics::schema::MetricSchema;
+
+/// Deterministic pseudo-random corpus-scale matrix (1 000 × d).
+fn corpus_matrix(n: usize, d: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| {
+                    let x = (i * 31 + j * 17) as f64;
+                    (x * 0.13).sin() * 50.0 + (j % 7) as f64 * 10.0
+                })
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).expect("rectangular")
+}
+
+fn corpus_database(n: usize) -> MetricDatabase {
+    let schema = MetricSchema::canonical();
+    let d = schema.len();
+    let m = corpus_matrix(n, d);
+    let mut db = MetricDatabase::new(schema);
+    for i in 0..n {
+        db.insert(ScenarioRecord {
+            id: ScenarioId(i as u32),
+            metrics: m.row(i).to_vec(),
+            observations: 1,
+            job_mix: vec![],
+        })
+        .expect("schema-aligned");
+    }
+    db
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let data = corpus_matrix(200, 66);
+    let cov = covariance(&data).expect("covariance");
+    c.bench_function("jacobi_eigen_66x66", |b| {
+        b.iter(|| symmetric_eigen(&cov).expect("symmetric"))
+    });
+    // The truncated solver for enriched (wider) metric spaces: full Jacobi
+    // vs top-18 power iteration at 134 columns (temporal enrichment size).
+    let wide = corpus_matrix(200, 134);
+    let wide_cov = covariance(&wide).expect("covariance");
+    let mut group = c.benchmark_group("eigen_wide_134");
+    group.sample_size(20);
+    group.bench_function("jacobi_full", |b| {
+        b.iter(|| symmetric_eigen(&wide_cov).expect("symmetric"))
+    });
+    group.bench_function("power_iteration_top18", |b| {
+        b.iter(|| {
+            flare_linalg::eigen::symmetric_eigen_top_k(&wide_cov, 18).expect("top-k")
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmeans_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_scaling");
+    group.sample_size(10);
+    for n in [250usize, 1000, 4000] {
+        let data = corpus_matrix(n, 18);
+        let config = KMeansConfig::new(18).with_restarts(2);
+        group.bench_function(format!("n{n}_k18"), |b| {
+            b.iter(|| kmeans(&data, &config).expect("kmeans"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let data = corpus_matrix(1000, 106);
+    c.bench_function("pca_fit_1000x106", |b| {
+        b.iter(|| Pca::fit(&data).expect("pca"))
+    });
+    let pca = Pca::fit(&data).expect("pca");
+    c.bench_function("pca_transform_whitened_1000x106_k18", |b| {
+        b.iter(|| pca.transform_whitened(&data, 18).expect("projection"))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let data = corpus_matrix(1000, 18);
+    let config = KMeansConfig::new(18).with_restarts(4);
+    c.bench_function("kmeans_k18_1000x18", |b| {
+        b.iter(|| kmeans(&data, &config).expect("kmeans"))
+    });
+    let result = kmeans(&data, &config).expect("kmeans");
+    let mut group = c.benchmark_group("quality");
+    group.sample_size(10);
+    group.bench_function("silhouette_1000x18", |b| {
+        b.iter(|| silhouette_score(&data, &result.assignments, 18).expect("silhouette"))
+    });
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let db = corpus_database(1000);
+    let mut group = c.benchmark_group("refinement");
+    group.sample_size(20);
+    group.bench_function("correlation_refine_1000x106", |b| {
+        b.iter_batched(
+            || db.clone(),
+            |db| refine(&db, 0.98).expect("refine"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_eigen,
+    bench_pca,
+    bench_kmeans,
+    bench_kmeans_scaling,
+    bench_refine
+);
+criterion_main!(kernels);

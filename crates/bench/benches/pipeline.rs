@@ -1,0 +1,141 @@
+//! Criterion benchmarks of the end-to-end FLARE pipeline stages: corpus
+//! collection, scenario evaluation, metric synthesis, fitting, and feature
+//! estimation. These are the wall-clock costs a user pays per evaluation —
+//! compare against replaying 1 000+ scenarios on physical hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flare_core::{Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+use flare_sim::interference::evaluate;
+use flare_sim::profiler::synthesize;
+use flare_sim::scenario::Scenario;
+use flare_workloads::job::JobName;
+
+fn small_corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        machines: 4,
+        days: 2.0,
+        tick_minutes: 15.0,
+        ..CorpusConfig::default()
+    }
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let cfg = small_corpus_config();
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("generate_4machines_2days", |b| {
+        b.iter(|| Corpus::generate(&cfg))
+    });
+    group.finish();
+}
+
+fn bench_interference(c: &mut Criterion) {
+    let config = CorpusConfig::default().machine_config;
+    let scenario = Scenario::from_counts([
+        (JobName::DataCaching, 2),
+        (JobName::GraphAnalytics, 3),
+        (JobName::WebSearch, 2),
+        (JobName::Mcf, 3),
+        (JobName::Libquantum, 2),
+    ]);
+    c.bench_function("interference_evaluate_12_containers", |b| {
+        b.iter(|| evaluate(&scenario, &config))
+    });
+    let perf = evaluate(&scenario, &config);
+    c.bench_function("profiler_synthesize_106_metrics", |b| {
+        b.iter(|| synthesize(&scenario, &perf, &config, 42))
+    });
+}
+
+fn bench_flare(c: &mut Criterion) {
+    let cfg = small_corpus_config();
+    let corpus = Corpus::generate(&cfg);
+    let flare_cfg = FlareConfig {
+        cluster_count: flare_core::ClusterCountRule::Fixed(10),
+        ..FlareConfig::default()
+    };
+    let mut group = c.benchmark_group("flare");
+    group.sample_size(10);
+    group.bench_function("fit_small_corpus", |b| {
+        b.iter(|| Flare::fit(corpus.clone(), flare_cfg.clone()).expect("fit"))
+    });
+    let flare = Flare::fit(corpus, flare_cfg).expect("fit");
+    let feature = Feature::paper_feature1();
+    group.bench_function("evaluate_feature_10_representatives", |b| {
+        b.iter(|| flare.evaluate(&feature).expect("estimate"))
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    use flare_baselines::fulldc::{full_datacenter_impact, full_datacenter_impact_parallel};
+    use flare_core::replayer::{ProxyTestbed, SimTestbed};
+
+    let cfg = small_corpus_config();
+    let corpus = Corpus::generate(&cfg);
+    let baseline = cfg.machine_config.clone();
+    let feature_cfg = Feature::paper_feature1().apply(&baseline);
+
+    let mut group = c.benchmark_group("fulldc");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| full_datacenter_impact(&corpus, &SimTestbed, &baseline, &feature_cfg, true))
+    });
+    group.bench_function("parallel_4_threads", |b| {
+        b.iter(|| {
+            full_datacenter_impact_parallel(&corpus, &SimTestbed, &baseline, &feature_cfg, true, 4)
+        })
+    });
+    group.finish();
+
+    let proxy = ProxyTestbed::calibrated();
+    let scenario = Scenario::from_counts([
+        (JobName::DataCaching, 3),
+        (JobName::GraphAnalytics, 3),
+        (JobName::Mcf, 3),
+    ]);
+    c.bench_function("proxy_replay_one_scenario", |b| {
+        b.iter(|| flare_core::replayer::replay_impact(&proxy, &scenario, &baseline, &feature_cfg))
+    });
+}
+
+fn bench_enriched_profiler(c: &mut Criterion) {
+    let config = CorpusConfig::default().machine_config;
+    let scenario = Scenario::from_counts([
+        (JobName::WebSearch, 3),
+        (JobName::InMemoryAnalytics, 3),
+        (JobName::Libquantum, 3),
+    ]);
+    c.bench_function("profiler_synthesize_enriched_8_phases", |b| {
+        b.iter(|| flare_sim::profiler::synthesize_enriched(&scenario, &config, 8, 42))
+    });
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    use flare_cluster::hierarchical::{agglomerative, Linkage};
+    let cfg = small_corpus_config();
+    let corpus = Corpus::generate(&cfg);
+    let db = corpus.to_metric_database(&cfg.machine_config);
+    let flare_cfg = FlareConfig::default();
+    let analyzer = flare_core::analyzer::Analyzer::fit(&db, &flare_cfg).expect("fit");
+    let projected = analyzer.projected().clone();
+    let mut group = c.benchmark_group("hierarchical");
+    group.sample_size(10);
+    group.bench_function("ward_dendrogram_corpus", |b| {
+        b.iter(|| agglomerative(&projected, Linkage::Ward).expect("dendrogram"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    pipeline,
+    bench_corpus,
+    bench_interference,
+    bench_flare,
+    bench_baselines,
+    bench_enriched_profiler,
+    bench_hierarchical
+);
+criterion_main!(pipeline);

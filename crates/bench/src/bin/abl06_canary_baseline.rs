@@ -1,0 +1,68 @@
+//! Ablation 6: FLARE vs a WSMeter-style canary cluster (the paper's
+//! reference \[58\]) — the statistical live-cluster baseline the
+//! introduction positions FLARE against.
+//!
+//! Costs are compared in two currencies: *scenario replays* (testbed work)
+//! and *machine-days of live hardware* (the canary's real currency).
+
+use flare_baselines::canary::{canary_impact, CanaryConfig};
+use flare_baselines::fulldc::full_datacenter_impact;
+use flare_bench::banner;
+use flare_core::replayer::SimTestbed;
+use flare_core::{Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+
+fn main() {
+    banner(
+        "Ablation: FLARE vs WSMeter-style canary clusters",
+        "§1/§2 (the 'statistical approach [58]' baseline)",
+    );
+    let prod_cfg = CorpusConfig::default();
+    let corpus = Corpus::generate(&prod_cfg);
+    let baseline = prod_cfg.machine_config.clone();
+    let flare = Flare::fit(corpus.clone(), FlareConfig::default()).expect("fit");
+
+    let canaries = [
+        ("canary 1x3d", CanaryConfig { machines: 1, days: 3.0, seed: 1009 }),
+        ("canary 2x7d", CanaryConfig { machines: 2, days: 7.0, seed: 1013 }),
+        ("canary 4x7d", CanaryConfig { machines: 4, days: 7.0, seed: 1019 }),
+        ("canary 8x7d", CanaryConfig { machines: 8, days: 7.0, seed: 1021 }),
+    ];
+
+    for feature in Feature::paper_features() {
+        let fc = feature.apply(&baseline);
+        let truth = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true);
+        let flare_est = flare.evaluate(&feature).expect("estimate");
+        println!("\n[{}] production truth = {:.2}%", feature.label(), truth.impact_pct);
+        println!(
+            "  {:<14} {:>9} {:>8} {:>13} {:>9}",
+            "method", "estimate", "err pp", "mach-days", "replays"
+        );
+        println!(
+            "  {:<14} {:>9.2} {:>8.2} {:>13} {:>9}",
+            "FLARE",
+            flare_est.impact_pct,
+            (flare_est.impact_pct - truth.impact_pct).abs(),
+            "0 (testbed)",
+            flare_est.replay_count,
+        );
+        for (name, cfg) in &canaries {
+            let c = canary_impact(&SimTestbed, &prod_cfg, cfg, &baseline, &fc);
+            println!(
+                "  {:<14} {:>9.2} {:>8.2} {:>13.1} {:>9}",
+                name,
+                c.impact_pct,
+                (c.impact_pct - truth.impact_pct).abs(),
+                c.machine_days,
+                c.evaluation_cost,
+            );
+        }
+    }
+    println!(
+        "\ntakeaway: a small canary mis-samples the colocation distribution (fewer\n\
+         machines change scheduler packing), so matching FLARE's accuracy needs a\n\
+         canary approaching the production fleet itself — the paper's §1 critique of\n\
+         live statistical evaluation, reproduced."
+    );
+}

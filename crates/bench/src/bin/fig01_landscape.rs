@@ -1,0 +1,122 @@
+//! Fig. 1 quantified: the accuracy-vs-overhead landscape of every
+//! datacenter evaluation method, measured (the paper's Fig. 1 is the
+//! conceptual sketch; this binary fills in the numbers for our corpus).
+
+use flare_baselines::canary::{canary_impact, CanaryConfig};
+use flare_baselines::fulldc::full_datacenter_impact;
+use flare_baselines::loadtest::load_test_all_hp;
+use flare_baselines::sampling::{sampling_distribution, SamplingConfig};
+use flare_bench::banner;
+use flare_core::replayer::SimTestbed;
+use flare_core::{Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+
+fn main() {
+    banner(
+        "The evaluation-method landscape: accuracy vs overhead (quantified)",
+        "Fig. 1 (conceptual in the paper; measured here)",
+    );
+    let prod_cfg = CorpusConfig::default();
+    let corpus = Corpus::generate(&prod_cfg);
+    let baseline = prod_cfg.machine_config.clone();
+    let flare = Flare::fit(corpus.clone(), FlareConfig::default()).expect("fit");
+
+    // Mean absolute error across the three paper features, per method.
+    let features = Feature::paper_features();
+    let truths: Vec<f64> = features
+        .iter()
+        .map(|f| {
+            full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f.apply(&baseline), true)
+                .impact_pct
+        })
+        .collect();
+
+    // Conventional load-testing: mean over HP jobs as the fleet estimate.
+    let loadtest_err: f64 = features
+        .iter()
+        .zip(&truths)
+        .map(|(f, &t)| {
+            let results = load_test_all_hp(&SimTestbed, &baseline, &f.apply(&baseline));
+            let mean = results.iter().map(|r| r.impact_pct).sum::<f64>() / results.len() as f64;
+            (mean - t).abs()
+        })
+        .sum::<f64>()
+        / features.len() as f64;
+
+    let sampling18_err: f64 = features
+        .iter()
+        .zip(&truths)
+        .map(|(f, &t)| {
+            sampling_distribution(
+                &corpus,
+                &SimTestbed,
+                &baseline,
+                &f.apply(&baseline),
+                &SamplingConfig::default(),
+            )
+            .expect("population")
+            .expected_max_error(t)
+        })
+        .sum::<f64>()
+        / features.len() as f64;
+
+    let canary_err: f64 = features
+        .iter()
+        .zip(&truths)
+        .map(|(f, &t)| {
+            let c = canary_impact(
+                &SimTestbed,
+                &prod_cfg,
+                &CanaryConfig {
+                    machines: 2,
+                    days: 7.0,
+                    seed: 4242,
+                },
+                &baseline,
+                &f.apply(&baseline),
+            );
+            (c.impact_pct - t).abs()
+        })
+        .sum::<f64>()
+        / features.len() as f64;
+
+    let flare_err: f64 = features
+        .iter()
+        .zip(&truths)
+        .map(|(f, &t)| (flare.evaluate(f).expect("estimate").impact_pct - t).abs())
+        .sum::<f64>()
+        / features.len() as f64;
+
+    println!("\nmean |error| across the three Table 4 features:");
+    println!(
+        "  {:<28} {:>10} {:>26}",
+        "method", "error pp", "overhead (replays/live)"
+    );
+    println!(
+        "  {:<28} {:>10.2} {:>26}",
+        "load-testing (single job)", loadtest_err, "8 single-job runs"
+    );
+    println!(
+        "  {:<28} {:>10.2} {:>26}",
+        "random sampling (exp. max)", sampling18_err, "18 replays"
+    );
+    println!(
+        "  {:<28} {:>10.2} {:>26}",
+        "canary cluster (2 machines)", canary_err, "14 machine-days live"
+    );
+    println!(
+        "  {:<28} {:>10.2} {:>26}",
+        "FLARE", flare_err, "18 replays"
+    );
+    println!(
+        "  {:<28} {:>10.2} {:>26}",
+        "full datacenter",
+        0.0,
+        format!("{} replays", corpus.hp_entries().len())
+    );
+    println!(
+        "\nthe paper's Fig. 1 quadrant: FLARE is the only method in the\n\
+         low-overhead / high-accuracy corner."
+    );
+}

@@ -1,0 +1,78 @@
+//! Fig. 2: conventional load-testing benchmarks fail to estimate the
+//! in-datacenter impact of Feature 1 (cache sizing).
+//!
+//! For each HP service, compare the MIPS reduction measured by a
+//! single-service load test against the true average across all
+//! datacenter colocations (± standard deviation).
+
+use flare_baselines::fulldc::full_datacenter_job_impact;
+use flare_baselines::loadtest::load_test_impact;
+use flare_bench::{banner, bar, ExperimentContext};
+use flare_core::replayer::{replay_job_impact, SimTestbed};
+use flare_linalg::stats;
+use flare_sim::feature::Feature;
+use flare_workloads::job::JobName;
+
+fn main() {
+    banner(
+        "Load-testing vs in-datacenter impact of Feature 1 (MIPS reduction %)",
+        "Fig. 2",
+    );
+    let ctx = ExperimentContext::standard();
+    let feature_cfg = Feature::paper_feature1().apply(&ctx.baseline);
+
+    println!(
+        "\n  {:<5} {:>12} {:>12} {:>8} {:>10}",
+        "job", "load-test %", "datacenter %", "dc σ", "deviation"
+    );
+    // Fig. 2's x-axis order.
+    let order = ["GA", "WSV", "DA", "DS", "IA", "MS", "DC", "WSC"];
+    let mut rows = Vec::new();
+    for abbrev in order {
+        let job: JobName = abbrev.parse().expect("paper abbreviation");
+        let lt = load_test_impact(&SimTestbed, job, &ctx.baseline, &feature_cfg)
+            .expect("HP job")
+            .impact_pct;
+        let dc = full_datacenter_job_impact(
+            &ctx.corpus,
+            &SimTestbed,
+            job,
+            &ctx.baseline,
+            &feature_cfg,
+            true,
+        )
+        .expect("job present in corpus");
+        // Std-dev across scenario-level impacts for the error bar.
+        let impacts: Vec<f64> = ctx
+            .corpus
+            .entries()
+            .iter()
+            .filter(|e| e.scenario.has_job(job))
+            .filter_map(|e| {
+                replay_job_impact(&SimTestbed, &e.scenario, job, &ctx.baseline, &feature_cfg)
+            })
+            .collect();
+        let sd = stats::sample_std_dev(&impacts);
+        rows.push((abbrev, lt, dc, sd));
+    }
+    let max = rows
+        .iter()
+        .map(|r| r.1.max(r.2))
+        .fold(0.0f64, f64::max);
+    for (abbrev, lt, dc, sd) in &rows {
+        println!(
+            "  {:<5} {:>12.2} {:>12.2} {:>8.2} {:>9.2}pp   LT|{:<20}  DC|{:<20}",
+            abbrev,
+            lt,
+            dc,
+            sd,
+            (lt - dc).abs(),
+            bar(*lt, max, 20),
+            bar(*dc, max, 20),
+        );
+    }
+    let mean_dev: f64 =
+        rows.iter().map(|r| (r.1 - r.2).abs()).sum::<f64>() / rows.len() as f64;
+    println!("\nmean |load-test - datacenter| deviation: {mean_dev:.2}pp");
+    println!("Paper's takeaway: the two disagree because load tests ignore colocation.");
+}

@@ -1,0 +1,37 @@
+//! Fig. 3a: machine occupancy characteristics of the scenario corpus,
+//! sorted by total occupancy (step-like because containers are 4 vCPUs).
+
+use flare_bench::{banner, ExperimentContext};
+
+fn main() {
+    banner("Machine occupancy characteristics of the corpus", "Fig. 3a");
+    let ctx = ExperimentContext::standard();
+    let vcpus = ctx.baseline.schedulable_vcpus();
+
+    let mut rows: Vec<(f64, f64, f64)> = ctx
+        .corpus
+        .entries()
+        .iter()
+        .map(|e| {
+            let hp = e.scenario.hp_vcpus() as f64 / vcpus as f64;
+            let lp = e.scenario.lp_vcpus() as f64 / vcpus as f64;
+            (hp + lp, hp, lp)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+    println!("\n{} distinct job co-location scenarios", rows.len());
+    println!("(sorted by total occupancy; showing every 40th)");
+    println!("  {:>6} {:>8} {:>8} {:>8}", "rank", "total", "HP", "LP");
+    for (i, (t, hp, lp)) in rows.iter().enumerate() {
+        if i % 40 == 0 || i + 1 == rows.len() {
+            println!("  {:>6} {:>8.3} {:>8.3} {:>8.3}", i, t, hp, lp);
+        }
+    }
+    let distinct_levels: std::collections::BTreeSet<u64> =
+        rows.iter().map(|r| (r.0 * vcpus as f64).round() as u64).collect();
+    println!(
+        "\nstep pattern: {} distinct occupancy levels (containers are fixed 4-vCPU units)",
+        distinct_levels.len()
+    );
+}

@@ -1,0 +1,83 @@
+//! Fig. 3b: per-scenario Feature-1 impact vs HP LLC MPKI — no single
+//! memory metric predicts the impact, motivating FLARE's systematic
+//! extraction.
+
+use flare_bench::{banner, ExperimentContext};
+use flare_core::replayer::{replay_impact, SimTestbed};
+use flare_linalg::stats::pearson;
+use flare_metrics::schema::{Level, MetricId, MetricKind, MetricSchema};
+use flare_sim::feature::Feature;
+
+fn main() {
+    banner(
+        "Per-scenario impact of Feature 1 vs HP LLC MPKI",
+        "Fig. 3b",
+    );
+    let ctx = ExperimentContext::standard();
+    let feature_cfg = Feature::paper_feature1().apply(&ctx.baseline);
+    let db = ctx.flare.database();
+    let schema = MetricSchema::canonical();
+    let mpki_idx = schema
+        .index_of(MetricId::new(MetricKind::LlcMpki, Level::Hp))
+        .expect("canonical schema");
+
+    // Corpus-order arrays (correlations need aligned vectors; sorting
+    // happens only for the display below).
+    let mut impacts: Vec<f64> = Vec::new();
+    let mut metric_rows: Vec<&[f64]> = Vec::new();
+    for e in ctx.corpus.entries() {
+        if !e.scenario.has_hp_job() {
+            continue;
+        }
+        if let Some(impact) =
+            replay_impact(&SimTestbed, &e.scenario, &ctx.baseline, &feature_cfg)
+        {
+            impacts.push(impact);
+            metric_rows.push(&db.get(e.id).expect("aligned").metrics);
+        }
+    }
+    let mut rows: Vec<(f64, f64)> = impacts
+        .iter()
+        .zip(&metric_rows)
+        .map(|(&i, m)| (i, m[mpki_idx]))
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+    println!("\n{} HP scenarios (sorted by impact; every 40th shown)", rows.len());
+    println!("  {:>6} {:>12} {:>10}", "rank", "impact %", "HP MPKI");
+    for (i, (imp, mpki)) in rows.iter().enumerate() {
+        if i % 40 == 0 || i + 1 == rows.len() {
+            println!("  {:>6} {:>12.2} {:>10.2}", i, imp, mpki);
+        }
+    }
+
+    let mpkis: Vec<f64> = metric_rows.iter().map(|m| m[mpki_idx]).collect();
+    let r = pearson(&impacts, &mpkis).expect("same length");
+    println!("\nPearson correlation(impact, HP LLC MPKI) = {r:.3}");
+
+    // The paper's broader claim: no *single* metric explains the impact.
+    println!("\ncorrelation of impact with every raw metric (top 5 by |r|):");
+    let mut correlations: Vec<(String, f64)> = Vec::new();
+    for (j, id) in schema.ids().iter().enumerate() {
+        let col: Vec<f64> = metric_rows.iter().map(|m| m[j]).collect();
+        if let Ok(c) = pearson(&impacts, &col) {
+            correlations.push((id.name(), c));
+        }
+    }
+    correlations.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+    for (name, c) in correlations.iter().take(5) {
+        println!("  {name:<28} r = {c:+.3}");
+    }
+    println!(
+        "\nHP LLC MPKI explains only {:.0}% of the impact variance (r = {r:.2}): selecting\n\
+         scenarios to cover MPKI ranges — the intuitive heuristic the paper tests —\n\
+         would miss most of the impact structure.",
+        r * r * 100.0
+    );
+    let best = correlations.first().map(|c| c.1.abs()).unwrap_or(0.0);
+    println!(
+        "note: in this analytic substrate some *derived* memory-state metrics retain\n\
+         higher correlation (max |r| = {best:.2}); the real system's phase noise and\n\
+         prefetch effects (absent here) erode even that — see EXPERIMENTS.md."
+    );
+}

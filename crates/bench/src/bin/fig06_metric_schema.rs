@@ -1,0 +1,37 @@
+//! Fig. 6: the performance and resource metrics collected per scenario,
+//! two-level (machine + HP).
+
+use flare_bench::banner;
+use flare_metrics::schema::{MetricFamily, MetricKind, MetricSchema};
+
+fn main() {
+    banner("Collected raw metrics (two-level)", "Fig. 6");
+    let schema = MetricSchema::canonical();
+    println!(
+        "\ntotal raw metrics: {} ({} kinds x 2 levels)",
+        schema.len(),
+        MetricKind::ALL.len()
+    );
+    for family in [
+        MetricFamily::Performance,
+        MetricFamily::Topdown,
+        MetricFamily::Cache,
+        MetricFamily::Memory,
+        MetricFamily::Tlb,
+        MetricFamily::Branch,
+        MetricFamily::Cpu,
+        MetricFamily::Storage,
+        MetricFamily::Network,
+        MetricFamily::OsMemory,
+    ] {
+        let kinds: Vec<&MetricKind> = MetricKind::ALL
+            .iter()
+            .filter(|k| k.family() == family)
+            .collect();
+        println!("\n[{family:?}] ({} kinds)", kinds.len());
+        for k in kinds {
+            let tag = if k.is_derived() { " (derived)" } else { "" };
+            println!("  {}-{{Machine,HP}}{tag}", k.base_name());
+        }
+    }
+}

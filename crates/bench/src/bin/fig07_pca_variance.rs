@@ -1,0 +1,33 @@
+//! Fig. 7: cumulative explained variance vs number of principal
+//! components; the Analyzer keeps enough PCs to reach 95 %.
+
+use flare_bench::{banner, bar, ExperimentContext};
+
+fn main() {
+    banner(
+        "Explained variance vs number of principal components",
+        "Fig. 7",
+    );
+    let ctx = ExperimentContext::standard();
+    let analyzer = ctx.flare.analyzer();
+    let pca = analyzer.pca();
+    let cum = pca.cumulative_explained_variance();
+
+    println!(
+        "\nrefined metrics entering PCA: {}",
+        analyzer.refined_schema().len()
+    );
+    println!("PCs kept at the 95% target:  {}\n", analyzer.n_pcs());
+    println!("  {:>4} {:>10} {:>12}", "PCs", "this PC %", "cumulative %");
+    for (i, &c) in cum.iter().enumerate().take(analyzer.n_pcs() + 4) {
+        let ratio = pca.explained_variance_ratio()[i];
+        let marker = if i + 1 == analyzer.n_pcs() { "  <-- selected" } else { "" };
+        println!(
+            "  {:>4} {:>10.2} {:>12.2} |{}|{marker}",
+            i + 1,
+            ratio * 100.0,
+            c * 100.0,
+            bar(c, 1.0, 40),
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig. 8: the high-level metrics (principal components) with their major
+//! contributing raw metrics and generated interpretations.
+
+use flare_bench::{banner, ExperimentContext};
+use flare_core::interpret::interpret_pcs;
+
+fn main() {
+    banner("High-level metrics (PCs) and their interpretations", "Fig. 8");
+    let ctx = ExperimentContext::standard();
+    let interpretations = interpret_pcs(ctx.flare.analyzer(), 6);
+
+    for p in &interpretations {
+        println!(
+            "\nPC{:<2} (explains {:>5.2}% of variance): {}",
+            p.pc,
+            p.explained_variance * 100.0,
+            p.label
+        );
+        for l in &p.top_loadings {
+            let sign = if l.weight >= 0.0 { '+' } else { '-' };
+            println!("    {sign} {:<28} weight {:+.3}", l.metric.name(), l.weight);
+        }
+    }
+    println!(
+        "\n{} PCs labeled; both Machine- and HP-level metrics contribute (the paper's
+two-level observation).",
+        interpretations.len()
+    );
+    let with_both = interpretations
+        .iter()
+        .filter(|p| {
+            let has_hp = p
+                .top_loadings
+                .iter()
+                .any(|l| l.metric.level == flare_metrics::schema::Level::Hp);
+            let has_machine = p
+                .top_loadings
+                .iter()
+                .any(|l| l.metric.level == flare_metrics::schema::Level::Machine);
+            has_hp && has_machine
+        })
+        .count();
+    println!("PCs mixing HP and Machine metrics: {with_both}");
+}

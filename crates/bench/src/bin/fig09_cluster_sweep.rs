@@ -1,0 +1,32 @@
+//! Fig. 9: SSE and Silhouette Score across cluster counts; the selection
+//! rule picks where returns diminish.
+
+use flare_bench::{banner, bar, ExperimentContext};
+use flare_cluster::kmeans::KMeansConfig;
+use flare_cluster::sweep::sweep_kmeans;
+
+fn main() {
+    banner("SSE and Silhouette Score vs cluster count", "Fig. 9");
+    let ctx = ExperimentContext::standard();
+    let projected = ctx.flare.analyzer().projected();
+
+    let ks: Vec<usize> = (2..=40).step_by(2).collect();
+    let sweep = sweep_kmeans(projected, &ks, &KMeansConfig::new(2).with_restarts(4))
+        .expect("sweep over whitened corpus");
+
+    let max_sse = sweep.points.iter().map(|p| p.sse).fold(0.0, f64::max);
+    println!("\n  {:>4} {:>12} {:>12}", "k", "SSE", "silhouette");
+    for p in &sweep.points {
+        println!(
+            "  {:>4} {:>12.1} {:>12.3}  SSE|{:<24}",
+            p.k,
+            p.sse,
+            p.silhouette,
+            bar(p.sse, max_sse, 24),
+        );
+    }
+    println!("\nSSE knee at k = {:?}", sweep.knee_k());
+    println!("best silhouette at k = {:?}", sweep.best_silhouette_k());
+    println!("recommended k = {:?}", sweep.recommended_k());
+    println!("paper's choice for its corpus: 18 (balance of quality and cost)");
+}

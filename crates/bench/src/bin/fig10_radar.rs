@@ -1,0 +1,51 @@
+//! Fig. 10: per-cluster radar profiles — each group's centroid (±1σ) in
+//! kept-PC space plus the group weight.
+
+use flare_bench::{banner, ExperimentContext};
+use flare_core::interpret::{distinguishing_pcs, radar_chart};
+
+fn main() {
+    banner("Cluster centroids in PC space (radar data)", "Fig. 10");
+    let ctx = ExperimentContext::standard();
+    let analyzer = ctx.flare.analyzer();
+    let radar = radar_chart(analyzer, true);
+
+    println!(
+        "\n{} clusters over {} PCs; corpus ±1σ per PC ≈ {:.2}",
+        radar.profiles.len(),
+        analyzer.n_pcs(),
+        radar.corpus_std.iter().sum::<f64>() / radar.corpus_std.len() as f64
+    );
+
+    for p in &radar.profiles {
+        let weight = radar.weights[p.cluster] * 100.0;
+        println!(
+            "\nCluster {:>2} (weight {:>5.2}%, {} scenarios)",
+            p.cluster, weight, p.size
+        );
+        print!("  mean: ");
+        for m in &p.mean {
+            print!("{m:>6.2}");
+        }
+        println!();
+        print!("  ±1σ : ");
+        for s in &p.std_dev {
+            print!("{s:>6.2}");
+        }
+        println!();
+        let top = distinguishing_pcs(analyzer, p.cluster, 3);
+        let desc: Vec<String> = top
+            .iter()
+            .map(|(pc, v)| format!("PC{pc}={v:+.1}σ"))
+            .collect();
+        println!("  distinguishing PCs: {}", desc.join(", "));
+    }
+
+    // The paper's observation: many clusters have similar weights ~1/k —
+    // the datacenter is a collection of diverse behaviours.
+    let max_w = radar.weights.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nlargest cluster weight: {:.1}% (no single dominant behaviour)",
+        max_w * 100.0
+    );
+}

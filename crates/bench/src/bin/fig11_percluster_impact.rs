@@ -1,0 +1,66 @@
+//! Fig. 11: the per-cluster (representative-scenario) impact of the three
+//! features — groups respond differently to the same feature.
+
+use flare_bench::{banner, ExperimentContext};
+use flare_core::interpret::distinguishing_pcs;
+use flare_sim::feature::Feature;
+
+fn main() {
+    banner(
+        "MIPS reduction estimated from each representative scenario",
+        "Fig. 11",
+    );
+    let ctx = ExperimentContext::standard();
+    let features = Feature::paper_features();
+
+    let estimates: Vec<_> = features
+        .iter()
+        .map(|f| ctx.flare.evaluate(f).expect("estimate"))
+        .collect();
+
+    println!("\n  {:>7} {:>8} {:>10} {:>10} {:>10}", "cluster", "weight%", "F1 %", "F2 %", "F3 %");
+    for c in 0..ctx.flare.analyzer().n_clusters() {
+        let row: Vec<Option<f64>> = estimates
+            .iter()
+            .map(|e| {
+                e.clusters
+                    .iter()
+                    .find(|ci| ci.cluster == c)
+                    .map(|ci| ci.impact_pct)
+            })
+            .collect();
+        let weight = estimates[0]
+            .clusters
+            .iter()
+            .find(|ci| ci.cluster == c)
+            .map(|ci| ci.weight * 100.0)
+            .unwrap_or(0.0);
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:>10.2}"),
+            None => format!("{:>10}", "-"),
+        };
+        println!(
+            "  {:>7} {:>8.2} {} {} {}",
+            c,
+            weight,
+            fmt(row[0]),
+            fmt(row[1]),
+            fmt(row[2])
+        );
+    }
+
+    // The §5.2 reasoning example: the cluster hit hardest by Feature 1
+    // should be distinguishable by LLC-related PCs.
+    let worst = estimates[0]
+        .clusters
+        .iter()
+        .max_by(|a, b| a.impact_pct.partial_cmp(&b.impact_pct).expect("finite"))
+        .expect("clusters");
+    println!(
+        "\ncluster most sensitive to Feature 1 (cache sizing): cluster {} at {:.2}%",
+        worst.cluster, worst.impact_pct
+    );
+    let pcs = distinguishing_pcs(ctx.flare.analyzer(), worst.cluster, 3);
+    let desc: Vec<String> = pcs.iter().map(|(pc, v)| format!("PC{pc}={v:+.1}σ")).collect();
+    println!("its distinguishing PCs: {} (see fig08 for their meanings)", desc.join(", "));
+}

@@ -1,0 +1,72 @@
+//! Fig. 13: evaluation cost vs expected max estimation error — sampling
+//! needs far more than FLARE's budget to match its fidelity, and the full
+//! datacenter costs ~50× more.
+
+use flare_baselines::cost::cost_accuracy_curve;
+use flare_bench::{banner, bar, ExperimentContext};
+use flare_core::replayer::SimTestbed;
+use flare_sim::feature::Feature;
+
+fn main() {
+    banner("Evaluation cost vs expected max error", "Fig. 13 / §5.4");
+    let ctx = ExperimentContext::standard();
+
+    for feature in Feature::paper_features() {
+        let fc = feature.apply(&ctx.baseline);
+        let flare_est = ctx.flare.evaluate(&feature).expect("estimate");
+        let flare_cost = ctx.flare.n_representatives();
+        let sizes: Vec<usize> = (1..=10).map(|m| m * flare_cost).collect();
+        let curve = cost_accuracy_curve(
+            &ctx.corpus,
+            &SimTestbed,
+            &ctx.baseline,
+            &fc,
+            &sizes,
+            1000,
+            0x5A3717,
+            flare_est.impact_pct,
+            flare_cost,
+        );
+
+        println!("\n[{}] truth = {:.2}%", feature.label(), curve.truth_pct);
+        println!("  {:>16} {:>8} {:>16}", "method", "cost", "exp. max err pp");
+        let max_err = curve
+            .sampling
+            .iter()
+            .map(|p| p.expected_max_error)
+            .fold(curve.flare.expected_max_error, f64::max);
+        for p in &curve.sampling {
+            println!(
+                "  {:>16} {:>8} {:>16.2}  |{}",
+                format!("sampling x{}", p.cost / flare_cost),
+                p.cost,
+                p.expected_max_error,
+                bar(p.expected_max_error, max_err, 24)
+            );
+        }
+        println!(
+            "  {:>16} {:>8} {:>16.2}  |{}",
+            "FLARE",
+            curve.flare.cost,
+            curve.flare.expected_max_error,
+            bar(curve.flare.expected_max_error, max_err, 24)
+        );
+        println!(
+            "  {:>16} {:>8} {:>16}",
+            "full datacenter", curve.full_cost, "0.00 (truth)"
+        );
+        println!(
+            "  overhead reduction vs full datacenter: {:.1}x",
+            curve.flare_overhead_reduction()
+        );
+        match curve.sampling_cost_to_match_flare() {
+            Some(c) => println!(
+                "  sampling needs {c} replays ({}x FLARE's cost) to match FLARE's error",
+                c / flare_cost
+            ),
+            None => println!(
+                "  sampling cannot match FLARE's error even at 10x the cost (paper's finding)"
+            ),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 3: configurations of datacenter job instances, plus the latent
+//! profiles this reproduction substitutes for the real benchmarks.
+
+use flare_bench::banner;
+use flare_workloads::{catalog, job::JobName};
+
+fn main() {
+    banner("Job instance configurations", "Table 3");
+    println!("\nHigh Priority (HP) jobs:");
+    for &j in JobName::HIGH_PRIORITY {
+        println!("  {:<4} {}", j.abbrev(), j.config_line());
+    }
+    println!("\nLow Priority (LP) jobs (four copies per 4-vCPU container):");
+    for &j in JobName::LOW_PRIORITY {
+        println!("  {}", j.config_line());
+    }
+
+    println!("\nLatent profiles (substituted for the real binaries; per 4-vCPU instance):");
+    println!(
+        "  {:<12} {:>6} {:>7} {:>8} {:>7} {:>8} {:>8} {:>6}",
+        "job", "MIPS", "WS(MB)", "LLCmpki", "BW", "cpuFrac", "latSens", "smt"
+    );
+    for &j in JobName::ALL {
+        let p = catalog::profile(j);
+        println!(
+            "  {:<12} {:>6.0} {:>7.1} {:>8.2} {:>7.1} {:>8.2} {:>8.2} {:>6.2}",
+            j.abbrev(),
+            p.inherent_mips,
+            p.working_set_mb,
+            p.base_llc_mpki,
+            p.mem_bw_gbps,
+            p.cpu_bound_fraction,
+            p.latency_sensitivity,
+            p.smt_friendliness,
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Table 4: summary of the datacenter-improving features.
+
+use flare_bench::banner;
+use flare_sim::feature::Feature;
+
+fn main() {
+    banner("Datacenter-improving features", "Table 4");
+    println!("\n  {:<10} {}", "Baseline", Feature::Baseline.table4_row());
+    for (i, f) in Feature::paper_features().iter().enumerate() {
+        println!("  Feature {:<2} {}", i + 1, f.table4_row());
+    }
+}

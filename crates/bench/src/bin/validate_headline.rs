@@ -1,0 +1,45 @@
+//! Quick headline validation: FLARE vs sampling vs ground truth for the
+//! three paper features on the full-size corpus.
+
+use flare_baselines::fulldc::full_datacenter_impact;
+use flare_baselines::sampling::{sampling_distribution, SamplingConfig};
+use flare_core::replayer::SimTestbed;
+use flare_core::{Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+
+fn main() {
+    let cfg = CorpusConfig::default();
+    let corpus = Corpus::generate(&cfg);
+    println!("corpus: {} distinct scenarios ({} HP)", corpus.len(), corpus.hp_entries().len());
+    let baseline = cfg.machine_config.clone();
+    let flare = Flare::fit(corpus.clone(), FlareConfig::default()).unwrap();
+    println!("representatives: {}", flare.n_representatives());
+    println!("PCs kept: {}", flare.analyzer().n_pcs());
+    println!("refined metrics: {}", flare.analyzer().refined_schema().len());
+
+    for feature in Feature::paper_features() {
+        let fc = feature.apply(&baseline);
+        let truth = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true);
+        let est = flare.evaluate(&feature).unwrap();
+        let dist = sampling_distribution(
+            &corpus,
+            &SimTestbed,
+            &baseline,
+            &fc,
+            &SamplingConfig { n_samples: 18, trials: 1000, ..Default::default() },
+        )
+        .unwrap();
+        println!(
+            "{}: truth={:.2}% flare={:.2}% (err {:.2}pp) sampling: mean={:.2}% p2.5={:.2}% p97.5={:.2}% maxerr={:.2}pp",
+            feature.label(),
+            truth.impact_pct,
+            est.impact_pct,
+            (est.impact_pct - truth.impact_pct).abs(),
+            dist.summary.mean,
+            dist.summary.p2_5,
+            dist.summary.p97_5,
+            dist.expected_max_error(truth.impact_pct),
+        );
+    }
+}

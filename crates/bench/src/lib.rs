@@ -1,0 +1,85 @@
+//! # flare-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! FLARE paper's evaluation (§3 and §5). Each `fig*`/`tab*` binary prints
+//! the same rows/series the paper reports; `cargo bench` runs Criterion
+//! micro-benchmarks of the computational kernels.
+//!
+//! Run e.g. `cargo run --release -p flare-bench --bin fig12a_alljob_accuracy`.
+
+#![warn(missing_docs)]
+
+use flare_core::{Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::machine::MachineConfig;
+
+/// The standard experimental context every figure binary shares: the
+/// default 8-machine / 7-day corpus and a FLARE instance fitted with the
+/// default (paper-matching) configuration.
+pub struct ExperimentContext {
+    /// The collected scenario corpus.
+    pub corpus: Corpus,
+    /// The baseline machine configuration (Table 4's "Baseline").
+    pub baseline: MachineConfig,
+    /// FLARE fitted on the corpus.
+    pub flare: Flare,
+}
+
+impl ExperimentContext {
+    /// Builds the standard context (deterministic; takes a few seconds).
+    pub fn standard() -> Self {
+        Self::with_corpus_config(&CorpusConfig::default())
+    }
+
+    /// Builds a context over an explicit corpus configuration.
+    pub fn with_corpus_config(cfg: &CorpusConfig) -> Self {
+        let corpus = Corpus::generate(cfg);
+        let baseline = cfg.machine_config.clone();
+        let flare = Flare::fit(corpus.clone(), FlareConfig::default()).expect("corpus fits");
+        ExperimentContext {
+            corpus,
+            baseline,
+            flare,
+        }
+    }
+}
+
+/// Prints a figure/table header in a consistent style.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(76));
+    println!("{title}");
+    println!("(reproduces {paper_ref})");
+    println!("{}", "=".repeat(76));
+}
+
+/// Formats a float with fixed width for table alignment.
+pub fn f(v: f64) -> String {
+    format!("{v:>8.2}")
+}
+
+/// Renders a crude inline bar for terminal "plots".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round().max(0.0) as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10);
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn formatter_width() {
+        assert_eq!(f(1.0).len(), 8);
+    }
+}

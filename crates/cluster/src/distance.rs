@@ -1,0 +1,82 @@
+//! Distance functions over `f64` points.
+
+/// Squared Euclidean distance between two equal-length points.
+///
+/// K-means works in squared distances throughout (the objective is SSE), so
+/// this is the workhorse; take the square root only at the edges.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths; in release
+/// builds the shorter length wins (callers inside this crate always pass
+/// validated points).
+///
+/// # Examples
+///
+/// ```
+/// use flare_cluster::distance::squared_euclidean;
+/// assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+/// ```
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance between mismatched points");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance.
+///
+/// # Examples
+///
+/// ```
+/// use flare_cluster::distance::euclidean;
+/// assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+/// ```
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Index and squared distance of the closest centroid to `point`.
+///
+/// Returns `None` if `centroids` is empty.
+pub fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> Option<(usize, f64)> {
+    centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, squared_euclidean(point, c)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = [1.0, -2.0, 3.5];
+        assert_eq!(squared_euclidean(&p, &p), 0.0);
+        assert_eq!(euclidean(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn known_triangle() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn nearest_picks_minimum() {
+        let cents = vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 2.0]];
+        let (i, d2) = nearest_centroid(&[0.0, 1.5], &cents).unwrap();
+        assert_eq!(i, 2);
+        assert!((d2 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_of_empty_is_none() {
+        assert!(nearest_centroid(&[1.0], &[]).is_none());
+    }
+}

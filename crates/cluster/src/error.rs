@@ -1,0 +1,57 @@
+//! Error types for clustering operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by clustering operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Fewer data points than requested clusters, or an empty dataset.
+    TooFewPoints {
+        /// Number of points available.
+        points: usize,
+        /// Number of clusters requested.
+        k: usize,
+    },
+    /// `k = 0` or another parameter outside its valid range.
+    InvalidParameter(String),
+    /// Points had inconsistent dimensionality.
+    DimensionMismatch(String),
+    /// Data contained NaN or infinity.
+    NonFinite(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewPoints { points, k } => {
+                write!(f, "cannot form {k} clusters from {points} points")
+            }
+            ClusterError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ClusterError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            ClusterError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// Convenience alias for clustering results.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_too_few_points() {
+        let e = ClusterError::TooFewPoints { points: 3, k: 5 };
+        assert_eq!(e.to_string(), "cannot form 5 clusters from 3 points");
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

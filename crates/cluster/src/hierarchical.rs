@@ -1,0 +1,313 @@
+//! Agglomerative hierarchical clustering (Ward linkage).
+//!
+//! The paper notes (§4.4) that K-means is its clustering of choice but that
+//! "alternatives (e.g., hierarchical clustering of [74, 80]) can also be
+//! applied". This module provides that alternative so the ablation bench
+//! can compare the two.
+
+use crate::distance::squared_euclidean;
+use crate::error::{ClusterError, Result};
+use flare_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Ward's minimum-variance criterion (default; matches K-means' SSE
+    /// objective most closely).
+    Ward,
+    /// Minimum pairwise distance between members ("single link").
+    Single,
+    /// Maximum pairwise distance between members ("complete link").
+    Complete,
+    /// Mean pairwise distance between members ("average link", UPGMA).
+    Average,
+}
+
+/// One merge step in the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id (see [`Dendrogram`] id space).
+    pub left: usize,
+    /// Second merged cluster id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of leaves under the merged cluster.
+    pub size: usize,
+}
+
+/// A full agglomeration history.
+///
+/// Cluster ids follow scipy's convention: leaves are `0..n`, the i-th merge
+/// creates cluster `n + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of original observations.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge sequence, in order of increasing linkage distance.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram to produce exactly `k` flat clusters, returning
+    /// an assignment vector with labels in `0..k` (relabeled densely in
+    /// order of first appearance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::TooFewPoints`] if `k > n_leaves` and
+    /// [`ClusterError::InvalidParameter`] if `k == 0`.
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>> {
+        if k == 0 {
+            return Err(ClusterError::InvalidParameter("cut with k = 0".into()));
+        }
+        if k > self.n_leaves {
+            return Err(ClusterError::TooFewPoints {
+                points: self.n_leaves,
+                k,
+            });
+        }
+        // Apply the first n - k merges with a union-find.
+        let mut parent: Vec<usize> = (0..self.n_leaves + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(self.n_leaves - k).enumerate() {
+            let new_id = self.n_leaves + i;
+            let l = find(&mut parent, m.left);
+            let r = find(&mut parent, m.right);
+            parent[l] = new_id;
+            parent[r] = new_id;
+        }
+        // Densely relabel roots.
+        let mut labels = Vec::with_capacity(self.n_leaves);
+        let mut map: Vec<(usize, usize)> = Vec::new();
+        for leaf in 0..self.n_leaves {
+            let root = find(&mut parent, leaf);
+            let label = match map.iter().find(|(r, _)| *r == root) {
+                Some(&(_, l)) => l,
+                None => {
+                    let l = map.len();
+                    map.push((root, l));
+                    l
+                }
+            };
+            labels.push(label);
+        }
+        Ok(labels)
+    }
+}
+
+/// Builds a dendrogram over the rows of `data` with the given linkage.
+///
+/// Uses the O(n³) naive algorithm with a cached distance matrix and
+/// Lance–Williams updates — fine for the ≤1 000-scenario corpora FLARE
+/// handles.
+///
+/// # Errors
+///
+/// - [`ClusterError::TooFewPoints`] if `data` has no rows.
+/// - [`ClusterError::NonFinite`] if `data` contains NaN/∞.
+pub fn agglomerative(data: &Matrix, linkage: Linkage) -> Result<Dendrogram> {
+    let n = data.nrows();
+    if n == 0 {
+        return Err(ClusterError::TooFewPoints { points: 0, k: 1 });
+    }
+    if !data.is_finite() {
+        return Err(ClusterError::NonFinite("agglomerative input".into()));
+    }
+
+    // active[i] = Some(cluster id); dist is a dense symmetric matrix over
+    // *slots* (slot i initially holds leaf i; merged clusters reuse the
+    // lower slot).
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut active: Vec<bool> = vec![true; n];
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = match linkage {
+                // Ward works on squared distances internally.
+                Linkage::Ward => squared_euclidean(data.row(i), data.row(j)) / 2.0,
+                _ => squared_euclidean(data.row(i), data.row(j)).sqrt(),
+            };
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i * n + j];
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let merged_size = sizes[i] + sizes[j];
+        merges.push(Merge {
+            left: cluster_id[i],
+            right: cluster_id[j],
+            distance: if linkage == Linkage::Ward { d.sqrt() } else { d },
+            size: merged_size,
+        });
+
+        // Lance–Williams update of distances from the merged cluster
+        // (stored in slot i) to every other active slot.
+        for m in 0..n {
+            if !active[m] || m == i || m == j {
+                continue;
+            }
+            let dim = dist[i * n + m];
+            let djm = dist[j * n + m];
+            let new = match linkage {
+                Linkage::Single => dim.min(djm),
+                Linkage::Complete => dim.max(djm),
+                Linkage::Average => {
+                    (sizes[i] as f64 * dim + sizes[j] as f64 * djm) / merged_size as f64
+                }
+                Linkage::Ward => {
+                    let si = sizes[i] as f64;
+                    let sj = sizes[j] as f64;
+                    let sm = sizes[m] as f64;
+                    let t = si + sj + sm;
+                    ((si + sm) * dim + (sj + sm) * djm - sm * d) / t
+                }
+            };
+            dist[i * n + m] = new;
+            dist[m * n + i] = new;
+        }
+        active[j] = false;
+        sizes[i] = merged_size;
+        cluster_id[i] = n + step;
+    }
+
+    Ok(Dendrogram {
+        n_leaves: n,
+        merges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.3, 0.1],
+            vec![0.1, 0.2],
+            vec![10.0, 10.0],
+            vec![10.3, 10.1],
+            vec![10.1, 10.2],
+            vec![20.0, 0.0],
+            vec![20.3, 0.1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ward_recovers_blobs_at_k3() {
+        let d = agglomerative(&blobs(), Linkage::Ward).unwrap();
+        let labels = d.cut(3).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[3], labels[5]);
+        assert_eq!(labels[6], labels[7]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[6]);
+        assert_ne!(labels[3], labels[6]);
+    }
+
+    #[test]
+    fn all_linkages_produce_full_dendrogram() {
+        for link in [
+            Linkage::Ward,
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+        ] {
+            let d = agglomerative(&blobs(), link).unwrap();
+            assert_eq!(d.n_leaves(), 8);
+            assert_eq!(d.merges().len(), 7);
+            // Labels for any k are dense 0..k.
+            for k in 1..=8 {
+                let labels = d.cut(k).unwrap();
+                let mut distinct = labels.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                assert_eq!(distinct.len(), k, "linkage {link:?} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_k1_is_single_cluster() {
+        let d = agglomerative(&blobs(), Linkage::Ward).unwrap();
+        let labels = d.cut(1).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn cut_kn_is_all_singletons() {
+        let d = agglomerative(&blobs(), Linkage::Ward).unwrap();
+        let labels = d.cut(8).unwrap();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn single_linkage_merge_distances_nondecreasing() {
+        // Single link has the monotonicity property.
+        let d = agglomerative(&blobs(), Linkage::Single).unwrap();
+        for w in d.merges().windows(2) {
+            assert!(w[1].distance >= w[0].distance - 1e-12);
+        }
+    }
+
+    #[test]
+    fn validates_input() {
+        let empty = Matrix::zeros(0, 2);
+        assert!(agglomerative(&empty, Linkage::Ward).is_err());
+        let nan = Matrix::from_rows(&[vec![f64::NAN]]).unwrap();
+        assert!(agglomerative(&nan, Linkage::Ward).is_err());
+        let d = agglomerative(&blobs(), Linkage::Ward).unwrap();
+        assert!(d.cut(0).is_err());
+        assert!(d.cut(9).is_err());
+    }
+
+    #[test]
+    fn one_point_dendrogram() {
+        let data = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let d = agglomerative(&data, Linkage::Ward).unwrap();
+        assert_eq!(d.merges().len(), 0);
+        assert_eq!(d.cut(1).unwrap(), vec![0]);
+    }
+}

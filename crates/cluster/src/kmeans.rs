@@ -1,0 +1,463 @@
+//! K-means clustering with k-means++ initialization.
+//!
+//! This is the clustering method FLARE's Analyzer uses (§4.4): after PCA
+//! projection and whitening, scenarios are grouped with K-means, and the
+//! scenario nearest each centroid becomes the group's *representative
+//! scenario*.
+
+use crate::distance::{nearest_centroid, squared_euclidean};
+use crate::error::{ClusterError, Result};
+use flare_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a K-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Number of independent k-means++ restarts; the run with the lowest
+    /// SSE wins. More restarts reduce initialization luck.
+    pub restarts: usize,
+    /// Convergence threshold on total centroid movement (squared) between
+    /// iterations.
+    pub tolerance: f64,
+    /// RNG seed: K-means is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A sensible default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 200,
+            restarts: 8,
+            tolerance: 1e-10,
+            seed: 0xF1A7E,
+        }
+    }
+
+    /// Replaces the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the restart count (builder-style).
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+}
+
+/// Result of a K-means clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster centroids (k points of the input dimensionality).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Sum of squared errors (the K-means objective) of the final model.
+    pub sse: f64,
+    /// Lloyd iterations used by the winning restart.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Builds a clustering result from an externally produced assignment
+    /// (e.g. a hierarchical-dendrogram cut): centroids are member means
+    /// and SSE is computed against them. This lets alternative algorithms
+    /// reuse every representative-extraction helper on this type.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusterError::DimensionMismatch`] if `assignments.len() !=
+    ///   data.nrows()`.
+    /// - [`ClusterError::InvalidParameter`] if an assignment is `>= k`.
+    pub fn from_assignments(data: &Matrix, assignments: Vec<usize>, k: usize) -> Result<Self> {
+        if assignments.len() != data.nrows() {
+            return Err(ClusterError::DimensionMismatch(format!(
+                "{} assignments for {} points",
+                assignments.len(),
+                data.nrows()
+            )));
+        }
+        if let Some(&bad) = assignments.iter().find(|&&a| a >= k) {
+            return Err(ClusterError::InvalidParameter(format!(
+                "assignment {bad} out of range for k={k}"
+            )));
+        }
+        let centroids = crate::sweep::centroids_of(data, &assignments, k);
+        let sse = compute_sse(data, &centroids, &assignments);
+        Ok(KMeansResult {
+            centroids,
+            assignments,
+            sse,
+            iterations: 0,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cluster sizes (number of member points per cluster).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Cluster weights: size / total, the weighting FLARE uses to aggregate
+    /// representative impacts (§4.5).
+    pub fn cluster_weights(&self) -> Vec<f64> {
+        let n = self.assignments.len() as f64;
+        self.cluster_sizes()
+            .into_iter()
+            .map(|s| s as f64 / n)
+            .collect()
+    }
+
+    /// Indices of the member points of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// Row indices of each cluster's members sorted by ascending distance
+    /// to that cluster's centroid.
+    ///
+    /// `ranked[c][0]` is the *representative scenario* of cluster `c`; the
+    /// rest are the "next nearest" fallbacks FLARE's per-job estimation
+    /// walks when the representative lacks the job of interest (§5.3).
+    pub fn members_by_centroid_distance(&self, data: &Matrix) -> Vec<Vec<usize>> {
+        let mut ranked: Vec<Vec<usize>> = vec![Vec::new(); self.centroids.len()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            ranked[a].push(i);
+        }
+        for (c, members) in ranked.iter_mut().enumerate() {
+            members.sort_by(|&x, &y| {
+                let dx = squared_euclidean(data.row(x), &self.centroids[c]);
+                let dy = squared_euclidean(data.row(y), &self.centroids[c]);
+                dx.partial_cmp(&dy).expect("finite distances")
+            });
+        }
+        ranked
+    }
+
+    /// The representative row index of each cluster (nearest to centroid).
+    /// Empty clusters yield no entry, so use with `cluster_sizes` when k was
+    /// larger than the number of distinct points.
+    pub fn representatives(&self, data: &Matrix) -> Vec<Option<usize>> {
+        self.members_by_centroid_distance(data)
+            .into_iter()
+            .map(|m| m.first().copied())
+            .collect()
+    }
+}
+
+/// Runs K-means on the rows of `data`.
+///
+/// # Errors
+///
+/// - [`ClusterError::InvalidParameter`] if `config.k == 0` or
+///   `config.max_iters == 0`.
+/// - [`ClusterError::TooFewPoints`] if `data.nrows() < config.k`.
+/// - [`ClusterError::NonFinite`] if `data` contains NaN/∞.
+///
+/// # Examples
+///
+/// ```
+/// use flare_cluster::kmeans::{kmeans, KMeansConfig};
+/// use flare_linalg::Matrix;
+///
+/// let data = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 10.0],
+/// ]).unwrap();
+/// let result = kmeans(&data, &KMeansConfig::new(2)).unwrap();
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[2]);
+/// ```
+pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
+    validate(data, config)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<KMeansResult> = None;
+    for _ in 0..config.restarts.max(1) {
+        let run = lloyd(data, config, &mut rng);
+        match &best {
+            Some(b) if b.sse <= run.sse => {}
+            _ => best = Some(run),
+        }
+    }
+    Ok(best.expect("at least one restart"))
+}
+
+fn validate(data: &Matrix, config: &KMeansConfig) -> Result<()> {
+    if config.k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be >= 1".into()));
+    }
+    if config.max_iters == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "max_iters must be >= 1".into(),
+        ));
+    }
+    if data.nrows() < config.k {
+        return Err(ClusterError::TooFewPoints {
+            points: data.nrows(),
+            k: config.k,
+        });
+    }
+    if !data.is_finite() {
+        return Err(ClusterError::NonFinite("kmeans input".into()));
+    }
+    Ok(())
+}
+
+/// One restart: k-means++ seeding followed by Lloyd iterations.
+fn lloyd(data: &Matrix, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResult {
+    let mut centroids = kmeans_pp_init(data, config.k, rng);
+    let n = data.nrows();
+    let d = data.ncols();
+    let mut assignments = vec![0usize; n];
+
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, a) in assignments.iter_mut().enumerate() {
+            *a = nearest_centroid(data.row(i), &centroids)
+                .expect("k >= 1 centroids")
+                .0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; d]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed it at the point farthest from its
+                // nearest centroid, the standard fix that keeps k constant.
+                let far = (0..n)
+                    .max_by(|&x, &y| {
+                        let dx = nearest_centroid(data.row(x), &centroids).expect("nonempty").1;
+                        let dy = nearest_centroid(data.row(y), &centroids).expect("nonempty").1;
+                        dx.partial_cmp(&dy).expect("finite")
+                    })
+                    .expect("n >= k >= 1");
+                movement += squared_euclidean(&centroids[c], data.row(far));
+                centroids[c] = data.row(far).to_vec();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += squared_euclidean(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids.
+    for (i, a) in assignments.iter_mut().enumerate() {
+        *a = nearest_centroid(data.row(i), &centroids)
+            .expect("k >= 1 centroids")
+            .0;
+    }
+    let sse = compute_sse(data, &centroids, &assignments);
+    KMeansResult {
+        centroids,
+        assignments,
+        sse,
+        iterations,
+    }
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent centroids sampled
+/// proportionally to squared distance from the nearest chosen centroid.
+fn kmeans_pp_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = data.nrows();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data.row(rng.gen_range(0..n)).to_vec());
+
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| squared_euclidean(data.row(i), &centroids[0]))
+        .collect();
+
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.push(data.row(next).to_vec());
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let nd = squared_euclidean(data.row(i), centroids.last().expect("just pushed"));
+            if nd < *slot {
+                *slot = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Sum of squared distances from each point to its assigned centroid.
+pub fn compute_sse(data: &Matrix, centroids: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| squared_euclidean(data.row(i), &centroids[a]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs of 10 points each.
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        let centers = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)];
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for p in 0..10 {
+                let dx = (p as f64 * 0.37 + ci as f64).sin() * 0.5;
+                let dy = (p as f64 * 0.71 + ci as f64).cos() * 0.5;
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs();
+        let r = kmeans(&data, &KMeansConfig::new(3)).unwrap();
+        let sizes = r.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 30);
+        assert!(sizes.iter().all(|&s| s == 10), "sizes {sizes:?}");
+        // Points within a blob share an assignment.
+        for blob in 0..3 {
+            let first = r.assignments[blob * 10];
+            assert!(r.assignments[blob * 10..(blob + 1) * 10]
+                .iter()
+                .all(|&a| a == first));
+        }
+        assert!(r.sse < 30.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let cfg = KMeansConfig::new(3).with_seed(42);
+        let a = kmeans(&data, &cfg).unwrap();
+        let b = kmeans(&data, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let r = kmeans(&data, &KMeansConfig::new(3)).unwrap();
+        assert!(r.sse < 1e-12);
+        let mut sorted = r.assignments.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 4.0]]).unwrap();
+        let r = kmeans(&data, &KMeansConfig::new(1)).unwrap();
+        assert_eq!(r.centroids[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let r = kmeans(&blobs(), &KMeansConfig::new(3)).unwrap();
+        let s: f64 = r.cluster_weights().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representative_is_nearest_to_centroid() {
+        let data = blobs();
+        let r = kmeans(&data, &KMeansConfig::new(3)).unwrap();
+        let ranked = r.members_by_centroid_distance(&data);
+        for (c, members) in ranked.iter().enumerate() {
+            assert_eq!(members.len(), 10);
+            let d0 = squared_euclidean(data.row(members[0]), &r.centroids[c]);
+            for &m in members {
+                assert!(d0 <= squared_euclidean(data.row(m), &r.centroids[c]) + 1e-12);
+            }
+        }
+        let reps = r.representatives(&data);
+        assert!(reps.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(matches!(
+            kmeans(&data, &KMeansConfig::new(0)),
+            Err(ClusterError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            kmeans(&data, &KMeansConfig::new(3)),
+            Err(ClusterError::TooFewPoints { points: 2, k: 3 })
+        ));
+        let nan = Matrix::from_rows(&[vec![f64::NAN], vec![0.0]]).unwrap();
+        assert!(matches!(
+            kmeans(&nan, &KMeansConfig::new(1)),
+            Err(ClusterError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 5]).unwrap();
+        let r = kmeans(&data, &KMeansConfig::new(2)).unwrap();
+        assert!(r.sse < 1e-12);
+        assert_eq!(r.assignments.len(), 5);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_sse() {
+        let data = blobs();
+        let mut prev = f64::INFINITY;
+        for k in 1..=6 {
+            let r = kmeans(&data, &KMeansConfig::new(k).with_restarts(12)).unwrap();
+            assert!(
+                r.sse <= prev + 1e-9,
+                "k={k}: sse {} > previous {prev}",
+                r.sse
+            );
+            prev = r.sse;
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # flare-cluster
+//!
+//! Clustering substrate for the FLARE reproduction: K-means with k-means++
+//! initialization (the paper's method of choice, §4.4), SSE and Silhouette
+//! quality metrics (Fig. 9), cluster-count sweeps with knee detection, and
+//! agglomerative hierarchical clustering (the paper's cited alternative).
+//!
+//! ## Example
+//!
+//! ```
+//! use flare_cluster::kmeans::{kmeans, KMeansConfig};
+//! use flare_cluster::quality::silhouette_score;
+//! use flare_linalg::Matrix;
+//!
+//! let data = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.2, 0.1], vec![9.0, 9.0], vec![9.2, 9.1],
+//! ])?;
+//! let result = kmeans(&data, &KMeansConfig::new(2))?;
+//! let quality = silhouette_score(&data, &result.assignments, 2)?;
+//! assert!(quality > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod distance;
+mod error;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod quality;
+pub mod sweep;
+
+pub use error::{ClusterError, Result};

@@ -1,0 +1,200 @@
+//! Clustering quality metrics: SSE and Silhouette Score.
+//!
+//! The paper (§4.4, Fig. 9) selects the cluster count by inspecting the Sum
+//! of Squared Errors elbow together with the Silhouette Score, because the
+//! scenarios have no ground-truth labels (unsupervised setting).
+
+use crate::distance::squared_euclidean;
+use crate::error::{ClusterError, Result};
+use flare_linalg::Matrix;
+
+/// Mean Silhouette Score over all points, in `[-1, 1]`; higher is better.
+///
+/// For each point: `a` = mean distance to other members of its own cluster,
+/// `b` = lowest mean distance to the members of any other cluster, and the
+/// silhouette is `(b - a) / max(a, b)`. Points in singleton clusters score 0
+/// by convention (Rousseeuw 1987).
+///
+/// # Errors
+///
+/// - [`ClusterError::DimensionMismatch`] if `assignments.len() != data.nrows()`.
+/// - [`ClusterError::InvalidParameter`] if fewer than 2 clusters are
+///   present, or an assignment index is out of range.
+/// - [`ClusterError::TooFewPoints`] if `data` has fewer than 2 rows.
+///
+/// # Examples
+///
+/// ```
+/// use flare_cluster::quality::silhouette_score;
+/// use flare_linalg::Matrix;
+///
+/// let data = Matrix::from_rows(&[
+///     vec![0.0], vec![0.1], vec![10.0], vec![10.1],
+/// ]).unwrap();
+/// let s = silhouette_score(&data, &[0, 0, 1, 1], 2).unwrap();
+/// assert!(s > 0.9);
+/// ```
+pub fn silhouette_score(data: &Matrix, assignments: &[usize], k: usize) -> Result<f64> {
+    let n = data.nrows();
+    if n < 2 {
+        return Err(ClusterError::TooFewPoints { points: n, k });
+    }
+    if assignments.len() != n {
+        return Err(ClusterError::DimensionMismatch(format!(
+            "{} assignments for {n} points",
+            assignments.len()
+        )));
+    }
+    if let Some(&bad) = assignments.iter().find(|&&a| a >= k) {
+        return Err(ClusterError::InvalidParameter(format!(
+            "assignment {bad} out of range for k={k}"
+        )));
+    }
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    let populated = sizes.iter().filter(|&&s| s > 0).count();
+    if populated < 2 {
+        return Err(ClusterError::InvalidParameter(
+            "silhouette requires at least two non-empty clusters".into(),
+        ));
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            // Singleton clusters contribute silhouette 0.
+            continue;
+        }
+        // Mean distance from i to every cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += squared_euclidean(data.row(i), data.row(j)).sqrt();
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Sum of squared errors of an assignment against explicit centroids.
+///
+/// # Errors
+///
+/// - [`ClusterError::DimensionMismatch`] if lengths or dimensionalities
+///   disagree.
+/// - [`ClusterError::InvalidParameter`] if an assignment is out of range.
+pub fn sse(data: &Matrix, centroids: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
+    if assignments.len() != data.nrows() {
+        return Err(ClusterError::DimensionMismatch(format!(
+            "{} assignments for {} points",
+            assignments.len(),
+            data.nrows()
+        )));
+    }
+    for c in centroids {
+        if c.len() != data.ncols() {
+            return Err(ClusterError::DimensionMismatch(format!(
+                "centroid of dim {} for data of dim {}",
+                c.len(),
+                data.ncols()
+            )));
+        }
+    }
+    if let Some(&bad) = assignments.iter().find(|&&a| a >= centroids.len()) {
+        return Err(ClusterError::InvalidParameter(format!(
+            "assignment {bad} out of range for {} centroids",
+            centroids.len()
+        )));
+    }
+    Ok(assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| squared_euclidean(data.row(i), &centroids[a]))
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Matrix, Vec<usize>) {
+        let data = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.3],
+            vec![8.0, 8.0],
+            vec![8.2, 8.1],
+            vec![8.1, 8.3],
+        ])
+        .unwrap();
+        (data, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let (data, asg) = two_blobs();
+        let s = silhouette_score(&data, &asg, 2).unwrap();
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn bad_assignment_scores_low() {
+        let (data, _) = two_blobs();
+        // Deliberately mix the blobs.
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let s = silhouette_score(&data, &bad, 2).unwrap();
+        assert!(s < 0.1, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_bounds() {
+        let (data, asg) = two_blobs();
+        let s = silhouette_score(&data, &asg, 2).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn singleton_cluster_counts_zero() {
+        let data =
+            Matrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0]]).unwrap();
+        let s = silhouette_score(&data, &[0, 0, 1], 2).unwrap();
+        // The singleton contributes 0; the pair contributes ~1 each → ~2/3.
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn silhouette_validates() {
+        let (data, asg) = two_blobs();
+        assert!(silhouette_score(&data, &asg[..5], 2).is_err());
+        assert!(silhouette_score(&data, &[0; 6], 2).is_err()); // single populated cluster
+        assert!(silhouette_score(&data, &[0, 0, 0, 1, 1, 5], 2).is_err());
+    }
+
+    #[test]
+    fn sse_known_value() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        let v = sse(&data, &[vec![1.0]], &[0, 0]).unwrap();
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn sse_validates() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        assert!(sse(&data, &[vec![1.0, 2.0]], &[0, 0]).is_err());
+        assert!(sse(&data, &[vec![1.0]], &[0]).is_err());
+        assert!(sse(&data, &[vec![1.0]], &[0, 1]).is_err());
+    }
+}

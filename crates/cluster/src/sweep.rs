@@ -1,0 +1,271 @@
+//! Cluster-count sweeps: the SSE/Silhouette curves of Fig. 9.
+//!
+//! FLARE selects the number of representative groups by sweeping K and
+//! inspecting where clustering quality stops improving ("pick a point where
+//! the return starts to diminish"). This module automates the sweep and the
+//! knee heuristic.
+
+use crate::error::{ClusterError, Result};
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::quality::silhouette_score;
+use flare_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Quality measurements for one candidate cluster count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Cluster count evaluated.
+    pub k: usize,
+    /// Sum of squared errors of the best K-means run.
+    pub sse: f64,
+    /// Mean silhouette score of the best K-means run.
+    pub silhouette: f64,
+}
+
+/// Result of a full sweep over cluster counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// One measurement per candidate `k`, ascending.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// The sweep point for a specific `k`, if it was evaluated.
+    pub fn point(&self, k: usize) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| p.k == k)
+    }
+
+    /// Knee-of-the-curve heuristic on the SSE series: the evaluated `k`
+    /// maximizing distance from the line connecting the first and last
+    /// sweep points (the standard "elbow" detector).
+    ///
+    /// Returns `None` for sweeps with fewer than 3 points.
+    pub fn knee_k(&self) -> Option<usize> {
+        if self.points.len() < 3 {
+            return None;
+        }
+        let first = &self.points[0];
+        let last = &self.points[self.points.len() - 1];
+        let (x0, y0) = (first.k as f64, first.sse);
+        let (x1, y1) = (last.k as f64, last.sse);
+        let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+        if len <= f64::EPSILON {
+            return Some(first.k);
+        }
+        let mut best = (first.k, -1.0f64);
+        for p in &self.points {
+            // Perpendicular distance from (k, sse) to the chord.
+            let d = ((y1 - y0) * p.k as f64 - (x1 - x0) * p.sse + x1 * y0 - y1 * x0).abs() / len;
+            if d > best.1 {
+                best = (p.k, d);
+            }
+        }
+        Some(best.0)
+    }
+
+    /// The evaluated `k` with the highest silhouette score.
+    pub fn best_silhouette_k(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.silhouette
+                    .partial_cmp(&b.silhouette)
+                    .expect("finite silhouettes")
+            })
+            .map(|p| p.k)
+    }
+
+    /// The paper's selection rule: prefer the knee of the SSE curve, but if
+    /// a nearby `k` (within `tolerance` positions in the sweep) has a
+    /// meaningfully better silhouette, take that instead. This mirrors
+    /// "strike the balance between quality and cost" (Fig. 9 caption).
+    pub fn recommended_k(&self) -> Option<usize> {
+        let knee = self.knee_k()?;
+        let knee_idx = self.points.iter().position(|p| p.k == knee)?;
+        let window = &self.points[knee_idx.saturating_sub(2)..(knee_idx + 3).min(self.points.len())];
+        window
+            .iter()
+            .max_by(|a, b| {
+                a.silhouette
+                    .partial_cmp(&b.silhouette)
+                    .expect("finite silhouettes")
+            })
+            .map(|p| p.k)
+    }
+}
+
+/// Sweeps a hierarchical dendrogram over `ks`, recording SSE and
+/// silhouette for each cut. The dendrogram is built once; each cut is a
+/// cheap union-find pass, so sweeping is much faster than re-running
+/// K-means per `k`.
+///
+/// # Errors
+///
+/// Same parameter rules as [`sweep_kmeans`], plus dendrogram-construction
+/// errors.
+pub fn sweep_hierarchical(
+    data: &Matrix,
+    ks: &[usize],
+    linkage: crate::hierarchical::Linkage,
+) -> Result<SweepResult> {
+    if ks.is_empty() {
+        return Err(ClusterError::InvalidParameter("empty sweep range".into()));
+    }
+    if ks.iter().any(|&k| k < 2) {
+        return Err(ClusterError::InvalidParameter(
+            "sweep requires k >= 2 (silhouette undefined below)".into(),
+        ));
+    }
+    let dendrogram = crate::hierarchical::agglomerative(data, linkage)?;
+    let mut points = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let assignments = dendrogram.cut(k)?;
+        let centroids = centroids_of(data, &assignments, k);
+        let sse = crate::quality::sse(data, &centroids, &assignments)?;
+        let silhouette = silhouette_score(data, &assignments, k)?;
+        points.push(SweepPoint { k, sse, silhouette });
+    }
+    points.sort_by_key(|p| p.k);
+    Ok(SweepResult { points })
+}
+
+/// Mean point of each cluster (empty clusters get the origin — they never
+/// occur for dendrogram cuts, which label densely).
+pub fn centroids_of(data: &Matrix, assignments: &[usize], k: usize) -> Vec<Vec<f64>> {
+    let d = data.ncols();
+    let mut sums = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        counts[a] += 1;
+        for (s, v) in sums[a].iter_mut().zip(data.row(i)) {
+            *s += v;
+        }
+    }
+    for (c, sum) in counts.iter().zip(&mut sums) {
+        if *c > 0 {
+            for s in sum.iter_mut() {
+                *s /= *c as f64;
+            }
+        }
+    }
+    sums
+}
+
+/// Sweeps K-means over `ks`, recording SSE and silhouette for each count.
+///
+/// # Errors
+///
+/// - [`ClusterError::InvalidParameter`] if `ks` is empty or contains a `k < 2`
+///   (silhouette needs ≥ 2 clusters).
+/// - Any error from the underlying K-means or silhouette computation.
+pub fn sweep_kmeans(data: &Matrix, ks: &[usize], base: &KMeansConfig) -> Result<SweepResult> {
+    if ks.is_empty() {
+        return Err(ClusterError::InvalidParameter("empty sweep range".into()));
+    }
+    if ks.iter().any(|&k| k < 2) {
+        return Err(ClusterError::InvalidParameter(
+            "sweep requires k >= 2 (silhouette undefined below)".into(),
+        ));
+    }
+    let mut points = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let mut cfg = base.clone();
+        cfg.k = k;
+        let result = kmeans(data, &cfg)?;
+        let silhouette = silhouette_score(data, &result.assignments, k)?;
+        points.push(SweepPoint {
+            k,
+            sse: result.sse,
+            silhouette,
+        });
+    }
+    points.sort_by_key(|p| p.k);
+    Ok(SweepResult { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Five well-separated blobs.
+    fn blobs5() -> Matrix {
+        let mut rows = Vec::new();
+        let centers = [(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0), (15.0, 60.0)];
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for p in 0..8 {
+                let dx = ((p * 7 + ci) as f64).sin() * 0.8;
+                let dy = ((p * 13 + ci) as f64).cos() * 0.8;
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn sweep_finds_true_cluster_count() {
+        let data = blobs5();
+        let ks: Vec<usize> = (2..=10).collect();
+        let sweep = sweep_kmeans(&data, &ks, &KMeansConfig::new(2).with_restarts(10)).unwrap();
+        assert_eq!(sweep.points.len(), 9);
+        // Silhouette peaks at the true k = 5.
+        assert_eq!(sweep.best_silhouette_k(), Some(5));
+        // SSE decreases monotonically in k.
+        for w in sweep.points.windows(2) {
+            assert!(w[1].sse <= w[0].sse + 1e-6);
+        }
+        // Knee lands at (or adjacent to) the true count.
+        let knee = sweep.knee_k().unwrap();
+        assert!((4..=6).contains(&knee), "knee {knee}");
+        let rec = sweep.recommended_k().unwrap();
+        assert!((4..=6).contains(&rec), "recommended {rec}");
+    }
+
+    #[test]
+    fn hierarchical_sweep_finds_true_cluster_count() {
+        let data = blobs5();
+        let ks: Vec<usize> = (2..=10).collect();
+        let sweep =
+            sweep_hierarchical(&data, &ks, crate::hierarchical::Linkage::Ward).unwrap();
+        assert_eq!(sweep.best_silhouette_k(), Some(5));
+        for w in sweep.points.windows(2) {
+            assert!(w[1].sse <= w[0].sse + 1e-6, "SSE must fall with k");
+        }
+    }
+
+    #[test]
+    fn hierarchical_sweep_validates() {
+        let data = blobs5();
+        assert!(sweep_hierarchical(&data, &[], crate::hierarchical::Linkage::Ward).is_err());
+        assert!(sweep_hierarchical(&data, &[1], crate::hierarchical::Linkage::Ward).is_err());
+    }
+
+    #[test]
+    fn centroids_of_are_member_means() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![10.0]]).unwrap();
+        let c = centroids_of(&data, &[0, 0, 1], 2);
+        assert_eq!(c[0], vec![1.0]);
+        assert_eq!(c[1], vec![10.0]);
+    }
+
+    #[test]
+    fn sweep_validates() {
+        let data = blobs5();
+        assert!(sweep_kmeans(&data, &[], &KMeansConfig::new(2)).is_err());
+        assert!(sweep_kmeans(&data, &[1, 2], &KMeansConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn point_lookup() {
+        let data = blobs5();
+        let sweep = sweep_kmeans(&data, &[2, 4], &KMeansConfig::new(2)).unwrap();
+        assert!(sweep.point(4).is_some());
+        assert!(sweep.point(3).is_none());
+    }
+
+    #[test]
+    fn knee_requires_three_points() {
+        let data = blobs5();
+        let sweep = sweep_kmeans(&data, &[2, 3], &KMeansConfig::new(2)).unwrap();
+        assert_eq!(sweep.knee_k(), None);
+    }
+}

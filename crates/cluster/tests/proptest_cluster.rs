@@ -1,0 +1,103 @@
+//! Property-based tests for the clustering substrate.
+
+use flare_cluster::hierarchical::{agglomerative, Linkage};
+use flare_cluster::kmeans::{compute_sse, kmeans, KMeansConfig};
+use flare_cluster::quality::{silhouette_score, sse};
+use flare_linalg::Matrix;
+use proptest::prelude::*;
+
+fn points(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, d), n..=n)
+        .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_assignments_in_range(data in points(20, 3), k in 1usize..6) {
+        let r = kmeans(&data, &KMeansConfig::new(k)).unwrap();
+        prop_assert_eq!(r.assignments.len(), 20);
+        prop_assert!(r.assignments.iter().all(|&a| a < k));
+        prop_assert_eq!(r.centroids.len(), k);
+    }
+
+    #[test]
+    fn kmeans_sse_matches_reported(data in points(15, 2), k in 1usize..5) {
+        let r = kmeans(&data, &KMeansConfig::new(k)).unwrap();
+        let recomputed = compute_sse(&data, &r.centroids, &r.assignments);
+        prop_assert!((recomputed - r.sse).abs() < 1e-9);
+        let via_quality = sse(&data, &r.centroids, &r.assignments).unwrap();
+        prop_assert!((via_quality - r.sse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kmeans_each_point_assigned_to_nearest_centroid(data in points(12, 2)) {
+        let r = kmeans(&data, &KMeansConfig::new(3)).unwrap();
+        for i in 0..12 {
+            let assigned = r.assignments[i];
+            let d_assigned = flare_cluster::distance::squared_euclidean(
+                data.row(i), &r.centroids[assigned]);
+            for c in &r.centroids {
+                let d = flare_cluster::distance::squared_euclidean(data.row(i), c);
+                prop_assert!(d_assigned <= d + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_weights_partition_unity(data in points(18, 3), k in 1usize..6) {
+        let r = kmeans(&data, &KMeansConfig::new(k)).unwrap();
+        let total: f64 = r.cluster_weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kmeans_deterministic(data in points(10, 2), seed in 0u64..1000) {
+        let cfg = KMeansConfig::new(3).with_seed(seed);
+        let a = kmeans(&data, &cfg).unwrap();
+        let b = kmeans(&data, &cfg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silhouette_bounded(data in points(10, 2)) {
+        let r = kmeans(&data, &KMeansConfig::new(3)).unwrap();
+        // Degenerate draws can collapse to <2 populated clusters; skip those.
+        let populated = r.cluster_sizes().iter().filter(|&&s| s > 0).count();
+        prop_assume!(populated >= 2);
+        let s = silhouette_score(&data, &r.assignments, 3).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn dendrogram_cut_is_consistent_partition(data in points(12, 2), k in 1usize..12) {
+        let d = agglomerative(&data, Linkage::Ward).unwrap();
+        let labels = d.cut(k).unwrap();
+        prop_assert_eq!(labels.len(), 12);
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), k);
+        // Labels are dense 0..k.
+        prop_assert!(labels.iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn dendrogram_cuts_are_nested(data in points(10, 2)) {
+        // A refinement property: merging from k+1 to k only fuses clusters,
+        // never splits them — any pair together at k+1 stays together at k.
+        let d = agglomerative(&data, Linkage::Average).unwrap();
+        for k in 2..=9usize {
+            let coarse = d.cut(k - 1).unwrap();
+            let fine = d.cut(k).unwrap();
+            for i in 0..10 {
+                for j in 0..10 {
+                    if fine[i] == fine[j] {
+                        prop_assert_eq!(coarse[i], coarse[j]);
+                    }
+                }
+            }
+        }
+    }
+}

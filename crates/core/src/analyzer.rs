@@ -1,0 +1,646 @@
+//! The Analyzer: steps 2 and 3 of the FLARE pipeline (Fig. 4).
+//!
+//! Takes the Profiler's metric database and produces the representative
+//! scenario set:
+//!
+//! 1. refinement — prune highly correlated raw metrics (§4.2);
+//! 2. high-level metric construction — z-score + PCA, keep enough PCs for
+//!    the variance target (§4.3, Fig. 7);
+//! 3. representative extraction — whiten the kept PCs, K-means cluster,
+//!    and pick each group's nearest-to-centroid scenario (§4.4, Fig. 9/10).
+
+use crate::config::{ClusterCountRule, ClusterMethod, FlareConfig};
+use crate::error::{FlareError, Result};
+use flare_cluster::hierarchical::agglomerative;
+use flare_cluster::kmeans::{kmeans, KMeansResult};
+use flare_cluster::sweep::{sweep_hierarchical, sweep_kmeans, SweepResult};
+use flare_linalg::pca::Pca;
+use flare_linalg::Matrix;
+use flare_metrics::correlation::{apply_refinement, refine, RefinementReport};
+use flare_metrics::database::{MetricDatabase, ScenarioId};
+use flare_metrics::schema::MetricSchema;
+
+/// A fitted Analyzer: the full state of FLARE steps 1–3.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    refinement: RefinementReport,
+    refined_schema: MetricSchema,
+    pca: Pca,
+    n_pcs: usize,
+    projected: Matrix,
+    scenario_ids: Vec<ScenarioId>,
+    observations: Vec<u32>,
+    clustering: KMeansResult,
+    ranked_members: Vec<Vec<usize>>,
+    sweep: Option<SweepResult>,
+}
+
+impl Analyzer {
+    /// Fits the Analyzer to a metric database.
+    ///
+    /// # Errors
+    ///
+    /// - [`FlareError::InvalidParameter`] if `config` fails validation.
+    /// - [`FlareError::InsufficientData`] if the database has fewer
+    ///   scenarios than the requested cluster count.
+    /// - Propagated refinement/PCA/clustering errors.
+    pub fn fit(db: &MetricDatabase, config: &FlareConfig) -> Result<Self> {
+        config
+            .validate()
+            .map_err(FlareError::InvalidParameter)?;
+        if db.len() < 2 {
+            return Err(FlareError::InsufficientData(format!(
+                "{} scenarios in database",
+                db.len()
+            )));
+        }
+
+        // §5.3 per-job mix columns participate only when augmentation is
+        // requested; otherwise they're stripped before refinement so the
+        // default pipeline clusters on general characteristics only.
+        let db_owned;
+        let db = if config.per_job_augmentation {
+            db
+        } else {
+            let keep = db.schema().non_job_mix_indices();
+            if keep.len() == db.schema().len() {
+                db
+            } else {
+                db_owned = db.project(&keep)?;
+                &db_owned
+            }
+        };
+
+        // Step 1b: refinement (the Profiler collected; we prune).
+        let refinement = refine(db, config.correlation_threshold)?;
+        let refined = apply_refinement(db, &refinement)?;
+
+        // Step 2: high-level metric construction.
+        let data = refined.to_matrix()?;
+        let pca = Pca::fit(&data)?;
+        let n_pcs = pca.components_for_variance(config.variance_threshold)?;
+        let projected = pca.transform_whitened(&data, n_pcs)?;
+
+        let scenario_ids = refined.scenario_ids();
+        let observations: Vec<u32> = refined.iter().map(|r| r.observations).collect();
+
+        // Step 3: group and extract representatives.
+        let (k, sweep) = match &config.cluster_count {
+            ClusterCountRule::Fixed(k) => (*k, None),
+            ClusterCountRule::Sweep { min_k, max_k, step } => {
+                let ks: Vec<usize> = (*min_k..=*max_k).step_by(*step).collect();
+                let sweep = match config.cluster_method {
+                    ClusterMethod::KMeans => sweep_kmeans(&projected, &ks, &config.kmeans)?,
+                    ClusterMethod::Hierarchical(linkage) => {
+                        sweep_hierarchical(&projected, &ks, linkage)?
+                    }
+                };
+                let k = sweep.recommended_k().ok_or_else(|| {
+                    FlareError::InsufficientData("sweep produced no recommendation".into())
+                })?;
+                (k, Some(sweep))
+            }
+        };
+        if db.len() < k {
+            return Err(FlareError::InsufficientData(format!(
+                "{} scenarios cannot form {k} clusters",
+                db.len()
+            )));
+        }
+        let clustering = match config.cluster_method {
+            ClusterMethod::KMeans => {
+                let mut kconfig = config.kmeans.clone();
+                kconfig.k = k;
+                kmeans(&projected, &kconfig)?
+            }
+            ClusterMethod::Hierarchical(linkage) => {
+                let dendrogram = agglomerative(&projected, linkage)?;
+                let assignments = dendrogram.cut(k)?;
+                KMeansResult::from_assignments(&projected, assignments, k)?
+            }
+        };
+        let ranked_members = match config.representative_rule {
+            crate::config::RepresentativeRule::NearestToCentroid => {
+                clustering.members_by_centroid_distance(&projected)
+            }
+            crate::config::RepresentativeRule::Medoid => {
+                medoid_rankings(&projected, &clustering)
+            }
+        };
+
+        Ok(Analyzer {
+            refinement,
+            refined_schema: refined.schema().clone(),
+            pca,
+            n_pcs,
+            projected,
+            scenario_ids,
+            observations,
+            clustering,
+            ranked_members,
+            sweep,
+        })
+    }
+
+    /// The refinement report (which metrics were pruned and why).
+    pub fn refinement(&self) -> &RefinementReport {
+        &self.refinement
+    }
+
+    /// The post-refinement metric schema the PCA operates on.
+    pub fn refined_schema(&self) -> &MetricSchema {
+        &self.refined_schema
+    }
+
+    /// The fitted PCA model.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Number of principal components kept (18 for the paper's corpus).
+    pub fn n_pcs(&self) -> usize {
+        self.n_pcs
+    }
+
+    /// Whitened PC coordinates (scenarios × kept PCs), row order matching
+    /// [`Analyzer::scenario_ids`].
+    pub fn projected(&self) -> &Matrix {
+        &self.projected
+    }
+
+    /// Scenario ids in row order.
+    pub fn scenario_ids(&self) -> &[ScenarioId] {
+        &self.scenario_ids
+    }
+
+    /// Observation weights in row order.
+    pub fn observations(&self) -> &[u32] {
+        &self.observations
+    }
+
+    /// The K-means clustering over the whitened PC space.
+    pub fn clustering(&self) -> &KMeansResult {
+        &self.clustering
+    }
+
+    /// The sweep curves (present only when the config requested a sweep).
+    pub fn sweep(&self) -> Option<&SweepResult> {
+        self.sweep.as_ref()
+    }
+
+    /// Number of representative groups.
+    pub fn n_clusters(&self) -> usize {
+        self.clustering.k()
+    }
+
+    /// The representative scenario of cluster `c` (nearest to centroid),
+    /// or `None` for an empty cluster.
+    pub fn representative(&self, c: usize) -> Option<ScenarioId> {
+        self.ranked_members
+            .get(c)
+            .and_then(|m| m.first())
+            .map(|&row| self.scenario_ids[row])
+    }
+
+    /// Every cluster's representative, in cluster order (empty clusters
+    /// yield no entry).
+    pub fn representatives(&self) -> Vec<ScenarioId> {
+        (0..self.n_clusters())
+            .filter_map(|c| self.representative(c))
+            .collect()
+    }
+
+    /// All member scenarios of cluster `c` ranked by ascending distance to
+    /// the centroid — `ranked(c)[0]` is the representative; the rest are
+    /// the per-job fallbacks of §5.3.
+    pub fn ranked(&self, c: usize) -> Vec<ScenarioId> {
+        self.ranked_members
+            .get(c)
+            .map(|m| m.iter().map(|&row| self.scenario_ids[row]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Cluster assignment of a scenario, if it was in the fitted corpus.
+    pub fn cluster_of(&self, id: ScenarioId) -> Option<usize> {
+        self.scenario_ids
+            .iter()
+            .position(|&s| s == id)
+            .map(|row| self.clustering.assignments[row])
+    }
+
+    /// Cluster weights: the share of the corpus each group represents,
+    /// counted by observations (paper default) or scenarios, per
+    /// `weight_by_observations` at fit time. Computed fresh from a flag so
+    /// callers can inspect both.
+    pub fn cluster_weights(&self, by_observations: bool) -> Vec<f64> {
+        let k = self.n_clusters();
+        let mut weights = vec![0.0; k];
+        let mut total = 0.0;
+        for (row, &c) in self.clustering.assignments.iter().enumerate() {
+            let w = if by_observations {
+                self.observations[row] as f64
+            } else {
+                1.0
+            };
+            weights[c] += w;
+            total += w;
+        }
+        if total > 0.0 {
+            for w in &mut weights {
+                *w /= total;
+            }
+        }
+        weights
+    }
+
+    /// Per-cluster mean and standard deviation of each kept PC — the radar
+    /// plot data of Fig. 10.
+    pub fn cluster_pc_profile(&self, c: usize) -> Option<ClusterPcProfile> {
+        let members = self.ranked_members.get(c)?;
+        if members.is_empty() {
+            return None;
+        }
+        let d = self.n_pcs;
+        let mut mean = vec![0.0; d];
+        for &row in members {
+            for (m, v) in mean.iter_mut().zip(self.projected.row(row)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= members.len() as f64;
+        }
+        let mut std = vec![0.0; d];
+        for &row in members {
+            for (s, (v, m)) in std.iter_mut().zip(self.projected.row(row).iter().zip(&mean)) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / members.len() as f64).sqrt();
+        }
+        Some(ClusterPcProfile {
+            cluster: c,
+            mean,
+            std_dev: std,
+            size: members.len(),
+        })
+    }
+}
+
+/// Ranks each cluster's members by ascending total distance to the other
+/// members: `ranked[c][0]` is the medoid.
+fn medoid_rankings(data: &Matrix, clustering: &KMeansResult) -> Vec<Vec<usize>> {
+    use flare_cluster::distance::euclidean;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); clustering.k()];
+    for (row, &c) in clustering.assignments.iter().enumerate() {
+        members[c].push(row);
+    }
+    for group in &mut members {
+        let totals: Vec<f64> = group
+            .iter()
+            .map(|&i| {
+                group
+                    .iter()
+                    .map(|&j| euclidean(data.row(i), data.row(j)))
+                    .sum()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..group.len()).collect();
+        order.sort_by(|&a, &b| totals[a].partial_cmp(&totals[b]).expect("finite"));
+        *group = order.iter().map(|&pos| group[pos]).collect();
+    }
+    members
+}
+
+/// A serializable snapshot of a fitted [`Analyzer`] — persist the result
+/// of the (one-time) extraction and reuse it across evaluation sessions
+/// without re-fitting.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AnalyzerSnapshot {
+    /// Refinement outcome.
+    pub refinement: RefinementReport,
+    /// Post-refinement schema.
+    pub refined_schema: MetricSchema,
+    /// PCA state.
+    pub pca: flare_linalg::pca::PcaSnapshot,
+    /// Number of kept PCs.
+    pub n_pcs: usize,
+    /// Whitened PC coordinates.
+    pub projected: Matrix,
+    /// Scenario ids in row order.
+    pub scenario_ids: Vec<ScenarioId>,
+    /// Observation weights in row order.
+    pub observations: Vec<u32>,
+    /// The clustering.
+    pub clustering: KMeansResult,
+    /// Per-cluster centroid-distance rankings.
+    pub ranked_members: Vec<Vec<usize>>,
+    /// Sweep curves, if a sweep ran.
+    pub sweep: Option<SweepResult>,
+}
+
+impl Analyzer {
+    /// Captures the fitted state for persistence.
+    pub fn to_snapshot(&self) -> AnalyzerSnapshot {
+        AnalyzerSnapshot {
+            refinement: self.refinement.clone(),
+            refined_schema: self.refined_schema.clone(),
+            pca: flare_linalg::pca::PcaSnapshot::from(&self.pca),
+            n_pcs: self.n_pcs,
+            projected: self.projected.clone(),
+            scenario_ids: self.scenario_ids.clone(),
+            observations: self.observations.clone(),
+            clustering: self.clustering.clone(),
+            ranked_members: self.ranked_members.clone(),
+            sweep: self.sweep.clone(),
+        }
+    }
+
+    /// Restores a fitted analyzer from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlareError::InvalidParameter`] if the snapshot's internal
+    /// dimensions disagree (e.g. a hand-edited file).
+    pub fn from_snapshot(snapshot: AnalyzerSnapshot) -> Result<Self> {
+        let pca = flare_linalg::pca::Pca::try_from(&snapshot.pca)?;
+        let n = snapshot.scenario_ids.len();
+        if snapshot.projected.nrows() != n
+            || snapshot.observations.len() != n
+            || snapshot.clustering.assignments.len() != n
+        {
+            return Err(FlareError::InvalidParameter(format!(
+                "inconsistent snapshot: {} ids, {} rows, {} observations, {} assignments",
+                n,
+                snapshot.projected.nrows(),
+                snapshot.observations.len(),
+                snapshot.clustering.assignments.len()
+            )));
+        }
+        if snapshot.ranked_members.len() != snapshot.clustering.k() {
+            return Err(FlareError::InvalidParameter(
+                "inconsistent snapshot: rankings do not match cluster count".into(),
+            ));
+        }
+        Ok(Analyzer {
+            refinement: snapshot.refinement,
+            refined_schema: snapshot.refined_schema,
+            pca,
+            n_pcs: snapshot.n_pcs,
+            projected: snapshot.projected,
+            scenario_ids: snapshot.scenario_ids,
+            observations: snapshot.observations,
+            clustering: snapshot.clustering,
+            ranked_members: snapshot.ranked_members,
+            sweep: snapshot.sweep,
+        })
+    }
+}
+
+/// Mean ± standard deviation of a cluster's members in kept-PC space
+/// (one radar plot of Fig. 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPcProfile {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Per-PC mean of the member scenarios.
+    pub mean: Vec<f64>,
+    /// Per-PC standard deviation of the member scenarios.
+    pub std_dev: Vec<f64>,
+    /// Member count.
+    pub size: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_metrics::database::ScenarioRecord;
+    use flare_metrics::schema::MetricSchema;
+
+    /// A synthetic database with three planted behaviour groups so the
+    /// pipeline has real structure to find.
+    fn planted_db(n_per_group: usize) -> MetricDatabase {
+        let schema = MetricSchema::canonical();
+        let d = schema.len();
+        let mut db = MetricDatabase::new(schema);
+        let group_bases: [f64; 3] = [10.0, 200.0, 3000.0];
+        let mut id = 0u32;
+        for (g, &base) in group_bases.iter().enumerate() {
+            for i in 0..n_per_group {
+                let metrics: Vec<f64> = (0..d)
+                    .map(|j| {
+                        let wiggle = ((id as f64 * 13.7 + j as f64 * 7.3).sin()) * base * 0.02;
+                        base * (1.0 + (j % 5) as f64 * 0.1) + wiggle
+                    })
+                    .collect();
+                db.insert(ScenarioRecord {
+                    id: ScenarioId(id),
+                    metrics,
+                    observations: (g + 1) as u32, // group weights differ
+                    job_mix: vec![("DC".into(), (g as u32) + 1)],
+                })
+                .unwrap();
+                id += 1;
+                let _ = i;
+            }
+        }
+        db
+    }
+
+    fn fixed_config(k: usize) -> FlareConfig {
+        FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(k),
+            ..FlareConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_recovers_planted_groups() {
+        let db = planted_db(10);
+        let a = Analyzer::fit(&db, &fixed_config(3)).unwrap();
+        assert_eq!(a.n_clusters(), 3);
+        // All members of a planted group share a cluster.
+        for g in 0..3 {
+            let rows: Vec<usize> = (g * 10..(g + 1) * 10).collect();
+            let first = a.clustering().assignments[rows[0]];
+            assert!(rows.iter().all(|&r| a.clustering().assignments[r] == first));
+        }
+        // Representatives exist and belong to the corpus.
+        let reps = a.representatives();
+        assert_eq!(reps.len(), 3);
+        for r in reps {
+            assert!(a.cluster_of(r).is_some());
+        }
+    }
+
+    #[test]
+    fn refinement_prunes_derived_metrics() {
+        let db = planted_db(10);
+        let a = Analyzer::fit(&db, &fixed_config(3)).unwrap();
+        assert!(
+            a.refinement().dropped_count() > 0,
+            "canonical schema has planted redundancy to prune"
+        );
+        // Default pipeline strips the JobMix columns before refinement.
+        assert_eq!(
+            a.refined_schema().len() + a.refinement().dropped_count(),
+            db.schema().non_job_mix_indices().len()
+        );
+    }
+
+    #[test]
+    fn weights_reflect_observations() {
+        let db = planted_db(10);
+        let a = Analyzer::fit(&db, &fixed_config(3)).unwrap();
+        let by_obs = a.cluster_weights(true);
+        let by_count = a.cluster_weights(false);
+        assert!((by_obs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((by_count.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Observation weights differ from scenario-count weights because
+        // groups carry different observation multiplicities (1, 2, 3).
+        assert!(by_obs
+            .iter()
+            .zip(&by_count)
+            .any(|(a, b)| (a - b).abs() > 0.05));
+        // Scenario-count weights are uniform for equal group sizes.
+        assert!(by_count.iter().all(|&w| (w - 1.0 / 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn ranked_members_start_with_representative() {
+        let db = planted_db(8);
+        let a = Analyzer::fit(&db, &fixed_config(3)).unwrap();
+        for c in 0..3 {
+            let ranked = a.ranked(c);
+            assert!(!ranked.is_empty());
+            assert_eq!(Some(ranked[0]), a.representative(c));
+        }
+    }
+
+    #[test]
+    fn pc_profile_shapes() {
+        let db = planted_db(8);
+        let a = Analyzer::fit(&db, &fixed_config(3)).unwrap();
+        for c in 0..3 {
+            let p = a.cluster_pc_profile(c).unwrap();
+            assert_eq!(p.mean.len(), a.n_pcs());
+            assert_eq!(p.std_dev.len(), a.n_pcs());
+            assert_eq!(p.size, 8);
+            assert!(p.std_dev.iter().all(|&s| s >= 0.0));
+        }
+        assert!(a.cluster_pc_profile(99).is_none());
+    }
+
+    #[test]
+    fn sweep_rule_picks_reasonable_k() {
+        let db = planted_db(12);
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Sweep {
+                min_k: 2,
+                max_k: 8,
+                step: 1,
+            },
+            ..FlareConfig::default()
+        };
+        let a = Analyzer::fit(&db, &cfg).unwrap();
+        assert!(a.sweep().is_some());
+        assert!(
+            (2..=8).contains(&a.n_clusters()),
+            "picked k = {}",
+            a.n_clusters()
+        );
+    }
+
+    #[test]
+    fn hierarchical_method_recovers_planted_groups() {
+        use crate::config::ClusterMethod;
+        use flare_cluster::hierarchical::Linkage;
+        let db = planted_db(10);
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(3),
+            cluster_method: ClusterMethod::Hierarchical(Linkage::Ward),
+            ..FlareConfig::default()
+        };
+        let a = Analyzer::fit(&db, &cfg).unwrap();
+        assert_eq!(a.n_clusters(), 3);
+        for g in 0..3 {
+            let rows: Vec<usize> = (g * 10..(g + 1) * 10).collect();
+            let first = a.clustering().assignments[rows[0]];
+            assert!(rows.iter().all(|&r| a.clustering().assignments[r] == first));
+        }
+        // Representatives come out of the same helpers as the K-means path.
+        assert_eq!(a.representatives().len(), 3);
+    }
+
+    #[test]
+    fn hierarchical_sweep_rule_works() {
+        use crate::config::ClusterMethod;
+        use flare_cluster::hierarchical::Linkage;
+        let db = planted_db(12);
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Sweep {
+                min_k: 2,
+                max_k: 8,
+                step: 1,
+            },
+            cluster_method: ClusterMethod::Hierarchical(Linkage::Average),
+            ..FlareConfig::default()
+        };
+        let a = Analyzer::fit(&db, &cfg).unwrap();
+        assert!(a.sweep().is_some());
+        assert!((2..=8).contains(&a.n_clusters()));
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let db = planted_db(1); // 3 scenarios
+        assert!(Analyzer::fit(&db, &fixed_config(10)).is_err());
+        let mut bad = FlareConfig::default();
+        bad.variance_threshold = 2.0;
+        assert!(matches!(
+            Analyzer::fit(&planted_db(5), &bad),
+            Err(FlareError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn medoid_rule_selects_total_distance_minimizer() {
+        use crate::config::RepresentativeRule;
+        let db = planted_db(10);
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(3),
+            representative_rule: RepresentativeRule::Medoid,
+            ..FlareConfig::default()
+        };
+        let a = Analyzer::fit(&db, &cfg).unwrap();
+        // The medoid minimizes total intra-cluster distance: verify per
+        // cluster against a brute-force check.
+        use flare_cluster::distance::euclidean;
+        for c in 0..3 {
+            let ranked = a.ranked(c);
+            let rows: Vec<usize> = ranked
+                .iter()
+                .map(|id| a.scenario_ids().iter().position(|s| s == id).unwrap())
+                .collect();
+            let total = |i: usize| -> f64 {
+                rows.iter()
+                    .map(|&j| euclidean(a.projected().row(i), a.projected().row(j)))
+                    .sum()
+            };
+            let medoid_total = total(rows[0]);
+            for &r in &rows {
+                assert!(medoid_total <= total(r) + 1e-9);
+            }
+        }
+        // Estimates still work with the medoid rule.
+        assert_eq!(a.representatives().len(), 3);
+    }
+
+    #[test]
+    fn cluster_of_unknown_scenario_is_none() {
+        let db = planted_db(5);
+        let a = Analyzer::fit(&db, &fixed_config(3)).unwrap();
+        assert!(a.cluster_of(ScenarioId(9999)).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Configuration of the FLARE pipeline.
+
+use flare_cluster::hierarchical::Linkage;
+use flare_cluster::kmeans::KMeansConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which clustering algorithm groups the scenarios (§4.4: "we use K-means
+/// clustering ... but alternatives (e.g., hierarchical clustering) can
+/// also be applied").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterMethod {
+    /// K-means with k-means++ initialization (the paper's default).
+    KMeans,
+    /// Agglomerative hierarchical clustering cut at the chosen count.
+    Hierarchical(Linkage),
+}
+
+/// How the representative scenario of each group is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RepresentativeRule {
+    /// The scenario nearest the cluster centroid (the paper's rule, §4.4).
+    #[default]
+    NearestToCentroid,
+    /// The cluster medoid: the member minimizing total distance to all
+    /// other members. More robust when a cluster is elongated or skewed
+    /// (the centroid can sit in a low-density region).
+    Medoid,
+}
+
+/// How the Analyzer chooses the number of representative groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterCountRule {
+    /// Use a fixed cluster count (the paper settles on 18 for its
+    /// environment after inspecting Fig. 9).
+    Fixed(usize),
+    /// Sweep candidate counts and apply the SSE-knee + silhouette rule of
+    /// §4.4 automatically.
+    Sweep {
+        /// Minimum candidate count (inclusive, ≥ 2).
+        min_k: usize,
+        /// Maximum candidate count (inclusive).
+        max_k: usize,
+        /// Step between candidates.
+        step: usize,
+    },
+}
+
+/// All tunables of the four-step FLARE pipeline (Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlareConfig {
+    /// |Pearson| threshold above which a raw metric is pruned as redundant
+    /// during refinement (§4.2).
+    pub correlation_threshold: f64,
+    /// Cumulative explained-variance target for choosing the number of
+    /// principal components (§4.3; the paper uses 0.95 → 18 PCs).
+    pub variance_threshold: f64,
+    /// Cluster-count selection rule (§4.4).
+    pub cluster_count: ClusterCountRule,
+    /// Clustering algorithm (§4.4).
+    pub cluster_method: ClusterMethod,
+    /// Representative-selection rule within each group.
+    pub representative_rule: RepresentativeRule,
+    /// K-means settings (restarts, iteration budget, seed); ignored when
+    /// `cluster_method` is hierarchical.
+    pub kmeans: KMeansConfig,
+    /// Weight clusters by summed observation counts (`true`, the paper's
+    /// "likelihood to observe a scenario") or by scenario counts (`false`).
+    pub weight_by_observations: bool,
+    /// §5.3 per-job augmentation: keep the per-job colocation-mix columns
+    /// (`INSTANCES-*`) in the clustered feature space. The paper predicts
+    /// this improves per-job estimates but warns it "would increase the
+    /// dimension of the feature space and may deteriorate the clustering
+    /// quality" — hence off by default.
+    pub per_job_augmentation: bool,
+    /// §4.1 temporal enrichment: profile each scenario over this many
+    /// load phases and record mean **and** std-dev per metric. `None`
+    /// (default) collects averages only, as the paper's main evaluation
+    /// does.
+    pub temporal_phases: Option<usize>,
+}
+
+impl Default for FlareConfig {
+    fn default() -> Self {
+        FlareConfig {
+            correlation_threshold: 0.98,
+            variance_threshold: 0.95,
+            cluster_count: ClusterCountRule::Fixed(18),
+            cluster_method: ClusterMethod::KMeans,
+            representative_rule: RepresentativeRule::NearestToCentroid,
+            kmeans: KMeansConfig::new(18).with_restarts(32),
+            weight_by_observations: true,
+            per_job_augmentation: false,
+            temporal_phases: None,
+        }
+    }
+}
+
+impl FlareConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.correlation_threshold > 0.0 && self.correlation_threshold <= 1.0) {
+            return Err(format!(
+                "correlation_threshold {} outside (0, 1]",
+                self.correlation_threshold
+            ));
+        }
+        if !(self.variance_threshold > 0.0 && self.variance_threshold <= 1.0) {
+            return Err(format!(
+                "variance_threshold {} outside (0, 1]",
+                self.variance_threshold
+            ));
+        }
+        if self.temporal_phases == Some(0) {
+            return Err("temporal_phases must be >= 1 when enabled".into());
+        }
+        match &self.cluster_count {
+            ClusterCountRule::Fixed(k) if *k == 0 => {
+                return Err("fixed cluster count must be >= 1".into())
+            }
+            ClusterCountRule::Sweep { min_k, max_k, step } => {
+                if *min_k < 2 {
+                    return Err("sweep min_k must be >= 2".into());
+                }
+                if max_k < min_k {
+                    return Err("sweep max_k must be >= min_k".into());
+                }
+                if *step == 0 {
+                    return Err("sweep step must be >= 1".into());
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = FlareConfig::default();
+        assert_eq!(c.correlation_threshold, 0.98);
+        assert_eq!(c.variance_threshold, 0.95);
+        assert_eq!(c.cluster_count, ClusterCountRule::Fixed(18));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = FlareConfig::default();
+        c.correlation_threshold = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = FlareConfig::default();
+        c.variance_threshold = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = FlareConfig::default();
+        c.cluster_count = ClusterCountRule::Fixed(0);
+        assert!(c.validate().is_err());
+
+        let mut c = FlareConfig::default();
+        c.cluster_count = ClusterCountRule::Sweep {
+            min_k: 1,
+            max_k: 10,
+            step: 1,
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = FlareConfig::default();
+        c.cluster_count = ClusterCountRule::Sweep {
+            min_k: 5,
+            max_k: 3,
+            step: 1,
+        };
+        assert!(c.validate().is_err());
+    }
+}

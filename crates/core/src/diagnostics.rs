@@ -1,0 +1,307 @@
+//! Extraction self-diagnosis: how much can the representative set be
+//! trusted *without* running the full-datacenter ground truth?
+//!
+//! FLARE's estimate is exact when every scenario in a cluster responds to
+//! the feature like its representative does. The natural self-check —
+//! affordable because it needs only a few extra replays — is to measure
+//! the *within-cluster impact dispersion*: replay the representative plus
+//! a few additional members per cluster and see how far they spread. The
+//! weighted dispersion bounds the estimation error the clustering can
+//! introduce, answering the adopter's question "are 18 groups enough for
+//! *my* corpus?" (the §5.4 fixed-cost claim, made checkable).
+
+use crate::analyzer::Analyzer;
+use crate::error::{FlareError, Result};
+use crate::replayer::{replay_impact, Testbed};
+use flare_sim::datacenter::Corpus;
+use flare_sim::machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Dispersion measurement of one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterDispersion {
+    /// Cluster index.
+    pub cluster: usize,
+    /// The representative's measured impact, %.
+    pub representative_impact: f64,
+    /// Impacts of the additionally sampled members, %.
+    pub member_impacts: Vec<f64>,
+    /// Cluster weight in the corpus.
+    pub weight: f64,
+}
+
+impl ClusterDispersion {
+    /// Mean of all measured impacts in this cluster (representative +
+    /// sampled members).
+    pub fn mean_impact(&self) -> f64 {
+        let n = 1 + self.member_impacts.len();
+        (self.representative_impact + self.member_impacts.iter().sum::<f64>()) / n as f64
+    }
+
+    /// Standard deviation of the measured impacts (0 when only the
+    /// representative was measurable).
+    pub fn std_dev(&self) -> f64 {
+        let mut all = vec![self.representative_impact];
+        all.extend_from_slice(&self.member_impacts);
+        flare_linalg::stats::std_dev(&all)
+    }
+
+    /// |representative − sampled-member mean|: the bias the
+    /// representative introduces for this cluster, in pp.
+    pub fn representative_bias(&self) -> f64 {
+        if self.member_impacts.is_empty() {
+            return 0.0;
+        }
+        let member_mean =
+            self.member_impacts.iter().sum::<f64>() / self.member_impacts.len() as f64;
+        (self.representative_impact - member_mean).abs()
+    }
+}
+
+/// The full self-diagnosis report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionDiagnosis {
+    /// Per-cluster dispersions.
+    pub clusters: Vec<ClusterDispersion>,
+    /// Weighted mean within-cluster standard deviation, pp — the noise
+    /// floor the clustering imposes on any estimate.
+    pub weighted_dispersion: f64,
+    /// Weighted mean |representative − members| bias, pp — a direct,
+    /// ground-truth-free bound on the estimate's clustering error.
+    pub weighted_bias_bound: f64,
+    /// Extra scenario replays the diagnosis cost (beyond the estimate's).
+    pub extra_replays: usize,
+}
+
+impl ExtractionDiagnosis {
+    /// `true` if the weighted bias bound is below `tolerance_pp` — the
+    /// extraction is trustworthy for features of this kind at that
+    /// tolerance.
+    pub fn is_trustworthy(&self, tolerance_pp: f64) -> bool {
+        self.weighted_bias_bound <= tolerance_pp
+    }
+}
+
+/// Runs the self-diagnosis for one feature: per cluster, replays the
+/// representative and up to `samples_per_cluster` additional random
+/// members, then aggregates dispersion and bias.
+///
+/// Cost: at most `k × (1 + samples_per_cluster)` replays — e.g. 18 × 3 =
+/// 54, still ~17× cheaper than the full datacenter.
+///
+/// # Errors
+///
+/// Returns [`FlareError::InsufficientData`] if no cluster yields a
+/// measurable representative.
+#[allow(clippy::too_many_arguments)]
+pub fn diagnose_extraction<T: Testbed>(
+    corpus: &Corpus,
+    analyzer: &Analyzer,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    samples_per_cluster: usize,
+    seed: u64,
+    weight_by_observations: bool,
+) -> Result<ExtractionDiagnosis> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = analyzer.cluster_weights(weight_by_observations);
+    let mut clusters = Vec::new();
+    let mut extra_replays = 0usize;
+
+    for c in 0..analyzer.n_clusters() {
+        let ranked = analyzer.ranked(c);
+        // Representative = first HP-measurable member.
+        let mut rep_impact = None;
+        let mut rep_pos = 0;
+        for (pos, id) in ranked.iter().enumerate() {
+            let entry = match corpus.get(*id) {
+                Some(e) => e,
+                None => continue,
+            };
+            if !entry.scenario.has_hp_job() {
+                continue;
+            }
+            if let Some(i) = replay_impact(testbed, &entry.scenario, baseline, feature_config) {
+                rep_impact = Some(i);
+                rep_pos = pos;
+                break;
+            }
+        }
+        let rep_impact = match rep_impact {
+            Some(i) => i,
+            None => continue,
+        };
+
+        // Sample up to `samples_per_cluster` other members uniformly.
+        let candidates: Vec<_> = ranked
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| *pos != rep_pos)
+            .map(|(_, id)| *id)
+            .collect();
+        let mut member_impacts = Vec::new();
+        let mut pool = candidates;
+        while member_impacts.len() < samples_per_cluster && !pool.is_empty() {
+            let pick = rng.gen_range(0..pool.len());
+            let id = pool.swap_remove(pick);
+            let entry = match corpus.get(id) {
+                Some(e) => e,
+                None => continue,
+            };
+            if !entry.scenario.has_hp_job() {
+                continue;
+            }
+            extra_replays += 1;
+            if let Some(i) = replay_impact(testbed, &entry.scenario, baseline, feature_config) {
+                member_impacts.push(i);
+            }
+        }
+
+        clusters.push(ClusterDispersion {
+            cluster: c,
+            representative_impact: rep_impact,
+            member_impacts,
+            weight: weights[c],
+        });
+    }
+
+    if clusters.is_empty() {
+        return Err(FlareError::InsufficientData(
+            "no cluster produced a measurable representative".into(),
+        ));
+    }
+    let total_w: f64 = clusters.iter().map(|c| c.weight).sum();
+    let weighted_dispersion =
+        clusters.iter().map(|c| c.weight * c.std_dev()).sum::<f64>() / total_w;
+    let weighted_bias_bound = clusters
+        .iter()
+        .map(|c| c.weight * c.representative_bias())
+        .sum::<f64>()
+        / total_w;
+    Ok(ExtractionDiagnosis {
+        clusters,
+        weighted_dispersion,
+        weighted_bias_bound,
+        extra_replays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterCountRule, FlareConfig};
+    use crate::pipeline::Flare;
+    use crate::replayer::SimTestbed;
+    use flare_sim::datacenter::CorpusConfig;
+    use flare_sim::feature::Feature;
+
+    fn setup() -> (Flare, MachineConfig) {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let baseline = cfg.machine_config.clone();
+        let flare = Flare::fit(
+            Corpus::generate(&cfg),
+            FlareConfig {
+                cluster_count: ClusterCountRule::Fixed(8),
+                ..FlareConfig::default()
+            },
+        )
+        .expect("fit");
+        (flare, baseline)
+    }
+
+    #[test]
+    fn diagnosis_bounds_the_real_error() {
+        let (flare, baseline) = setup();
+        let feature = Feature::paper_feature2();
+        let fc = feature.apply(&baseline);
+        let diagnosis = diagnose_extraction(
+            flare.corpus(),
+            flare.analyzer(),
+            &SimTestbed,
+            &baseline,
+            &fc,
+            3,
+            7,
+            true,
+        )
+        .unwrap();
+        assert!(!diagnosis.clusters.is_empty());
+        assert!(diagnosis.weighted_dispersion >= 0.0);
+        assert!(diagnosis.weighted_bias_bound >= 0.0);
+        assert!(diagnosis.extra_replays > 0);
+        // DVFS impacts are fairly uniform -> tight bound.
+        assert!(
+            diagnosis.weighted_bias_bound < 5.0,
+            "bias bound {}",
+            diagnosis.weighted_bias_bound
+        );
+    }
+
+    #[test]
+    fn baseline_feature_diagnoses_as_exact() {
+        let (flare, baseline) = setup();
+        let diagnosis = diagnose_extraction(
+            flare.corpus(),
+            flare.analyzer(),
+            &SimTestbed,
+            &baseline,
+            &baseline,
+            2,
+            7,
+            true,
+        )
+        .unwrap();
+        assert!(diagnosis.weighted_dispersion.abs() < 1e-9);
+        assert!(diagnosis.is_trustworthy(1e-6));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (flare, baseline) = setup();
+        let fc = Feature::paper_feature1().apply(&baseline);
+        let run = |seed| {
+            diagnose_extraction(
+                flare.corpus(),
+                flare.analyzer(),
+                &SimTestbed,
+                &baseline,
+                &fc,
+                2,
+                seed,
+                true,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn zero_samples_still_reports_representatives() {
+        let (flare, baseline) = setup();
+        let fc = Feature::paper_feature3().apply(&baseline);
+        let diagnosis = diagnose_extraction(
+            flare.corpus(),
+            flare.analyzer(),
+            &SimTestbed,
+            &baseline,
+            &fc,
+            0,
+            7,
+            true,
+        )
+        .unwrap();
+        assert_eq!(diagnosis.extra_replays, 0);
+        assert!(diagnosis.weighted_bias_bound.abs() < 1e-12);
+        for c in &diagnosis.clusters {
+            assert!(c.member_impacts.is_empty());
+        }
+    }
+}

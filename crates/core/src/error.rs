@@ -1,0 +1,100 @@
+//! Error type for the FLARE pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the FLARE pipeline.
+#[derive(Debug)]
+pub enum FlareError {
+    /// The metric database/corpus was empty or too small for the requested
+    /// analysis.
+    InsufficientData(String),
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// A requested job never appears in any scenario of a cluster's
+    /// population, so no per-job estimate exists for it.
+    JobNotObserved(String),
+    /// Linear-algebra failure (PCA, normalization).
+    Linalg(flare_linalg::LinalgError),
+    /// Clustering failure.
+    Cluster(flare_cluster::ClusterError),
+    /// Metric database failure.
+    Metrics(flare_metrics::MetricsError),
+}
+
+impl fmt::Display for FlareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlareError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            FlareError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            FlareError::JobNotObserved(job) => {
+                write!(f, "job `{job}` not observed in any clustered scenario")
+            }
+            FlareError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            FlareError::Cluster(e) => write!(f, "clustering failure: {e}"),
+            FlareError::Metrics(e) => write!(f, "metric database failure: {e}"),
+        }
+    }
+}
+
+impl Error for FlareError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlareError::Linalg(e) => Some(e),
+            FlareError::Cluster(e) => Some(e),
+            FlareError::Metrics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flare_linalg::LinalgError> for FlareError {
+    fn from(e: flare_linalg::LinalgError) -> Self {
+        FlareError::Linalg(e)
+    }
+}
+
+impl From<flare_cluster::ClusterError> for FlareError {
+    fn from(e: flare_cluster::ClusterError) -> Self {
+        FlareError::Cluster(e)
+    }
+}
+
+impl From<flare_metrics::MetricsError> for FlareError {
+    fn from(e: flare_metrics::MetricsError) -> Self {
+        FlareError::Metrics(e)
+    }
+}
+
+/// Convenience alias for FLARE results.
+pub type Result<T> = std::result::Result<T, FlareError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors: Vec<FlareError> = vec![
+            FlareError::InsufficientData("x".into()),
+            FlareError::InvalidParameter("y".into()),
+            FlareError::JobNotObserved("DC".into()),
+            FlareError::Linalg(flare_linalg::LinalgError::Empty("z".into())),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = FlareError::from(flare_cluster::ClusterError::TooFewPoints { points: 1, k: 2 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<FlareError>();
+    }
+}

@@ -1,0 +1,331 @@
+//! Feature performance estimation from representative scenarios (§4.5 and
+//! the per-job extension of §5.3).
+
+use crate::analyzer::Analyzer;
+use crate::error::{FlareError, Result};
+use crate::replayer::{replay_impact, replay_job_impact, Testbed};
+use flare_metrics::database::ScenarioId;
+use flare_sim::datacenter::Corpus;
+use flare_sim::machine::MachineConfig;
+use flare_workloads::job::JobName;
+use serde::{Deserialize, Serialize};
+
+/// Impact measured on one cluster's representative (a bar of Fig. 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterImpact {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Scenario actually replayed (the representative, or the nearest
+    /// ranked member that carried HP jobs / the job of interest).
+    pub scenario: ScenarioId,
+    /// How many ranked members were skipped before a usable scenario was
+    /// found (0 = the representative itself).
+    pub fallback_depth: usize,
+    /// The cluster's weight in the aggregate.
+    pub weight: f64,
+    /// Measured MIPS reduction, %.
+    pub impact_pct: f64,
+}
+
+/// The all-HP-job estimate of a feature's impact (Fig. 12a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllJobEstimate {
+    /// Weighted-average MIPS reduction, %.
+    pub impact_pct: f64,
+    /// Per-cluster breakdown.
+    pub clusters: Vec<ClusterImpact>,
+    /// Number of distinct scenario replays the estimate cost (the
+    /// evaluation-overhead unit of Fig. 13).
+    pub replay_count: usize,
+}
+
+/// A per-job estimate (Fig. 12b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerJobEstimate {
+    /// The HP job estimated.
+    pub job: JobName,
+    /// Weighted-average MIPS reduction for the job, %.
+    pub impact_pct: f64,
+    /// Per-cluster breakdown (clusters whose population lacks the job are
+    /// absent).
+    pub clusters: Vec<ClusterImpact>,
+}
+
+/// Estimates a feature's overall impact on HP jobs from the representative
+/// scenarios: replay each representative under baseline and feature
+/// configs, then weight the impacts by group size (§4.5).
+///
+/// Representatives whose scenario carries no HP job (possible for LP-only
+/// groups) fall back to the next-nearest member with HP jobs; groups with
+/// no HP scenarios at all are skipped and the weights renormalized.
+///
+/// # Errors
+///
+/// Returns [`FlareError::InsufficientData`] if no cluster yields a usable
+/// measurement.
+pub fn estimate_all_job<T: Testbed>(
+    corpus: &Corpus,
+    analyzer: &Analyzer,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    weight_by_observations: bool,
+) -> Result<AllJobEstimate> {
+    let weights = analyzer.cluster_weights(weight_by_observations);
+    let mut clusters = Vec::new();
+    let mut replay_count = 0usize;
+
+    for c in 0..analyzer.n_clusters() {
+        let ranked = analyzer.ranked(c);
+        let mut found = None;
+        for (depth, id) in ranked.iter().enumerate() {
+            let entry = corpus
+                .get(*id)
+                .ok_or_else(|| FlareError::InsufficientData(format!("{id} not in corpus")))?;
+            if !entry.scenario.has_hp_job() {
+                continue;
+            }
+            replay_count += 1;
+            if let Some(impact) =
+                replay_impact(testbed, &entry.scenario, baseline, feature_config)
+            {
+                found = Some((depth, *id, impact));
+            }
+            break;
+        }
+        if let Some((depth, id, impact)) = found {
+            clusters.push(ClusterImpact {
+                cluster: c,
+                scenario: id,
+                fallback_depth: depth,
+                weight: weights[c],
+                impact_pct: impact,
+            });
+        }
+    }
+
+    if clusters.is_empty() {
+        return Err(FlareError::InsufficientData(
+            "no cluster produced an HP measurement".into(),
+        ));
+    }
+    // Renormalize over contributing clusters.
+    let total_w: f64 = clusters.iter().map(|c| c.weight).sum();
+    let impact_pct = if total_w > 0.0 {
+        clusters
+            .iter()
+            .map(|c| c.weight * c.impact_pct)
+            .sum::<f64>()
+            / total_w
+    } else {
+        0.0
+    };
+    Ok(AllJobEstimate {
+        impact_pct,
+        clusters,
+        replay_count,
+    })
+}
+
+/// Estimates a feature's impact on one specific HP job (§5.3): within each
+/// cluster, walk the centroid-distance ranking until a scenario containing
+/// the job is found; weight cluster contributions by the number of job
+/// instances the cluster's population holds.
+///
+/// # Errors
+///
+/// Returns [`FlareError::JobNotObserved`] if no clustered scenario
+/// contains the job.
+pub fn estimate_per_job<T: Testbed>(
+    corpus: &Corpus,
+    analyzer: &Analyzer,
+    testbed: &T,
+    job: JobName,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    weight_by_observations: bool,
+) -> Result<PerJobEstimate> {
+    let mut clusters = Vec::new();
+
+    for c in 0..analyzer.n_clusters() {
+        let ranked = analyzer.ranked(c);
+        // Cluster weight for this job: instances of the job in the whole
+        // group population ("the likelihood to observe the job").
+        let mut job_instances = 0.0;
+        for id in &ranked {
+            if let Some(e) = corpus.get(*id) {
+                let mult = if weight_by_observations {
+                    e.observations as f64
+                } else {
+                    1.0
+                };
+                job_instances += e.scenario.instances_of(job) as f64 * mult;
+            }
+        }
+        if job_instances <= 0.0 {
+            continue;
+        }
+        for (depth, id) in ranked.iter().enumerate() {
+            let entry = match corpus.get(*id) {
+                Some(e) => e,
+                None => continue,
+            };
+            if !entry.scenario.has_job(job) {
+                continue;
+            }
+            if let Some(impact) =
+                replay_job_impact(testbed, &entry.scenario, job, baseline, feature_config)
+            {
+                clusters.push(ClusterImpact {
+                    cluster: c,
+                    scenario: *id,
+                    fallback_depth: depth,
+                    weight: job_instances,
+                    impact_pct: impact,
+                });
+            }
+            break;
+        }
+    }
+
+    if clusters.is_empty() {
+        return Err(FlareError::JobNotObserved(job.abbrev().to_string()));
+    }
+    let total_w: f64 = clusters.iter().map(|c| c.weight).sum();
+    let impact_pct = clusters
+        .iter()
+        .map(|c| c.weight * c.impact_pct)
+        .sum::<f64>()
+        / total_w;
+    // Normalize stored weights to shares for reporting.
+    let clusters = clusters
+        .into_iter()
+        .map(|mut c| {
+            c.weight /= total_w;
+            c
+        })
+        .collect();
+    Ok(PerJobEstimate {
+        job,
+        impact_pct,
+        clusters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+    use crate::config::{ClusterCountRule, FlareConfig};
+    use crate::replayer::SimTestbed;
+    use flare_sim::datacenter::{Corpus, CorpusConfig};
+    use flare_sim::feature::Feature;
+
+    fn small_setup() -> (Corpus, Analyzer, MachineConfig) {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let db = corpus.to_metric_database(&cfg.machine_config);
+        let flare_cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(10),
+            ..FlareConfig::default()
+        };
+        let analyzer = Analyzer::fit(&db, &flare_cfg).unwrap();
+        (corpus, analyzer, cfg.machine_config)
+    }
+
+    #[test]
+    fn all_job_estimate_is_sane() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let est =
+            estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &f2, true).unwrap();
+        assert!(
+            est.impact_pct > 3.0 && est.impact_pct < 40.0,
+            "DVFS impact {}%",
+            est.impact_pct
+        );
+        assert!(!est.clusters.is_empty());
+        assert!(est.replay_count <= analyzer.n_clusters() + 5);
+        // Weighted average lies within the per-cluster range.
+        let lo = est
+            .clusters
+            .iter()
+            .map(|c| c.impact_pct)
+            .fold(f64::INFINITY, f64::min);
+        let hi = est
+            .clusters
+            .iter()
+            .map(|c| c.impact_pct)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(est.impact_pct >= lo - 1e-9 && est.impact_pct <= hi + 1e-9);
+    }
+
+    #[test]
+    fn baseline_feature_estimates_zero() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let est = estimate_all_job(
+            &corpus, &analyzer, &SimTestbed, &baseline, &baseline, true,
+        )
+        .unwrap();
+        assert!(est.impact_pct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_job_estimates_exist_for_common_jobs() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        for &job in JobName::HIGH_PRIORITY {
+            let est = estimate_per_job(
+                &corpus, &analyzer, &SimTestbed, job, &baseline, &f1, true,
+            );
+            // All 8 HP services run continuously in the corpus.
+            let est = est.unwrap_or_else(|e| panic!("{job}: {e}"));
+            assert!(est.impact_pct.is_finite());
+            let wsum: f64 = est.clusters.iter().map(|c| c.weight).sum();
+            assert!((wsum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_job_fallback_depth_recorded() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let est = estimate_per_job(
+            &corpus,
+            &analyzer,
+            &SimTestbed,
+            JobName::MediaStreaming,
+            &baseline,
+            &f1,
+            true,
+        )
+        .unwrap();
+        // Depths are valid indices into each cluster's ranking.
+        for c in &est.clusters {
+            assert!(c.fallback_depth < analyzer.ranked(c.cluster).len());
+        }
+    }
+
+    #[test]
+    fn unobserved_job_errors() {
+        // LP jobs are never HP-measured, so asking for one must fail with
+        // JobNotObserved (they're filtered from per-job measurements).
+        let (corpus, analyzer, baseline) = small_setup();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let est = estimate_per_job(
+            &corpus,
+            &analyzer,
+            &SimTestbed,
+            JobName::Mcf,
+            &baseline,
+            &f1,
+            true,
+        );
+        assert!(est.is_err());
+    }
+}

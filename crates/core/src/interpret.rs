@@ -1,0 +1,256 @@
+//! Interpretation of high-level metrics: PC labeling (Fig. 8) and cluster
+//! radar profiles (Fig. 10).
+//!
+//! FLARE's distinguishing analysis step (§4.3) is to *label* every kept
+//! principal component so engineers can reason about clusters ("Cluster 8
+//! is high PC12 / low PC7, both of which promote LLC misses — so it is the
+//! group most sensitive to LLC features").
+
+use crate::analyzer::{Analyzer, ClusterPcProfile};
+use flare_metrics::schema::{Level, MetricFamily, MetricId};
+use serde::{Deserialize, Serialize};
+
+/// One signed loading of a raw metric on a principal component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Loading {
+    /// The raw metric.
+    pub metric: MetricId,
+    /// Signed weight of the metric on the PC.
+    pub weight: f64,
+}
+
+/// A labeled principal component (one row of Fig. 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcInterpretation {
+    /// Component index (0-based).
+    pub pc: usize,
+    /// Fraction of corpus variance this PC explains.
+    pub explained_variance: f64,
+    /// The strongest signed loadings, by |weight| descending.
+    pub top_loadings: Vec<Loading>,
+    /// A generated natural-language-ish label.
+    pub label: String,
+}
+
+/// Labels the kept PCs of a fitted analyzer.
+///
+/// `max_loadings` bounds how many raw metrics are listed per PC (the paper
+/// "omits the metrics with small weights"); loadings below 40 % of the
+/// strongest one are dropped regardless.
+pub fn interpret_pcs(analyzer: &Analyzer, max_loadings: usize) -> Vec<PcInterpretation> {
+    let pca = analyzer.pca();
+    let schema = analyzer.refined_schema();
+    let explained = pca.explained_variance_ratio();
+    (0..analyzer.n_pcs())
+        .map(|pc| {
+            let component = pca.component(pc);
+            let mut idx: Vec<usize> = (0..component.len()).collect();
+            idx.sort_by(|&a, &b| {
+                component[b]
+                    .abs()
+                    .partial_cmp(&component[a].abs())
+                    .expect("finite loadings")
+            });
+            let strongest = component[idx[0]].abs().max(1e-12);
+            let top_loadings: Vec<Loading> = idx
+                .iter()
+                .take(max_loadings)
+                .filter(|&&i| component[i].abs() >= 0.4 * strongest)
+                .map(|&i| Loading {
+                    metric: schema.id_at(i),
+                    weight: component[i],
+                })
+                .collect();
+            let label = label_from_loadings(&top_loadings);
+            PcInterpretation {
+                pc,
+                explained_variance: explained[pc],
+                top_loadings,
+                label,
+            }
+        })
+        .collect()
+}
+
+/// Generates a compact description from signed loadings, grouping by
+/// metric family and collection level (mirroring the style of Fig. 8's
+/// hand-written interpretations).
+fn label_from_loadings(loadings: &[Loading]) -> String {
+    if loadings.is_empty() {
+        return "(no dominant metric)".into();
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut described: Vec<(MetricFamily, Level, bool)> = Vec::new();
+    for l in loadings {
+        let key = (l.metric.kind.family(), l.metric.level, l.weight >= 0.0);
+        if described.contains(&key) {
+            continue;
+        }
+        described.push(key);
+        let direction = if l.weight >= 0.0 { "high" } else { "low" };
+        let family = match l.metric.kind.family() {
+            MetricFamily::Performance => "throughput",
+            MetricFamily::Topdown => "pipeline-stall",
+            MetricFamily::Cache => "cache-pressure",
+            MetricFamily::Memory => "memory-traffic",
+            MetricFamily::Tlb => "TLB-pressure",
+            MetricFamily::Branch => "branchy",
+            MetricFamily::Cpu => "CPU-activity",
+            MetricFamily::Storage => "storage-I/O",
+            MetricFamily::Network => "network-I/O",
+            MetricFamily::OsMemory => "OS-memory",
+            MetricFamily::JobMix => "job-mix",
+        };
+        let level = match l.metric.level {
+            Level::Machine => "machine",
+            Level::Hp => "HP jobs",
+        };
+        parts.push(format!("{direction} {family} ({level})"));
+        if parts.len() == 3 {
+            break;
+        }
+    }
+    parts.join(" + ")
+}
+
+/// Radar-plot data for every cluster (Fig. 10): per-PC mean ±1σ and the
+/// cluster's weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadarChart {
+    /// One profile per (non-empty) cluster.
+    pub profiles: Vec<ClusterPcProfile>,
+    /// Cluster weights (same indexing as `profiles[i].cluster`).
+    pub weights: Vec<f64>,
+    /// ±1σ of the whole corpus per PC (the dotted reference rings).
+    pub corpus_std: Vec<f64>,
+}
+
+/// Builds the radar-chart dataset from a fitted analyzer.
+pub fn radar_chart(analyzer: &Analyzer, by_observations: bool) -> RadarChart {
+    let weights = analyzer.cluster_weights(by_observations);
+    let profiles: Vec<ClusterPcProfile> = (0..analyzer.n_clusters())
+        .filter_map(|c| analyzer.cluster_pc_profile(c))
+        .collect();
+    let proj = analyzer.projected();
+    let corpus_std: Vec<f64> = (0..analyzer.n_pcs())
+        .map(|j| flare_linalg::stats::std_dev(&proj.col(j)))
+        .collect();
+    RadarChart {
+        profiles,
+        weights,
+        corpus_std,
+    }
+}
+
+/// Explains why a cluster responds to a feature: the PCs on which the
+/// cluster deviates most from the corpus mean (the §5.2 Cluster-8
+/// analysis, automated). Returns `(pc, cluster_mean_in_sigma)` pairs,
+/// strongest deviation first.
+pub fn distinguishing_pcs(analyzer: &Analyzer, cluster: usize, top: usize) -> Vec<(usize, f64)> {
+    let profile = match analyzer.cluster_pc_profile(cluster) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    // Whitened PCs have corpus std ≈ 1, so the mean itself is in σ units.
+    let mut scored: Vec<(usize, f64)> = profile
+        .mean
+        .iter()
+        .enumerate()
+        .map(|(pc, &m)| (pc, m))
+        .collect();
+    scored.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+    scored.truncate(top);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+    use crate::config::{ClusterCountRule, FlareConfig};
+    use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+    use flare_metrics::schema::MetricSchema;
+
+    fn fitted() -> Analyzer {
+        let schema = MetricSchema::canonical();
+        let d = schema.len();
+        let mut db = MetricDatabase::new(schema);
+        for i in 0..40u32 {
+            let group = (i % 4) as f64;
+            let metrics: Vec<f64> = (0..d)
+                .map(|j| {
+                    group * 50.0 * ((j % 7) as f64 + 1.0)
+                        + ((i as f64 * 3.3 + j as f64 * 1.7).sin() * 2.0)
+                })
+                .collect();
+            db.insert(ScenarioRecord {
+                id: ScenarioId(i),
+                metrics,
+                observations: 1,
+                job_mix: vec![],
+            })
+            .unwrap();
+        }
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(4),
+            ..FlareConfig::default()
+        };
+        Analyzer::fit(&db, &cfg).unwrap()
+    }
+
+    #[test]
+    fn interpretations_cover_all_kept_pcs() {
+        let a = fitted();
+        let interp = interpret_pcs(&a, 6);
+        assert_eq!(interp.len(), a.n_pcs());
+        for p in &interp {
+            assert!(!p.top_loadings.is_empty());
+            assert!(!p.label.is_empty());
+            assert!(p.explained_variance >= 0.0);
+            // Loadings are sorted by |weight| descending.
+            for w in p.top_loadings.windows(2) {
+                assert!(w[0].weight.abs() >= w[1].weight.abs() - 1e-12);
+            }
+            assert!(p.top_loadings.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn labels_mention_direction() {
+        let a = fitted();
+        let interp = interpret_pcs(&a, 4);
+        assert!(interp
+            .iter()
+            .any(|p| p.label.contains("high") || p.label.contains("low")));
+    }
+
+    #[test]
+    fn radar_chart_dimensions() {
+        let a = fitted();
+        let radar = radar_chart(&a, true);
+        assert_eq!(radar.profiles.len(), 4);
+        assert_eq!(radar.weights.len(), 4);
+        assert_eq!(radar.corpus_std.len(), a.n_pcs());
+        assert!((radar.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Whitened corpus: per-PC std ≈ 1.
+        for &s in &radar.corpus_std {
+            assert!((s - 1.0).abs() < 0.2, "whitened std {s}");
+        }
+    }
+
+    #[test]
+    fn distinguishing_pcs_sorted_by_magnitude() {
+        let a = fitted();
+        let top = distinguishing_pcs(&a, 0, 3);
+        assert!(!top.is_empty());
+        for w in top.windows(2) {
+            assert!(w[0].1.abs() >= w[1].1.abs() - 1e-12);
+        }
+        assert!(distinguishing_pcs(&a, 99, 3).is_empty());
+    }
+
+    #[test]
+    fn empty_loading_label() {
+        assert_eq!(label_from_loadings(&[]), "(no dominant metric)");
+    }
+}

@@ -1,0 +1,59 @@
+//! # flare-core
+//!
+//! FLARE: **F**ast, **L**ightweight, and **A**ccurate performance
+//! evaluation using **RE**presentative datacenter behaviors — a
+//! from-scratch Rust reproduction of the Middleware '23 paper.
+//!
+//! FLARE extracts a small set of representative job-colocation scenarios
+//! from a datacenter's profiling data and replays only those on a testbed
+//! to evaluate new features, with overheads ~50× below full-datacenter
+//! evaluation at ~1 % error. The pipeline (paper Fig. 4):
+//!
+//! 1. **Data collection & refinement** — 100+ raw metrics per scenario,
+//!    two-level (machine / HP-jobs); correlation pruning
+//!    ([`flare_metrics::correlation`]).
+//! 2. **High-level metric construction** — z-score + PCA, keep PCs up to a
+//!    variance target, label them ([`interpret`]).
+//! 3. **Grouping & representative extraction** — whiten, K-means, nearest
+//!    scenario to each centroid ([`analyzer`]).
+//! 4. **Feature estimation** — replay representatives under baseline and
+//!    feature, weight impacts by group size ([`replayer`], [`estimate`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use flare_core::{Flare, FlareConfig, ClusterCountRule};
+//! use flare_sim::datacenter::{Corpus, CorpusConfig};
+//! use flare_sim::feature::Feature;
+//!
+//! // Collect a (small, for the doctest) scenario corpus.
+//! let corpus = Corpus::generate(&CorpusConfig {
+//!     machines: 4,
+//!     days: 1.0,
+//!     ..CorpusConfig::default()
+//! });
+//! // Fit FLARE and evaluate the paper's cache-sizing feature.
+//! let flare = Flare::fit(corpus, FlareConfig {
+//!     cluster_count: ClusterCountRule::Fixed(6),
+//!     ..FlareConfig::default()
+//! })?;
+//! let estimate = flare.evaluate(&Feature::paper_feature1())?;
+//! assert!(estimate.impact_pct >= 0.0);
+//! # Ok::<(), flare_core::FlareError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod diagnostics;
+mod config;
+mod error;
+pub mod estimate;
+pub mod interpret;
+mod pipeline;
+pub mod replayer;
+pub mod report;
+
+pub use config::{ClusterCountRule, ClusterMethod, FlareConfig, RepresentativeRule};
+pub use error::{FlareError, Result};
+pub use pipeline::{Flare, FlareSnapshot};

@@ -1,0 +1,402 @@
+//! The end-to-end FLARE façade: corpus → database → analyzer → replayer →
+//! estimates, plus the §5.6 scheduler-change workflow.
+
+use crate::analyzer::Analyzer;
+use crate::config::FlareConfig;
+use crate::error::Result;
+use crate::estimate::{estimate_all_job, estimate_per_job, AllJobEstimate, PerJobEstimate};
+use crate::replayer::{SimTestbed, Testbed};
+use flare_metrics::database::{MetricDatabase, ScenarioRecord};
+use flare_sim::datacenter::{Corpus, CorpusEntry};
+use flare_sim::feature::Feature;
+use flare_sim::machine::MachineConfig;
+use flare_workloads::job::JobName;
+
+/// A fitted FLARE instance: the representative scenarios of one datacenter
+/// plus everything needed to evaluate features against them.
+#[derive(Debug, Clone)]
+pub struct Flare {
+    corpus: Corpus,
+    database: MetricDatabase,
+    analyzer: Analyzer,
+    config: FlareConfig,
+    baseline: MachineConfig,
+}
+
+impl Flare {
+    /// Runs FLARE steps 1–3 on a collected corpus: profile every scenario
+    /// under the corpus's baseline machine configuration, refine, build
+    /// high-level metrics, cluster, and extract representatives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analyzer errors (insufficient data, invalid config).
+    pub fn fit(corpus: Corpus, config: FlareConfig) -> Result<Flare> {
+        config
+            .validate()
+            .map_err(crate::FlareError::InvalidParameter)?;
+        let baseline = corpus.config().machine_config.clone();
+        let database = match config.temporal_phases {
+            Some(phases) => corpus.to_metric_database_enriched(&baseline, phases),
+            None => corpus.to_metric_database(&baseline),
+        };
+        let analyzer = Analyzer::fit(&database, &config)?;
+        Ok(Flare {
+            corpus,
+            database,
+            analyzer,
+            config,
+            baseline,
+        })
+    }
+
+    /// The scenario corpus FLARE was fitted on.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The profiled metric database.
+    pub fn database(&self) -> &MetricDatabase {
+        &self.database
+    }
+
+    /// The fitted analyzer (refinement, PCA, clustering, representatives).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &FlareConfig {
+        &self.config
+    }
+
+    /// The baseline machine configuration measurements compare against.
+    pub fn baseline(&self) -> &MachineConfig {
+        &self.baseline
+    }
+
+    /// Number of representative scenarios (the evaluation cost unit).
+    pub fn n_representatives(&self) -> usize {
+        self.analyzer.representatives().len()
+    }
+
+    /// Estimates a feature's overall HP impact using the default simulator
+    /// testbed (§4.5; Fig. 12a).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors.
+    pub fn evaluate(&self, feature: &Feature) -> Result<AllJobEstimate> {
+        self.evaluate_on(&SimTestbed, feature)
+    }
+
+    /// Estimates a feature's overall HP impact on a caller-provided
+    /// testbed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors.
+    pub fn evaluate_on<T: Testbed>(&self, testbed: &T, feature: &Feature) -> Result<AllJobEstimate> {
+        let feature_config = feature.apply(&self.baseline);
+        estimate_all_job(
+            &self.corpus,
+            &self.analyzer,
+            testbed,
+            &self.baseline,
+            &feature_config,
+            self.config.weight_by_observations,
+        )
+    }
+
+    /// Estimates a feature's impact on one HP job (§5.3; Fig. 12b).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors, including
+    /// [`crate::FlareError::JobNotObserved`].
+    pub fn evaluate_job(&self, job: JobName, feature: &Feature) -> Result<PerJobEstimate> {
+        let feature_config = feature.apply(&self.baseline);
+        estimate_per_job(
+            &self.corpus,
+            &self.analyzer,
+            &SimTestbed,
+            job,
+            &self.baseline,
+            &feature_config,
+            self.config.weight_by_observations,
+        )
+    }
+
+    /// Captures the whole fitted instance (corpus, database, analyzer,
+    /// config) as a serializable snapshot — the representative extraction
+    /// is a one-time cost reused for every future feature evaluation, so
+    /// persisting it is the normal workflow.
+    pub fn to_snapshot(&self) -> FlareSnapshot {
+        FlareSnapshot {
+            corpus: self.corpus.clone(),
+            database: self.database.clone(),
+            analyzer: self.analyzer.to_snapshot(),
+            config: self.config.clone(),
+            baseline: self.baseline.clone(),
+        }
+    }
+
+    /// Restores a fitted instance from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-consistency errors.
+    pub fn from_snapshot(snapshot: FlareSnapshot) -> Result<Flare> {
+        let analyzer = Analyzer::from_snapshot(snapshot.analyzer)?;
+        Ok(Flare {
+            corpus: snapshot.corpus,
+            database: snapshot.database,
+            analyzer,
+            config: snapshot.config,
+            baseline: snapshot.baseline,
+        })
+    }
+
+    /// Serializes the fitted instance to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FlareError::InvalidParameter`] wrapping I/O or
+    /// serialization failures.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        let json = serde_json::to_string(&self.to_snapshot())
+            .map_err(|e| crate::FlareError::InvalidParameter(format!("serialize model: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| crate::FlareError::InvalidParameter(format!("write model: {e}")))
+    }
+
+    /// Loads a fitted instance from a JSON file written by [`Flare::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FlareError::InvalidParameter`] wrapping I/O or
+    /// parse failures, or snapshot-consistency errors.
+    pub fn load(path: &std::path::Path) -> Result<Flare> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| crate::FlareError::InvalidParameter(format!("read model: {e}")))?;
+        let snapshot: FlareSnapshot = serde_json::from_str(&json)
+            .map_err(|e| crate::FlareError::InvalidParameter(format!("parse model: {e}")))?;
+        Flare::from_snapshot(snapshot)
+    }
+
+    /// The §5.6 scheduler-change workflow: a new scheduler does not create
+    /// unseen scenarios, it shifts how often existing ones occur. Given a
+    /// re-weighting of the corpus (estimated occurrence counts under the
+    /// new scheduler), re-derive the representatives **from step 3** —
+    /// reusing the collected metrics, skipping the expensive collection.
+    ///
+    /// Scenarios re-weighted to zero are dropped from the clustered
+    /// population.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analyzer errors (e.g. too few surviving scenarios).
+    pub fn recluster_with_weights<F>(&self, reweight: F) -> Result<Flare>
+    where
+        F: Fn(&CorpusEntry) -> u32,
+    {
+        let mut db = MetricDatabase::new(self.database.schema().clone());
+        for entry in self.corpus.entries() {
+            let w = reweight(entry);
+            if w == 0 {
+                continue;
+            }
+            let rec = self
+                .database
+                .get(entry.id)
+                .expect("corpus and database are aligned");
+            db.insert(ScenarioRecord {
+                id: rec.id,
+                metrics: rec.metrics.clone(),
+                observations: w,
+                job_mix: rec.job_mix.clone(),
+            })?;
+        }
+        let analyzer = Analyzer::fit(&db, &self.config)?;
+        Ok(Flare {
+            corpus: self.corpus.clone(),
+            database: db,
+            analyzer,
+            config: self.config.clone(),
+            baseline: self.baseline.clone(),
+        })
+    }
+}
+
+/// Serializable snapshot of a fitted [`Flare`] instance.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlareSnapshot {
+    /// The scenario corpus.
+    pub corpus: Corpus,
+    /// The profiled metric database.
+    pub database: MetricDatabase,
+    /// The fitted analyzer state.
+    pub analyzer: crate::analyzer::AnalyzerSnapshot,
+    /// The pipeline configuration.
+    pub config: FlareConfig,
+    /// The baseline machine configuration.
+    pub baseline: MachineConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterCountRule;
+    use flare_sim::datacenter::CorpusConfig;
+
+    fn small_flare() -> Flare {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let flare_cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(8),
+            ..FlareConfig::default()
+        };
+        Flare::fit(corpus, flare_cfg).unwrap()
+    }
+
+    #[test]
+    fn fit_produces_representatives() {
+        let flare = small_flare();
+        assert_eq!(flare.n_representatives(), 8);
+        assert_eq!(flare.database().len(), flare.corpus().len());
+    }
+
+    #[test]
+    fn evaluate_all_paper_features() {
+        let flare = small_flare();
+        for feature in Feature::paper_features() {
+            let est = flare.evaluate(&feature).unwrap();
+            assert!(
+                est.impact_pct > 0.0 && est.impact_pct < 60.0,
+                "{feature}: {}%",
+                est.impact_pct
+            );
+        }
+    }
+
+    #[test]
+    fn per_job_evaluation_works() {
+        let flare = small_flare();
+        let est = flare
+            .evaluate_job(JobName::DataCaching, &Feature::paper_feature3())
+            .unwrap();
+        assert_eq!(est.job, JobName::DataCaching);
+        assert!(est.impact_pct.is_finite());
+    }
+
+    #[test]
+    fn recluster_keeps_scenarios_but_changes_weights() {
+        let flare = small_flare();
+        // New scheduler: consolidation doubles high-occupancy scenarios,
+        // halves light ones.
+        let reclustered = flare
+            .recluster_with_weights(|e| {
+                if e.scenario.occupancy(48) > 0.5 {
+                    e.observations * 3
+                } else {
+                    1
+                }
+            })
+            .unwrap();
+        assert_eq!(reclustered.n_representatives(), 8);
+        // Same corpus, same scenarios available.
+        assert_eq!(reclustered.corpus().len(), flare.corpus().len());
+        // Estimates still work after re-clustering.
+        let est = reclustered.evaluate(&Feature::paper_feature3()).unwrap();
+        assert!(est.impact_pct.is_finite());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_estimates() {
+        let flare = small_flare();
+        let feature = Feature::paper_feature1();
+        let before = flare.evaluate(&feature).unwrap();
+
+        let snapshot = flare.to_snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let restored: FlareSnapshot = serde_json::from_str(&json).unwrap();
+        let reloaded = Flare::from_snapshot(restored).unwrap();
+        let after = reloaded.evaluate(&feature).unwrap();
+
+        assert_eq!(before.impact_pct, after.impact_pct);
+        assert_eq!(
+            flare.analyzer().representatives(),
+            reloaded.analyzer().representatives()
+        );
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let flare = small_flare();
+        let dir = std::env::temp_dir().join("flare_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        flare.save(&path).unwrap();
+        let reloaded = Flare::load(&path).unwrap();
+        assert_eq!(flare.n_representatives(), reloaded.n_representatives());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let flare = small_flare();
+        let mut snapshot = flare.to_snapshot();
+        snapshot.analyzer.observations.pop(); // break row alignment
+        assert!(Flare::from_snapshot(snapshot).is_err());
+    }
+
+    #[test]
+    fn temporal_enrichment_fits_and_evaluates() {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let flare_cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(8),
+            temporal_phases: Some(6),
+            ..FlareConfig::default()
+        };
+        let flare = Flare::fit(corpus, flare_cfg).unwrap();
+        // The enriched schema doubles the raw metric count.
+        assert_eq!(
+            flare.database().schema().len(),
+            2 * flare_metrics::schema::MetricSchema::canonical().len()
+        );
+        let est = flare.evaluate(&Feature::paper_feature1()).unwrap();
+        assert!(est.impact_pct > 0.0 && est.impact_pct < 60.0);
+    }
+
+    #[test]
+    fn zero_phases_rejected() {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 1.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let bad = FlareConfig {
+            temporal_phases: Some(0),
+            ..FlareConfig::default()
+        };
+        assert!(Flare::fit(corpus, bad).is_err());
+    }
+
+    #[test]
+    fn recluster_dropping_everything_fails() {
+        let flare = small_flare();
+        assert!(flare.recluster_with_weights(|_| 0).is_err());
+    }
+}

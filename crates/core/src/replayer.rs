@@ -1,0 +1,249 @@
+//! The Replayer: step 4 of the FLARE pipeline (Fig. 4).
+//!
+//! The Replayer reconstructs a representative scenario on a testbed — in
+//! the paper, by re-executing the recorded job commands under Docker; here,
+//! through the [`Testbed`] abstraction — and measures performance under a
+//! machine configuration. Running each representative under the baseline
+//! and under the feature yields the per-representative impact that the
+//! estimator aggregates.
+
+use flare_sim::interference::evaluate;
+use flare_sim::machine::MachineConfig;
+use flare_sim::scenario::Scenario;
+use flare_workloads::job::JobName;
+use serde::{Deserialize, Serialize};
+
+/// What one testbed run of a scenario reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Mean normalized performance over HP instances (`None` if the
+    /// scenario has no HP jobs).
+    pub hp_perf: Option<f64>,
+    /// Mean normalized performance per HP job present in the scenario.
+    pub per_job_perf: Vec<(JobName, f64)>,
+    /// Total HP MIPS (absolute).
+    pub hp_mips: f64,
+}
+
+impl Measurement {
+    /// Normalized performance of `job` in this measurement, if present.
+    pub fn job_perf(&self, job: JobName) -> Option<f64> {
+        self.per_job_perf
+            .iter()
+            .find(|(j, _)| *j == job)
+            .map(|&(_, p)| p)
+    }
+}
+
+/// A load-testing environment able to reconstruct a job colocation under a
+/// machine configuration and measure it.
+///
+/// The paper's testbed is one rack of real machines driven by Docker and
+/// client load generators; the default implementation here is the
+/// simulator ([`SimTestbed`]). The trait keeps FLARE's estimator agnostic
+/// so a physical-testbed implementation could be dropped in.
+pub trait Testbed {
+    /// Runs `scenario` under `config` and reports the measurement.
+    fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement;
+}
+
+/// The simulator-backed testbed (the reproduction's default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimTestbed;
+
+impl Testbed for SimTestbed {
+    fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
+        let perf = evaluate(scenario, config);
+        let per_job_perf = JobName::HIGH_PRIORITY
+            .iter()
+            .filter_map(|&j| perf.job_normalized_perf(j).map(|p| (j, p)))
+            .collect();
+        Measurement {
+            hp_perf: perf.hp_normalized_perf(),
+            per_job_perf,
+            hp_mips: perf.hp_mips(),
+        }
+    }
+}
+
+/// A testbed that reconstructs scenarios with **calibrated synthetic
+/// stressors** instead of the real service stacks (the §5.1 iBench idea):
+/// each job is replaced by a load-generator profile whose coarse knobs
+/// were dialed to match the job's measured resource behaviour.
+///
+/// Use when the real services cannot be deployed on the evaluation
+/// testbed (licensing, data gravity, stack complexity). Fidelity is
+/// bounded by knob quantization — `abl04_proxy_replay` measures the cost.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyTestbed {
+    overrides: std::collections::BTreeMap<JobName, flare_workloads::profile::JobProfile>,
+}
+
+impl ProxyTestbed {
+    /// A proxy testbed with every catalog job replaced by its calibrated
+    /// stressor.
+    pub fn calibrated() -> Self {
+        let overrides = JobName::ALL
+            .iter()
+            .map(|&j| (j, flare_workloads::stressor::proxy_profile(j)))
+            .collect();
+        ProxyTestbed { overrides }
+    }
+
+    /// A proxy testbed with explicit per-job profiles; jobs without an
+    /// entry fall back to the real catalog profile (mixed replay).
+    pub fn with_overrides(
+        overrides: std::collections::BTreeMap<JobName, flare_workloads::profile::JobProfile>,
+    ) -> Self {
+        ProxyTestbed { overrides }
+    }
+}
+
+impl Testbed for ProxyTestbed {
+    fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
+        let perf = flare_sim::interference::evaluate_with_profiles(scenario, config, &|job| {
+            self.overrides
+                .get(&job)
+                .cloned()
+                .unwrap_or_else(|| flare_workloads::catalog::profile(job))
+        });
+        let per_job_perf = JobName::HIGH_PRIORITY
+            .iter()
+            .filter_map(|&j| perf.job_normalized_perf(j).map(|p| (j, p)))
+            .collect();
+        Measurement {
+            hp_perf: perf.hp_normalized_perf(),
+            per_job_perf,
+            hp_mips: perf.hp_mips(),
+        }
+    }
+}
+
+/// Impact of a feature on one scenario: the paper's "MIPS reduction (%)"
+/// (positive = the feature slowed HP jobs down).
+pub fn mips_reduction_pct(baseline_perf: f64, feature_perf: f64) -> f64 {
+    if baseline_perf <= 0.0 {
+        return 0.0;
+    }
+    (baseline_perf - feature_perf) / baseline_perf * 100.0
+}
+
+/// Replays one scenario under baseline and feature configs and returns the
+/// all-HP-job MIPS reduction, or `None` if the scenario has no HP jobs.
+pub fn replay_impact<T: Testbed>(
+    testbed: &T,
+    scenario: &Scenario,
+    baseline: &MachineConfig,
+    feature: &MachineConfig,
+) -> Option<f64> {
+    let b = testbed.run(scenario, baseline).hp_perf?;
+    let f = testbed.run(scenario, feature).hp_perf?;
+    Some(mips_reduction_pct(b, f))
+}
+
+/// Replays one scenario and returns the MIPS reduction of a specific job,
+/// or `None` if the job is absent.
+pub fn replay_job_impact<T: Testbed>(
+    testbed: &T,
+    scenario: &Scenario,
+    job: JobName,
+    baseline: &MachineConfig,
+    feature: &MachineConfig,
+) -> Option<f64> {
+    let b = testbed.run(scenario, baseline).job_perf(job)?;
+    let f = testbed.run(scenario, feature).job_perf(job)?;
+    Some(mips_reduction_pct(b, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_sim::feature::Feature;
+    use flare_sim::machine::MachineShape;
+
+    fn baseline() -> MachineConfig {
+        MachineShape::default_shape().baseline_config()
+    }
+
+    #[test]
+    fn sim_testbed_reports_hp_only() {
+        let s = Scenario::from_counts([(JobName::DataCaching, 2), (JobName::Mcf, 3)]);
+        let m = SimTestbed.run(&s, &baseline());
+        assert!(m.hp_perf.is_some());
+        assert_eq!(m.per_job_perf.len(), 1);
+        assert!(m.job_perf(JobName::DataCaching).is_some());
+        assert!(m.job_perf(JobName::Mcf).is_none()); // LP jobs unmanaged
+    }
+
+    #[test]
+    fn lp_only_scenario_measures_nothing() {
+        let s = Scenario::from_counts([(JobName::Sjeng, 2)]);
+        let m = SimTestbed.run(&s, &baseline());
+        assert_eq!(m.hp_perf, None);
+        assert!(m.per_job_perf.is_empty());
+        assert_eq!(m.hp_mips, 0.0);
+    }
+
+    #[test]
+    fn mips_reduction_math() {
+        assert!((mips_reduction_pct(1.0, 0.9) - 10.0).abs() < 1e-9);
+        assert_eq!(mips_reduction_pct(0.0, 0.5), 0.0);
+        assert!(mips_reduction_pct(0.8, 0.9) < 0.0); // improvements are negative
+    }
+
+    #[test]
+    fn replay_impact_positive_for_capability_reducing_features() {
+        let b = baseline();
+        let f2 = Feature::paper_feature2().apply(&b);
+        let s = Scenario::from_counts([(JobName::DataAnalytics, 4), (JobName::Perlbench, 4)]);
+        let impact = replay_impact(&SimTestbed, &s, &b, &f2).unwrap();
+        assert!(impact > 5.0, "DVFS cap should cost >5%: {impact}");
+        assert!(impact < 50.0);
+    }
+
+    #[test]
+    fn replay_job_impact_only_for_present_jobs() {
+        let b = baseline();
+        let f1 = Feature::paper_feature1().apply(&b);
+        let s = Scenario::from_counts([(JobName::GraphAnalytics, 4), (JobName::Mcf, 4)]);
+        assert!(replay_job_impact(&SimTestbed, &s, JobName::GraphAnalytics, &b, &f1).is_some());
+        assert!(replay_job_impact(&SimTestbed, &s, JobName::WebSearch, &b, &f1).is_none());
+    }
+
+    #[test]
+    fn proxy_testbed_tracks_real_replay_direction() {
+        let b = baseline();
+        let f1 = Feature::paper_feature1().apply(&b);
+        let s = Scenario::from_counts([
+            (JobName::GraphAnalytics, 3),
+            (JobName::InMemoryAnalytics, 3),
+            (JobName::Mcf, 4),
+        ]);
+        let real = replay_impact(&SimTestbed, &s, &b, &f1).unwrap();
+        let proxy = replay_impact(&ProxyTestbed::calibrated(), &s, &b, &f1).unwrap();
+        // Same sign and same order of magnitude; not exact (quantized knobs).
+        assert!(proxy > 0.0, "proxy should see the cache cut: {proxy}");
+        assert!(
+            (proxy - real).abs() < real.max(5.0),
+            "proxy {proxy}% should be within ~2x of real {real}%"
+        );
+    }
+
+    #[test]
+    fn proxy_overrides_fall_back_to_catalog() {
+        let b = baseline();
+        let empty = ProxyTestbed::with_overrides(Default::default());
+        let s = Scenario::from_counts([(JobName::DataCaching, 2)]);
+        let m_proxy = empty.run(&s, &b);
+        let m_real = SimTestbed.run(&s, &b);
+        assert_eq!(m_proxy, m_real, "no overrides == real replay");
+    }
+
+    #[test]
+    fn replay_impact_none_without_hp() {
+        let b = baseline();
+        let f1 = Feature::paper_feature1().apply(&b);
+        let s = Scenario::from_counts([(JobName::Libquantum, 4)]);
+        assert!(replay_impact(&SimTestbed, &s, &b, &f1).is_none());
+    }
+}

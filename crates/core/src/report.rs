@@ -1,0 +1,172 @@
+//! Markdown report generation: the artifact a datacenter engineer shares
+//! after running FLARE — the extracted representatives with their
+//! interpretation, and (optionally) feature evaluation results.
+
+use crate::estimate::AllJobEstimate;
+use crate::interpret::{distinguishing_pcs, interpret_pcs};
+use crate::pipeline::Flare;
+use flare_sim::feature::Feature;
+use std::fmt::Write as _;
+
+/// Renders a fitted FLARE instance as a self-contained markdown report.
+///
+/// Sections: corpus summary, pipeline stages (refinement / PCA /
+/// clustering), the representative-scenario table with weights and job
+/// mixes, labeled principal components, and one section per evaluated
+/// feature.
+pub fn markdown_report(flare: &Flare, evaluations: &[(Feature, AllJobEstimate)]) -> String {
+    let mut out = String::new();
+    let analyzer = flare.analyzer();
+
+    let _ = writeln!(out, "# FLARE report\n");
+    let _ = writeln!(out, "## Corpus\n");
+    let _ = writeln!(
+        out,
+        "- distinct job-colocation scenarios: **{}** ({} with HP jobs)",
+        flare.corpus().len(),
+        flare.corpus().hp_entries().len()
+    );
+    let _ = writeln!(
+        out,
+        "- machine: {} ({} vCPUs, {} MB LLC)",
+        flare.baseline().shape.model,
+        flare.baseline().schedulable_vcpus(),
+        flare.baseline().total_llc_mb()
+    );
+
+    let _ = writeln!(out, "\n## Pipeline\n");
+    let _ = writeln!(
+        out,
+        "- refinement: {} raw metrics -> {} (|r| >= {} pruned)",
+        flare.database().schema().len(),
+        analyzer.refined_schema().len(),
+        flare.config().correlation_threshold
+    );
+    let _ = writeln!(
+        out,
+        "- PCA: {} components explain {:.0}% of variance",
+        analyzer.n_pcs(),
+        flare.config().variance_threshold * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "- clustering: {} groups -> {} representative scenarios",
+        analyzer.n_clusters(),
+        flare.n_representatives()
+    );
+
+    let _ = writeln!(out, "\n## Representative scenarios\n");
+    let _ = writeln!(out, "| cluster | weight | representative | job mix | distinguishing PCs |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    let weights = analyzer.cluster_weights(flare.config().weight_by_observations);
+    for c in 0..analyzer.n_clusters() {
+        if let Some(id) = analyzer.representative(c) {
+            let entry = flare.corpus().get(id).expect("rep in corpus");
+            let mix: Vec<String> = entry
+                .scenario
+                .iter()
+                .map(|(j, n)| format!("{}×{n}", j.abbrev()))
+                .collect();
+            let pcs: Vec<String> = distinguishing_pcs(analyzer, c, 2)
+                .into_iter()
+                .map(|(pc, v)| format!("PC{pc} {v:+.1}σ"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "| {c} | {:.1}% | {id} | {} | {} |",
+                weights[c] * 100.0,
+                mix.join(", "),
+                pcs.join(", ")
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n## High-level metrics (principal components)\n");
+    for pc in interpret_pcs(analyzer, 4) {
+        let _ = writeln!(
+            out,
+            "- **PC{}** ({:.1}% of variance): {}",
+            pc.pc,
+            pc.explained_variance * 100.0,
+            pc.label
+        );
+    }
+
+    if !evaluations.is_empty() {
+        let _ = writeln!(out, "\n## Feature evaluations\n");
+        for (feature, estimate) in evaluations {
+            let _ = writeln!(out, "### {}\n", feature.label());
+            let _ = writeln!(
+                out,
+                "estimated fleet-wide MIPS reduction: **{:.2}%** ({} replays)\n",
+                estimate.impact_pct, estimate.replay_count
+            );
+            let _ = writeln!(out, "| cluster | weight | impact |");
+            let _ = writeln!(out, "|---|---|---|");
+            for ci in &estimate.clusters {
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.1}% | {:.2}% |",
+                    ci.cluster,
+                    ci.weight * 100.0,
+                    ci.impact_pct
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterCountRule, FlareConfig};
+    use flare_sim::datacenter::{Corpus, CorpusConfig};
+
+    fn small_flare() -> Flare {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        Flare::fit(
+            Corpus::generate(&cfg),
+            FlareConfig {
+                cluster_count: ClusterCountRule::Fixed(6),
+                ..FlareConfig::default()
+            },
+        )
+        .expect("fit")
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let flare = small_flare();
+        let feature = Feature::paper_feature1();
+        let estimate = flare.evaluate(&feature).expect("estimate");
+        let report = markdown_report(&flare, &[(feature, estimate)]);
+        for section in [
+            "# FLARE report",
+            "## Corpus",
+            "## Pipeline",
+            "## Representative scenarios",
+            "## High-level metrics",
+            "## Feature evaluations",
+            "### Feature1",
+        ] {
+            assert!(report.contains(section), "missing `{section}`");
+        }
+        // One table row per cluster.
+        assert_eq!(report.matches("| 0 |").count() >= 1, true);
+    }
+
+    #[test]
+    fn report_without_evaluations_omits_section() {
+        let flare = small_flare();
+        let report = markdown_report(&flare, &[]);
+        assert!(!report.contains("## Feature evaluations"));
+        assert!(report.contains("## Representative scenarios"));
+    }
+}

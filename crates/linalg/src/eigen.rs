@@ -1,0 +1,532 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA only ever needs the eigendecomposition of a covariance matrix, which
+//! is symmetric positive semi-definite. The cyclic Jacobi algorithm is
+//! simple, numerically robust for this class, and converges quadratically —
+//! ideal for the ~100×100 covariance matrices FLARE produces.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ`.
+///
+/// Eigenpairs are sorted by descending eigenvalue, the order PCA consumes
+/// them in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix whose *columns* are the corresponding unit eigenvectors.
+    pub eigenvectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Number of eigenpairs.
+    pub fn len(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// `true` if there are no eigenpairs (never the case for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.eigenvalues.is_empty()
+    }
+
+    /// The `k`-th eigenvector as an owned `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        self.eigenvectors.col(k)
+    }
+}
+
+/// Maximum number of full Jacobi sweeps before declaring non-convergence.
+/// Jacobi converges quadratically; well-conditioned symmetric matrices
+/// finish in < 15 sweeps even at n = 500.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix using
+/// cyclic Jacobi rotations.
+///
+/// # Errors
+///
+/// - [`LinalgError::DimensionMismatch`] if `a` is not square.
+/// - [`LinalgError::NonFinite`] if `a` contains NaN/∞.
+/// - [`LinalgError::InvalidParameter`] if `a` is not symmetric
+///   (tolerance `1e-8 * max_abs`).
+/// - [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
+///   within the sweep budget (practically unreachable for symmetric input).
+///
+/// # Examples
+///
+/// ```
+/// use flare_linalg::{Matrix, eigen::symmetric_eigen};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+/// let e = symmetric_eigen(&a).unwrap();
+/// assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+/// assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "symmetric_eigen: matrix is {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite("symmetric_eigen input".into()));
+    }
+    let sym_tol = 1e-8 * a.max_abs().max(1.0);
+    if !a.is_symmetric(sym_tol) {
+        return Err(LinalgError::InvalidParameter(
+            "symmetric_eigen requires a symmetric matrix".into(),
+        ));
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty("symmetric_eigen of 0x0 matrix".into()));
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    // Convergence threshold scales with the matrix magnitude so tiny
+    // covariance matrices and large ones behave identically.
+    let eps = 1e-12 * a.max_abs().max(1.0);
+
+    for sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off <= eps {
+            return Ok(finalize(m, v));
+        }
+        for p in 0..n - 1 {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= eps / (n * n) as f64 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation: choose t = tan(θ) as the smaller
+                // root so |θ| ≤ π/4, which guarantees convergence.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                apply_rotation(&mut m, p, q, c, s);
+                rotate_eigenvectors(&mut v, p, q, c, s);
+            }
+        }
+        // `sweep` only used for the error report below.
+        let _ = sweep;
+    }
+
+    if off_diagonal_norm(&m) <= eps * 1e3 {
+        // Accept a slightly looser tolerance rather than failing: the
+        // eigenvalues are still accurate to ~1e-9 relative.
+        return Ok(finalize(m, v));
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "cyclic Jacobi eigendecomposition",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Computes only the `k` largest eigenpairs of a symmetric PSD matrix via
+/// power iteration with Hotelling deflation.
+///
+/// Jacobi computes the full spectrum in O(n³) per sweep; when the metric
+/// space grows (temporal enrichment doubles it, §4.1; per-job columns add
+/// more, §5.3) and only the leading ~18 components matter, the truncated
+/// solver scales as O(k·n²·iters). Intended for PSD covariance matrices —
+/// deflation assumes non-negative eigenvalues.
+///
+/// # Errors
+///
+/// - Same input validation as [`symmetric_eigen`].
+/// - [`LinalgError::InvalidParameter`] if `k == 0` or `k > n`.
+/// - [`LinalgError::NoConvergence`] if an eigenpair fails to settle.
+pub fn symmetric_eigen_top_k(a: &Matrix, k: usize) -> Result<EigenDecomposition> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "symmetric_eigen_top_k: matrix is {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty("symmetric_eigen_top_k of 0x0".into()));
+    }
+    if k == 0 || k > n {
+        return Err(LinalgError::InvalidParameter(format!(
+            "cannot extract {k} of {n} eigenpairs"
+        )));
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite("symmetric_eigen_top_k input".into()));
+    }
+    let sym_tol = 1e-8 * a.max_abs().max(1.0);
+    if !a.is_symmetric(sym_tol) {
+        return Err(LinalgError::InvalidParameter(
+            "symmetric_eigen_top_k requires a symmetric matrix".into(),
+        ));
+    }
+
+    const MAX_ITERS: usize = 10_000;
+    let mut deflated = a.clone();
+    let mut eigenvalues = Vec::with_capacity(k);
+    let mut eigenvectors = Matrix::zeros(n, k);
+
+    for comp in 0..k {
+        // Deterministic pseudo-random start, orthogonalized against the
+        // found eigenvectors for robustness.
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761 + comp * 40503 + 1) % 1000) as f64 / 1000.0 + 0.1)
+            .collect();
+        normalize(&mut v);
+
+        let mut lambda = 0.0;
+        let mut converged = false;
+        for _ in 0..MAX_ITERS {
+            let mut next = deflated.matvec(&v)?;
+            // Re-orthogonalize against previous components (fights drift).
+            for j in 0..comp {
+                let col = eigenvectors.col(j);
+                let dot: f64 = next.iter().zip(&col).map(|(a, b)| a * b).sum();
+                for (x, c) in next.iter_mut().zip(&col) {
+                    *x -= dot * c;
+                }
+            }
+            let norm = normalize(&mut next);
+            let delta: f64 = next
+                .iter()
+                .zip(&v)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            v = next;
+            lambda = norm;
+            if delta < 1e-12 {
+                converged = true;
+                break;
+            }
+        }
+        if !converged && lambda > 1e-9 {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "power iteration",
+                iterations: MAX_ITERS,
+            });
+        }
+        // Sign convention matching `finalize`.
+        let sign = v
+            .iter()
+            .cloned()
+            .fold((0.0f64, 1.0f64), |(best, sgn), x| {
+                if x.abs() > best {
+                    (x.abs(), if x < 0.0 { -1.0 } else { 1.0 })
+                } else {
+                    (best, sgn)
+                }
+            })
+            .1;
+        for (i, &x) in v.iter().enumerate() {
+            eigenvectors[(i, comp)] = x * sign;
+        }
+        eigenvalues.push(lambda);
+        // Hotelling deflation: A <- A - λ v vᵀ.
+        for i in 0..n {
+            for j in 0..n {
+                deflated[(i, j)] -= lambda * v[i] * v[j];
+            }
+        }
+    }
+
+    Ok(EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Normalizes in place; returns the original L2 norm.
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+/// Frobenius norm of the strictly upper triangle (the convergence measure).
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.nrows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += m[(i, j)] * m[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies the two-sided rotation `Jᵀ M J` in place for the (p, q) plane.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.nrows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    for i in 0..n {
+        if i != p && i != q {
+            let aip = m[(i, p)];
+            let aiq = m[(i, q)];
+            m[(i, p)] = c * aip - s * aiq;
+            m[(p, i)] = m[(i, p)];
+            m[(i, q)] = s * aip + c * aiq;
+            m[(q, i)] = m[(i, q)];
+        }
+    }
+}
+
+/// Accumulates the rotation into the eigenvector matrix (columns).
+fn rotate_eigenvectors(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    for i in 0..v.nrows() {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = c * vip - s * viq;
+        v[(i, q)] = s * vip + c * viq;
+    }
+}
+
+/// Sorts eigenpairs by descending eigenvalue and fixes sign conventions
+/// (largest-magnitude component of each eigenvector is positive) so results
+/// are deterministic across runs.
+fn finalize(m: Matrix, v: Matrix) -> EigenDecomposition {
+    let n = m.nrows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| raw[b].partial_cmp(&raw[a]).expect("finite eigenvalues"));
+
+    let eigenvalues: Vec<f64> = idx.iter().map(|&i| raw[i]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        let col = v.col(old_col);
+        // Sign convention: make the largest-|.| entry positive.
+        let sign = col
+            .iter()
+            .cloned()
+            .fold((0.0f64, 1.0f64), |(best, sgn), x| {
+                if x.abs() > best {
+                    (x.abs(), if x < 0.0 { -1.0 } else { 1.0 })
+                } else {
+                    (best, sgn)
+                }
+            })
+            .1;
+        for i in 0..n {
+            eigenvectors[(i, new_col)] = col[i] * sign;
+        }
+    }
+    EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenpairs() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_close(e.eigenvalues[0], 3.0, 1e-10);
+        assert_close(e.eigenvalues[1], 1.0, 1e-10);
+        // First eigenvector is (1,1)/sqrt(2) up to sign convention.
+        let v0 = e.eigenvector(0);
+        assert_close(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-10);
+        assert_close(v0[0], v0[1], 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5, 0.0],
+            vec![1.0, 3.0, 0.2, 0.1],
+            vec![0.5, 0.2, 2.0, 0.3],
+            vec![0.0, 0.1, 0.3, 1.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        // V diag(λ) Vᵀ == A
+        let mut lambda = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            lambda[(i, i)] = e.eigenvalues[i];
+        }
+        let recon = e
+            .eigenvectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.eigenvectors.transpose())
+            .unwrap();
+        assert!(recon.sub(&a).unwrap().frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 4.0, 0.5],
+            vec![1.0, 0.5, 3.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e
+            .eigenvectors
+            .transpose()
+            .matmul(&e.eigenvectors)
+            .unwrap();
+        assert!(vtv.sub(&Matrix::identity(3)).unwrap().frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_rows(&[
+            vec![1.5, 0.3, 0.7],
+            vec![0.3, 2.5, 0.1],
+            vec![0.7, 0.1, 0.9],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let trace = 1.5 + 2.5 + 0.9;
+        assert_close(e.eigenvalues.iter().sum::<f64>(), trace, 1e-10);
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_nonsquare() {
+        let ns = Matrix::zeros(2, 3);
+        assert!(symmetric_eigen(&ns).is_err());
+        let asym = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            symmetric_eigen(&asym),
+            Err(LinalgError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let a = Matrix::from_rows(&[vec![f64::NAN, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(LinalgError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_eigenvalues() {
+        // Gram matrix of random-ish vectors is PSD.
+        let b = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![0.3, 1.1, 2.2],
+            vec![0.9, 0.1, 1.4],
+            vec![2.0, 0.7, 0.2],
+        ])
+        .unwrap();
+        let g = b.transpose().matmul(&b).unwrap();
+        let e = symmetric_eigen(&g).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l > -1e-10));
+        // Sorted descending.
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_jacobi_on_psd() {
+        // Gram matrix (PSD) with a clear spectrum.
+        let b = Matrix::from_rows(&[
+            vec![2.0, 0.5, 0.1, 0.0],
+            vec![0.3, 1.5, 0.7, 0.2],
+            vec![0.9, 0.1, 1.1, 0.4],
+            vec![0.2, 0.8, 0.3, 1.9],
+            vec![1.1, 0.2, 0.6, 0.5],
+        ])
+        .unwrap();
+        let g = b.transpose().matmul(&b).unwrap();
+        let full = symmetric_eigen(&g).unwrap();
+        let top2 = symmetric_eigen_top_k(&g, 2).unwrap();
+        for i in 0..2 {
+            assert_close(top2.eigenvalues[i], full.eigenvalues[i], 1e-6);
+            // Vectors agree up to sign (the convention fixes the sign).
+            let a = top2.eigenvector(i);
+            let b = full.eigenvector(i);
+            let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert_close(dot.abs(), 1.0, 1e-6);
+        }
+    }
+
+    #[test]
+    fn top_k_full_spectrum_matches() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let full = symmetric_eigen(&a).unwrap();
+        let top = symmetric_eigen_top_k(&a, 2).unwrap();
+        for i in 0..2 {
+            assert_close(top.eigenvalues[i], full.eigenvalues[i], 1e-8);
+        }
+    }
+
+    #[test]
+    fn top_k_validates() {
+        let a = Matrix::identity(3);
+        assert!(symmetric_eigen_top_k(&a, 0).is_err());
+        assert!(symmetric_eigen_top_k(&a, 4).is_err());
+        assert!(symmetric_eigen_top_k(&Matrix::zeros(2, 3), 1).is_err());
+        let asym = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(symmetric_eigen_top_k(&asym, 1).is_err());
+    }
+
+    #[test]
+    fn top_k_handles_degenerate_zero_matrix() {
+        let z = Matrix::zeros(3, 3);
+        let e = symmetric_eigen_top_k(&z, 2).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l.abs() < 1e-12));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[vec![7.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![7.0]);
+        assert_eq!(e.eigenvector(0), vec![1.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// Carries a human-readable description of the mismatch, e.g.
+    /// `"matmul: lhs is 3x4 but rhs is 5x2"`.
+    DimensionMismatch(String),
+    /// An operation required a non-empty matrix or vector but received an
+    /// empty one.
+    Empty(String),
+    /// An iterative algorithm failed to converge within its iteration
+    /// budget.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input contained a non-finite value (NaN or infinity).
+    NonFinite(String),
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => {
+                write!(f, "dimension mismatch: {msg}")
+            }
+            LinalgError::Empty(msg) => write!(f, "empty input: {msg}"),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
+            LinalgError::NonFinite(msg) => {
+                write!(f, "non-finite value encountered: {msg}")
+            }
+            LinalgError::InvalidParameter(msg) => {
+                write!(f, "invalid parameter: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Convenience alias for results of linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch("lhs 2x2, rhs 3x3".into());
+        assert_eq!(e.to_string(), "dimension mismatch: lhs 2x2, rhs 3x3");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence {
+            algorithm: "jacobi",
+            iterations: 100,
+        };
+        assert_eq!(e.to_string(), "jacobi did not converge after 100 iterations");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<T: std::error::Error>() {}
+        assert_error::<LinalgError>();
+    }
+}

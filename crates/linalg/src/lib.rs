@@ -1,0 +1,38 @@
+//! # flare-linalg
+//!
+//! Dense linear-algebra and statistics substrate for the FLARE
+//! reproduction: matrices, symmetric eigendecomposition (cyclic Jacobi),
+//! PCA with whitening, and the descriptive statistics the pipeline needs
+//! (z-scores, Pearson correlation, quantiles, distribution summaries).
+//!
+//! Everything is implemented from scratch on `Vec<f64>` — the FLARE data
+//! sizes (hundreds of scenarios × ~100 metrics) do not justify an external
+//! BLAS, and an auditable, property-tested implementation is preferable for
+//! a methodology paper whose numerics must be trustworthy.
+//!
+//! ## Example
+//!
+//! ```
+//! use flare_linalg::{Matrix, pca::Pca};
+//!
+//! let rows: Vec<Vec<f64>> = (0..20)
+//!     .map(|i| vec![i as f64, (2 * i) as f64, (i % 4) as f64])
+//!     .collect();
+//! let data = Matrix::from_rows(&rows)?;
+//! let pca = Pca::fit(&data)?;
+//! let k = pca.components_for_variance(0.95)?;
+//! let projected = pca.transform_whitened(&data, k)?;
+//! assert_eq!(projected.nrows(), 20);
+//! # Ok::<(), flare_linalg::LinalgError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eigen;
+mod error;
+mod matrix;
+pub mod pca;
+pub mod stats;
+
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;

@@ -1,0 +1,395 @@
+//! Principal Component Analysis.
+//!
+//! FLARE's Analyzer (§4.3 of the paper) normalizes each raw metric to zero
+//! mean / unit variance and applies PCA to translate 100+ raw metrics into a
+//! small set of interpretable high-level metrics. PCA is chosen over
+//! non-linear techniques precisely because the principal components are
+//! *linear combinations of named raw metrics* and can therefore be labeled
+//! ("CPU-intensive + frontend-bandwidth-bound + ALU-heavy", Fig. 8).
+
+use crate::eigen::symmetric_eigen;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::stats::{zscore_columns, ZScore};
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA model.
+///
+/// # Examples
+///
+/// ```
+/// use flare_linalg::{Matrix, pca::Pca};
+///
+/// // Ten points along a noisy line: one dominant component.
+/// let rows: Vec<Vec<f64>> = (0..10)
+///     .map(|i| vec![i as f64, 2.0 * i as f64 + if i % 2 == 0 { 0.05 } else { -0.05 }])
+///     .collect();
+/// let data = Matrix::from_rows(&rows).unwrap();
+/// let pca = Pca::fit(&data).unwrap();
+/// assert!(pca.explained_variance_ratio()[0] > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    zscore: ZScore,
+    components: Matrix, // columns = principal axes in (standardized) metric space
+    eigenvalues: Vec<f64>,
+    explained_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA to `data` (rows = observations, columns = variables).
+    ///
+    /// Columns are z-score normalized before the covariance is computed, as
+    /// §4.3 prescribes ("eliminate the biases from the metrics' inherent
+    /// magnitudes").
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::Empty`] if `data` has fewer than 2 rows.
+    /// - [`LinalgError::NonFinite`] if `data` contains NaN/∞.
+    /// - Errors from the underlying eigendecomposition.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        if data.nrows() < 2 {
+            return Err(LinalgError::Empty(
+                "PCA requires at least two observations".into(),
+            ));
+        }
+        if !data.is_finite() {
+            return Err(LinalgError::NonFinite("PCA input".into()));
+        }
+        let (standardized, zscore) = zscore_columns(data)?;
+        let cov = covariance(&standardized)?;
+        let eig = symmetric_eigen(&cov)?;
+
+        // Numerical noise can make tiny eigenvalues slightly negative; clamp.
+        let eigenvalues: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+        let total: f64 = eigenvalues.iter().sum();
+        let explained_ratio = if total > 0.0 {
+            eigenvalues.iter().map(|&l| l / total).collect()
+        } else {
+            vec![0.0; eigenvalues.len()]
+        };
+
+        Ok(Pca {
+            zscore,
+            components: eig.eigenvectors,
+            eigenvalues,
+            explained_ratio,
+        })
+    }
+
+    /// Number of input variables the model was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.components.nrows()
+    }
+
+    /// All eigenvalues (variances along each principal axis), descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by each component, descending.
+    pub fn explained_variance_ratio(&self) -> &[f64] {
+        &self.explained_ratio
+    }
+
+    /// Cumulative explained-variance curve (the y-axis of Fig. 7).
+    pub fn cumulative_explained_variance(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.explained_ratio
+            .iter()
+            .map(|r| {
+                acc += r;
+                acc
+            })
+            .collect()
+    }
+
+    /// Smallest number of components whose cumulative explained variance
+    /// reaches `threshold` (e.g. 0.95 → "18 PCs" in the paper's Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `threshold` is not in
+    /// `(0, 1]`.
+    pub fn components_for_variance(&self, threshold: f64) -> Result<usize> {
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(LinalgError::InvalidParameter(format!(
+                "variance threshold {threshold} outside (0, 1]"
+            )));
+        }
+        let cum = self.cumulative_explained_variance();
+        for (i, c) in cum.iter().enumerate() {
+            if *c + 1e-12 >= threshold {
+                return Ok(i + 1);
+            }
+        }
+        Ok(self.eigenvalues.len())
+    }
+
+    /// The loading (signed weight) of raw variable `feature` on component
+    /// `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn loading(&self, feature: usize, pc: usize) -> f64 {
+        self.components[(feature, pc)]
+    }
+
+    /// All loadings of component `pc` as a vector over raw variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc >= n_features()`.
+    pub fn component(&self, pc: usize) -> Vec<f64> {
+        self.components.col(pc)
+    }
+
+    /// Projects observations into PC space, keeping the first `k`
+    /// components.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::InvalidParameter`] if `k` is zero or exceeds the
+    ///   number of fitted components.
+    /// - [`LinalgError::DimensionMismatch`] if `data` has the wrong number
+    ///   of columns.
+    pub fn transform(&self, data: &Matrix, k: usize) -> Result<Matrix> {
+        if k == 0 || k > self.components.ncols() {
+            return Err(LinalgError::InvalidParameter(format!(
+                "cannot keep {k} of {} components",
+                self.components.ncols()
+            )));
+        }
+        let standardized = self.zscore.transform(data)?;
+        let sub = self.components.select_columns(&(0..k).collect::<Vec<_>>())?;
+        standardized.matmul(&sub)
+    }
+
+    /// Per-component variances scaled for whitening: projecting then
+    /// dividing each PC column by `sqrt(eigenvalue)` yields unit-variance
+    /// coordinates (§4.4's whitening step before clustering).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pca::transform`].
+    pub fn transform_whitened(&self, data: &Matrix, k: usize) -> Result<Matrix> {
+        let mut projected = self.transform(data, k)?;
+        for j in 0..k {
+            let sd = self.eigenvalues[j].sqrt();
+            // Components with ~zero variance carry no information; leave
+            // their (all-but-zero) coordinates unscaled.
+            if sd <= 1e-12 {
+                continue;
+            }
+            for i in 0..projected.nrows() {
+                projected[(i, j)] /= sd;
+            }
+        }
+        Ok(projected)
+    }
+}
+
+/// Population covariance matrix of `data`'s columns (rows = observations).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if `data` has fewer than 2 rows.
+pub fn covariance(data: &Matrix) -> Result<Matrix> {
+    let n = data.nrows();
+    if n < 2 {
+        return Err(LinalgError::Empty(
+            "covariance requires at least two observations".into(),
+        ));
+    }
+    let d = data.ncols();
+    let mut means = vec![0.0; d];
+    for row in data.rows_iter() {
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let mut cov = Matrix::zeros(d, d);
+    for row in data.rows_iter() {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            for j in i..d {
+                let dj = row[j] - means[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] / n as f64;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// A serializable snapshot of a fitted PCA (used to persist analyzer state).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PcaSnapshot {
+    /// Per-column means of the fitted data.
+    pub means: Vec<f64>,
+    /// Per-column standard deviations of the fitted data.
+    pub std_devs: Vec<f64>,
+    /// Row-major principal-axis matrix (features × components).
+    pub components: Vec<Vec<f64>>,
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+}
+
+impl From<&Pca> for PcaSnapshot {
+    fn from(p: &Pca) -> Self {
+        PcaSnapshot {
+            means: p.zscore.means.clone(),
+            std_devs: p.zscore.std_devs.clone(),
+            components: (0..p.components.nrows())
+                .map(|i| p.components.row(i).to_vec())
+                .collect(),
+            eigenvalues: p.eigenvalues.clone(),
+        }
+    }
+}
+
+impl TryFrom<&PcaSnapshot> for Pca {
+    type Error = LinalgError;
+
+    fn try_from(s: &PcaSnapshot) -> Result<Pca> {
+        let components = Matrix::from_rows(&s.components)?;
+        let total: f64 = s.eigenvalues.iter().sum();
+        let explained_ratio = if total > 0.0 {
+            s.eigenvalues.iter().map(|&l| l / total).collect()
+        } else {
+            vec![0.0; s.eigenvalues.len()]
+        };
+        Ok(Pca {
+            zscore: ZScore {
+                means: s.means.clone(),
+                std_devs: s.std_devs.clone(),
+            },
+            components,
+            eigenvalues: s.eigenvalues.clone(),
+            explained_ratio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two highly correlated variables plus one independent: PCA should put
+    /// the correlated pair on PC0 and the independent variable on its own PC.
+    fn correlated_data() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let t = i as f64 / 4.0;
+            let indep = if i % 3 == 0 { 1.0 } else { -0.5 };
+            rows.push(vec![t, 2.0 * t + 0.01 * (i as f64).sin(), indep]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        let s: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_component_captures_correlated_pair() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        // Two standardized perfectly-correlated variables + one independent
+        // → eigenvalues ≈ [2, 1, 0] → first ratio ≈ 2/3.
+        assert!(pca.explained_variance_ratio()[0] > 0.6);
+        let c0 = pca.component(0);
+        assert!(c0[0].abs() > 0.5 && c0[1].abs() > 0.5);
+        assert!(c0[2].abs() < 0.2);
+    }
+
+    #[test]
+    fn components_for_variance_thresholds() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        assert_eq!(pca.components_for_variance(0.6).unwrap(), 1);
+        assert_eq!(pca.components_for_variance(1.0).unwrap(), 3);
+        assert!(pca.components_for_variance(0.0).is_err());
+        assert!(pca.components_for_variance(1.5).is_err());
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotone() {
+        let pca = Pca::fit(&correlated_data()).unwrap();
+        let cum = pca.cumulative_explained_variance();
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((cum.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_produces_uncorrelated_columns() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let proj = pca.transform(&data, 3).unwrap();
+        let c01 = crate::stats::pearson(&proj.col(0), &proj.col(1)).unwrap();
+        assert!(c01.abs() < 1e-6, "PC0/PC1 correlation {c01}");
+    }
+
+    #[test]
+    fn whitened_transform_has_unit_variance() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let k = pca.components_for_variance(0.95).unwrap();
+        let w = pca.transform_whitened(&data, k).unwrap();
+        for j in 0..k {
+            let v = crate::stats::variance(&w.col(j));
+            assert!((v - 1.0).abs() < 1e-6, "PC{j} whitened variance {v}");
+        }
+    }
+
+    #[test]
+    fn transform_validates_k() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.transform(&data, 0).is_err());
+        assert!(pca.transform(&data, 4).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(Pca::fit(&Matrix::zeros(1, 3)).is_err());
+        let nan = Matrix::from_rows(&[vec![f64::NAN], vec![1.0]]).unwrap();
+        assert!(Pca::fit(&nan).is_err());
+    }
+
+    #[test]
+    fn covariance_known_values() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 10.0]]).unwrap();
+        let c = covariance(&data).unwrap();
+        // Var(x) = 8/3, Cov(x,y) = 16/3, Var(y) = 32/3 (population).
+        assert!((c[(0, 0)] - 8.0 / 3.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 16.0 / 3.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 32.0 / 3.0).abs() < 1e-12);
+        assert!(c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_projection() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let snap = PcaSnapshot::from(&pca);
+        let restored = Pca::try_from(&snap).unwrap();
+        let a = pca.transform(&data, 2).unwrap();
+        let b = restored.transform(&data, 2).unwrap();
+        assert!(a.sub(&b).unwrap().frobenius_norm() < 1e-12);
+    }
+}

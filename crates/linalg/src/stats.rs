@@ -1,0 +1,449 @@
+//! Descriptive statistics over slices and matrix columns.
+//!
+//! These helpers back the normalization, correlation-refinement, and
+//! confidence-interval machinery used throughout the FLARE pipeline.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flare_linalg::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns 0.0 for slices of length < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n - 1`). Returns 0.0 for slices of length < 2.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample standard deviation.
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns 0.0 when either side has (numerically) zero variance — constant
+/// series carry no correlation information, and treating them as
+/// uncorrelated is the behaviour the metric-refinement step wants.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the slices have different
+/// lengths and [`LinalgError::Empty`] if they are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "pearson: {} vs {} samples",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.is_empty() {
+        return Err(LinalgError::Empty("pearson of empty slices".into()));
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= f64::EPSILON || syy <= f64::EPSILON {
+        return Ok(0.0);
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Fractional ranks of a slice (average rank for ties), 1-based.
+///
+/// # Examples
+///
+/// ```
+/// use flare_linalg::stats::ranks;
+/// assert_eq!(ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+/// // Ties share the average of their positions.
+/// assert_eq!(ranks(&[1.0, 2.0, 2.0]), vec![1.0, 2.5, 2.5]);
+/// ```
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // Extend over the tie group [i, j).
+        let mut j = i + 1;
+        while j < idx.len() && xs[idx[j]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // mean of ranks i+1..=j
+        for &k in &idx[i..j] {
+            out[k] = avg_rank;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation: Pearson correlation of the fractional ranks.
+/// Robust to monotone nonlinearity and outliers — an alternative
+/// similarity measure for metric refinement.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "spearman: {} vs {} samples",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.is_empty() {
+        return Err(LinalgError::Empty("spearman of empty slices".into()));
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`) of an unsorted slice.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for empty input and
+/// [`LinalgError::InvalidParameter`] if `q` is outside `[0, 1]` or the data
+/// contains NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty("quantile of empty slice".into()));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(LinalgError::InvalidParameter(format!(
+            "quantile level {q} outside [0, 1]"
+        )));
+    }
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(LinalgError::InvalidParameter("quantile of NaN data".into()));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (0.5 quantile).
+///
+/// # Errors
+///
+/// Same as [`quantile`].
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Summary of a sample distribution: used for the violin/box plots of
+/// Fig. 12a and the CI bands of Fig. 12b/13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionSummary {
+    /// Number of samples summarized.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// 2.5 % quantile (lower bound of the central 95 % band).
+    pub p2_5: f64,
+    /// First quartile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub p75: f64,
+    /// 97.5 % quantile (upper bound of the central 95 % band).
+    pub p97_5: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl DistributionSummary {
+    /// Summarizes a non-empty sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for empty input or
+    /// [`LinalgError::InvalidParameter`] if the data contains NaN.
+    pub fn from_samples(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(LinalgError::Empty("summary of empty sample".into()));
+        }
+        Ok(DistributionSummary {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: sample_std_dev(xs),
+            min: quantile(xs, 0.0)?,
+            p2_5: quantile(xs, 0.025)?,
+            p25: quantile(xs, 0.25)?,
+            median: quantile(xs, 0.5)?,
+            p75: quantile(xs, 0.75)?,
+            p97_5: quantile(xs, 0.975)?,
+            max: quantile(xs, 1.0)?,
+        })
+    }
+
+    /// Half-width of the central 95 % band around the median — the paper's
+    /// "expected max error" notion for sampling in Fig. 13 measures how far
+    /// a sampled estimate can plausibly land from the truth.
+    pub fn central95_half_width(&self) -> f64 {
+        (self.p97_5 - self.p2_5) / 2.0
+    }
+}
+
+/// Z-score normalization of the columns of a data matrix.
+///
+/// Returned by [`zscore_columns`]; keeps the per-column means and standard
+/// deviations so new observations can be projected consistently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZScore {
+    /// Per-column means of the fitted data.
+    pub means: Vec<f64>,
+    /// Per-column *population* standard deviations of the fitted data.
+    /// Columns with zero variance store 1.0 so transforms are a no-op shift.
+    pub std_devs: Vec<f64>,
+}
+
+impl ZScore {
+    /// Fits the normalization to `data` (rows = observations, cols =
+    /// variables).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the matrix has no rows.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        if data.nrows() == 0 {
+            return Err(LinalgError::Empty("zscore fit on empty matrix".into()));
+        }
+        let mut means = Vec::with_capacity(data.ncols());
+        let mut std_devs = Vec::with_capacity(data.ncols());
+        for j in 0..data.ncols() {
+            let col = data.col(j);
+            means.push(mean(&col));
+            let sd = std_dev(&col);
+            std_devs.push(if sd <= f64::EPSILON { 1.0 } else { sd });
+        }
+        Ok(ZScore { means, std_devs })
+    }
+
+    /// Applies the fitted normalization, producing a matrix whose columns
+    /// have (approximately) zero mean and unit variance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `data` has a different
+    /// number of columns than the fitted matrix.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.ncols() != self.means.len() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "zscore transform: fitted on {} columns, got {}",
+                self.means.len(),
+                data.ncols()
+            )));
+        }
+        let mut out = data.clone();
+        for i in 0..out.nrows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[j]) / self.std_devs[j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Fits a z-score normalization and applies it, returning both the
+/// transformed matrix and the fitted parameters.
+///
+/// # Errors
+///
+/// Same as [`ZScore::fit`].
+pub fn zscore_columns(data: &Matrix) -> Result<(Matrix, ZScore)> {
+    let z = ZScore::fit(data)?;
+    let t = z.transform(data)?;
+    Ok((t, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(sample_std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&xs, &ys).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_validates() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn ranks_handle_ties_and_order() {
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+        assert_eq!(ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+        assert_eq!(ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        // y = x^3 is perfectly monotone: Spearman = 1 even though Pearson < 1.
+        let xs: Vec<f64> = (-5..=5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        let s = spearman(&xs, &ys).unwrap();
+        assert!((s - 1.0).abs() < 1e-12, "spearman {s}");
+        let p = pearson(&xs, &ys).unwrap();
+        assert!(p < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn spearman_is_outlier_robust() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut ys = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let clean = spearman(&xs, &ys).unwrap();
+        ys[4] = 1e9; // a wild outlier keeps the same rank order
+        let dirty = spearman(&xs, &ys).unwrap();
+        assert!((clean - dirty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_validates() {
+        assert!(spearman(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(spearman(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(median(&xs).unwrap(), 2.5);
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 1.75);
+    }
+
+    #[test]
+    fn quantile_validates() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = DistributionSummary::from_samples(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75);
+        assert!(s.p2_5 < s.p25 && s.p75 < s.p97_5);
+        assert!(s.central95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn zscore_normalizes_columns() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+        ])
+        .unwrap();
+        let (t, z) = zscore_columns(&m).unwrap();
+        for j in 0..2 {
+            let col = t.col(j);
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+        // Transform of the original means lands on zero.
+        let back = z
+            .transform(&Matrix::from_rows(&[vec![z.means[0], z.means[1]]]).unwrap())
+            .unwrap();
+        assert!(back[(0, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_column_is_shift_only() {
+        let m = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]).unwrap();
+        let (t, _) = zscore_columns(&m).unwrap();
+        assert!(t.col(0).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zscore_transform_dimension_check() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let (_, z) = zscore_columns(&m).unwrap();
+        assert!(z.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use flare_linalg::eigen::symmetric_eigen;
+use flare_linalg::pca::{covariance, Pca};
+use flare_linalg::stats::{self, zscore_columns};
+use flare_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned data matrix with `rows` observations of
+/// `cols` variables, entries bounded so covariances stay finite.
+fn data_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, cols),
+        rows..=rows,
+    )
+    .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular by construction"))
+}
+
+/// Strategy: a random symmetric matrix built as (A + Aᵀ)/2.
+fn symmetric_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(prop::collection::vec(-10.0f64..10.0, n), n..=n).prop_map(move |rows| {
+        let a = Matrix::from_rows(&rows).expect("rectangular");
+        a.add(&a.transpose()).expect("same shape").scale(0.5)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive(m in data_matrix(5, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in data_matrix(4, 4)) {
+        let i = Matrix::identity(4);
+        prop_assert_eq!(m.matmul(&i).unwrap(), m.clone());
+        prop_assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(
+        a in data_matrix(3, 4),
+        b in data_matrix(4, 5),
+    ) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.sub(&rhs).unwrap().frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_reconstruction(m in symmetric_matrix(5)) {
+        let e = symmetric_eigen(&m).unwrap();
+        let mut lambda = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            lambda[(i, i)] = e.eigenvalues[i];
+        }
+        let recon = e
+            .eigenvectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.eigenvectors.transpose())
+            .unwrap();
+        let err = recon.sub(&m).unwrap().frobenius_norm();
+        let scale = m.frobenius_norm().max(1.0);
+        prop_assert!(err / scale < 1e-8, "relative reconstruction error {}", err / scale);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_trace_preserved(m in symmetric_matrix(6)) {
+        let e = symmetric_eigen(&m).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        let trace: f64 = (0..6).map(|i| m[(i, i)]).sum();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal(m in symmetric_matrix(4)) {
+        let e = symmetric_eigen(&m).unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        prop_assert!(vtv.sub(&Matrix::identity(4)).unwrap().frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd(data in data_matrix(12, 4)) {
+        let c = covariance(&data).unwrap();
+        prop_assert!(c.is_symmetric(1e-9));
+        let e = symmetric_eigen(&c).unwrap();
+        prop_assert!(e.eigenvalues.iter().all(|&l| l > -1e-7));
+    }
+
+    #[test]
+    fn zscore_columns_standardize(data in data_matrix(10, 3)) {
+        let (t, _) = zscore_columns(&data).unwrap();
+        for j in 0..3 {
+            let col = t.col(j);
+            prop_assert!(stats::mean(&col).abs() < 1e-9);
+            let v = stats::variance(&col);
+            // Constant columns are left at zero variance by design.
+            prop_assert!(v.abs() < 1e-9 || (v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pca_explained_ratios_partition_unity(data in data_matrix(15, 5)) {
+        let pca = Pca::fit(&data).unwrap();
+        let sum: f64 = pca.explained_variance_ratio().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8);
+        // Ratios descend.
+        for w in pca.explained_variance_ratio().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pca_projection_preserves_row_count(data in data_matrix(9, 4)) {
+        let pca = Pca::fit(&data).unwrap();
+        let k = pca.components_for_variance(0.9).unwrap();
+        let proj = pca.transform(&data, k).unwrap();
+        prop_assert_eq!(proj.nrows(), 9);
+        prop_assert_eq!(proj.ncols(), k);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        xs in prop::collection::vec(-50.0f64..50.0, 8),
+        ys in prop::collection::vec(-50.0f64..50.0, 8),
+    ) {
+        let a = stats::pearson(&xs, &ys).unwrap();
+        let b = stats::pearson(&ys, &xs).unwrap();
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a));
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..40)) {
+        let q1 = stats::quantile(&xs, 0.25).unwrap();
+        let q2 = stats::quantile(&xs, 0.5).unwrap();
+        let q3 = stats::quantile(&xs, 0.75).unwrap();
+        prop_assert!(q1 <= q2 && q2 <= q3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Power-iteration top-k agrees with the full Jacobi spectrum on PSD
+    /// matrices (within deflation tolerance).
+    #[test]
+    fn top_k_tracks_jacobi(data in data_matrix(8, 5)) {
+        let g = data.transpose().matmul(&data).unwrap();
+        let full = symmetric_eigen(&g).unwrap();
+        // Skip near-degenerate spectra where the eigenvector pairing is
+        // ill-conditioned (power iteration may mix close eigenvalues).
+        prop_assume!(full.eigenvalues[0] > full.eigenvalues[1] * 1.05 + 1e-6);
+        let top = flare_linalg::eigen::symmetric_eigen_top_k(&g, 2).unwrap();
+        let scale = full.eigenvalues[0].max(1.0);
+        prop_assert!((top.eigenvalues[0] - full.eigenvalues[0]).abs() / scale < 1e-6);
+    }
+}

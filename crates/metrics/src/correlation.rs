@@ -1,0 +1,313 @@
+//! Correlation-based metric refinement (§4.2 "Refinement").
+//!
+//! Many raw metrics are near-duplicates of each other: memory bandwidth is
+//! LLC-miss count × payload size, CPI is 1/IPC, and so on. Keeping these
+//! duplicates would let a single underlying behaviour dominate the PCA by
+//! appearing several times. The refinement step computes all pairwise
+//! Pearson correlations over the scenario corpus and greedily drops every
+//! metric that is highly correlated with an already-kept one — the paper
+//! reduces "100+ metrics to 85 metrics with weaker correlations".
+
+use crate::database::MetricDatabase;
+use crate::error::{MetricsError, Result};
+use crate::schema::MetricId;
+use flare_linalg::stats::{pearson, spearman};
+use flare_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which correlation coefficient drives the pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CorrelationMethod {
+    /// Pearson (linear) correlation — what the paper's duplicates (e.g.
+    /// BW = misses × payload) exhibit exactly.
+    #[default]
+    Pearson,
+    /// Spearman rank correlation — also catches monotone nonlinear
+    /// duplicates and resists telemetry outliers.
+    Spearman,
+}
+
+/// One metric dropped during refinement, with the metric that subsumed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroppedMetric {
+    /// The pruned metric.
+    pub dropped: MetricId,
+    /// The kept metric it was correlated with.
+    pub kept: MetricId,
+    /// Their Pearson correlation over the corpus.
+    pub correlation: f64,
+}
+
+/// Outcome of the refinement pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefinementReport {
+    /// Indices (into the original schema) of the metrics kept, ascending.
+    pub kept_indices: Vec<usize>,
+    /// Every pruned metric with its justification.
+    pub dropped: Vec<DroppedMetric>,
+    /// The |correlation| threshold that was applied.
+    pub threshold: f64,
+}
+
+impl RefinementReport {
+    /// Number of metrics kept.
+    pub fn kept_count(&self) -> usize {
+        self.kept_indices.len()
+    }
+
+    /// Number of metrics pruned.
+    pub fn dropped_count(&self) -> usize {
+        self.dropped.len()
+    }
+}
+
+/// Computes the full |Pearson| correlation matrix between the columns of
+/// `data`.
+///
+/// # Errors
+///
+/// Propagates [`MetricsError::Linalg`] if `data` has no rows.
+pub fn correlation_matrix(data: &Matrix) -> Result<Matrix> {
+    correlation_matrix_with(data, CorrelationMethod::Pearson)
+}
+
+/// [`correlation_matrix`] with an explicit coefficient choice.
+///
+/// # Errors
+///
+/// Propagates [`MetricsError::Linalg`] if `data` has no rows.
+pub fn correlation_matrix_with(data: &Matrix, method: CorrelationMethod) -> Result<Matrix> {
+    let d = data.ncols();
+    let cols: Vec<Vec<f64>> = (0..d).map(|j| data.col(j)).collect();
+    let mut m = Matrix::zeros(d, d);
+    for i in 0..d {
+        m[(i, i)] = 1.0;
+        for j in (i + 1)..d {
+            let r = match method {
+                CorrelationMethod::Pearson => pearson(&cols[i], &cols[j])?,
+                CorrelationMethod::Spearman => spearman(&cols[i], &cols[j])?,
+            };
+            m[(i, j)] = r;
+            m[(j, i)] = r;
+        }
+    }
+    Ok(m)
+}
+
+/// Greedy correlation pruning of the database's metric columns.
+///
+/// Metrics are visited in schema order (the schema lists "primary" metrics
+/// before derived ones within each family, so primaries win ties). A metric
+/// is dropped if its |correlation| with any already-kept metric is at least
+/// `threshold`; otherwise it is kept.
+///
+/// # Errors
+///
+/// - [`MetricsError::InvalidParameter`] if `threshold` is not in `(0, 1]`.
+/// - [`MetricsError::EmptyDatabase`] if `db` has no rows.
+///
+/// # Examples
+///
+/// ```
+/// use flare_metrics::correlation::refine;
+/// use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+/// use flare_metrics::schema::MetricSchema;
+///
+/// let schema = MetricSchema::canonical().subset(&[0, 1, 2]);
+/// let mut db = MetricDatabase::new(schema);
+/// for i in 0..10u32 {
+///     let x = i as f64;
+///     db.insert(ScenarioRecord {
+///         id: ScenarioId(i),
+///         // Column 1 duplicates column 0; column 2 is independent.
+///         metrics: vec![x, 2.0 * x, (i % 3) as f64],
+///         observations: 1,
+///         job_mix: vec![],
+///     })?;
+/// }
+/// let report = refine(&db, 0.95)?;
+/// assert_eq!(report.kept_indices, vec![0, 2]);
+/// # Ok::<(), flare_metrics::MetricsError>(())
+/// ```
+pub fn refine(db: &MetricDatabase, threshold: f64) -> Result<RefinementReport> {
+    refine_with(db, threshold, CorrelationMethod::Pearson)
+}
+
+/// [`refine`] with an explicit correlation coefficient.
+///
+/// # Errors
+///
+/// Same as [`refine`].
+pub fn refine_with(
+    db: &MetricDatabase,
+    threshold: f64,
+    method: CorrelationMethod,
+) -> Result<RefinementReport> {
+    if !(threshold > 0.0 && threshold <= 1.0) {
+        return Err(MetricsError::InvalidParameter(format!(
+            "correlation threshold {threshold} outside (0, 1]"
+        )));
+    }
+    let data = db.to_matrix()?;
+    let corr = correlation_matrix_with(&data, method)?;
+    let d = data.ncols();
+
+    let mut kept_indices: Vec<usize> = Vec::new();
+    let mut dropped = Vec::new();
+    for j in 0..d {
+        let mut subsumed_by: Option<(usize, f64)> = None;
+        for &k in &kept_indices {
+            let r = corr[(k, j)];
+            if r.abs() >= threshold {
+                subsumed_by = Some((k, r));
+                break;
+            }
+        }
+        match subsumed_by {
+            Some((k, r)) => dropped.push(DroppedMetric {
+                dropped: db.schema().id_at(j),
+                kept: db.schema().id_at(k),
+                correlation: r,
+            }),
+            None => kept_indices.push(j),
+        }
+    }
+
+    Ok(RefinementReport {
+        kept_indices,
+        dropped,
+        threshold,
+    })
+}
+
+/// Applies a refinement report, returning the narrowed database.
+///
+/// # Errors
+///
+/// Propagates projection errors if the report does not match the database.
+pub fn apply_refinement(db: &MetricDatabase, report: &RefinementReport) -> Result<MetricDatabase> {
+    db.project(&report.kept_indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{ScenarioId, ScenarioRecord};
+    use crate::schema::MetricSchema;
+
+    /// 5-column corpus: col1 = 3*col0 (dup), col3 = -col2 (dup),
+    /// col4 independent.
+    fn synthetic_db() -> MetricDatabase {
+        let schema = MetricSchema::canonical().subset(&[0, 1, 2, 3, 4]);
+        let mut db = MetricDatabase::new(schema);
+        for i in 0..30u32 {
+            let x = (i as f64 * 0.7).sin() * 10.0;
+            let y = (i as f64 * 1.3).cos() * 5.0;
+            let z = ((i * 37) % 11) as f64;
+            db.insert(ScenarioRecord {
+                id: ScenarioId(i),
+                metrics: vec![x, 3.0 * x, y, -y, z],
+                observations: 1,
+                job_mix: vec![],
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn refine_drops_exact_duplicates() {
+        let db = synthetic_db();
+        let report = refine(&db, 0.95).unwrap();
+        assert_eq!(report.kept_indices, vec![0, 2, 4]);
+        assert_eq!(report.dropped_count(), 2);
+        // Dropped metrics name their subsumer.
+        let d0 = &report.dropped[0];
+        assert_eq!(d0.kept, db.schema().id_at(0));
+        assert!((d0.correlation.abs() - 1.0).abs() < 1e-9);
+        let d1 = &report.dropped[1];
+        assert_eq!(d1.kept, db.schema().id_at(2));
+        assert!(d1.correlation < -0.99, "anti-correlation {}", d1.correlation);
+    }
+
+    #[test]
+    fn threshold_one_keeps_near_duplicates() {
+        // |r| must be >= 1.0 to drop; sin/cos noise keeps everything.
+        let db = synthetic_db();
+        let report = refine(&db, 1.0).unwrap();
+        // Exact duplicates still hit |r| == 1.
+        assert!(report.kept_count() >= 3);
+    }
+
+    #[test]
+    fn refine_validates_threshold() {
+        let db = synthetic_db();
+        assert!(refine(&db, 0.0).is_err());
+        assert!(refine(&db, 1.5).is_err());
+    }
+
+    #[test]
+    fn refine_empty_db_errors() {
+        let db = MetricDatabase::new(MetricSchema::canonical().subset(&[0]));
+        assert!(matches!(refine(&db, 0.9), Err(MetricsError::EmptyDatabase)));
+    }
+
+    #[test]
+    fn apply_refinement_projects() {
+        let db = synthetic_db();
+        let report = refine(&db, 0.95).unwrap();
+        let refined = apply_refinement(&db, &report).unwrap();
+        assert_eq!(refined.schema().len(), 3);
+        assert_eq!(refined.len(), db.len());
+    }
+
+    #[test]
+    fn correlation_matrix_properties() {
+        let db = synthetic_db();
+        let data = db.to_matrix().unwrap();
+        let c = correlation_matrix(&data).unwrap();
+        assert_eq!(c.shape(), (5, 5));
+        for i in 0..5 {
+            assert!((c[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..5 {
+                assert!(c[(i, j)].abs() <= 1.0 + 1e-9);
+                assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-12);
+            }
+        }
+        // The planted duplicate pair.
+        assert!((c[(0, 1)] - 1.0).abs() < 1e-9);
+        assert!((c[(2, 3)] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_refinement_catches_monotone_duplicates() {
+        // col1 = exp(col0): nonlinear but perfectly monotone. Pearson at a
+        // high threshold keeps both; Spearman prunes the duplicate.
+        let schema = MetricSchema::canonical().subset(&[0, 1, 2]);
+        let mut db = MetricDatabase::new(schema);
+        for i in 0..25u32 {
+            let x = i as f64 * 0.3;
+            db.insert(ScenarioRecord {
+                id: ScenarioId(i),
+                metrics: vec![x, x.exp(), ((i * 29) % 13) as f64],
+                observations: 1,
+                job_mix: vec![],
+            })
+            .unwrap();
+        }
+        let pearson_report = refine_with(&db, 0.995, CorrelationMethod::Pearson).unwrap();
+        let spearman_report = refine_with(&db, 0.995, CorrelationMethod::Spearman).unwrap();
+        assert_eq!(pearson_report.kept_count(), 3, "exp() escapes Pearson at 0.995");
+        assert_eq!(spearman_report.kept_count(), 2, "Spearman sees the monotone dup");
+    }
+
+    #[test]
+    fn kept_indices_are_sorted_unique() {
+        let db = synthetic_db();
+        let report = refine(&db, 0.9).unwrap();
+        let mut sorted = report.kept_indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, report.kept_indices);
+    }
+}

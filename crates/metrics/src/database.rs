@@ -1,0 +1,374 @@
+//! The performance & resource database the Profiler writes into (§4.2).
+//!
+//! The paper records per-scenario average metrics, the commands and
+//! configurations of running jobs, in "our relational database". The
+//! equivalent here is an in-memory table of [`ScenarioRecord`]s with
+//! serde-JSON persistence.
+
+use crate::error::{MetricsError, Result};
+use crate::schema::MetricSchema;
+use flare_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Opaque identifier of a job-colocation scenario.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ScenarioId(pub u32);
+
+impl std::fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario#{:04}", self.0)
+    }
+}
+
+/// One row of the metric database: a scenario's averaged raw metrics plus
+/// the bookkeeping FLARE's Replayer needs to reconstruct it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRecord {
+    /// The scenario this row describes.
+    pub id: ScenarioId,
+    /// Raw metric values, aligned with the database's [`MetricSchema`].
+    pub metrics: Vec<f64>,
+    /// How many machine-intervals exhibited this scenario — the
+    /// observation weight used when scenario populations are aggregated.
+    pub observations: u32,
+    /// The job mix as `(job_name, instance_count)` pairs — the "recorded
+    /// commands and options" the Replayer re-executes (§4.5).
+    pub job_mix: Vec<(String, u32)>,
+}
+
+impl ScenarioRecord {
+    /// Instance count of `job` in this scenario (0 if absent).
+    pub fn instances_of(&self, job: &str) -> u32 {
+        self.job_mix
+            .iter()
+            .find(|(name, _)| name == job)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+
+    /// `true` if this scenario runs at least one instance of `job`.
+    pub fn has_job(&self, job: &str) -> bool {
+        self.instances_of(job) > 0
+    }
+}
+
+/// In-memory metric database: schema + scenario rows.
+///
+/// # Examples
+///
+/// ```
+/// use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+/// use flare_metrics::schema::MetricSchema;
+///
+/// let schema = MetricSchema::canonical();
+/// let mut db = MetricDatabase::new(schema.clone());
+/// db.insert(ScenarioRecord {
+///     id: ScenarioId(0),
+///     metrics: vec![1.0; schema.len()],
+///     observations: 3,
+///     job_mix: vec![("memcached".into(), 2)],
+/// })?;
+/// assert_eq!(db.len(), 1);
+/// # Ok::<(), flare_metrics::MetricsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDatabase {
+    schema: MetricSchema,
+    records: BTreeMap<ScenarioId, ScenarioRecord>,
+}
+
+impl MetricDatabase {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: MetricSchema) -> Self {
+        MetricDatabase {
+            schema,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The metric schema rows are aligned to.
+    pub fn schema(&self) -> &MetricSchema {
+        &self.schema
+    }
+
+    /// Number of scenarios stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no scenarios are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Inserts (or replaces) a scenario row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::SchemaMismatch`] if the row's metric vector
+    /// length differs from the schema, and
+    /// [`MetricsError::InvalidParameter`] if any metric is non-finite or
+    /// `observations == 0`.
+    pub fn insert(&mut self, record: ScenarioRecord) -> Result<()> {
+        if record.metrics.len() != self.schema.len() {
+            return Err(MetricsError::SchemaMismatch {
+                expected: self.schema.len(),
+                actual: record.metrics.len(),
+            });
+        }
+        if record.metrics.iter().any(|m| !m.is_finite()) {
+            return Err(MetricsError::InvalidParameter(format!(
+                "{}: non-finite metric value",
+                record.id
+            )));
+        }
+        if record.observations == 0 {
+            return Err(MetricsError::InvalidParameter(format!(
+                "{}: zero observations",
+                record.id
+            )));
+        }
+        self.records.insert(record.id, record);
+        Ok(())
+    }
+
+    /// Looks up a scenario row.
+    pub fn get(&self, id: ScenarioId) -> Option<&ScenarioRecord> {
+        self.records.get(&id)
+    }
+
+    /// Iterates rows in ascending scenario-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioRecord> {
+        self.records.values()
+    }
+
+    /// All scenario ids in ascending order.
+    pub fn scenario_ids(&self) -> Vec<ScenarioId> {
+        self.records.keys().copied().collect()
+    }
+
+    /// Total observation weight across all rows.
+    pub fn total_observations(&self) -> u64 {
+        self.records.values().map(|r| r.observations as u64).sum()
+    }
+
+    /// The scenario × metric data matrix, rows in ascending scenario-id
+    /// order (the Analyzer's input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::EmptyDatabase`] if there are no rows.
+    pub fn to_matrix(&self) -> Result<Matrix> {
+        if self.records.is_empty() {
+            return Err(MetricsError::EmptyDatabase);
+        }
+        let rows: Vec<Vec<f64>> = self.records.values().map(|r| r.metrics.clone()).collect();
+        Ok(Matrix::from_rows(&rows)?)
+    }
+
+    /// A new database containing the same scenarios but only the metric
+    /// columns at `indices` (used after refinement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::InvalidParameter`] if an index is out of
+    /// bounds or `indices` is empty.
+    pub fn project(&self, indices: &[usize]) -> Result<MetricDatabase> {
+        if indices.is_empty() {
+            return Err(MetricsError::InvalidParameter(
+                "projection onto zero metrics".into(),
+            ));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.schema.len()) {
+            return Err(MetricsError::InvalidParameter(format!(
+                "metric index {bad} out of bounds for schema of {}",
+                self.schema.len()
+            )));
+        }
+        let schema = self.schema.subset(indices);
+        let mut db = MetricDatabase::new(schema);
+        for r in self.records.values() {
+            let metrics = indices.iter().map(|&i| r.metrics[i]).collect();
+            db.insert(ScenarioRecord {
+                id: r.id,
+                metrics,
+                observations: r.observations,
+                job_mix: r.job_mix.clone(),
+            })?;
+        }
+        Ok(db)
+    }
+
+    /// Serializes the database to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::Persistence`] on serialization failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| MetricsError::Persistence(e.to_string()))
+    }
+
+    /// Deserializes a database from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::Persistence`] on parse failure.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| MetricsError::Persistence(e.to_string()))
+    }
+
+    /// Writes the database to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::Persistence`] on I/O or serialization
+    /// failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| MetricsError::Persistence(e.to_string()))
+    }
+
+    /// Reads a database from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::Persistence`] on I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Self> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| MetricsError::Persistence(e.to_string()))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::MetricSchema;
+
+    fn tiny_schema() -> MetricSchema {
+        MetricSchema::canonical().subset(&[0, 1, 2])
+    }
+
+    fn record(id: u32, base: f64) -> ScenarioRecord {
+        ScenarioRecord {
+            id: ScenarioId(id),
+            metrics: vec![base, base + 1.0, base + 2.0],
+            observations: 1 + id,
+            job_mix: vec![("DC".into(), 2), ("GA".into(), 1)],
+        }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(7, 1.0)).unwrap();
+        assert_eq!(db.len(), 1);
+        let r = db.get(ScenarioId(7)).unwrap();
+        assert_eq!(r.metrics[2], 3.0);
+        assert!(db.get(ScenarioId(8)).is_none());
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        let mut bad = record(0, 1.0);
+        bad.metrics.pop();
+        assert!(matches!(
+            db.insert(bad),
+            Err(MetricsError::SchemaMismatch { expected: 3, actual: 2 })
+        ));
+        let mut nan = record(0, 1.0);
+        nan.metrics[0] = f64::NAN;
+        assert!(db.insert(nan).is_err());
+        let mut zero_obs = record(0, 1.0);
+        zero_obs.observations = 0;
+        assert!(db.insert(zero_obs).is_err());
+    }
+
+    #[test]
+    fn replace_on_same_id() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(1, 1.0)).unwrap();
+        db.insert(record(1, 5.0)).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(ScenarioId(1)).unwrap().metrics[0], 5.0);
+    }
+
+    #[test]
+    fn matrix_rows_follow_id_order() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(5, 50.0)).unwrap();
+        db.insert(record(2, 20.0)).unwrap();
+        let m = db.to_matrix().unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 20.0); // id 2 first
+        assert_eq!(m[(1, 0)], 50.0);
+    }
+
+    #[test]
+    fn empty_matrix_errors() {
+        let db = MetricDatabase::new(tiny_schema());
+        assert!(matches!(db.to_matrix(), Err(MetricsError::EmptyDatabase)));
+    }
+
+    #[test]
+    fn projection_keeps_rows_and_narrows_schema() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(0, 1.0)).unwrap();
+        db.insert(record(1, 4.0)).unwrap();
+        let p = db.project(&[2, 0]).unwrap();
+        assert_eq!(p.schema().len(), 2);
+        assert_eq!(p.get(ScenarioId(0)).unwrap().metrics, vec![3.0, 1.0]);
+        assert!(db.project(&[]).is_err());
+        assert!(db.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn job_mix_queries() {
+        let r = record(0, 1.0);
+        assert_eq!(r.instances_of("DC"), 2);
+        assert_eq!(r.instances_of("WSV"), 0);
+        assert!(r.has_job("GA"));
+        assert!(!r.has_job("WSV"));
+    }
+
+    #[test]
+    fn observations_accumulate() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(0, 1.0)).unwrap(); // 1 obs
+        db.insert(record(1, 1.0)).unwrap(); // 2 obs
+        assert_eq!(db.total_observations(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(0, 1.0)).unwrap();
+        db.insert(record(3, 9.0)).unwrap();
+        let json = db.to_json().unwrap();
+        let back = MetricDatabase::from_json(&json).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(0, 2.0)).unwrap();
+        let dir = std::env::temp_dir().join("flare_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let back = MetricDatabase::load(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scenario_display() {
+        assert_eq!(ScenarioId(7).to_string(), "scenario#0007");
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the metrics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by metric-database and refinement operations.
+#[derive(Debug)]
+pub enum MetricsError {
+    /// A metric vector did not match the schema length.
+    SchemaMismatch {
+        /// Expected number of metrics (schema length).
+        expected: usize,
+        /// Observed vector length.
+        actual: usize,
+    },
+    /// A scenario id was not present in the database.
+    UnknownScenario(u32),
+    /// The database was empty where data was required.
+    EmptyDatabase,
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// Persistence (I/O or serialization) failed.
+    Persistence(String),
+    /// An underlying linear-algebra operation failed.
+    Linalg(flare_linalg::LinalgError),
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::SchemaMismatch { expected, actual } => write!(
+                f,
+                "metric vector length {actual} does not match schema length {expected}"
+            ),
+            MetricsError::UnknownScenario(id) => write!(f, "unknown scenario id {id}"),
+            MetricsError::EmptyDatabase => write!(f, "metric database is empty"),
+            MetricsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MetricsError::Persistence(msg) => write!(f, "persistence failure: {msg}"),
+            MetricsError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for MetricsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MetricsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flare_linalg::LinalgError> for MetricsError {
+    fn from(e: flare_linalg::LinalgError) -> Self {
+        MetricsError::Linalg(e)
+    }
+}
+
+/// Convenience alias for metrics results.
+pub type Result<T> = std::result::Result<T, MetricsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_schema_mismatch() {
+        let e = MetricsError::SchemaMismatch {
+            expected: 106,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("106"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn linalg_source_chain() {
+        let e = MetricsError::from(flare_linalg::LinalgError::Empty("x".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<MetricsError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! # flare-metrics
+//!
+//! Metric schema, scenario database, and correlation-based refinement for
+//! the FLARE reproduction.
+//!
+//! FLARE's Profiler (§4.2) collects 100+ raw performance and resource
+//! metrics per job-colocation scenario at two levels — machine-wide and
+//! High-Priority-jobs-only — and stores them in a database. A refinement
+//! pass then prunes highly correlated (redundant) metrics before PCA.
+//!
+//! - [`schema`] enumerates the raw metric space (106 metrics: 53 kinds ×
+//!   2 levels) mirroring the families of the paper's Fig. 6.
+//! - [`database`] is the per-scenario metric store with JSON persistence.
+//! - [`correlation`] implements the pairwise-Pearson pruning that reduces
+//!   "100+ metrics to 85 metrics with weaker correlations".
+//!
+//! ## Example
+//!
+//! ```
+//! use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+//! use flare_metrics::schema::MetricSchema;
+//! use flare_metrics::correlation::refine;
+//!
+//! let schema = MetricSchema::canonical();
+//! let mut db = MetricDatabase::new(schema.clone());
+//! for i in 0..12u32 {
+//!     db.insert(ScenarioRecord {
+//!         id: ScenarioId(i),
+//!         metrics: (0..schema.len()).map(|j| ((i + j as u32) % 7) as f64).collect(),
+//!         observations: 1,
+//!         job_mix: vec![("DC".into(), 1)],
+//!     })?;
+//! }
+//! let report = refine(&db, 0.95)?;
+//! assert!(report.kept_count() > 0);
+//! # Ok::<(), flare_metrics::MetricsError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod database;
+mod error;
+pub mod schema;
+
+pub use error::{MetricsError, Result};

@@ -1,0 +1,536 @@
+//! The raw metric schema: which performance/resource counters the Profiler
+//! collects, at which level.
+//!
+//! FLARE collects metrics **two-level** (§4.2, Fig. 6): once aggregated over
+//! the whole machine (`*-Machine`) and once over the High-Priority jobs only
+//! (`*-HP`). The paper gathers 100+ raw metrics from `perf`, Intel top-down
+//! counters and the `/proc` filesystem; this module enumerates the same
+//! families. Several metrics are (deliberately) derivable from others —
+//! e.g. memory bandwidth is LLC-miss count × line size — because the
+//! refinement step's job is to detect and prune exactly that redundancy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The collection level of a metric (§4.2's two-level collection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Aggregated over every job on the machine (the running environment).
+    Machine,
+    /// Aggregated over the High-Priority jobs only (the jobs of interest).
+    Hp,
+}
+
+impl Level {
+    /// The suffix used in the paper's metric naming (`LLC-APKI-Machine`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Level::Machine => "Machine",
+            Level::Hp => "HP",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Broad family a metric belongs to (the grouping of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricFamily {
+    /// Instruction throughput metrics.
+    Performance,
+    /// Intel top-down pipeline-slot breakdown.
+    Topdown,
+    /// Cache hierarchy counters.
+    Cache,
+    /// Main-memory traffic and latency.
+    Memory,
+    /// Address-translation counters.
+    Tlb,
+    /// Branch prediction counters.
+    Branch,
+    /// CPU scheduling / utilization (software view).
+    Cpu,
+    /// Storage I/O (software view).
+    Storage,
+    /// Network I/O (software view).
+    Network,
+    /// OS-level memory management (software view).
+    OsMemory,
+    /// Per-job colocation-mix columns (§5.3's optional per-job metrics).
+    JobMix,
+}
+
+macro_rules! metric_kinds {
+    ($( $(#[$doc:meta])* $variant:ident => ($name:literal, $family:ident, $derived:literal) ),+ $(,)?) => {
+        /// A raw metric kind, independent of collection level.
+        ///
+        /// `derived == true` marks metrics that are analytic functions of
+        /// other metrics in the schema — the redundancy that the refinement
+        /// step (§4.2) exists to prune.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum MetricKind {
+            $( $(#[$doc])* $variant ),+
+        }
+
+        impl MetricKind {
+            /// Every metric kind, in canonical order.
+            pub const ALL: &'static [MetricKind] = &[ $( MetricKind::$variant ),+ ];
+
+            /// The paper-style base name, e.g. `"LLC-MPKI"`.
+            pub fn base_name(self) -> &'static str {
+                match self { $( MetricKind::$variant => $name ),+ }
+            }
+
+            /// The family this metric belongs to.
+            pub fn family(self) -> MetricFamily {
+                match self { $( MetricKind::$variant => MetricFamily::$family ),+ }
+            }
+
+            /// `true` if the metric is an analytic function of other
+            /// metrics in the schema (redundant by construction).
+            pub fn is_derived(self) -> bool {
+                match self { $( MetricKind::$variant => $derived ),+ }
+            }
+        }
+    };
+}
+
+metric_kinds! {
+    // ---- Performance -------------------------------------------------
+    /// Million instructions per second — the paper's headline metric.
+    Mips => ("MIPS", Performance, false),
+    /// Instructions per cycle.
+    Ipc => ("IPC", Performance, false),
+    /// Cycles per instruction (reciprocal of IPC; redundant).
+    Cpi => ("CPI", Performance, true),
+    /// Micro-ops retired per cycle.
+    UopsPerCycle => ("UOPS-PER-CYCLE", Performance, true),
+    /// Core clock frequency actually achieved.
+    FreqGhz => ("FREQ-GHZ", Performance, false),
+
+    // ---- Top-down ----------------------------------------------------
+    /// Fraction of pipeline slots stalled on the frontend.
+    FrontendBound => ("TD-FRONTEND-BOUND", Topdown, false),
+    /// Frontend stalls attributable to fetch latency (icache/ITLB).
+    FetchLatency => ("TD-FETCH-LATENCY", Topdown, false),
+    /// Frontend stalls attributable to fetch bandwidth.
+    FetchBandwidth => ("TD-FETCH-BANDWIDTH", Topdown, true),
+    /// Fraction of slots wasted on mis-speculation.
+    BadSpeculation => ("TD-BAD-SPECULATION", Topdown, false),
+    /// Fraction of slots stalled on the backend.
+    BackendBound => ("TD-BACKEND-BOUND", Topdown, false),
+    /// Backend stalls waiting on memory.
+    MemoryBound => ("TD-MEMORY-BOUND", Topdown, false),
+    /// Backend stalls bound on execution resources.
+    CoreBound => ("TD-CORE-BOUND", Topdown, true),
+    /// Fraction of slots doing useful retirement.
+    Retiring => ("TD-RETIRING", Topdown, true),
+    /// Stalls on ALU ports specifically.
+    AluStalls => ("ALU-STALL-PCT", Topdown, false),
+    /// Stalls on divider/long-latency units.
+    DivStalls => ("DIV-STALL-PCT", Topdown, false),
+
+    // ---- Cache hierarchy ----------------------------------------------
+    /// L1 data-cache misses per kilo-instruction.
+    L1dMpki => ("L1D-MPKI", Cache, false),
+    /// L1 data-cache accesses per kilo-instruction.
+    L1dApki => ("L1D-APKI", Cache, false),
+    /// L1 instruction-cache misses per kilo-instruction.
+    L1iMpki => ("L1I-MPKI", Cache, false),
+    /// L2 misses per kilo-instruction.
+    L2Mpki => ("L2-MPKI", Cache, false),
+    /// L2 accesses per kilo-instruction (≈ L1 misses; redundant).
+    L2Apki => ("L2-APKI", Cache, true),
+    /// Last-level-cache misses per kilo-instruction.
+    LlcMpki => ("LLC-MPKI", Cache, false),
+    /// Last-level-cache accesses per kilo-instruction (≈ L2 misses).
+    LlcApki => ("LLC-APKI", Cache, true),
+    /// LLC hit rate (1 - misses/accesses; redundant).
+    LlcHitRate => ("LLC-HIT-RATE", Cache, true),
+    /// Estimated LLC occupancy in MB (from CMT-style monitoring).
+    LlcOccupancyMb => ("LLC-OCCUPANCY-MB", Cache, false),
+
+    // ---- Memory --------------------------------------------------------
+    /// DRAM read bandwidth, GB/s (≈ LLC misses × 64 B; redundant).
+    MemBwReadGbps => ("MEM-BW-RD-GBPS", Memory, true),
+    /// DRAM write bandwidth, GB/s.
+    MemBwWriteGbps => ("MEM-BW-WR-GBPS", Memory, true),
+    /// Total DRAM bandwidth, GB/s (sum of the above; redundant).
+    MemBwTotalGbps => ("MEM-BW-TOTAL-GBPS", Memory, true),
+    /// Average loaded memory latency, ns.
+    MemLatencyNs => ("MEM-LAT-NS", Memory, false),
+    /// DRAM channel utilization fraction.
+    DramUtil => ("DRAM-UTIL", Memory, true),
+
+    // ---- TLB -----------------------------------------------------------
+    /// Instruction-TLB misses per kilo-instruction.
+    ItlbMpki => ("ITLB-MPKI", Tlb, false),
+    /// Data-TLB misses per kilo-instruction.
+    DtlbMpki => ("DTLB-MPKI", Tlb, false),
+    /// Fraction of cycles spent in page walks.
+    PageWalkPct => ("PAGE-WALK-PCT", Tlb, true),
+
+    // ---- Branch ---------------------------------------------------------
+    /// Branch mispredictions per kilo-instruction.
+    BranchMpki => ("BRANCH-MPKI", Branch, false),
+    /// Misprediction rate (misses / branches; redundant with MPKI).
+    BranchMissRate => ("BRANCH-MISS-RATE", Branch, true),
+
+    // ---- CPU (software) --------------------------------------------------
+    /// CPU utilization fraction of the allocation.
+    CpuUtil => ("CPU-UTIL", Cpu, false),
+    /// Number of vCPUs with runnable work.
+    VcpusActive => ("VCPUS-ACTIVE", Cpu, true),
+    /// Context switches per second.
+    ContextSwitchesPs => ("CTX-SWITCH-PS", Cpu, false),
+    /// Mean run-queue length.
+    RunqueueLen => ("RUNQUEUE-LEN", Cpu, true),
+    /// Fraction of cycles where both SMT siblings were busy.
+    SmtCoresidency => ("SMT-CORESIDENCY", Cpu, false),
+    /// Involuntary preemptions per second.
+    PreemptionsPs => ("PREEMPT-PS", Cpu, true),
+
+    // ---- Storage ----------------------------------------------------------
+    /// Disk read throughput, MB/s.
+    DiskReadMbps => ("DISK-RD-MBPS", Storage, false),
+    /// Disk write throughput, MB/s.
+    DiskWriteMbps => ("DISK-WR-MBPS", Storage, false),
+    /// Disk operations per second (≈ throughput / request size).
+    DiskIops => ("DISK-IOPS", Storage, true),
+    /// Fraction of time with outstanding I/O (iowait).
+    IowaitPct => ("IOWAIT-PCT", Storage, true),
+
+    // ---- Network ------------------------------------------------------------
+    /// Network receive throughput, MB/s.
+    NetRxMbps => ("NET-RX-MBPS", Network, false),
+    /// Network transmit throughput, MB/s.
+    NetTxMbps => ("NET-TX-MBPS", Network, false),
+    /// Packets per second (≈ throughput / packet size; redundant).
+    NetPps => ("NET-PPS", Network, true),
+    /// TCP retransmissions per second.
+    TcpRetransPs => ("TCP-RETRANS-PS", Network, false),
+
+    // ---- OS memory -------------------------------------------------------------
+    /// Resident set size, GB.
+    RssGb => ("RSS-GB", OsMemory, false),
+    /// Major page faults per second.
+    MajorFaultsPs => ("MAJ-FAULT-PS", OsMemory, false),
+    /// Minor page faults per second.
+    MinorFaultsPs => ("MIN-FAULT-PS", OsMemory, true),
+    /// Anonymous-memory fraction of RSS.
+    AnonFraction => ("ANON-FRACTION", OsMemory, true),
+    /// System calls per second.
+    SyscallsPs => ("SYSCALL-PS", OsMemory, false),
+
+    // ---- Per-job mix (§5.3 optional augmentation; excluded from the
+    // ---- default pipeline unless per-job augmentation is enabled) -----
+    /// Running Data Analytics instances.
+    InstancesDa => ("INSTANCES-DA", JobMix, false),
+    /// Running Data Caching instances.
+    InstancesDc => ("INSTANCES-DC", JobMix, false),
+    /// Running Data Serving instances.
+    InstancesDs => ("INSTANCES-DS", JobMix, false),
+    /// Running Graph Analytics instances.
+    InstancesGa => ("INSTANCES-GA", JobMix, false),
+    /// Running In-memory Analytics instances.
+    InstancesIa => ("INSTANCES-IA", JobMix, false),
+    /// Running Media Streaming instances.
+    InstancesMs => ("INSTANCES-MS", JobMix, false),
+    /// Running Web Search instances.
+    InstancesWsc => ("INSTANCES-WSC", JobMix, false),
+    /// Running Web Serving instances.
+    InstancesWsv => ("INSTANCES-WSV", JobMix, false),
+}
+
+impl MetricKind {
+    /// `true` for the per-job mix columns of §5.3's optional augmentation.
+    pub fn is_job_mix(self) -> bool {
+        self.family() == MetricFamily::JobMix
+    }
+}
+
+/// Which statistic of a metric's time series is recorded (§4.1: the
+/// default is the per-scenario average; a user "may include standard
+/// deviations (e.g., IPC: 1.4±0.5) to enrich the temporal information").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum Statistic {
+    /// Average over the scenario's lifetime (the paper's default).
+    #[default]
+    Mean,
+    /// Standard deviation across temporal phases (the §4.1 enrichment).
+    StdDev,
+}
+
+impl Statistic {
+    /// Name suffix: empty for the mean, `"-SD"` for the std-dev column.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Statistic::Mean => "",
+            Statistic::StdDev => "-SD",
+        }
+    }
+}
+
+/// A fully-qualified raw metric: kind + collection level + statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MetricId {
+    /// The metric kind.
+    pub kind: MetricKind,
+    /// The collection level.
+    pub level: Level,
+    /// The recorded statistic (mean by default).
+    #[serde(default)]
+    pub stat: Statistic,
+}
+
+impl MetricId {
+    /// Constructs a (mean-statistic) metric id.
+    pub fn new(kind: MetricKind, level: Level) -> Self {
+        MetricId {
+            kind,
+            level,
+            stat: Statistic::Mean,
+        }
+    }
+
+    /// Constructs a metric id with an explicit statistic.
+    pub fn with_stat(kind: MetricKind, level: Level, stat: Statistic) -> Self {
+        MetricId { kind, level, stat }
+    }
+
+    /// The paper-style qualified name, e.g. `"LLC-MPKI-HP"` or
+    /// `"LLC-MPKI-HP-SD"`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}{}",
+            self.kind.base_name(),
+            self.level.suffix(),
+            self.stat.suffix()
+        )
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The full ordered schema of raw metrics the Profiler collects.
+///
+/// The canonical schema is every [`MetricKind`] at both levels — 106 raw
+/// metrics, matching the paper's "100+ raw performance/resource metrics".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricSchema {
+    ids: Vec<MetricId>,
+}
+
+impl MetricSchema {
+    /// The canonical two-level schema over all metric kinds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let schema = flare_metrics::schema::MetricSchema::canonical();
+    /// assert!(schema.len() > 100);
+    /// ```
+    pub fn canonical() -> Self {
+        let mut ids = Vec::with_capacity(MetricKind::ALL.len() * 2);
+        for &level in &[Level::Machine, Level::Hp] {
+            for &kind in MetricKind::ALL {
+                ids.push(MetricId::new(kind, level));
+            }
+        }
+        MetricSchema { ids }
+    }
+
+    /// Indices of the schema's non-[`MetricFamily::JobMix`] columns — the
+    /// default analysis set when §5.3 per-job augmentation is off.
+    pub fn non_job_mix_indices(&self) -> Vec<usize> {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter_map(|(i, id)| (!id.kind.is_job_mix()).then_some(i))
+            .collect()
+    }
+
+    /// The temporally-enriched schema (§4.1): every canonical mean column
+    /// followed by its standard-deviation column — 212 raw metrics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flare_metrics::schema::MetricSchema;
+    /// let enriched = MetricSchema::canonical_enriched();
+    /// assert_eq!(enriched.len(), 2 * MetricSchema::canonical().len());
+    /// ```
+    pub fn canonical_enriched() -> Self {
+        let base = Self::canonical();
+        let mut ids = Vec::with_capacity(base.len() * 2);
+        for id in base.ids() {
+            ids.push(*id);
+            ids.push(MetricId::with_stat(id.kind, id.level, Statistic::StdDev));
+        }
+        MetricSchema { ids }
+    }
+
+    /// A schema over an explicit id list (used after refinement).
+    pub fn from_ids(ids: Vec<MetricId>) -> Self {
+        MetricSchema { ids }
+    }
+
+    /// Number of metrics in the schema.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the schema has no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The ordered metric ids.
+    pub fn ids(&self) -> &[MetricId] {
+        &self.ids
+    }
+
+    /// Position of `id` in the schema, if present.
+    pub fn index_of(&self, id: MetricId) -> Option<usize> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// The metric id at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn id_at(&self, index: usize) -> MetricId {
+        self.ids[index]
+    }
+
+    /// Qualified names in schema order.
+    pub fn names(&self) -> Vec<String> {
+        self.ids.iter().map(|id| id.name()).collect()
+    }
+
+    /// Restricts the schema to the given indices (preserving their order).
+    pub fn subset(&self, indices: &[usize]) -> MetricSchema {
+        MetricSchema {
+            ids: indices.iter().map(|&i| self.ids[i]).collect(),
+        }
+    }
+}
+
+impl Default for MetricSchema {
+    fn default() -> Self {
+        MetricSchema::canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_schema_has_over_100_metrics() {
+        let s = MetricSchema::canonical();
+        assert!(s.len() > 100, "schema has {} metrics", s.len());
+        assert_eq!(s.len(), MetricKind::ALL.len() * 2);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = MetricSchema::canonical();
+        let mut names = s.names();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn paper_style_names() {
+        let id = MetricId::new(MetricKind::LlcApki, Level::Machine);
+        assert_eq!(id.name(), "LLC-APKI-Machine");
+        let id = MetricId::new(MetricKind::LlcApki, Level::Hp);
+        assert_eq!(id.name(), "LLC-APKI-HP");
+        assert_eq!(id.to_string(), "LLC-APKI-HP");
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        let s = MetricSchema::canonical();
+        for (i, &id) in s.ids().iter().enumerate() {
+            assert_eq!(s.index_of(id), Some(i));
+            assert_eq!(s.id_at(i), id);
+        }
+    }
+
+    #[test]
+    fn schema_contains_derived_metrics_for_refinement() {
+        // The refinement step needs real redundancy to prune: at least 15
+        // derived kinds must exist (paper prunes 100+ -> 85).
+        let derived = MetricKind::ALL.iter().filter(|k| k.is_derived()).count();
+        assert!(derived >= 15, "only {derived} derived metrics");
+    }
+
+    #[test]
+    fn every_family_is_represented() {
+        use MetricFamily::*;
+        for fam in [
+            Performance, Topdown, Cache, Memory, Tlb, Branch, Cpu, Storage, Network, OsMemory,
+        ] {
+            assert!(
+                MetricKind::ALL.iter().any(|k| k.family() == fam),
+                "family {fam:?} unrepresented"
+            );
+        }
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let s = MetricSchema::canonical();
+        let sub = s.subset(&[5, 2, 9]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.id_at(0), s.id_at(5));
+        assert_eq!(sub.id_at(1), s.id_at(2));
+        assert_eq!(sub.id_at(2), s.id_at(9));
+    }
+
+    #[test]
+    fn enriched_schema_interleaves_stats() {
+        let e = MetricSchema::canonical_enriched();
+        assert_eq!(e.len(), MetricSchema::canonical().len() * 2);
+        assert_eq!(e.id_at(0).stat, Statistic::Mean);
+        assert_eq!(e.id_at(1).stat, Statistic::StdDev);
+        assert_eq!(e.id_at(0).kind, e.id_at(1).kind);
+        assert!(e.id_at(1).name().ends_with("-SD"));
+        // Names stay unique.
+        let mut names = e.names();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn mean_id_name_has_no_suffix() {
+        let id = MetricId::new(MetricKind::Ipc, Level::Hp);
+        assert_eq!(id.name(), "IPC-HP");
+        let sd = MetricId::with_stat(MetricKind::Ipc, Level::Hp, Statistic::StdDev);
+        assert_eq!(sd.name(), "IPC-HP-SD");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = MetricSchema::canonical();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

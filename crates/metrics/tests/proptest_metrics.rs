@@ -1,0 +1,113 @@
+//! Property-based tests of the metric-refinement invariants.
+
+use flare_metrics::correlation::{apply_refinement, correlation_matrix, refine};
+use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+use flare_metrics::schema::MetricSchema;
+use proptest::prelude::*;
+
+/// Builds a database over the first `d` canonical metrics with arbitrary
+/// bounded values.
+fn db_strategy(n: usize, d: usize) -> impl Strategy<Value = MetricDatabase> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1000.0, d), n..=n).prop_map(move |rows| {
+        let schema = MetricSchema::canonical().subset(&(0..d).collect::<Vec<_>>());
+        let mut db = MetricDatabase::new(schema);
+        for (i, metrics) in rows.into_iter().enumerate() {
+            db.insert(ScenarioRecord {
+                id: ScenarioId(i as u32),
+                metrics,
+                observations: 1,
+                job_mix: vec![],
+            })
+            .expect("schema-aligned");
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// THE refinement invariant: after pruning at threshold t, no kept
+    /// pair correlates at |r| >= t.
+    #[test]
+    fn refined_set_has_no_pair_above_threshold(
+        db in db_strategy(15, 8),
+        threshold in 0.5f64..0.99,
+    ) {
+        let report = refine(&db, threshold).unwrap();
+        let refined = apply_refinement(&db, &report).unwrap();
+        let data = refined.to_matrix().unwrap();
+        let corr = correlation_matrix(&data).unwrap();
+        for i in 0..data.ncols() {
+            for j in (i + 1)..data.ncols() {
+                prop_assert!(
+                    corr[(i, j)].abs() < threshold,
+                    "kept pair ({i},{j}) correlates at {}",
+                    corr[(i, j)]
+                );
+            }
+        }
+    }
+
+    /// Every dropped metric names a kept subsumer it correlates with at or
+    /// above the threshold.
+    #[test]
+    fn dropped_metrics_have_valid_justification(
+        db in db_strategy(12, 6),
+        threshold in 0.5f64..0.99,
+    ) {
+        let report = refine(&db, threshold).unwrap();
+        for d in &report.dropped {
+            prop_assert!(d.correlation.abs() >= threshold);
+            // The subsumer must itself be kept.
+            let kept_ids: Vec<_> = report
+                .kept_indices
+                .iter()
+                .map(|&i| db.schema().id_at(i))
+                .collect();
+            prop_assert!(kept_ids.contains(&d.kept));
+        }
+        // Kept + dropped partition the schema.
+        prop_assert_eq!(
+            report.kept_count() + report.dropped_count(),
+            db.schema().len()
+        );
+    }
+
+    /// Refinement at a lower threshold never keeps more metrics.
+    #[test]
+    fn lower_threshold_prunes_at_least_as_much(db in db_strategy(12, 6)) {
+        let strict = refine(&db, 0.6).unwrap();
+        let loose = refine(&db, 0.95).unwrap();
+        prop_assert!(strict.kept_count() <= loose.kept_count());
+    }
+
+    /// Projection through a refinement report preserves scenario rows and
+    /// observation weights.
+    #[test]
+    fn refinement_preserves_rows(db in db_strategy(10, 5)) {
+        let report = refine(&db, 0.9).unwrap();
+        let refined = apply_refinement(&db, &report).unwrap();
+        prop_assert_eq!(refined.len(), db.len());
+        prop_assert_eq!(refined.total_observations(), db.total_observations());
+        for rec in db.iter() {
+            let r = refined.get(rec.id).unwrap();
+            prop_assert_eq!(r.observations, rec.observations);
+        }
+    }
+
+    /// The correlation matrix is symmetric with a unit diagonal and
+    /// entries in [-1, 1].
+    #[test]
+    fn correlation_matrix_well_formed(db in db_strategy(10, 5)) {
+        let data = db.to_matrix().unwrap();
+        let c = correlation_matrix(&data).unwrap();
+        for i in 0..5 {
+            prop_assert!((c[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..5 {
+                prop_assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-12);
+                prop_assert!(c[(i, j)].abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! The datacenter corpus driver: simulates weeks of job submission on a
+//! fleet and collects the job-colocation scenarios that occur (§4.1–4.2).
+//!
+//! This is the "data collection" half of FLARE's Profiler: it produces the
+//! scenario corpus with observation weights, and can materialize the
+//! corpus as a [`MetricDatabase`] by evaluating each scenario under a
+//! machine configuration and synthesizing the raw metrics.
+
+use crate::interference::{evaluate, MachinePerf};
+use crate::machine::{MachineConfig, MachineShape};
+use crate::profiler::synthesize;
+use crate::scenario::Scenario;
+use crate::scheduler::{MachineState, Placement, Scheduler, SchedulerPolicy};
+use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+use flare_metrics::schema::MetricSchema;
+use flare_workloads::job::{JobInstance, JobName};
+use flare_workloads::loadgen::{diurnal_pattern, DurationModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a corpus-collection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Machines in the serving rack (paper: 8).
+    pub machines: usize,
+    /// Simulated collection period, days.
+    pub days: f64,
+    /// Snapshot/scheduling tick, minutes.
+    pub tick_minutes: f64,
+    /// Master RNG seed; the whole corpus is deterministic given it.
+    pub seed: u64,
+    /// Duration model for HP service containers (long-lived servers).
+    pub hp_duration: DurationModel,
+    /// Duration model for LP batch containers (shorter-lived).
+    pub lp_duration: DurationModel,
+    /// Scheduler placement policy.
+    pub policy: SchedulerPolicy,
+    /// Probability that one free container slot receives an LP job per
+    /// tick (opportunistic batch pressure).
+    pub lp_submit_prob: f64,
+    /// Fraction of fleet container slots each HP service targets at its
+    /// diurnal peak.
+    pub hp_peak_share: f64,
+    /// Machine configuration during collection (normally the baseline).
+    pub machine_config: MachineConfig,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            machines: 8,
+            days: 7.0,
+            tick_minutes: 10.0,
+            seed: 0xF1A7E,
+            hp_duration: DurationModel {
+                min_minutes: 30.0,
+                mean_extra_minutes: 600.0,
+            },
+            lp_duration: DurationModel {
+                min_minutes: 30.0,
+                mean_extra_minutes: 60.0,
+            },
+            policy: SchedulerPolicy::LeastUtilized,
+            lp_submit_prob: 0.12,
+            hp_peak_share: 0.14,
+            machine_config: MachineShape::default_shape().baseline_config(),
+        }
+    }
+}
+
+/// One distinct job-colocation scenario with its observation weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Stable id (first-seen order).
+    pub id: ScenarioId,
+    /// The colocation.
+    pub scenario: Scenario,
+    /// How many machine-ticks exhibited the scenario.
+    pub observations: u32,
+}
+
+/// The collected scenario corpus of a datacenter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    config: CorpusConfig,
+}
+
+impl Corpus {
+    /// Simulates the submission/scheduling timeline and collects every
+    /// distinct non-empty colocation scenario with its observation count.
+    ///
+    /// Deterministic given `config.seed`.
+    pub fn generate(config: &CorpusConfig) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scheduler = Scheduler::new(config.policy);
+        let mut machines: Vec<MachineState> = (0..config.machines)
+            .map(|_| MachineState::new(config.machine_config.clone()))
+            .collect();
+
+        let slots_per_machine =
+            (config.machine_config.schedulable_vcpus() / JobInstance::CONTAINER_VCPUS) as f64;
+        let fleet_slots = slots_per_machine * config.machines as f64;
+
+        let mut seen: HashMap<Scenario, (usize, u32)> = HashMap::new();
+        let mut order: Vec<Scenario> = Vec::new();
+
+        // LP batch work arrives in waves: a job array submits many
+        // identical containers, then a different array takes over. This is
+        // how production batch tiers behave and it keeps colocation mixes
+        // repetitive (the paper observes only ~900 distinct mixes).
+        let mut lp_wave = JobName::LOW_PRIORITY[rng.gen_range(0..JobName::LOW_PRIORITY.len())];
+        let ticks_per_snapshot = (60.0 / config.tick_minutes).round().max(1.0) as u64;
+
+        let total_ticks = (config.days * 24.0 * 60.0 / config.tick_minutes).ceil() as u64;
+        for tick in 0..total_ticks {
+            let now = tick as f64 * config.tick_minutes;
+            let hour = (now / 60.0) % 24.0;
+
+            // 1. Container departures.
+            for m in &mut machines {
+                m.expire(now);
+            }
+
+            // 2. HP services track their diurnal targets.
+            for &job in JobName::HIGH_PRIORITY {
+                // Autoscalers react to coarse load levels, not every blip:
+                // quantize the diurnal load to 1/8 steps before sizing.
+                let load = (diurnal_pattern(job).load_at(hour) * 8.0).round() / 8.0;
+                let target = (load * config.hp_peak_share * fleet_slots).round() as u32;
+                let running: u32 = machines
+                    .iter()
+                    .map(|m| m.scenario().instances_of(job))
+                    .sum();
+                for _ in running..target {
+                    let ends = now + config.hp_duration.sample_minutes(&mut rng);
+                    if scheduler.place(&mut machines, JobInstance::new(job), ends)
+                        == Placement::Denied
+                    {
+                        break; // fleet saturated; stop trying this tick
+                    }
+                }
+            }
+
+            // 3. LP batch fills some of the remaining capacity.
+            let free_slots: u32 = machines
+                .iter()
+                .map(|m| {
+                    (m.config.schedulable_vcpus() - m.allocated_vcpus())
+                        / JobInstance::CONTAINER_VCPUS
+                })
+                .sum();
+            if rng.gen::<f64>() < 0.05 {
+                lp_wave = JobName::LOW_PRIORITY[rng.gen_range(0..JobName::LOW_PRIORITY.len())];
+            }
+            // Batch-tier pressure ebbs and flows over multiple days (job
+            // arrays complete, pipelines pause): a slow tide scales the
+            // submission probability, producing the wide occupancy range
+            // real corpora show (Fig. 3a).
+            let day = now / (24.0 * 60.0);
+            let tide = 0.55 + 0.45 * (std::f64::consts::TAU * day / 3.0).sin();
+            for _ in 0..free_slots {
+                if rng.gen::<f64>() < config.lp_submit_prob * tide {
+                    let ends = now + config.lp_duration.sample_minutes(&mut rng);
+                    let _ = scheduler.place(&mut machines, JobInstance::new(lp_wave), ends);
+                }
+            }
+
+            // 4. Snapshot colocations (hourly — the profiler's logging
+            // granularity; scheduling still happens every tick).
+            if tick % ticks_per_snapshot != 0 {
+                continue;
+            }
+            for m in &machines {
+                let s = m.scenario();
+                if s.is_empty() {
+                    continue;
+                }
+                match seen.get_mut(&s) {
+                    Some((_, count)) => *count += 1,
+                    None => {
+                        seen.insert(s.clone(), (order.len(), 1));
+                        order.push(s);
+                    }
+                }
+            }
+        }
+
+        let entries = order
+            .into_iter()
+            .enumerate()
+            .map(|(i, scenario)| {
+                let (_, observations) = seen[&scenario];
+                CorpusEntry {
+                    id: ScenarioId(i as u32),
+                    scenario,
+                    observations,
+                }
+            })
+            .collect();
+        Corpus {
+            entries,
+            config: config.clone(),
+        }
+    }
+
+    /// Builds a corpus from externally collected entries — the ingestion
+    /// path for *real* datacenter traces (e.g. converted cluster-manager
+    /// logs) instead of the built-in submission simulator. Entries are
+    /// re-indexed densely in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if entries are empty, contain an empty scenario,
+    /// have zero observations, or exceed the machine's schedulable vCPUs.
+    pub fn from_entries(
+        scenarios: Vec<(Scenario, u32)>,
+        config: CorpusConfig,
+    ) -> std::result::Result<Corpus, String> {
+        if scenarios.is_empty() {
+            return Err("a corpus needs at least one scenario".into());
+        }
+        let cap = config.machine_config.schedulable_vcpus();
+        let mut entries = Vec::with_capacity(scenarios.len());
+        for (i, (scenario, observations)) in scenarios.into_iter().enumerate() {
+            if scenario.is_empty() {
+                return Err(format!("entry {i}: empty scenario"));
+            }
+            if observations == 0 {
+                return Err(format!("entry {i}: zero observations"));
+            }
+            if scenario.total_vcpus() > cap {
+                return Err(format!(
+                    "entry {i}: {} vCPUs exceed the machine's {cap}",
+                    scenario.total_vcpus()
+                ));
+            }
+            entries.push(CorpusEntry {
+                id: ScenarioId(i as u32),
+                scenario,
+                observations,
+            });
+        }
+        Ok(Corpus { entries, config })
+    }
+
+    /// The distinct scenarios, in first-seen (id) order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of distinct scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no scenarios were collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configuration the corpus was collected under.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Entry lookup by scenario id.
+    pub fn get(&self, id: ScenarioId) -> Option<&CorpusEntry> {
+        self.entries.get(id.0 as usize)
+    }
+
+    /// Entries that contain at least one HP container (the population for
+    /// performance accounting; LP-only scenarios carry no managed
+    /// performance).
+    pub fn hp_entries(&self) -> Vec<&CorpusEntry> {
+        self.entries.iter().filter(|e| e.scenario.has_hp_job()).collect()
+    }
+
+    /// Evaluates one scenario of the corpus under an arbitrary machine
+    /// configuration (the ground-truth primitive).
+    pub fn evaluate_scenario(&self, id: ScenarioId, config: &MachineConfig) -> Option<MachinePerf> {
+        self.get(id).map(|e| evaluate(&e.scenario, config))
+    }
+
+    /// Materializes the corpus as a [`MetricDatabase`]: every scenario is
+    /// evaluated under `machine_config` and its raw metric vector is
+    /// synthesized with deterministic per-scenario measurement noise.
+    pub fn to_metric_database(&self, machine_config: &MachineConfig) -> MetricDatabase {
+        let mut db = MetricDatabase::new(MetricSchema::canonical());
+        for e in &self.entries {
+            let perf = evaluate(&e.scenario, machine_config);
+            let metrics = synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
+            db.insert(ScenarioRecord {
+                id: e.id,
+                metrics,
+                observations: e.observations,
+                job_mix: e.scenario.job_mix_strings(),
+            })
+            .expect("synthesized vector matches canonical schema");
+        }
+        db
+    }
+
+    /// Materializes the corpus with §4.1 temporal enrichment: every metric
+    /// is recorded as mean **and** across-phase standard deviation (see
+    /// [`crate::profiler::synthesize_enriched`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases == 0`.
+    pub fn to_metric_database_enriched(
+        &self,
+        machine_config: &MachineConfig,
+        phases: usize,
+    ) -> MetricDatabase {
+        let mut db = MetricDatabase::new(MetricSchema::canonical_enriched());
+        for e in &self.entries {
+            let metrics = crate::profiler::synthesize_enriched(
+                &e.scenario,
+                machine_config,
+                phases,
+                self.noise_seed(e.id),
+            );
+            db.insert(ScenarioRecord {
+                id: e.id,
+                metrics,
+                observations: e.observations,
+                job_mix: e.scenario.job_mix_strings(),
+            })
+            .expect("enriched vector matches enriched schema");
+        }
+        db
+    }
+
+    /// Deterministic per-scenario measurement-noise seed.
+    fn noise_seed(&self, id: ScenarioId) -> u64 {
+        self.config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id.0 as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CorpusConfig {
+        CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        }
+    }
+
+    #[test]
+    fn from_entries_ingests_external_traces() {
+        use flare_workloads::job::JobName;
+        let cfg = CorpusConfig::default();
+        let corpus = Corpus::from_entries(
+            vec![
+                (Scenario::from_counts([(JobName::DataCaching, 2)]), 5),
+                (
+                    Scenario::from_counts([(JobName::GraphAnalytics, 3), (JobName::Mcf, 2)]),
+                    2,
+                ),
+            ],
+            cfg.clone(),
+        )
+        .unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.entries()[0].id, ScenarioId(0));
+        assert_eq!(corpus.entries()[0].observations, 5);
+        // Ingested corpora flow through the normal pipeline.
+        let db = corpus.to_metric_database(&corpus.config().machine_config);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn from_entries_validates() {
+        use flare_workloads::job::JobName;
+        let cfg = CorpusConfig::default();
+        assert!(Corpus::from_entries(vec![], cfg.clone()).is_err());
+        assert!(
+            Corpus::from_entries(vec![(Scenario::empty(), 1)], cfg.clone()).is_err()
+        );
+        assert!(Corpus::from_entries(
+            vec![(Scenario::from_counts([(JobName::DataCaching, 1)]), 0)],
+            cfg.clone()
+        )
+        .is_err());
+        // 13 containers = 52 vCPUs > 48.
+        assert!(Corpus::from_entries(
+            vec![(Scenario::from_counts([(JobName::DataCaching, 13)]), 1)],
+            cfg
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = small_config();
+        let a = Corpus::generate(&cfg);
+        let b = Corpus::generate(&cfg);
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn corpus_has_diverse_scenarios() {
+        let corpus = Corpus::generate(&small_config());
+        assert!(corpus.len() > 30, "only {} scenarios", corpus.len());
+        // Mix of occupancies.
+        let occs: Vec<f64> = corpus
+            .entries()
+            .iter()
+            .map(|e| e.scenario.occupancy(48))
+            .collect();
+        let min = occs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = occs.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.3, "occupancy range [{min}, {max}] too narrow");
+    }
+
+    #[test]
+    fn ids_are_dense_first_seen() {
+        let corpus = Corpus::generate(&small_config());
+        for (i, e) in corpus.entries().iter().enumerate() {
+            assert_eq!(e.id, ScenarioId(i as u32));
+            assert!(e.observations >= 1);
+        }
+    }
+
+    #[test]
+    fn most_scenarios_have_hp_jobs() {
+        let corpus = Corpus::generate(&small_config());
+        let hp = corpus.hp_entries().len();
+        assert!(
+            hp * 2 > corpus.len(),
+            "{hp} of {} scenarios have HP jobs",
+            corpus.len()
+        );
+    }
+
+    #[test]
+    fn no_scenario_overcommits() {
+        let corpus = Corpus::generate(&small_config());
+        let cap = corpus.config().machine_config.schedulable_vcpus();
+        for e in corpus.entries() {
+            assert!(e.scenario.total_vcpus() <= cap);
+        }
+    }
+
+    #[test]
+    fn metric_database_covers_corpus() {
+        let corpus = Corpus::generate(&small_config());
+        let db = corpus.to_metric_database(&corpus.config().machine_config);
+        assert_eq!(db.len(), corpus.len());
+        assert_eq!(db.schema().len(), MetricSchema::canonical().len());
+        // Observation weights survive.
+        let total: u64 = corpus.entries().iter().map(|e| e.observations as u64).sum();
+        assert_eq!(db.total_observations(), total);
+    }
+
+    #[test]
+    fn evaluate_scenario_roundtrip() {
+        let corpus = Corpus::generate(&small_config());
+        let cfg = corpus.config().machine_config.clone();
+        let id = corpus.hp_entries()[0].id;
+        let perf = corpus.evaluate_scenario(id, &cfg).unwrap();
+        assert!(perf.hp_normalized_perf().is_some());
+        assert!(corpus.evaluate_scenario(ScenarioId(99_999), &cfg).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Datacenter-improving features (Table 4).
+//!
+//! A feature transforms a machine's runtime configuration without changing
+//! its shape — the class of changes FLARE targets (§2). The paper's three
+//! evaluation features intentionally *reduce* machine capability so
+//! degradations are easy to measure; any [`Feature`] works the same way.
+
+use crate::machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A machine-shape-preserving configuration change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Feature {
+    /// No change: the Table 4 baseline (30 MB LLC, 1.2–2.9 GHz, SMT on).
+    Baseline,
+    /// Feature 1: cache sizing via CAT — restrict the LLC per socket.
+    CacheSizing {
+        /// LLC made available per socket, MB (paper: 12).
+        llc_mb_per_socket: f64,
+    },
+    /// Feature 2: DVFS policy — cap the maximum frequency.
+    DvfsCap {
+        /// New frequency ceiling, GHz (paper: 1.8).
+        freq_max_ghz: f64,
+    },
+    /// Feature 3: disable simultaneous multithreading.
+    SmtOff,
+    /// A compound feature: apply several in sequence (an extension beyond
+    /// the paper's three, useful for ablations).
+    Compound(Vec<Feature>),
+}
+
+impl Feature {
+    /// The paper's Feature 1 (30 MB → 12 MB LLC per socket).
+    pub fn paper_feature1() -> Self {
+        Feature::CacheSizing {
+            llc_mb_per_socket: 12.0,
+        }
+    }
+
+    /// The paper's Feature 2 (2.9 GHz → 1.8 GHz ceiling).
+    pub fn paper_feature2() -> Self {
+        Feature::DvfsCap { freq_max_ghz: 1.8 }
+    }
+
+    /// The paper's Feature 3 (hyper-threading disabled).
+    pub fn paper_feature3() -> Self {
+        Feature::SmtOff
+    }
+
+    /// The three paper features in Table 4 order.
+    pub fn paper_features() -> Vec<Feature> {
+        vec![
+            Self::paper_feature1(),
+            Self::paper_feature2(),
+            Self::paper_feature3(),
+        ]
+    }
+
+    /// Applies the feature to a machine configuration, returning the new
+    /// configuration. Knobs are clamped to physical limits (you cannot CAT
+    /// more cache than the silicon has, nor raise the ceiling above turbo).
+    pub fn apply(&self, config: &MachineConfig) -> MachineConfig {
+        let mut out = config.clone();
+        match self {
+            Feature::Baseline => {}
+            Feature::CacheSizing { llc_mb_per_socket } => {
+                out.llc_mb_per_socket = llc_mb_per_socket
+                    .clamp(0.5, config.shape.llc_mb_per_socket);
+            }
+            Feature::DvfsCap { freq_max_ghz } => {
+                out.freq_max_ghz =
+                    freq_max_ghz.clamp(config.freq_min_ghz, config.shape.freq_max_ghz);
+            }
+            Feature::SmtOff => {
+                out.smt_enabled = false;
+            }
+            Feature::Compound(features) => {
+                for f in features {
+                    out = f.apply(&out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Short identifier used in experiment output tables.
+    pub fn label(&self) -> String {
+        match self {
+            Feature::Baseline => "Baseline".into(),
+            Feature::CacheSizing { llc_mb_per_socket } => {
+                format!("Feature1(LLC={llc_mb_per_socket}MB)")
+            }
+            Feature::DvfsCap { freq_max_ghz } => format!("Feature2(Fmax={freq_max_ghz}GHz)"),
+            Feature::SmtOff => "Feature3(SMT off)".into(),
+            Feature::Compound(fs) => {
+                let inner: Vec<String> = fs.iter().map(Feature::label).collect();
+                format!("Compound[{}]", inner.join(", "))
+            }
+        }
+    }
+
+    /// The Table 4 description row for this feature.
+    pub fn table4_row(&self) -> String {
+        match self {
+            Feature::Baseline => {
+                "30MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading enabled".into()
+            }
+            Feature::CacheSizing { llc_mb_per_socket } => format!(
+                "{llc_mb_per_socket}MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading enabled"
+            ),
+            Feature::DvfsCap { freq_max_ghz } => format!(
+                "30MB LLC/socket, 1.2 - {freq_max_ghz}GHz clock, Hyperthreading enabled"
+            ),
+            Feature::SmtOff => {
+                "30MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading disabled".into()
+            }
+            Feature::Compound(_) => self.label(),
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineShape;
+
+    fn base() -> MachineConfig {
+        MachineShape::default_shape().baseline_config()
+    }
+
+    #[test]
+    fn baseline_is_identity() {
+        let c = base();
+        assert_eq!(Feature::Baseline.apply(&c), c);
+    }
+
+    #[test]
+    fn feature1_shrinks_llc_only() {
+        let c = base();
+        let f = Feature::paper_feature1().apply(&c);
+        assert_eq!(f.llc_mb_per_socket, 12.0);
+        assert_eq!(f.freq_max_ghz, c.freq_max_ghz);
+        assert!(f.smt_enabled);
+        assert!(f.is_valid());
+    }
+
+    #[test]
+    fn feature2_caps_frequency_only() {
+        let c = base();
+        let f = Feature::paper_feature2().apply(&c);
+        assert_eq!(f.freq_max_ghz, 1.8);
+        assert_eq!(f.llc_mb_per_socket, 30.0);
+        assert!(f.is_valid());
+    }
+
+    #[test]
+    fn feature3_disables_smt_only() {
+        let c = base();
+        let f = Feature::paper_feature3().apply(&c);
+        assert!(!f.smt_enabled);
+        assert_eq!(f.schedulable_vcpus(), 24);
+        assert_eq!(f.llc_mb_per_socket, 30.0);
+    }
+
+    #[test]
+    fn knobs_clamp_to_silicon() {
+        let c = base();
+        let too_big = Feature::CacheSizing {
+            llc_mb_per_socket: 99.0,
+        }
+        .apply(&c);
+        assert_eq!(too_big.llc_mb_per_socket, 30.0);
+        let too_fast = Feature::DvfsCap { freq_max_ghz: 5.0 }.apply(&c);
+        assert_eq!(too_fast.freq_max_ghz, 2.9);
+        let too_slow = Feature::DvfsCap { freq_max_ghz: 0.1 }.apply(&c);
+        assert_eq!(too_slow.freq_max_ghz, c.freq_min_ghz);
+    }
+
+    #[test]
+    fn compound_applies_in_sequence() {
+        let c = base();
+        let f = Feature::Compound(vec![Feature::paper_feature1(), Feature::paper_feature3()])
+            .apply(&c);
+        assert_eq!(f.llc_mb_per_socket, 12.0);
+        assert!(!f.smt_enabled);
+    }
+
+    #[test]
+    fn labels_and_rows() {
+        assert_eq!(Feature::paper_feature3().label(), "Feature3(SMT off)");
+        assert!(Feature::paper_feature1().table4_row().contains("12MB"));
+        assert!(Feature::Baseline.table4_row().contains("30MB"));
+        assert_eq!(Feature::paper_features().len(), 3);
+    }
+}

@@ -1,0 +1,699 @@
+//! The colocation interference model.
+//!
+//! Given a [`Scenario`] and a [`MachineConfig`], this module computes each
+//! instance's achieved performance and the intermediate microarchitectural
+//! state (cache shares, miss rates, bandwidth, frequency, SMT pairing) that
+//! the profiler turns into raw metrics.
+//!
+//! The model combines five first-order contention channels, each of which
+//! reacts to a different Table 4 feature:
+//!
+//! 1. **LLC capacity sharing** — working sets compete for the (possibly
+//!    CAT-restricted) LLC; per-instance share follows demand-proportional
+//!    partitioning and feeds a power-law miss-ratio curve. (Feature 1)
+//! 2. **Memory bandwidth & loaded latency** — total DRAM traffic throttles
+//!    when it exceeds channel capacity, and loaded latency grows with
+//!    utilization (an M/M/1-flavored inflation). (Feature 1, indirectly)
+//! 3. **Core frequency** — a power-budget turbo model droops with active
+//!    cores, bounded by the DVFS ceiling. (Feature 2)
+//! 4. **SMT co-residency** — when active threads exceed physical cores,
+//!    siblings share pipelines at per-job friendliness factors; with SMT
+//!    off, capacity halves and excess threads timeslice. (Feature 3)
+//! 5. **I/O (disk & NIC) saturation** — shared-device throttling for
+//!    I/O-heavy services.
+//!
+//! No single raw metric predicts the combined effect — which is exactly
+//! the paper's Fig. 3b observation that motivates FLARE.
+
+use crate::machine::MachineConfig;
+use crate::scenario::Scenario;
+use flare_workloads::catalog;
+use flare_workloads::job::JobName;
+use flare_workloads::profile::JobProfile;
+use serde::{Deserialize, Serialize};
+
+/// Reference frequency at which inherent MIPS is defined (the default
+/// shape's turbo ceiling).
+pub const REFERENCE_FREQ_GHZ: f64 = 2.9;
+
+/// Loaded-latency inflation strength (dimensionless).
+const LATENCY_INFLATION_GAIN: f64 = 0.7;
+
+/// Performance penalty per (latency-weighted) extra LLC miss per
+/// kilo-instruction.
+const MISS_PENALTY_PER_MPKI: f64 = 0.038;
+
+/// Saturation constant (MB/s) above which a job counts as fully
+/// I/O-dependent on the NIC.
+const NET_DEPENDENCY_SCALE: f64 = 200.0;
+
+/// Saturation constant (MB/s) for disk dependency.
+const DISK_DEPENDENCY_SCALE: f64 = 150.0;
+
+/// Achieved performance and micro-state of one instance in a colocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceOutcome {
+    /// The job this instance runs.
+    pub job: JobName,
+    /// Achieved instruction throughput, MIPS.
+    pub mips: f64,
+    /// MIPS normalized by the job's inherent MIPS (the paper's
+    /// performance definition, §5.1). 1.0 = as fast as running alone.
+    pub normalized_perf: f64,
+    /// LLC share received, MB.
+    pub llc_share_mb: f64,
+    /// Achieved LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Achieved DRAM traffic, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Achieved core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Multiplier from SMT pairing (1.0 = unshared core).
+    pub smt_factor: f64,
+    /// Multiplier from CPU timeslicing (1.0 = no oversubscription).
+    pub timeslice_factor: f64,
+    /// Multiplier from frequency scaling.
+    pub freq_factor: f64,
+    /// Multiplier from memory latency/miss penalties.
+    pub mem_factor: f64,
+    /// Multiplier from DRAM bandwidth throttling.
+    pub bw_factor: f64,
+    /// Multiplier from disk/NIC saturation.
+    pub io_factor: f64,
+}
+
+/// Machine-level aggregates of a colocation evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachinePerf {
+    /// Per-instance outcomes, in the scenario's canonical instance order.
+    pub instances: Vec<InstanceOutcome>,
+    /// Fraction of physical cores with at least one active thread.
+    pub core_active_fraction: f64,
+    /// Total active vCPU demand (sum of per-instance busy vCPUs).
+    pub active_vcpus: f64,
+    /// DRAM bandwidth utilization fraction (can exceed 1 pre-throttle).
+    pub dram_utilization: f64,
+    /// Loaded memory latency multiplier (1.0 = unloaded).
+    pub latency_inflation: f64,
+    /// Achieved core frequency, GHz (uniform across the machine).
+    pub freq_ghz: f64,
+    /// Probability an active thread shares a core with a sibling.
+    pub smt_pairing_probability: f64,
+}
+
+impl MachinePerf {
+    /// Sum of achieved MIPS over High-Priority instances.
+    pub fn hp_mips(&self) -> f64 {
+        self.instances
+            .iter()
+            .filter(|o| JobName::HIGH_PRIORITY.contains(&o.job))
+            .map(|o| o.mips)
+            .sum()
+    }
+
+    /// Mean normalized performance over HP instances (the scenario-level
+    /// performance number FLARE aggregates). `None` if the scenario has no
+    /// HP instances.
+    pub fn hp_normalized_perf(&self) -> Option<f64> {
+        let hp: Vec<f64> = self
+            .instances
+            .iter()
+            .filter(|o| JobName::HIGH_PRIORITY.contains(&o.job))
+            .map(|o| o.normalized_perf)
+            .collect();
+        if hp.is_empty() {
+            None
+        } else {
+            Some(hp.iter().sum::<f64>() / hp.len() as f64)
+        }
+    }
+
+    /// Harmonic mean of HP normalized performance — the multiprogram
+    /// metric of Eyerman & Eeckhout (the paper's \[27\] "alternatives"):
+    /// emphasizes the *worst-treated* instance, a fairness-leaning
+    /// summary. `None` if the scenario has no HP instances.
+    pub fn hp_normalized_perf_harmonic(&self) -> Option<f64> {
+        let hp: Vec<f64> = self
+            .instances
+            .iter()
+            .filter(|o| JobName::HIGH_PRIORITY.contains(&o.job))
+            .map(|o| o.normalized_perf)
+            .collect();
+        if hp.is_empty() {
+            return None;
+        }
+        let inv_sum: f64 = hp.iter().map(|p| 1.0 / p.max(1e-12)).sum();
+        Some(hp.len() as f64 / inv_sum)
+    }
+
+    /// Total HP MIPS normalized by total inherent MIPS — a
+    /// throughput-weighted summary (system-level "weighted speedup"
+    /// flavor): big jobs dominate. `None` if the scenario has no HP
+    /// instances.
+    pub fn hp_normalized_perf_weighted(&self) -> Option<f64> {
+        let mut achieved = 0.0;
+        let mut inherent = 0.0;
+        for o in self
+            .instances
+            .iter()
+            .filter(|o| JobName::HIGH_PRIORITY.contains(&o.job))
+        {
+            achieved += o.mips;
+            inherent += o.mips / o.normalized_perf.max(1e-12);
+        }
+        (inherent > 0.0).then(|| achieved / inherent)
+    }
+
+    /// Mean normalized performance of instances of `job` in this
+    /// colocation, or `None` if absent.
+    pub fn job_normalized_perf(&self, job: JobName) -> Option<f64> {
+        let v: Vec<f64> = self
+            .instances
+            .iter()
+            .filter(|o| o.job == job)
+            .map(|o| o.normalized_perf)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+}
+
+/// Demand-proportional LLC partitioning.
+///
+/// If the working sets all fit, everyone gets their full demand; otherwise
+/// the cache is split proportionally to demand (the natural equilibrium of
+/// shared-LRU caches under roughly equal access intensity).
+pub fn llc_partition(demands_mb: &[f64], total_mb: f64) -> Vec<f64> {
+    let total_demand: f64 = demands_mb.iter().sum();
+    if total_demand <= total_mb || total_demand <= f64::EPSILON {
+        demands_mb.to_vec()
+    } else {
+        let scale = total_mb / total_demand;
+        demands_mb.iter().map(|d| d * scale).collect()
+    }
+}
+
+/// SMT pairing probability: the chance an active thread shares a physical
+/// core, given total active threads and core count.
+///
+/// With `a` active threads on `c` cores (a ≤ 2c after timeslicing), the
+/// scheduler packs `a - c` pairs when `a > c`, so `2(a - c)` of the `a`
+/// threads are paired.
+pub fn smt_pairing_probability(active_threads: f64, cores: f64) -> f64 {
+    if active_threads <= cores || active_threads <= 0.0 {
+        0.0
+    } else {
+        let capped = active_threads.min(2.0 * cores);
+        (2.0 * (capped - cores) / capped).clamp(0.0, 1.0)
+    }
+}
+
+/// Loaded-latency inflation as a function of DRAM utilization: convex and
+/// bounded (the knee of a queueing curve without its asymptote, since
+/// bandwidth throttling caps utilization at 1).
+pub fn latency_inflation(dram_utilization: f64) -> f64 {
+    let u = dram_utilization.clamp(0.0, 1.0);
+    1.0 + LATENCY_INFLATION_GAIN * u.powi(3)
+}
+
+/// Evaluates a colocation scenario on a machine configuration.
+///
+/// Returns per-instance outcomes in the scenario's canonical instance
+/// order plus machine-level aggregates. An empty scenario produces an
+/// idle-machine result with no instances.
+///
+/// # Examples
+///
+/// ```
+/// use flare_sim::interference::evaluate;
+/// use flare_sim::machine::MachineShape;
+/// use flare_sim::scenario::Scenario;
+/// use flare_workloads::job::JobName;
+///
+/// let config = MachineShape::default_shape().baseline_config();
+/// let solo = Scenario::from_counts([(JobName::GraphAnalytics, 1)]);
+/// let crowded = Scenario::from_counts([
+///     (JobName::GraphAnalytics, 1),
+///     (JobName::Mcf, 8),
+/// ]);
+/// let p_solo = evaluate(&solo, &config);
+/// let p_crowded = evaluate(&crowded, &config);
+/// // Colocation with eight mcf containers hurts Spark.
+/// assert!(p_crowded.instances[0].mips < p_solo.instances[0].mips);
+/// ```
+pub fn evaluate(scenario: &Scenario, config: &MachineConfig) -> MachinePerf {
+    evaluate_at_load(scenario, config, 1.0)
+}
+
+/// Evaluates a scenario at a momentary *load factor*: user demand swings
+/// within a scenario's lifetime (§4.1's temporal/phase behaviour), scaling
+/// each instance's busy vCPUs, memory traffic, and I/O proportionally.
+/// `load = 1.0` is the scenario's average intensity ([`evaluate`]).
+///
+/// The factor is clamped to `[0.1, 1.5]`; CPU utilization saturates at 1.
+pub fn evaluate_at_load(scenario: &Scenario, config: &MachineConfig, load: f64) -> MachinePerf {
+    let load = load.clamp(0.1, 1.5);
+    evaluate_with_profiles(scenario, config, &|job| {
+        let mut p = catalog::profile(job);
+        if (load - 1.0).abs() > f64::EPSILON {
+            p.cpu_util = (p.cpu_util * load).min(1.0);
+            p.mem_bw_gbps *= load;
+            p.net_rx_mbps *= load;
+            p.net_tx_mbps *= load;
+            p.disk_read_mbps *= load;
+            p.disk_write_mbps *= load;
+            p.syscalls_ps *= load;
+        }
+        p
+    })
+}
+
+/// Evaluates a scenario with caller-provided job profiles instead of the
+/// catalog's — the substitution hook behind stressor-based proxy replay
+/// (iBench-style load generators standing in for real services, §5.1) and
+/// what-if profile studies.
+///
+/// `profile_of` is called once per instance with the instance's job name.
+pub fn evaluate_with_profiles(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    profile_of: &dyn Fn(JobName) -> JobProfile,
+) -> MachinePerf {
+    let instances = scenario.to_instances();
+    let profiles: Vec<JobProfile> = instances.iter().map(|i| profile_of(i.job)).collect();
+
+    let cores = config.shape.total_cores() as f64;
+    let logical = config.schedulable_vcpus() as f64;
+
+    // ---- CPU occupancy ------------------------------------------------
+    let active_vcpus: f64 = profiles.iter().map(|p| 4.0 * p.cpu_util).sum();
+    // Threads that can be simultaneously resident.
+    let resident = active_vcpus.min(logical);
+    let timeslice_global = if active_vcpus > logical {
+        logical / active_vcpus
+    } else {
+        1.0
+    };
+    let pairing = if config.smt_enabled {
+        smt_pairing_probability(resident, cores)
+    } else {
+        0.0
+    };
+    // Cores busy = min(resident threads, cores): threads spread over idle
+    // cores first, pairing (SMT on) or queueing (SMT off) second.
+    let core_active_fraction = resident.min(cores) / cores;
+
+    // ---- Frequency -----------------------------------------------------
+    let freq = config.achieved_freq_ghz(core_active_fraction);
+
+    // ---- LLC partitioning ------------------------------------------------
+    let demands: Vec<f64> = profiles.iter().map(|p| p.working_set_mb).collect();
+    let shares = llc_partition(&demands, config.total_llc_mb());
+    let mpkis: Vec<f64> = profiles
+        .iter()
+        .zip(&shares)
+        .map(|(p, &s)| p.llc_mpki_at(s))
+        .collect();
+
+    // ---- DRAM bandwidth --------------------------------------------------
+    // Traffic scales with the miss blow-up relative to the solo baseline
+    // AND with the achieved instruction rate: slower cores (DVFS caps,
+    // heavy timeslicing) generate proportionally less memory traffic, so
+    // a frequency cap partially relieves memory contention in loaded
+    // colocations — one of the cross-channel couplings that makes feature
+    // impact colocation-dependent.
+    let bw_demands: Vec<f64> = profiles
+        .iter()
+        .zip(&mpkis)
+        .map(|(p, &m)| {
+            let blowup = if p.base_llc_mpki > 0.0 {
+                m / p.base_llc_mpki
+            } else {
+                1.0
+            };
+            let rate = p.cpu_bound_fraction * (freq / REFERENCE_FREQ_GHZ)
+                + (1.0 - p.cpu_bound_fraction);
+            p.mem_bw_gbps * blowup * rate * timeslice_global
+        })
+        .collect();
+    let total_bw_demand: f64 = bw_demands.iter().sum();
+    let dram_utilization = total_bw_demand / config.shape.dram_bw_gbps;
+    let bw_throttle = if dram_utilization > 1.0 {
+        1.0 / dram_utilization
+    } else {
+        1.0
+    };
+    // Loaded latency grows with the *latency-critical* share of traffic:
+    // streaming (prefetchable) requests batch well in the memory
+    // controller, while pointer-chasing demand misses collide. A machine
+    // can therefore run high DRAM utilization with modest loaded latency
+    // when the traffic is stream-dominated — one reason raw DRAM
+    // utilization does not predict a cache feature's impact (Fig. 3b).
+    let latency_critical_bw: f64 = bw_demands
+        .iter()
+        .zip(&profiles)
+        .map(|(&bw, p)| bw * (0.2 + 0.8 * p.latency_sensitivity))
+        .sum();
+    let lat_inflation = latency_inflation(latency_critical_bw / config.shape.dram_bw_gbps);
+
+    // ---- Shared I/O devices ---------------------------------------------
+    let nic_capacity_mbps = config.shape.nic_gbps * 1000.0 / 8.0;
+    let total_net: f64 = profiles.iter().map(|p| p.net_rx_mbps + p.net_tx_mbps).sum();
+    let net_throttle = if total_net > nic_capacity_mbps {
+        nic_capacity_mbps / total_net
+    } else {
+        1.0
+    };
+    let total_disk: f64 = profiles
+        .iter()
+        .map(|p| p.disk_read_mbps + p.disk_write_mbps)
+        .sum();
+    let disk_throttle = if total_disk > config.shape.disk_mbps {
+        config.shape.disk_mbps / total_disk
+    } else {
+        1.0
+    };
+
+    // ---- Per-instance composition -----------------------------------------
+    let mut outcomes = Vec::with_capacity(instances.len());
+    for ((inst, profile), (&share, &mpki)) in instances
+        .iter()
+        .zip(&profiles)
+        .zip(shares.iter().zip(&mpkis))
+    {
+        let freq_factor =
+            profile.cpu_bound_fraction * (freq / REFERENCE_FREQ_GHZ) + (1.0 - profile.cpu_bound_fraction);
+        let smt_factor = 1.0 - pairing * (1.0 - profile.smt_friendliness);
+        // Latency-weighted extra misses relative to the solo baseline.
+        let effective_extra_mpki = (mpki * lat_inflation - profile.base_llc_mpki).max(0.0);
+        let mem_factor = 1.0
+            / (1.0 + profile.latency_sensitivity * MISS_PENALTY_PER_MPKI * effective_extra_mpki);
+        // Bandwidth throttle hurts streaming jobs in proportion to how
+        // much of their time is bandwidth-dependent (1 - latency_sens is a
+        // decent proxy: latency-bound jobs don't saturate channels).
+        let bw_dependency = (1.0 - profile.latency_sensitivity).max(0.2);
+        let bw_factor = 1.0 - bw_dependency * (1.0 - bw_throttle);
+        // Shared-I/O dependency saturates with the job's own traffic.
+        let net_dep = (profile.net_rx_mbps + profile.net_tx_mbps)
+            / ((profile.net_rx_mbps + profile.net_tx_mbps) + NET_DEPENDENCY_SCALE);
+        let disk_dep = (profile.disk_read_mbps + profile.disk_write_mbps)
+            / ((profile.disk_read_mbps + profile.disk_write_mbps) + DISK_DEPENDENCY_SCALE);
+        let io_factor =
+            (1.0 - net_dep * (1.0 - net_throttle)) * (1.0 - disk_dep * (1.0 - disk_throttle));
+
+        let mips = profile.inherent_mips
+            * freq_factor
+            * smt_factor
+            * timeslice_global
+            * mem_factor
+            * bw_factor
+            * io_factor;
+        outcomes.push(InstanceOutcome {
+            job: inst.job,
+            mips,
+            normalized_perf: mips / profile.inherent_mips,
+            llc_share_mb: share,
+            llc_mpki: mpki,
+            mem_bw_gbps: JobProfile::mem_bw_from_misses(mips, mpki),
+            freq_ghz: freq,
+            smt_factor,
+            timeslice_factor: timeslice_global,
+            freq_factor,
+            mem_factor,
+            bw_factor,
+            io_factor,
+        });
+    }
+
+    MachinePerf {
+        instances: outcomes,
+        core_active_fraction,
+        active_vcpus,
+        dram_utilization,
+        latency_inflation: lat_inflation,
+        freq_ghz: freq,
+        smt_pairing_probability: pairing,
+    }
+}
+
+/// Inherent MIPS of `job` per the paper's definition: one instance alone
+/// on an empty machine with the **baseline default-shape** configuration.
+///
+/// Because our interference model is analytic and a solo instance on the
+/// default machine experiences (almost) no contention, this is very close
+/// to the catalog's `inherent_mips`, differing only by the small turbo
+/// droop of one active container.
+pub fn inherent_mips(job: JobName) -> f64 {
+    use crate::machine::MachineShape;
+    let config = MachineShape::default_shape().baseline_config();
+    let solo = Scenario::from_counts([(job, 1)]);
+    evaluate(&solo, &config).instances[0].mips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Feature;
+    use crate::machine::MachineShape;
+
+    fn base() -> MachineConfig {
+        MachineShape::default_shape().baseline_config()
+    }
+
+    #[test]
+    fn llc_partition_fits_when_room() {
+        let shares = llc_partition(&[10.0, 20.0], 60.0);
+        assert_eq!(shares, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn llc_partition_proportional_under_pressure() {
+        let shares = llc_partition(&[10.0, 30.0], 20.0);
+        assert!((shares[0] - 5.0).abs() < 1e-12);
+        assert!((shares[1] - 15.0).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smt_pairing_edges() {
+        assert_eq!(smt_pairing_probability(10.0, 24.0), 0.0);
+        assert_eq!(smt_pairing_probability(24.0, 24.0), 0.0);
+        assert!((smt_pairing_probability(48.0, 24.0) - 1.0).abs() < 1e-12);
+        let half = smt_pairing_probability(32.0, 24.0);
+        assert!((half - 0.5).abs() < 1e-12); // 2*(32-24)/32
+    }
+
+    #[test]
+    fn latency_inflation_monotone_bounded() {
+        assert_eq!(latency_inflation(0.0), 1.0);
+        assert!(latency_inflation(0.5) < latency_inflation(1.0));
+        assert_eq!(latency_inflation(2.0), latency_inflation(1.0));
+    }
+
+    #[test]
+    fn solo_instance_is_near_inherent() {
+        for &job in JobName::ALL {
+            let solo = Scenario::from_counts([(job, 1)]);
+            let perf = evaluate(&solo, &base());
+            let norm = perf.instances[0].normalized_perf;
+            assert!(
+                norm > 0.95 && norm <= 1.0 + 1e-9,
+                "{job}: solo normalized perf {norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn inherent_mips_matches_solo_evaluation() {
+        let m = inherent_mips(JobName::WebSearch);
+        let cat = catalog::profile(JobName::WebSearch).inherent_mips;
+        assert!(m <= cat && m > cat * 0.95);
+    }
+
+    #[test]
+    fn colocation_never_speeds_a_job_up() {
+        let config = base();
+        for &job in JobName::HIGH_PRIORITY {
+            let solo = evaluate(&Scenario::from_counts([(job, 1)]), &config);
+            let crowded = evaluate(
+                &Scenario::from_counts([(job, 1), (JobName::Mcf, 6), (JobName::Libquantum, 4)]),
+                &config,
+            );
+            let solo_mips = solo.instances[0].mips;
+            let crowd_mips = crowded
+                .instances
+                .iter()
+                .find(|o| o.job == job)
+                .unwrap()
+                .mips;
+            assert!(
+                crowd_mips <= solo_mips + 1e-9,
+                "{job}: crowded {crowd_mips} > solo {solo_mips}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_feature_hurts_big_working_sets_more() {
+        let baseline = base();
+        let small_cache = Feature::paper_feature1().apply(&baseline);
+        // A cache-pressure colocation.
+        let scenario = Scenario::from_counts([
+            (JobName::GraphAnalytics, 3),
+            (JobName::InMemoryAnalytics, 3),
+            (JobName::MediaStreaming, 2),
+        ]);
+        let before = evaluate(&scenario, &baseline);
+        let after = evaluate(&scenario, &small_cache);
+        let drop = |j: JobName| {
+            let b = before.job_normalized_perf(j).unwrap();
+            let a = after.job_normalized_perf(j).unwrap();
+            (b - a) / b
+        };
+        let ga_drop = drop(JobName::GraphAnalytics);
+        let ms_drop = drop(JobName::MediaStreaming);
+        assert!(ga_drop > ms_drop, "GA drop {ga_drop} vs MS drop {ms_drop}");
+        assert!(ga_drop > 0.01);
+    }
+
+    #[test]
+    fn dvfs_feature_hurts_cpu_bound_jobs_more() {
+        let baseline = base();
+        let capped = Feature::paper_feature2().apply(&baseline);
+        let scenario =
+            Scenario::from_counts([(JobName::Sjeng, 2), (JobName::Mcf, 2), (JobName::DataCaching, 2)]);
+        let before = evaluate(&scenario, &baseline);
+        let after = evaluate(&scenario, &capped);
+        let drop = |j: JobName| {
+            let b = before.job_normalized_perf(j).unwrap();
+            let a = after.job_normalized_perf(j).unwrap();
+            (b - a) / b
+        };
+        assert!(drop(JobName::Sjeng) > drop(JobName::Mcf));
+        assert!(drop(JobName::Sjeng) > 0.25); // 38% freq cut × 0.9 cpu-bound
+    }
+
+    #[test]
+    fn smt_feature_only_hurts_loaded_machines() {
+        let baseline = base();
+        let smt_off = Feature::paper_feature3().apply(&baseline);
+        // Light load: 2 containers, 8 vCPUs active max on 24 cores.
+        let light = Scenario::from_counts([(JobName::WebServing, 2)]);
+        let b = evaluate(&light, &baseline).hp_normalized_perf().unwrap();
+        let a = evaluate(&light, &smt_off).hp_normalized_perf().unwrap();
+        assert!((b - a).abs() / b < 0.02, "light load should barely change");
+
+        // Full machine: 12 containers = 48 vCPUs allocated.
+        let full = Scenario::from_counts([
+            (JobName::WebServing, 4),
+            (JobName::DataAnalytics, 4),
+            (JobName::Perlbench, 4),
+        ]);
+        let b = evaluate(&full, &baseline).hp_normalized_perf().unwrap();
+        let a = evaluate(&full, &smt_off).hp_normalized_perf().unwrap();
+        assert!(
+            (b - a) / b > 0.10,
+            "full load should suffer: before {b} after {a}"
+        );
+    }
+
+    #[test]
+    fn smt_off_can_help_when_it_removes_pairing() {
+        // A load that fits in 24 cores but paired under SMT-on packing
+        // never happens in this model (pairing only starts past the core
+        // count), so SMT-off is never *better* — verify it's never worse
+        // than the pure capacity argument either: with active <= cores the
+        // two configs coincide.
+        let config_on = base();
+        let config_off = Feature::paper_feature3().apply(&config_on);
+        let light = Scenario::from_counts([(JobName::Sjeng, 5)]); // 20 active vCPUs
+        let on = evaluate(&light, &config_on);
+        let off = evaluate(&light, &config_off);
+        for (a, b) in on.instances.iter().zip(&off.instances) {
+            assert!((a.mips - b.mips).abs() / a.mips < 1e-6);
+        }
+    }
+
+    #[test]
+    fn network_saturation_throttles_streaming() {
+        let config = base();
+        // 8 media-streaming containers push ~3.6 GB/s > 1.25 GB/s NIC.
+        let jam = Scenario::from_counts([(JobName::MediaStreaming, 8)]);
+        let perf = evaluate(&jam, &config);
+        let ms = perf.job_normalized_perf(JobName::MediaStreaming).unwrap();
+        assert!(ms < 0.75, "saturated NIC should throttle MS: {ms}");
+    }
+
+    #[test]
+    fn empty_scenario_is_idle_machine() {
+        let perf = evaluate(&Scenario::empty(), &base());
+        assert!(perf.instances.is_empty());
+        assert_eq!(perf.active_vcpus, 0.0);
+        assert_eq!(perf.hp_normalized_perf(), None);
+        assert_eq!(perf.hp_mips(), 0.0);
+    }
+
+    #[test]
+    fn performance_metric_variants_ordered_sanely() {
+        let config = base();
+        let s = Scenario::from_counts([
+            (JobName::GraphAnalytics, 4),
+            (JobName::MediaStreaming, 2),
+            (JobName::Mcf, 4),
+        ]);
+        let perf = evaluate(&s, &config);
+        let arith = perf.hp_normalized_perf().unwrap();
+        let harm = perf.hp_normalized_perf_harmonic().unwrap();
+        let weighted = perf.hp_normalized_perf_weighted().unwrap();
+        // AM-HM inequality: harmonic <= arithmetic, equality iff uniform.
+        assert!(harm <= arith + 1e-12, "harmonic {harm} > arithmetic {arith}");
+        assert!(harm > 0.0 && weighted > 0.0 && weighted <= 1.0 + 1e-9);
+        // Empty HP set -> None for all variants.
+        let lp = evaluate(&Scenario::from_counts([(JobName::Mcf, 2)]), &config);
+        assert!(lp.hp_normalized_perf_harmonic().is_none());
+        assert!(lp.hp_normalized_perf_weighted().is_none());
+    }
+
+    #[test]
+    fn outcomes_are_finite_and_positive() {
+        let config = base();
+        let stress = Scenario::from_counts([
+            (JobName::Mcf, 4),
+            (JobName::Libquantum, 4),
+            (JobName::GraphAnalytics, 4),
+        ]);
+        let perf = evaluate(&stress, &config);
+        for o in &perf.instances {
+            assert!(o.mips.is_finite() && o.mips > 0.0);
+            assert!(o.normalized_perf > 0.0 && o.normalized_perf <= 1.0 + 1e-9);
+            assert!(o.llc_share_mb > 0.0);
+            assert!(o.llc_mpki.is_finite());
+        }
+    }
+
+    #[test]
+    fn impact_is_not_predicted_by_mpki_alone() {
+        // The Fig. 3b motivation: two scenarios with similar HP MPKI can
+        // have very different Feature-1 impacts.
+        let config = base();
+        let small_cache = Feature::paper_feature1().apply(&config);
+        // Scenario A: WSC alone (moderate mpki, all cache to itself).
+        let a = Scenario::from_counts([(JobName::WebSearch, 2)]);
+        // Scenario B: WSC with cache-hungry neighbors.
+        let b = Scenario::from_counts([(JobName::WebSearch, 2), (JobName::Mcf, 8)]);
+        let impact = |s: &Scenario| {
+            let before = evaluate(s, &config).job_normalized_perf(JobName::WebSearch).unwrap();
+            let after = evaluate(s, &small_cache)
+                .job_normalized_perf(JobName::WebSearch)
+                .unwrap();
+            (before - after) / before
+        };
+        // Impacts differ substantially across colocations of the same job.
+        let ia = impact(&a);
+        let ib = impact(&b);
+        assert!((ib - ia).abs() > 0.02, "impacts {ia} vs {ib} too similar");
+    }
+}

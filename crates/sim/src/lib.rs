@@ -1,0 +1,42 @@
+//! # flare-sim
+//!
+//! The datacenter substrate for the FLARE reproduction: machine shapes
+//! (Tables 2/5), shape-preserving features (Table 4), a colocation
+//! interference model, the greedy no-overcommit scheduler, a diurnal job
+//! submission driver, and a profiler that synthesizes the 100+ raw metrics
+//! of Fig. 6 for every job-colocation scenario.
+//!
+//! The paper evaluates FLARE against a physical 3-rack datacenter; this
+//! simulator is the closest synthetic equivalent (see DESIGN.md for the
+//! substitution argument). FLARE itself only ever consumes the per-scenario
+//! metric vectors and replayed measurements this crate produces.
+//!
+//! ## Example
+//!
+//! ```
+//! use flare_sim::datacenter::{Corpus, CorpusConfig};
+//! use flare_sim::feature::Feature;
+//!
+//! let mut cfg = CorpusConfig::default();
+//! cfg.days = 1.0; // keep the doctest fast
+//! let corpus = Corpus::generate(&cfg);
+//! assert!(!corpus.is_empty());
+//!
+//! // Ground-truth impact of the paper's Feature 1 on the first scenario:
+//! let baseline = &cfg.machine_config;
+//! let feature = Feature::paper_feature1().apply(baseline);
+//! let id = corpus.hp_entries()[0].id;
+//! let before = corpus.evaluate_scenario(id, baseline).unwrap();
+//! let after = corpus.evaluate_scenario(id, &feature).unwrap();
+//! assert!(after.hp_mips() <= before.hp_mips());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datacenter;
+pub mod feature;
+pub mod interference;
+pub mod machine;
+pub mod profiler;
+pub mod scenario;
+pub mod scheduler;

@@ -1,0 +1,232 @@
+//! Machine shapes and runtime configurations.
+//!
+//! A [`MachineShape`] is the hardware a machine is built from (Table 2 /
+//! Table 5); a [`MachineConfig`] is the shape plus the tunables a *feature*
+//! can change without altering the shape — LLC allocation, DVFS limits and
+//! SMT (Table 4). The paper restricts FLARE to features that do not change
+//! the machine's shape (§2), which is exactly the shape/config split here.
+
+use serde::{Deserialize, Serialize};
+
+/// Static hardware description of one datacenter machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineShape {
+    /// Human-readable model name.
+    pub model: String,
+    /// CPU sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Logical CPUs per socket with SMT enabled (2 × cores).
+    pub vcpus_per_socket: u32,
+    /// Last-level cache per socket, MB.
+    pub llc_mb_per_socket: f64,
+    /// DRAM capacity, GB.
+    pub dram_gb: f64,
+    /// Aggregate DRAM bandwidth, GB/s.
+    pub dram_bw_gbps: f64,
+    /// Minimum core frequency, GHz.
+    pub freq_min_ghz: f64,
+    /// Maximum (turbo) core frequency, GHz.
+    pub freq_max_ghz: f64,
+    /// Disk streaming throughput, MB/s.
+    pub disk_mbps: f64,
+    /// NIC line rate, Gb/s.
+    pub nic_gbps: f64,
+}
+
+impl MachineShape {
+    /// The paper's default machine (Table 2): 2 × Xeon E5-2650 v4.
+    ///
+    /// 24 vCPUs/socket = 12 physical cores × 2 SMT threads. Four DDR4-2400
+    /// channels/socket ≈ 76.8 GB/s peak; we model ~90 % of peak as usable.
+    pub fn default_shape() -> Self {
+        MachineShape {
+            model: "Intel Xeon E5-2650 v4 (2S)".into(),
+            sockets: 2,
+            cores_per_socket: 12,
+            vcpus_per_socket: 24,
+            llc_mb_per_socket: 30.0,
+            dram_gb: 256.0,
+            dram_bw_gbps: 69.0,
+            freq_min_ghz: 1.2,
+            freq_max_ghz: 2.9,
+            disk_mbps: 550.0,
+            nic_gbps: 10.0,
+        }
+    }
+
+    /// The paper's "Small" machine (Table 5): 2 × Xeon E5-2640 v3.
+    ///
+    /// 16 vCPUs/socket = 8 cores × 2 SMT threads, 20 MB LLC/socket,
+    /// 128 GB DDR4-2133 (≈61 GB/s usable).
+    pub fn small_shape() -> Self {
+        MachineShape {
+            model: "Intel Xeon E5-2640 v3 (2S)".into(),
+            sockets: 2,
+            cores_per_socket: 8,
+            vcpus_per_socket: 16,
+            llc_mb_per_socket: 20.0,
+            dram_gb: 128.0,
+            dram_bw_gbps: 55.0,
+            freq_min_ghz: 1.2,
+            freq_max_ghz: 2.6,
+            disk_mbps: 520.0,
+            nic_gbps: 10.0,
+        }
+    }
+
+    /// Total physical cores.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total logical CPUs with SMT enabled.
+    pub fn total_vcpus(&self) -> u32 {
+        self.sockets * self.vcpus_per_socket
+    }
+
+    /// Total LLC across sockets, MB.
+    pub fn total_llc_mb(&self) -> f64 {
+        self.sockets as f64 * self.llc_mb_per_socket
+    }
+
+    /// The baseline runtime configuration (no feature applied).
+    pub fn baseline_config(&self) -> MachineConfig {
+        MachineConfig {
+            shape: self.clone(),
+            llc_mb_per_socket: self.llc_mb_per_socket,
+            freq_min_ghz: self.freq_min_ghz,
+            freq_max_ghz: self.freq_max_ghz,
+            smt_enabled: true,
+        }
+    }
+}
+
+/// A machine's runtime configuration: shape + feature-tunable knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// The underlying hardware.
+    pub shape: MachineShape,
+    /// LLC made available per socket (CAT-style allocation), MB.
+    pub llc_mb_per_socket: f64,
+    /// DVFS floor, GHz.
+    pub freq_min_ghz: f64,
+    /// DVFS ceiling, GHz.
+    pub freq_max_ghz: f64,
+    /// Whether hyper-threading is enabled.
+    pub smt_enabled: bool,
+}
+
+impl MachineConfig {
+    /// Logical CPUs the scheduler can place work on under this config.
+    pub fn schedulable_vcpus(&self) -> u32 {
+        if self.smt_enabled {
+            self.shape.total_vcpus()
+        } else {
+            self.shape.total_cores()
+        }
+    }
+
+    /// Total usable LLC across sockets, MB.
+    pub fn total_llc_mb(&self) -> f64 {
+        self.shape.sockets as f64 * self.llc_mb_per_socket
+    }
+
+    /// Achieved core frequency (GHz) when `active_cores` of
+    /// `total_cores` are busy — a simple power-budget turbo model: an idle
+    /// chip turbos to `freq_max`; a fully-busy chip drops ~15 % of the
+    /// min→max span, never below `freq_min`.
+    pub fn achieved_freq_ghz(&self, active_fraction: f64) -> f64 {
+        let af = active_fraction.clamp(0.0, 1.0);
+        let droop = 0.15 * (self.freq_max_ghz - self.freq_min_ghz);
+        (self.freq_max_ghz - droop * af).max(self.freq_min_ghz)
+    }
+
+    /// `true` if this config only differs from the shape's baseline by
+    /// allowed feature knobs (always true by construction, but validates
+    /// hand-built configs).
+    pub fn is_valid(&self) -> bool {
+        self.llc_mb_per_socket > 0.0
+            && self.llc_mb_per_socket <= self.shape.llc_mb_per_socket
+            && self.freq_min_ghz >= self.shape.freq_min_ghz - 1e-9
+            && self.freq_max_ghz <= self.shape.freq_max_ghz + 1e-9
+            && self.freq_min_ghz <= self.freq_max_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_default_shape() {
+        let s = MachineShape::default_shape();
+        assert_eq!(s.total_vcpus(), 48);
+        assert_eq!(s.total_cores(), 24);
+        assert_eq!(s.total_llc_mb(), 60.0);
+        assert_eq!(s.freq_max_ghz, 2.9);
+    }
+
+    #[test]
+    fn table5_small_shape_is_smaller() {
+        let d = MachineShape::default_shape();
+        let s = MachineShape::small_shape();
+        assert!(s.total_vcpus() < d.total_vcpus());
+        assert!(s.total_llc_mb() < d.total_llc_mb());
+        assert!(s.dram_gb < d.dram_gb);
+        assert!(s.dram_bw_gbps < d.dram_bw_gbps);
+    }
+
+    #[test]
+    fn baseline_config_is_valid_and_full_strength() {
+        let c = MachineShape::default_shape().baseline_config();
+        assert!(c.is_valid());
+        assert_eq!(c.schedulable_vcpus(), 48);
+        assert_eq!(c.total_llc_mb(), 60.0);
+        assert!(c.smt_enabled);
+    }
+
+    #[test]
+    fn smt_off_halves_schedulable_cpus() {
+        let mut c = MachineShape::default_shape().baseline_config();
+        c.smt_enabled = false;
+        assert_eq!(c.schedulable_vcpus(), 24);
+    }
+
+    #[test]
+    fn turbo_droops_with_activity_but_respects_floor() {
+        let c = MachineShape::default_shape().baseline_config();
+        let idle = c.achieved_freq_ghz(0.0);
+        let busy = c.achieved_freq_ghz(1.0);
+        assert_eq!(idle, 2.9);
+        assert!(busy < idle);
+        assert!(busy >= c.freq_min_ghz);
+        // Clamping out-of-range activity.
+        assert_eq!(c.achieved_freq_ghz(-1.0), idle);
+        assert_eq!(c.achieved_freq_ghz(2.0), busy);
+    }
+
+    #[test]
+    fn capped_config_respects_cap() {
+        let mut c = MachineShape::default_shape().baseline_config();
+        c.freq_max_ghz = 1.8;
+        assert!(c.is_valid());
+        assert!(c.achieved_freq_ghz(0.0) <= 1.8);
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let shape = MachineShape::default_shape();
+        let mut c = shape.baseline_config();
+        c.llc_mb_per_socket = 40.0; // more than the silicon has
+        assert!(!c.is_valid());
+        let mut c = shape.baseline_config();
+        c.freq_max_ghz = 3.5;
+        assert!(!c.is_valid());
+        let mut c = shape.baseline_config();
+        c.freq_min_ghz = 2.0;
+        c.freq_max_ghz = 1.5;
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,581 @@
+//! The Profiler: synthesizes the 100+ raw observable metrics (Fig. 6) for
+//! a colocation scenario.
+//!
+//! The paper's Profiler daemon samples `perf`, top-down counters and
+//! `/proc` on every server. Our substitute derives the same observables
+//! analytically from the interference model's per-instance outcomes, then
+//! applies small seeded measurement noise — preserving both the two-level
+//! structure (machine vs HP) and the *built-in redundancies* (bandwidth =
+//! misses × line size, CPI = 1/IPC, …) the refinement step must discover.
+
+use crate::interference::MachinePerf;
+use crate::machine::MachineConfig;
+use crate::scenario::Scenario;
+use flare_metrics::schema::{Level, MetricKind, MetricSchema};
+use flare_workloads::catalog;
+use flare_workloads::job::JobName;
+use flare_workloads::profile::JobProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative standard deviation of the multiplicative measurement noise.
+const NOISE_REL_STD: f64 = 0.012;
+
+/// Synthesizes the full canonical metric vector for `scenario` evaluated
+/// as `perf` on `config`.
+///
+/// The vector is aligned with [`MetricSchema::canonical`] (all kinds at
+/// machine level, then all kinds at HP level). `noise_seed` makes the
+/// measurement noise deterministic per scenario; pass a distinct seed per
+/// (corpus, scenario) pair.
+pub fn synthesize(
+    scenario: &Scenario,
+    perf: &MachinePerf,
+    config: &MachineConfig,
+    noise_seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(noise_seed);
+    clean_vector(scenario, perf, config)
+        .into_iter()
+        .map(|v| apply_noise(v, &mut rng))
+        .collect()
+}
+
+/// The noise-free canonical metric vector for one evaluated scenario.
+fn clean_vector(scenario: &Scenario, perf: &MachinePerf, config: &MachineConfig) -> Vec<f64> {
+    let schema = MetricSchema::canonical();
+    let machine = LevelAggregate::compute(scenario, perf, config, LevelSel::Machine);
+    let hp = LevelAggregate::compute(scenario, perf, config, LevelSel::HpOnly);
+    schema
+        .ids()
+        .iter()
+        .map(|id| match id.level {
+            Level::Machine => machine.value(id.kind),
+            Level::Hp => hp.value(id.kind),
+        })
+        .collect()
+}
+
+/// Synthesizes the **temporally enriched** metric vector (§4.1): the
+/// scenario is observed over `phases` load phases (diurnal-style demand
+/// swings within its lifetime); every canonical metric is recorded as its
+/// across-phase mean followed by its across-phase standard deviation,
+/// aligned with [`MetricSchema::canonical_enriched`].
+///
+/// # Panics
+///
+/// Panics if `phases == 0`.
+pub fn synthesize_enriched(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    phases: usize,
+    noise_seed: u64,
+) -> Vec<f64> {
+    assert!(phases > 0, "at least one phase required");
+    let mut rng = StdRng::seed_from_u64(noise_seed);
+    // Deterministic per-scenario phase pattern: a sinusoidal demand swing
+    // with a random phase offset and ±25 % amplitude.
+    let offset: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let phase_vectors: Vec<Vec<f64>> = (0..phases)
+        .map(|i| {
+            let angle = offset + std::f64::consts::TAU * i as f64 / phases as f64;
+            let load = 1.0 + 0.25 * angle.sin();
+            let perf = crate::interference::evaluate_at_load(scenario, config, load);
+            clean_vector(scenario, &perf, config)
+        })
+        .collect();
+
+    let n = MetricSchema::canonical().len();
+    let mut out = Vec::with_capacity(2 * n);
+    for j in 0..n {
+        let series: Vec<f64> = phase_vectors.iter().map(|v| v[j]).collect();
+        let mean = series.iter().sum::<f64>() / phases as f64;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / phases as f64;
+        out.push(apply_noise(mean, &mut rng));
+        out.push(apply_noise(var.sqrt(), &mut rng));
+    }
+    out
+}
+
+/// Multiplicative Gaussian noise via Box–Muller, clamped non-negative.
+fn apply_noise(value: f64, rng: &mut StdRng) -> f64 {
+    if value == 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (value * (1.0 + NOISE_REL_STD * z)).max(0.0)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LevelSel {
+    Machine,
+    HpOnly,
+}
+
+/// All per-level aggregate observables, computed once then indexed by
+/// metric kind.
+struct LevelAggregate {
+    mips: f64,
+    ipc: f64,
+    freq_ghz: f64,
+    frontend: f64,
+    fetch_latency: f64,
+    bad_spec: f64,
+    backend: f64,
+    memory_bound: f64,
+    core_bound: f64,
+    alu: f64,
+    div: f64,
+    l1d: f64,
+    l1d_apki: f64,
+    l1i: f64,
+    l2: f64,
+    llc_mpki: f64,
+    llc_occupancy: f64,
+    mem_bw: f64,
+    mem_lat_ns: f64,
+    dram_util: f64,
+    itlb: f64,
+    dtlb: f64,
+    branch_mpki: f64,
+    cpu_util: f64,
+    vcpus_active: f64,
+    ctx_switches: f64,
+    runqueue: f64,
+    smt_coresidency: f64,
+    disk_rd: f64,
+    disk_wr: f64,
+    iowait: f64,
+    net_rx: f64,
+    net_tx: f64,
+    tcp_retrans: f64,
+    rss: f64,
+    major_faults: f64,
+    syscalls: f64,
+    job_counts: [f64; 8],
+}
+
+impl LevelAggregate {
+    fn compute(
+        scenario: &Scenario,
+        perf: &MachinePerf,
+        config: &MachineConfig,
+        sel: LevelSel,
+    ) -> Self {
+        let selected: Vec<(&crate::interference::InstanceOutcome, JobProfile)> = perf
+            .instances
+            .iter()
+            .filter(|o| match sel {
+                LevelSel::Machine => true,
+                LevelSel::HpOnly => JobName::HIGH_PRIORITY.contains(&o.job),
+            })
+            .map(|o| (o, catalog::profile(o.job)))
+            .collect();
+
+        if selected.is_empty() {
+            return LevelAggregate::idle(perf, config);
+        }
+
+        // Instruction weights for intensive (per-instruction) metrics.
+        let total_mips: f64 = selected.iter().map(|(o, _)| o.mips).sum();
+        let wmean = |f: &dyn Fn(&crate::interference::InstanceOutcome, &JobProfile) -> f64| -> f64 {
+            selected
+                .iter()
+                .map(|(o, p)| o.mips * f(o, p))
+                .sum::<f64>()
+                / total_mips
+        };
+        let sum = |f: &dyn Fn(&crate::interference::InstanceOutcome, &JobProfile) -> f64| -> f64 {
+            selected.iter().map(|(o, p)| f(o, p)).sum()
+        };
+
+        let pairing = perf.smt_pairing_probability;
+        let busy_vcpus = sum(&|_, p| 4.0 * p.cpu_util);
+        let alloc_vcpus = match sel {
+            LevelSel::Machine => scenario.total_vcpus() as f64,
+            LevelSel::HpOnly => scenario.hp_vcpus() as f64,
+        };
+
+        // Per-instance observables.
+        let ipc = wmean(&|o, p| {
+            let busy = 4.0 * p.cpu_util;
+            if busy <= 0.0 {
+                0.0
+            } else {
+                o.mips / (busy * o.freq_ghz * 1000.0)
+            }
+        });
+        let frontend = wmean(&|_, p| (p.frontend_bound * (1.0 + 0.25 * pairing)).min(0.9));
+        let bad_spec = wmean(&|_, p| p.bad_speculation);
+        let memory_bound = wmean(&|o, p| {
+            ((1.0 - o.mem_factor * o.bw_factor) * 0.9 + p.latency_sensitivity * 0.08).clamp(0.0, 0.85)
+        });
+        let core_bound = wmean(&|_, p| p.alu_stall_pct + p.div_stall_pct);
+        let backend = (memory_bound + core_bound).min(0.95);
+        let l1i = wmean(&|_, p| p.base_l1i_mpki * (1.0 + 0.3 * pairing));
+        let dtlb = wmean(&|o, p| {
+            let pressure = (p.working_set_mb / o.llc_share_mb.max(0.25)).max(1.0);
+            p.dtlb_mpki * pressure.powf(0.3)
+        });
+        let llc_mpki = wmean(&|o, _| o.llc_mpki);
+        let l2 = wmean(&|_, p| p.base_l2_mpki);
+
+        let disk_rd = sum(&|o, p| p.disk_read_mbps * o.io_factor);
+        let disk_wr = sum(&|o, p| p.disk_write_mbps * o.io_factor);
+        let net_rx = sum(&|o, p| p.net_rx_mbps * o.io_factor);
+        let net_tx = sum(&|o, p| p.net_tx_mbps * o.io_factor);
+        let total_disk_demand: f64 = sum(&|_, p| p.disk_read_mbps + p.disk_write_mbps);
+        let syscalls = sum(&|o, p| p.syscalls_ps * o.normalized_perf);
+
+        // §5.3 per-job mix columns: instance counts of each HP service
+        // among the selected instances (identical at both levels for HP
+        // jobs; the machine-level copy is pruned by refinement).
+        let mut job_counts = [0.0f64; 8];
+        for (o, _) in &selected {
+            if let Some(pos) = JobName::HIGH_PRIORITY.iter().position(|&j| j == o.job) {
+                job_counts[pos] += 1.0;
+            }
+        }
+
+        LevelAggregate {
+            mips: total_mips,
+            ipc,
+            freq_ghz: perf.freq_ghz,
+            frontend,
+            fetch_latency: frontend * 0.6,
+            bad_spec,
+            backend,
+            memory_bound,
+            core_bound,
+            alu: wmean(&|_, p| p.alu_stall_pct),
+            div: wmean(&|_, p| p.div_stall_pct),
+            l1d: wmean(&|_, p| p.base_l1d_mpki),
+            l1d_apki: wmean(&|_, p| p.base_l1d_mpki * 12.0),
+            l1i,
+            l2,
+            llc_mpki,
+            llc_occupancy: sum(&|o, _| o.llc_share_mb),
+            mem_bw: sum(&|o, _| o.mem_bw_gbps),
+            mem_lat_ns: 80.0 * perf.latency_inflation,
+            dram_util: perf.dram_utilization.min(1.0),
+            itlb: wmean(&|_, p| p.itlb_mpki * (1.0 + 0.2 * pairing)),
+            dtlb,
+            branch_mpki: wmean(&|_, p| p.branch_mpki),
+            cpu_util: if alloc_vcpus > 0.0 {
+                (busy_vcpus / alloc_vcpus).min(1.0)
+            } else {
+                0.0
+            },
+            vcpus_active: busy_vcpus,
+            ctx_switches: selected.len() as f64 * 2000.0 * (1.0 + 2.0 * pairing),
+            runqueue: (perf.active_vcpus - config.schedulable_vcpus() as f64).max(0.0),
+            smt_coresidency: pairing,
+            disk_rd,
+            disk_wr,
+            iowait: (total_disk_demand / config.shape.disk_mbps).min(1.0) * 0.3,
+            net_rx,
+            net_tx,
+            tcp_retrans: (net_rx + net_tx) * 0.002,
+            rss: sum(&|_, p| p.rss_gb),
+            major_faults: sum(&|_, p| (p.disk_read_mbps + p.disk_write_mbps) * 0.2),
+            syscalls,
+            job_counts,
+        }
+    }
+
+    fn idle(perf: &MachinePerf, _config: &MachineConfig) -> Self {
+        LevelAggregate {
+            mips: 0.0,
+            ipc: 0.0,
+            freq_ghz: perf.freq_ghz,
+            frontend: 0.0,
+            fetch_latency: 0.0,
+            bad_spec: 0.0,
+            backend: 0.0,
+            memory_bound: 0.0,
+            core_bound: 0.0,
+            alu: 0.0,
+            div: 0.0,
+            l1d: 0.0,
+            l1d_apki: 0.0,
+            l1i: 0.0,
+            l2: 0.0,
+            llc_mpki: 0.0,
+            llc_occupancy: 0.0,
+            mem_bw: 0.0,
+            mem_lat_ns: 80.0,
+            dram_util: 0.0,
+            itlb: 0.0,
+            dtlb: 0.0,
+            branch_mpki: 0.0,
+            cpu_util: 0.0,
+            vcpus_active: 0.0,
+            ctx_switches: 0.0,
+            runqueue: 0.0,
+            smt_coresidency: 0.0,
+            disk_rd: 0.0,
+            disk_wr: 0.0,
+            iowait: 0.0,
+            net_rx: 0.0,
+            net_tx: 0.0,
+            tcp_retrans: 0.0,
+            rss: 0.0,
+            major_faults: 0.0,
+            syscalls: 0.0,
+            job_counts: [0.0; 8],
+        }
+    }
+
+    /// Maps a metric kind to its (clean) value; derived metrics are
+    /// computed here from the primaries — reproducing the redundancy the
+    /// refinement step prunes.
+    fn value(&self, kind: MetricKind) -> f64 {
+        use MetricKind::*;
+        match kind {
+            Mips => self.mips,
+            Ipc => self.ipc,
+            Cpi => {
+                if self.ipc > 0.0 {
+                    1.0 / self.ipc
+                } else {
+                    0.0
+                }
+            }
+            UopsPerCycle => self.ipc * 1.33,
+            FreqGhz => self.freq_ghz,
+            FrontendBound => self.frontend,
+            FetchLatency => self.fetch_latency,
+            FetchBandwidth => (self.frontend - self.fetch_latency).max(0.0),
+            BadSpeculation => self.bad_spec,
+            BackendBound => self.backend,
+            MemoryBound => self.memory_bound,
+            CoreBound => self.core_bound,
+            Retiring => (1.0 - self.frontend - self.bad_spec - self.backend).max(0.02),
+            AluStalls => self.alu,
+            DivStalls => self.div,
+            L1dMpki => self.l1d,
+            L1dApki => self.l1d_apki,
+            L1iMpki => self.l1i,
+            L2Mpki => self.l2,
+            L2Apki => self.l1d * 1.05, // L2 accesses ≈ L1D misses (+prefetch)
+            LlcMpki => self.llc_mpki,
+            LlcApki => self.l2 * 1.02, // LLC accesses ≈ L2 misses
+            LlcHitRate => {
+                let apki = self.l2 * 1.02;
+                if apki > 0.0 {
+                    (1.0 - self.llc_mpki / apki).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            }
+            LlcOccupancyMb => self.llc_occupancy,
+            MemBwReadGbps => self.mem_bw * 0.7,
+            MemBwWriteGbps => self.mem_bw * 0.3,
+            MemBwTotalGbps => self.mem_bw,
+            MemLatencyNs => self.mem_lat_ns,
+            DramUtil => self.dram_util,
+            ItlbMpki => self.itlb,
+            DtlbMpki => self.dtlb,
+            PageWalkPct => (self.itlb + self.dtlb) * 0.01,
+            BranchMpki => self.branch_mpki,
+            BranchMissRate => self.branch_mpki / 200.0,
+            CpuUtil => self.cpu_util,
+            VcpusActive => self.vcpus_active,
+            ContextSwitchesPs => self.ctx_switches,
+            RunqueueLen => self.runqueue,
+            SmtCoresidency => self.smt_coresidency,
+            PreemptionsPs => self.ctx_switches * 0.1,
+            DiskReadMbps => self.disk_rd,
+            DiskWriteMbps => self.disk_wr,
+            DiskIops => (self.disk_rd + self.disk_wr) / 0.1,
+            IowaitPct => self.iowait,
+            NetRxMbps => self.net_rx,
+            NetTxMbps => self.net_tx,
+            NetPps => (self.net_rx + self.net_tx) * 700.0,
+            TcpRetransPs => self.tcp_retrans,
+            RssGb => self.rss,
+            MajorFaultsPs => self.major_faults,
+            MinorFaultsPs => self.rss * 1000.0,
+            AnonFraction => {
+                if self.rss > 0.0 {
+                    0.6
+                } else {
+                    0.0
+                }
+            }
+            SyscallsPs => self.syscalls,
+            InstancesDa => self.job_counts[0],
+            InstancesDc => self.job_counts[1],
+            InstancesDs => self.job_counts[2],
+            InstancesGa => self.job_counts[3],
+            InstancesIa => self.job_counts[4],
+            InstancesMs => self.job_counts[5],
+            InstancesWsc => self.job_counts[6],
+            InstancesWsv => self.job_counts[7],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::evaluate;
+    use crate::machine::MachineShape;
+    use flare_metrics::schema::MetricId;
+
+    fn setup(counts: &[(JobName, u32)]) -> (Scenario, MachinePerf, MachineConfig) {
+        let config = MachineShape::default_shape().baseline_config();
+        let scenario = Scenario::from_counts(counts.iter().copied());
+        let perf = evaluate(&scenario, &config);
+        (scenario, perf, config)
+    }
+
+    fn metric(vec: &[f64], kind: MetricKind, level: Level) -> f64 {
+        let schema = MetricSchema::canonical();
+        let idx = schema.index_of(MetricId::new(kind, level)).unwrap();
+        vec[idx]
+    }
+
+    #[test]
+    fn vector_matches_canonical_schema_length() {
+        let (s, p, c) = setup(&[(JobName::DataCaching, 2)]);
+        let v = synthesize(&s, &p, &c, 1);
+        assert_eq!(v.len(), MetricSchema::canonical().len());
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (s, p, c) = setup(&[(JobName::WebSearch, 3), (JobName::Mcf, 2)]);
+        assert_eq!(synthesize(&s, &p, &c, 42), synthesize(&s, &p, &c, 42));
+        assert_ne!(synthesize(&s, &p, &c, 42), synthesize(&s, &p, &c, 43));
+    }
+
+    #[test]
+    fn two_level_split_hp_vs_machine() {
+        // HP job + LP job: machine MIPS > HP MIPS; HP-only metrics exclude mcf.
+        let (s, p, c) = setup(&[(JobName::DataCaching, 2), (JobName::Mcf, 4)]);
+        let v = synthesize(&s, &p, &c, 7);
+        let machine_mips = metric(&v, MetricKind::Mips, Level::Machine);
+        let hp_mips = metric(&v, MetricKind::Mips, Level::Hp);
+        assert!(machine_mips > hp_mips * 1.5);
+        // mcf's huge LLC MPKI shows at machine level, not HP level.
+        let machine_mpki = metric(&v, MetricKind::LlcMpki, Level::Machine);
+        let hp_mpki = metric(&v, MetricKind::LlcMpki, Level::Hp);
+        assert!(machine_mpki > hp_mpki * 2.0, "machine {machine_mpki} hp {hp_mpki}");
+    }
+
+    #[test]
+    fn lp_only_scenario_zeroes_hp_metrics() {
+        let (s, p, c) = setup(&[(JobName::Sjeng, 3)]);
+        let v = synthesize(&s, &p, &c, 3);
+        assert_eq!(metric(&v, MetricKind::Mips, Level::Hp), 0.0);
+        assert_eq!(metric(&v, MetricKind::CpuUtil, Level::Hp), 0.0);
+        assert!(metric(&v, MetricKind::Mips, Level::Machine) > 0.0);
+    }
+
+    #[test]
+    fn derived_metrics_are_consistent_with_primaries() {
+        let (s, p, c) = setup(&[(JobName::GraphAnalytics, 4), (JobName::DataServing, 2)]);
+        let v = synthesize(&s, &p, &c, 11);
+        // Noise is multiplicative and small, so ratios hold within ~6 σ.
+        let bw_total = metric(&v, MetricKind::MemBwTotalGbps, Level::Machine);
+        let bw_rd = metric(&v, MetricKind::MemBwReadGbps, Level::Machine);
+        assert!((bw_rd / bw_total - 0.7).abs() < 0.1);
+        let ipc = metric(&v, MetricKind::Ipc, Level::Machine);
+        let cpi = metric(&v, MetricKind::Cpi, Level::Machine);
+        assert!((ipc * cpi - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn topdown_fractions_sane() {
+        let (s, p, c) = setup(&[(JobName::WebSearch, 4), (JobName::Libquantum, 4)]);
+        let v = synthesize(&s, &p, &c, 5);
+        for kind in [
+            MetricKind::FrontendBound,
+            MetricKind::BackendBound,
+            MetricKind::BadSpeculation,
+            MetricKind::Retiring,
+        ] {
+            let x = metric(&v, kind, Level::Machine);
+            assert!((0.0..=1.0).contains(&x), "{kind:?} = {x}");
+        }
+    }
+
+    #[test]
+    fn noise_is_small() {
+        let (s, p, c) = setup(&[(JobName::InMemoryAnalytics, 3)]);
+        // Average many seeds: mean should approach the clean value.
+        let schema = MetricSchema::canonical();
+        let idx = schema
+            .index_of(MetricId::new(MetricKind::Mips, Level::Machine))
+            .unwrap();
+        let n = 300;
+        let mean: f64 = (0..n)
+            .map(|seed| synthesize(&s, &p, &c, seed)[idx])
+            .sum::<f64>()
+            / n as f64;
+        let one = synthesize(&s, &p, &c, 0)[idx];
+        assert!((one - mean).abs() / mean < 0.05);
+    }
+
+    #[test]
+    fn enriched_vector_matches_enriched_schema() {
+        let (s, _, c) = setup(&[(JobName::DataCaching, 2), (JobName::GraphAnalytics, 2)]);
+        let v = synthesize_enriched(&s, &c, 6, 42);
+        assert_eq!(v.len(), MetricSchema::canonical_enriched().len());
+        assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
+        // Deterministic per seed.
+        assert_eq!(v, synthesize_enriched(&s, &c, 6, 42));
+        assert_ne!(v, synthesize_enriched(&s, &c, 6, 43));
+    }
+
+    #[test]
+    fn enriched_means_track_plain_synthesis() {
+        // The across-phase mean of a load-swung metric should be close to
+        // (not exactly) the load-1.0 value.
+        let (s, p, c) = setup(&[(JobName::WebServing, 3)]);
+        let plain = synthesize(&s, &p, &c, 1);
+        let enriched = synthesize_enriched(&s, &c, 8, 1);
+        let schema = MetricSchema::canonical();
+        let mips_idx = schema
+            .index_of(MetricId::new(MetricKind::Mips, Level::Machine))
+            .unwrap();
+        // Enriched layout interleaves mean/std.
+        let enriched_mean = enriched[2 * mips_idx];
+        assert!(
+            (enriched_mean - plain[mips_idx]).abs() / plain[mips_idx] < 0.15,
+            "phase mean {enriched_mean} vs plain {}",
+            plain[mips_idx]
+        );
+    }
+
+    #[test]
+    fn enriched_std_reflects_load_sensitivity() {
+        // A scenario whose performance depends on load (heavy colocation)
+        // must show non-zero temporal std-dev on MIPS.
+        let (s, _, c) = setup(&[(JobName::GraphAnalytics, 6), (JobName::Mcf, 6)]);
+        let v = synthesize_enriched(&s, &c, 8, 5);
+        let schema = MetricSchema::canonical();
+        let mips_idx = schema
+            .index_of(MetricId::new(MetricKind::Mips, Level::Machine))
+            .unwrap();
+        let std = v[2 * mips_idx + 1];
+        let mean = v[2 * mips_idx];
+        assert!(std > 0.0, "temporal std must be positive");
+        assert!(std < mean, "std below mean for a stable scenario");
+    }
+
+    #[test]
+    fn contention_shifts_memory_bound_topdown() {
+        let (s1, p1, c) = setup(&[(JobName::GraphAnalytics, 1)]);
+        let v1 = synthesize(&s1, &p1, &c, 1);
+        let (s2, p2, c2) = setup(&[(JobName::GraphAnalytics, 1), (JobName::Mcf, 8)]);
+        let v2 = synthesize(&s2, &p2, &c2, 1);
+        let mb1 = metric(&v1, MetricKind::MemoryBound, Level::Hp);
+        let mb2 = metric(&v2, MetricKind::MemoryBound, Level::Hp);
+        assert!(mb2 > mb1, "contended memory-bound {mb2} <= solo {mb1}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Job-colocation scenarios (§4.1).
+//!
+//! "Every new combination of jobs defines a new scenario": a scenario is
+//! the multiset of job instances co-resident on one machine. The corpus
+//! driver deduplicates the combinations it observes over time and counts
+//! occurrences (the observation weight).
+
+use flare_workloads::job::{JobInstance, JobName};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A job-colocation scenario: the multiset of containers on one machine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Instance count per job, sorted by job for canonical ordering.
+    counts: BTreeMap<JobName, u32>,
+}
+
+impl Scenario {
+    /// Builds a scenario from a list of running instances.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flare_sim::scenario::Scenario;
+    /// use flare_workloads::job::{JobInstance, JobName};
+    ///
+    /// let s = Scenario::from_instances(&[
+    ///     JobInstance::new(JobName::DataCaching),
+    ///     JobInstance::new(JobName::DataCaching),
+    ///     JobInstance::new(JobName::Mcf),
+    /// ]);
+    /// assert_eq!(s.instances_of(JobName::DataCaching), 2);
+    /// assert_eq!(s.total_instances(), 3);
+    /// ```
+    pub fn from_instances(instances: &[JobInstance]) -> Self {
+        let mut counts = BTreeMap::new();
+        for inst in instances {
+            *counts.entry(inst.job).or_insert(0) += 1;
+        }
+        Scenario { counts }
+    }
+
+    /// Builds a scenario from `(job, count)` pairs; zero counts are
+    /// dropped.
+    pub fn from_counts<I: IntoIterator<Item = (JobName, u32)>>(pairs: I) -> Self {
+        let mut counts = BTreeMap::new();
+        for (job, n) in pairs {
+            if n > 0 {
+                *counts.entry(job).or_insert(0) += n;
+            }
+        }
+        Scenario { counts }
+    }
+
+    /// The empty scenario (an idle machine).
+    pub fn empty() -> Self {
+        Scenario {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// `true` if no instances are running.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of instances of `job`.
+    pub fn instances_of(&self, job: JobName) -> u32 {
+        self.counts.get(&job).copied().unwrap_or(0)
+    }
+
+    /// `true` if the scenario contains at least one instance of `job`.
+    pub fn has_job(&self, job: JobName) -> bool {
+        self.instances_of(job) > 0
+    }
+
+    /// Total container count.
+    pub fn total_instances(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// Total vCPUs demanded (containers × 4).
+    pub fn total_vcpus(&self) -> u32 {
+        self.total_instances() * JobInstance::CONTAINER_VCPUS
+    }
+
+    /// vCPUs demanded by High-Priority containers only.
+    pub fn hp_vcpus(&self) -> u32 {
+        self.counts
+            .iter()
+            .filter(|(j, _)| JobName::HIGH_PRIORITY.contains(j))
+            .map(|(_, &n)| n * JobInstance::CONTAINER_VCPUS)
+            .sum()
+    }
+
+    /// vCPUs demanded by Low-Priority containers only.
+    pub fn lp_vcpus(&self) -> u32 {
+        self.total_vcpus() - self.hp_vcpus()
+    }
+
+    /// `true` if at least one HP container is present (scenarios without
+    /// HP jobs carry no managed performance and are excluded from impact
+    /// accounting).
+    pub fn has_hp_job(&self) -> bool {
+        self.counts
+            .keys()
+            .any(|j| JobName::HIGH_PRIORITY.contains(j))
+    }
+
+    /// Iterates `(job, count)` pairs in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobName, u32)> + '_ {
+        self.counts.iter().map(|(&j, &n)| (j, n))
+    }
+
+    /// Expands back to a flat instance list (canonical order).
+    pub fn to_instances(&self) -> Vec<JobInstance> {
+        let mut out = Vec::with_capacity(self.total_instances() as usize);
+        for (job, n) in self.iter() {
+            for _ in 0..n {
+                out.push(JobInstance::new(job));
+            }
+        }
+        out
+    }
+
+    /// The job mix as `(abbrev, count)` strings — the form stored in the
+    /// metric database so the Replayer can reconstruct the commands.
+    pub fn job_mix_strings(&self) -> Vec<(String, u32)> {
+        self.iter().map(|(j, n)| (j.abbrev().to_string(), n)).collect()
+    }
+
+    /// Machine occupancy fraction given `schedulable_vcpus` (the y-axis of
+    /// Fig. 3a; step-like because containers are fixed-size).
+    pub fn occupancy(&self, schedulable_vcpus: u32) -> f64 {
+        if schedulable_vcpus == 0 {
+            return 0.0;
+        }
+        self.total_vcpus() as f64 / schedulable_vcpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiset_identity_ignores_order() {
+        let a = Scenario::from_instances(&[
+            JobInstance::new(JobName::DataCaching),
+            JobInstance::new(JobName::Mcf),
+            JobInstance::new(JobName::DataCaching),
+        ]);
+        let b = Scenario::from_counts([(JobName::Mcf, 1), (JobName::DataCaching, 2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_counts_dropped() {
+        let s = Scenario::from_counts([(JobName::Sjeng, 0), (JobName::WebSearch, 1)]);
+        assert!(!s.has_job(JobName::Sjeng));
+        assert_eq!(s.total_instances(), 1);
+    }
+
+    #[test]
+    fn vcpu_accounting() {
+        let s = Scenario::from_counts([
+            (JobName::DataAnalytics, 2), // HP
+            (JobName::Mcf, 1),           // LP
+        ]);
+        assert_eq!(s.total_vcpus(), 12);
+        assert_eq!(s.hp_vcpus(), 8);
+        assert_eq!(s.lp_vcpus(), 4);
+        assert!(s.has_hp_job());
+    }
+
+    #[test]
+    fn lp_only_scenario_has_no_hp() {
+        let s = Scenario::from_counts([(JobName::Mcf, 2)]);
+        assert!(!s.has_hp_job());
+        assert_eq!(s.hp_vcpus(), 0);
+    }
+
+    #[test]
+    fn occupancy_steps() {
+        let s = Scenario::from_counts([(JobName::DataCaching, 3)]);
+        assert!((s.occupancy(48) - 0.25).abs() < 1e-12);
+        assert_eq!(Scenario::empty().occupancy(48), 0.0);
+        assert_eq!(s.occupancy(0), 0.0);
+    }
+
+    #[test]
+    fn roundtrip_instances() {
+        let s = Scenario::from_counts([(JobName::WebServing, 2), (JobName::Omnetpp, 1)]);
+        let insts = s.to_instances();
+        assert_eq!(insts.len(), 3);
+        assert_eq!(Scenario::from_instances(&insts), s);
+    }
+
+    #[test]
+    fn job_mix_strings_canonical() {
+        let s = Scenario::from_counts([(JobName::Mcf, 1), (JobName::DataAnalytics, 2)]);
+        let mix = s.job_mix_strings();
+        assert_eq!(mix.len(), 2);
+        // BTreeMap ordering puts DA (earlier enum variant) first.
+        assert_eq!(mix[0], ("DA".to_string(), 2));
+        assert_eq!(mix[1], ("mcf".to_string(), 1));
+    }
+}

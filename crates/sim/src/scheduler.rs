@@ -1,0 +1,302 @@
+//! The datacenter job scheduler (§5.1).
+//!
+//! "The scheduler greedily runs a job in the datacenter machine with the
+//! least resource utilization for load-balancing purposes. As we do not
+//! overcommit the resources, saturation of the machines would result in a
+//! denial of scheduling requests."
+//!
+//! An alternative utilization-packing policy is provided for the §5.6
+//! scheduler-change workflow.
+
+use crate::machine::MachineConfig;
+use flare_workloads::job::JobInstance;
+use serde::{Deserialize, Serialize};
+
+/// Placement policy for incoming containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// The paper's default: place on the least-utilized machine
+    /// (load balancing / spreading).
+    LeastUtilized,
+    /// Bin-packing alternative for §5.6: place on the *most* utilized
+    /// machine that still fits, consolidating load.
+    MostUtilized,
+}
+
+/// A running container with its departure time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningContainer {
+    /// The placed instance.
+    pub instance: JobInstance,
+    /// Simulation time (minutes) at which the container exits.
+    pub ends_at_min: f64,
+}
+
+/// One schedulable machine: its config and current containers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineState {
+    /// Runtime configuration (capacity source).
+    pub config: MachineConfig,
+    /// Containers currently running.
+    pub containers: Vec<RunningContainer>,
+}
+
+impl MachineState {
+    /// An empty machine with the given config.
+    pub fn new(config: MachineConfig) -> Self {
+        MachineState {
+            config,
+            containers: Vec::new(),
+        }
+    }
+
+    /// vCPUs currently allocated to containers.
+    pub fn allocated_vcpus(&self) -> u32 {
+        self.containers.iter().map(|c| c.instance.vcpus).sum()
+    }
+
+    /// Allocation fraction of schedulable vCPUs.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.config.schedulable_vcpus();
+        if cap == 0 {
+            return 1.0;
+        }
+        self.allocated_vcpus() as f64 / cap as f64
+    }
+
+    /// `true` if `instance` fits without overcommit.
+    pub fn fits(&self, instance: &JobInstance) -> bool {
+        self.allocated_vcpus() + instance.vcpus <= self.config.schedulable_vcpus()
+    }
+
+    /// Removes containers whose end time has passed, returning how many
+    /// exited.
+    pub fn expire(&mut self, now_min: f64) -> usize {
+        let before = self.containers.len();
+        self.containers.retain(|c| c.ends_at_min > now_min);
+        before - self.containers.len()
+    }
+
+    /// The current job-colocation scenario on this machine.
+    pub fn scenario(&self) -> crate::scenario::Scenario {
+        let instances: Vec<JobInstance> =
+            self.containers.iter().map(|c| c.instance).collect();
+        crate::scenario::Scenario::from_instances(&instances)
+    }
+}
+
+/// Outcome of a scheduling request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// The container was placed on machine `machine_index`.
+    Placed {
+        /// Index of the chosen machine in the fleet.
+        machine_index: usize,
+    },
+    /// Every machine was saturated — the request is denied (the paper's
+    /// no-overcommit rule).
+    Denied,
+}
+
+/// The fleet scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scheduler {
+    policy: SchedulerPolicy,
+}
+
+impl Scheduler {
+    /// A scheduler with the given policy.
+    pub fn new(policy: SchedulerPolicy) -> Self {
+        Scheduler { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Attempts to place `instance` on one of `machines`, mutating the
+    /// chosen machine's container list on success.
+    pub fn place(
+        &self,
+        machines: &mut [MachineState],
+        instance: JobInstance,
+        ends_at_min: f64,
+    ) -> Placement {
+        let candidate = match self.policy {
+            SchedulerPolicy::LeastUtilized => {
+                // Primary criterion: least utilization (the paper's rule).
+                // Tie-break: prefer a machine that already hosts this job
+                // (container-image affinity), which keeps per-machine job
+                // mixes repetitive the way production placements are.
+                let min_util = machines
+                    .iter()
+                    .filter(|m| m.fits(&instance))
+                    .map(|m| m.utilization())
+                    .fold(f64::INFINITY, f64::min);
+                // Machines within one container slot of the minimum count
+                // as equally loaded for affinity purposes.
+                let slot = JobInstance::CONTAINER_VCPUS as f64
+                    / machines
+                        .first()
+                        .map(|m| m.config.schedulable_vcpus().max(1) as f64)
+                        .unwrap_or(1.0);
+                machines
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| {
+                        m.fits(&instance) && m.utilization() <= min_util + slot + 1e-12
+                    })
+                    .max_by_key(|(i, m)| {
+                        let same_job = m
+                            .containers
+                            .iter()
+                            .filter(|c| c.instance.job == instance.job)
+                            .count();
+                        // Fewest distinct jobs as a secondary affinity pull;
+                        // negative index keeps the choice deterministic.
+                        let distinct = m.scenario().iter().count();
+                        (same_job, usize::MAX - distinct, usize::MAX - *i)
+                    })
+                    .map(|(i, _)| i)
+            }
+            SchedulerPolicy::MostUtilized => machines
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.fits(&instance))
+                .max_by(|a, b| {
+                    a.1.utilization()
+                        .partial_cmp(&b.1.utilization())
+                        .expect("finite utilization")
+                })
+                .map(|(i, _)| i),
+        };
+        match candidate {
+            Some(i) => {
+                machines[i].containers.push(RunningContainer {
+                    instance,
+                    ends_at_min,
+                });
+                Placement::Placed { machine_index: i }
+            }
+            None => Placement::Denied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineShape;
+    use flare_workloads::job::JobName;
+
+    fn fleet(n: usize) -> Vec<MachineState> {
+        (0..n)
+            .map(|_| MachineState::new(MachineShape::default_shape().baseline_config()))
+            .collect()
+    }
+
+    fn inst() -> JobInstance {
+        JobInstance::new(JobName::DataCaching)
+    }
+
+    #[test]
+    fn least_utilized_spreads_distinct_jobs() {
+        let mut machines = fleet(3);
+        let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
+        for job in [JobName::DataCaching, JobName::GraphAnalytics, JobName::WebSearch] {
+            sched.place(&mut machines, JobInstance::new(job), 100.0);
+        }
+        for m in &machines {
+            assert_eq!(m.containers.len(), 1, "distinct jobs spread one per machine");
+        }
+    }
+
+    #[test]
+    fn same_job_consolidates_within_band() {
+        // Affinity tie-break: instances of the same job pack onto the same
+        // machine while it stays within one container slot of the minimum.
+        let mut machines = fleet(3);
+        let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
+        sched.place(&mut machines, inst(), 100.0);
+        sched.place(&mut machines, inst(), 100.0);
+        let counts: Vec<usize> = machines.iter().map(|m| m.containers.len()).collect();
+        assert!(counts.contains(&2), "same job should co-locate: {counts:?}");
+    }
+
+    #[test]
+    fn utilization_gap_overrides_affinity() {
+        // Once a machine is clearly more loaded than the band allows, the
+        // least-utilized rule wins even against job affinity.
+        let mut machines = fleet(2);
+        let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
+        for _ in 0..3 {
+            sched.place(&mut machines, inst(), 100.0);
+        }
+        // 3 same-type placements on 2 machines: the third must spill.
+        let counts: Vec<usize> = machines.iter().map(|m| m.containers.len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        assert!(counts.iter().all(|&c| c >= 1), "spill expected: {counts:?}");
+    }
+
+    #[test]
+    fn most_utilized_packs() {
+        let mut machines = fleet(3);
+        let sched = Scheduler::new(SchedulerPolicy::MostUtilized);
+        for _ in 0..3 {
+            sched.place(&mut machines, inst(), 100.0);
+        }
+        let counts: Vec<usize> = machines.iter().map(|m| m.containers.len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        assert_eq!(counts.iter().max(), Some(&3), "packing piles onto one machine");
+    }
+
+    #[test]
+    fn no_overcommit_denies_when_full() {
+        let mut machines = fleet(1);
+        let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
+        // 48 vCPUs / 4 = 12 containers fit.
+        for i in 0..12 {
+            assert!(
+                matches!(sched.place(&mut machines, inst(), 100.0), Placement::Placed { .. }),
+                "placement {i} should succeed"
+            );
+        }
+        assert_eq!(sched.place(&mut machines, inst(), 100.0), Placement::Denied);
+        assert_eq!(machines[0].utilization(), 1.0);
+    }
+
+    #[test]
+    fn smt_off_config_halves_capacity() {
+        let mut shape_cfg = MachineShape::default_shape().baseline_config();
+        shape_cfg.smt_enabled = false;
+        let mut machines = vec![MachineState::new(shape_cfg)];
+        let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
+        let mut placed = 0;
+        while matches!(sched.place(&mut machines, inst(), 1.0), Placement::Placed { .. }) {
+            placed += 1;
+        }
+        assert_eq!(placed, 6); // 24 cores / 4 vCPUs
+    }
+
+    #[test]
+    fn expiry_frees_capacity() {
+        let mut machines = fleet(1);
+        let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
+        sched.place(&mut machines, inst(), 50.0);
+        sched.place(&mut machines, inst(), 150.0);
+        assert_eq!(machines[0].expire(100.0), 1);
+        assert_eq!(machines[0].containers.len(), 1);
+        assert_eq!(machines[0].allocated_vcpus(), 4);
+    }
+
+    #[test]
+    fn scenario_snapshot_matches_contents() {
+        let mut machines = fleet(1);
+        let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
+        sched.place(&mut machines, JobInstance::new(JobName::Mcf), 10.0);
+        sched.place(&mut machines, JobInstance::new(JobName::Mcf), 10.0);
+        let s = machines[0].scenario();
+        assert_eq!(s.instances_of(JobName::Mcf), 2);
+    }
+}

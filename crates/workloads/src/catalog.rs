@@ -1,0 +1,466 @@
+//! The job catalog: a latent [`JobProfile`] for each of Table 3's jobs.
+//!
+//! Parameter values are synthetic but calibrated to the qualitative
+//! characterizations of CloudSuite (Ferdman et al., ASPLOS'12) and SPEC
+//! CPU2006 (Phansalkar et al., ISCA'07) the paper builds on:
+//!
+//! - memcached (DC) and media streaming (MS) are network/latency bound with
+//!   small cache footprints;
+//! - Spark analytics (GA, IA) and Cassandra (DS) have multi-MB working sets
+//!   and real bandwidth appetites;
+//! - web search (WSC) and web serving (WSV) are frontend-bound with large
+//!   instruction footprints;
+//! - among the SPEC LP jobs, `mcf`/`omnetpp` are memory-latency bound with
+//!   huge working sets, `libquantum` is a bandwidth streamer, and
+//!   `sjeng`/`perlbench` are core-bound.
+
+use crate::job::JobName;
+use crate::profile::JobProfile;
+
+/// The latent profile of one 4-vCPU instance of `job`.
+///
+/// # Examples
+///
+/// ```
+/// use flare_workloads::{catalog, job::JobName};
+///
+/// let dc = catalog::profile(JobName::DataCaching);
+/// let mcf = catalog::profile(JobName::Mcf);
+/// // memcached's footprint is tiny next to mcf's.
+/// assert!(dc.working_set_mb < mcf.working_set_mb);
+/// ```
+pub fn profile(job: JobName) -> JobProfile {
+    match job {
+        JobName::DataAnalytics => JobProfile {
+            inherent_mips: 6000.0,
+            working_set_mb: 6.0,
+            miss_curve_alpha: 0.15,
+            base_llc_mpki: 6.0,
+            base_l2_mpki: 6.0,
+            base_l1d_mpki: 25.0,
+            base_l1i_mpki: 4.0,
+            mem_bw_gbps: 2.8,
+            latency_sensitivity: 0.15,
+            cpu_bound_fraction: 0.60,
+            smt_friendliness: 0.72,
+            cpu_util: 0.85,
+            frontend_bound: 0.22,
+            bad_speculation: 0.06,
+            branch_mpki: 4.0,
+            itlb_mpki: 0.30,
+            dtlb_mpki: 1.2,
+            alu_stall_pct: 0.12,
+            div_stall_pct: 0.02,
+            disk_read_mbps: 80.0,
+            disk_write_mbps: 40.0,
+            net_rx_mbps: 5.0,
+            net_tx_mbps: 5.0,
+            rss_gb: 10.0,
+            syscalls_ps: 2.0e4,
+        },
+        JobName::DataCaching => JobProfile {
+            inherent_mips: 3500.0,
+            working_set_mb: 3.0,
+            miss_curve_alpha: 0.50,
+            base_llc_mpki: 0.8,
+            base_l2_mpki: 5.0,
+            base_l1d_mpki: 30.0,
+            base_l1i_mpki: 6.0,
+            mem_bw_gbps: 1.0,
+            latency_sensitivity: 0.85,
+            cpu_bound_fraction: 0.35,
+            smt_friendliness: 0.80,
+            cpu_util: 0.60,
+            frontend_bound: 0.30,
+            bad_speculation: 0.04,
+            branch_mpki: 3.0,
+            itlb_mpki: 0.50,
+            dtlb_mpki: 2.0,
+            alu_stall_pct: 0.05,
+            div_stall_pct: 0.01,
+            disk_read_mbps: 0.5,
+            disk_write_mbps: 0.5,
+            net_rx_mbps: 120.0,
+            net_tx_mbps: 120.0,
+            rss_gb: 4.5,
+            syscalls_ps: 8.0e4,
+        },
+        JobName::DataServing => JobProfile {
+            inherent_mips: 4500.0,
+            working_set_mb: 10.0,
+            miss_curve_alpha: 0.75,
+            base_llc_mpki: 2.0,
+            base_l2_mpki: 7.0,
+            base_l1d_mpki: 28.0,
+            base_l1i_mpki: 7.0,
+            mem_bw_gbps: 2.5,
+            latency_sensitivity: 0.35,
+            cpu_bound_fraction: 0.50,
+            smt_friendliness: 0.70,
+            cpu_util: 0.75,
+            frontend_bound: 0.28,
+            bad_speculation: 0.05,
+            branch_mpki: 5.0,
+            itlb_mpki: 0.60,
+            dtlb_mpki: 2.5,
+            alu_stall_pct: 0.10,
+            div_stall_pct: 0.02,
+            disk_read_mbps: 60.0,
+            disk_write_mbps: 90.0,
+            net_rx_mbps: 30.0,
+            net_tx_mbps: 30.0,
+            rss_gb: 14.0,
+            syscalls_ps: 5.0e4,
+        },
+        JobName::GraphAnalytics => JobProfile {
+            inherent_mips: 5000.0,
+            working_set_mb: 18.0,
+            miss_curve_alpha: 0.95,
+            base_llc_mpki: 3.5,
+            base_l2_mpki: 9.0,
+            base_l1d_mpki: 32.0,
+            base_l1i_mpki: 3.0,
+            mem_bw_gbps: 5.0,
+            latency_sensitivity: 0.70,
+            cpu_bound_fraction: 0.50,
+            smt_friendliness: 0.60,
+            cpu_util: 0.90,
+            frontend_bound: 0.15,
+            bad_speculation: 0.05,
+            branch_mpki: 6.0,
+            itlb_mpki: 0.20,
+            dtlb_mpki: 3.0,
+            alu_stall_pct: 0.15,
+            div_stall_pct: 0.03,
+            disk_read_mbps: 10.0,
+            disk_write_mbps: 5.0,
+            net_rx_mbps: 8.0,
+            net_tx_mbps: 8.0,
+            rss_gb: 4.0,
+            syscalls_ps: 1.5e4,
+        },
+        JobName::InMemoryAnalytics => JobProfile {
+            inherent_mips: 5500.0,
+            working_set_mb: 14.0,
+            miss_curve_alpha: 0.90,
+            base_llc_mpki: 2.8,
+            base_l2_mpki: 8.0,
+            base_l1d_mpki: 30.0,
+            base_l1i_mpki: 3.0,
+            mem_bw_gbps: 4.2,
+            latency_sensitivity: 0.65,
+            cpu_bound_fraction: 0.55,
+            smt_friendliness: 0.62,
+            cpu_util: 0.92,
+            frontend_bound: 0.14,
+            bad_speculation: 0.05,
+            branch_mpki: 5.0,
+            itlb_mpki: 0.20,
+            dtlb_mpki: 2.8,
+            alu_stall_pct: 0.18,
+            div_stall_pct: 0.04,
+            disk_read_mbps: 8.0,
+            disk_write_mbps: 4.0,
+            net_rx_mbps: 6.0,
+            net_tx_mbps: 6.0,
+            rss_gb: 4.0,
+            syscalls_ps: 1.2e4,
+        },
+        JobName::MediaStreaming => JobProfile {
+            inherent_mips: 4000.0,
+            working_set_mb: 2.5,
+            miss_curve_alpha: 0.15,
+            base_llc_mpki: 6.5,
+            base_l2_mpki: 8.0,
+            base_l1d_mpki: 18.0,
+            base_l1i_mpki: 8.0,
+            mem_bw_gbps: 3.0,
+            latency_sensitivity: 0.10,
+            cpu_bound_fraction: 0.40,
+            smt_friendliness: 0.82,
+            cpu_util: 0.55,
+            frontend_bound: 0.35,
+            bad_speculation: 0.03,
+            branch_mpki: 2.5,
+            itlb_mpki: 0.80,
+            dtlb_mpki: 1.0,
+            alu_stall_pct: 0.04,
+            div_stall_pct: 0.01,
+            disk_read_mbps: 150.0,
+            disk_write_mbps: 2.0,
+            net_rx_mbps: 200.0,
+            net_tx_mbps: 250.0,
+            rss_gb: 3.0,
+            syscalls_ps: 9.0e4,
+        },
+        JobName::WebSearch => JobProfile {
+            inherent_mips: 4200.0,
+            working_set_mb: 9.0,
+            miss_curve_alpha: 0.80,
+            base_llc_mpki: 1.1,
+            base_l2_mpki: 6.5,
+            base_l1d_mpki: 26.0,
+            base_l1i_mpki: 10.0,
+            mem_bw_gbps: 1.4,
+            latency_sensitivity: 0.85,
+            cpu_bound_fraction: 0.50,
+            smt_friendliness: 0.68,
+            cpu_util: 0.70,
+            frontend_bound: 0.40,
+            bad_speculation: 0.07,
+            branch_mpki: 7.0,
+            itlb_mpki: 1.20,
+            dtlb_mpki: 1.8,
+            alu_stall_pct: 0.08,
+            div_stall_pct: 0.02,
+            disk_read_mbps: 20.0,
+            disk_write_mbps: 2.0,
+            net_rx_mbps: 15.0,
+            net_tx_mbps: 40.0,
+            rss_gb: 12.0,
+            syscalls_ps: 4.0e4,
+        },
+        JobName::WebServing => JobProfile {
+            inherent_mips: 3800.0,
+            working_set_mb: 5.0,
+            miss_curve_alpha: 0.65,
+            base_llc_mpki: 1.0,
+            base_l2_mpki: 5.5,
+            base_l1d_mpki: 27.0,
+            base_l1i_mpki: 9.0,
+            mem_bw_gbps: 1.3,
+            latency_sensitivity: 0.50,
+            cpu_bound_fraction: 0.45,
+            smt_friendliness: 0.75,
+            cpu_util: 0.65,
+            frontend_bound: 0.33,
+            bad_speculation: 0.08,
+            branch_mpki: 6.5,
+            itlb_mpki: 1.00,
+            dtlb_mpki: 2.2,
+            alu_stall_pct: 0.07,
+            div_stall_pct: 0.02,
+            disk_read_mbps: 25.0,
+            disk_write_mbps: 15.0,
+            net_rx_mbps: 60.0,
+            net_tx_mbps: 80.0,
+            rss_gb: 6.0,
+            syscalls_ps: 7.0e4,
+        },
+        JobName::Perlbench => JobProfile {
+            inherent_mips: 7000.0,
+            working_set_mb: 2.0,
+            miss_curve_alpha: 0.50,
+            base_llc_mpki: 0.3,
+            base_l2_mpki: 2.0,
+            base_l1d_mpki: 15.0,
+            base_l1i_mpki: 3.0,
+            mem_bw_gbps: 0.4,
+            latency_sensitivity: 0.30,
+            cpu_bound_fraction: 0.85,
+            smt_friendliness: 0.65,
+            cpu_util: 1.0,
+            frontend_bound: 0.18,
+            bad_speculation: 0.09,
+            branch_mpki: 8.0,
+            itlb_mpki: 0.15,
+            dtlb_mpki: 0.8,
+            alu_stall_pct: 0.20,
+            div_stall_pct: 0.03,
+            disk_read_mbps: 0.1,
+            disk_write_mbps: 0.1,
+            net_rx_mbps: 0.0,
+            net_tx_mbps: 0.0,
+            rss_gb: 2.0,
+            syscalls_ps: 1.0e3,
+        },
+        JobName::Sjeng => JobProfile {
+            inherent_mips: 7500.0,
+            working_set_mb: 1.5,
+            miss_curve_alpha: 0.40,
+            base_llc_mpki: 0.25,
+            base_l2_mpki: 1.5,
+            base_l1d_mpki: 12.0,
+            base_l1i_mpki: 1.0,
+            mem_bw_gbps: 0.3,
+            latency_sensitivity: 0.25,
+            cpu_bound_fraction: 0.90,
+            smt_friendliness: 0.60,
+            cpu_util: 1.0,
+            frontend_bound: 0.12,
+            bad_speculation: 0.10,
+            branch_mpki: 10.0,
+            itlb_mpki: 0.05,
+            dtlb_mpki: 0.6,
+            alu_stall_pct: 0.25,
+            div_stall_pct: 0.02,
+            disk_read_mbps: 0.1,
+            disk_write_mbps: 0.1,
+            net_rx_mbps: 0.0,
+            net_tx_mbps: 0.0,
+            rss_gb: 1.5,
+            syscalls_ps: 1.0e3,
+        },
+        JobName::Libquantum => JobProfile {
+            inherent_mips: 5200.0,
+            working_set_mb: 28.0,
+            miss_curve_alpha: 0.30,
+            base_llc_mpki: 8.0,
+            base_l2_mpki: 10.0,
+            base_l1d_mpki: 35.0,
+            base_l1i_mpki: 0.5,
+            mem_bw_gbps: 10.0,
+            latency_sensitivity: 0.35,
+            cpu_bound_fraction: 0.30,
+            smt_friendliness: 0.85,
+            cpu_util: 1.0,
+            frontend_bound: 0.05,
+            bad_speculation: 0.02,
+            branch_mpki: 1.0,
+            itlb_mpki: 0.02,
+            dtlb_mpki: 1.5,
+            alu_stall_pct: 0.05,
+            div_stall_pct: 0.01,
+            disk_read_mbps: 0.1,
+            disk_write_mbps: 0.1,
+            net_rx_mbps: 0.0,
+            net_tx_mbps: 0.0,
+            rss_gb: 1.0,
+            syscalls_ps: 5.0e2,
+        },
+        JobName::Xalancbmk => JobProfile {
+            inherent_mips: 6200.0,
+            working_set_mb: 4.0,
+            miss_curve_alpha: 0.70,
+            base_llc_mpki: 1.8,
+            base_l2_mpki: 6.0,
+            base_l1d_mpki: 30.0,
+            base_l1i_mpki: 2.0,
+            mem_bw_gbps: 2.2,
+            latency_sensitivity: 0.50,
+            cpu_bound_fraction: 0.60,
+            smt_friendliness: 0.70,
+            cpu_util: 1.0,
+            frontend_bound: 0.20,
+            bad_speculation: 0.07,
+            branch_mpki: 9.0,
+            itlb_mpki: 0.30,
+            dtlb_mpki: 3.5,
+            alu_stall_pct: 0.10,
+            div_stall_pct: 0.02,
+            disk_read_mbps: 0.1,
+            disk_write_mbps: 0.1,
+            net_rx_mbps: 0.0,
+            net_tx_mbps: 0.0,
+            rss_gb: 2.0,
+            syscalls_ps: 1.0e3,
+        },
+        JobName::Omnetpp => JobProfile {
+            inherent_mips: 4800.0,
+            working_set_mb: 12.0,
+            miss_curve_alpha: 0.85,
+            base_llc_mpki: 4.5,
+            base_l2_mpki: 8.0,
+            base_l1d_mpki: 28.0,
+            base_l1i_mpki: 1.5,
+            mem_bw_gbps: 4.0,
+            latency_sensitivity: 0.80,
+            cpu_bound_fraction: 0.45,
+            smt_friendliness: 0.72,
+            cpu_util: 1.0,
+            frontend_bound: 0.10,
+            bad_speculation: 0.06,
+            branch_mpki: 7.0,
+            itlb_mpki: 0.10,
+            dtlb_mpki: 4.0,
+            alu_stall_pct: 0.08,
+            div_stall_pct: 0.01,
+            disk_read_mbps: 0.1,
+            disk_write_mbps: 0.1,
+            net_rx_mbps: 0.0,
+            net_tx_mbps: 0.0,
+            rss_gb: 2.0,
+            syscalls_ps: 1.0e3,
+        },
+        JobName::Mcf => JobProfile {
+            inherent_mips: 3000.0,
+            working_set_mb: 25.0,
+            miss_curve_alpha: 0.90,
+            base_llc_mpki: 12.0,
+            base_l2_mpki: 16.0,
+            base_l1d_mpki: 40.0,
+            base_l1i_mpki: 0.8,
+            mem_bw_gbps: 6.5,
+            latency_sensitivity: 0.90,
+            cpu_bound_fraction: 0.25,
+            smt_friendliness: 0.80,
+            cpu_util: 1.0,
+            frontend_bound: 0.06,
+            bad_speculation: 0.04,
+            branch_mpki: 12.0,
+            itlb_mpki: 0.05,
+            dtlb_mpki: 6.0,
+            alu_stall_pct: 0.04,
+            div_stall_pct: 0.01,
+            disk_read_mbps: 0.1,
+            disk_write_mbps: 0.1,
+            net_rx_mbps: 0.0,
+            net_tx_mbps: 0.0,
+            rss_gb: 3.0,
+            syscalls_ps: 8.0e2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobName;
+
+    #[test]
+    fn every_profile_is_valid() {
+        for &j in JobName::ALL {
+            assert!(profile(j).is_valid(), "{j} profile invalid");
+        }
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        for (i, &a) in JobName::ALL.iter().enumerate() {
+            for &b in &JobName::ALL[i + 1..] {
+                assert_ne!(profile(a), profile(b), "{a} and {b} share a profile");
+            }
+        }
+    }
+
+    #[test]
+    fn qualitative_signatures_hold() {
+        let dc = profile(JobName::DataCaching);
+        let ga = profile(JobName::GraphAnalytics);
+        let mcf = profile(JobName::Mcf);
+        let sjeng = profile(JobName::Sjeng);
+        let libq = profile(JobName::Libquantum);
+        let wsc = profile(JobName::WebSearch);
+
+        // Analytics have bigger cache appetites than caching.
+        assert!(ga.working_set_mb > 3.0 * dc.working_set_mb);
+        // mcf is the classic latency-bound monster.
+        assert!(mcf.latency_sensitivity > 0.8 && mcf.base_llc_mpki > 10.0);
+        // sjeng barely touches memory.
+        assert!(sjeng.mem_bw_gbps < 0.5);
+        // libquantum streams: bandwidth-heavy but latency-tolerant.
+        assert!(libq.mem_bw_gbps > 8.0 && libq.latency_sensitivity < 0.5);
+        // Web search is the frontend-bound one (scale-out ISCA'12 insight).
+        assert!(wsc.frontend_bound >= 0.35 && wsc.base_l1i_mpki >= 8.0);
+    }
+
+    #[test]
+    fn network_services_have_network_traffic() {
+        for j in [JobName::DataCaching, JobName::MediaStreaming, JobName::WebServing] {
+            assert!(profile(j).net_rx_mbps > 10.0, "{j} should be network-active");
+        }
+        for j in JobName::LOW_PRIORITY {
+            assert!(profile(*j).net_rx_mbps < 0.1, "{j} is batch, no network");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Job identities: the 8 CloudSuite-style HP services and 6 SPEC-style LP
+//! batch jobs of Table 3.
+
+use crate::profile::Priority;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Every job type the simulated datacenter hosts (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum JobName {
+    // ---- High-priority services (CloudSuite) ----
+    /// Data Analytics: Hadoop + Mahout (TrainNB).
+    DataAnalytics,
+    /// Data Caching: memcached, 4 threads, 4 GB working set, 100 K QPS.
+    DataCaching,
+    /// Data Serving: Apache Cassandra, 20 threads.
+    DataServing,
+    /// Graph Analytics: Apache Spark executor.
+    GraphAnalytics,
+    /// In-memory Analytics: Apache Spark executor.
+    InMemoryAnalytics,
+    /// Media Streaming: Nginx, 4 threads, 50 connections.
+    MediaStreaming,
+    /// Web Search: Apache Solr (12 GB heap).
+    WebSearch,
+    /// Web Serving: MySQL + memcached + Nginx + PHP stack.
+    WebServing,
+    // ---- Low-priority batch (SPEC CPU2006, four copies per container) ----
+    /// 400.perlbench.
+    Perlbench,
+    /// 458.sjeng.
+    Sjeng,
+    /// 462.libquantum.
+    Libquantum,
+    /// 483.xalancbmk.
+    Xalancbmk,
+    /// 471.omnetpp.
+    Omnetpp,
+    /// 429.mcf.
+    Mcf,
+}
+
+impl JobName {
+    /// All jobs, HP first, in Table 3 order.
+    pub const ALL: &'static [JobName] = &[
+        JobName::DataAnalytics,
+        JobName::DataCaching,
+        JobName::DataServing,
+        JobName::GraphAnalytics,
+        JobName::InMemoryAnalytics,
+        JobName::MediaStreaming,
+        JobName::WebSearch,
+        JobName::WebServing,
+        JobName::Perlbench,
+        JobName::Sjeng,
+        JobName::Libquantum,
+        JobName::Xalancbmk,
+        JobName::Omnetpp,
+        JobName::Mcf,
+    ];
+
+    /// The eight High-Priority services.
+    pub const HIGH_PRIORITY: &'static [JobName] = &[
+        JobName::DataAnalytics,
+        JobName::DataCaching,
+        JobName::DataServing,
+        JobName::GraphAnalytics,
+        JobName::InMemoryAnalytics,
+        JobName::MediaStreaming,
+        JobName::WebSearch,
+        JobName::WebServing,
+    ];
+
+    /// The six Low-Priority batch jobs.
+    pub const LOW_PRIORITY: &'static [JobName] = &[
+        JobName::Perlbench,
+        JobName::Sjeng,
+        JobName::Libquantum,
+        JobName::Xalancbmk,
+        JobName::Omnetpp,
+        JobName::Mcf,
+    ];
+
+    /// Scheduling priority class of the job.
+    pub fn priority(self) -> Priority {
+        if Self::HIGH_PRIORITY.contains(&self) {
+            Priority::High
+        } else {
+            Priority::Low
+        }
+    }
+
+    /// The paper's abbreviation for HP services (GA, WSV, DA, DS, IA, MS,
+    /// DC, WSC) or the SPEC shorthand for LP jobs.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            JobName::DataAnalytics => "DA",
+            JobName::DataCaching => "DC",
+            JobName::DataServing => "DS",
+            JobName::GraphAnalytics => "GA",
+            JobName::InMemoryAnalytics => "IA",
+            JobName::MediaStreaming => "MS",
+            JobName::WebSearch => "WSC",
+            JobName::WebServing => "WSV",
+            JobName::Perlbench => "perlbench",
+            JobName::Sjeng => "sjeng",
+            JobName::Libquantum => "libquantum",
+            JobName::Xalancbmk => "xalancbmk",
+            JobName::Omnetpp => "omnetpp",
+            JobName::Mcf => "mcf",
+        }
+    }
+
+    /// The Table 3 configuration line (the "recorded command and options"
+    /// the Replayer uses to reconstruct the job).
+    pub fn config_line(self) -> &'static str {
+        match self {
+            JobName::DataAnalytics => {
+                "Apache Hadoop with Mahout; 4 maps, 4 reduces, TrainNB; 1 vCPU & 4GB DRAM per mapper/reducer"
+            }
+            JobName::DataCaching => "memcached; 4 threads, 4GB working set, target QPS 100K",
+            JobName::DataServing => "Apache Cassandra; 20 threads, 16GB DRAM",
+            JobName::GraphAnalytics => "Apache Spark; 4 vCPU & 4GB DRAM for executor",
+            JobName::InMemoryAnalytics => "Apache Spark; 4 vCPU & 4GB DRAM for executor",
+            JobName::MediaStreaming => "Nginx; 4 threads, 50 connections, dataset scaled",
+            JobName::WebSearch => "Apache Solr; 12GB DRAM, Tomcat manages # threads",
+            JobName::WebServing => {
+                "MySQL, memcached, Nginx, PHP; 2 threads & 2GB for memcached, 5 PHP threads"
+            }
+            JobName::Perlbench => "400.perlbench; four copies per 4-vCPU container",
+            JobName::Sjeng => "458.sjeng; four copies per 4-vCPU container",
+            JobName::Libquantum => "462.libquantum; four copies per 4-vCPU container",
+            JobName::Xalancbmk => "483.xalancbmk; four copies per 4-vCPU container",
+            JobName::Omnetpp => "471.omnetpp; four copies per 4-vCPU container",
+            JobName::Mcf => "429.mcf; four copies per 4-vCPU container",
+        }
+    }
+}
+
+impl fmt::Display for JobName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Error returned when parsing an unknown job abbreviation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJobError(pub String);
+
+impl fmt::Display for ParseJobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown job abbreviation `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseJobError {}
+
+impl FromStr for JobName {
+    type Err = ParseJobError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        JobName::ALL
+            .iter()
+            .copied()
+            .find(|j| j.abbrev().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseJobError(s.to_string()))
+    }
+}
+
+/// One running container of a job (a fixed-size 4-vCPU instance per the
+/// paper's scale-out resource policy, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobInstance {
+    /// Which job this instance runs.
+    pub job: JobName,
+    /// vCPUs the container is allocated (always 4 in the paper's policy).
+    pub vcpus: u32,
+}
+
+impl JobInstance {
+    /// vCPU size every container uses in the reproduced datacenter.
+    pub const CONTAINER_VCPUS: u32 = 4;
+
+    /// A standard 4-vCPU instance of `job`.
+    pub fn new(job: JobName) -> Self {
+        JobInstance {
+            job,
+            vcpus: Self::CONTAINER_VCPUS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_exhaustive() {
+        assert_eq!(JobName::ALL.len(), 14);
+        assert_eq!(JobName::HIGH_PRIORITY.len(), 8);
+        assert_eq!(JobName::LOW_PRIORITY.len(), 6);
+        for j in JobName::ALL {
+            let in_hp = JobName::HIGH_PRIORITY.contains(j);
+            let in_lp = JobName::LOW_PRIORITY.contains(j);
+            assert!(in_hp ^ in_lp, "{j} must be in exactly one class");
+        }
+    }
+
+    #[test]
+    fn priorities_match_partition() {
+        assert_eq!(JobName::DataCaching.priority(), Priority::High);
+        assert_eq!(JobName::Mcf.priority(), Priority::Low);
+    }
+
+    #[test]
+    fn abbrevs_match_paper_figure2_order() {
+        // Fig. 2's x-axis: GA WSV DA DS IA MS DC WSC.
+        let fig2 = ["GA", "WSV", "DA", "DS", "IA", "MS", "DC", "WSC"];
+        for a in fig2 {
+            assert!(a.parse::<JobName>().is_ok(), "abbrev {a} must parse");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip_and_case_insensitive() {
+        for &j in JobName::ALL {
+            assert_eq!(j.abbrev().parse::<JobName>().unwrap(), j);
+            assert_eq!(j.abbrev().to_lowercase().parse::<JobName>().unwrap(), j);
+        }
+        assert!("NOPE".parse::<JobName>().is_err());
+    }
+
+    #[test]
+    fn config_lines_nonempty() {
+        for &j in JobName::ALL {
+            assert!(!j.config_line().is_empty());
+        }
+    }
+
+    #[test]
+    fn instance_defaults_to_4_vcpus() {
+        let i = JobInstance::new(JobName::WebSearch);
+        assert_eq!(i.vcpus, 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # flare-workloads
+//!
+//! The datacenter job catalog for the FLARE reproduction: the 8
+//! CloudSuite-style High-Priority services and 6 SPEC-CPU2006-style
+//! Low-Priority batch jobs of the paper's Table 3, each with a latent
+//! resource profile, plus load-generation models (job durations, diurnal
+//! request swings, and the conventional load-testing recipe).
+//!
+//! The real benchmarks are substituted by latent profiles — see DESIGN.md:
+//! FLARE only requires that jobs have distinct, overlapping resource
+//! signatures so colocation scenarios span a rich behaviour space.
+//!
+//! ## Example
+//!
+//! ```
+//! use flare_workloads::{catalog, job::JobName, profile::Priority};
+//!
+//! let spark = catalog::profile(JobName::GraphAnalytics);
+//! assert!(spark.working_set_mb > 10.0);
+//! assert_eq!(JobName::GraphAnalytics.priority(), Priority::High);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod job;
+pub mod loadgen;
+pub mod profile;
+pub mod stressor;
+
+pub use job::{JobInstance, JobName};
+pub use profile::{JobProfile, Priority};

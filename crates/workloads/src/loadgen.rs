@@ -1,0 +1,176 @@
+//! Load-generation models: job durations, diurnal request-rate variation,
+//! and the conventional load-testing recipe of §3.1.
+
+use crate::job::{JobInstance, JobName};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Job-duration model of §5.1: "each job runs for at least 30 minutes",
+/// with an exponential tail so the corpus sees a wide mix of short- and
+/// long-lived containers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationModel {
+    /// Minimum duration, minutes (paper: 30).
+    pub min_minutes: f64,
+    /// Mean of the exponential tail added on top of the minimum, minutes.
+    pub mean_extra_minutes: f64,
+}
+
+impl Default for DurationModel {
+    fn default() -> Self {
+        DurationModel {
+            min_minutes: 30.0,
+            mean_extra_minutes: 60.0,
+        }
+    }
+}
+
+impl DurationModel {
+    /// Samples a job duration in minutes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flare_workloads::loadgen::DurationModel;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let d = DurationModel::default().sample_minutes(&mut rng);
+    /// assert!(d >= 30.0);
+    /// ```
+    pub fn sample_minutes<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF exponential sampling; guard the log away from 0.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        self.min_minutes + self.mean_extra_minutes * (-u.ln())
+    }
+}
+
+/// Diurnal load pattern: user request rates (and hence how many instances
+/// a service needs) swing over the day. Modeled as a raised sinusoid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalPattern {
+    /// Mean load factor (fraction of peak capacity requested).
+    pub mean: f64,
+    /// Peak-to-mean swing amplitude.
+    pub amplitude: f64,
+    /// Phase offset in hours (services peak at different times).
+    pub phase_hours: f64,
+}
+
+impl DiurnalPattern {
+    /// Load factor at `hour` (0–24, wraps), clamped to `[0.05, 1.0]`.
+    pub fn load_at(&self, hour: f64) -> f64 {
+        let angle = (hour - self.phase_hours) / 24.0 * std::f64::consts::TAU;
+        (self.mean + self.amplitude * angle.sin()).clamp(0.05, 1.0)
+    }
+}
+
+/// Per-service diurnal pattern roughly matching service classes: user-facing
+/// services swing hard, analytics are steadier (and often anti-phased,
+/// running overnight).
+pub fn diurnal_pattern(job: JobName) -> DiurnalPattern {
+    match job {
+        JobName::DataCaching | JobName::WebServing | JobName::WebSearch => DiurnalPattern {
+            mean: 0.6,
+            amplitude: 0.3,
+            phase_hours: 14.0,
+        },
+        JobName::MediaStreaming => DiurnalPattern {
+            mean: 0.55,
+            amplitude: 0.35,
+            phase_hours: 20.0,
+        },
+        JobName::DataServing => DiurnalPattern {
+            mean: 0.6,
+            amplitude: 0.2,
+            phase_hours: 12.0,
+        },
+        JobName::DataAnalytics | JobName::GraphAnalytics | JobName::InMemoryAnalytics => {
+            DiurnalPattern {
+                mean: 0.5,
+                amplitude: 0.25,
+                phase_hours: 2.0, // batch analytics peak overnight
+            }
+        }
+        // LP batch: constant opportunistic pressure.
+        _ => DiurnalPattern {
+            mean: 0.7,
+            amplitude: 0.1,
+            phase_hours: 0.0,
+        },
+    }
+}
+
+/// The conventional load-testing recipe of §3.1: "populate instances of
+/// each service on a single machine and measure the feature's impact on
+/// it". Returns the instance list for one machine with `machine_vcpus`
+/// logical CPUs.
+///
+/// # Examples
+///
+/// ```
+/// use flare_workloads::loadgen::load_test_instances;
+/// use flare_workloads::job::JobName;
+///
+/// let insts = load_test_instances(JobName::WebSearch, 48);
+/// assert_eq!(insts.len(), 12); // 48 vCPUs / 4 vCPUs per container
+/// assert!(insts.iter().all(|i| i.job == JobName::WebSearch));
+/// ```
+pub fn load_test_instances(job: JobName, machine_vcpus: u32) -> Vec<JobInstance> {
+    let n = (machine_vcpus / JobInstance::CONTAINER_VCPUS).max(1);
+    (0..n).map(|_| JobInstance::new(job)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn durations_respect_minimum() {
+        let model = DurationModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(model.sample_minutes(&mut rng) >= 30.0);
+        }
+    }
+
+    #[test]
+    fn duration_mean_is_plausible() {
+        let model = DurationModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| model.sample_minutes(&mut rng)).sum();
+        let mean = total / n as f64;
+        // Expected mean = 30 + 60 = 90 minutes.
+        assert!((mean - 90.0).abs() < 3.0, "observed mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_load_bounded_and_periodic() {
+        for &j in JobName::ALL {
+            let p = diurnal_pattern(j);
+            for h in 0..48 {
+                let l = p.load_at(h as f64);
+                assert!((0.05..=1.0).contains(&l));
+            }
+            assert!((p.load_at(3.0) - p.load_at(27.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn user_facing_services_swing_more_than_batch() {
+        let dc = diurnal_pattern(JobName::DataCaching);
+        let lp = diurnal_pattern(JobName::Mcf);
+        assert!(dc.amplitude > lp.amplitude);
+    }
+
+    #[test]
+    fn load_test_fills_machine() {
+        let insts = load_test_instances(JobName::DataCaching, 48);
+        assert_eq!(insts.len(), 12);
+        // Tiny machine still gets one instance.
+        assert_eq!(load_test_instances(JobName::DataCaching, 2).len(), 1);
+    }
+}

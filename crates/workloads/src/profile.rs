@@ -1,0 +1,235 @@
+//! Latent resource profiles of datacenter jobs.
+//!
+//! The paper runs real CloudSuite / SPEC CPU2006 binaries; we substitute a
+//! *latent profile* per job — the *cause* of each job's observable metrics.
+//! The simulator's interference model combines colocated profiles with a
+//! machine shape to produce per-job performance, from which the profiler
+//! synthesizes the 100+ raw observable metrics. What matters for a faithful
+//! FLARE reproduction is that jobs have distinct, overlapping resource
+//! signatures so colocation scenarios span a rich behaviour space (Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling priority of a job (§3.1): HP performance is managed, LP jobs
+/// run on free quota and are ignored by the performance metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Priority {
+    /// High priority: the jobs whose performance the datacenter manages.
+    High,
+    /// Low priority: opportunistic batch jobs on free quota.
+    Low,
+}
+
+/// The static, machine-independent resource profile of one job *instance*
+/// (a 4-vCPU container, per Table 3's sizing rule).
+///
+/// All `*_mpki` values are at the instance's full working set resident in
+/// cache; the interference model scales them with the effective cache
+/// share via the miss-ratio curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Instructions per second (millions) when the instance runs alone on
+    /// an otherwise-empty default machine at maximum frequency — the
+    /// "inherent MIPS" of the paper's performance definition (§5.1).
+    pub inherent_mips: f64,
+    /// LLC working-set demand of one instance, MB.
+    pub working_set_mb: f64,
+    /// Shape exponent of the power-law miss-ratio curve: when the instance
+    /// receives `c < working_set` MB of LLC, its LLC MPKI grows by
+    /// `(working_set / c)^alpha`.
+    pub miss_curve_alpha: f64,
+    /// LLC misses per kilo-instruction with the full working set cached
+    /// (compulsory + capacity floor).
+    pub base_llc_mpki: f64,
+    /// L2 misses per kilo-instruction (feeds LLC APKI).
+    pub base_l2_mpki: f64,
+    /// L1 data misses per kilo-instruction.
+    pub base_l1d_mpki: f64,
+    /// L1 instruction misses per kilo-instruction (frontend pressure).
+    pub base_l1i_mpki: f64,
+    /// DRAM bandwidth demand of one instance at full speed, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Sensitivity of progress to memory *latency* (0 = fully
+    /// latency-tolerant, 1 = every miss stalls the pipeline).
+    pub latency_sensitivity: f64,
+    /// Fraction of execution that scales with core frequency (the
+    /// remainder is memory/IO time unaffected by DVFS).
+    pub cpu_bound_fraction: f64,
+    /// Throughput multiplier when sharing a physical core with an SMT
+    /// sibling (e.g. 0.65 = instance retains 65 % of its solo speed).
+    pub smt_friendliness: f64,
+    /// Average fraction of the 4 allocated vCPUs that are actually busy.
+    pub cpu_util: f64,
+    /// Top-down: fraction of slots frontend-bound when running alone.
+    pub frontend_bound: f64,
+    /// Top-down: fraction of slots lost to branch mis-speculation.
+    pub bad_speculation: f64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch_mpki: f64,
+    /// Instruction-TLB misses per kilo-instruction.
+    pub itlb_mpki: f64,
+    /// Data-TLB misses per kilo-instruction.
+    pub dtlb_mpki: f64,
+    /// ALU-port stall fraction (dense arithmetic pressure).
+    pub alu_stall_pct: f64,
+    /// Divider/long-op stall fraction.
+    pub div_stall_pct: f64,
+    /// Disk read throughput, MB/s per instance.
+    pub disk_read_mbps: f64,
+    /// Disk write throughput, MB/s per instance.
+    pub disk_write_mbps: f64,
+    /// Network receive throughput, MB/s per instance.
+    pub net_rx_mbps: f64,
+    /// Network transmit throughput, MB/s per instance.
+    pub net_tx_mbps: f64,
+    /// Resident set size, GB per instance.
+    pub rss_gb: f64,
+    /// System calls per second per instance.
+    pub syscalls_ps: f64,
+}
+
+impl JobProfile {
+    /// LLC misses per kilo-instruction when the instance's effective cache
+    /// share is `cache_mb`.
+    ///
+    /// Uses the standard power-law miss-ratio curve: the full-working-set
+    /// MPKI is the floor; shrinking the share below the working set raises
+    /// misses super-linearly with exponent [`miss_curve_alpha`].
+    ///
+    /// [`miss_curve_alpha`]: JobProfile::miss_curve_alpha
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flare_workloads::catalog;
+    /// use flare_workloads::job::JobName;
+    ///
+    /// let ga = catalog::profile(JobName::GraphAnalytics);
+    /// let full = ga.llc_mpki_at(ga.working_set_mb);
+    /// let half = ga.llc_mpki_at(ga.working_set_mb / 2.0);
+    /// assert!(half > full);
+    /// ```
+    pub fn llc_mpki_at(&self, cache_mb: f64) -> f64 {
+        let cache = cache_mb.max(0.25); // hardware floor: below ~256 KB everything misses
+        if cache >= self.working_set_mb {
+            self.base_llc_mpki
+        } else {
+            self.base_llc_mpki * (self.working_set_mb / cache).powf(self.miss_curve_alpha)
+        }
+    }
+
+    /// DRAM traffic (GB/s) implied by an achieved MIPS and an LLC MPKI,
+    /// assuming 64-byte lines. This is exactly the redundancy the paper
+    /// found between its bandwidth monitor and LLC-miss counters.
+    pub fn mem_bw_from_misses(mips: f64, llc_mpki: f64) -> f64 {
+        // misses/s = MIPS * 1e6 * mpki / 1e3; bytes = * 64; GB/s = / 1e9.
+        mips * 1e6 * llc_mpki / 1e3 * 64.0 / 1e9
+    }
+
+    /// Validates that the profile's parameters are physically sensible.
+    ///
+    /// Used by catalog tests and by property tests to reject nonsensical
+    /// synthetic profiles.
+    pub fn is_valid(&self) -> bool {
+        self.inherent_mips > 0.0
+            && self.working_set_mb > 0.0
+            && self.miss_curve_alpha >= 0.0
+            && self.base_llc_mpki >= 0.0
+            && self.base_l2_mpki >= self.base_llc_mpki * 0.5
+            && self.base_l1d_mpki >= 0.0
+            && self.mem_bw_gbps >= 0.0
+            && (0.0..=1.0).contains(&self.latency_sensitivity)
+            && (0.0..=1.0).contains(&self.cpu_bound_fraction)
+            && (0.05..=1.0).contains(&self.smt_friendliness)
+            && (0.0..=1.0).contains(&self.cpu_util)
+            && (0.0..=1.0).contains(&self.frontend_bound)
+            && (0.0..=1.0).contains(&self.bad_speculation)
+            && self.frontend_bound + self.bad_speculation < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobProfile {
+        JobProfile {
+            inherent_mips: 2000.0,
+            working_set_mb: 8.0,
+            miss_curve_alpha: 0.8,
+            base_llc_mpki: 1.0,
+            base_l2_mpki: 4.0,
+            base_l1d_mpki: 20.0,
+            base_l1i_mpki: 2.0,
+            mem_bw_gbps: 2.0,
+            latency_sensitivity: 0.5,
+            cpu_bound_fraction: 0.6,
+            smt_friendliness: 0.7,
+            cpu_util: 0.8,
+            frontend_bound: 0.2,
+            bad_speculation: 0.05,
+            branch_mpki: 5.0,
+            itlb_mpki: 0.2,
+            dtlb_mpki: 1.0,
+            alu_stall_pct: 0.1,
+            div_stall_pct: 0.02,
+            disk_read_mbps: 10.0,
+            disk_write_mbps: 5.0,
+            net_rx_mbps: 20.0,
+            net_tx_mbps: 20.0,
+            rss_gb: 4.0,
+            syscalls_ps: 1e4,
+        }
+    }
+
+    #[test]
+    fn miss_curve_floor_at_full_working_set() {
+        let p = sample();
+        assert_eq!(p.llc_mpki_at(8.0), 1.0);
+        assert_eq!(p.llc_mpki_at(30.0), 1.0);
+    }
+
+    #[test]
+    fn miss_curve_grows_when_cache_shrinks() {
+        let p = sample();
+        let half = p.llc_mpki_at(4.0);
+        let quarter = p.llc_mpki_at(2.0);
+        assert!(half > 1.0);
+        assert!(quarter > half);
+        // Power-law: halving cache multiplies MPKI by 2^alpha.
+        assert!((half - 2.0f64.powf(0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_curve_clamps_tiny_cache() {
+        let p = sample();
+        assert!(p.llc_mpki_at(0.0).is_finite());
+        assert_eq!(p.llc_mpki_at(0.0), p.llc_mpki_at(0.1));
+    }
+
+    #[test]
+    fn bandwidth_identity() {
+        // 1000 MIPS at 2 MPKI → 2e6 misses/s → 128 MB/s = 0.128 GB/s.
+        let bw = JobProfile::mem_bw_from_misses(1000.0, 2.0);
+        assert!((bw - 0.128).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_profile_is_valid() {
+        assert!(sample().is_valid());
+    }
+
+    #[test]
+    fn invalid_profiles_detected() {
+        let mut p = sample();
+        p.inherent_mips = 0.0;
+        assert!(!p.is_valid());
+        let mut p = sample();
+        p.cpu_bound_fraction = 1.5;
+        assert!(!p.is_valid());
+        let mut p = sample();
+        p.frontend_bound = 0.8;
+        p.bad_speculation = 0.3;
+        assert!(!p.is_valid());
+    }
+}

@@ -1,0 +1,205 @@
+//! Synthetic resource stressors, à la iBench (Delimitrou & Kozyrakis,
+//! IISWC'13).
+//!
+//! §5.1 of the paper: "if we can thoroughly characterize the performance
+//! and resource behaviors of every job in the datacenter, we may utilize
+//! high-precision load generators such as iBench to accurately reproduce
+//! the job behaviors." A stressor is a tunable antagonist that applies a
+//! chosen pressure to one or several resources; replaying a representative
+//! scenario with calibrated stressors avoids deploying the real service
+//! stack on the testbed.
+//!
+//! Real load generators expose *coarse* knobs (pressure levels, not
+//! continuous microarchitectural parameters), so calibration quantizes
+//! each dimension — the fidelity cost that the `abl04` ablation measures.
+
+use crate::catalog;
+use crate::job::JobName;
+use crate::profile::JobProfile;
+use serde::{Deserialize, Serialize};
+
+/// Number of discrete pressure levels a stressor knob offers.
+pub const KNOB_LEVELS: u32 = 10;
+
+/// A stressor specification: one knob (0..=[`KNOB_LEVELS`]) per resource
+/// dimension. Level 0 = idle on that dimension, max = the heaviest
+/// pressure the generator can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StressorSpec {
+    /// Frequency-bound (compute-intensity) pressure.
+    pub cpu: u32,
+    /// Thread-level activity: how many of the container's vCPUs spin.
+    pub threads: u32,
+    /// Cache-capacity pressure: working-set size.
+    pub cache: u32,
+    /// Memory pressure: miss intensity and latency sensitivity.
+    pub memory: u32,
+    /// Memory-bandwidth pressure: streaming traffic.
+    pub bandwidth: u32,
+    /// Network pressure.
+    pub network: u32,
+    /// Storage pressure.
+    pub disk: u32,
+}
+
+/// Knob ranges: the physical quantity each level maps onto. These bounds
+/// cover the full catalog so every job is representable up to quantization.
+mod range {
+    /// Max working set a cache stressor can occupy, MB per instance.
+    pub const CACHE_MB: f64 = 30.0;
+    /// Max LLC MPKI the memory antagonist produces.
+    pub const MPKI: f64 = 14.0;
+    /// Max streaming bandwidth, GB/s per instance.
+    pub const BW_GBPS: f64 = 11.0;
+    /// Max network traffic (rx+tx), MB/s per instance.
+    pub const NET_MBPS: f64 = 500.0;
+    /// Max disk traffic (r+w), MB/s per instance.
+    pub const DISK_MBPS: f64 = 170.0;
+}
+
+impl StressorSpec {
+    /// Quantizes a fraction of a knob's physical range to a level.
+    fn level(fraction: f64) -> u32 {
+        (fraction.clamp(0.0, 1.0) * KNOB_LEVELS as f64).round() as u32
+    }
+
+    /// Fraction of the physical range a level reproduces.
+    fn fraction(level: u32) -> f64 {
+        level.min(KNOB_LEVELS) as f64 / KNOB_LEVELS as f64
+    }
+
+    /// Calibrates a stressor against a job's latent profile: each resource
+    /// dimension is measured and snapped to the nearest knob level. This
+    /// mirrors profiling a production service and dialing a load
+    /// generator to match.
+    pub fn calibrate(job: JobName) -> StressorSpec {
+        let p = catalog::profile(job);
+        StressorSpec {
+            cpu: Self::level(p.cpu_bound_fraction),
+            threads: Self::level(p.cpu_util),
+            cache: Self::level(p.working_set_mb / range::CACHE_MB),
+            memory: Self::level(p.base_llc_mpki / range::MPKI * p.latency_sensitivity),
+            bandwidth: Self::level(p.mem_bw_gbps / range::BW_GBPS),
+            network: Self::level((p.net_rx_mbps + p.net_tx_mbps) / range::NET_MBPS),
+            disk: Self::level((p.disk_read_mbps + p.disk_write_mbps) / range::DISK_MBPS),
+        }
+    }
+
+    /// Materializes the stressor as a runnable [`JobProfile`].
+    ///
+    /// The profile is a generic antagonist whose pressures follow the knob
+    /// levels; job-specific subtleties (top-down shape, SMT friendliness,
+    /// branch behaviour) collapse to generator defaults — exactly the
+    /// fidelity loss proxy replay accepts.
+    pub fn to_profile(self) -> JobProfile {
+        let cpu = Self::fraction(self.cpu);
+        let threads = Self::fraction(self.threads);
+        let cache = Self::fraction(self.cache);
+        let memory = Self::fraction(self.memory);
+        let bandwidth = Self::fraction(self.bandwidth);
+        let network = Self::fraction(self.network);
+        let disk = Self::fraction(self.disk);
+        JobProfile {
+            // A stressor spins a tight loop: throughput tracks its compute
+            // knob with a generator-typical ceiling.
+            inherent_mips: 2000.0 + 5000.0 * cpu,
+            working_set_mb: (cache * range::CACHE_MB).max(0.5),
+            miss_curve_alpha: 0.7,
+            base_llc_mpki: (memory * range::MPKI).max(0.05),
+            base_l2_mpki: (memory * range::MPKI).max(0.05) * 1.4 + 1.0,
+            base_l1d_mpki: 20.0,
+            base_l1i_mpki: 2.0,
+            mem_bw_gbps: bandwidth * range::BW_GBPS,
+            latency_sensitivity: (0.3 + 0.6 * memory).min(1.0),
+            cpu_bound_fraction: (0.1 + 0.9 * cpu).min(1.0),
+            smt_friendliness: 0.7,
+            cpu_util: (0.1 + 0.9 * threads).min(1.0),
+            frontend_bound: 0.15,
+            bad_speculation: 0.05,
+            branch_mpki: 5.0,
+            itlb_mpki: 0.3,
+            dtlb_mpki: 1.5,
+            alu_stall_pct: 0.1,
+            div_stall_pct: 0.02,
+            disk_read_mbps: disk * range::DISK_MBPS * 0.6,
+            disk_write_mbps: disk * range::DISK_MBPS * 0.4,
+            net_rx_mbps: network * range::NET_MBPS * 0.5,
+            net_tx_mbps: network * range::NET_MBPS * 0.5,
+            rss_gb: 2.0 + 8.0 * cache,
+            syscalls_ps: 1.0e3 + 8.0e4 * network,
+        }
+    }
+}
+
+/// Calibrated stressor profile for a job — the proxy used when the real
+/// service stack cannot be deployed on the testbed.
+pub fn proxy_profile(job: JobName) -> JobProfile {
+    StressorSpec::calibrate(job).to_profile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_calibrations_produce_valid_profiles() {
+        for &job in JobName::ALL {
+            let spec = StressorSpec::calibrate(job);
+            let profile = spec.to_profile();
+            assert!(profile.is_valid(), "{job}: invalid stressor profile");
+        }
+    }
+
+    #[test]
+    fn knobs_are_quantized() {
+        for &job in JobName::ALL {
+            let spec = StressorSpec::calibrate(job);
+            for knob in [spec.cpu, spec.threads, spec.cache, spec.memory, spec.bandwidth, spec.network, spec.disk] {
+                assert!(knob <= KNOB_LEVELS);
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_tracks_resource_ordering() {
+        // Pairwise orderings of the real profiles survive calibration.
+        let ga = StressorSpec::calibrate(JobName::GraphAnalytics);
+        let ms = StressorSpec::calibrate(JobName::MediaStreaming);
+        assert!(ga.cache > ms.cache, "Spark's footprint dwarfs Nginx's");
+        assert!(ms.network > ga.network, "streaming is the network hog");
+        let mcf = StressorSpec::calibrate(JobName::Mcf);
+        assert!(mcf.memory >= ga.memory, "mcf is the heaviest memory job");
+    }
+
+    #[test]
+    fn proxy_preserves_working_set_scale() {
+        for &job in JobName::ALL {
+            let real = catalog::profile(job);
+            let proxy = proxy_profile(job);
+            // Quantization error is at most half a level of the range.
+            let half_level = super::range::CACHE_MB / KNOB_LEVELS as f64 / 2.0 + 0.5;
+            assert!(
+                (real.working_set_mb - proxy.working_set_mb).abs() <= half_level + 1e-9,
+                "{job}: ws {} vs proxy {}",
+                real.working_set_mb,
+                proxy.working_set_mb
+            );
+        }
+    }
+
+    #[test]
+    fn idle_spec_is_minimal() {
+        let idle = StressorSpec {
+            cpu: 0,
+            threads: 0,
+            cache: 0,
+            memory: 0,
+            bandwidth: 0,
+            network: 0,
+            disk: 0,
+        };
+        let p = idle.to_profile();
+        assert!(p.is_valid());
+        assert!(p.mem_bw_gbps == 0.0 && p.net_rx_mbps == 0.0);
+    }
+}

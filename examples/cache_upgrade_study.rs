@@ -1,0 +1,79 @@
+//! A realistic capacity-planning study: how much last-level cache can we
+//! give away to a new co-tenant (via Intel CAT partitioning) before HP
+//! services degrade past an SLO budget?
+//!
+//! The study sweeps the LLC allocation from the full 30 MB/socket down to
+//! 8 MB/socket, asks FLARE for the fleet-wide and per-service impact of
+//! each setting, and reports the largest giveaway that keeps every
+//! protected service inside the SLO.
+//!
+//! ```sh
+//! cargo run --release --example cache_upgrade_study
+//! ```
+
+use flare::prelude::*;
+
+/// Services with latency SLOs: degradation budget 10 % each.
+const PROTECTED: [JobName; 3] = [
+    JobName::DataCaching,
+    JobName::WebSearch,
+    JobName::WebServing,
+];
+const SLO_BUDGET_PCT: f64 = 10.0;
+
+fn main() -> Result<(), FlareError> {
+    println!("collecting corpus and fitting FLARE (once; reused for every candidate)...");
+    let corpus = Corpus::generate(&CorpusConfig::default());
+    let flare = Flare::fit(corpus, FlareConfig::default())?;
+    println!("  {} representatives extracted\n", flare.n_representatives());
+
+    println!(
+        "{:>10} {:>10} | per-service impact (%)",
+        "LLC MB/skt", "fleet %"
+    );
+    println!("{:>10} {:>10} | {:>6} {:>6} {:>6}", "", "", "DC", "WSC", "WSV");
+
+    let mut best: Option<f64> = None;
+    for llc_mb in [24.0, 20.0, 16.0, 12.0, 10.0, 8.0] {
+        let feature = Feature::CacheSizing {
+            llc_mb_per_socket: llc_mb,
+        };
+        let fleet = flare.evaluate(&feature)?;
+        let per_service: Vec<f64> = PROTECTED
+            .iter()
+            .map(|&job| {
+                flare
+                    .evaluate_job(job, &feature)
+                    .map(|e| e.impact_pct)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        let ok = per_service.iter().all(|&i| i < SLO_BUDGET_PCT);
+        println!(
+            "{:>10} {:>10.2} | {:>6.2} {:>6.2} {:>6.2} {}",
+            llc_mb,
+            fleet.impact_pct,
+            per_service[0],
+            per_service[1],
+            per_service[2],
+            if ok { "within SLO" } else { "VIOLATES SLO" },
+        );
+        if ok {
+            best = Some(llc_mb);
+        }
+    }
+
+    match best {
+        Some(llc) => println!(
+            "\nrecommendation: shrink to {llc} MB/socket — frees {} MB/socket for the \
+             co-tenant while every protected service stays under {SLO_BUDGET_PCT}% degradation.",
+            30.0 - llc
+        ),
+        None => println!("\nno candidate allocation satisfies the SLO budget."),
+    }
+    println!(
+        "total testbed cost: {} replays per candidate instead of ~1,000 (full datacenter).",
+        flare.n_representatives()
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Evaluating a power-capping (DVFS) policy on a heterogeneous fleet
+//! (§5.5): representatives are derived *per machine shape* because a
+//! colocation that fits the big shape saturates the small one.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_fleet
+//! ```
+
+use flare::prelude::*;
+
+fn main() -> Result<(), FlareError> {
+    let feature = Feature::DvfsCap { freq_max_ghz: 2.0 };
+    println!("evaluating {} on both machine shapes\n", feature.label());
+
+    for (name, shape) in [
+        ("Default (Table 2)", MachineShape::default_shape()),
+        ("Small   (Table 5)", MachineShape::small_shape()),
+    ] {
+        let corpus_config = CorpusConfig {
+            machine_config: shape.baseline_config(),
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&corpus_config);
+        let flare = Flare::fit(corpus, FlareConfig::default())?;
+        let estimate = flare.evaluate(&feature)?;
+        println!(
+            "[{name}] {} scenarios -> {} representatives",
+            flare.corpus().len(),
+            flare.n_representatives()
+        );
+        println!(
+            "  fleet impact of the 2.0 GHz cap: {:.2}% MIPS reduction",
+            estimate.impact_pct
+        );
+        // Shape-specific insight: which services hurt most on this shape?
+        let mut per_job: Vec<(JobName, f64)> = JobName::HIGH_PRIORITY
+            .iter()
+            .filter_map(|&j| flare.evaluate_job(j, &feature).ok().map(|e| (j, e.impact_pct)))
+            .collect();
+        per_job.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let worst: Vec<String> = per_job
+            .iter()
+            .take(3)
+            .map(|(j, i)| format!("{j} ({i:.1}%)"))
+            .collect();
+        println!("  most affected services: {}\n", worst.join(", "));
+    }
+
+    println!(
+        "note: each shape gets its own representative set — a shape lives 5-10 years\n\
+         through many feature upgrades, so the one-time extraction amortizes (§5.5)."
+    );
+    Ok(())
+}

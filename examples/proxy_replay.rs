@@ -1,0 +1,66 @@
+//! Proxy replay: evaluate a feature when the real services cannot run on
+//! the testbed (licensing, data gravity, stack complexity) by
+//! reconstructing the representative scenarios with **calibrated synthetic
+//! stressors** — the iBench idea the paper sketches in §5.1.
+//!
+//! ```sh
+//! cargo run --release --example proxy_replay
+//! ```
+
+use flare::baselines::fulldc::full_datacenter_impact;
+use flare::core::replayer::ProxyTestbed;
+use flare::prelude::*;
+use flare::workloads::stressor::StressorSpec;
+
+fn main() -> Result<(), FlareError> {
+    println!("fitting FLARE on the production corpus...");
+    let corpus_config = CorpusConfig::default();
+    let corpus = Corpus::generate(&corpus_config);
+    let baseline = corpus_config.machine_config.clone();
+    let flare = Flare::fit(corpus.clone(), FlareConfig::default())?;
+
+    // Calibrate one stressor per service from its profiled behaviour.
+    println!("\ncalibrated stressor knobs (0-10 per resource):");
+    println!(
+        "  {:<5} {:>4} {:>8} {:>6} {:>7} {:>10} {:>8} {:>5}",
+        "job", "cpu", "threads", "cache", "memory", "bandwidth", "network", "disk"
+    );
+    for &job in JobName::HIGH_PRIORITY {
+        let s = StressorSpec::calibrate(job);
+        println!(
+            "  {:<5} {:>4} {:>8} {:>6} {:>7} {:>10} {:>8} {:>5}",
+            job.abbrev(),
+            s.cpu,
+            s.threads,
+            s.cache,
+            s.memory,
+            s.bandwidth,
+            s.network,
+            s.disk
+        );
+    }
+
+    // Evaluate every paper feature twice: real-service replay vs stressors.
+    let proxy = ProxyTestbed::calibrated();
+    println!("\n{:<24} {:>9} {:>12} {:>13}", "feature", "truth %", "real replay", "proxy replay");
+    for feature in Feature::paper_features() {
+        let fc = feature.apply(&baseline);
+        let truth =
+            full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+        let real = flare.evaluate_on(&SimTestbed, &feature)?.impact_pct;
+        let prox = flare.evaluate_on(&proxy, &feature)?.impact_pct;
+        println!(
+            "{:<24} {:>9.2} {:>12.2} {:>13.2}",
+            feature.label(),
+            truth,
+            real,
+            prox
+        );
+    }
+    println!(
+        "\nproxy replay needs no service deployment — only {} stressor containers per\n\
+         scenario — at the fidelity cost of the generator's quantized knobs.",
+        JobInstance::CONTAINER_VCPUS
+    );
+    Ok(())
+}

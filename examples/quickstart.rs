@@ -1,0 +1,62 @@
+//! Quickstart: collect a corpus, fit FLARE, evaluate the paper's three
+//! features, and compare against the full-datacenter ground truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flare::baselines::fulldc::full_datacenter_impact;
+use flare::prelude::*;
+
+fn main() -> Result<(), FlareError> {
+    // 1. Collect the scenario corpus (the paper's 8-machine serving rack
+    //    observed for a week; ~1 000 distinct job colocations).
+    println!("collecting scenario corpus...");
+    let corpus_config = CorpusConfig::default();
+    let corpus = Corpus::generate(&corpus_config);
+    let baseline = corpus_config.machine_config.clone();
+    println!(
+        "  {} distinct job-colocation scenarios ({} with HP jobs)",
+        corpus.len(),
+        corpus.hp_entries().len()
+    );
+
+    // 2. Fit FLARE: refine 106 raw metrics, build PCs, cluster, extract 18
+    //    representative scenarios.
+    println!("\nfitting FLARE...");
+    let flare = Flare::fit(corpus.clone(), FlareConfig::default())?;
+    let analyzer = flare.analyzer();
+    println!(
+        "  refinement: {} -> {} metrics",
+        flare.database().schema().len(),
+        analyzer.refined_schema().len()
+    );
+    println!("  PCA: {} components explain 95% of variance", analyzer.n_pcs());
+    println!("  representatives: {}", flare.n_representatives());
+
+    // 3. Evaluate each feature on the representatives only, and compare to
+    //    the (expensive) full-datacenter truth.
+    for feature in Feature::paper_features() {
+        let estimate = flare.evaluate(&feature)?;
+        let feature_config = feature.apply(&baseline);
+        let truth = full_datacenter_impact(
+            &corpus,
+            &SimTestbed,
+            &baseline,
+            &feature_config,
+            true,
+        );
+        println!(
+            "\n{}:\n  FLARE estimate  : {:>6.2}% MIPS reduction ({} replays)\n  \
+             datacenter truth: {:>6.2}% ({} replays)\n  error: {:.2}pp; cost reduction {:.0}x",
+            feature.label(),
+            estimate.impact_pct,
+            estimate.replay_count,
+            truth.impact_pct,
+            truth.evaluation_cost,
+            (estimate.impact_pct - truth.impact_pct).abs(),
+            truth.evaluation_cost as f64 / estimate.replay_count as f64,
+        );
+    }
+    Ok(())
+}

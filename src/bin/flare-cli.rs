@@ -1,0 +1,12 @@
+//! The `flare-cli` binary: command-line access to the FLARE pipeline.
+//! See `flare::cli` for the implementation and `flare-cli help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = flare::cli::parse_args(&args)
+        .and_then(|inv| flare::cli::run(&inv, &mut std::io::stdout()));
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

