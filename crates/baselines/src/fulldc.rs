@@ -7,6 +7,7 @@
 //! the 50× baseline of Fig. 13.
 
 use flare_core::replayer::{replay_impact, replay_job_impact, Testbed};
+use flare_exec::par_map_indexed;
 use flare_metrics::database::ScenarioId;
 use flare_sim::datacenter::Corpus;
 use flare_sim::machine::MachineConfig;
@@ -59,11 +60,7 @@ pub fn full_datacenter_impact<T: Testbed>(
     }
     let total_w: f64 = per_scenario.iter().map(|&(_, w, _)| w).sum();
     let impact_pct = if total_w > 0.0 {
-        per_scenario
-            .iter()
-            .map(|&(_, w, i)| w * i)
-            .sum::<f64>()
-            / total_w
+        per_scenario.iter().map(|&(_, w, i)| w * i).sum::<f64>() / total_w
     } else {
         0.0
     };
@@ -75,13 +72,15 @@ pub fn full_datacenter_impact<T: Testbed>(
 }
 
 /// Parallel variant of [`full_datacenter_impact`]: scenarios are replayed
-/// across `threads` worker threads with crossbeam's scoped threads. The
-/// result is identical to the serial evaluation (per-scenario replays are
-/// independent and deterministic); only wall-clock changes.
+/// across `threads` worker threads via [`flare_exec::par_map_indexed`],
+/// which returns per-scenario results in corpus order regardless of
+/// thread interleaving — the result is byte-identical to the serial
+/// evaluation; only wall-clock changes.
 ///
 /// Full-datacenter evaluation is the 50×-more-expensive baseline, so it is
-/// the one place worth parallelizing — FLARE itself only replays ~18
-/// scenarios.
+/// the baseline most worth parallelizing — FLARE itself only replays ~18
+/// scenarios (and parallelizes its own profiling/clustering through the
+/// same primitive).
 pub fn full_datacenter_impact_parallel<T: Testbed + Sync>(
     corpus: &Corpus,
     testbed: &T,
@@ -95,45 +94,20 @@ pub fn full_datacenter_impact_parallel<T: Testbed + Sync>(
         .iter()
         .filter(|e| e.scenario.has_hp_job())
         .collect();
-    let threads = threads.clamp(1, entries.len().max(1));
-    let chunk = entries.len().div_ceil(threads);
-
-    let mut per_scenario: Vec<(ScenarioId, f64, f64)> = Vec::with_capacity(entries.len());
-    if !entries.is_empty() {
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = entries
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move |_| {
-                        slice
-                            .iter()
-                            .filter_map(|e| {
-                                replay_impact(testbed, &e.scenario, baseline, feature_config)
-                                    .map(|impact| {
-                                        let w = if weight_by_observations {
-                                            e.observations as f64
-                                        } else {
-                                            1.0
-                                        };
-                                        (e.id, w, impact)
-                                    })
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect::<Vec<_>>()
+    let per_scenario: Vec<(ScenarioId, f64, f64)> =
+        par_map_indexed(&entries, Some(threads), |_, e| {
+            replay_impact(testbed, &e.scenario, baseline, feature_config).map(|impact| {
+                let w = if weight_by_observations {
+                    e.observations as f64
+                } else {
+                    1.0
+                };
+                (e.id, w, impact)
+            })
         })
-        .expect("crossbeam scope");
-        for chunk_result in results {
-            per_scenario.extend(chunk_result);
-        }
-    }
-    // Deterministic ordering regardless of thread interleaving.
-    per_scenario.sort_by_key(|&(id, _, _)| id);
+        .into_iter()
+        .flatten()
+        .collect();
 
     let cost = entries.len();
     let total_w: f64 = per_scenario.iter().map(|&(_, w, _)| w).sum();
@@ -208,7 +182,11 @@ mod tests {
         let gt = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f1, true);
         assert_eq!(gt.evaluation_cost, corpus.hp_entries().len());
         assert_eq!(gt.per_scenario.len(), gt.evaluation_cost);
-        assert!(gt.impact_pct > 0.0 && gt.impact_pct < 40.0, "{}", gt.impact_pct);
+        assert!(
+            gt.impact_pct > 0.0 && gt.impact_pct < 40.0,
+            "{}",
+            gt.impact_pct
+        );
     }
 
     #[test]
@@ -276,9 +254,17 @@ mod parallel_tests {
         let serial = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f1, true);
         for threads in [1, 2, 4, 64] {
             let parallel = full_datacenter_impact_parallel(
-                &corpus, &SimTestbed, &baseline, &f1, true, threads,
+                &corpus,
+                &SimTestbed,
+                &baseline,
+                &f1,
+                true,
+                threads,
             );
-            assert_eq!(serial.per_scenario, parallel.per_scenario, "threads={threads}");
+            assert_eq!(
+                serial.per_scenario, parallel.per_scenario,
+                "threads={threads}"
+            );
             assert_eq!(serial.evaluation_cost, parallel.evaluation_cost);
             assert!((serial.impact_pct - parallel.impact_pct).abs() < 1e-12);
         }
@@ -298,9 +284,8 @@ mod parallel_tests {
         };
         let corpus = Corpus::generate(&cfg);
         let baseline = cfg.machine_config.clone();
-        let gt = full_datacenter_impact_parallel(
-            &corpus, &SimTestbed, &baseline, &baseline, true, 4,
-        );
+        let gt =
+            full_datacenter_impact_parallel(&corpus, &SimTestbed, &baseline, &baseline, true, 4);
         assert_eq!(gt.impact_pct, 0.0);
     }
 }

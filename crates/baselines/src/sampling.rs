@@ -289,10 +289,9 @@ mod tests {
     fn sampling_centers_on_truth() {
         let (corpus, baseline) = setup();
         let f2 = Feature::paper_feature2().apply(&baseline);
-        let truth = crate::fulldc::full_datacenter_impact(
-            &corpus, &SimTestbed, &baseline, &f2, true,
-        )
-        .impact_pct;
+        let truth =
+            crate::fulldc::full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f2, true)
+                .impact_pct;
         let dist =
             sampling_distribution(&corpus, &SimTestbed, &baseline, &f2, &quick_config()).unwrap();
         // Sampling is unbiased: the mean of estimates tracks the truth.
@@ -347,10 +346,10 @@ mod tests {
     fn deterministic_given_seed() {
         let (corpus, baseline) = setup();
         let f3 = Feature::paper_feature3().apply(&baseline);
-        let a = sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &quick_config())
-            .unwrap();
-        let b = sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &quick_config())
-            .unwrap();
+        let a =
+            sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &quick_config()).unwrap();
+        let b =
+            sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &quick_config()).unwrap();
         assert_eq!(a.estimates, b.estimates);
     }
 
@@ -395,10 +394,9 @@ mod tests {
     fn stratified_sampling_is_unbiased_and_often_tighter() {
         let (corpus, baseline) = setup();
         let f3 = Feature::paper_feature3().apply(&baseline);
-        let truth = crate::fulldc::full_datacenter_impact(
-            &corpus, &SimTestbed, &baseline, &f3, true,
-        )
-        .impact_pct;
+        let truth =
+            crate::fulldc::full_datacenter_impact(&corpus, &SimTestbed, &baseline, &f3, true)
+                .impact_pct;
         let cfg = SamplingConfig {
             n_samples: 15,
             trials: 300,

@@ -60,9 +60,7 @@ fn bench_eigen(c: &mut Criterion) {
         b.iter(|| symmetric_eigen(&wide_cov).expect("symmetric"))
     });
     group.bench_function("power_iteration_top18", |b| {
-        b.iter(|| {
-            flare_linalg::eigen::symmetric_eigen_top_k(&wide_cov, 18).expect("top-k")
-        })
+        b.iter(|| flare_linalg::eigen::symmetric_eigen_top_k(&wide_cov, 18).expect("top-k"))
     });
     group.finish();
 }

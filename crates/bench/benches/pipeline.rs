@@ -61,6 +61,17 @@ fn bench_flare(c: &mut Criterion) {
     group.bench_function("fit_small_corpus", |b| {
         b.iter(|| Flare::fit(corpus.clone(), flare_cfg.clone()).expect("fit"))
     });
+    // The `threads` knob changes wall-clock only — results are
+    // byte-identical, so these two benches measure the same computation.
+    for (name, threads) in [("fit_1_thread", Some(1)), ("fit_4_threads", Some(4))] {
+        let threaded_cfg = FlareConfig {
+            threads,
+            ..flare_cfg.clone()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| Flare::fit(corpus.clone(), threaded_cfg.clone()).expect("fit"))
+        });
+    }
     let flare = Flare::fit(corpus, flare_cfg).expect("fit");
     let feature = Feature::paper_feature1();
     group.bench_function("evaluate_feature_10_representatives", |b| {

@@ -31,7 +31,10 @@ fn main() {
         "\n  {:<10} {:>10} | error vs ground truth (pp)",
         "method", "SSE"
     );
-    println!("  {:<10} {:>10} | {:>8} {:>8} {:>8} {:>8}", "", "", "F1", "F2", "F3", "mean");
+    println!(
+        "  {:<10} {:>10} | {:>8} {:>8} {:>8} {:>8}",
+        "", "", "F1", "F2", "F3", "mean"
+    );
     for (name, method) in methods {
         let start = std::time::Instant::now();
         let flare = Flare::fit(

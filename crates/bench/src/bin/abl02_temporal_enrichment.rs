@@ -46,11 +46,13 @@ fn main() {
             let est = flare.evaluate(&feature).expect("estimate").impact_pct;
             all_errs.push((est - truth).abs());
             for &job in JobName::HIGH_PRIORITY {
-                let jt = full_datacenter_job_impact(
-                    &corpus, &SimTestbed, job, &baseline, &fc, true,
-                )
-                .expect("job present");
-                let je = flare.evaluate_job(job, &feature).expect("estimate").impact_pct;
+                let jt =
+                    full_datacenter_job_impact(&corpus, &SimTestbed, job, &baseline, &fc, true)
+                        .expect("job present");
+                let je = flare
+                    .evaluate_job(job, &feature)
+                    .expect("estimate")
+                    .impact_pct;
                 job_errs.push((je - jt).abs());
             }
         }

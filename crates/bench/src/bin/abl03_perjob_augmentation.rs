@@ -20,7 +20,10 @@ fn main() {
     let corpus = Corpus::generate(&corpus_cfg);
     let baseline = corpus_cfg.machine_config.clone();
 
-    for (name, augment) in [("general metrics only (paper default)", false), ("with per-job mix columns", true)] {
+    for (name, augment) in [
+        ("general metrics only (paper default)", false),
+        ("with per-job mix columns", true),
+    ] {
         let flare = Flare::fit(
             corpus.clone(),
             FlareConfig {

@@ -26,8 +26,7 @@ fn main() {
     );
     for feature in Feature::paper_features() {
         let fc = feature.apply(&baseline);
-        let truth =
-            full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+        let truth = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
         let real = flare
             .evaluate_on(&SimTestbed, &feature)
             .expect("real estimate")

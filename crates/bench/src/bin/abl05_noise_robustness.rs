@@ -57,7 +57,10 @@ fn main() {
     let config = FlareConfig::default();
 
     println!("\n  {:>9} | error vs ground truth (pp)", "extra σ");
-    println!("  {:>9} | {:>8} {:>8} {:>8} {:>8}", "", "F1", "F2", "F3", "mean");
+    println!(
+        "  {:>9} | {:>8} {:>8} {:>8} {:>8}",
+        "", "F1", "F2", "F3", "mean"
+    );
     for sigma in [0.0, 0.02, 0.05, 0.10, 0.20, 0.40] {
         let db = if sigma == 0.0 {
             clean_db.clone()

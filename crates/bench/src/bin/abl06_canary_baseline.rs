@@ -24,17 +24,49 @@ fn main() {
     let flare = Flare::fit(corpus.clone(), FlareConfig::default()).expect("fit");
 
     let canaries = [
-        ("canary 1x3d", CanaryConfig { machines: 1, days: 3.0, seed: 1009 }),
-        ("canary 2x7d", CanaryConfig { machines: 2, days: 7.0, seed: 1013 }),
-        ("canary 4x7d", CanaryConfig { machines: 4, days: 7.0, seed: 1019 }),
-        ("canary 8x7d", CanaryConfig { machines: 8, days: 7.0, seed: 1021 }),
+        (
+            "canary 1x3d",
+            CanaryConfig {
+                machines: 1,
+                days: 3.0,
+                seed: 1009,
+            },
+        ),
+        (
+            "canary 2x7d",
+            CanaryConfig {
+                machines: 2,
+                days: 7.0,
+                seed: 1013,
+            },
+        ),
+        (
+            "canary 4x7d",
+            CanaryConfig {
+                machines: 4,
+                days: 7.0,
+                seed: 1019,
+            },
+        ),
+        (
+            "canary 8x7d",
+            CanaryConfig {
+                machines: 8,
+                days: 7.0,
+                seed: 1021,
+            },
+        ),
     ];
 
     for feature in Feature::paper_features() {
         let fc = feature.apply(&baseline);
         let truth = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true);
         let flare_est = flare.evaluate(&feature).expect("estimate");
-        println!("\n[{}] production truth = {:.2}%", feature.label(), truth.impact_pct);
+        println!(
+            "\n[{}] production truth = {:.2}%",
+            feature.label(),
+            truth.impact_pct
+        );
         println!(
             "  {:<14} {:>9} {:>8} {:>13} {:>9}",
             "method", "estimate", "err pp", "mach-days", "replays"

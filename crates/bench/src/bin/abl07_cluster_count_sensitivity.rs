@@ -28,11 +28,11 @@ fn main() {
         })
         .collect();
 
+    println!("\n  {:>4} {:>8} | error vs ground truth (pp)", "k", "cost");
     println!(
-        "\n  {:>4} {:>8} | error vs ground truth (pp)",
-        "k", "cost"
+        "  {:>4} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+        "", "", "F1", "F2", "F3", "mean"
     );
-    println!("  {:>4} {:>8} | {:>8} {:>8} {:>8} {:>8}", "", "", "F1", "F2", "F3", "mean");
     for k in [4, 9, 18, 36, 72, 144, 288] {
         let flare = Flare::fit(
             corpus.clone(),

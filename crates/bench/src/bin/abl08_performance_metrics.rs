@@ -13,7 +13,12 @@ use flare_sim::feature::Feature;
 use flare_sim::interference::evaluate;
 use flare_sim::machine::MachineConfig;
 
-fn datacenter_impact<F>(corpus: &Corpus, baseline: &MachineConfig, feature: &MachineConfig, metric: F) -> f64
+fn datacenter_impact<F>(
+    corpus: &Corpus,
+    baseline: &MachineConfig,
+    feature: &MachineConfig,
+    metric: F,
+) -> f64
 where
     F: Fn(&flare_sim::interference::MachinePerf) -> Option<f64>,
 {
@@ -45,9 +50,7 @@ fn main() {
     let corpus = Corpus::generate(&cfg);
     let baseline = cfg.machine_config.clone();
 
-    println!(
-        "\nfull-datacenter impact under each metric definition (%):\n"
-    );
+    println!("\nfull-datacenter impact under each metric definition (%):\n");
     println!(
         "  {:<22} {:>12} {:>12} {:>12}",
         "feature", "arithmetic", "harmonic", "weighted"

@@ -27,9 +27,15 @@ fn main() {
 
     // ---- (a) nearest-to-centroid vs medoid --------------------------
     println!("\n[a] representative-selection rule (error vs ground truth, pp):");
-    println!("  {:<20} {:>8} {:>8} {:>8} {:>8}", "rule", "F1", "F2", "F3", "mean");
+    println!(
+        "  {:<20} {:>8} {:>8} {:>8} {:>8}",
+        "rule", "F1", "F2", "F3", "mean"
+    );
     for (name, rule) in [
-        ("nearest-to-centroid", flare_core::RepresentativeRule::NearestToCentroid),
+        (
+            "nearest-to-centroid",
+            flare_core::RepresentativeRule::NearestToCentroid,
+        ),
         ("medoid", flare_core::RepresentativeRule::Medoid),
     ] {
         let flare = Flare::fit(
@@ -55,15 +61,16 @@ fn main() {
     }
 
     // ---- (b) stratified vs uniform sampling ---------------------------
-    println!("\n[b] smarter sampling: occupancy-stratified vs uniform (18 scenarios, 1000 trials):");
+    println!(
+        "\n[b] smarter sampling: occupancy-stratified vs uniform (18 scenarios, 1000 trials):"
+    );
     println!(
         "  {:<22} {:>14} {:>14} | FLARE err",
         "feature", "uniform expmax", "stratified"
     );
     for feature in Feature::paper_features() {
         let fc = feature.apply(&baseline);
-        let truth =
-            full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+        let truth = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
         let cfg = SamplingConfig {
             n_samples: 18,
             trials: 1000,
@@ -72,10 +79,9 @@ fn main() {
         let uniform = sampling_distribution(&corpus, &SimTestbed, &baseline, &fc, &cfg)
             .expect("population")
             .expected_max_error(truth);
-        let strat =
-            stratified_sampling_distribution(&corpus, &SimTestbed, &baseline, &fc, &cfg)
-                .expect("population")
-                .expected_max_error(truth);
+        let strat = stratified_sampling_distribution(&corpus, &SimTestbed, &baseline, &fc, &cfg)
+            .expect("population")
+            .expected_max_error(truth);
         let flare_err = {
             let flare = Flare::fit(corpus.clone(), FlareConfig::default()).expect("fit");
             (flare.evaluate(&feature).expect("estimate").impact_pct - truth).abs()

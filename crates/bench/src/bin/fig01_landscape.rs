@@ -105,10 +105,7 @@ fn main() {
         "  {:<28} {:>10.2} {:>26}",
         "canary cluster (2 machines)", canary_err, "14 machine-days live"
     );
-    println!(
-        "  {:<28} {:>10.2} {:>26}",
-        "FLARE", flare_err, "18 replays"
-    );
+    println!("  {:<28} {:>10.2} {:>26}", "FLARE", flare_err, "18 replays");
     println!(
         "  {:<28} {:>10.2} {:>26}",
         "full datacenter",

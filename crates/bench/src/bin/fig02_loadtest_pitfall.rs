@@ -55,10 +55,7 @@ fn main() {
         let sd = stats::sample_std_dev(&impacts);
         rows.push((abbrev, lt, dc, sd));
     }
-    let max = rows
-        .iter()
-        .map(|r| r.1.max(r.2))
-        .fold(0.0f64, f64::max);
+    let max = rows.iter().map(|r| r.1.max(r.2)).fold(0.0f64, f64::max);
     for (abbrev, lt, dc, sd) in &rows {
         println!(
             "  {:<5} {:>12.2} {:>12.2} {:>8.2} {:>9.2}pp   LT|{:<20}  DC|{:<20}",
@@ -71,8 +68,7 @@ fn main() {
             bar(*dc, max, 20),
         );
     }
-    let mean_dev: f64 =
-        rows.iter().map(|r| (r.1 - r.2).abs()).sum::<f64>() / rows.len() as f64;
+    let mean_dev: f64 = rows.iter().map(|r| (r.1 - r.2).abs()).sum::<f64>() / rows.len() as f64;
     println!("\nmean |load-test - datacenter| deviation: {mean_dev:.2}pp");
     println!("Paper's takeaway: the two disagree because load tests ignore colocation.");
 }

@@ -28,8 +28,10 @@ fn main() {
             println!("  {:>6} {:>8.3} {:>8.3} {:>8.3}", i, t, hp, lp);
         }
     }
-    let distinct_levels: std::collections::BTreeSet<u64> =
-        rows.iter().map(|r| (r.0 * vcpus as f64).round() as u64).collect();
+    let distinct_levels: std::collections::BTreeSet<u64> = rows
+        .iter()
+        .map(|r| (r.0 * vcpus as f64).round() as u64)
+        .collect();
     println!(
         "\nstep pattern: {} distinct occupancy levels (containers are fixed 4-vCPU units)",
         distinct_levels.len()

@@ -9,10 +9,7 @@ use flare_metrics::schema::{Level, MetricId, MetricKind, MetricSchema};
 use flare_sim::feature::Feature;
 
 fn main() {
-    banner(
-        "Per-scenario impact of Feature 1 vs HP LLC MPKI",
-        "Fig. 3b",
-    );
+    banner("Per-scenario impact of Feature 1 vs HP LLC MPKI", "Fig. 3b");
     let ctx = ExperimentContext::standard();
     let feature_cfg = Feature::paper_feature1().apply(&ctx.baseline);
     let db = ctx.flare.database();
@@ -29,9 +26,7 @@ fn main() {
         if !e.scenario.has_hp_job() {
             continue;
         }
-        if let Some(impact) =
-            replay_impact(&SimTestbed, &e.scenario, &ctx.baseline, &feature_cfg)
-        {
+        if let Some(impact) = replay_impact(&SimTestbed, &e.scenario, &ctx.baseline, &feature_cfg) {
             impacts.push(impact);
             metric_rows.push(&db.get(e.id).expect("aligned").metrics);
         }
@@ -43,7 +38,10 @@ fn main() {
         .collect();
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
 
-    println!("\n{} HP scenarios (sorted by impact; every 40th shown)", rows.len());
+    println!(
+        "\n{} HP scenarios (sorted by impact; every 40th shown)",
+        rows.len()
+    );
     println!("  {:>6} {:>12} {:>10}", "rank", "impact %", "HP MPKI");
     for (i, (imp, mpki)) in rows.iter().enumerate() {
         if i % 40 == 0 || i + 1 == rows.len() {

@@ -21,7 +21,11 @@ fn main() {
     println!("  {:>4} {:>10} {:>12}", "PCs", "this PC %", "cumulative %");
     for (i, &c) in cum.iter().enumerate().take(analyzer.n_pcs() + 4) {
         let ratio = pca.explained_variance_ratio()[i];
-        let marker = if i + 1 == analyzer.n_pcs() { "  <-- selected" } else { "" };
+        let marker = if i + 1 == analyzer.n_pcs() {
+            "  <-- selected"
+        } else {
+            ""
+        };
         println!(
             "  {:>4} {:>10.2} {:>12.2} |{}|{marker}",
             i + 1,

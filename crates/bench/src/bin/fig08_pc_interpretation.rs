@@ -5,7 +5,10 @@ use flare_bench::{banner, ExperimentContext};
 use flare_core::interpret::interpret_pcs;
 
 fn main() {
-    banner("High-level metrics (PCs) and their interpretations", "Fig. 8");
+    banner(
+        "High-level metrics (PCs) and their interpretations",
+        "Fig. 8",
+    );
     let ctx = ExperimentContext::standard();
     let interpretations = interpret_pcs(ctx.flare.analyzer(), 6);
 

@@ -18,7 +18,10 @@ fn main() {
         .map(|f| ctx.flare.evaluate(f).expect("estimate"))
         .collect();
 
-    println!("\n  {:>7} {:>8} {:>10} {:>10} {:>10}", "cluster", "weight%", "F1 %", "F2 %", "F3 %");
+    println!(
+        "\n  {:>7} {:>8} {:>10} {:>10} {:>10}",
+        "cluster", "weight%", "F1 %", "F2 %", "F3 %"
+    );
     for c in 0..ctx.flare.analyzer().n_clusters() {
         let row: Vec<Option<f64>> = estimates
             .iter()
@@ -61,6 +64,12 @@ fn main() {
         worst.cluster, worst.impact_pct
     );
     let pcs = distinguishing_pcs(ctx.flare.analyzer(), worst.cluster, 3);
-    let desc: Vec<String> = pcs.iter().map(|(pc, v)| format!("PC{pc}={v:+.1}σ")).collect();
-    println!("its distinguishing PCs: {} (see fig08 for their meanings)", desc.join(", "));
+    let desc: Vec<String> = pcs
+        .iter()
+        .map(|(pc, v)| format!("PC{pc}={v:+.1}σ"))
+        .collect();
+    println!(
+        "its distinguishing PCs: {} (see fig08 for their meanings)",
+        desc.join(", ")
+    );
 }

@@ -27,15 +27,9 @@ fn main() {
         let mut flare_errs = Vec::new();
         for abbrev in order {
             let job: JobName = abbrev.parse().expect("paper abbreviation");
-            let truth = full_datacenter_job_impact(
-                &ctx.corpus,
-                &SimTestbed,
-                job,
-                &ctx.baseline,
-                &fc,
-                true,
-            )
-            .expect("job in corpus");
+            let truth =
+                full_datacenter_job_impact(&ctx.corpus, &SimTestbed, job, &ctx.baseline, &fc, true)
+                    .expect("job in corpus");
             let flare_est = ctx.flare.evaluate_job(job, feature).expect("estimate");
             let dist = sampling_job_distribution(
                 &ctx.corpus,

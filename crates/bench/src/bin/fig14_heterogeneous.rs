@@ -45,7 +45,11 @@ fn main() {
                 s.total_instances(),
                 occ_d * 100.0,
                 occ_s * 100.0,
-                if occ_s > 1.0 { "  <-- cannot be scheduled" } else { "" },
+                if occ_s > 1.0 {
+                    "  <-- cannot be scheduled"
+                } else {
+                    ""
+                },
             );
         }
     }
@@ -88,7 +92,10 @@ fn main() {
             true,
         )
         .expect("job in small corpus");
-        let flare_est = small_ctx.flare.evaluate_job(job, &feature).expect("estimate");
+        let flare_est = small_ctx
+            .flare
+            .evaluate_job(job, &feature)
+            .expect("estimate");
         let lt = load_test_impact(&SimTestbed, job, &small_baseline, &fc)
             .expect("HP job")
             .impact_pct;

@@ -6,10 +6,23 @@ use flare_sim::machine::MachineShape;
 fn print_shape(name: &str, s: &MachineShape) {
     println!("\n[{name}] {}", s.model);
     println!("  sockets:          {}", s.sockets);
-    println!("  cores/socket:     {} ({} vCPUs/socket with SMT)", s.cores_per_socket, s.vcpus_per_socket);
-    println!("  LLC/socket:       {} MB (total {} MB)", s.llc_mb_per_socket, s.total_llc_mb());
-    println!("  DRAM:             {} GB, {} GB/s usable", s.dram_gb, s.dram_bw_gbps);
-    println!("  clock:            {} - {} GHz", s.freq_min_ghz, s.freq_max_ghz);
+    println!(
+        "  cores/socket:     {} ({} vCPUs/socket with SMT)",
+        s.cores_per_socket, s.vcpus_per_socket
+    );
+    println!(
+        "  LLC/socket:       {} MB (total {} MB)",
+        s.llc_mb_per_socket,
+        s.total_llc_mb()
+    );
+    println!(
+        "  DRAM:             {} GB, {} GB/s usable",
+        s.dram_gb, s.dram_bw_gbps
+    );
+    println!(
+        "  clock:            {} - {} GHz",
+        s.freq_min_ghz, s.freq_max_ghz
+    );
     println!("  disk:             {} MB/s", s.disk_mbps);
     println!("  NIC:              {} Gb/s", s.nic_gbps);
 }

@@ -11,12 +11,19 @@ use flare_sim::feature::Feature;
 fn main() {
     let cfg = CorpusConfig::default();
     let corpus = Corpus::generate(&cfg);
-    println!("corpus: {} distinct scenarios ({} HP)", corpus.len(), corpus.hp_entries().len());
+    println!(
+        "corpus: {} distinct scenarios ({} HP)",
+        corpus.len(),
+        corpus.hp_entries().len()
+    );
     let baseline = cfg.machine_config.clone();
     let flare = Flare::fit(corpus.clone(), FlareConfig::default()).unwrap();
     println!("representatives: {}", flare.n_representatives());
     println!("PCs kept: {}", flare.analyzer().n_pcs());
-    println!("refined metrics: {}", flare.analyzer().refined_schema().len());
+    println!(
+        "refined metrics: {}",
+        flare.analyzer().refined_schema().len()
+    );
 
     for feature in Feature::paper_features() {
         let fc = feature.apply(&baseline);
@@ -27,7 +34,11 @@ fn main() {
             &SimTestbed,
             &baseline,
             &fc,
-            &SamplingConfig { n_samples: 18, trials: 1000, ..Default::default() },
+            &SamplingConfig {
+                n_samples: 18,
+                trials: 1000,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!(

@@ -78,7 +78,7 @@ impl Dendrogram {
         }
         // Apply the first n - k merges with a union-find.
         let mut parent: Vec<usize> = (0..self.n_leaves + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -172,7 +172,11 @@ pub fn agglomerative(data: &Matrix, linkage: Linkage) -> Result<Dendrogram> {
         merges.push(Merge {
             left: cluster_id[i],
             right: cluster_id[j],
-            distance: if linkage == Linkage::Ward { d.sqrt() } else { d },
+            distance: if linkage == Linkage::Ward {
+                d.sqrt()
+            } else {
+                d
+            },
             size: merged_size,
         });
 

@@ -7,6 +7,7 @@
 
 use crate::distance::{nearest_centroid, squared_euclidean};
 use crate::error::{ClusterError, Result};
+use flare_exec::par_map_range;
 use flare_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,8 +26,16 @@ pub struct KMeansConfig {
     /// Convergence threshold on total centroid movement (squared) between
     /// iterations.
     pub tolerance: f64,
-    /// RNG seed: K-means is fully deterministic given the seed.
+    /// RNG seed: K-means is fully deterministic given the seed. Restart
+    /// `i` draws from its own stream seeded with `seed + i`, so the result
+    /// is also independent of how restarts are scheduled across threads.
     pub seed: u64,
+    /// Worker threads for the restart fan-out: `None` = available
+    /// parallelism, `Some(1)` = serial. Purely a wall-clock knob — every
+    /// setting yields the identical clustering. Not part of older
+    /// serialized configs, so it defaults to `None` on deserialization.
+    #[serde(default)]
+    pub threads: Option<usize>,
 }
 
 impl KMeansConfig {
@@ -38,6 +47,7 @@ impl KMeansConfig {
             restarts: 8,
             tolerance: 1e-10,
             seed: 0xF1A7E,
+            threads: None,
         }
     }
 
@@ -50,6 +60,12 @@ impl KMeansConfig {
     /// Replaces the restart count (builder-style).
     pub fn with_restarts(mut self, restarts: usize) -> Self {
         self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Replaces the thread knob (builder-style).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -146,10 +162,13 @@ impl KMeansResult {
             ranked[a].push(i);
         }
         for (c, members) in ranked.iter_mut().enumerate() {
+            // total_cmp: NaN distances (degenerate external assignments,
+            // e.g. via `from_assignments` on unvetted data) sort last
+            // instead of panicking.
             members.sort_by(|&x, &y| {
                 let dx = squared_euclidean(data.row(x), &self.centroids[c]);
                 let dy = squared_euclidean(data.row(y), &self.centroids[c]);
-                dx.partial_cmp(&dy).expect("finite distances")
+                dx.total_cmp(&dy)
             });
         }
         ranked
@@ -190,21 +209,30 @@ impl KMeansResult {
 /// ```
 pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
     validate(data, config)?;
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut best: Option<KMeansResult> = None;
-    for _ in 0..config.restarts.max(1) {
-        let run = lloyd(data, config, &mut rng);
-        match &best {
-            Some(b) if b.sse <= run.sse => {}
-            _ => best = Some(run),
-        }
-    }
-    Ok(best.expect("at least one restart"))
+    // Each restart derives its RNG from `seed + restart_index`, so restart
+    // i produces the same run whether it executes on the calling thread or
+    // a worker — the winner is identical for every thread count.
+    let runs = par_map_range(config.restarts.max(1), config.threads, |i| {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+        lloyd(data, config, &mut rng)
+    });
+    // Lowest SSE wins; ties break toward the lowest restart index (the
+    // serial first-wins rule).
+    let best = runs
+        .into_iter()
+        .reduce(|best, run| if run.sse < best.sse { run } else { best })
+        .expect("at least one restart");
+    Ok(best)
 }
 
 fn validate(data: &Matrix, config: &KMeansConfig) -> Result<()> {
     if config.k == 0 {
         return Err(ClusterError::InvalidParameter("k must be >= 1".into()));
+    }
+    if config.threads == Some(0) {
+        return Err(ClusterError::InvalidParameter(
+            "threads must be >= 1 when set (None = available parallelism)".into(),
+        ));
     }
     if config.max_iters == 0 {
         return Err(ClusterError::InvalidParameter(
@@ -255,9 +283,13 @@ fn lloyd(data: &Matrix, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResult
                 // nearest centroid, the standard fix that keeps k constant.
                 let far = (0..n)
                     .max_by(|&x, &y| {
-                        let dx = nearest_centroid(data.row(x), &centroids).expect("nonempty").1;
-                        let dy = nearest_centroid(data.row(y), &centroids).expect("nonempty").1;
-                        dx.partial_cmp(&dy).expect("finite")
+                        let dx = nearest_centroid(data.row(x), &centroids)
+                            .expect("nonempty")
+                            .1;
+                        let dy = nearest_centroid(data.row(y), &centroids)
+                            .expect("nonempty")
+                            .1;
+                        dx.total_cmp(&dy)
                     })
                     .expect("n >= k >= 1");
                 movement += squared_euclidean(&centroids[c], data.row(far));
@@ -444,6 +476,60 @@ mod tests {
         let r = kmeans(&data, &KMeansConfig::new(2)).unwrap();
         assert!(r.sse < 1e-12);
         assert_eq!(r.assignments.len(), 5);
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial_exactly() {
+        let data = blobs();
+        for restarts in [1, 3, 8, 32] {
+            let serial = kmeans(
+                &data,
+                &KMeansConfig::new(3)
+                    .with_restarts(restarts)
+                    .with_threads(Some(1)),
+            )
+            .unwrap();
+            for threads in [Some(2), Some(4), Some(64), None] {
+                let parallel = kmeans(
+                    &data,
+                    &KMeansConfig::new(3)
+                        .with_restarts(restarts)
+                        .with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(serial, parallel, "restarts={restarts} threads={threads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let data = blobs();
+        assert!(matches!(
+            kmeans(&data, &KMeansConfig::new(3).with_threads(Some(0))),
+            Err(ClusterError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_distances_rank_without_panicking() {
+        // NaN coordinates can reach the ranking helpers through
+        // `from_assignments` (external assignments are not re-validated).
+        // total_cmp must order them deterministically — NaN last — where
+        // `partial_cmp(..).expect(..)` used to abort the process.
+        let data = Matrix::from_rows(&[vec![1.0], vec![f64::NAN], vec![0.5]]).unwrap();
+        let result = KMeansResult {
+            centroids: vec![vec![0.0]],
+            assignments: vec![0, 0, 0],
+            sse: 0.0,
+            iterations: 0,
+        };
+        let ranked = result.members_by_centroid_distance(&data);
+        assert_eq!(ranked.len(), 1);
+        // Finite distances (0.25 for row 2, 1.0 for row 0) rank ascending;
+        // the NaN row sorts to the end.
+        assert_eq!(ranked[0], vec![2, 0, 1]);
+        assert_eq!(result.representatives(&data), vec![Some(2)]);
     }
 
     #[test]

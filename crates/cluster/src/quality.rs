@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn singleton_cluster_counts_zero() {
-        let data =
-            Matrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0]]).unwrap();
+        let data = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0]]).unwrap();
         let s = silhouette_score(&data, &[0, 0, 1], 2).unwrap();
         // The singleton contributes 0; the pair contributes ~1 each → ~2/3.
         assert!(s > 0.5 && s < 1.0);

@@ -8,6 +8,7 @@
 use crate::error::{ClusterError, Result};
 use crate::kmeans::{kmeans, KMeansConfig};
 use crate::quality::silhouette_score;
+use flare_exec::par_map_indexed;
 use flare_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -63,15 +64,12 @@ impl SweepResult {
         Some(best.0)
     }
 
-    /// The evaluated `k` with the highest silhouette score.
+    /// The evaluated `k` with the highest silhouette score (`total_cmp`:
+    /// a NaN silhouette never panics the selection).
     pub fn best_silhouette_k(&self) -> Option<usize> {
         self.points
             .iter()
-            .max_by(|a, b| {
-                a.silhouette
-                    .partial_cmp(&b.silhouette)
-                    .expect("finite silhouettes")
-            })
+            .max_by(|a, b| a.silhouette.total_cmp(&b.silhouette))
             .map(|p| p.k)
     }
 
@@ -82,14 +80,11 @@ impl SweepResult {
     pub fn recommended_k(&self) -> Option<usize> {
         let knee = self.knee_k()?;
         let knee_idx = self.points.iter().position(|p| p.k == knee)?;
-        let window = &self.points[knee_idx.saturating_sub(2)..(knee_idx + 3).min(self.points.len())];
+        let window =
+            &self.points[knee_idx.saturating_sub(2)..(knee_idx + 3).min(self.points.len())];
         window
             .iter()
-            .max_by(|a, b| {
-                a.silhouette
-                    .partial_cmp(&b.silhouette)
-                    .expect("finite silhouettes")
-            })
+            .max_by(|a, b| a.silhouette.total_cmp(&b.silhouette))
             .map(|p| p.k)
     }
 }
@@ -153,6 +148,13 @@ pub fn centroids_of(data: &Matrix, assignments: &[usize], k: usize) -> Vec<Vec<f
 
 /// Sweeps K-means over `ks`, recording SSE and silhouette for each count.
 ///
+/// Candidate counts are evaluated across worker threads per
+/// `base.threads` (`None` = available parallelism, `Some(1)` = serial);
+/// each candidate's K-means runs its restarts serially inside its worker
+/// so the fan-out never nests. Results are identical for every thread
+/// count: per-candidate work is deterministic and collected in input
+/// order.
+///
 /// # Errors
 ///
 /// - [`ClusterError::InvalidParameter`] if `ks` is empty or contains a `k < 2`
@@ -167,18 +169,20 @@ pub fn sweep_kmeans(data: &Matrix, ks: &[usize], base: &KMeansConfig) -> Result<
             "sweep requires k >= 2 (silhouette undefined below)".into(),
         ));
     }
-    let mut points = Vec::with_capacity(ks.len());
-    for &k in ks {
+    let mut points: Vec<SweepPoint> = par_map_indexed(ks, base.threads, |_, &k| {
         let mut cfg = base.clone();
         cfg.k = k;
+        cfg.threads = Some(1);
         let result = kmeans(data, &cfg)?;
         let silhouette = silhouette_score(data, &result.assignments, k)?;
-        points.push(SweepPoint {
+        Ok(SweepPoint {
             k,
             sse: result.sse,
             silhouette,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
     points.sort_by_key(|p| p.k);
     Ok(SweepResult { points })
 }
@@ -190,7 +194,13 @@ mod tests {
     /// Five well-separated blobs.
     fn blobs5() -> Matrix {
         let mut rows = Vec::new();
-        let centers = [(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0), (15.0, 60.0)];
+        let centers = [
+            (0.0, 0.0),
+            (30.0, 0.0),
+            (0.0, 30.0),
+            (30.0, 30.0),
+            (15.0, 60.0),
+        ];
         for (ci, &(cx, cy)) in centers.iter().enumerate() {
             for p in 0..8 {
                 let dx = ((p * 7 + ci) as f64).sin() * 0.8;
@@ -224,8 +234,7 @@ mod tests {
     fn hierarchical_sweep_finds_true_cluster_count() {
         let data = blobs5();
         let ks: Vec<usize> = (2..=10).collect();
-        let sweep =
-            sweep_hierarchical(&data, &ks, crate::hierarchical::Linkage::Ward).unwrap();
+        let sweep = sweep_hierarchical(&data, &ks, crate::hierarchical::Linkage::Ward).unwrap();
         assert_eq!(sweep.best_silhouette_k(), Some(5));
         for w in sweep.points.windows(2) {
             assert!(w[1].sse <= w[0].sse + 1e-6, "SSE must fall with k");
@@ -260,6 +269,18 @@ mod tests {
         let sweep = sweep_kmeans(&data, &[2, 4], &KMeansConfig::new(2)).unwrap();
         assert!(sweep.point(4).is_some());
         assert!(sweep.point(3).is_none());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let data = blobs5();
+        let ks: Vec<usize> = (2..=10).collect();
+        let base = KMeansConfig::new(2).with_restarts(6);
+        let serial = sweep_kmeans(&data, &ks, &base.clone().with_threads(Some(1))).unwrap();
+        for threads in [Some(2), Some(4), Some(64), None] {
+            let parallel = sweep_kmeans(&data, &ks, &base.clone().with_threads(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads={threads:?}");
+        }
     }
 
     #[test]

@@ -45,9 +45,7 @@ impl Analyzer {
     ///   scenarios than the requested cluster count.
     /// - Propagated refinement/PCA/clustering errors.
     pub fn fit(db: &MetricDatabase, config: &FlareConfig) -> Result<Self> {
-        config
-            .validate()
-            .map_err(FlareError::InvalidParameter)?;
+        config.validate().map_err(FlareError::InvalidParameter)?;
         if db.len() < 2 {
             return Err(FlareError::InsufficientData(format!(
                 "{} scenarios in database",
@@ -84,13 +82,17 @@ impl Analyzer {
         let scenario_ids = refined.scenario_ids();
         let observations: Vec<u32> = refined.iter().map(|r| r.observations).collect();
 
-        // Step 3: group and extract representatives.
+        // Step 3: group and extract representatives. The pipeline-wide
+        // `threads` knob flows into the k-means stages unless the k-means
+        // config already pins its own thread count.
+        let mut kconfig = config.kmeans.clone();
+        kconfig.threads = kconfig.threads.or(config.threads);
         let (k, sweep) = match &config.cluster_count {
             ClusterCountRule::Fixed(k) => (*k, None),
             ClusterCountRule::Sweep { min_k, max_k, step } => {
                 let ks: Vec<usize> = (*min_k..=*max_k).step_by(*step).collect();
                 let sweep = match config.cluster_method {
-                    ClusterMethod::KMeans => sweep_kmeans(&projected, &ks, &config.kmeans)?,
+                    ClusterMethod::KMeans => sweep_kmeans(&projected, &ks, &kconfig)?,
                     ClusterMethod::Hierarchical(linkage) => {
                         sweep_hierarchical(&projected, &ks, linkage)?
                     }
@@ -109,7 +111,6 @@ impl Analyzer {
         }
         let clustering = match config.cluster_method {
             ClusterMethod::KMeans => {
-                let mut kconfig = config.kmeans.clone();
                 kconfig.k = k;
                 kmeans(&projected, &kconfig)?
             }
@@ -123,9 +124,7 @@ impl Analyzer {
             crate::config::RepresentativeRule::NearestToCentroid => {
                 clustering.members_by_centroid_distance(&projected)
             }
-            crate::config::RepresentativeRule::Medoid => {
-                medoid_rankings(&projected, &clustering)
-            }
+            crate::config::RepresentativeRule::Medoid => medoid_rankings(&projected, &clustering),
         };
 
         Ok(Analyzer {
@@ -272,7 +271,10 @@ impl Analyzer {
         }
         let mut std = vec![0.0; d];
         for &row in members {
-            for (s, (v, m)) in std.iter_mut().zip(self.projected.row(row).iter().zip(&mean)) {
+            for (s, (v, m)) in std
+                .iter_mut()
+                .zip(self.projected.row(row).iter().zip(&mean))
+            {
                 *s += (v - m) * (v - m);
             }
         }
@@ -307,7 +309,9 @@ fn medoid_rankings(data: &Matrix, clustering: &KMeansResult) -> Vec<Vec<usize>> 
             })
             .collect();
         let mut order: Vec<usize> = (0..group.len()).collect();
-        order.sort_by(|&a, &b| totals[a].partial_cmp(&totals[b]).expect("finite"));
+        // `total_cmp` keeps the ranking well-defined even if a degenerate
+        // projection produces a NaN distance (NaN sorts last).
+        order.sort_by(|&a, &b| totals[a].total_cmp(&totals[b]));
         *group = order.iter().map(|&pos| group[pos]).collect();
     }
     members
@@ -596,8 +600,10 @@ mod tests {
     fn fit_validates_inputs() {
         let db = planted_db(1); // 3 scenarios
         assert!(Analyzer::fit(&db, &fixed_config(10)).is_err());
-        let mut bad = FlareConfig::default();
-        bad.variance_threshold = 2.0;
+        let bad = FlareConfig {
+            variance_threshold: 2.0,
+            ..FlareConfig::default()
+        };
         assert!(matches!(
             Analyzer::fit(&planted_db(5), &bad),
             Err(FlareError::InvalidParameter(_))

@@ -77,6 +77,13 @@ pub struct FlareConfig {
     /// (default) collects averages only, as the paper's main evaluation
     /// does.
     pub temporal_phases: Option<usize>,
+    /// Worker-thread budget for the parallel stages of the pipeline
+    /// (metric-database profiling, k-means restarts, the cluster-count
+    /// sweep). `None` (default) uses the machine's available parallelism;
+    /// `Some(1)` runs fully serial. This is a wall-clock knob only: every
+    /// setting produces byte-identical results.
+    #[serde(default)]
+    pub threads: Option<usize>,
 }
 
 impl Default for FlareConfig {
@@ -91,6 +98,7 @@ impl Default for FlareConfig {
             weight_by_observations: true,
             per_job_augmentation: false,
             temporal_phases: None,
+            threads: None,
         }
     }
 }
@@ -116,6 +124,9 @@ impl FlareConfig {
         }
         if self.temporal_phases == Some(0) {
             return Err("temporal_phases must be >= 1 when enabled".into());
+        }
+        if self.threads == Some(0) {
+            return Err("threads must be >= 1 when set (use None for automatic)".into());
         }
         match &self.cluster_count {
             ClusterCountRule::Fixed(k) if *k == 0 => {
@@ -153,32 +164,50 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = FlareConfig::default();
-        c.correlation_threshold = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = FlareConfig::default();
-        c.variance_threshold = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = FlareConfig::default();
-        c.cluster_count = ClusterCountRule::Fixed(0);
-        assert!(c.validate().is_err());
-
-        let mut c = FlareConfig::default();
-        c.cluster_count = ClusterCountRule::Sweep {
-            min_k: 1,
-            max_k: 10,
-            step: 1,
+        let c = FlareConfig {
+            correlation_threshold: 0.0,
+            ..FlareConfig::default()
         };
         assert!(c.validate().is_err());
 
-        let mut c = FlareConfig::default();
-        c.cluster_count = ClusterCountRule::Sweep {
-            min_k: 5,
-            max_k: 3,
-            step: 1,
+        let c = FlareConfig {
+            variance_threshold: 1.5,
+            ..FlareConfig::default()
         };
         assert!(c.validate().is_err());
+
+        let c = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(0),
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = FlareConfig {
+            cluster_count: ClusterCountRule::Sweep {
+                min_k: 1,
+                max_k: 10,
+                step: 1,
+            },
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = FlareConfig {
+            cluster_count: ClusterCountRule::Sweep {
+                min_k: 5,
+                max_k: 3,
+                step: 1,
+            },
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = FlareConfig {
+            threads: Some(0),
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.threads = Some(4);
+        assert!(c.validate().is_ok());
     }
 }

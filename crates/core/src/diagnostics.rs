@@ -111,7 +111,7 @@ pub fn diagnose_extraction<T: Testbed>(
     let mut clusters = Vec::new();
     let mut extra_replays = 0usize;
 
-    for c in 0..analyzer.n_clusters() {
+    for (c, &weight) in weights.iter().enumerate() {
         let ranked = analyzer.ranked(c);
         // Representative = first HP-measurable member.
         let mut rep_impact = None;
@@ -164,7 +164,7 @@ pub fn diagnose_extraction<T: Testbed>(
             cluster: c,
             representative_impact: rep_impact,
             member_impacts,
-            weight: weights[c],
+            weight,
         });
     }
 

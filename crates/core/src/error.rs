@@ -14,6 +14,13 @@ pub enum FlareError {
     /// A requested job never appears in any scenario of a cluster's
     /// population, so no per-job estimate exists for it.
     JobNotObserved(String),
+    /// A corpus entry has no matching record in the fitted metric
+    /// database. Raised when reclustering is attempted against a corpus
+    /// that diverged from the one the model was fitted on.
+    CorpusDatabaseMismatch {
+        /// The corpus scenario missing from the metric database.
+        scenario_id: flare_metrics::database::ScenarioId,
+    },
     /// Linear-algebra failure (PCA, normalization).
     Linalg(flare_linalg::LinalgError),
     /// Clustering failure.
@@ -29,6 +36,13 @@ impl fmt::Display for FlareError {
             FlareError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             FlareError::JobNotObserved(job) => {
                 write!(f, "job `{job}` not observed in any clustered scenario")
+            }
+            FlareError::CorpusDatabaseMismatch { scenario_id } => {
+                write!(
+                    f,
+                    "corpus scenario {scenario_id} has no record in the metric database; \
+                     the corpus and the fitted model have diverged"
+                )
             }
             FlareError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             FlareError::Cluster(e) => write!(f, "clustering failure: {e}"),
@@ -79,6 +93,9 @@ mod tests {
             FlareError::InsufficientData("x".into()),
             FlareError::InvalidParameter("y".into()),
             FlareError::JobNotObserved("DC".into()),
+            FlareError::CorpusDatabaseMismatch {
+                scenario_id: flare_metrics::database::ScenarioId(7),
+            },
             FlareError::Linalg(flare_linalg::LinalgError::Empty("z".into())),
         ];
         for e in errors {

@@ -75,7 +75,7 @@ pub fn estimate_all_job<T: Testbed>(
     let mut clusters = Vec::new();
     let mut replay_count = 0usize;
 
-    for c in 0..analyzer.n_clusters() {
+    for (c, &weight) in weights.iter().enumerate() {
         let ranked = analyzer.ranked(c);
         let mut found = None;
         for (depth, id) in ranked.iter().enumerate() {
@@ -86,8 +86,7 @@ pub fn estimate_all_job<T: Testbed>(
                 continue;
             }
             replay_count += 1;
-            if let Some(impact) =
-                replay_impact(testbed, &entry.scenario, baseline, feature_config)
+            if let Some(impact) = replay_impact(testbed, &entry.scenario, baseline, feature_config)
             {
                 found = Some((depth, *id, impact));
             }
@@ -98,7 +97,7 @@ pub fn estimate_all_job<T: Testbed>(
                 cluster: c,
                 scenario: id,
                 fallback_depth: depth,
-                weight: weights[c],
+                weight,
                 impact_pct: impact,
             });
         }
@@ -242,8 +241,7 @@ mod tests {
     fn all_job_estimate_is_sane() {
         let (corpus, analyzer, baseline) = small_setup();
         let f2 = Feature::paper_feature2().apply(&baseline);
-        let est =
-            estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &f2, true).unwrap();
+        let est = estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &f2, true).unwrap();
         assert!(
             est.impact_pct > 3.0 && est.impact_pct < 40.0,
             "DVFS impact {}%",
@@ -268,10 +266,8 @@ mod tests {
     #[test]
     fn baseline_feature_estimates_zero() {
         let (corpus, analyzer, baseline) = small_setup();
-        let est = estimate_all_job(
-            &corpus, &analyzer, &SimTestbed, &baseline, &baseline, true,
-        )
-        .unwrap();
+        let est =
+            estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &baseline, true).unwrap();
         assert!(est.impact_pct.abs() < 1e-9);
     }
 
@@ -280,9 +276,7 @@ mod tests {
         let (corpus, analyzer, baseline) = small_setup();
         let f1 = Feature::paper_feature1().apply(&baseline);
         for &job in JobName::HIGH_PRIORITY {
-            let est = estimate_per_job(
-                &corpus, &analyzer, &SimTestbed, job, &baseline, &f1, true,
-            );
+            let est = estimate_per_job(&corpus, &analyzer, &SimTestbed, job, &baseline, &f1, true);
             // All 8 HP services run continuously in the corpus.
             let est = est.unwrap_or_else(|e| panic!("{job}: {e}"));
             assert!(est.impact_pct.is_finite());

@@ -45,8 +45,8 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
-pub mod diagnostics;
 mod config;
+pub mod diagnostics;
 mod error;
 pub mod estimate;
 pub mod interpret;
@@ -57,3 +57,7 @@ pub mod report;
 pub use config::{ClusterCountRule, ClusterMethod, FlareConfig, RepresentativeRule};
 pub use error::{FlareError, Result};
 pub use pipeline::{Flare, FlareSnapshot};
+
+/// Deterministic order-preserving parallel fan-out primitives shared by
+/// the profiling, clustering, and evaluation stages.
+pub use flare_exec as exec;

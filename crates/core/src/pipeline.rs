@@ -37,8 +37,10 @@ impl Flare {
             .map_err(crate::FlareError::InvalidParameter)?;
         let baseline = corpus.config().machine_config.clone();
         let database = match config.temporal_phases {
-            Some(phases) => corpus.to_metric_database_enriched(&baseline, phases),
-            None => corpus.to_metric_database(&baseline),
+            Some(phases) => {
+                corpus.to_metric_database_enriched_threaded(&baseline, phases, config.threads)
+            }
+            None => corpus.to_metric_database_threaded(&baseline, config.threads),
         };
         let analyzer = Analyzer::fit(&database, &config)?;
         Ok(Flare {
@@ -96,7 +98,11 @@ impl Flare {
     /// # Errors
     ///
     /// Propagates estimation errors.
-    pub fn evaluate_on<T: Testbed>(&self, testbed: &T, feature: &Feature) -> Result<AllJobEstimate> {
+    pub fn evaluate_on<T: Testbed>(
+        &self,
+        testbed: &T,
+        feature: &Feature,
+    ) -> Result<AllJobEstimate> {
         let feature_config = feature.apply(&self.baseline);
         estimate_all_job(
             &self.corpus,
@@ -206,10 +212,12 @@ impl Flare {
             if w == 0 {
                 continue;
             }
-            let rec = self
-                .database
-                .get(entry.id)
-                .expect("corpus and database are aligned");
+            let rec =
+                self.database
+                    .get(entry.id)
+                    .ok_or(crate::FlareError::CorpusDatabaseMismatch {
+                        scenario_id: entry.id,
+                    })?;
             db.insert(ScenarioRecord {
                 id: rec.id,
                 metrics: rec.metrics.clone(),
@@ -398,5 +406,28 @@ mod tests {
     fn recluster_dropping_everything_fails() {
         let flare = small_flare();
         assert!(flare.recluster_with_weights(|_| 0).is_err());
+    }
+
+    #[test]
+    fn recluster_detects_corpus_database_mismatch() {
+        let flare = small_flare();
+        let mut snapshot = flare.to_snapshot();
+        // Rebuild the database without the last profiled record so one
+        // corpus entry has no metrics behind it.
+        let dropped = flare.corpus().entries().last().unwrap().id;
+        let mut pruned = MetricDatabase::new(snapshot.database.schema().clone());
+        for rec in snapshot.database.iter() {
+            if rec.id != dropped {
+                pruned.insert(rec.clone()).unwrap();
+            }
+        }
+        snapshot.database = pruned;
+        let broken = Flare::from_snapshot(snapshot).unwrap();
+        match broken.recluster_with_weights(|_| 1) {
+            Err(crate::FlareError::CorpusDatabaseMismatch { scenario_id }) => {
+                assert_eq!(scenario_id, dropped);
+            }
+            other => panic!("expected CorpusDatabaseMismatch, got {other:?}"),
+        }
     }
 }

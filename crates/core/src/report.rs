@@ -56,10 +56,13 @@ pub fn markdown_report(flare: &Flare, evaluations: &[(Feature, AllJobEstimate)])
     );
 
     let _ = writeln!(out, "\n## Representative scenarios\n");
-    let _ = writeln!(out, "| cluster | weight | representative | job mix | distinguishing PCs |");
+    let _ = writeln!(
+        out,
+        "| cluster | weight | representative | job mix | distinguishing PCs |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
     let weights = analyzer.cluster_weights(flare.config().weight_by_observations);
-    for c in 0..analyzer.n_clusters() {
+    for (c, &weight) in weights.iter().enumerate() {
         if let Some(id) = analyzer.representative(c) {
             let entry = flare.corpus().get(id).expect("rep in corpus");
             let mix: Vec<String> = entry
@@ -74,7 +77,7 @@ pub fn markdown_report(flare: &Flare, evaluations: &[(Feature, AllJobEstimate)])
             let _ = writeln!(
                 out,
                 "| {c} | {:.1}% | {id} | {} | {} |",
-                weights[c] * 100.0,
+                weight * 100.0,
                 mix.join(", "),
                 pcs.join(", ")
             );
@@ -159,7 +162,7 @@ mod tests {
             assert!(report.contains(section), "missing `{section}`");
         }
         // One table row per cluster.
-        assert_eq!(report.matches("| 0 |").count() >= 1, true);
+        assert!(report.matches("| 0 |").count() >= 1);
     }
 
     #[test]

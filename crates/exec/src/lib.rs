@@ -1,0 +1,237 @@
+//! # flare-exec
+//!
+//! Deterministic parallel execution primitives for the FLARE pipeline.
+//!
+//! Every hot path in FLARE — corpus profiling, k-means restarts, the
+//! cluster-count sweep, full-datacenter ground truth — is a fan-out over
+//! independent work items whose results must not depend on how many
+//! threads happened to run them. This crate provides that fan-out once,
+//! with a hard guarantee: **the output of [`par_map_indexed`] is exactly
+//! the output of the equivalent serial loop**, element for element, no
+//! matter the thread count.
+//!
+//! The guarantee holds because:
+//!
+//! 1. work items are split into *contiguous* chunks, one per worker;
+//! 2. each worker maps its chunk in order and returns a `Vec` of results;
+//! 3. chunk results are concatenated in chunk order, which is input order.
+//!
+//! Thread interleaving can therefore change wall-clock time only, never a
+//! result. Callers that need randomness derive a fresh RNG per item from
+//! `seed + item_index` (see `flare-cluster`'s k-means restarts), so the
+//! byte-for-byte determinism survives stochastic workloads too.
+//!
+//! Built on [`std::thread::scope`]: no external dependencies, and borrowed
+//! inputs can be shared with workers without `'static` bounds.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Resolves a thread-count knob to a concrete worker count.
+///
+/// - `None` — use the machine's available parallelism (at least 1).
+/// - `Some(n)` — use exactly `n` workers; `Some(0)` is clamped to 1 so a
+///   misconfigured knob degrades to serial execution instead of panicking
+///   (configs reject `Some(0)` at validation time; this is the backstop).
+pub fn resolve_threads(threads: Option<usize>) -> usize {
+    match threads {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `f` over `items` across worker threads, returning results in input
+/// order.
+///
+/// `f` receives each item's index alongside the item, so callers can
+/// derive per-item deterministic state (RNG seeds, IDs) that is identical
+/// under any thread count. With `threads == Some(1)` (or a single item)
+/// the map runs inline on the calling thread — the serial baseline the
+/// parallel output is guaranteed to match byte for byte.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+///
+/// # Examples
+///
+/// ```
+/// use flare_exec::par_map_indexed;
+///
+/// let items = vec![10u64, 20, 30, 40, 50];
+/// let serial = par_map_indexed(&items, Some(1), |i, x| i as u64 * 1000 + x);
+/// let parallel = par_map_indexed(&items, Some(4), |i, x| i as u64 * 1000 + x);
+/// assert_eq!(serial, parallel);
+/// assert_eq!(serial, vec![10, 1020, 2030, 3040, 4050]);
+/// ```
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_threads(threads).min(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move || {
+                    let base = ci * chunk;
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(base + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("flare-exec worker panicked"))
+            .collect()
+    });
+    // Chunks are contiguous and iterated in order, so concatenation
+    // restores exact input order.
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Index-only variant of [`par_map_indexed`]: maps `f` over `0..n` with the
+/// same ordering and determinism guarantees. The natural shape for
+/// fan-outs whose work is defined by an index alone (k-means restarts,
+/// seeded trials).
+///
+/// # Examples
+///
+/// ```
+/// use flare_exec::par_map_range;
+///
+/// let squares = par_map_range(6, None, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25]);
+/// ```
+pub fn par_map_range<R, F>(n: usize, threads: Option<usize>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_indexed(&indices, threads, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolve_threads_contract() {
+        assert_eq!(resolve_threads(Some(1)), 1);
+        assert_eq!(resolve_threads(Some(7)), 7);
+        assert_eq!(resolve_threads(Some(0)), 1, "Some(0) degrades to serial");
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = par_map_indexed(&[] as &[i32], Some(4), |_, &x| x);
+        assert!(out.is_empty());
+        let out: Vec<usize> = par_map_range(0, None, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_input_order_for_all_thread_counts() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [
+            Some(1),
+            Some(2),
+            Some(3),
+            Some(4),
+            Some(16),
+            Some(1000),
+            None,
+        ] {
+            let got = par_map_indexed(&items, threads, |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "threads = {threads:?}");
+        }
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        for threads in [Some(1), Some(2), Some(5), Some(64)] {
+            let got = par_map_indexed(&items, threads, |i, s| format!("{i}:{s}"));
+            assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+        }
+    }
+
+    #[test]
+    fn range_variant_matches_slice_variant() {
+        let slice: Vec<usize> = (0..100).collect();
+        let a = par_map_indexed(&slice, Some(7), |i, _| i * i);
+        let b = par_map_range(100, Some(7), |i| i * i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        // Thread-id diversity: with more items than workers and a brief
+        // stall per item, at least two distinct threads must participate.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        par_map_range(8, Some(4), |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        assert!(ids.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn every_item_mapped_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map_range(1000, Some(8), |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let got = par_map_indexed(&[1, 2], Some(64), |_, &x| x * 10);
+        assert_eq!(got, vec![10, 20]);
+    }
+
+    #[test]
+    fn parallel_equals_serial_with_per_index_seeding() {
+        // The pattern k-means restarts rely on: derive per-item state from
+        // the index, never from shared mutable state.
+        let seeded = |i: usize| -> u64 {
+            let mut x = 0x9E37_79B9u64.wrapping_add(i as u64);
+            for _ in 0..8 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        };
+        let serial = par_map_range(64, Some(1), seeded);
+        let parallel = par_map_range(64, Some(6), seeded);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -411,11 +411,7 @@ mod tests {
         ])
         .unwrap();
         let e = symmetric_eigen(&a).unwrap();
-        let vtv = e
-            .eigenvectors
-            .transpose()
-            .matmul(&e.eigenvectors)
-            .unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
         assert!(vtv.sub(&Matrix::identity(3)).unwrap().frobenius_norm() < 1e-10);
     }
 

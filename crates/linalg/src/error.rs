@@ -73,7 +73,10 @@ mod tests {
             algorithm: "jacobi",
             iterations: 100,
         };
-        assert_eq!(e.to_string(), "jacobi did not converge after 100 iterations");
+        assert_eq!(
+            e.to_string(),
+            "jacobi did not converge after 100 iterations"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl Matrix {
     /// lengths.
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
         if rows.is_empty() || rows[0].is_empty() {
-            return Err(LinalgError::Empty("from_rows requires a non-empty row set".into()));
+            return Err(LinalgError::Empty(
+                "from_rows requires a non-empty row set".into(),
+            ));
         }
         let cols = rows[0].len();
         for (i, r) in rows.iter().enumerate() {
@@ -448,7 +450,10 @@ mod tests {
         let a = m22();
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -495,7 +500,10 @@ mod tests {
     fn select_columns_picks_and_validates() {
         let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
         let s = m.select_columns(&[2, 0]).unwrap();
-        assert_eq!(s, Matrix::from_rows(&[vec![3.0, 1.0], vec![6.0, 4.0]]).unwrap());
+        assert_eq!(
+            s,
+            Matrix::from_rows(&[vec![3.0, 1.0], vec![6.0, 4.0]]).unwrap()
+        );
         assert!(m.select_columns(&[3]).is_err());
         assert!(m.select_columns(&[]).is_err());
     }

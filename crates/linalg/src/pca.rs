@@ -163,7 +163,9 @@ impl Pca {
             )));
         }
         let standardized = self.zscore.transform(data)?;
-        let sub = self.components.select_columns(&(0..k).collect::<Vec<_>>())?;
+        let sub = self
+            .components
+            .select_columns(&(0..k).collect::<Vec<_>>())?;
         standardized.matmul(&sub)
     }
 

@@ -99,7 +99,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
 /// ```
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -414,12 +418,7 @@ mod tests {
 
     #[test]
     fn zscore_normalizes_columns() {
-        let m = Matrix::from_rows(&[
-            vec![1.0, 100.0],
-            vec![2.0, 200.0],
-            vec![3.0, 300.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]]).unwrap();
         let (t, z) = zscore_columns(&m).unwrap();
         for j in 0..2 {
             let col = t.col(j);

@@ -9,11 +9,8 @@ use proptest::prelude::*;
 /// Strategy: a well-conditioned data matrix with `rows` observations of
 /// `cols` variables, entries bounded so covariances stay finite.
 fn data_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, cols),
-        rows..=rows,
-    )
-    .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular by construction"))
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, cols), rows..=rows)
+        .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular by construction"))
 }
 
 /// Strategy: a random symmetric matrix built as (A + Aᵀ)/2.

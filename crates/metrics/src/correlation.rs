@@ -227,7 +227,11 @@ mod tests {
         assert!((d0.correlation.abs() - 1.0).abs() < 1e-9);
         let d1 = &report.dropped[1];
         assert_eq!(d1.kept, db.schema().id_at(2));
-        assert!(d1.correlation < -0.99, "anti-correlation {}", d1.correlation);
+        assert!(
+            d1.correlation < -0.99,
+            "anti-correlation {}",
+            d1.correlation
+        );
     }
 
     #[test]
@@ -297,8 +301,16 @@ mod tests {
         }
         let pearson_report = refine_with(&db, 0.995, CorrelationMethod::Pearson).unwrap();
         let spearman_report = refine_with(&db, 0.995, CorrelationMethod::Spearman).unwrap();
-        assert_eq!(pearson_report.kept_count(), 3, "exp() escapes Pearson at 0.995");
-        assert_eq!(spearman_report.kept_count(), 2, "Spearman sees the monotone dup");
+        assert_eq!(
+            pearson_report.kept_count(),
+            3,
+            "exp() escapes Pearson at 0.995"
+        );
+        assert_eq!(
+            spearman_report.kept_count(),
+            2,
+            "Spearman sees the monotone dup"
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Opaque identifier of a job-colocation scenario.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ScenarioId(pub u32);
 
 impl std::fmt::Display for ScenarioId {
@@ -279,7 +277,10 @@ mod tests {
         bad.metrics.pop();
         assert!(matches!(
             db.insert(bad),
-            Err(MetricsError::SchemaMismatch { expected: 3, actual: 2 })
+            Err(MetricsError::SchemaMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
         let mut nan = record(0, 1.0);
         nan.metrics[0] = f64::NAN;

@@ -257,7 +257,9 @@ impl MetricKind {
 /// Which statistic of a metric's time series is recorded (§4.1: the
 /// default is the per-scenario average; a user "may include standard
 /// deviations (e.g., IPC: 1.4±0.5) to enrich the temporal information").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Statistic {
     /// Average over the scenario's lifetime (the paper's default).
     #[default]
@@ -483,7 +485,16 @@ mod tests {
     fn every_family_is_represented() {
         use MetricFamily::*;
         for fam in [
-            Performance, Topdown, Cache, Memory, Tlb, Branch, Cpu, Storage, Network, OsMemory,
+            Performance,
+            Topdown,
+            Cache,
+            Memory,
+            Tlb,
+            Branch,
+            Cpu,
+            Storage,
+            Network,
+            OsMemory,
         ] {
             assert!(
                 MetricKind::ALL.iter().any(|k| k.family() == fam),

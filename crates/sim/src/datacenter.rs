@@ -11,6 +11,7 @@ use crate::machine::{MachineConfig, MachineShape};
 use crate::profiler::synthesize;
 use crate::scenario::Scenario;
 use crate::scheduler::{MachineState, Placement, Scheduler, SchedulerPolicy};
+use flare_exec::par_map_indexed;
 use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
 use flare_metrics::schema::MetricSchema;
 use flare_workloads::job::{JobInstance, JobName};
@@ -275,7 +276,10 @@ impl Corpus {
     /// performance accounting; LP-only scenarios carry no managed
     /// performance).
     pub fn hp_entries(&self) -> Vec<&CorpusEntry> {
-        self.entries.iter().filter(|e| e.scenario.has_hp_job()).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.scenario.has_hp_job())
+            .collect()
     }
 
     /// Evaluates one scenario of the corpus under an arbitrary machine
@@ -287,25 +291,45 @@ impl Corpus {
     /// Materializes the corpus as a [`MetricDatabase`]: every scenario is
     /// evaluated under `machine_config` and its raw metric vector is
     /// synthesized with deterministic per-scenario measurement noise.
+    ///
+    /// Profiling fans out over all available cores; the result is
+    /// byte-identical to a serial pass (per-scenario noise seeds depend
+    /// only on scenario ids). Use [`Corpus::to_metric_database_threaded`]
+    /// to pin the worker count.
     pub fn to_metric_database(&self, machine_config: &MachineConfig) -> MetricDatabase {
-        let mut db = MetricDatabase::new(MetricSchema::canonical());
-        for e in &self.entries {
+        self.to_metric_database_threaded(machine_config, None)
+    }
+
+    /// [`Corpus::to_metric_database`] with an explicit thread knob:
+    /// `None` = available parallelism, `Some(1)` = serial. Every setting
+    /// produces the identical database.
+    pub fn to_metric_database_threaded(
+        &self,
+        machine_config: &MachineConfig,
+        threads: Option<usize>,
+    ) -> MetricDatabase {
+        let records = par_map_indexed(&self.entries, threads, |_, e| {
             let perf = evaluate(&e.scenario, machine_config);
             let metrics = synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
-            db.insert(ScenarioRecord {
+            ScenarioRecord {
                 id: e.id,
                 metrics,
                 observations: e.observations,
                 job_mix: e.scenario.job_mix_strings(),
-            })
-            .expect("synthesized vector matches canonical schema");
+            }
+        });
+        let mut db = MetricDatabase::new(MetricSchema::canonical());
+        for record in records {
+            db.insert(record)
+                .expect("synthesized vector matches canonical schema");
         }
         db
     }
 
     /// Materializes the corpus with §4.1 temporal enrichment: every metric
     /// is recorded as mean **and** across-phase standard deviation (see
-    /// [`crate::profiler::synthesize_enriched`]).
+    /// [`crate::profiler::synthesize_enriched`]). Parallel like
+    /// [`Corpus::to_metric_database`].
     ///
     /// # Panics
     ///
@@ -315,21 +339,40 @@ impl Corpus {
         machine_config: &MachineConfig,
         phases: usize,
     ) -> MetricDatabase {
-        let mut db = MetricDatabase::new(MetricSchema::canonical_enriched());
-        for e in &self.entries {
+        self.to_metric_database_enriched_threaded(machine_config, phases, None)
+    }
+
+    /// [`Corpus::to_metric_database_enriched`] with an explicit thread
+    /// knob: `None` = available parallelism, `Some(1)` = serial. Every
+    /// setting produces the identical database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases == 0`.
+    pub fn to_metric_database_enriched_threaded(
+        &self,
+        machine_config: &MachineConfig,
+        phases: usize,
+        threads: Option<usize>,
+    ) -> MetricDatabase {
+        let records = par_map_indexed(&self.entries, threads, |_, e| {
             let metrics = crate::profiler::synthesize_enriched(
                 &e.scenario,
                 machine_config,
                 phases,
                 self.noise_seed(e.id),
             );
-            db.insert(ScenarioRecord {
+            ScenarioRecord {
                 id: e.id,
                 metrics,
                 observations: e.observations,
                 job_mix: e.scenario.job_mix_strings(),
-            })
-            .expect("enriched vector matches enriched schema");
+            }
+        });
+        let mut db = MetricDatabase::new(MetricSchema::canonical_enriched());
+        for record in records {
+            db.insert(record)
+                .expect("enriched vector matches enriched schema");
         }
         db
     }
@@ -384,9 +427,7 @@ mod tests {
         use flare_workloads::job::JobName;
         let cfg = CorpusConfig::default();
         assert!(Corpus::from_entries(vec![], cfg.clone()).is_err());
-        assert!(
-            Corpus::from_entries(vec![(Scenario::empty(), 1)], cfg.clone()).is_err()
-        );
+        assert!(Corpus::from_entries(vec![(Scenario::empty(), 1)], cfg.clone()).is_err());
         assert!(Corpus::from_entries(
             vec![(Scenario::from_counts([(JobName::DataCaching, 1)]), 0)],
             cfg.clone()

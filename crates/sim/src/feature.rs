@@ -66,8 +66,8 @@ impl Feature {
         match self {
             Feature::Baseline => {}
             Feature::CacheSizing { llc_mb_per_socket } => {
-                out.llc_mb_per_socket = llc_mb_per_socket
-                    .clamp(0.5, config.shape.llc_mb_per_socket);
+                out.llc_mb_per_socket =
+                    llc_mb_per_socket.clamp(0.5, config.shape.llc_mb_per_socket);
             }
             Feature::DvfsCap { freq_max_ghz } => {
                 out.freq_max_ghz =
@@ -110,9 +110,9 @@ impl Feature {
             Feature::CacheSizing { llc_mb_per_socket } => format!(
                 "{llc_mb_per_socket}MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading enabled"
             ),
-            Feature::DvfsCap { freq_max_ghz } => format!(
-                "30MB LLC/socket, 1.2 - {freq_max_ghz}GHz clock, Hyperthreading enabled"
-            ),
+            Feature::DvfsCap { freq_max_ghz } => {
+                format!("30MB LLC/socket, 1.2 - {freq_max_ghz}GHz clock, Hyperthreading enabled")
+            }
             Feature::SmtOff => {
                 "30MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading disabled".into()
             }
@@ -187,8 +187,8 @@ mod tests {
     #[test]
     fn compound_applies_in_sequence() {
         let c = base();
-        let f = Feature::Compound(vec![Feature::paper_feature1(), Feature::paper_feature3()])
-            .apply(&c);
+        let f =
+            Feature::Compound(vec![Feature::paper_feature1(), Feature::paper_feature3()]).apply(&c);
         assert_eq!(f.llc_mb_per_socket, 12.0);
         assert!(!f.smt_enabled);
     }

@@ -319,12 +319,17 @@ pub fn evaluate_with_profiles(
         .collect();
 
     // ---- DRAM bandwidth --------------------------------------------------
-    // Traffic scales with the miss blow-up relative to the solo baseline
-    // AND with the achieved instruction rate: slower cores (DVFS caps,
-    // heavy timeslicing) generate proportionally less memory traffic, so
-    // a frequency cap partially relieves memory contention in loaded
-    // colocations — one of the cross-channel couplings that makes feature
-    // impact colocation-dependent.
+    // Traffic is *demand-based*: each instance's solo bandwidth scaled by
+    // its LLC-miss blow-up under the current cache partition. It must NOT
+    // be scaled by achieved frequency or timeslice share — doing so lets a
+    // capability cut (DVFS cap, turbo droop from an added neighbor, SMT
+    // timeslicing) lower the modeled traffic, deflate loaded latency, and
+    // raise `mem_factor` enough to overpower the direct penalty. That
+    // coupling violated the model's monotonicity invariants (adding a
+    // neighbor never helps; removing capability never speeds HP jobs up) —
+    // the failure the checked-in proptest regression seeds pinned. With
+    // pressure a function of demand only, every contention channel is
+    // monotone in neighbor count and machine capability.
     let bw_demands: Vec<f64> = profiles
         .iter()
         .zip(&mpkis)
@@ -334,9 +339,7 @@ pub fn evaluate_with_profiles(
             } else {
                 1.0
             };
-            let rate = p.cpu_bound_fraction * (freq / REFERENCE_FREQ_GHZ)
-                + (1.0 - p.cpu_bound_fraction);
-            p.mem_bw_gbps * blowup * rate * timeslice_global
+            p.mem_bw_gbps * blowup
         })
         .collect();
     let total_bw_demand: f64 = bw_demands.iter().sum();
@@ -384,8 +387,8 @@ pub fn evaluate_with_profiles(
         .zip(&profiles)
         .zip(shares.iter().zip(&mpkis))
     {
-        let freq_factor =
-            profile.cpu_bound_fraction * (freq / REFERENCE_FREQ_GHZ) + (1.0 - profile.cpu_bound_fraction);
+        let freq_factor = profile.cpu_bound_fraction * (freq / REFERENCE_FREQ_GHZ)
+            + (1.0 - profile.cpu_bound_fraction);
         let smt_factor = 1.0 - pairing * (1.0 - profile.smt_friendliness);
         // Latency-weighted extra misses relative to the solo baseline.
         let effective_extra_mpki = (mpki * lat_inflation - profile.base_llc_mpki).max(0.0);
@@ -563,8 +566,11 @@ mod tests {
     fn dvfs_feature_hurts_cpu_bound_jobs_more() {
         let baseline = base();
         let capped = Feature::paper_feature2().apply(&baseline);
-        let scenario =
-            Scenario::from_counts([(JobName::Sjeng, 2), (JobName::Mcf, 2), (JobName::DataCaching, 2)]);
+        let scenario = Scenario::from_counts([
+            (JobName::Sjeng, 2),
+            (JobName::Mcf, 2),
+            (JobName::DataCaching, 2),
+        ]);
         let before = evaluate(&scenario, &baseline);
         let after = evaluate(&scenario, &capped);
         let drop = |j: JobName| {
@@ -649,7 +655,10 @@ mod tests {
         let harm = perf.hp_normalized_perf_harmonic().unwrap();
         let weighted = perf.hp_normalized_perf_weighted().unwrap();
         // AM-HM inequality: harmonic <= arithmetic, equality iff uniform.
-        assert!(harm <= arith + 1e-12, "harmonic {harm} > arithmetic {arith}");
+        assert!(
+            harm <= arith + 1e-12,
+            "harmonic {harm} > arithmetic {arith}"
+        );
         assert!(harm > 0.0 && weighted > 0.0 && weighted <= 1.0 + 1e-9);
         // Empty HP set -> None for all variants.
         let lp = evaluate(&Scenario::from_counts([(JobName::Mcf, 2)]), &config);
@@ -674,6 +683,100 @@ mod tests {
         }
     }
 
+    /// Shared invariant body for the pinned capability regressions: the
+    /// strictly capability-removing features (1: cache cut, 2: DVFS cap)
+    /// must never raise mean HP performance, SMT-off gains are bounded,
+    /// and a light load is SMT-insensitive — the exact property
+    /// `capability_reducing_features_never_speed_up_hp` checks for
+    /// arbitrary scenarios in `tests/proptest_pipeline.rs`.
+    fn assert_capability_cuts_never_help(scenario: &Scenario) {
+        let b = base();
+        let before = evaluate(scenario, &b).hp_normalized_perf().unwrap();
+        for feature in [Feature::paper_feature1(), Feature::paper_feature2()] {
+            let after = evaluate(scenario, &feature.apply(&b))
+                .hp_normalized_perf()
+                .unwrap();
+            assert!(
+                after <= before + 1e-9,
+                "{feature}: perf rose {before} -> {after} for {scenario:?}"
+            );
+        }
+        let smt_off = Feature::paper_feature3().apply(&b);
+        let after = evaluate(scenario, &smt_off).hp_normalized_perf().unwrap();
+        assert!(
+            after <= before * 1.20 + 1e-9,
+            "SMT off gained >20%: {before} -> {after} for {scenario:?}"
+        );
+        let cores = b.shape.total_cores() as f64;
+        if evaluate(scenario, &b).active_vcpus <= cores {
+            assert!(
+                (after - before).abs() < 1e-9,
+                "light load must be SMT-insensitive: {before} vs {after}"
+            );
+        }
+    }
+
+    /// Pinned proptest regression (seed 67c12e9e…): adding a MediaStreaming
+    /// neighbor to this mix used to *raise* GraphAnalytics' normalized
+    /// perf — the extra traffic drooped turbo frequency, which (through
+    /// the old rate-scaled `bw_demands`) deflated loaded latency more than
+    /// the added pressure cost. Must stay monotone forever.
+    #[test]
+    fn regression_adding_a_neighbor_never_helps() {
+        let config = base();
+        let scenario = Scenario::from_counts([
+            (JobName::GraphAnalytics, 3),
+            (JobName::MediaStreaming, 1),
+            (JobName::Perlbench, 2),
+            (JobName::Libquantum, 2),
+        ]);
+        let bigger = Scenario::from_counts([
+            (JobName::GraphAnalytics, 3),
+            (JobName::MediaStreaming, 2),
+            (JobName::Perlbench, 2),
+            (JobName::Libquantum, 2),
+        ]);
+        let before_perf = evaluate(&scenario, &config);
+        let after_perf = evaluate(&bigger, &config);
+        for (job, _) in scenario
+            .iter()
+            .filter(|(j, _)| JobName::HIGH_PRIORITY.contains(j))
+        {
+            let before = before_perf.job_normalized_perf(job).unwrap();
+            let after = after_perf.job_normalized_perf(job).unwrap();
+            assert!(
+                after <= before + 1e-9,
+                "adding a container sped {job} up: {before} -> {after}"
+            );
+        }
+    }
+
+    /// Pinned proptest regression (seed b7740401…): a DVFS cap used to
+    /// speed this batch-heavy mix up by shedding modeled DRAM traffic.
+    #[test]
+    fn regression_capability_cut_never_helps_batch_mix() {
+        assert_capability_cuts_never_help(&Scenario::from_counts([
+            (JobName::GraphAnalytics, 1),
+            (JobName::Perlbench, 1),
+            (JobName::Libquantum, 4),
+            (JobName::Omnetpp, 1),
+        ]));
+    }
+
+    /// Pinned proptest regression (seed e25b13de…): same invariant on the
+    /// second shrunk mix, which additionally carries Mcf's latency-bound
+    /// traffic.
+    #[test]
+    fn regression_capability_cut_never_helps_mixed_priority() {
+        assert_capability_cuts_never_help(&Scenario::from_counts([
+            (JobName::DataAnalytics, 1),
+            (JobName::GraphAnalytics, 2),
+            (JobName::Libquantum, 4),
+            (JobName::Omnetpp, 1),
+            (JobName::Mcf, 1),
+        ]));
+    }
+
     #[test]
     fn impact_is_not_predicted_by_mpki_alone() {
         // The Fig. 3b motivation: two scenarios with similar HP MPKI can
@@ -685,7 +788,9 @@ mod tests {
         // Scenario B: WSC with cache-hungry neighbors.
         let b = Scenario::from_counts([(JobName::WebSearch, 2), (JobName::Mcf, 8)]);
         let impact = |s: &Scenario| {
-            let before = evaluate(s, &config).job_normalized_perf(JobName::WebSearch).unwrap();
+            let before = evaluate(s, &config)
+                .job_normalized_perf(JobName::WebSearch)
+                .unwrap();
             let after = evaluate(s, &small_cache)
                 .job_normalized_perf(JobName::WebSearch)
                 .unwrap();

@@ -181,11 +181,7 @@ impl LevelAggregate {
         // Instruction weights for intensive (per-instruction) metrics.
         let total_mips: f64 = selected.iter().map(|(o, _)| o.mips).sum();
         let wmean = |f: &dyn Fn(&crate::interference::InstanceOutcome, &JobProfile) -> f64| -> f64 {
-            selected
-                .iter()
-                .map(|(o, p)| o.mips * f(o, p))
-                .sum::<f64>()
-                / total_mips
+            selected.iter().map(|(o, p)| o.mips * f(o, p)).sum::<f64>() / total_mips
         };
         let sum = |f: &dyn Fn(&crate::interference::InstanceOutcome, &JobProfile) -> f64| -> f64 {
             selected.iter().map(|(o, p)| f(o, p)).sum()
@@ -210,7 +206,8 @@ impl LevelAggregate {
         let frontend = wmean(&|_, p| (p.frontend_bound * (1.0 + 0.25 * pairing)).min(0.9));
         let bad_spec = wmean(&|_, p| p.bad_speculation);
         let memory_bound = wmean(&|o, p| {
-            ((1.0 - o.mem_factor * o.bw_factor) * 0.9 + p.latency_sensitivity * 0.08).clamp(0.0, 0.85)
+            ((1.0 - o.mem_factor * o.bw_factor) * 0.9 + p.latency_sensitivity * 0.08)
+                .clamp(0.0, 0.85)
         });
         let core_bound = wmean(&|_, p| p.alu_stall_pct + p.div_stall_pct);
         let backend = (memory_bound + core_bound).min(0.95);
@@ -464,7 +461,10 @@ mod tests {
         // mcf's huge LLC MPKI shows at machine level, not HP level.
         let machine_mpki = metric(&v, MetricKind::LlcMpki, Level::Machine);
         let hp_mpki = metric(&v, MetricKind::LlcMpki, Level::Hp);
-        assert!(machine_mpki > hp_mpki * 2.0, "machine {machine_mpki} hp {hp_mpki}");
+        assert!(
+            machine_mpki > hp_mpki * 2.0,
+            "machine {machine_mpki} hp {hp_mpki}"
+        );
     }
 
     #[test]

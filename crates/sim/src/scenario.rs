@@ -127,7 +127,9 @@ impl Scenario {
     /// The job mix as `(abbrev, count)` strings — the form stored in the
     /// metric database so the Replayer can reconstruct the commands.
     pub fn job_mix_strings(&self) -> Vec<(String, u32)> {
-        self.iter().map(|(j, n)| (j.abbrev().to_string(), n)).collect()
+        self.iter()
+            .map(|(j, n)| (j.abbrev().to_string(), n))
+            .collect()
     }
 
     /// Machine occupancy fraction given `schedulable_vcpus` (the y-axis of

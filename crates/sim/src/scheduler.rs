@@ -79,8 +79,7 @@ impl MachineState {
 
     /// The current job-colocation scenario on this machine.
     pub fn scenario(&self) -> crate::scenario::Scenario {
-        let instances: Vec<JobInstance> =
-            self.containers.iter().map(|c| c.instance).collect();
+        let instances: Vec<JobInstance> = self.containers.iter().map(|c| c.instance).collect();
         crate::scenario::Scenario::from_instances(&instances)
     }
 }
@@ -204,11 +203,19 @@ mod tests {
     fn least_utilized_spreads_distinct_jobs() {
         let mut machines = fleet(3);
         let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
-        for job in [JobName::DataCaching, JobName::GraphAnalytics, JobName::WebSearch] {
+        for job in [
+            JobName::DataCaching,
+            JobName::GraphAnalytics,
+            JobName::WebSearch,
+        ] {
             sched.place(&mut machines, JobInstance::new(job), 100.0);
         }
         for m in &machines {
-            assert_eq!(m.containers.len(), 1, "distinct jobs spread one per machine");
+            assert_eq!(
+                m.containers.len(),
+                1,
+                "distinct jobs spread one per machine"
+            );
         }
     }
 
@@ -248,7 +255,11 @@ mod tests {
         }
         let counts: Vec<usize> = machines.iter().map(|m| m.containers.len()).collect();
         assert_eq!(counts.iter().sum::<usize>(), 3);
-        assert_eq!(counts.iter().max(), Some(&3), "packing piles onto one machine");
+        assert_eq!(
+            counts.iter().max(),
+            Some(&3),
+            "packing piles onto one machine"
+        );
     }
 
     #[test]
@@ -258,7 +269,10 @@ mod tests {
         // 48 vCPUs / 4 = 12 containers fit.
         for i in 0..12 {
             assert!(
-                matches!(sched.place(&mut machines, inst(), 100.0), Placement::Placed { .. }),
+                matches!(
+                    sched.place(&mut machines, inst(), 100.0),
+                    Placement::Placed { .. }
+                ),
                 "placement {i} should succeed"
             );
         }
@@ -273,7 +287,10 @@ mod tests {
         let mut machines = vec![MachineState::new(shape_cfg)];
         let sched = Scheduler::new(SchedulerPolicy::LeastUtilized);
         let mut placed = 0;
-        while matches!(sched.place(&mut machines, inst(), 1.0), Placement::Placed { .. }) {
+        while matches!(
+            sched.place(&mut machines, inst(), 1.0),
+            Placement::Placed { .. }
+        ) {
             placed += 1;
         }
         assert_eq!(placed, 6); // 24 cores / 4 vCPUs

@@ -456,8 +456,15 @@ mod tests {
 
     #[test]
     fn network_services_have_network_traffic() {
-        for j in [JobName::DataCaching, JobName::MediaStreaming, JobName::WebServing] {
-            assert!(profile(j).net_rx_mbps > 10.0, "{j} should be network-active");
+        for j in [
+            JobName::DataCaching,
+            JobName::MediaStreaming,
+            JobName::WebServing,
+        ] {
+            assert!(
+                profile(j).net_rx_mbps > 10.0,
+                "{j} should be network-active"
+            );
         }
         for j in JobName::LOW_PRIORITY {
             assert!(profile(*j).net_rx_mbps < 0.1, "{j} is batch, no network");

@@ -154,7 +154,15 @@ mod tests {
     fn knobs_are_quantized() {
         for &job in JobName::ALL {
             let spec = StressorSpec::calibrate(job);
-            for knob in [spec.cpu, spec.threads, spec.cache, spec.memory, spec.bandwidth, spec.network, spec.disk] {
+            for knob in [
+                spec.cpu,
+                spec.threads,
+                spec.cache,
+                spec.memory,
+                spec.bandwidth,
+                spec.network,
+                spec.disk,
+            ] {
                 assert!(knob <= KNOB_LEVELS);
             }
         }

@@ -25,13 +25,19 @@ fn main() -> Result<(), FlareError> {
     println!("collecting corpus and fitting FLARE (once; reused for every candidate)...");
     let corpus = Corpus::generate(&CorpusConfig::default());
     let flare = Flare::fit(corpus, FlareConfig::default())?;
-    println!("  {} representatives extracted\n", flare.n_representatives());
+    println!(
+        "  {} representatives extracted\n",
+        flare.n_representatives()
+    );
 
     println!(
         "{:>10} {:>10} | per-service impact (%)",
         "LLC MB/skt", "fleet %"
     );
-    println!("{:>10} {:>10} | {:>6} {:>6} {:>6}", "", "", "DC", "WSC", "WSV");
+    println!(
+        "{:>10} {:>10} | {:>6} {:>6} {:>6}",
+        "", "", "DC", "WSC", "WSV"
+    );
 
     let mut best: Option<f64> = None;
     for llc_mb in [24.0, 20.0, 16.0, 12.0, 10.0, 8.0] {

@@ -35,7 +35,12 @@ fn main() -> Result<(), FlareError> {
         // Shape-specific insight: which services hurt most on this shape?
         let mut per_job: Vec<(JobName, f64)> = JobName::HIGH_PRIORITY
             .iter()
-            .filter_map(|&j| flare.evaluate_job(j, &feature).ok().map(|e| (j, e.impact_pct)))
+            .filter_map(|&j| {
+                flare
+                    .evaluate_job(j, &feature)
+                    .ok()
+                    .map(|e| (j, e.impact_pct))
+            })
             .collect();
         per_job.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         let worst: Vec<String> = per_job

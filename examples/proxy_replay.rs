@@ -42,11 +42,13 @@ fn main() -> Result<(), FlareError> {
 
     // Evaluate every paper feature twice: real-service replay vs stressors.
     let proxy = ProxyTestbed::calibrated();
-    println!("\n{:<24} {:>9} {:>12} {:>13}", "feature", "truth %", "real replay", "proxy replay");
+    println!(
+        "\n{:<24} {:>9} {:>12} {:>13}",
+        "feature", "truth %", "real replay", "proxy replay"
+    );
     for feature in Feature::paper_features() {
         let fc = feature.apply(&baseline);
-        let truth =
-            full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
+        let truth = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct;
         let real = flare.evaluate_on(&SimTestbed, &feature)?.impact_pct;
         let prox = flare.evaluate_on(&proxy, &feature)?.impact_pct;
         println!(

@@ -31,7 +31,10 @@ fn main() -> Result<(), FlareError> {
         flare.database().schema().len(),
         analyzer.refined_schema().len()
     );
-    println!("  PCA: {} components explain 95% of variance", analyzer.n_pcs());
+    println!(
+        "  PCA: {} components explain 95% of variance",
+        analyzer.n_pcs()
+    );
     println!("  representatives: {}", flare.n_representatives());
 
     // 3. Evaluate each feature on the representatives only, and compare to
@@ -39,13 +42,7 @@ fn main() -> Result<(), FlareError> {
     for feature in Feature::paper_features() {
         let estimate = flare.evaluate(&feature)?;
         let feature_config = feature.apply(&baseline);
-        let truth = full_datacenter_impact(
-            &corpus,
-            &SimTestbed,
-            &baseline,
-            &feature_config,
-            true,
-        );
+        let truth = full_datacenter_impact(&corpus, &SimTestbed, &baseline, &feature_config, true);
         println!(
             "\n{}:\n  FLARE estimate  : {:>6.2}% MIPS reduction ({} replays)\n  \
              datacenter truth: {:>6.2}% ({} replays)\n  error: {:.2}pp; cost reduction {:.0}x",

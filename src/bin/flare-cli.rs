@@ -3,8 +3,8 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = flare::cli::parse_args(&args)
-        .and_then(|inv| flare::cli::run(&inv, &mut std::io::stdout()));
+    let result =
+        flare::cli::parse_args(&args).and_then(|inv| flare::cli::run(&inv, &mut std::io::stdout()));
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

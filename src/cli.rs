@@ -150,8 +150,8 @@ pub fn flare_config_from(inv: &Invocation) -> Result<FlareConfig, CliError> {
 
 fn load_corpus(inv: &Invocation) -> Result<Corpus, CliError> {
     let path = inv.required("corpus")?;
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     serde_json::from_str(&json).map_err(|e| CliError(format!("cannot parse {path}: {e}")))
 }
 
@@ -232,8 +232,13 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
         "representatives" => {
             let flare = load_or_fit(inv)?;
             let weights = flare.analyzer().cluster_weights(true);
-            writeln!(out, "{} representative scenarios:", flare.n_representatives()).map_err(w)?;
-            for c in 0..flare.analyzer().n_clusters() {
+            writeln!(
+                out,
+                "{} representative scenarios:",
+                flare.n_representatives()
+            )
+            .map_err(w)?;
+            for (c, &weight) in weights.iter().enumerate() {
                 if let Some(id) = flare.analyzer().representative(c) {
                     let entry = flare.corpus().get(id).expect("rep in corpus");
                     let mix: Vec<String> = entry
@@ -244,7 +249,7 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
                     writeln!(
                         out,
                         "  cluster {c:>2} (weight {:>5.2}%): {} = [{}]",
-                        weights[c] * 100.0,
+                        weight * 100.0,
                         id,
                         mix.join(", ")
                     )
@@ -348,8 +353,14 @@ mod tests {
 
     #[test]
     fn parse_basic_invocation() {
-        let inv = parse_args(&args(&["evaluate", "--corpus", "c.json", "--feature", "smt-off"]))
-            .unwrap();
+        let inv = parse_args(&args(&[
+            "evaluate",
+            "--corpus",
+            "c.json",
+            "--feature",
+            "smt-off",
+        ]))
+        .unwrap();
         assert_eq!(inv.command, "evaluate");
         assert_eq!(inv.options["corpus"], "c.json");
         assert_eq!(inv.options["feature"], "smt-off");
@@ -383,13 +394,24 @@ mod tests {
     #[test]
     fn corpus_config_options() {
         let inv = parse_args(&args(&[
-            "collect", "--out", "x.json", "--machines", "4", "--days", "2", "--shape", "small",
+            "collect",
+            "--out",
+            "x.json",
+            "--machines",
+            "4",
+            "--days",
+            "2",
+            "--shape",
+            "small",
         ]))
         .unwrap();
         let cfg = corpus_config_from(&inv).unwrap();
         assert_eq!(cfg.machines, 4);
         assert_eq!(cfg.days, 2.0);
-        assert_eq!(cfg.machine_config.shape.model, MachineShape::small_shape().model);
+        assert_eq!(
+            cfg.machine_config.shape.model,
+            MachineShape::small_shape().model
+        );
         let bad = parse_args(&args(&["collect", "--out", "x", "--shape", "huge"])).unwrap();
         assert!(corpus_config_from(&bad).is_err());
     }

@@ -1,0 +1,163 @@
+//! Determinism of the parallel execution layer, checked end-to-end: every
+//! thread-count setting must produce *byte-identical* pipeline output.
+//! Parallelism in FLARE is a wall-clock knob, never a result knob.
+
+use flare::baselines::fulldc::{full_datacenter_impact, full_datacenter_impact_parallel};
+use flare::cluster::kmeans::{kmeans, KMeansConfig};
+use flare::cluster::sweep::sweep_kmeans;
+use flare::linalg::Matrix;
+use flare::prelude::*;
+
+fn small_corpus() -> (Corpus, CorpusConfig) {
+    let cfg = CorpusConfig {
+        machines: 4,
+        days: 2.0,
+        tick_minutes: 15.0,
+        ..CorpusConfig::default()
+    };
+    (Corpus::generate(&cfg), cfg)
+}
+
+fn fit_with_threads(corpus: Corpus, threads: Option<usize>) -> Flare {
+    let cfg = FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(8),
+        threads,
+        ..FlareConfig::default()
+    };
+    Flare::fit(corpus, cfg).expect("fit")
+}
+
+/// Serializes a fitted model with the thread knob normalized away, so two
+/// fits that differ *only* in their thread count serialize identically.
+fn snapshot_json(flare: &Flare) -> String {
+    let mut snapshot = flare.to_snapshot();
+    snapshot.config.threads = None;
+    serde_json::to_string(&snapshot).expect("serialize")
+}
+
+#[test]
+fn fit_is_byte_identical_across_thread_counts() {
+    let (corpus, _) = small_corpus();
+    let serial = fit_with_threads(corpus.clone(), Some(1));
+    let serial_json = snapshot_json(&serial);
+    for threads in [Some(2), Some(4), Some(64), None] {
+        let parallel = fit_with_threads(corpus.clone(), threads);
+        assert_eq!(
+            serial_json,
+            snapshot_json(&parallel),
+            "threads={threads:?} diverged from serial fit"
+        );
+        assert_eq!(
+            serial.analyzer().representatives(),
+            parallel.analyzer().representatives()
+        );
+    }
+}
+
+#[test]
+fn fit_with_sweep_is_thread_count_invariant() {
+    let (corpus, _) = small_corpus();
+    let fit = |threads| {
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Sweep {
+                min_k: 2,
+                max_k: 8,
+                step: 2,
+            },
+            threads,
+            ..FlareConfig::default()
+        };
+        Flare::fit(corpus.clone(), cfg).expect("fit")
+    };
+    let serial = fit(Some(1));
+    let parallel = fit(Some(4));
+    assert_eq!(serial.n_representatives(), parallel.n_representatives());
+    assert_eq!(snapshot_json(&serial), snapshot_json(&parallel));
+}
+
+#[test]
+fn temporal_enriched_fit_is_thread_count_invariant() {
+    let (corpus, _) = small_corpus();
+    let fit = |threads| {
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(8),
+            temporal_phases: Some(4),
+            threads,
+            ..FlareConfig::default()
+        };
+        Flare::fit(corpus.clone(), cfg).expect("fit")
+    };
+    assert_eq!(snapshot_json(&fit(Some(1))), snapshot_json(&fit(Some(4))));
+}
+
+#[test]
+fn estimates_are_identical_across_thread_counts() {
+    let (corpus, _) = small_corpus();
+    let serial = fit_with_threads(corpus.clone(), Some(1));
+    let parallel = fit_with_threads(corpus, Some(4));
+    for feature in Feature::paper_features() {
+        let a = serial.evaluate(&feature).expect("serial estimate");
+        let b = parallel.evaluate(&feature).expect("parallel estimate");
+        assert_eq!(a.impact_pct, b.impact_pct, "{feature}");
+        assert_eq!(a.replay_count, b.replay_count, "{feature}");
+    }
+}
+
+#[test]
+fn kmeans_restarts_are_thread_count_invariant() {
+    // 3 planted blobs, deterministic coordinates.
+    let rows: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            let center = (i % 3) as f64 * 10.0;
+            let jitter = ((i as f64) * 0.73).sin();
+            vec![center + jitter, center - jitter * 0.5]
+        })
+        .collect();
+    let data = Matrix::from_rows(&rows).unwrap();
+    let base = KMeansConfig::new(3).with_restarts(16);
+    let serial = kmeans(&data, &base.clone().with_threads(Some(1))).unwrap();
+    for threads in [Some(2), Some(8), None] {
+        let parallel = kmeans(&data, &base.clone().with_threads(threads)).unwrap();
+        assert_eq!(serial, parallel, "threads={threads:?}");
+    }
+    let ks = [2, 3, 4, 5];
+    let serial_sweep = sweep_kmeans(&data, &ks, &base.clone().with_threads(Some(1))).unwrap();
+    let parallel_sweep = sweep_kmeans(&data, &ks, &base.with_threads(Some(4))).unwrap();
+    assert_eq!(serial_sweep.points, parallel_sweep.points);
+}
+
+#[test]
+fn full_datacenter_parallel_matches_serial() {
+    let (corpus, cfg) = small_corpus();
+    let baseline = &cfg.machine_config;
+    for feature in Feature::paper_features() {
+        let feature_config = feature.apply(baseline);
+        let serial = full_datacenter_impact(&corpus, &SimTestbed, baseline, &feature_config, true);
+        for threads in [1, 2, 4, 64] {
+            let parallel = full_datacenter_impact_parallel(
+                &corpus,
+                &SimTestbed,
+                baseline,
+                &feature_config,
+                true,
+                threads,
+            );
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "{feature} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exec_primitive_preserves_order_under_load() {
+    let items: Vec<u64> = (0..997).collect();
+    let serial = flare::core::exec::par_map_indexed(&items, Some(1), |i, &x| x * 3 + i as u64);
+    for threads in [Some(2), Some(7), Some(64), None] {
+        let parallel =
+            flare::core::exec::par_map_indexed(&items, threads, |i, &x| x * 3 + i as u64);
+        assert_eq!(serial, parallel, "threads={threads:?}");
+    }
+}

@@ -28,13 +28,8 @@ fn flare_estimates_all_features_accurately() {
     let baseline = &cfg.machine_config;
     for feature in Feature::paper_features() {
         let feature_config = feature.apply(baseline);
-        let truth = full_datacenter_impact(
-            flare.corpus(),
-            &SimTestbed,
-            baseline,
-            &feature_config,
-            true,
-        );
+        let truth =
+            full_datacenter_impact(flare.corpus(), &SimTestbed, baseline, &feature_config, true);
         let estimate = flare.evaluate(&feature).expect("estimate");
         let err = (estimate.impact_pct - truth.impact_pct).abs();
         assert!(
@@ -55,13 +50,8 @@ fn flare_beats_equal_cost_sampling_in_expectation() {
     let mut flare_wins = 0;
     for feature in Feature::paper_features() {
         let feature_config = feature.apply(baseline);
-        let truth = full_datacenter_impact(
-            flare.corpus(),
-            &SimTestbed,
-            baseline,
-            &feature_config,
-            true,
-        );
+        let truth =
+            full_datacenter_impact(flare.corpus(), &SimTestbed, baseline, &feature_config, true);
         let estimate = flare.evaluate(&feature).expect("estimate");
         let dist = sampling_distribution(
             flare.corpus(),

@@ -18,7 +18,8 @@ fn corpus_for(shape: MachineShape, policy: SchedulerPolicy) -> (Corpus, MachineC
 
 #[test]
 fn small_shape_pipeline_works_end_to_end() {
-    let (corpus, baseline) = corpus_for(MachineShape::small_shape(), SchedulerPolicy::LeastUtilized);
+    let (corpus, baseline) =
+        corpus_for(MachineShape::small_shape(), SchedulerPolicy::LeastUtilized);
     assert!(corpus.len() > 50);
     // No scenario exceeds the small machine's capacity.
     for e in corpus.entries() {
@@ -35,7 +36,10 @@ fn small_shape_pipeline_works_end_to_end() {
 fn default_representatives_overflow_small_machines() {
     // The Fig. 14a phenomenon: scenarios extracted on the big shape need
     // more vCPUs than the small shape offers.
-    let (corpus, _) = corpus_for(MachineShape::default_shape(), SchedulerPolicy::LeastUtilized);
+    let (corpus, _) = corpus_for(
+        MachineShape::default_shape(),
+        SchedulerPolicy::LeastUtilized,
+    );
     let small = MachineShape::small_shape().baseline_config();
     let overflowing = corpus
         .entries()
@@ -53,7 +57,10 @@ fn shapes_rank_features_differently_or_scale_them() {
     // The same DVFS cap has a different absolute cost per shape (the small
     // shape's lower ceiling means a 1.8 GHz cap cuts less headroom).
     let feature = Feature::DvfsCap { freq_max_ghz: 1.8 };
-    let (big_corpus, _) = corpus_for(MachineShape::default_shape(), SchedulerPolicy::LeastUtilized);
+    let (big_corpus, _) = corpus_for(
+        MachineShape::default_shape(),
+        SchedulerPolicy::LeastUtilized,
+    );
     let (small_corpus, _) = corpus_for(MachineShape::small_shape(), SchedulerPolicy::LeastUtilized);
     let big = Flare::fit(big_corpus, FlareConfig::default())
         .expect("fit big")
@@ -112,7 +119,10 @@ fn scheduler_policies_produce_different_corpora() {
 
 #[test]
 fn recluster_workflow_reuses_metrics_and_changes_weights() {
-    let (corpus, _) = corpus_for(MachineShape::default_shape(), SchedulerPolicy::LeastUtilized);
+    let (corpus, _) = corpus_for(
+        MachineShape::default_shape(),
+        SchedulerPolicy::LeastUtilized,
+    );
     let flare = Flare::fit(corpus, FlareConfig::default()).expect("fit");
     let before_weights = flare.analyzer().cluster_weights(true);
 

@@ -91,10 +91,13 @@ fn custom_testbed_implementations_plug_in() {
     }
 
     let (corpus, _) = small_corpus();
-    let flare = Flare::fit(corpus, FlareConfig {
-        cluster_count: ClusterCountRule::Fixed(6),
-        ..FlareConfig::default()
-    })
+    let flare = Flare::fit(
+        corpus,
+        FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(6),
+            ..FlareConfig::default()
+        },
+    )
     .expect("fit");
     let feature = Feature::paper_feature1();
     let unbiased = flare.evaluate_on(&SimTestbed, &feature).expect("unbiased");

@@ -120,7 +120,10 @@ fn non_finite_metrics_rejected_at_ingestion() {
         observations: 1,
         job_mix: vec![],
     });
-    assert!(result.is_err(), "infinite counter must be rejected at the door");
+    assert!(
+        result.is_err(),
+        "infinite counter must be rejected at the door"
+    );
 }
 
 #[test]
@@ -131,10 +134,13 @@ fn skewed_observation_weights_shift_the_estimate_sanely() {
         tick_minutes: 15.0,
         ..CorpusConfig::default()
     });
-    let flare = Flare::fit(corpus, FlareConfig {
-        cluster_count: ClusterCountRule::Fixed(8),
-        ..FlareConfig::default()
-    })
+    let flare = Flare::fit(
+        corpus,
+        FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(8),
+            ..FlareConfig::default()
+        },
+    )
     .expect("fit");
     let feature = Feature::paper_feature1();
     let base_est = flare.evaluate(&feature).expect("estimate").impact_pct;
@@ -180,7 +186,7 @@ fn refinement_threshold_extremes_behave() {
             },
         )
         .expect("fit at threshold extreme");
-        assert!(flare.analyzer().refined_schema().len() >= 1);
+        assert!(!flare.analyzer().refined_schema().is_empty());
         assert!(flare
             .evaluate(&Feature::paper_feature2())
             .expect("estimate")
