@@ -12,36 +12,23 @@ use flare_core::analyzer::Analyzer;
 use flare_core::estimate::estimate_all_job;
 use flare_core::replayer::SimTestbed;
 use flare_core::FlareConfig;
-use flare_metrics::database::{MetricDatabase, ScenarioRecord};
+use flare_metrics::database::{IngestPolicy, MetricDatabase};
 use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::faults::{FaultInjector, FaultPlan};
 use flare_sim::feature::Feature;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Injects multiplicative Gaussian noise of relative std `sigma` into
-/// every metric value.
+/// every metric value via the shared telemetry fault model (noise channel
+/// only — nothing is dropped or quarantined).
 fn noisy_database(db: &MetricDatabase, sigma: f64, seed: u64) -> MetricDatabase {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = MetricDatabase::new(db.schema().clone());
-    for rec in db.iter() {
-        let metrics = rec
-            .metrics
-            .iter()
-            .map(|&v| {
-                let u1: f64 = rng.gen_range(1e-12..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                (v * (1.0 + sigma * z)).max(0.0)
-            })
-            .collect();
-        out.insert(ScenarioRecord {
-            id: rec.id,
-            metrics,
-            observations: rec.observations,
-            job_mix: rec.job_mix.clone(),
-        })
-        .expect("schema-aligned");
-    }
+    let injector = FaultInjector::new(FaultPlan {
+        seed,
+        noise_rel_std: sigma,
+        ..FaultPlan::default()
+    })
+    .expect("valid noise-only plan");
+    let (out, report) = injector.corrupt_database(db, &IngestPolicy::default());
+    assert!(report.is_clean(), "noise-only plan quarantined records");
     out
 }
 

@@ -1,0 +1,168 @@
+//! Ablation 12: end-to-end telemetry fault injection — how does the full
+//! Profiler→Analyzer→Replayer pipeline degrade when the *collection* side
+//! fails like production telemetry does (dropped samples, stuck sensors,
+//! outlier spikes, lost and duplicated records) while the testbed itself
+//! is flaky?
+//!
+//! Each sweep point corrupts the clean metric database with a composite
+//! fault plan scaled by `rate`, pushes it through quarantine-tolerant
+//! ingestion, fits the hardened Analyzer (median imputation + MAD
+//! winsorization + robust normalization), and estimates every paper
+//! feature on a flaky testbed under the bounded-retry policy. Ground
+//! truth stays clean, so the error column isolates what degraded
+//! telemetry costs the estimate.
+//!
+//! Run with `--smoke` for the two-point CI variant on a small corpus.
+
+use flare_baselines::fulldc::full_datacenter_impact;
+use flare_bench::banner;
+use flare_core::analyzer::Analyzer;
+use flare_core::estimate::{estimate_all_job_with, EstimateOptions};
+use flare_core::replayer::{FlakyTestbed, RetryPolicy, SimTestbed};
+use flare_core::{ClusterCountRule, FlareConfig};
+use flare_metrics::database::IngestPolicy;
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::faults::{FaultInjector, FaultPlan};
+use flare_sim::feature::Feature;
+
+/// The composite fault plan of one sweep point: dropout dominates, the
+/// record-level and spike channels ride along at a fraction of the rate.
+fn plan_for(rate: f64, seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        sample_dropout: rate,
+        stuck_sensor: rate * 0.2,
+        outlier_spike: rate * 0.1,
+        record_loss: rate * 0.1,
+        record_duplication: rate * 0.1,
+        ..FaultPlan::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "Ablation: end-to-end robustness under injected telemetry faults",
+        "fault model + degraded-data hardening (dropout / stuck / spikes / loss / dups)",
+    );
+
+    let corpus_cfg = if smoke {
+        CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        }
+    } else {
+        CorpusConfig::default()
+    };
+    let corpus = Corpus::generate(&corpus_cfg);
+    let baseline = corpus_cfg.machine_config.clone();
+    let clean_db = corpus.to_metric_database(&baseline);
+    let config = FlareConfig {
+        cluster_count: if smoke {
+            ClusterCountRule::Fixed(8)
+        } else {
+            FlareConfig::default().cluster_count
+        },
+        robust_normalization: true,
+        winsorize_mad: Some(8.0),
+        ..FlareConfig::default()
+    };
+    let features = Feature::paper_features();
+    let truths: Vec<f64> = features
+        .iter()
+        .map(|f| {
+            let fc = f.apply(&baseline);
+            full_datacenter_impact(&corpus, &SimTestbed, &baseline, &fc, true).impact_pct
+        })
+        .collect();
+
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.10]
+    } else {
+        &[0.0, 0.05, 0.10, 0.20, 0.35, 0.50]
+    };
+    println!(
+        "\n  {:>5} | {:>6} {:>7} {:>7} {:>7} | {:>8} {:>9}",
+        "rate", "quar", "missing", "imputed", "winsor", "coverage", "mean |err|"
+    );
+    for &rate in rates {
+        let (db, ingest) = if rate == 0.0 {
+            (clean_db.clone(), Default::default())
+        } else {
+            let injector = FaultInjector::new(plan_for(rate, 0xFA017)).expect("valid plan");
+            injector.corrupt_database(&clean_db, &IngestPolicy::default())
+        };
+        let analyzer = Analyzer::fit(&db, &config).expect("fit survives corrupted telemetry");
+        let repair = analyzer.repair_report();
+
+        // The replay side fails too: transient faults at 30% of the rate
+        // (beatable by retry), permanent at 5% (cluster fallback/drop).
+        let testbed = FlakyTestbed::new(
+            SimTestbed,
+            rate * 0.3,
+            rate * 0.05,
+            0xFA017 ^ (rate * 1000.0) as u64,
+        );
+        let options = EstimateOptions {
+            weight_by_observations: true,
+            retry: RetryPolicy {
+                max_retries: 4,
+                ..RetryPolicy::default()
+            },
+            min_coverage: 0.25,
+        };
+        let mut errs = Vec::new();
+        let mut min_coverage_seen = 1.0f64;
+        let mut failures = 0usize;
+        for (feature, &truth) in features.iter().zip(&truths) {
+            let fc = feature.apply(&baseline);
+            match estimate_all_job_with(&corpus, &analyzer, &testbed, &baseline, &fc, &options) {
+                Ok(est) => {
+                    assert!(est.impact_pct.is_finite(), "non-finite estimate at {rate}");
+                    errs.push((est.impact_pct - truth).abs());
+                    min_coverage_seen = min_coverage_seen.min(est.coverage);
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("  rate {rate}: {feature}: {e}");
+                }
+            }
+        }
+        let mean_err = if errs.is_empty() {
+            f64::NAN
+        } else {
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        println!(
+            "  {:>4.0}% | {:>6} {:>7} {:>7} {:>7} | {:>8.2} {:>9.2}{}",
+            rate * 100.0,
+            ingest.quarantined_count(),
+            ingest.missing_cells,
+            repair.imputed_cells,
+            repair.winsorized_cells,
+            min_coverage_seen,
+            mean_err,
+            if failures > 0 {
+                format!("  ({failures} feature(s) below coverage floor)")
+            } else {
+                String::new()
+            }
+        );
+        if rate == 0.0 {
+            // Winsorization may legitimately clamp genuine heavy tails of
+            // a clean corpus, but nothing should be quarantined or imputed.
+            assert!(
+                ingest.is_clean() && repair.imputed_cells == 0,
+                "clean sweep point must need no quarantine or imputation"
+            );
+        }
+    }
+    println!(
+        "\ntakeaway: quarantine-tolerant ingestion plus median/MAD repair keep the\n\
+         estimate finite and close to truth through ~10-20% composite fault rates;\n\
+         past that the coverage floor starts refusing estimates instead of letting\n\
+         them silently drift."
+    );
+}

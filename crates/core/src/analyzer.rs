@@ -10,14 +10,16 @@
 //!    and pick each group's nearest-to-centroid scenario (§4.4, Fig. 9/10).
 
 use crate::config::{ClusterCountRule, ClusterMethod, FlareConfig};
+use crate::diagnostics::RepairReport;
 use crate::error::{FlareError, Result};
 use flare_cluster::hierarchical::agglomerative;
 use flare_cluster::kmeans::{kmeans, KMeansResult};
 use flare_cluster::sweep::{sweep_hierarchical, sweep_kmeans, SweepResult};
 use flare_linalg::pca::Pca;
+use flare_linalg::stats::robust_scale;
 use flare_linalg::Matrix;
 use flare_metrics::correlation::{apply_refinement, refine, RefinementReport};
-use flare_metrics::database::{MetricDatabase, ScenarioId};
+use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
 use flare_metrics::schema::MetricSchema;
 
 /// A fitted Analyzer: the full state of FLARE steps 1–3.
@@ -33,6 +35,72 @@ pub struct Analyzer {
     clustering: KMeansResult,
     ranked_members: Vec<Vec<usize>>,
     sweep: Option<SweepResult>,
+    repair: RepairReport,
+}
+
+/// Repairs a degraded metric database before refinement: missing samples
+/// (NaN markers left by quarantine-tolerant ingestion) are filled with
+/// the column median over the finite samples, and — when `winsorize_mad`
+/// is `Some(k)` — finite outliers are clamped to the
+/// `median ± k·MAD·1.4826` band. Returns `None` when nothing needed
+/// repair so the clean path reuses the input database untouched.
+fn repair_database(
+    db: &MetricDatabase,
+    winsorize_mad: Option<f64>,
+) -> Result<(Option<MetricDatabase>, RepairReport)> {
+    use flare_linalg::stats::{mad, median, MAD_TO_SIGMA};
+    let d = db.schema().len();
+    let mut report = RepairReport {
+        records: db.len(),
+        ..RepairReport::default()
+    };
+    let mut fill = vec![0.0; d];
+    let mut band: Vec<Option<(f64, f64)>> = vec![None; d];
+    for j in 0..d {
+        let finite: Vec<f64> = db
+            .iter()
+            .map(|r| r.metrics[j])
+            .filter(|v| v.is_finite())
+            .collect();
+        if finite.is_empty() {
+            // No in-band value exists to borrow; 0.0 keeps the column
+            // constant so normalization neutralizes it.
+            report.dead_columns.push(j);
+            continue;
+        }
+        let m = median(&finite)?;
+        fill[j] = m;
+        if let Some(k) = winsorize_mad {
+            let spread = mad(&finite)? * MAD_TO_SIGMA;
+            if spread > f64::EPSILON {
+                band[j] = Some((m - k * spread, m + k * spread));
+            }
+        }
+    }
+    let mut records: Vec<ScenarioRecord> = Vec::with_capacity(db.len());
+    for rec in db.iter() {
+        let mut rec = rec.clone();
+        for (j, v) in rec.metrics.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = fill[j];
+                report.imputed_cells += 1;
+            } else if let Some((lo, hi)) = band[j] {
+                if *v < lo || *v > hi {
+                    *v = v.clamp(lo, hi);
+                    report.winsorized_cells += 1;
+                }
+            }
+        }
+        records.push(rec);
+    }
+    if report.is_clean() {
+        return Ok((None, report));
+    }
+    let mut repaired = MetricDatabase::new(db.schema().clone());
+    for rec in records {
+        repaired.insert(rec)?;
+    }
+    Ok((Some(repaired), report))
 }
 
 impl Analyzer {
@@ -52,6 +120,18 @@ impl Analyzer {
                 db.len()
             )));
         }
+
+        // Step 1a: repair. Degraded telemetry (NaN missing-sample markers,
+        // outlier spikes) is healed before any statistics are computed;
+        // a clean database passes through untouched.
+        let repaired_owned;
+        let (db, repair) = match repair_database(db, config.winsorize_mad)? {
+            (Some(repaired), report) => {
+                repaired_owned = repaired;
+                (&repaired_owned, report)
+            }
+            (None, report) => (db, report),
+        };
 
         // §5.3 per-job mix columns participate only when augmentation is
         // requested; otherwise they're stripped before refinement so the
@@ -73,9 +153,15 @@ impl Analyzer {
         let refinement = refine(db, config.correlation_threshold)?;
         let refined = apply_refinement(db, &refinement)?;
 
-        // Step 2: high-level metric construction.
+        // Step 2: high-level metric construction. Robust normalization
+        // swaps the mean/std z-score for median/MAD so residual spikes
+        // cannot dominate the column variances the PCA sees.
         let data = refined.to_matrix()?;
-        let pca = Pca::fit(&data)?;
+        let pca = if config.robust_normalization {
+            Pca::fit_with(&data, robust_scale(&data)?)?
+        } else {
+            Pca::fit(&data)?
+        };
         let n_pcs = pca.components_for_variance(config.variance_threshold)?;
         let projected = pca.transform_whitened(&data, n_pcs)?;
 
@@ -138,12 +224,19 @@ impl Analyzer {
             clustering,
             ranked_members,
             sweep,
+            repair,
         })
     }
 
     /// The refinement report (which metrics were pruned and why).
     pub fn refinement(&self) -> &RefinementReport {
         &self.refinement
+    }
+
+    /// What the telemetry repair stage did to the database before
+    /// refinement (all-zero for a clean database).
+    pub fn repair_report(&self) -> &RepairReport {
+        &self.repair
     }
 
     /// The post-refinement metric schema the PCA operates on.
@@ -342,6 +435,11 @@ pub struct AnalyzerSnapshot {
     pub ranked_members: Vec<Vec<usize>>,
     /// Sweep curves, if a sweep ran.
     pub sweep: Option<SweepResult>,
+    /// What the telemetry repair stage did at fit time (defaults to the
+    /// all-zero clean report when absent, so pre-existing snapshot files
+    /// keep loading).
+    #[serde(default)]
+    pub repair: RepairReport,
 }
 
 impl Analyzer {
@@ -358,6 +456,7 @@ impl Analyzer {
             clustering: self.clustering.clone(),
             ranked_members: self.ranked_members.clone(),
             sweep: self.sweep.clone(),
+            repair: self.repair.clone(),
         }
     }
 
@@ -398,6 +497,7 @@ impl Analyzer {
             clustering: snapshot.clustering,
             ranked_members: snapshot.ranked_members,
             sweep: snapshot.sweep,
+            repair: snapshot.repair,
         })
     }
 }
@@ -648,5 +748,87 @@ mod tests {
         let db = planted_db(5);
         let a = Analyzer::fit(&db, &fixed_config(3)).unwrap();
         assert!(a.cluster_of(ScenarioId(9999)).is_none());
+    }
+
+    /// A degraded copy of `db` with the given cells replaced by NaN,
+    /// rebuilt through the tolerant ingestion path.
+    fn degrade(db: &MetricDatabase, holes: &[(usize, usize)]) -> MetricDatabase {
+        use flare_metrics::database::IngestPolicy;
+        let mut records: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        for &(row, col) in holes {
+            records[row].metrics[col] = f64::NAN;
+        }
+        let mut degraded = MetricDatabase::new(db.schema().clone());
+        let report = degraded.ingest(records, &IngestPolicy::default());
+        assert_eq!(report.missing_cells, holes.len());
+        degraded
+    }
+
+    #[test]
+    fn repair_imputes_missing_cells_and_reports() {
+        let clean = planted_db(10);
+        let degraded = degrade(&clean, &[(0, 3), (7, 10), (15, 3)]);
+        let a = Analyzer::fit(&degraded, &fixed_config(3)).unwrap();
+        assert_eq!(a.repair_report().imputed_cells, 3);
+        assert_eq!(a.repair_report().records, 30);
+        assert!(!a.repair_report().is_clean());
+        // The imputed fit still recovers the planted structure.
+        assert_eq!(a.representatives().len(), 3);
+        // A clean database reports a clean (all-zero) repair.
+        let a = Analyzer::fit(&clean, &fixed_config(3)).unwrap();
+        assert!(a.repair_report().is_clean());
+        assert_eq!(a.repair_report().repaired_cells(), 0);
+    }
+
+    #[test]
+    fn winsorization_clamps_spikes() {
+        let clean = planted_db(10);
+        // Spike one cell by 1000x; without winsorization it passes through.
+        let mut records: Vec<ScenarioRecord> = clean.iter().cloned().collect();
+        records[5].metrics[2] *= 1000.0;
+        let mut spiked = MetricDatabase::new(clean.schema().clone());
+        for r in records {
+            spiked.insert(r).unwrap();
+        }
+        let cfg = FlareConfig {
+            winsorize_mad: Some(8.0),
+            ..fixed_config(3)
+        };
+        let a = Analyzer::fit(&spiked, &cfg).unwrap();
+        assert!(
+            a.repair_report().winsorized_cells >= 1,
+            "spike not clamped: {:?}",
+            a.repair_report()
+        );
+        // Without the knob the repair stage leaves the spike alone.
+        let a = Analyzer::fit(&spiked, &fixed_config(3)).unwrap();
+        assert_eq!(a.repair_report().winsorized_cells, 0);
+    }
+
+    #[test]
+    fn robust_normalization_still_recovers_planted_groups() {
+        let db = planted_db(10);
+        let cfg = FlareConfig {
+            robust_normalization: true,
+            ..fixed_config(3)
+        };
+        let a = Analyzer::fit(&db, &cfg).unwrap();
+        assert_eq!(a.n_clusters(), 3);
+        for g in 0..3 {
+            let rows: Vec<usize> = (g * 10..(g + 1) * 10).collect();
+            let first = a.clustering().assignments[rows[0]];
+            assert!(rows.iter().all(|&r| a.clustering().assignments[r] == first));
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_repair_report() {
+        let clean = planted_db(8);
+        let degraded = degrade(&clean, &[(1, 1)]);
+        let a = Analyzer::fit(&degraded, &fixed_config(3)).unwrap();
+        let snap = a.to_snapshot();
+        assert_eq!(snap.repair, *a.repair_report());
+        let restored = Analyzer::from_snapshot(snap).unwrap();
+        assert_eq!(restored.repair_report(), a.repair_report());
     }
 }

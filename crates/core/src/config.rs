@@ -1,5 +1,6 @@
 //! Configuration of the FLARE pipeline.
 
+use crate::replayer::RetryPolicy;
 use flare_cluster::hierarchical::Linkage;
 use flare_cluster::kmeans::KMeansConfig;
 use serde::{Deserialize, Serialize};
@@ -84,6 +85,30 @@ pub struct FlareConfig {
     /// setting produces byte-identical results.
     #[serde(default)]
     pub threads: Option<usize>,
+    /// Normalize with per-column median and MAD instead of mean and
+    /// standard deviation before PCA. Robust to the outlier spikes a
+    /// faulty telemetry pipeline injects; off by default so the clean
+    /// path matches the paper's z-score exactly.
+    #[serde(default)]
+    pub robust_normalization: bool,
+    /// When set, the Analyzer's repair stage winsorizes each metric
+    /// column to `median ± k·MAD(σ-scaled)` with this `k` before
+    /// normalization. `None` (default) leaves values untouched.
+    #[serde(default)]
+    pub winsorize_mad: Option<f64>,
+    /// Retry policy for fallible testbed runs during estimation.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+    /// Minimum share of cluster weight that must yield a measurement for
+    /// an estimate to be reported; below this floor the estimator returns
+    /// [`crate::error::FlareError::ReplayFailed`] instead of silently
+    /// extrapolating from the surviving clusters.
+    #[serde(default = "default_min_replay_coverage")]
+    pub min_replay_coverage: f64,
+}
+
+fn default_min_replay_coverage() -> f64 {
+    0.5
 }
 
 impl Default for FlareConfig {
@@ -99,6 +124,10 @@ impl Default for FlareConfig {
             per_job_augmentation: false,
             temporal_phases: None,
             threads: None,
+            robust_normalization: false,
+            winsorize_mad: None,
+            retry: RetryPolicy::default(),
+            min_replay_coverage: default_min_replay_coverage(),
         }
     }
 }
@@ -127,6 +156,19 @@ impl FlareConfig {
         }
         if self.threads == Some(0) {
             return Err("threads must be >= 1 when set (use None for automatic)".into());
+        }
+        if let Some(k) = self.winsorize_mad {
+            if !(k.is_finite() && k > 0.0) {
+                return Err(format!("winsorize_mad {k} must be finite and > 0"));
+            }
+        }
+        if !(self.min_replay_coverage.is_finite()
+            && (0.0..=1.0).contains(&self.min_replay_coverage))
+        {
+            return Err(format!(
+                "min_replay_coverage {} outside [0, 1]",
+                self.min_replay_coverage
+            ));
         }
         match &self.cluster_count {
             ClusterCountRule::Fixed(k) if *k == 0 => {
@@ -209,5 +251,40 @@ mod tests {
         assert!(c.validate().is_err());
         c.threads = Some(4);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn robustness_knobs_default_off_and_validate() {
+        let c = FlareConfig::default();
+        assert!(!c.robust_normalization);
+        assert_eq!(c.winsorize_mad, None);
+        assert_eq!(c.min_replay_coverage, 0.5);
+
+        let c = FlareConfig {
+            winsorize_mad: Some(0.0),
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = FlareConfig {
+            winsorize_mad: Some(f64::NAN),
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = FlareConfig {
+            winsorize_mad: Some(3.0),
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_ok());
+
+        let c = FlareConfig {
+            min_replay_coverage: 1.5,
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = FlareConfig {
+            min_replay_coverage: -0.1,
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 }

@@ -19,6 +19,35 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// What the Analyzer's repair stage did to a degraded metric database
+/// before normalization and PCA. All-zero (the default) on a clean
+/// database — the repair stage is then a no-op and the pipeline's output
+/// is byte-identical to the unrepaired path.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Scenario records the repair stage inspected.
+    pub records: usize,
+    /// Missing samples (NaN cells) filled with the column median.
+    pub imputed_cells: usize,
+    /// Outlier cells clamped to the `median ± k·MAD` band.
+    pub winsorized_cells: usize,
+    /// Columns with no finite sample at all — imputed with 0 and flagged,
+    /// since no in-band value exists to borrow.
+    pub dead_columns: Vec<usize>,
+}
+
+impl RepairReport {
+    /// `true` when the database needed no repair at all.
+    pub fn is_clean(&self) -> bool {
+        self.imputed_cells == 0 && self.winsorized_cells == 0 && self.dead_columns.is_empty()
+    }
+
+    /// Total cells the repair stage rewrote.
+    pub fn repaired_cells(&self) -> usize {
+        self.imputed_cells + self.winsorized_cells
+    }
+}
+
 /// Dispersion measurement of one cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterDispersion {

@@ -21,6 +21,18 @@ pub enum FlareError {
         /// The corpus scenario missing from the metric database.
         scenario_id: flare_metrics::database::ScenarioId,
     },
+    /// Too much of the cluster weight failed to replay: the surviving
+    /// measurements cover less of the corpus than the configured floor,
+    /// so an estimate would silently extrapolate from an unrepresentative
+    /// remainder.
+    ReplayFailed {
+        /// Share of cluster weight that produced a measurement.
+        coverage: f64,
+        /// The configured `min_replay_coverage` floor.
+        floor: f64,
+        /// Clusters whose every candidate scenario failed permanently.
+        failed_clusters: Vec<usize>,
+    },
     /// Linear-algebra failure (PCA, normalization).
     Linalg(flare_linalg::LinalgError),
     /// Clustering failure.
@@ -42,6 +54,20 @@ impl fmt::Display for FlareError {
                     f,
                     "corpus scenario {scenario_id} has no record in the metric database; \
                      the corpus and the fitted model have diverged"
+                )
+            }
+            FlareError::ReplayFailed {
+                coverage,
+                floor,
+                failed_clusters,
+            } => {
+                write!(
+                    f,
+                    "replay coverage {:.1}% below the {:.1}% floor ({} cluster(s) failed: {:?})",
+                    coverage * 100.0,
+                    floor * 100.0,
+                    failed_clusters.len(),
+                    failed_clusters
                 )
             }
             FlareError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
@@ -95,6 +121,11 @@ mod tests {
             FlareError::JobNotObserved("DC".into()),
             FlareError::CorpusDatabaseMismatch {
                 scenario_id: flare_metrics::database::ScenarioId(7),
+            },
+            FlareError::ReplayFailed {
+                coverage: 0.25,
+                floor: 0.5,
+                failed_clusters: vec![1, 4],
             },
             FlareError::Linalg(flare_linalg::LinalgError::Empty("z".into())),
         ];

@@ -3,12 +3,47 @@
 
 use crate::analyzer::Analyzer;
 use crate::error::{FlareError, Result};
-use crate::replayer::{replay_impact, replay_job_impact, Testbed};
+use crate::replayer::{try_replay_impact, try_replay_job_impact, RetryPolicy, Testbed};
 use flare_metrics::database::ScenarioId;
 use flare_sim::datacenter::Corpus;
 use flare_sim::machine::MachineConfig;
 use flare_workloads::job::JobName;
 use serde::{Deserialize, Serialize};
+
+/// Knobs of the estimators: cluster weighting, the retry policy for
+/// fallible testbeds, and the coverage floor below which an estimate is
+/// refused rather than silently extrapolated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimateOptions {
+    /// Weight clusters by summed observation counts (the paper's default)
+    /// or by scenario counts.
+    pub weight_by_observations: bool,
+    /// Retry policy applied to every testbed run.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+    /// Minimum share of replayable cluster weight that must produce a
+    /// measurement; see [`FlareError::ReplayFailed`].
+    #[serde(default = "default_min_coverage")]
+    pub min_coverage: f64,
+}
+
+fn default_min_coverage() -> f64 {
+    0.5
+}
+
+impl Default for EstimateOptions {
+    fn default() -> Self {
+        EstimateOptions {
+            weight_by_observations: true,
+            retry: RetryPolicy::default(),
+            min_coverage: 0.5,
+        }
+    }
+}
+
+fn default_coverage() -> f64 {
+    1.0
+}
 
 /// Impact measured on one cluster's representative (a bar of Fig. 11).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +72,14 @@ pub struct AllJobEstimate {
     /// Number of distinct scenario replays the estimate cost (the
     /// evaluation-overhead unit of Fig. 13).
     pub replay_count: usize,
+    /// Share of replayable cluster weight that produced a measurement
+    /// (1.0 when no cluster failed permanently).
+    #[serde(default = "default_coverage")]
+    pub coverage: f64,
+    /// Clusters dropped because every candidate scenario failed even
+    /// after retries; their weight was renormalized away.
+    #[serde(default)]
+    pub dropped_clusters: Vec<usize>,
 }
 
 /// A per-job estimate (Fig. 12b).
@@ -49,6 +92,13 @@ pub struct PerJobEstimate {
     /// Per-cluster breakdown (clusters whose population lacks the job are
     /// absent).
     pub clusters: Vec<ClusterImpact>,
+    /// Share of job-bearing cluster weight that produced a measurement.
+    #[serde(default = "default_coverage")]
+    pub coverage: f64,
+    /// Job-bearing clusters dropped because every candidate scenario
+    /// failed even after retries.
+    #[serde(default)]
+    pub dropped_clusters: Vec<usize>,
 }
 
 /// Estimates a feature's overall impact on HP jobs from the representative
@@ -71,13 +121,48 @@ pub fn estimate_all_job<T: Testbed>(
     feature_config: &MachineConfig,
     weight_by_observations: bool,
 ) -> Result<AllJobEstimate> {
-    let weights = analyzer.cluster_weights(weight_by_observations);
+    estimate_all_job_with(
+        corpus,
+        analyzer,
+        testbed,
+        baseline,
+        feature_config,
+        &EstimateOptions {
+            weight_by_observations,
+            ..EstimateOptions::default()
+        },
+    )
+}
+
+/// [`estimate_all_job`] with explicit [`EstimateOptions`]: fallible
+/// testbed runs are retried per the policy; a cluster whose every
+/// candidate fails permanently is dropped and its weight renormalized
+/// away, unless the surviving coverage falls below the floor.
+///
+/// # Errors
+///
+/// - [`FlareError::ReplayFailed`] if permanently-failed clusters push
+///   measurement coverage below `options.min_coverage`.
+/// - [`FlareError::InsufficientData`] if no cluster yields a usable
+///   measurement for reasons other than replay failure.
+pub fn estimate_all_job_with<T: Testbed>(
+    corpus: &Corpus,
+    analyzer: &Analyzer,
+    testbed: &T,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    options: &EstimateOptions,
+) -> Result<AllJobEstimate> {
+    let weights = analyzer.cluster_weights(options.weight_by_observations);
     let mut clusters = Vec::new();
     let mut replay_count = 0usize;
+    let mut failed_clusters = Vec::new();
+    let mut failed_weight = 0.0;
 
     for (c, &weight) in weights.iter().enumerate() {
         let ranked = analyzer.ranked(c);
         let mut found = None;
+        let mut had_error = false;
         for (depth, id) in ranked.iter().enumerate() {
             let entry = corpus
                 .get(*id)
@@ -86,11 +171,23 @@ pub fn estimate_all_job<T: Testbed>(
                 continue;
             }
             replay_count += 1;
-            if let Some(impact) = replay_impact(testbed, &entry.scenario, baseline, feature_config)
-            {
-                found = Some((depth, *id, impact));
+            match try_replay_impact(
+                testbed,
+                &entry.scenario,
+                baseline,
+                feature_config,
+                &options.retry,
+            ) {
+                Ok(Some(impact)) => {
+                    found = Some((depth, *id, impact));
+                    break;
+                }
+                // An HP scenario that measures nothing ends the walk, as
+                // on the infallible path.
+                Ok(None) => break,
+                // A permanent failure degrades to the next-ranked member.
+                Err(_) => had_error = true,
             }
-            break;
         }
         if let Some((depth, id, impact)) = found {
             clusters.push(ClusterImpact {
@@ -100,16 +197,38 @@ pub fn estimate_all_job<T: Testbed>(
                 weight,
                 impact_pct: impact,
             });
+        } else if had_error {
+            failed_clusters.push(c);
+            failed_weight += weight;
         }
     }
 
     if clusters.is_empty() {
+        if !failed_clusters.is_empty() {
+            return Err(FlareError::ReplayFailed {
+                coverage: 0.0,
+                floor: options.min_coverage,
+                failed_clusters,
+            });
+        }
         return Err(FlareError::InsufficientData(
             "no cluster produced an HP measurement".into(),
         ));
     }
-    // Renormalize over contributing clusters.
+    // Coverage: contributing weight over the weight that *should* have
+    // been measurable (clusters skipped for lack of HP jobs don't count
+    // against it — they're unmeasurable on any testbed).
     let total_w: f64 = clusters.iter().map(|c| c.weight).sum();
+    let denom = total_w + failed_weight;
+    let coverage = if denom > 0.0 { total_w / denom } else { 1.0 };
+    if coverage < options.min_coverage {
+        return Err(FlareError::ReplayFailed {
+            coverage,
+            floor: options.min_coverage,
+            failed_clusters,
+        });
+    }
+    // Renormalize over contributing clusters.
     let impact_pct = if total_w > 0.0 {
         clusters
             .iter()
@@ -123,6 +242,8 @@ pub fn estimate_all_job<T: Testbed>(
         impact_pct,
         clusters,
         replay_count,
+        coverage,
+        dropped_clusters: failed_clusters,
     })
 }
 
@@ -144,7 +265,41 @@ pub fn estimate_per_job<T: Testbed>(
     feature_config: &MachineConfig,
     weight_by_observations: bool,
 ) -> Result<PerJobEstimate> {
+    estimate_per_job_with(
+        corpus,
+        analyzer,
+        testbed,
+        job,
+        baseline,
+        feature_config,
+        &EstimateOptions {
+            weight_by_observations,
+            ..EstimateOptions::default()
+        },
+    )
+}
+
+/// [`estimate_per_job`] with explicit [`EstimateOptions`]; degradation
+/// semantics match [`estimate_all_job_with`].
+///
+/// # Errors
+///
+/// - [`FlareError::ReplayFailed`] if permanently-failed clusters push
+///   measurement coverage below `options.min_coverage`.
+/// - [`FlareError::JobNotObserved`] if no clustered scenario contains the
+///   job (and no cluster failed).
+pub fn estimate_per_job_with<T: Testbed>(
+    corpus: &Corpus,
+    analyzer: &Analyzer,
+    testbed: &T,
+    job: JobName,
+    baseline: &MachineConfig,
+    feature_config: &MachineConfig,
+    options: &EstimateOptions,
+) -> Result<PerJobEstimate> {
     let mut clusters = Vec::new();
+    let mut failed_clusters = Vec::new();
+    let mut failed_weight = 0.0;
 
     for c in 0..analyzer.n_clusters() {
         let ranked = analyzer.ranked(c);
@@ -153,7 +308,7 @@ pub fn estimate_per_job<T: Testbed>(
         let mut job_instances = 0.0;
         for id in &ranked {
             if let Some(e) = corpus.get(*id) {
-                let mult = if weight_by_observations {
+                let mult = if options.weight_by_observations {
                     e.observations as f64
                 } else {
                     1.0
@@ -164,6 +319,8 @@ pub fn estimate_per_job<T: Testbed>(
         if job_instances <= 0.0 {
             continue;
         }
+        let mut found = None;
+        let mut had_error = false;
         for (depth, id) in ranked.iter().enumerate() {
             let entry = match corpus.get(*id) {
                 Some(e) => e,
@@ -172,25 +329,56 @@ pub fn estimate_per_job<T: Testbed>(
             if !entry.scenario.has_job(job) {
                 continue;
             }
-            if let Some(impact) =
-                replay_job_impact(testbed, &entry.scenario, job, baseline, feature_config)
-            {
-                clusters.push(ClusterImpact {
-                    cluster: c,
-                    scenario: *id,
-                    fallback_depth: depth,
-                    weight: job_instances,
-                    impact_pct: impact,
-                });
+            match try_replay_job_impact(
+                testbed,
+                &entry.scenario,
+                job,
+                baseline,
+                feature_config,
+                &options.retry,
+            ) {
+                Ok(Some(impact)) => {
+                    found = Some((depth, *id, impact));
+                    break;
+                }
+                Ok(None) => break,
+                Err(_) => had_error = true,
             }
-            break;
+        }
+        if let Some((depth, id, impact)) = found {
+            clusters.push(ClusterImpact {
+                cluster: c,
+                scenario: id,
+                fallback_depth: depth,
+                weight: job_instances,
+                impact_pct: impact,
+            });
+        } else if had_error {
+            failed_clusters.push(c);
+            failed_weight += job_instances;
         }
     }
 
     if clusters.is_empty() {
+        if !failed_clusters.is_empty() {
+            return Err(FlareError::ReplayFailed {
+                coverage: 0.0,
+                floor: options.min_coverage,
+                failed_clusters,
+            });
+        }
         return Err(FlareError::JobNotObserved(job.abbrev().to_string()));
     }
     let total_w: f64 = clusters.iter().map(|c| c.weight).sum();
+    let denom = total_w + failed_weight;
+    let coverage = if denom > 0.0 { total_w / denom } else { 1.0 };
+    if coverage < options.min_coverage {
+        return Err(FlareError::ReplayFailed {
+            coverage,
+            floor: options.min_coverage,
+            failed_clusters,
+        });
+    }
     let impact_pct = clusters
         .iter()
         .map(|c| c.weight * c.impact_pct)
@@ -208,6 +396,8 @@ pub fn estimate_per_job<T: Testbed>(
         job,
         impact_pct,
         clusters,
+        coverage,
+        dropped_clusters: failed_clusters,
     })
 }
 
@@ -216,9 +406,10 @@ mod tests {
     use super::*;
     use crate::analyzer::Analyzer;
     use crate::config::{ClusterCountRule, FlareConfig};
-    use crate::replayer::SimTestbed;
+    use crate::replayer::{scenario_key, FlakyTestbed, Measurement, ReplayError, SimTestbed};
     use flare_sim::datacenter::{Corpus, CorpusConfig};
     use flare_sim::feature::Feature;
+    use flare_sim::scenario::Scenario;
 
     fn small_setup() -> (Corpus, Analyzer, MachineConfig) {
         let cfg = CorpusConfig {
@@ -303,6 +494,161 @@ mod tests {
         for c in &est.clusters {
             assert!(c.fallback_depth < analyzer.ranked(c.cluster).len());
         }
+    }
+
+    /// Denies (fails permanently) every scenario in a fixed key set.
+    struct DenyList {
+        deny: std::collections::HashSet<u64>,
+    }
+
+    impl Testbed for DenyList {
+        fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
+            SimTestbed.run(scenario, config)
+        }
+
+        fn try_run(
+            &self,
+            scenario: &Scenario,
+            config: &MachineConfig,
+        ) -> std::result::Result<Measurement, ReplayError> {
+            if self.deny.contains(&scenario_key(scenario)) {
+                return Err(ReplayError {
+                    attempts: 1,
+                    reason: "denied".into(),
+                });
+            }
+            Ok(self.run(scenario, config))
+        }
+    }
+
+    #[test]
+    fn failed_cluster_is_dropped_and_coverage_reported() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let clean =
+            estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &f2, true).unwrap();
+        assert_eq!(clean.coverage, 1.0);
+        assert!(clean.dropped_clusters.is_empty());
+
+        // Deny every scenario of one contributing cluster: it must drop,
+        // its weight must leave the aggregate, and coverage must say so.
+        let c0 = clean.clusters[0].cluster;
+        let deny = analyzer
+            .ranked(c0)
+            .iter()
+            .filter_map(|id| corpus.get(*id))
+            .map(|e| scenario_key(&e.scenario))
+            .collect();
+        let opts = EstimateOptions {
+            min_coverage: 0.0,
+            ..EstimateOptions::default()
+        };
+        let est = estimate_all_job_with(
+            &corpus,
+            &analyzer,
+            &DenyList { deny },
+            &baseline,
+            &f2,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(est.dropped_clusters, vec![c0]);
+        assert!(est.coverage < 1.0);
+        assert!(est.impact_pct.is_finite());
+        assert!(est.clusters.iter().all(|c| c.cluster != c0));
+    }
+
+    #[test]
+    fn coverage_floor_turns_degradation_into_an_error() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let clean =
+            estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &f2, true).unwrap();
+        let c0 = clean.clusters[0].cluster;
+        let deny = analyzer
+            .ranked(c0)
+            .iter()
+            .filter_map(|id| corpus.get(*id))
+            .map(|e| scenario_key(&e.scenario))
+            .collect();
+        let opts = EstimateOptions {
+            min_coverage: 1.0,
+            ..EstimateOptions::default()
+        };
+        let err = estimate_all_job_with(
+            &corpus,
+            &analyzer,
+            &DenyList { deny },
+            &baseline,
+            &f2,
+            &opts,
+        )
+        .unwrap_err();
+        match err {
+            FlareError::ReplayFailed {
+                coverage,
+                floor,
+                failed_clusters,
+            } => {
+                assert!(coverage < 1.0);
+                assert_eq!(floor, 1.0);
+                assert_eq!(failed_clusters, vec![c0]);
+            }
+            other => panic!("expected ReplayFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn total_replay_failure_is_a_typed_error() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let flaky = FlakyTestbed::new(SimTestbed, 0.0, 1.0, 3);
+        let err = estimate_all_job_with(
+            &corpus,
+            &analyzer,
+            &flaky,
+            &baseline,
+            &f2,
+            &EstimateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            FlareError::ReplayFailed { coverage, .. } if coverage == 0.0
+        ));
+        let err = estimate_per_job_with(
+            &corpus,
+            &analyzer,
+            &flaky,
+            JobName::WebSearch,
+            &baseline,
+            &f2,
+            &EstimateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlareError::ReplayFailed { .. }));
+    }
+
+    #[test]
+    fn transient_failures_are_invisible_given_retries() {
+        let (corpus, analyzer, baseline) = small_setup();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let clean =
+            estimate_all_job(&corpus, &analyzer, &SimTestbed, &baseline, &f2, true).unwrap();
+        let flaky = FlakyTestbed::new(SimTestbed, 0.4, 0.0, 17);
+        let opts = EstimateOptions {
+            retry: RetryPolicy {
+                max_retries: 16,
+                ..RetryPolicy::default()
+            },
+            min_coverage: 0.0,
+            ..EstimateOptions::default()
+        };
+        let est = estimate_all_job_with(&corpus, &analyzer, &flaky, &baseline, &f2, &opts).unwrap();
+        // A generous retry budget beats every transient fault, so the
+        // estimate matches the clean testbed exactly.
+        assert_eq!(est.impact_pct, clean.impact_pct);
+        assert_eq!(est.coverage, 1.0);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::analyzer::Analyzer;
 use crate::config::FlareConfig;
 use crate::error::Result;
-use crate::estimate::{estimate_all_job, estimate_per_job, AllJobEstimate, PerJobEstimate};
+use crate::estimate::{
+    estimate_all_job_with, estimate_per_job_with, AllJobEstimate, EstimateOptions, PerJobEstimate,
+};
 use crate::replayer::{SimTestbed, Testbed};
 use flare_metrics::database::{MetricDatabase, ScenarioRecord};
 use flare_sim::datacenter::{Corpus, CorpusEntry};
@@ -37,9 +39,9 @@ impl Flare {
             .map_err(crate::FlareError::InvalidParameter)?;
         let baseline = corpus.config().machine_config.clone();
         let database = match config.temporal_phases {
-            Some(phases) => {
-                corpus.to_metric_database_enriched_threaded(&baseline, phases, config.threads)
-            }
+            Some(phases) => corpus
+                .to_metric_database_enriched_threaded(&baseline, phases, config.threads)
+                .map_err(crate::FlareError::InvalidParameter)?,
             None => corpus.to_metric_database_threaded(&baseline, config.threads),
         };
         let analyzer = Analyzer::fit(&database, &config)?;
@@ -104,14 +106,24 @@ impl Flare {
         feature: &Feature,
     ) -> Result<AllJobEstimate> {
         let feature_config = feature.apply(&self.baseline);
-        estimate_all_job(
+        estimate_all_job_with(
             &self.corpus,
             &self.analyzer,
             testbed,
             &self.baseline,
             &feature_config,
-            self.config.weight_by_observations,
+            &self.estimate_options(),
         )
+    }
+
+    /// Estimator options derived from the pipeline config (weighting,
+    /// retry policy, coverage floor).
+    pub fn estimate_options(&self) -> EstimateOptions {
+        EstimateOptions {
+            weight_by_observations: self.config.weight_by_observations,
+            retry: self.config.retry,
+            min_coverage: self.config.min_replay_coverage,
+        }
     }
 
     /// Estimates a feature's impact on one HP job (§5.3; Fig. 12b).
@@ -121,15 +133,32 @@ impl Flare {
     /// Propagates estimation errors, including
     /// [`crate::FlareError::JobNotObserved`].
     pub fn evaluate_job(&self, job: JobName, feature: &Feature) -> Result<PerJobEstimate> {
+        self.evaluate_job_on(&SimTestbed, job, feature)
+    }
+
+    /// Estimates a feature's impact on one HP job on a caller-provided
+    /// testbed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors, including
+    /// [`crate::FlareError::JobNotObserved`] and
+    /// [`crate::FlareError::ReplayFailed`].
+    pub fn evaluate_job_on<T: Testbed>(
+        &self,
+        testbed: &T,
+        job: JobName,
+        feature: &Feature,
+    ) -> Result<PerJobEstimate> {
         let feature_config = feature.apply(&self.baseline);
-        estimate_per_job(
+        estimate_per_job_with(
             &self.corpus,
             &self.analyzer,
-            &SimTestbed,
+            testbed,
             job,
             &self.baseline,
             &feature_config,
-            self.config.weight_by_observations,
+            &self.estimate_options(),
         )
     }
 

@@ -35,6 +35,28 @@ impl Measurement {
     }
 }
 
+/// A testbed run that failed for good: every attempt the retry policy
+/// allowed was spent without a measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayError {
+    /// Total attempts made (initial try + retries).
+    pub attempts: u32,
+    /// The last failure's description.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay failed after {} attempt(s): {}",
+            self.attempts, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// A load-testing environment able to reconstruct a job colocation under a
 /// machine configuration and measure it.
 ///
@@ -45,6 +67,126 @@ impl Measurement {
 pub trait Testbed {
     /// Runs `scenario` under `config` and reports the measurement.
     fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement;
+
+    /// Fallible variant of [`Testbed::run`] for testbeds whose runs can
+    /// fail (container crash, load-generator timeout, lost telemetry).
+    /// The default implementation wraps the infallible `run`, so existing
+    /// testbeds keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failure of this single attempt; retrying is the
+    /// caller's job (see [`run_with_retry`]).
+    fn try_run(
+        &self,
+        scenario: &Scenario,
+        config: &MachineConfig,
+    ) -> std::result::Result<Measurement, ReplayError> {
+        Ok(self.run(scenario, config))
+    }
+}
+
+/// Bounded-retry policy for fallible testbed runs, with deterministic
+/// seeded backoff so reruns are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = one attempt total).
+    #[serde(default)]
+    pub max_retries: u32,
+    /// Base backoff in milliseconds; 0 (the default) disables sleeping
+    /// entirely, which is what simulator-backed testbeds want.
+    #[serde(default)]
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base_ms: 0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based) of the scenario
+    /// identified by `key`: exponential in the attempt with deterministic
+    /// jitter drawn from `(seed, key, attempt)`. Always 0 when
+    /// `backoff_base_ms` is 0.
+    pub fn backoff_ms(&self, key: u64, attempt: u32) -> u64 {
+        if self.backoff_base_ms == 0 {
+            return 0;
+        }
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << attempt.min(16) as u64);
+        // splitmix64 over the (seed, key, attempt) tuple — same jitter on
+        // every rerun.
+        let mut x = self
+            .seed
+            .wrapping_add(key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(attempt as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        exp + x % (exp / 2 + 1)
+    }
+}
+
+/// A stable identity for a scenario's job mix (FNV-1a over the sorted
+/// mix), used to key deterministic retry jitter and fault injection.
+pub fn scenario_key(scenario: &Scenario) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut fnv = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (job, count) in scenario.job_mix_strings() {
+        fnv(job.as_bytes());
+        fnv(&count.to_le_bytes());
+    }
+    h
+}
+
+/// Runs `scenario` under `config`, retrying failed attempts per `policy`.
+///
+/// # Errors
+///
+/// Returns the last attempt's [`ReplayError`] (with `attempts` set to the
+/// total tries spent) once the retry budget is exhausted.
+pub fn run_with_retry<T: Testbed + ?Sized>(
+    testbed: &T,
+    scenario: &Scenario,
+    config: &MachineConfig,
+    policy: &RetryPolicy,
+) -> std::result::Result<Measurement, ReplayError> {
+    let key = scenario_key(scenario);
+    let mut last: Option<ReplayError> = None;
+    for attempt in 0..=policy.max_retries {
+        match testbed.try_run(scenario, config) {
+            Ok(m) => return Ok(m),
+            Err(e) => {
+                last = Some(e);
+                if attempt < policy.max_retries {
+                    let ms = policy.backoff_ms(key, attempt);
+                    if ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+            }
+        }
+    }
+    let last = last.expect("loop runs at least once");
+    Err(ReplayError {
+        attempts: policy.max_retries + 1,
+        reason: last.reason,
+    })
 }
 
 /// The simulator-backed testbed (the reproduction's default).
@@ -155,6 +297,133 @@ pub fn replay_job_impact<T: Testbed>(
     Some(mips_reduction_pct(b, f))
 }
 
+/// Fallible [`replay_impact`]: `Ok(None)` keeps the legacy short-circuit
+/// (no HP jobs in the baseline run → the feature run is never attempted);
+/// `Err` means the testbed failed even after retries.
+///
+/// # Errors
+///
+/// Propagates the exhausted-retries [`ReplayError`] of either run.
+pub fn try_replay_impact<T: Testbed>(
+    testbed: &T,
+    scenario: &Scenario,
+    baseline: &MachineConfig,
+    feature: &MachineConfig,
+    policy: &RetryPolicy,
+) -> std::result::Result<Option<f64>, ReplayError> {
+    let b = match run_with_retry(testbed, scenario, baseline, policy)?.hp_perf {
+        Some(b) => b,
+        None => return Ok(None),
+    };
+    let f = match run_with_retry(testbed, scenario, feature, policy)?.hp_perf {
+        Some(f) => f,
+        None => return Ok(None),
+    };
+    Ok(Some(mips_reduction_pct(b, f)))
+}
+
+/// Fallible [`replay_job_impact`], with the same `Ok(None)` semantics for
+/// a job absent from a measurement.
+///
+/// # Errors
+///
+/// Propagates the exhausted-retries [`ReplayError`] of either run.
+pub fn try_replay_job_impact<T: Testbed>(
+    testbed: &T,
+    scenario: &Scenario,
+    job: JobName,
+    baseline: &MachineConfig,
+    feature: &MachineConfig,
+    policy: &RetryPolicy,
+) -> std::result::Result<Option<f64>, ReplayError> {
+    let b = match run_with_retry(testbed, scenario, baseline, policy)?.job_perf(job) {
+        Some(b) => b,
+        None => return Ok(None),
+    };
+    let f = match run_with_retry(testbed, scenario, feature, policy)?.job_perf(job) {
+        Some(f) => f,
+        None => return Ok(None),
+    };
+    Ok(Some(mips_reduction_pct(b, f)))
+}
+
+/// A fault-injecting wrapper testbed: fails deterministically to exercise
+/// the retry and graceful-degradation paths.
+///
+/// Failures come in two flavours, both keyed by the scenario's job mix so
+/// they are independent of replay order and thread count:
+///
+/// - **permanent** — the scenario fails on every attempt (a container
+///   image that cannot start on this rack);
+/// - **transient** — individual attempts fail with the given rate but a
+///   retry can succeed (a load-generator timeout).
+#[derive(Debug)]
+pub struct FlakyTestbed<T> {
+    inner: T,
+    transient_rate: f64,
+    permanent_rate: f64,
+    seed: u64,
+    attempts: std::sync::Mutex<std::collections::HashMap<u64, u32>>,
+}
+
+impl<T> FlakyTestbed<T> {
+    /// Wraps `inner` with the given failure rates (each in `[0, 1]`).
+    pub fn new(inner: T, transient_rate: f64, permanent_rate: f64, seed: u64) -> Self {
+        FlakyTestbed {
+            inner,
+            transient_rate: transient_rate.clamp(0.0, 1.0),
+            permanent_rate: permanent_rate.clamp(0.0, 1.0),
+            seed,
+            attempts: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` from `(seed, key, salt)` via splitmix64.
+    fn uniform(&self, key: u64, salt: u64) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_add(key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: Testbed> Testbed for FlakyTestbed<T> {
+    fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
+        self.inner.run(scenario, config)
+    }
+
+    fn try_run(
+        &self,
+        scenario: &Scenario,
+        config: &MachineConfig,
+    ) -> std::result::Result<Measurement, ReplayError> {
+        let key = scenario_key(scenario);
+        if self.permanent_rate > 0.0 && self.uniform(key, 1) < self.permanent_rate {
+            return Err(ReplayError {
+                attempts: 1,
+                reason: "injected permanent failure".into(),
+            });
+        }
+        let attempt = {
+            let mut counts = self.attempts.lock().expect("attempt counter poisoned");
+            let n = counts.entry(key).or_insert(0);
+            *n += 1;
+            *n as u64
+        };
+        if self.transient_rate > 0.0 && self.uniform(key, 2 + attempt) < self.transient_rate {
+            return Err(ReplayError {
+                attempts: 1,
+                reason: "injected transient failure".into(),
+            });
+        }
+        Ok(self.inner.run(scenario, config))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +514,148 @@ mod tests {
         let f1 = Feature::paper_feature1().apply(&b);
         let s = Scenario::from_counts([(JobName::Libquantum, 4)]);
         assert!(replay_impact(&SimTestbed, &s, &b, &f1).is_none());
+    }
+
+    #[test]
+    fn default_try_run_wraps_run() {
+        let s = Scenario::from_counts([(JobName::DataCaching, 2)]);
+        let b = baseline();
+        assert_eq!(SimTestbed.try_run(&s, &b).unwrap(), SimTestbed.run(&s, &b));
+    }
+
+    /// Fails the first `fail_first` attempts of every scenario, then
+    /// succeeds.
+    struct EventuallyTestbed {
+        fail_first: u32,
+        calls: std::sync::Mutex<std::collections::HashMap<u64, u32>>,
+    }
+
+    impl Testbed for EventuallyTestbed {
+        fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
+            SimTestbed.run(scenario, config)
+        }
+
+        fn try_run(
+            &self,
+            scenario: &Scenario,
+            config: &MachineConfig,
+        ) -> std::result::Result<Measurement, ReplayError> {
+            let mut calls = self.calls.lock().unwrap();
+            let n = calls.entry(scenario_key(scenario)).or_insert(0);
+            *n += 1;
+            if *n <= self.fail_first {
+                return Err(ReplayError {
+                    attempts: 1,
+                    reason: "warming up".into(),
+                });
+            }
+            Ok(self.run(scenario, config))
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let t = EventuallyTestbed {
+            fail_first: 2,
+            calls: Default::default(),
+        };
+        let s = Scenario::from_counts([(JobName::DataCaching, 2)]);
+        let policy = RetryPolicy::default(); // 2 retries = 3 attempts
+        let m = run_with_retry(&t, &s, &baseline(), &policy).unwrap();
+        assert!(m.hp_perf.is_some());
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_attempts() {
+        let t = EventuallyTestbed {
+            fail_first: 10,
+            calls: Default::default(),
+        };
+        let s = Scenario::from_counts([(JobName::DataCaching, 2)]);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        };
+        let e = run_with_retry(&t, &s, &baseline(), &policy).unwrap_err();
+        assert_eq!(e.attempts, 2);
+        assert!(e.to_string().contains("2 attempt(s)"));
+    }
+
+    #[test]
+    fn try_replay_impact_matches_infallible_path() {
+        let b = baseline();
+        let f2 = Feature::paper_feature2().apply(&b);
+        let s = Scenario::from_counts([(JobName::DataAnalytics, 4), (JobName::Perlbench, 4)]);
+        let policy = RetryPolicy::default();
+        assert_eq!(
+            try_replay_impact(&SimTestbed, &s, &b, &f2, &policy).unwrap(),
+            replay_impact(&SimTestbed, &s, &b, &f2)
+        );
+        let lp_only = Scenario::from_counts([(JobName::Libquantum, 4)]);
+        assert_eq!(
+            try_replay_impact(&SimTestbed, &lp_only, &b, &f2, &policy).unwrap(),
+            None
+        );
+        assert_eq!(
+            try_replay_job_impact(&SimTestbed, &s, JobName::WebSearch, &b, &f2, &policy).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn flaky_testbed_permanent_failures_survive_retries() {
+        // With permanent_rate = 1.0 every scenario fails every attempt.
+        let flaky = FlakyTestbed::new(SimTestbed, 0.0, 1.0, 7);
+        let s = Scenario::from_counts([(JobName::DataCaching, 2)]);
+        let policy = RetryPolicy::default();
+        let e = run_with_retry(&flaky, &s, &baseline(), &policy).unwrap_err();
+        assert_eq!(e.attempts, policy.max_retries + 1);
+        // The infallible entry point still works (delegates to inner).
+        assert!(flaky.run(&s, &baseline()).hp_perf.is_some());
+    }
+
+    #[test]
+    fn flaky_testbed_transient_failures_are_retryable_and_deterministic() {
+        let s = Scenario::from_counts([(JobName::WebSearch, 3), (JobName::Mcf, 2)]);
+        let b = baseline();
+        let policy = RetryPolicy {
+            max_retries: 8,
+            ..RetryPolicy::default()
+        };
+        let run = || {
+            let flaky = FlakyTestbed::new(SimTestbed, 0.6, 0.0, 42);
+            run_with_retry(&flaky, &s, &b, &policy).map(|m| m.hp_perf)
+        };
+        // Identical wrapper state → identical outcome.
+        assert_eq!(run(), run());
+        // With a generous budget the transient faults are eventually beaten.
+        assert!(run().is_ok());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_off_by_default() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(123, 0), 0); // base 0 → never sleeps
+        let p = RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 10,
+            seed: 9,
+        };
+        for attempt in 0..4 {
+            let ms = p.backoff_ms(55, attempt);
+            assert_eq!(ms, p.backoff_ms(55, attempt));
+            let exp = 10u64 << attempt;
+            assert!(ms >= exp && ms <= exp + exp / 2, "attempt {attempt}: {ms}");
+        }
+        assert_ne!(p.backoff_ms(55, 1), p.backoff_ms(56, 1)); // jitter keyed by scenario
+    }
+
+    #[test]
+    fn scenario_key_is_mix_stable() {
+        let a = Scenario::from_counts([(JobName::DataCaching, 2), (JobName::Mcf, 3)]);
+        let b = Scenario::from_counts([(JobName::Mcf, 3), (JobName::DataCaching, 2)]);
+        let c = Scenario::from_counts([(JobName::DataCaching, 3), (JobName::Mcf, 2)]);
+        assert_eq!(scenario_key(&a), scenario_key(&b));
+        assert_ne!(scenario_key(&a), scenario_key(&c));
     }
 }

@@ -10,7 +10,7 @@
 use crate::eigen::symmetric_eigen;
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
-use crate::stats::{zscore_columns, ZScore};
+use crate::stats::ZScore;
 use serde::{Deserialize, Serialize};
 
 /// A fitted PCA model.
@@ -57,7 +57,32 @@ impl Pca {
         if !data.is_finite() {
             return Err(LinalgError::NonFinite("PCA input".into()));
         }
-        let (standardized, zscore) = zscore_columns(data)?;
+        Self::fit_with(data, ZScore::fit(data)?)
+    }
+
+    /// Fits a PCA using a caller-supplied column normalizer instead of the
+    /// default mean/std z-score — e.g. the median/MAD scaler from
+    /// [`crate::stats::robust_scale`], which keeps outlier spikes from
+    /// inflating the column variances the covariance is computed over.
+    ///
+    /// `Pca::fit(data)` is exactly `Pca::fit_with(data, ZScore::fit(data)?)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::fit`], plus
+    /// [`LinalgError::DimensionMismatch`] if `normalizer` was fitted on a
+    /// different column count.
+    pub fn fit_with(data: &Matrix, normalizer: ZScore) -> Result<Self> {
+        if data.nrows() < 2 {
+            return Err(LinalgError::Empty(
+                "PCA requires at least two observations".into(),
+            ));
+        }
+        if !data.is_finite() {
+            return Err(LinalgError::NonFinite("PCA input".into()));
+        }
+        let standardized = normalizer.transform(data)?;
+        let zscore = normalizer;
         let cov = covariance(&standardized)?;
         let eig = symmetric_eigen(&cov)?;
 
@@ -371,6 +396,47 @@ mod tests {
         assert!(Pca::fit(&Matrix::zeros(1, 3)).is_err());
         let nan = Matrix::from_rows(&[vec![f64::NAN], vec![1.0]]).unwrap();
         assert!(Pca::fit(&nan).is_err());
+    }
+
+    #[test]
+    fn fit_with_default_normalizer_matches_fit() {
+        let data = correlated_data();
+        let a = Pca::fit(&data).unwrap();
+        let b = Pca::fit_with(&data, ZScore::fit(&data).unwrap()).unwrap();
+        assert_eq!(a.eigenvalues(), b.eigenvalues());
+        assert_eq!(
+            a.transform(&data, 3).unwrap(),
+            b.transform(&data, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn fit_with_robust_normalizer_resists_outlier_spike() {
+        // One wild spike in column 0: the robust fit's normalizer must keep
+        // the clean points' standardized coordinates in a sane range, while
+        // the mean/std fit compresses them toward zero.
+        let mut rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i as f64 * 0.37).sin()])
+            .collect();
+        rows[7][0] = 1e9;
+        let data = Matrix::from_rows(&rows).unwrap();
+        let robust = Pca::fit_with(&data, crate::stats::robust_scale(&data).unwrap()).unwrap();
+        let classic = Pca::fit(&data).unwrap();
+        // The robust normalizer's column-0 scale stays near the clean spread.
+        let rz = crate::stats::robust_scale(&data).unwrap();
+        assert!(rz.std_devs[0] < 100.0, "robust scale {}", rz.std_devs[0]);
+        assert!(robust.eigenvalues()[0].is_finite());
+        assert!(classic.eigenvalues()[0].is_finite());
+    }
+
+    #[test]
+    fn fit_with_rejects_mismatched_normalizer() {
+        let data = correlated_data();
+        let narrow = ZScore {
+            means: vec![0.0; 2],
+            std_devs: vec![1.0; 2],
+        };
+        assert!(Pca::fit_with(&data, narrow).is_err());
     }
 
     #[test]

@@ -179,6 +179,52 @@ pub fn median(xs: &[f64]) -> Result<f64> {
     quantile(xs, 0.5)
 }
 
+/// Median absolute deviation: the median of `|x - median(xs)|`. A robust
+/// spread estimate immune to heavy-tailed outliers (a single wild spike
+/// moves the MAD by at most one rank), used by the telemetry repair stage
+/// for winsorization and by robust normalization.
+///
+/// # Errors
+///
+/// Same conditions as [`median`].
+pub fn mad(xs: &[f64]) -> Result<f64> {
+    let m = median(xs)?;
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Consistency constant scaling the MAD to the standard deviation of a
+/// normal distribution (`1 / Φ⁻¹(3/4)`), so `mad(xs) * MAD_TO_SIGMA`
+/// estimates σ on clean Gaussian data.
+pub const MAD_TO_SIGMA: f64 = 1.482602218505602;
+
+/// Fits a **robust** column normalizer: per-column median for centering
+/// and `MAD · 1.4826` for scaling (falling back to 1.0 for columns whose
+/// MAD is numerically zero, mirroring [`ZScore::fit`]'s constant-column
+/// rule). The result plugs into [`crate::pca::Pca::fit_with`] as a
+/// drop-in replacement for the mean/std z-score, keeping the PCA usable
+/// when residual telemetry outliers would otherwise dominate the column
+/// variances.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the matrix has no rows and
+/// [`LinalgError::InvalidParameter`] if a column contains NaN.
+pub fn robust_scale(data: &Matrix) -> Result<ZScore> {
+    if data.nrows() == 0 {
+        return Err(LinalgError::Empty("robust scale of empty matrix".into()));
+    }
+    let mut means = Vec::with_capacity(data.ncols());
+    let mut std_devs = Vec::with_capacity(data.ncols());
+    for j in 0..data.ncols() {
+        let col = data.col(j);
+        means.push(median(&col)?);
+        let spread = mad(&col)? * MAD_TO_SIGMA;
+        std_devs.push(if spread <= f64::EPSILON { 1.0 } else { spread });
+    }
+    Ok(ZScore { means, std_devs })
+}
+
 /// Summary of a sample distribution: used for the violin/box plots of
 /// Fig. 12a and the CI bands of Fig. 12b/13.
 #[derive(Debug, Clone, PartialEq)]
@@ -329,6 +375,31 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(variance(&[1.0]), 0.0);
         assert_eq!(sample_std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn mad_known_and_outlier_resistant() {
+        // median 3, deviations [2,1,0,1,2] → MAD 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap(), 1.0);
+        // A wild spike barely moves the MAD while it wrecks the std dev.
+        let spiked = [1.0, 2.0, 3.0, 4.0, 1e9];
+        assert!(mad(&spiked).unwrap() <= 2.0);
+        assert!(std_dev(&spiked) > 1e6);
+        assert!(mad(&[]).is_err());
+    }
+
+    #[test]
+    fn robust_scale_ignores_spikes_and_handles_constants() {
+        let mut rows: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64, 7.0]).collect();
+        rows[4][0] = 1e12; // spike replaces the median-adjacent point
+        let data = Matrix::from_rows(&rows).unwrap();
+        let z = robust_scale(&data).unwrap();
+        // Column 0: clean values 0..8 minus the spiked row; scale stays O(1).
+        assert!(z.std_devs[0] < 10.0, "scale {}", z.std_devs[0]);
+        // Constant column falls back to scale 1.0 like ZScore::fit.
+        assert_eq!(z.means[1], 7.0);
+        assert_eq!(z.std_devs[1], 1.0);
+        assert!(robust_scale(&Matrix::zeros(0, 2)).is_err());
     }
 
     #[test]

@@ -54,6 +54,109 @@ impl ScenarioRecord {
     }
 }
 
+/// Why the validating ingest path refused a record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// Metric vector length did not match the schema.
+    SchemaMismatch {
+        /// Expected number of metrics (schema length).
+        expected: usize,
+        /// Observed vector length.
+        actual: usize,
+    },
+    /// The scenario id was already stored (duplicated / clock-skewed
+    /// telemetry record).
+    Duplicate,
+    /// The record carried zero observation weight.
+    ZeroObservations,
+    /// Too many metrics were non-finite to trust the record at all.
+    TooManyMissing {
+        /// Non-finite metric count in the record.
+        missing: usize,
+        /// Maximum tolerated by the [`IngestPolicy`].
+        allowed: usize,
+    },
+}
+
+impl QuarantineReason {
+    /// The typed error this quarantine corresponds to, for callers that
+    /// want to escalate a quarantined record into a hard failure.
+    pub fn to_error(&self, id: ScenarioId) -> MetricsError {
+        match *self {
+            QuarantineReason::SchemaMismatch { expected, actual } => {
+                MetricsError::SchemaMismatch { expected, actual }
+            }
+            QuarantineReason::Duplicate => MetricsError::DuplicateScenario(id.0),
+            QuarantineReason::ZeroObservations => {
+                MetricsError::InvalidParameter(format!("{id}: zero observations"))
+            }
+            QuarantineReason::TooManyMissing { missing, allowed } => {
+                MetricsError::InvalidParameter(format!(
+                    "{id}: {missing} missing metrics exceeds the {allowed} allowed"
+                ))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::SchemaMismatch { expected, actual } => {
+                write!(f, "schema mismatch ({actual} metrics, expected {expected})")
+            }
+            QuarantineReason::Duplicate => write!(f, "duplicate scenario id"),
+            QuarantineReason::ZeroObservations => write!(f, "zero observations"),
+            QuarantineReason::TooManyMissing { missing, allowed } => {
+                write!(f, "{missing} missing metrics (allowed {allowed})")
+            }
+        }
+    }
+}
+
+/// Tolerance knobs for [`MetricDatabase::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestPolicy {
+    /// Largest fraction of a record's metrics that may be non-finite for
+    /// the record to be accepted (with NaN missing-sample markers) rather
+    /// than quarantined. Clamped to `[0, 1]`.
+    pub max_missing_fraction: f64,
+}
+
+impl Default for IngestPolicy {
+    fn default() -> Self {
+        IngestPolicy {
+            max_missing_fraction: 0.5,
+        }
+    }
+}
+
+/// Per-batch accounting of what [`MetricDatabase::ingest`] did: how many
+/// records were stored, how many missing-sample markers they carried, and
+/// exactly which records were quarantined and why. Nothing is dropped
+/// silently.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Records accepted into the database.
+    pub accepted: usize,
+    /// NaN missing-sample markers across the accepted records.
+    pub missing_cells: usize,
+    /// Refused records with their reasons, in arrival order.
+    pub quarantined: Vec<(ScenarioId, QuarantineReason)>,
+}
+
+impl IngestReport {
+    /// Number of records refused.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// `true` if every record was accepted with no missing samples.
+    pub fn is_clean(&self) -> bool {
+        self.missing_cells == 0 && self.quarantined.is_empty()
+    }
+}
+
 /// In-memory metric database: schema + scenario rows.
 ///
 /// # Examples
@@ -103,14 +206,17 @@ impl MetricDatabase {
         self.records.is_empty()
     }
 
-    /// Inserts (or replaces) a scenario row.
+    /// Inserts (or replaces) a scenario row. This is the *strict* path:
+    /// every metric must be finite. Degraded telemetry goes through
+    /// [`MetricDatabase::ingest`] instead, which quarantines bad records
+    /// and keeps tolerable ones with missing-sample markers.
     ///
     /// # Errors
     ///
     /// Returns [`MetricsError::SchemaMismatch`] if the row's metric vector
-    /// length differs from the schema, and
-    /// [`MetricsError::InvalidParameter`] if any metric is non-finite or
-    /// `observations == 0`.
+    /// length differs from the schema,
+    /// [`MetricsError::NonFiniteMetric`] if any metric is non-finite, and
+    /// [`MetricsError::InvalidParameter`] if `observations == 0`.
     pub fn insert(&mut self, record: ScenarioRecord) -> Result<()> {
         if record.metrics.len() != self.schema.len() {
             return Err(MetricsError::SchemaMismatch {
@@ -118,11 +224,11 @@ impl MetricDatabase {
                 actual: record.metrics.len(),
             });
         }
-        if record.metrics.iter().any(|m| !m.is_finite()) {
-            return Err(MetricsError::InvalidParameter(format!(
-                "{}: non-finite metric value",
-                record.id
-            )));
+        if let Some(index) = record.metrics.iter().position(|m| !m.is_finite()) {
+            return Err(MetricsError::NonFiniteMetric {
+                id: record.id.0,
+                index,
+            });
         }
         if record.observations == 0 {
             return Err(MetricsError::InvalidParameter(format!(
@@ -132,6 +238,90 @@ impl MetricDatabase {
         }
         self.records.insert(record.id, record);
         Ok(())
+    }
+
+    /// Validating bulk-ingest for telemetry of unknown quality (§4.2's
+    /// profiler writes; faulty daemons drop samples, stick, spike, and
+    /// duplicate records). Records are checked in order:
+    ///
+    /// - wrong metric-vector length → quarantined ([`QuarantineReason::SchemaMismatch`]);
+    /// - `observations == 0` → quarantined ([`QuarantineReason::ZeroObservations`]);
+    /// - scenario id already stored, or seen earlier in this batch →
+    ///   quarantined ([`QuarantineReason::Duplicate`]) — duplicated
+    ///   telemetry is never silently merged;
+    /// - more than `policy.max_missing_fraction` of the metrics non-finite
+    ///   → quarantined ([`QuarantineReason::TooManyMissing`]);
+    /// - otherwise **accepted**, with every non-finite cell (NaN or ±∞)
+    ///   normalized to a NaN missing-sample marker for the Analyzer's
+    ///   repair stage to impute.
+    ///
+    /// Never fails: the outcome of every record is accounted for in the
+    /// returned [`IngestReport`].
+    pub fn ingest<I>(&mut self, records: I, policy: &IngestPolicy) -> IngestReport
+    where
+        I: IntoIterator<Item = ScenarioRecord>,
+    {
+        let mut report = IngestReport::default();
+        let allowed =
+            (policy.max_missing_fraction.clamp(0.0, 1.0) * self.schema.len() as f64) as usize;
+        for mut record in records {
+            if record.metrics.len() != self.schema.len() {
+                report.quarantined.push((
+                    record.id,
+                    QuarantineReason::SchemaMismatch {
+                        expected: self.schema.len(),
+                        actual: record.metrics.len(),
+                    },
+                ));
+                continue;
+            }
+            if record.observations == 0 {
+                report
+                    .quarantined
+                    .push((record.id, QuarantineReason::ZeroObservations));
+                continue;
+            }
+            if self.records.contains_key(&record.id) {
+                report
+                    .quarantined
+                    .push((record.id, QuarantineReason::Duplicate));
+                continue;
+            }
+            let missing = record.metrics.iter().filter(|m| !m.is_finite()).count();
+            if missing > allowed {
+                report.quarantined.push((
+                    record.id,
+                    QuarantineReason::TooManyMissing { missing, allowed },
+                ));
+                continue;
+            }
+            for m in &mut record.metrics {
+                if !m.is_finite() {
+                    *m = f64::NAN;
+                }
+            }
+            report.accepted += 1;
+            report.missing_cells += missing;
+            self.records.insert(record.id, record);
+        }
+        report
+    }
+
+    /// Number of NaN missing-sample markers across all stored rows (only
+    /// the [`MetricDatabase::ingest`] path can introduce them).
+    pub fn missing_cells(&self) -> usize {
+        self.records
+            .values()
+            .flat_map(|r| r.metrics.iter())
+            .filter(|m| !m.is_finite())
+            .count()
+    }
+
+    /// `true` if any stored row carries a missing-sample marker.
+    pub fn has_missing(&self) -> bool {
+        self.records
+            .values()
+            .any(|r| r.metrics.iter().any(|m| !m.is_finite()))
     }
 
     /// Looks up a scenario row.
@@ -191,12 +381,17 @@ impl MetricDatabase {
         let mut db = MetricDatabase::new(schema);
         for r in self.records.values() {
             let metrics = indices.iter().map(|&i| r.metrics[i]).collect();
-            db.insert(ScenarioRecord {
-                id: r.id,
-                metrics,
-                observations: r.observations,
-                job_mix: r.job_mix.clone(),
-            })?;
+            // Rows were validated on entry; reinsert directly so projection
+            // preserves NaN missing-sample markers awaiting repair.
+            db.records.insert(
+                r.id,
+                ScenarioRecord {
+                    id: r.id,
+                    metrics,
+                    observations: r.observations,
+                    job_mix: r.job_mix.clone(),
+                },
+            );
         }
         Ok(db)
     }
@@ -371,5 +566,113 @@ mod tests {
     #[test]
     fn scenario_display() {
         assert_eq!(ScenarioId(7).to_string(), "scenario#0007");
+    }
+
+    #[test]
+    fn ingest_accepts_clean_batch() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        let report = db.ingest(
+            vec![record(0, 1.0), record(1, 2.0)],
+            &IngestPolicy::default(),
+        );
+        assert_eq!(report.accepted, 2);
+        assert!(report.is_clean());
+        assert_eq!(db.len(), 2);
+        assert!(!db.has_missing());
+    }
+
+    #[test]
+    fn ingest_keeps_tolerably_degraded_records_with_markers() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        let mut r = record(0, 1.0);
+        r.metrics[1] = f64::INFINITY; // 1 of 3 missing ≤ default 50%
+        let report = db.ingest(vec![r], &IngestPolicy::default());
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.missing_cells, 1);
+        assert!(report.quarantined.is_empty());
+        // ±∞ is normalized to the NaN missing marker.
+        assert!(db.get(ScenarioId(0)).unwrap().metrics[1].is_nan());
+        assert_eq!(db.missing_cells(), 1);
+        assert!(db.has_missing());
+    }
+
+    #[test]
+    fn ingest_quarantines_hopeless_records() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(3, 1.0)).unwrap();
+        let mut short = record(0, 1.0);
+        short.metrics.pop();
+        let mut zero_obs = record(1, 1.0);
+        zero_obs.observations = 0;
+        let mut all_nan = record(2, 1.0);
+        all_nan.metrics = vec![f64::NAN; 3];
+        let dup_existing = record(3, 9.0);
+        let batch = vec![
+            short,
+            zero_obs,
+            all_nan,
+            dup_existing,
+            record(4, 5.0),
+            record(4, 6.0), // duplicate within the batch
+        ];
+        let report = db.ingest(batch, &IngestPolicy::default());
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.quarantined_count(), 5);
+        assert_eq!(
+            report.quarantined[0].1,
+            QuarantineReason::SchemaMismatch {
+                expected: 3,
+                actual: 2
+            }
+        );
+        assert_eq!(report.quarantined[1].1, QuarantineReason::ZeroObservations);
+        assert!(matches!(
+            report.quarantined[2].1,
+            QuarantineReason::TooManyMissing { missing: 3, .. }
+        ));
+        assert_eq!(report.quarantined[3].1, QuarantineReason::Duplicate);
+        assert_eq!(report.quarantined[4].1, QuarantineReason::Duplicate);
+        // The pre-existing record is untouched by the duplicate.
+        assert_eq!(db.get(ScenarioId(3)).unwrap().metrics[0], 1.0);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn quarantine_reasons_escalate_to_typed_errors() {
+        let id = ScenarioId(9);
+        assert!(matches!(
+            QuarantineReason::Duplicate.to_error(id),
+            MetricsError::DuplicateScenario(9)
+        ));
+        assert!(matches!(
+            QuarantineReason::SchemaMismatch {
+                expected: 3,
+                actual: 1
+            }
+            .to_error(id),
+            MetricsError::SchemaMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn strict_insert_reports_offending_index() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        let mut nan = record(0, 1.0);
+        nan.metrics[2] = f64::NAN;
+        assert!(matches!(
+            db.insert(nan),
+            Err(MetricsError::NonFiniteMetric { id: 0, index: 2 })
+        ));
+    }
+
+    #[test]
+    fn projection_preserves_missing_markers() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        let mut r = record(0, 1.0);
+        r.metrics[0] = f64::NAN;
+        db.ingest(vec![r], &IngestPolicy::default());
+        let p = db.project(&[0, 2]).unwrap();
+        assert!(p.get(ScenarioId(0)).unwrap().metrics[0].is_nan());
+        assert_eq!(p.get(ScenarioId(0)).unwrap().metrics[1], 3.0);
     }
 }

@@ -15,6 +15,16 @@ pub enum MetricsError {
     },
     /// A scenario id was not present in the database.
     UnknownScenario(u32),
+    /// A scenario id arrived twice through the validating ingest path
+    /// (duplicated telemetry records are quarantined, never merged).
+    DuplicateScenario(u32),
+    /// A record carried a non-finite metric where finiteness is required.
+    NonFiniteMetric {
+        /// Scenario id of the offending record.
+        id: u32,
+        /// Index of the first non-finite metric in the schema.
+        index: usize,
+    },
     /// The database was empty where data was required.
     EmptyDatabase,
     /// A parameter was outside its valid range.
@@ -33,6 +43,13 @@ impl fmt::Display for MetricsError {
                 "metric vector length {actual} does not match schema length {expected}"
             ),
             MetricsError::UnknownScenario(id) => write!(f, "unknown scenario id {id}"),
+            MetricsError::DuplicateScenario(id) => {
+                write!(f, "duplicate record for scenario id {id}")
+            }
+            MetricsError::NonFiniteMetric { id, index } => write!(
+                f,
+                "scenario id {id}: non-finite value for metric index {index}"
+            ),
             MetricsError::EmptyDatabase => write!(f, "metric database is empty"),
             MetricsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             MetricsError::Persistence(msg) => write!(f, "persistence failure: {msg}"),

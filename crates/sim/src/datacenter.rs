@@ -331,14 +331,14 @@ impl Corpus {
     /// [`crate::profiler::synthesize_enriched`]). Parallel like
     /// [`Corpus::to_metric_database`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `phases == 0`.
+    /// Returns a message if `phases == 0`.
     pub fn to_metric_database_enriched(
         &self,
         machine_config: &MachineConfig,
         phases: usize,
-    ) -> MetricDatabase {
+    ) -> Result<MetricDatabase, String> {
         self.to_metric_database_enriched_threaded(machine_config, phases, None)
     }
 
@@ -346,22 +346,26 @@ impl Corpus {
     /// knob: `None` = available parallelism, `Some(1)` = serial. Every
     /// setting produces the identical database.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `phases == 0`.
+    /// Returns a message if `phases == 0`.
     pub fn to_metric_database_enriched_threaded(
         &self,
         machine_config: &MachineConfig,
         phases: usize,
         threads: Option<usize>,
-    ) -> MetricDatabase {
+    ) -> Result<MetricDatabase, String> {
+        if phases == 0 {
+            return Err("temporal enrichment requires at least one phase".into());
+        }
         let records = par_map_indexed(&self.entries, threads, |_, e| {
             let metrics = crate::profiler::synthesize_enriched(
                 &e.scenario,
                 machine_config,
                 phases,
                 self.noise_seed(e.id),
-            );
+            )
+            .expect("phases > 0 checked above");
             ScenarioRecord {
                 id: e.id,
                 metrics,
@@ -374,7 +378,7 @@ impl Corpus {
             db.insert(record)
                 .expect("enriched vector matches enriched schema");
         }
-        db
+        Ok(db)
     }
 
     /// Deterministic per-scenario measurement-noise seed.

@@ -1,0 +1,473 @@
+//! Seeded, deterministic telemetry fault model.
+//!
+//! Production profiler daemons are not the well-behaved Gaussian samplers
+//! of [`crate::profiler`]: they drop samples, stick at stale values, emit
+//! heavy-tailed counter spikes, die mid-profiling (losing whole records),
+//! and re-send clock-skewed duplicates. [`FaultInjector`] reproduces those
+//! failure modes on a clean [`MetricDatabase`], with every corruption
+//! drawn from a per-record RNG seeded by `(plan seed, scenario id)` — the
+//! same plan always yields byte-identical corruption, independent of how
+//! the database was produced or iterated.
+//!
+//! The injector is the *adversary* half of the robustness story; the
+//! defenses live downstream: [`MetricDatabase::ingest`] quarantines
+//! hopeless records, the Analyzer's repair stage imputes and winsorizes,
+//! and the Replayer retries or drops failed representatives.
+
+use flare_metrics::database::{IngestPolicy, IngestReport, MetricDatabase, ScenarioRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a standard-normal variate via Box–Muller. Consumes exactly two
+/// uniform draws from `rng`.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Multiplicative Gaussian measurement noise, clamped non-negative: the
+/// single shared implementation behind the profiler's synthesis noise and
+/// the injector's `noise_rel_std` channel.
+///
+/// An exact zero passes through untouched **without consuming any RNG
+/// draws** — zeros mean "this subsystem is idle", not "this sensor is
+/// noisy", and skipping the draw keeps the historical noise stream (and
+/// therefore every persisted database) byte-identical.
+pub fn multiplicative_noise(value: f64, rel_std: f64, rng: &mut StdRng) -> f64 {
+    if value == 0.0 {
+        return 0.0;
+    }
+    (value * (1.0 + rel_std * standard_normal(rng))).max(0.0)
+}
+
+/// Configurable rates of every modeled telemetry failure. All rates are
+/// probabilities in `[0, 1]`; the default plan is entirely clean (every
+/// rate zero), so `FaultPlan::default()` corruption is the identity.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the deterministic corruption stream.
+    pub seed: u64,
+    /// Per-metric probability a sample is dropped (becomes NaN).
+    pub sample_dropout: f64,
+    /// Per-metric probability the sensor sticks, repeating the value it
+    /// reported for the previous scenario record.
+    pub stuck_sensor: f64,
+    /// Per-metric probability of a heavy-tailed outlier spike (a wrapped
+    /// counter or unit mix-up inflating the value by up to ~10⁶×).
+    pub outlier_spike: f64,
+    /// Per-record probability the whole record is lost (the machine's
+    /// profiler daemon died before flushing).
+    pub record_loss: f64,
+    /// Per-record probability a clock-skewed duplicate of the record is
+    /// re-emitted under the same scenario id.
+    pub record_duplication: f64,
+    /// Relative jitter applied to a duplicated record's metrics (how far
+    /// the skewed re-read drifted from the original).
+    pub clock_skew: f64,
+    /// Extra multiplicative Gaussian noise on every surviving sample
+    /// (relative standard deviation), on top of the profiler's own.
+    pub noise_rel_std: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            sample_dropout: 0.0,
+            stuck_sensor: 0.0,
+            outlier_spike: 0.0,
+            record_loss: 0.0,
+            record_duplication: 0.0,
+            clock_skew: 0.02,
+            noise_rel_std: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan applying every fault channel at `rate` (dropout, stuck,
+    /// spikes, loss, duplication), the shape used by the fault-rate sweeps.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sample_dropout: rate,
+            stuck_sensor: rate,
+            outlier_spike: rate,
+            record_loss: rate,
+            record_duplication: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// `true` if this plan corrupts nothing.
+    pub fn is_clean(&self) -> bool {
+        self.sample_dropout == 0.0
+            && self.stuck_sensor == 0.0
+            && self.outlier_spike == 0.0
+            && self.record_loss == 0.0
+            && self.record_duplication == 0.0
+            && self.noise_rel_std == 0.0
+    }
+
+    /// Validates that every rate is a probability and every spread is a
+    /// finite non-negative number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("sample_dropout", self.sample_dropout),
+            ("stuck_sensor", self.stuck_sensor),
+            ("outlier_spike", self.outlier_spike),
+            ("record_loss", self.record_loss),
+            ("record_duplication", self.record_duplication),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!("{name} rate {rate} outside [0, 1]"));
+            }
+        }
+        for (name, spread) in [
+            ("clock_skew", self.clock_skew),
+            ("noise_rel_std", self.noise_rel_std),
+        ] {
+            if !spread.is_finite() || spread < 0.0 {
+                return Err(format!("{name} {spread} must be finite and >= 0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies a [`FaultPlan`] to clean telemetry.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a validated plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultPlan::validate`] message for an invalid plan.
+    pub fn new(plan: FaultPlan) -> Result<Self, String> {
+        plan.validate()?;
+        Ok(FaultInjector { plan })
+    }
+
+    /// The plan this injector applies.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Corrupts a clean database's records, returning the degraded stream
+    /// in scenario-id order (with losses removed and duplicates inserted
+    /// right after their originals, as a flushed telemetry batch would
+    /// arrive). Deterministic: corruption of each record depends only on
+    /// `(plan.seed, scenario id)` plus the previous record for the
+    /// stuck-sensor channel.
+    pub fn corrupt(&self, db: &MetricDatabase) -> Vec<ScenarioRecord> {
+        let records: Vec<&ScenarioRecord> = db.iter().collect();
+        let p = &self.plan;
+        let mut out = Vec::with_capacity(records.len());
+        let mut prev: Option<&ScenarioRecord> = None;
+        for rec in records {
+            let mut rng = StdRng::seed_from_u64(
+                p.seed ^ (rec.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            if p.record_loss > 0.0 && rng.gen::<f64>() < p.record_loss {
+                prev = Some(rec);
+                continue;
+            }
+            let mut metrics = rec.metrics.clone();
+            for (j, v) in metrics.iter_mut().enumerate() {
+                if p.stuck_sensor > 0.0 && rng.gen::<f64>() < p.stuck_sensor {
+                    if let Some(stale) = prev {
+                        *v = stale.metrics[j];
+                    }
+                }
+                if p.outlier_spike > 0.0 && rng.gen::<f64>() < p.outlier_spike {
+                    // Heavy-tailed (Pareto-like) inflation: mostly a few ×,
+                    // occasionally catastrophic, capped at 10⁶×.
+                    let u: f64 = rng.gen_range(1e-6..1.0);
+                    *v *= 1.0 + (1.0 / u).powf(1.2).min(1e6);
+                }
+                if p.noise_rel_std > 0.0 {
+                    *v = multiplicative_noise(*v, p.noise_rel_std, &mut rng);
+                }
+                if p.sample_dropout > 0.0 && rng.gen::<f64>() < p.sample_dropout {
+                    *v = f64::NAN;
+                }
+            }
+            let corrupted = ScenarioRecord {
+                id: rec.id,
+                metrics,
+                observations: rec.observations,
+                job_mix: rec.job_mix.clone(),
+            };
+            let duplicate = if p.record_duplication > 0.0 && rng.gen::<f64>() < p.record_duplication
+            {
+                let skewed = corrupted
+                    .metrics
+                    .iter()
+                    .map(|&v| {
+                        if v.is_finite() {
+                            multiplicative_noise(v, p.clock_skew, &mut rng)
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                Some(ScenarioRecord {
+                    metrics: skewed,
+                    ..corrupted.clone()
+                })
+            } else {
+                None
+            };
+            out.push(corrupted);
+            out.extend(duplicate);
+            prev = Some(rec);
+        }
+        out
+    }
+
+    /// Convenience wrapper: corrupts `db` and pushes the degraded stream
+    /// through the validating ingest path, returning the surviving
+    /// database plus the quarantine accounting.
+    pub fn corrupt_database(
+        &self,
+        db: &MetricDatabase,
+        policy: &IngestPolicy,
+    ) -> (MetricDatabase, IngestReport) {
+        let mut out = MetricDatabase::new(db.schema().clone());
+        let report = out.ingest(self.corrupt(db), policy);
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_metrics::database::ScenarioId;
+    use flare_metrics::schema::MetricSchema;
+
+    fn clean_db(n: u32) -> MetricDatabase {
+        let schema = MetricSchema::canonical().subset(&[0, 1, 2, 3]);
+        let mut db = MetricDatabase::new(schema);
+        for i in 0..n {
+            db.insert(ScenarioRecord {
+                id: ScenarioId(i),
+                metrics: vec![
+                    1.0 + i as f64,
+                    10.0 + i as f64,
+                    100.0 + i as f64,
+                    0.5 * i as f64,
+                ],
+                observations: 1 + i,
+                job_mix: vec![("DC".into(), 1)],
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let db = clean_db(20);
+        let injector = FaultInjector::new(FaultPlan::default()).unwrap();
+        let out = injector.corrupt(&db);
+        let original: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        assert_eq!(out, original);
+        assert!(FaultPlan::default().is_clean());
+    }
+
+    /// Bit-level fingerprint of a corrupted stream; `PartialEq` can't be
+    /// used directly because dropout introduces NaN cells (NaN != NaN).
+    fn fingerprint(records: &[ScenarioRecord]) -> Vec<(u32, Vec<u64>, u32)> {
+        records
+            .iter()
+            .map(|r| {
+                (
+                    r.id.0,
+                    r.metrics.iter().map(|m| m.to_bits()).collect(),
+                    r.observations,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_plan() {
+        let db = clean_db(30);
+        let plan = FaultPlan::uniform(0.2, 7);
+        let a = FaultInjector::new(plan).unwrap().corrupt(&db);
+        let b = FaultInjector::new(plan).unwrap().corrupt(&db);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = FaultInjector::new(FaultPlan { seed: 8, ..plan })
+            .unwrap()
+            .corrupt(&db);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn dropout_produces_nans_at_roughly_the_requested_rate() {
+        let db = clean_db(200);
+        let plan = FaultPlan {
+            sample_dropout: 0.25,
+            seed: 3,
+            ..FaultPlan::default()
+        };
+        let out = FaultInjector::new(plan).unwrap().corrupt(&db);
+        let cells: usize = out.iter().map(|r| r.metrics.len()).sum();
+        let nans: usize = out
+            .iter()
+            .flat_map(|r| r.metrics.iter())
+            .filter(|m| m.is_nan())
+            .count();
+        let rate = nans as f64 / cells as f64;
+        assert!((rate - 0.25).abs() < 0.08, "observed dropout {rate}");
+    }
+
+    #[test]
+    fn record_loss_and_duplication_change_the_stream_length() {
+        let db = clean_db(300);
+        let lossy = FaultInjector::new(FaultPlan {
+            record_loss: 0.3,
+            seed: 5,
+            ..FaultPlan::default()
+        })
+        .unwrap()
+        .corrupt(&db);
+        assert!(lossy.len() < 290, "losses: {} records survive", lossy.len());
+
+        let dupey = FaultInjector::new(FaultPlan {
+            record_duplication: 0.3,
+            seed: 5,
+            ..FaultPlan::default()
+        })
+        .unwrap()
+        .corrupt(&db);
+        assert!(dupey.len() > 310, "duplicates: {} records", dupey.len());
+        // Duplicates share their original's id but not (in general) its
+        // exact metrics — they are clock-skewed re-reads.
+        let mut seen = std::collections::HashSet::new();
+        let mut dup_found = false;
+        for r in &dupey {
+            if !seen.insert(r.id) {
+                dup_found = true;
+            }
+        }
+        assert!(dup_found);
+    }
+
+    #[test]
+    fn stuck_sensor_repeats_previous_record_values() {
+        let db = clean_db(100);
+        let out = FaultInjector::new(FaultPlan {
+            stuck_sensor: 0.5,
+            seed: 11,
+            ..FaultPlan::default()
+        })
+        .unwrap()
+        .corrupt(&db);
+        let original: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        // Some (but not all) cells must equal the previous record's value
+        // where the original differed.
+        let mut stuck = 0;
+        let mut total = 0;
+        for (i, r) in out.iter().enumerate().skip(1) {
+            for (j, v) in r.metrics.iter().enumerate() {
+                let orig = original[i].metrics[j];
+                let prev = original[i - 1].metrics[j];
+                if orig != prev {
+                    total += 1;
+                    if *v == prev {
+                        stuck += 1;
+                    }
+                }
+            }
+        }
+        let rate = stuck as f64 / total as f64;
+        assert!((rate - 0.5).abs() < 0.1, "observed stuck rate {rate}");
+    }
+
+    #[test]
+    fn spikes_are_heavy_tailed_but_bounded() {
+        let db = clean_db(200);
+        let out = FaultInjector::new(FaultPlan {
+            outlier_spike: 0.1,
+            seed: 13,
+            ..FaultPlan::default()
+        })
+        .unwrap()
+        .corrupt(&db);
+        let original: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        let mut inflations = Vec::new();
+        for (r, o) in out.iter().zip(&original) {
+            for (v, ov) in r.metrics.iter().zip(&o.metrics) {
+                if *ov > 0.0 && v != ov {
+                    inflations.push(v / ov);
+                }
+            }
+        }
+        assert!(!inflations.is_empty());
+        assert!(inflations.iter().all(|&x| x > 1.0 && x <= 1e6 + 2.0));
+        // Heavy tail: the max inflation dwarfs the median.
+        let mut sorted = inflations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(sorted[sorted.len() - 1] > 10.0 * sorted[sorted.len() / 2]);
+    }
+
+    #[test]
+    fn corrupt_database_quarantines_duplicates() {
+        let db = clean_db(200);
+        let plan = FaultPlan {
+            record_duplication: 0.2,
+            sample_dropout: 0.1,
+            seed: 17,
+            ..FaultPlan::default()
+        };
+        let (out, report) = FaultInjector::new(plan)
+            .unwrap()
+            .corrupt_database(&db, &IngestPolicy::default());
+        assert!(report.quarantined_count() > 0, "duplicates quarantined");
+        assert!(report.missing_cells > 0, "dropout markers recorded");
+        assert_eq!(out.len(), report.accepted);
+        assert!(out.len() <= db.len());
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(FaultInjector::new(FaultPlan {
+            sample_dropout: 1.5,
+            ..FaultPlan::default()
+        })
+        .is_err());
+        assert!(FaultInjector::new(FaultPlan {
+            noise_rel_std: -0.1,
+            ..FaultPlan::default()
+        })
+        .is_err());
+        assert!(FaultPlan {
+            record_loss: f64::NAN,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn shared_noise_skips_zero_without_consuming_draws() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(multiplicative_noise(0.0, 0.1, &mut a), 0.0);
+        // `a` consumed nothing: the next draws still match `b`'s.
+        assert_eq!(
+            multiplicative_noise(5.0, 0.1, &mut a),
+            multiplicative_noise(5.0, 0.1, &mut b)
+        );
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod datacenter;
+pub mod faults;
 pub mod feature;
 pub mod interference;
 pub mod machine;

@@ -8,6 +8,7 @@
 //! structure (machine vs HP) and the *built-in redundancies* (bandwidth =
 //! misses × line size, CPI = 1/IPC, …) the refinement step must discover.
 
+use crate::faults::multiplicative_noise;
 use crate::interference::MachinePerf;
 use crate::machine::MachineConfig;
 use crate::scenario::Scenario;
@@ -37,7 +38,7 @@ pub fn synthesize(
     let mut rng = StdRng::seed_from_u64(noise_seed);
     clean_vector(scenario, perf, config)
         .into_iter()
-        .map(|v| apply_noise(v, &mut rng))
+        .map(|v| multiplicative_noise(v, NOISE_REL_STD, &mut rng))
         .collect()
 }
 
@@ -62,16 +63,20 @@ fn clean_vector(scenario: &Scenario, perf: &MachinePerf, config: &MachineConfig)
 /// across-phase mean followed by its across-phase standard deviation,
 /// aligned with [`MetricSchema::canonical_enriched`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `phases == 0`.
+/// Returns a message if `phases == 0` (the caller-facing
+/// `FlareConfig::validate` rejects `temporal_phases == Some(0)` with a
+/// typed `InvalidParameter` before this can trigger).
 pub fn synthesize_enriched(
     scenario: &Scenario,
     config: &MachineConfig,
     phases: usize,
     noise_seed: u64,
-) -> Vec<f64> {
-    assert!(phases > 0, "at least one phase required");
+) -> Result<Vec<f64>, String> {
+    if phases == 0 {
+        return Err("temporal enrichment requires at least one phase".into());
+    }
     let mut rng = StdRng::seed_from_u64(noise_seed);
     // Deterministic per-scenario phase pattern: a sinusoidal demand swing
     // with a random phase offset and ±25 % amplitude.
@@ -91,21 +96,10 @@ pub fn synthesize_enriched(
         let series: Vec<f64> = phase_vectors.iter().map(|v| v[j]).collect();
         let mean = series.iter().sum::<f64>() / phases as f64;
         let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / phases as f64;
-        out.push(apply_noise(mean, &mut rng));
-        out.push(apply_noise(var.sqrt(), &mut rng));
+        out.push(multiplicative_noise(mean, NOISE_REL_STD, &mut rng));
+        out.push(multiplicative_noise(var.sqrt(), NOISE_REL_STD, &mut rng));
     }
-    out
-}
-
-/// Multiplicative Gaussian noise via Box–Muller, clamped non-negative.
-fn apply_noise(value: f64, rng: &mut StdRng) -> f64 {
-    if value == 0.0 {
-        return 0.0;
-    }
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    (value * (1.0 + NOISE_REL_STD * z)).max(0.0)
+    Ok(out)
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -524,12 +518,14 @@ mod tests {
     #[test]
     fn enriched_vector_matches_enriched_schema() {
         let (s, _, c) = setup(&[(JobName::DataCaching, 2), (JobName::GraphAnalytics, 2)]);
-        let v = synthesize_enriched(&s, &c, 6, 42);
+        let v = synthesize_enriched(&s, &c, 6, 42).unwrap();
         assert_eq!(v.len(), MetricSchema::canonical_enriched().len());
         assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
         // Deterministic per seed.
-        assert_eq!(v, synthesize_enriched(&s, &c, 6, 42));
-        assert_ne!(v, synthesize_enriched(&s, &c, 6, 43));
+        assert_eq!(v, synthesize_enriched(&s, &c, 6, 42).unwrap());
+        assert_ne!(v, synthesize_enriched(&s, &c, 6, 43).unwrap());
+        // Zero phases is a typed error, not a panic.
+        assert!(synthesize_enriched(&s, &c, 0, 42).is_err());
     }
 
     #[test]
@@ -538,7 +534,7 @@ mod tests {
         // (not exactly) the load-1.0 value.
         let (s, p, c) = setup(&[(JobName::WebServing, 3)]);
         let plain = synthesize(&s, &p, &c, 1);
-        let enriched = synthesize_enriched(&s, &c, 8, 1);
+        let enriched = synthesize_enriched(&s, &c, 8, 1).unwrap();
         let schema = MetricSchema::canonical();
         let mips_idx = schema
             .index_of(MetricId::new(MetricKind::Mips, Level::Machine))
@@ -557,7 +553,7 @@ mod tests {
         // A scenario whose performance depends on load (heavy colocation)
         // must show non-zero temporal std-dev on MIPS.
         let (s, _, c) = setup(&[(JobName::GraphAnalytics, 6), (JobName::Mcf, 6)]);
-        let v = synthesize_enriched(&s, &c, 8, 5);
+        let v = synthesize_enriched(&s, &c, 8, 5).unwrap();
         let schema = MetricSchema::canonical();
         let mips_idx = schema
             .index_of(MetricId::new(MetricKind::Mips, Level::Machine))

@@ -72,6 +72,87 @@ fn job_mix_strings_reconstruct_scenarios() {
 }
 
 #[test]
+fn fallible_replay_types_roundtrip_through_json() {
+    use flare::core::replayer::{Measurement, ReplayError, RetryPolicy};
+
+    let policy = RetryPolicy {
+        max_retries: 5,
+        backoff_base_ms: 20,
+        seed: 99,
+    };
+    let json = serde_json::to_string(&policy).expect("serialize policy");
+    let restored: RetryPolicy = serde_json::from_str(&json).expect("parse policy");
+    assert_eq!(policy, restored);
+    // Backoff schedules survive persistence bit-for-bit.
+    assert_eq!(policy.backoff_ms(42, 3), restored.backoff_ms(42, 3));
+
+    let err = ReplayError {
+        attempts: 3,
+        reason: "container failed to start".into(),
+    };
+    let json = serde_json::to_string(&err).expect("serialize error");
+    let restored: ReplayError = serde_json::from_str(&json).expect("parse error");
+    assert_eq!(err, restored);
+
+    // The fallible result of a run — what a distributed harness would ship
+    // back from a remote testbed — round-trips in both variants.
+    let ok: Result<Measurement, ReplayError> = Ok(Measurement {
+        hp_perf: Some(0.93),
+        per_job_perf: vec![(JobName::DataCaching, 0.93)],
+        hp_mips: 1234.5,
+    });
+    let bad: Result<Measurement, ReplayError> = Err(err);
+    for result in [ok, bad] {
+        let json = serde_json::to_string(&result).expect("serialize result");
+        let restored: Result<Measurement, ReplayError> =
+            serde_json::from_str(&json).expect("parse result");
+        assert_eq!(result, restored);
+    }
+}
+
+#[test]
+fn fault_plan_and_ingest_report_roundtrip_through_json() {
+    use flare::metrics::database::{IngestPolicy, IngestReport};
+    use flare::sim::faults::FaultPlan;
+
+    let plan = FaultPlan {
+        seed: 7,
+        sample_dropout: 0.1,
+        stuck_sensor: 0.02,
+        outlier_spike: 0.01,
+        record_loss: 0.05,
+        record_duplication: 0.03,
+        clock_skew: 0.02,
+        noise_rel_std: 0.04,
+    };
+    let json = serde_json::to_string(&plan).expect("serialize plan");
+    let restored: FaultPlan = serde_json::from_str(&json).expect("parse plan");
+    assert_eq!(plan, restored);
+
+    // An ingest report produced by real corruption round-trips intact.
+    let (corpus, cfg) = small_corpus();
+    let db = corpus.to_metric_database(&cfg.machine_config);
+    let injector = flare::sim::faults::FaultInjector::new(plan).expect("valid plan");
+    let (_, report) = injector.corrupt_database(&db, &IngestPolicy::default());
+    assert!(!report.is_clean(), "plan above must corrupt something");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    let restored: IngestReport = serde_json::from_str(&json).expect("parse report");
+    assert_eq!(report, restored);
+}
+
+#[test]
+fn estimate_coverage_fields_default_on_legacy_json() {
+    use flare::core::estimate::AllJobEstimate;
+
+    // JSON written before the fallible-replay fields existed must still
+    // parse, with full coverage and no dropped clusters assumed.
+    let legacy = r#"{"impact_pct": 4.2, "clusters": [], "replay_count": 9}"#;
+    let est: AllJobEstimate = serde_json::from_str(legacy).expect("parse legacy estimate");
+    assert_eq!(est.coverage, 1.0);
+    assert!(est.dropped_clusters.is_empty());
+}
+
+#[test]
 fn custom_testbed_implementations_plug_in() {
     // A user-supplied testbed (here: a simulator wrapper that injects a
     // fixed measurement bias) drops into the estimation path.

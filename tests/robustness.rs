@@ -3,9 +3,14 @@
 //! skewed input.
 
 use flare::core::analyzer::Analyzer;
-use flare::metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+use flare::core::estimate::{estimate_all_job_with, EstimateOptions};
+use flare::core::replayer::{FlakyTestbed, RetryPolicy};
+use flare::metrics::database::{IngestPolicy, MetricDatabase, ScenarioId, ScenarioRecord};
 use flare::metrics::schema::MetricSchema;
 use flare::prelude::*;
+use flare::sim::faults::{FaultInjector, FaultPlan};
+use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn tiny_corpus(days: f64) -> Corpus {
     Corpus::generate(&CorpusConfig {
@@ -168,6 +173,182 @@ fn skewed_observation_weights_shift_the_estimate_sanely() {
     // And it genuinely responds to the weighting (unless the corpus is
     // pathologically uniform).
     assert!((skewed_est.impact_pct - base_est).abs() >= 0.0);
+}
+
+/// Shared small corpus + clean profiled database for the fault-injection
+/// tests (profiling is the expensive part; corruption is cheap).
+fn fault_setup() -> &'static (Corpus, MetricDatabase, MachineConfig) {
+    static SETUP: OnceLock<(Corpus, MetricDatabase, MachineConfig)> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let baseline = cfg.machine_config.clone();
+        let db = corpus.to_metric_database(&baseline);
+        (corpus, db, baseline)
+    })
+}
+
+/// The hardened Analyzer configuration the fault tests fit with.
+fn hardened_config() -> FlareConfig {
+    FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(6),
+        robust_normalization: true,
+        winsorize_mad: Some(8.0),
+        ..FlareConfig::default()
+    }
+}
+
+#[test]
+fn dropout_and_record_loss_complete_with_finite_estimate() {
+    let (corpus, clean_db, baseline) = fault_setup();
+    let injector = FaultInjector::new(FaultPlan {
+        seed: 0xDEAD,
+        sample_dropout: 0.10,
+        record_loss: 0.01,
+        ..FaultPlan::default()
+    })
+    .expect("valid plan");
+    let (db, ingest) = injector.corrupt_database(clean_db, &IngestPolicy::default());
+    assert!(
+        ingest.missing_cells > 0,
+        "10% dropout must leave missing-sample markers"
+    );
+    assert!(db.len() <= clean_db.len());
+
+    let analyzer = Analyzer::fit(&db, &hardened_config()).expect("fit degraded telemetry");
+    let repair = analyzer.repair_report();
+    assert!(
+        repair.imputed_cells > 0,
+        "repair must fill the dropped samples: {repair:?}"
+    );
+    assert_eq!(repair.imputed_cells, db.missing_cells()); // every marker healed
+
+    let fc = Feature::paper_feature2().apply(baseline);
+    let est = estimate_all_job_with(
+        corpus,
+        &analyzer,
+        &SimTestbed,
+        baseline,
+        &fc,
+        &EstimateOptions::default(),
+    )
+    .expect("estimate on repaired telemetry");
+    assert!(est.impact_pct.is_finite());
+    assert_eq!(est.coverage, 1.0);
+}
+
+#[test]
+fn fault_injection_is_deterministic() {
+    let (_, clean_db, _) = fault_setup();
+    let plan = FaultPlan::uniform(0.2, 7);
+    let corrupt = || {
+        FaultInjector::new(plan)
+            .unwrap()
+            .corrupt_database(clean_db, &IngestPolicy::default())
+    };
+    let (db_a, rep_a) = corrupt();
+    let (db_b, rep_b) = corrupt();
+    assert_eq!(rep_a, rep_b);
+    assert_eq!(db_a.len(), db_b.len());
+    for (a, b) in db_a.iter().zip(db_b.iter()) {
+        assert_eq!(a.id, b.id);
+        // Bit-equality including NaN positions.
+        let bits =
+            |r: &ScenarioRecord| -> Vec<u64> { r.metrics.iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(a), bits(b));
+    }
+}
+
+#[test]
+fn clean_fault_plan_is_byte_identity() {
+    let (_, clean_db, _) = fault_setup();
+    let injector = FaultInjector::new(FaultPlan::default()).unwrap();
+    let (db, report) = injector.corrupt_database(clean_db, &IngestPolicy::default());
+    assert!(report.is_clean());
+    assert_eq!(db.len(), clean_db.len());
+    for (a, b) in db.iter().zip(clean_db.iter()) {
+        assert_eq!(a.id, b.id);
+        let bits =
+            |r: &ScenarioRecord| -> Vec<u64> { r.metrics.iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(a), bits(b));
+    }
+}
+
+#[test]
+fn flaky_testbed_failures_surface_as_typed_errors() {
+    let (corpus, clean_db, baseline) = fault_setup();
+    let analyzer = Analyzer::fit(clean_db, &hardened_config()).expect("fit");
+    let fc = Feature::paper_feature1().apply(baseline);
+    // Every replay fails permanently → ReplayFailed, never a panic.
+    let dead = FlakyTestbed::new(SimTestbed, 0.0, 1.0, 3);
+    let err = estimate_all_job_with(
+        corpus,
+        &analyzer,
+        &dead,
+        baseline,
+        &fc,
+        &EstimateOptions::default(),
+    )
+    .expect_err("all-failing testbed must error");
+    assert!(
+        matches!(err, FlareError::ReplayFailed { coverage, .. } if coverage == 0.0),
+        "expected ReplayFailed, got {err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// At any composite fault rate in [0, 0.5] — telemetry corruption on
+    /// the collection side plus flaky replays on the testbed side — the
+    /// pipeline either returns a finite estimate or a typed error; it
+    /// never panics and never reports a non-finite impact.
+    #[test]
+    fn pipeline_never_panics_under_faults(
+        rate in 0.0f64..=0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let (corpus, clean_db, baseline) = fault_setup();
+        let injector = FaultInjector::new(FaultPlan {
+            seed,
+            sample_dropout: rate,
+            stuck_sensor: rate * 0.2,
+            outlier_spike: rate * 0.1,
+            record_loss: rate * 0.1,
+            record_duplication: rate * 0.1,
+            ..FaultPlan::default()
+        }).expect("valid plan");
+        let (db, _ingest) = injector.corrupt_database(clean_db, &IngestPolicy::default());
+
+        match Analyzer::fit(&db, &hardened_config()) {
+            Ok(analyzer) => {
+                let fc = Feature::paper_feature2().apply(baseline);
+                let flaky = FlakyTestbed::new(SimTestbed, rate * 0.3, rate * 0.1, seed);
+                let options = EstimateOptions {
+                    retry: RetryPolicy { max_retries: 4, ..RetryPolicy::default() },
+                    min_coverage: 0.25,
+                    ..EstimateOptions::default()
+                };
+                match estimate_all_job_with(corpus, &analyzer, &flaky, baseline, &fc, &options) {
+                    Ok(est) => {
+                        prop_assert!(est.impact_pct.is_finite());
+                        prop_assert!((0.0..=1.0).contains(&est.coverage));
+                    }
+                    // Degradation past the floor is a typed error, not a panic.
+                    Err(FlareError::ReplayFailed { .. }) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+                }
+            }
+            // Heavy record loss can legitimately starve the clustering.
+            Err(FlareError::InsufficientData(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected fit error: {e}"))),
+        }
+    }
 }
 
 #[test]
