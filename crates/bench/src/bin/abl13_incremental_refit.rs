@@ -1,0 +1,200 @@
+//! Ablation 13: incremental refit on the staged artifact pipeline — what
+//! does fingerprint-driven stage reuse actually buy over re-running the
+//! whole Profiler→Analyzer pipeline?
+//!
+//! Three workflows over the same corpus, each timed against a from-scratch
+//! `Flare::fit`:
+//!
+//! 1. **clustering-only refit** — change the cluster count; profile,
+//!    repair, and featurize (PCA) artifacts are reused verbatim.
+//! 2. **sweep-range refit** — widen a cluster-count sweep; previously
+//!    measured per-`k` sweep points carry over.
+//! 3. **extend** — append a handful of new scenarios; only the delta is
+//!    profiled, everything downstream re-runs over the grown database.
+//!
+//! Every incremental result is asserted identical to its from-scratch
+//! equivalent (same representatives, same assignments), so the timings
+//! compare equal outputs. Run with `--smoke` for the small CI variant,
+//! which also asserts that refit is strictly faster than a full fit.
+
+use flare_bench::banner;
+use flare_core::{ClusterCountRule, Flare, FlareConfig, StageOutcome};
+use flare_sim::datacenter::{Corpus, CorpusConfig};
+use flare_sim::scenario::Scenario;
+use flare_workloads::job::JobName;
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+fn assert_same(a: &Flare, b: &Flare, label: &str) {
+    assert_eq!(
+        a.analyzer().representatives(),
+        b.analyzer().representatives(),
+        "{label}: representatives diverged from the from-scratch fit"
+    );
+    assert_eq!(
+        a.analyzer().clustering().assignments,
+        b.analyzer().clustering().assignments,
+        "{label}: assignments diverged from the from-scratch fit"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "Ablation: incremental refit vs full fit",
+        "staged artifact pipeline — fingerprint-driven stage reuse",
+    );
+
+    let corpus_cfg = if smoke {
+        CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        }
+    } else {
+        CorpusConfig::default()
+    };
+    let corpus = Corpus::generate(&corpus_cfg);
+    let (k_a, k_b) = if smoke { (8, 6) } else { (18, 12) };
+    let sweep_narrow = if smoke {
+        ClusterCountRule::Sweep {
+            min_k: 2,
+            max_k: 6,
+            step: 1,
+        }
+    } else {
+        ClusterCountRule::Sweep {
+            min_k: 4,
+            max_k: 16,
+            step: 2,
+        }
+    };
+    let sweep_wide = if smoke {
+        ClusterCountRule::Sweep {
+            min_k: 2,
+            max_k: 8,
+            step: 1,
+        }
+    } else {
+        ClusterCountRule::Sweep {
+            min_k: 4,
+            max_k: 22,
+            step: 2,
+        }
+    };
+
+    let base_cfg = FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(k_a),
+        ..FlareConfig::default()
+    };
+    println!(
+        "\ncorpus: {} scenarios ({} machines, {} days)\n",
+        corpus.len(),
+        corpus_cfg.machines,
+        corpus_cfg.days
+    );
+    println!(
+        "  {:<26} | {:>9} | {:>9} | {:>8} | {}",
+        "workflow", "full fit", "increm.", "speedup", "stage reuse"
+    );
+
+    // --- Workflow 1: clustering-only refit -------------------------------
+    let (fitted, t_full) = time(|| Flare::fit(corpus.clone(), base_cfg.clone()).expect("fit"));
+    let new_cfg = FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(k_b),
+        ..base_cfg.clone()
+    };
+    let (refitted, t_refit) = time(|| fitted.refit(new_cfg.clone()).expect("refit"));
+    let report = refitted.fit_report();
+    assert_eq!(report.scenarios_profiled, 0, "refit must never re-profile");
+    assert_eq!(report.profile, StageOutcome::Reused);
+    assert_eq!(report.featurize, StageOutcome::Reused);
+    let (fresh, t_fresh) = time(|| Flare::fit(corpus.clone(), new_cfg).expect("fit"));
+    assert_same(&refitted, &fresh, "clustering-only refit");
+    println!(
+        "  {:<26} | {:>8.2}s | {:>8.2}s | {:>7.1}x | {} of 5 stages reused",
+        format!("refit k={k_a} -> k={k_b}"),
+        t_fresh,
+        t_refit,
+        t_fresh / t_refit,
+        report.reused_stages()
+    );
+
+    // --- Workflow 2: sweep-range refit -----------------------------------
+    let narrow_cfg = FlareConfig {
+        cluster_count: sweep_narrow,
+        ..FlareConfig::default()
+    };
+    let swept = Flare::fit(corpus.clone(), narrow_cfg).expect("sweep fit");
+    let wide_cfg = FlareConfig {
+        cluster_count: sweep_wide,
+        ..swept.config().clone()
+    };
+    let (resweep, t_resweep) = time(|| swept.refit(wide_cfg.clone()).expect("sweep refit"));
+    let sweep_report = resweep.fit_report();
+    assert!(
+        sweep_report.sweep_points_reused > 0,
+        "widened sweep must carry points over"
+    );
+    let (fresh_sweep, t_fresh_sweep) =
+        time(|| Flare::fit(corpus.clone(), wide_cfg).expect("sweep fit"));
+    assert_same(&resweep, &fresh_sweep, "sweep-range refit");
+    println!(
+        "  {:<26} | {:>8.2}s | {:>8.2}s | {:>7.1}x | {} sweep points reused",
+        "refit widened sweep",
+        t_fresh_sweep,
+        t_resweep,
+        t_fresh_sweep / t_resweep,
+        sweep_report.sweep_points_reused
+    );
+
+    // --- Workflow 3: extend with a scenario delta ------------------------
+    let delta = vec![
+        (Scenario::from_counts([(JobName::DataCaching, 2)]), 6),
+        (
+            Scenario::from_counts([(JobName::GraphAnalytics, 2), (JobName::Mcf, 1)]),
+            3,
+        ),
+        (Scenario::from_counts([(JobName::WebServing, 4)]), 2),
+    ];
+    let (extended, t_extend) = time(|| fitted.extend(delta.clone()).expect("extend"));
+    let extend_report = extended.fit_report();
+    assert_eq!(extend_report.profile, StageOutcome::Extended);
+    assert_eq!(
+        extend_report.scenarios_profiled,
+        delta.len(),
+        "extend must profile exactly the delta"
+    );
+    let grown = corpus.extended(delta).expect("extended corpus");
+    let (fresh_ext, t_fresh_ext) = time(|| Flare::fit(grown, base_cfg).expect("fit"));
+    assert_same(&extended, &fresh_ext, "extend");
+    println!(
+        "  {:<26} | {:>8.2}s | {:>8.2}s | {:>7.1}x | {} of {} scenarios profiled",
+        format!("extend +{} scenarios", extend_report.scenarios_profiled),
+        t_fresh_ext,
+        t_extend,
+        t_fresh_ext / t_extend,
+        extend_report.scenarios_profiled,
+        extended.corpus().len()
+    );
+
+    if smoke {
+        assert!(
+            t_refit < t_full && t_refit < t_fresh,
+            "smoke gate: clustering-only refit ({t_refit:.3}s) must beat a full fit \
+             ({t_full:.3}s first, {t_fresh:.3}s repeat)"
+        );
+    }
+    println!(
+        "\ntakeaway: the fingerprint chain turns config iteration into cheap\n\
+         cluster-stage re-runs (profiling and PCA are never repeated), widened\n\
+         sweeps only measure the new k values, and corpus growth profiles just\n\
+         the appended scenarios — all with byte-identical results to full fits."
+    );
+}

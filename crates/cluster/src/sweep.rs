@@ -161,6 +161,31 @@ pub fn centroids_of(data: &Matrix, assignments: &[usize], k: usize) -> Vec<Vec<f
 ///   (silhouette needs ≥ 2 clusters).
 /// - Any error from the underlying K-means or silhouette computation.
 pub fn sweep_kmeans(data: &Matrix, ks: &[usize], base: &KMeansConfig) -> Result<SweepResult> {
+    sweep_kmeans_cached(data, ks, base, None).map(|(sweep, _)| sweep)
+}
+
+/// [`sweep_kmeans`] with reuse of a previous sweep's measurements.
+///
+/// Candidate counts already present in `prev` are copied verbatim instead of
+/// re-running K-means; only the missing counts are evaluated. Returns the
+/// merged sweep plus the number of points that were reused.
+///
+/// Caller contract: `prev` must have been produced from the **same** `data`
+/// and the same `base` parameters (modulo `k`/`threads`) — the function
+/// cannot detect a stale cache, it just trusts the `k` labels. Fresh points
+/// are computed with the exact per-candidate procedure of [`sweep_kmeans`]
+/// (serial K-means inside each worker), so a cached sweep is byte-identical
+/// to an uncached one.
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_kmeans`].
+pub fn sweep_kmeans_cached(
+    data: &Matrix,
+    ks: &[usize],
+    base: &KMeansConfig,
+    prev: Option<&SweepResult>,
+) -> Result<(SweepResult, usize)> {
     if ks.is_empty() {
         return Err(ClusterError::InvalidParameter("empty sweep range".into()));
     }
@@ -169,7 +194,16 @@ pub fn sweep_kmeans(data: &Matrix, ks: &[usize], base: &KMeansConfig) -> Result<
             "sweep requires k >= 2 (silhouette undefined below)".into(),
         ));
     }
-    let mut points: Vec<SweepPoint> = par_map_indexed(ks, base.threads, |_, &k| {
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(ks.len());
+    let mut todo: Vec<usize> = Vec::new();
+    for &k in ks {
+        match prev.and_then(|s| s.point(k)) {
+            Some(p) => points.push(p.clone()),
+            None => todo.push(k),
+        }
+    }
+    let reused = points.len();
+    let fresh: Vec<SweepPoint> = par_map_indexed(&todo, base.threads, |_, &k| {
         let mut cfg = base.clone();
         cfg.k = k;
         cfg.threads = Some(1);
@@ -183,8 +217,9 @@ pub fn sweep_kmeans(data: &Matrix, ks: &[usize], base: &KMeansConfig) -> Result<
     })
     .into_iter()
     .collect::<Result<_>>()?;
+    points.extend(fresh);
     points.sort_by_key(|p| p.k);
-    Ok(SweepResult { points })
+    Ok((SweepResult { points }, reused))
 }
 
 #[cfg(test)]
@@ -281,6 +316,38 @@ mod tests {
             let parallel = sweep_kmeans(&data, &ks, &base.clone().with_threads(threads)).unwrap();
             assert_eq!(serial, parallel, "threads={threads:?}");
         }
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_byte_identically() {
+        let data = blobs5();
+        let base = KMeansConfig::new(2).with_restarts(6);
+        let full_ks: Vec<usize> = (2..=8).collect();
+        let full = sweep_kmeans(&data, &full_ks, &base).unwrap();
+
+        // Warm cache covering a subset of the range.
+        let warm = sweep_kmeans(&data, &[2, 3, 4], &base).unwrap();
+        let (cached, reused) = sweep_kmeans_cached(&data, &full_ks, &base, Some(&warm)).unwrap();
+        assert_eq!(reused, 3);
+        assert_eq!(cached, full, "cache reuse must not change any point");
+
+        // Fully-warm cache: nothing recomputed.
+        let (hot, reused) = sweep_kmeans_cached(&data, &full_ks, &base, Some(&full)).unwrap();
+        assert_eq!(reused, full_ks.len());
+        assert_eq!(hot, full);
+
+        // Cold cache behaves exactly like sweep_kmeans.
+        let (cold, reused) = sweep_kmeans_cached(&data, &full_ks, &base, None).unwrap();
+        assert_eq!(reused, 0);
+        assert_eq!(cold, full);
+    }
+
+    #[test]
+    fn cached_sweep_validates_like_uncached() {
+        let data = blobs5();
+        let base = KMeansConfig::new(2);
+        assert!(sweep_kmeans_cached(&data, &[], &base, None).is_err());
+        assert!(sweep_kmeans_cached(&data, &[1, 2], &base, None).is_err());
     }
 
     #[test]

@@ -9,17 +9,19 @@
 //! 3. representative extraction — whiten the kept PCs, K-means cluster,
 //!    and pick each group's nearest-to-centroid scenario (§4.4, Fig. 9/10).
 
-use crate::config::{ClusterCountRule, ClusterMethod, FlareConfig};
+use crate::config::FlareConfig;
 use crate::diagnostics::RepairReport;
 use crate::error::{FlareError, Result};
-use flare_cluster::hierarchical::agglomerative;
-use flare_cluster::kmeans::{kmeans, KMeansResult};
-use flare_cluster::sweep::{sweep_hierarchical, sweep_kmeans, SweepResult};
+use crate::stages::{
+    self, ClusterArtifact, FeaturizeArtifact, Fingerprint, RepresentativesArtifact,
+    StageFingerprints,
+};
+use flare_cluster::kmeans::KMeansResult;
+use flare_cluster::sweep::SweepResult;
 use flare_linalg::pca::Pca;
-use flare_linalg::stats::robust_scale;
 use flare_linalg::Matrix;
-use flare_metrics::correlation::{apply_refinement, refine, RefinementReport};
-use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
+use flare_metrics::correlation::RefinementReport;
+use flare_metrics::database::{MetricDatabase, ScenarioId};
 use flare_metrics::schema::MetricSchema;
 
 /// A fitted Analyzer: the full state of FLARE steps 1–3.
@@ -38,73 +40,10 @@ pub struct Analyzer {
     repair: RepairReport,
 }
 
-/// Repairs a degraded metric database before refinement: missing samples
-/// (NaN markers left by quarantine-tolerant ingestion) are filled with
-/// the column median over the finite samples, and — when `winsorize_mad`
-/// is `Some(k)` — finite outliers are clamped to the
-/// `median ± k·MAD·1.4826` band. Returns `None` when nothing needed
-/// repair so the clean path reuses the input database untouched.
-fn repair_database(
-    db: &MetricDatabase,
-    winsorize_mad: Option<f64>,
-) -> Result<(Option<MetricDatabase>, RepairReport)> {
-    use flare_linalg::stats::{mad, median, MAD_TO_SIGMA};
-    let d = db.schema().len();
-    let mut report = RepairReport {
-        records: db.len(),
-        ..RepairReport::default()
-    };
-    let mut fill = vec![0.0; d];
-    let mut band: Vec<Option<(f64, f64)>> = vec![None; d];
-    for j in 0..d {
-        let finite: Vec<f64> = db
-            .iter()
-            .map(|r| r.metrics[j])
-            .filter(|v| v.is_finite())
-            .collect();
-        if finite.is_empty() {
-            // No in-band value exists to borrow; 0.0 keeps the column
-            // constant so normalization neutralizes it.
-            report.dead_columns.push(j);
-            continue;
-        }
-        let m = median(&finite)?;
-        fill[j] = m;
-        if let Some(k) = winsorize_mad {
-            let spread = mad(&finite)? * MAD_TO_SIGMA;
-            if spread > f64::EPSILON {
-                band[j] = Some((m - k * spread, m + k * spread));
-            }
-        }
-    }
-    let mut records: Vec<ScenarioRecord> = Vec::with_capacity(db.len());
-    for rec in db.iter() {
-        let mut rec = rec.clone();
-        for (j, v) in rec.metrics.iter_mut().enumerate() {
-            if !v.is_finite() {
-                *v = fill[j];
-                report.imputed_cells += 1;
-            } else if let Some((lo, hi)) = band[j] {
-                if *v < lo || *v > hi {
-                    *v = v.clamp(lo, hi);
-                    report.winsorized_cells += 1;
-                }
-            }
-        }
-        records.push(rec);
-    }
-    if report.is_clean() {
-        return Ok((None, report));
-    }
-    let mut repaired = MetricDatabase::new(db.schema().clone());
-    for rec in records {
-        repaired.insert(rec)?;
-    }
-    Ok((Some(repaired), report))
-}
-
 impl Analyzer {
-    /// Fits the Analyzer to a metric database.
+    /// Fits the Analyzer to a metric database by running the
+    /// [`crate::stages`] pipeline end to end (Repair → Featurize →
+    /// Cluster → Representatives).
     ///
     /// # Errors
     ///
@@ -114,118 +53,69 @@ impl Analyzer {
     /// - Propagated refinement/PCA/clustering errors.
     pub fn fit(db: &MetricDatabase, config: &FlareConfig) -> Result<Self> {
         config.validate().map_err(FlareError::InvalidParameter)?;
-        if db.len() < 2 {
-            return Err(FlareError::InsufficientData(format!(
-                "{} scenarios in database",
-                db.len()
-            )));
-        }
+        let fps = StageFingerprints::compute(stages::fingerprint_database(db), config);
+        let (analyzer, _) = stages::fit_database(db, config, &fps)?;
+        Ok(analyzer)
+    }
 
-        // Step 1a: repair. Degraded telemetry (NaN missing-sample markers,
-        // outlier spikes) is healed before any statistics are computed;
-        // a clean database passes through untouched.
-        let repaired_owned;
-        let (db, repair) = match repair_database(db, config.winsorize_mad)? {
-            (Some(repaired), report) => {
-                repaired_owned = repaired;
-                (&repaired_owned, report)
-            }
-            (None, report) => (db, report),
-        };
-
-        // §5.3 per-job mix columns participate only when augmentation is
-        // requested; otherwise they're stripped before refinement so the
-        // default pipeline clusters on general characteristics only.
-        let db_owned;
-        let db = if config.per_job_augmentation {
-            db
-        } else {
-            let keep = db.schema().non_job_mix_indices();
-            if keep.len() == db.schema().len() {
-                db
-            } else {
-                db_owned = db.project(&keep)?;
-                &db_owned
-            }
-        };
-
-        // Step 1b: refinement (the Profiler collected; we prune).
-        let refinement = refine(db, config.correlation_threshold)?;
-        let refined = apply_refinement(db, &refinement)?;
-
-        // Step 2: high-level metric construction. Robust normalization
-        // swaps the mean/std z-score for median/MAD so residual spikes
-        // cannot dominate the column variances the PCA sees.
-        let data = refined.to_matrix()?;
-        let pca = if config.robust_normalization {
-            Pca::fit_with(&data, robust_scale(&data)?)?
-        } else {
-            Pca::fit(&data)?
-        };
-        let n_pcs = pca.components_for_variance(config.variance_threshold)?;
-        let projected = pca.transform_whitened(&data, n_pcs)?;
-
-        let scenario_ids = refined.scenario_ids();
-        let observations: Vec<u32> = refined.iter().map(|r| r.observations).collect();
-
-        // Step 3: group and extract representatives. The pipeline-wide
-        // `threads` knob flows into the k-means stages unless the k-means
-        // config already pins its own thread count.
-        let mut kconfig = config.kmeans.clone();
-        kconfig.threads = kconfig.threads.or(config.threads);
-        let (k, sweep) = match &config.cluster_count {
-            ClusterCountRule::Fixed(k) => (*k, None),
-            ClusterCountRule::Sweep { min_k, max_k, step } => {
-                let ks: Vec<usize> = (*min_k..=*max_k).step_by(*step).collect();
-                let sweep = match config.cluster_method {
-                    ClusterMethod::KMeans => sweep_kmeans(&projected, &ks, &kconfig)?,
-                    ClusterMethod::Hierarchical(linkage) => {
-                        sweep_hierarchical(&projected, &ks, linkage)?
-                    }
-                };
-                let k = sweep.recommended_k().ok_or_else(|| {
-                    FlareError::InsufficientData("sweep produced no recommendation".into())
-                })?;
-                (k, Some(sweep))
-            }
-        };
-        if db.len() < k {
-            return Err(FlareError::InsufficientData(format!(
-                "{} scenarios cannot form {k} clusters",
-                db.len()
-            )));
-        }
-        let clustering = match config.cluster_method {
-            ClusterMethod::KMeans => {
-                kconfig.k = k;
-                kmeans(&projected, &kconfig)?
-            }
-            ClusterMethod::Hierarchical(linkage) => {
-                let dendrogram = agglomerative(&projected, linkage)?;
-                let assignments = dendrogram.cut(k)?;
-                KMeansResult::from_assignments(&projected, assignments, k)?
-            }
-        };
-        let ranked_members = match config.representative_rule {
-            crate::config::RepresentativeRule::NearestToCentroid => {
-                clustering.members_by_centroid_distance(&projected)
-            }
-            crate::config::RepresentativeRule::Medoid => medoid_rankings(&projected, &clustering),
-        };
-
-        Ok(Analyzer {
-            refinement,
-            refined_schema: refined.schema().clone(),
-            pca,
-            n_pcs,
-            projected,
-            scenario_ids,
-            observations,
-            clustering,
-            ranked_members,
-            sweep,
+    /// Assembles a fitted Analyzer from the stage artifacts. The analyzer
+    /// *is* the union of the Featurize, Cluster, and Representatives
+    /// artifacts (plus the repair report), so incremental refits can stitch
+    /// reused and recomputed artifacts back together losslessly.
+    pub(crate) fn from_artifacts(
+        repair: RepairReport,
+        feat: FeaturizeArtifact,
+        cluster: ClusterArtifact,
+        reps: RepresentativesArtifact,
+    ) -> Analyzer {
+        Analyzer {
+            refinement: feat.refinement,
+            refined_schema: feat.refined_schema,
+            pca: feat.pca,
+            n_pcs: feat.n_pcs,
+            projected: feat.projected,
+            scenario_ids: feat.scenario_ids,
+            observations: feat.observations,
+            clustering: cluster.clustering,
+            ranked_members: reps.ranked_members,
+            sweep: cluster.sweep,
             repair,
-        })
+        }
+    }
+
+    /// Re-extracts the Featurize artifact this analyzer was assembled
+    /// from, stamped with `fingerprint` (inverse of [`Analyzer::from_artifacts`]).
+    pub(crate) fn extract_featurize(&self, fingerprint: Fingerprint) -> FeaturizeArtifact {
+        FeaturizeArtifact {
+            refinement: self.refinement.clone(),
+            refined_schema: self.refined_schema.clone(),
+            pca: self.pca.clone(),
+            n_pcs: self.n_pcs,
+            projected: self.projected.clone(),
+            scenario_ids: self.scenario_ids.clone(),
+            observations: self.observations.clone(),
+            fingerprint,
+        }
+    }
+
+    /// Re-extracts the Cluster artifact, stamped with `fingerprint`.
+    pub(crate) fn extract_cluster(&self, fingerprint: Fingerprint) -> ClusterArtifact {
+        ClusterArtifact {
+            clustering: self.clustering.clone(),
+            sweep: self.sweep.clone(),
+            fingerprint,
+        }
+    }
+
+    /// Re-extracts the Representatives artifact, stamped with `fingerprint`.
+    pub(crate) fn extract_representatives(
+        &self,
+        fingerprint: Fingerprint,
+    ) -> RepresentativesArtifact {
+        RepresentativesArtifact {
+            ranked_members: self.ranked_members.clone(),
+            fingerprint,
+        }
     }
 
     /// The refinement report (which metrics were pruned and why).
@@ -305,11 +195,27 @@ impl Analyzer {
     /// All member scenarios of cluster `c` ranked by ascending distance to
     /// the centroid — `ranked(c)[0]` is the representative; the rest are
     /// the per-job fallbacks of §5.3.
+    ///
+    /// Allocates a fresh `Vec`; the estimation hot paths use
+    /// [`Analyzer::ranked_ids`] instead.
     pub fn ranked(&self, c: usize) -> Vec<ScenarioId> {
+        self.ranked_ids(c).collect()
+    }
+
+    /// Iterator over cluster `c`'s member scenarios in representative-first
+    /// order — the allocation-free sibling of [`Analyzer::ranked`]. Empty
+    /// for an out-of-range cluster.
+    pub fn ranked_ids(&self, c: usize) -> impl Iterator<Item = ScenarioId> + '_ {
         self.ranked_members
             .get(c)
-            .map(|m| m.iter().map(|&row| self.scenario_ids[row]).collect())
-            .unwrap_or_default()
+            .into_iter()
+            .flatten()
+            .map(move |&row| self.scenario_ids[row])
+    }
+
+    /// Number of members in cluster `c` (zero when out of range).
+    pub fn ranked_len(&self, c: usize) -> usize {
+        self.ranked_members.get(c).map_or(0, Vec::len)
     }
 
     /// Cluster assignment of a scenario, if it was in the fitted corpus.
@@ -381,33 +287,6 @@ impl Analyzer {
             size: members.len(),
         })
     }
-}
-
-/// Ranks each cluster's members by ascending total distance to the other
-/// members: `ranked[c][0]` is the medoid.
-fn medoid_rankings(data: &Matrix, clustering: &KMeansResult) -> Vec<Vec<usize>> {
-    use flare_cluster::distance::euclidean;
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); clustering.k()];
-    for (row, &c) in clustering.assignments.iter().enumerate() {
-        members[c].push(row);
-    }
-    for group in &mut members {
-        let totals: Vec<f64> = group
-            .iter()
-            .map(|&i| {
-                group
-                    .iter()
-                    .map(|&j| euclidean(data.row(i), data.row(j)))
-                    .sum()
-            })
-            .collect();
-        let mut order: Vec<usize> = (0..group.len()).collect();
-        // `total_cmp` keeps the ranking well-defined even if a degenerate
-        // projection produces a NaN distance (NaN sorts last).
-        order.sort_by(|&a, &b| totals[a].total_cmp(&totals[b]));
-        *group = order.iter().map(|&pos| group[pos]).collect();
-    }
-    members
 }
 
 /// A serializable snapshot of a fitted [`Analyzer`] — persist the result
@@ -519,6 +398,7 @@ pub struct ClusterPcProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ClusterCountRule;
     use flare_metrics::database::ScenarioRecord;
     use flare_metrics::schema::MetricSchema;
 
@@ -754,7 +634,7 @@ mod tests {
     /// rebuilt through the tolerant ingestion path.
     fn degrade(db: &MetricDatabase, holes: &[(usize, usize)]) -> MetricDatabase {
         use flare_metrics::database::IngestPolicy;
-        let mut records: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        let mut records: Vec<ScenarioRecord> = db.iter().map(|r| r.to_record()).collect();
         for &(row, col) in holes {
             records[row].metrics[col] = f64::NAN;
         }
@@ -784,7 +664,7 @@ mod tests {
     fn winsorization_clamps_spikes() {
         let clean = planted_db(10);
         // Spike one cell by 1000x; without winsorization it passes through.
-        let mut records: Vec<ScenarioRecord> = clean.iter().cloned().collect();
+        let mut records: Vec<ScenarioRecord> = clean.iter().map(|r| r.to_record()).collect();
         records[5].metrics[2] *= 1000.0;
         let mut spiked = MetricDatabase::new(clean.schema().clone());
         for r in records {

@@ -132,6 +132,106 @@ impl Default for FlareConfig {
     }
 }
 
+/// The config slice the Profile stage reads (see [`crate::stages`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// §4.1 temporal enrichment phase count (`None` = averages only).
+    pub temporal_phases: Option<usize>,
+}
+
+/// The config slice the Ingest/Repair stage reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairConfig {
+    /// MAD winsorization band width (`None` = no winsorization).
+    pub winsorize_mad: Option<f64>,
+}
+
+/// The config slice the Featurize (refinement + PCA) stage reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaturizeConfig {
+    /// Keep per-job colocation-mix columns in the feature space (§5.3).
+    pub per_job_augmentation: bool,
+    /// |Pearson| threshold for refinement pruning (§4.2).
+    pub correlation_threshold: f64,
+    /// Cumulative explained-variance target for the kept PCs (§4.3).
+    pub variance_threshold: f64,
+    /// Median/MAD normalization instead of mean/std before PCA.
+    pub robust_normalization: bool,
+}
+
+/// The config slice the Cluster stage reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStageConfig {
+    /// Cluster-count selection rule (§4.4).
+    pub cluster_count: ClusterCountRule,
+    /// Clustering algorithm (§4.4).
+    pub cluster_method: ClusterMethod,
+    /// K-means settings; ignored when the method is hierarchical.
+    pub kmeans: KMeansConfig,
+}
+
+impl ClusterStageConfig {
+    /// The copy a content fingerprint should see: `kmeans.k` is always
+    /// overridden by the cluster-count rule and `kmeans.threads` is a
+    /// wall-clock knob, so both are normalized away to keep them from
+    /// spuriously invalidating the cluster stage.
+    pub fn fingerprint_view(&self) -> ClusterStageConfig {
+        let mut view = self.clone();
+        view.kmeans.k = 0;
+        view.kmeans.threads = None;
+        view
+    }
+}
+
+/// The config slice the Representatives stage reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepresentativesConfig {
+    /// How each group's representative scenario is selected.
+    pub representative_rule: RepresentativeRule,
+}
+
+impl FlareConfig {
+    /// The Profile stage's sub-config.
+    pub fn profile_stage(&self) -> ProfileConfig {
+        ProfileConfig {
+            temporal_phases: self.temporal_phases,
+        }
+    }
+
+    /// The Ingest/Repair stage's sub-config.
+    pub fn repair_stage(&self) -> RepairConfig {
+        RepairConfig {
+            winsorize_mad: self.winsorize_mad,
+        }
+    }
+
+    /// The Featurize stage's sub-config.
+    pub fn featurize_stage(&self) -> FeaturizeConfig {
+        FeaturizeConfig {
+            per_job_augmentation: self.per_job_augmentation,
+            correlation_threshold: self.correlation_threshold,
+            variance_threshold: self.variance_threshold,
+            robust_normalization: self.robust_normalization,
+        }
+    }
+
+    /// The Cluster stage's sub-config.
+    pub fn cluster_stage(&self) -> ClusterStageConfig {
+        ClusterStageConfig {
+            cluster_count: self.cluster_count.clone(),
+            cluster_method: self.cluster_method,
+            kmeans: self.kmeans.clone(),
+        }
+    }
+
+    /// The Representatives stage's sub-config.
+    pub fn representatives_stage(&self) -> RepresentativesConfig {
+        RepresentativesConfig {
+            representative_rule: self.representative_rule,
+        }
+    }
+}
+
 impl FlareConfig {
     /// Validates parameter ranges.
     ///
@@ -251,6 +351,40 @@ mod tests {
         assert!(c.validate().is_err());
         c.threads = Some(4);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn stage_sub_configs_carry_exactly_their_fields() {
+        let c = FlareConfig {
+            correlation_threshold: 0.9,
+            variance_threshold: 0.8,
+            temporal_phases: Some(3),
+            winsorize_mad: Some(2.0),
+            per_job_augmentation: true,
+            robust_normalization: true,
+            ..FlareConfig::default()
+        };
+        assert_eq!(c.profile_stage().temporal_phases, Some(3));
+        assert_eq!(c.repair_stage().winsorize_mad, Some(2.0));
+        let f = c.featurize_stage();
+        assert!(f.per_job_augmentation && f.robust_normalization);
+        assert_eq!(f.correlation_threshold, 0.9);
+        assert_eq!(f.variance_threshold, 0.8);
+        assert_eq!(c.cluster_stage().cluster_count, c.cluster_count);
+        assert_eq!(
+            c.representatives_stage().representative_rule,
+            c.representative_rule
+        );
+        // The fingerprint view normalizes the two knobs the pipeline never
+        // reads as-is: the overridden `k` and the wall-clock `threads`.
+        let mut c2 = c.clone();
+        c2.kmeans.threads = Some(5);
+        c2.kmeans.k = 3;
+        assert_eq!(
+            c.cluster_stage().fingerprint_view(),
+            c2.cluster_stage().fingerprint_view()
+        );
+        assert_ne!(c.cluster_stage(), c2.cluster_stage());
     }
 
     #[test]

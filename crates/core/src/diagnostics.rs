@@ -141,12 +141,11 @@ pub fn diagnose_extraction<T: Testbed>(
     let mut extra_replays = 0usize;
 
     for (c, &weight) in weights.iter().enumerate() {
-        let ranked = analyzer.ranked(c);
         // Representative = first HP-measurable member.
         let mut rep_impact = None;
         let mut rep_pos = 0;
-        for (pos, id) in ranked.iter().enumerate() {
-            let entry = match corpus.get(*id) {
+        for (pos, id) in analyzer.ranked_ids(c).enumerate() {
+            let entry = match corpus.get(id) {
                 Some(e) => e,
                 None => continue,
             };
@@ -165,11 +164,11 @@ pub fn diagnose_extraction<T: Testbed>(
         };
 
         // Sample up to `samples_per_cluster` other members uniformly.
-        let candidates: Vec<_> = ranked
-            .iter()
+        let candidates: Vec<_> = analyzer
+            .ranked_ids(c)
             .enumerate()
             .filter(|(pos, _)| *pos != rep_pos)
-            .map(|(_, id)| *id)
+            .map(|(_, id)| id)
             .collect();
         let mut member_impacts = Vec::new();
         let mut pool = candidates;

@@ -160,12 +160,11 @@ pub fn estimate_all_job_with<T: Testbed>(
     let mut failed_weight = 0.0;
 
     for (c, &weight) in weights.iter().enumerate() {
-        let ranked = analyzer.ranked(c);
         let mut found = None;
         let mut had_error = false;
-        for (depth, id) in ranked.iter().enumerate() {
+        for (depth, id) in analyzer.ranked_ids(c).enumerate() {
             let entry = corpus
-                .get(*id)
+                .get(id)
                 .ok_or_else(|| FlareError::InsufficientData(format!("{id} not in corpus")))?;
             if !entry.scenario.has_hp_job() {
                 continue;
@@ -179,7 +178,7 @@ pub fn estimate_all_job_with<T: Testbed>(
                 &options.retry,
             ) {
                 Ok(Some(impact)) => {
-                    found = Some((depth, *id, impact));
+                    found = Some((depth, id, impact));
                     break;
                 }
                 // An HP scenario that measures nothing ends the walk, as
@@ -302,12 +301,11 @@ pub fn estimate_per_job_with<T: Testbed>(
     let mut failed_weight = 0.0;
 
     for c in 0..analyzer.n_clusters() {
-        let ranked = analyzer.ranked(c);
         // Cluster weight for this job: instances of the job in the whole
         // group population ("the likelihood to observe the job").
         let mut job_instances = 0.0;
-        for id in &ranked {
-            if let Some(e) = corpus.get(*id) {
+        for id in analyzer.ranked_ids(c) {
+            if let Some(e) = corpus.get(id) {
                 let mult = if options.weight_by_observations {
                     e.observations as f64
                 } else {
@@ -321,8 +319,8 @@ pub fn estimate_per_job_with<T: Testbed>(
         }
         let mut found = None;
         let mut had_error = false;
-        for (depth, id) in ranked.iter().enumerate() {
-            let entry = match corpus.get(*id) {
+        for (depth, id) in analyzer.ranked_ids(c).enumerate() {
+            let entry = match corpus.get(id) {
                 Some(e) => e,
                 None => continue,
             };
@@ -338,7 +336,7 @@ pub fn estimate_per_job_with<T: Testbed>(
                 &options.retry,
             ) {
                 Ok(Some(impact)) => {
-                    found = Some((depth, *id, impact));
+                    found = Some((depth, id, impact));
                     break;
                 }
                 Ok(None) => break,

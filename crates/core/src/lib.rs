@@ -53,10 +53,15 @@ pub mod interpret;
 mod pipeline;
 pub mod replayer;
 pub mod report;
+pub mod stages;
 
-pub use config::{ClusterCountRule, ClusterMethod, FlareConfig, RepresentativeRule};
+pub use config::{
+    ClusterCountRule, ClusterMethod, ClusterStageConfig, FeaturizeConfig, FlareConfig,
+    ProfileConfig, RepairConfig, RepresentativeRule, RepresentativesConfig,
+};
 pub use error::{FlareError, Result};
-pub use pipeline::{Flare, FlareSnapshot};
+pub use pipeline::{Flare, FlareSnapshot, SNAPSHOT_VERSION};
+pub use stages::{FitReport, StageFingerprints, StageOutcome};
 
 /// Deterministic order-preserving parallel fan-out primitives shared by
 /// the profiling, clustering, and evaluation stages.

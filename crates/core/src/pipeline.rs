@@ -1,5 +1,7 @@
 //! The end-to-end FLARE façade: corpus → database → analyzer → replayer →
-//! estimates, plus the §5.6 scheduler-change workflow.
+//! estimates, plus the §5.6 scheduler-change workflow and the incremental
+//! refit/extend paths built on the staged artifact pipeline of
+//! [`crate::stages`].
 
 use crate::analyzer::Analyzer;
 use crate::config::FlareConfig;
@@ -8,11 +10,24 @@ use crate::estimate::{
     estimate_all_job_with, estimate_per_job_with, AllJobEstimate, EstimateOptions, PerJobEstimate,
 };
 use crate::replayer::{SimTestbed, Testbed};
-use flare_metrics::database::{MetricDatabase, ScenarioRecord};
+use crate::stages::{self, FitReport, StageFingerprints, StageOutcome};
+use flare_metrics::database::MetricDatabase;
 use flare_sim::datacenter::{Corpus, CorpusEntry};
 use flare_sim::feature::Feature;
 use flare_sim::machine::MachineConfig;
+use flare_sim::scenario::Scenario;
 use flare_workloads::job::JobName;
+use std::collections::HashMap;
+
+/// Current on-disk schema version written by [`Flare::to_snapshot`].
+///
+/// Version history:
+/// - `0` — the pre-versioning layout (no `version` field; row-oriented
+///   database wire format). Still readable: the field defaults to 0 and
+///   the database deserializer accepts the legacy layout.
+/// - `1` — versioned snapshots introduced alongside the staged artifact
+///   pipeline.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// A fitted FLARE instance: the representative scenarios of one datacenter
 /// plus everything needed to evaluate features against them.
@@ -23,6 +38,12 @@ pub struct Flare {
     analyzer: Analyzer,
     config: FlareConfig,
     baseline: MachineConfig,
+    /// Post-repair database cache (`None` when the profile was already
+    /// clean). Kept out of snapshots — it is recomputed on load.
+    repaired: Option<MetricDatabase>,
+    /// How the current model came to be: which stages ran, which were
+    /// reused. Diagnostics only — never serialized, never part of results.
+    report: FitReport,
 }
 
 impl Flare {
@@ -38,19 +59,176 @@ impl Flare {
             .validate()
             .map_err(crate::FlareError::InvalidParameter)?;
         let baseline = corpus.config().machine_config.clone();
-        let database = match config.temporal_phases {
-            Some(phases) => corpus
-                .to_metric_database_enriched_threaded(&baseline, phases, config.threads)
-                .map_err(crate::FlareError::InvalidParameter)?,
-            None => corpus.to_metric_database_threaded(&baseline, config.threads),
-        };
-        let analyzer = Analyzer::fit(&database, &config)?;
+        let database = profile_corpus(&corpus, &baseline, &config)?;
+        let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &config);
+        let (analyzer, repaired) = stages::fit_database(&database, &config, &fps)?;
+        let report = FitReport::full_fit(corpus.len());
         Ok(Flare {
             corpus,
             database,
             analyzer,
             config,
             baseline,
+            repaired,
+            report,
+        })
+    }
+
+    /// Re-fits under a new configuration, re-running **only the stages the
+    /// config change invalidates**. Stage artifacts are reused whenever
+    /// their chained content fingerprint (input + the config fields the
+    /// stage reads) is unchanged — so changing the cluster count never
+    /// re-profiles or re-fits the PCA, and changing only evaluation knobs
+    /// (weighting, retry, coverage floor) reuses every stage.
+    ///
+    /// The result is byte-identical to `Flare::fit(corpus, new_config)`:
+    /// reused artifacts are exact values a full fit would recompute, and
+    /// recomputed stages run the same stage functions a full fit runs.
+    /// K-means cluster-count sweeps additionally reuse per-`k` sweep
+    /// points from the previous fit when only the sweep range changed.
+    ///
+    /// [`Flare::fit_report`] on the result shows what was reused. One
+    /// caveat: on a model produced by [`Flare::recluster_with_weights`]
+    /// the database no longer matches the corpus profile, so a refit that
+    /// invalidates the profile stage re-profiles from the corpus and
+    /// discards the reweighting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analyzer errors (insufficient data, invalid config).
+    pub fn refit(&self, new_config: FlareConfig) -> Result<Flare> {
+        new_config
+            .validate()
+            .map_err(crate::FlareError::InvalidParameter)?;
+        let corpus_fp = stages::fingerprint_corpus(&self.corpus);
+        let old = StageFingerprints::compute(corpus_fp, &self.config);
+        let new = StageFingerprints::compute(corpus_fp, &new_config);
+        let mut report = FitReport::loaded();
+
+        let database = if new.profile == old.profile {
+            self.database.clone()
+        } else {
+            report.profile = StageOutcome::Recomputed;
+            report.scenarios_profiled = self.corpus.len();
+            profile_corpus(&self.corpus, &self.baseline, &new_config)?
+        };
+
+        let (repaired, repair_report) =
+            if report.profile == StageOutcome::Reused && new.repair == old.repair {
+                (self.repaired.clone(), self.analyzer.repair_report().clone())
+            } else {
+                report.repair = StageOutcome::Recomputed;
+                let art = stages::run_repair(&database, &new_config.repair_stage(), new.repair)?;
+                (art.repaired, art.report)
+            };
+        let working = repaired.as_ref().unwrap_or(&database);
+
+        let feat = if report.repair == StageOutcome::Reused && new.featurize == old.featurize {
+            self.analyzer.extract_featurize(new.featurize)
+        } else {
+            report.featurize = StageOutcome::Recomputed;
+            stages::run_featurize(working, &new_config.featurize_stage(), new.featurize)?
+        };
+
+        let cluster = if report.featurize == StageOutcome::Reused && new.cluster == old.cluster {
+            self.analyzer.extract_cluster(new.cluster)
+        } else {
+            report.cluster = StageOutcome::Recomputed;
+            // Sweep points carry over only when the feature matrix is
+            // proven unchanged and the sweep parameters (modulo range)
+            // are identical.
+            let prev_sweep = if report.featurize == StageOutcome::Reused
+                && sweep_reusable(&self.config, &new_config)
+            {
+                self.analyzer.sweep()
+            } else {
+                None
+            };
+            let (art, reused) = stages::run_cluster(
+                &feat,
+                &new_config.cluster_stage(),
+                new_config.threads,
+                prev_sweep,
+                new.cluster,
+            )?;
+            report.sweep_points_reused = reused;
+            art
+        };
+
+        let reps = if report.cluster == StageOutcome::Reused
+            && new.representatives == old.representatives
+        {
+            self.analyzer.extract_representatives(new.representatives)
+        } else {
+            report.representatives = StageOutcome::Recomputed;
+            stages::run_representatives(
+                &feat,
+                &cluster,
+                &new_config.representatives_stage(),
+                new.representatives,
+            )
+        };
+
+        let analyzer = Analyzer::from_artifacts(repair_report, feat, cluster, reps);
+        Ok(Flare {
+            corpus: self.corpus.clone(),
+            database,
+            analyzer,
+            config: new_config,
+            baseline: self.baseline.clone(),
+            repaired,
+            report,
+        })
+    }
+
+    /// Grows the corpus with `new_scenarios` and re-fits, profiling **only
+    /// the appended scenarios** — the existing database rows are reused
+    /// verbatim and the tail records are appended to a clone.
+    ///
+    /// Byte-identical to a full `Flare::fit` over the extended corpus:
+    /// per-scenario measurement-noise seeds depend only on the corpus seed
+    /// and the scenario id, so profiling the tail reproduces exactly the
+    /// records a from-scratch profile would emit for those ids, and every
+    /// downstream stage runs through the same shared stage functions.
+    ///
+    /// [`Flare::fit_report`] on the result shows `profile:
+    /// Extended` with `scenarios_profiled` equal to the delta size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FlareError::InvalidParameter`] for invalid
+    /// extension entries (empty scenario, zero observations, vCPU
+    /// overcommit), and propagates analyzer errors.
+    pub fn extend(&self, new_scenarios: Vec<(Scenario, u32)>) -> Result<Flare> {
+        let corpus = self
+            .corpus
+            .extended(new_scenarios)
+            .map_err(crate::FlareError::InvalidParameter)?;
+        let start = self.corpus.len();
+        let tail = match self.config.temporal_phases {
+            Some(phases) => corpus
+                .profile_tail_enriched_threaded(start, &self.baseline, phases, self.config.threads)
+                .map_err(crate::FlareError::InvalidParameter)?,
+            None => corpus.profile_tail_threaded(start, &self.baseline, self.config.threads),
+        };
+        let profiled = tail.len();
+        let mut database = self.database.clone();
+        for rec in tail {
+            database.insert(rec)?;
+        }
+        let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &self.config);
+        let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
+        let mut report = FitReport::full_fit(0);
+        report.profile = StageOutcome::Extended;
+        report.scenarios_profiled = profiled;
+        Ok(Flare {
+            corpus,
+            database,
+            analyzer,
+            config: self.config.clone(),
+            baseline: self.baseline.clone(),
+            repaired,
+            report,
         })
     }
 
@@ -77,6 +255,14 @@ impl Flare {
     /// The baseline machine configuration measurements compare against.
     pub fn baseline(&self) -> &MachineConfig {
         &self.baseline
+    }
+
+    /// How this model was produced: per-stage reuse outcomes plus the
+    /// number of scenarios actually profiled. A clustering-only
+    /// [`Flare::refit`] shows `scenarios_profiled == 0`; an
+    /// [`Flare::extend`] shows exactly the delta size.
+    pub fn fit_report(&self) -> &FitReport {
+        &self.report
     }
 
     /// Number of representative scenarios (the evaluation cost unit).
@@ -168,6 +354,7 @@ impl Flare {
     /// persisting it is the normal workflow.
     pub fn to_snapshot(&self) -> FlareSnapshot {
         FlareSnapshot {
+            version: SNAPSHOT_VERSION,
             corpus: self.corpus.clone(),
             database: self.database.clone(),
             analyzer: self.analyzer.to_snapshot(),
@@ -176,19 +363,35 @@ impl Flare {
         }
     }
 
-    /// Restores a fitted instance from a snapshot.
+    /// Restores a fitted instance from a snapshot. Snapshots written
+    /// before schema versioning (no `version` field) load as version 0;
+    /// snapshots from a newer schema than this build are rejected.
     ///
     /// # Errors
     ///
-    /// Propagates snapshot-consistency errors.
+    /// Propagates snapshot-consistency errors;
+    /// [`crate::FlareError::InvalidParameter`] for unsupported versions.
     pub fn from_snapshot(snapshot: FlareSnapshot) -> Result<Flare> {
+        if snapshot.version > SNAPSHOT_VERSION {
+            return Err(crate::FlareError::InvalidParameter(format!(
+                "snapshot version {} is newer than this build supports (max {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
         let analyzer = Analyzer::from_snapshot(snapshot.analyzer)?;
+        // The repaired-database cache is intentionally not serialized;
+        // rebuild it so refit/extend on a loaded model behave exactly
+        // like on a freshly fitted one.
+        let repaired =
+            stages::run_repair(&snapshot.database, &snapshot.config.repair_stage(), 0)?.repaired;
         Ok(Flare {
             corpus: snapshot.corpus,
             database: snapshot.database,
             analyzer,
             config: snapshot.config,
             baseline: snapshot.baseline,
+            repaired,
+            report: FitReport::loaded(),
         })
     }
 
@@ -224,50 +427,91 @@ impl Flare {
     /// re-weighting of the corpus (estimated occurrence counts under the
     /// new scheduler), re-derive the representatives **from step 3** —
     /// reusing the collected metrics, skipping the expensive collection.
+    /// Runs on the stage graph: the profile stage is reused (the fit
+    /// report shows `scenarios_profiled == 0`) and the downstream stages
+    /// re-run over the re-weighted database.
     ///
     /// Scenarios re-weighted to zero are dropped from the clustered
     /// population.
     ///
     /// # Errors
     ///
-    /// Propagates analyzer errors (e.g. too few surviving scenarios).
+    /// Returns [`crate::FlareError::CorpusDatabaseMismatch`] if a
+    /// surviving corpus entry has no profiled metrics behind it, and
+    /// propagates analyzer errors (e.g. too few surviving scenarios).
     pub fn recluster_with_weights<F>(&self, reweight: F) -> Result<Flare>
     where
         F: Fn(&CorpusEntry) -> u32,
     {
-        let mut db = MetricDatabase::new(self.database.schema().clone());
+        let mut weights: HashMap<_, u32> = HashMap::with_capacity(self.corpus.len());
         for entry in self.corpus.entries() {
             let w = reweight(entry);
             if w == 0 {
                 continue;
             }
-            let rec =
-                self.database
-                    .get(entry.id)
-                    .ok_or(crate::FlareError::CorpusDatabaseMismatch {
-                        scenario_id: entry.id,
-                    })?;
-            db.insert(ScenarioRecord {
-                id: rec.id,
-                metrics: rec.metrics.clone(),
-                observations: w,
-                job_mix: rec.job_mix.clone(),
-            })?;
+            if self.database.get(entry.id).is_none() {
+                return Err(crate::FlareError::CorpusDatabaseMismatch {
+                    scenario_id: entry.id,
+                });
+            }
+            weights.insert(entry.id, w);
         }
-        let analyzer = Analyzer::fit(&db, &self.config)?;
+        let database = self
+            .database
+            .reweighted(|id, _| weights.get(&id).copied().unwrap_or(0));
+        let fps = StageFingerprints::compute(stages::fingerprint_database(&database), &self.config);
+        let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
+        let mut report = FitReport::full_fit(0);
+        report.profile = StageOutcome::Reused;
         Ok(Flare {
             corpus: self.corpus.clone(),
-            database: db,
+            database,
             analyzer,
             config: self.config.clone(),
             baseline: self.baseline.clone(),
+            repaired,
+            report,
         })
     }
+}
+
+/// Profiles every corpus scenario under `baseline` per the config's
+/// temporal-enrichment and threading knobs.
+fn profile_corpus(
+    corpus: &Corpus,
+    baseline: &MachineConfig,
+    config: &FlareConfig,
+) -> Result<MetricDatabase> {
+    match config.temporal_phases {
+        Some(phases) => corpus
+            .to_metric_database_enriched_threaded(baseline, phases, config.threads)
+            .map_err(crate::FlareError::InvalidParameter),
+        None => Ok(corpus.to_metric_database_threaded(baseline, config.threads)),
+    }
+}
+
+/// `true` when sweep points measured under `old` are valid under `new`:
+/// both are K-means sweeps with identical K-means parameters (modulo the
+/// wall-clock `threads` knob and the always-overridden `k`). Each sweep
+/// point is computed independently and serially, so carrying points over
+/// is byte-identical to re-measuring them.
+fn sweep_reusable(old: &FlareConfig, new: &FlareConfig) -> bool {
+    use crate::config::{ClusterCountRule, ClusterMethod};
+    matches!(old.cluster_method, ClusterMethod::KMeans)
+        && matches!(new.cluster_method, ClusterMethod::KMeans)
+        && matches!(old.cluster_count, ClusterCountRule::Sweep { .. })
+        && matches!(new.cluster_count, ClusterCountRule::Sweep { .. })
+        && old.cluster_stage().fingerprint_view().kmeans
+            == new.cluster_stage().fingerprint_view().kmeans
 }
 
 /// Serializable snapshot of a fitted [`Flare`] instance.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FlareSnapshot {
+    /// Snapshot schema version; see [`SNAPSHOT_VERSION`]. Absent in
+    /// pre-versioning snapshots, which deserialize as 0.
+    #[serde(default)]
+    pub version: u32,
     /// The scenario corpus.
     pub corpus: Corpus,
     /// The profiled metric database.
@@ -284,21 +528,41 @@ pub struct FlareSnapshot {
 mod tests {
     use super::*;
     use crate::config::ClusterCountRule;
+    use flare_metrics::database::ScenarioRecord;
     use flare_sim::datacenter::CorpusConfig;
+    use flare_workloads::job::JobName as Job;
 
-    fn small_flare() -> Flare {
+    fn small_corpus() -> Corpus {
         let cfg = CorpusConfig {
             machines: 4,
             days: 2.0,
             tick_minutes: 15.0,
             ..CorpusConfig::default()
         };
-        let corpus = Corpus::generate(&cfg);
+        Corpus::generate(&cfg)
+    }
+
+    fn small_flare() -> Flare {
         let flare_cfg = FlareConfig {
             cluster_count: ClusterCountRule::Fixed(8),
             ..FlareConfig::default()
         };
-        Flare::fit(corpus, flare_cfg).unwrap()
+        Flare::fit(small_corpus(), flare_cfg).unwrap()
+    }
+
+    /// Everything that makes two fitted models "the same result".
+    fn assert_same_model(a: &Flare, b: &Flare) {
+        assert_eq!(a.database(), b.database());
+        assert_eq!(
+            a.analyzer().clustering().assignments,
+            b.analyzer().clustering().assignments
+        );
+        assert_eq!(a.analyzer().projected(), b.analyzer().projected());
+        assert_eq!(
+            a.analyzer().representatives(),
+            b.analyzer().representatives()
+        );
+        assert_eq!(a.analyzer().sweep(), b.analyzer().sweep());
     }
 
     #[test]
@@ -306,6 +570,9 @@ mod tests {
         let flare = small_flare();
         assert_eq!(flare.n_representatives(), 8);
         assert_eq!(flare.database().len(), flare.corpus().len());
+        let report = flare.fit_report();
+        assert_eq!(report.recomputed_stages(), 5);
+        assert_eq!(report.scenarios_profiled, flare.corpus().len());
     }
 
     #[test]
@@ -325,10 +592,157 @@ mod tests {
     fn per_job_evaluation_works() {
         let flare = small_flare();
         let est = flare
-            .evaluate_job(JobName::DataCaching, &Feature::paper_feature3())
+            .evaluate_job(Job::DataCaching, &Feature::paper_feature3())
             .unwrap();
-        assert_eq!(est.job, JobName::DataCaching);
+        assert_eq!(est.job, Job::DataCaching);
         assert!(est.impact_pct.is_finite());
+    }
+
+    #[test]
+    fn refit_clustering_only_skips_profiling() {
+        let flare = small_flare();
+        let new_cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(6),
+            ..flare.config().clone()
+        };
+        let refitted = flare.refit(new_cfg.clone()).unwrap();
+        assert_eq!(refitted.n_representatives(), 6);
+
+        let report = refitted.fit_report();
+        assert_eq!(report.profile, StageOutcome::Reused);
+        assert_eq!(report.repair, StageOutcome::Reused);
+        assert_eq!(report.featurize, StageOutcome::Reused);
+        assert_eq!(report.cluster, StageOutcome::Recomputed);
+        assert_eq!(report.representatives, StageOutcome::Recomputed);
+        assert_eq!(report.scenarios_profiled, 0, "refit must never re-profile");
+
+        // Identical to fitting the new config from scratch.
+        let fresh = Flare::fit(flare.corpus().clone(), new_cfg).unwrap();
+        assert_same_model(&refitted, &fresh);
+    }
+
+    #[test]
+    fn refit_identical_config_reuses_every_stage() {
+        let flare = small_flare();
+        let refitted = flare.refit(flare.config().clone()).unwrap();
+        assert_eq!(refitted.fit_report().reused_stages(), 5);
+        assert_eq!(refitted.fit_report().scenarios_profiled, 0);
+        assert_same_model(&refitted, &flare);
+    }
+
+    #[test]
+    fn refit_evaluation_knobs_reuse_every_stage() {
+        let flare = small_flare();
+        let new_cfg = FlareConfig {
+            weight_by_observations: false,
+            min_replay_coverage: 0.25,
+            ..flare.config().clone()
+        };
+        let refitted = flare.refit(new_cfg).unwrap();
+        assert_eq!(refitted.fit_report().reused_stages(), 5);
+        assert!(!refitted.estimate_options().weight_by_observations);
+    }
+
+    #[test]
+    fn refit_featurize_change_reuses_profile_and_repair() {
+        let flare = small_flare();
+        let new_cfg = FlareConfig {
+            variance_threshold: 0.90,
+            ..flare.config().clone()
+        };
+        let refitted = flare.refit(new_cfg.clone()).unwrap();
+        let report = refitted.fit_report();
+        assert_eq!(report.profile, StageOutcome::Reused);
+        assert_eq!(report.repair, StageOutcome::Reused);
+        assert_eq!(report.featurize, StageOutcome::Recomputed);
+        assert_eq!(report.scenarios_profiled, 0);
+        let fresh = Flare::fit(flare.corpus().clone(), new_cfg).unwrap();
+        assert_same_model(&refitted, &fresh);
+    }
+
+    #[test]
+    fn refit_profile_change_reprofiles() {
+        let flare = small_flare();
+        let new_cfg = FlareConfig {
+            temporal_phases: Some(4),
+            ..flare.config().clone()
+        };
+        let refitted = flare.refit(new_cfg.clone()).unwrap();
+        let report = refitted.fit_report();
+        assert_eq!(report.profile, StageOutcome::Recomputed);
+        assert_eq!(report.scenarios_profiled, flare.corpus().len());
+        let fresh = Flare::fit(flare.corpus().clone(), new_cfg).unwrap();
+        assert_same_model(&refitted, &fresh);
+    }
+
+    #[test]
+    fn refit_sweep_range_extension_reuses_points() {
+        let base_cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Sweep {
+                min_k: 2,
+                max_k: 6,
+                step: 1,
+            },
+            ..FlareConfig::default()
+        };
+        let flare = Flare::fit(small_corpus(), base_cfg).unwrap();
+        let wider = FlareConfig {
+            cluster_count: ClusterCountRule::Sweep {
+                min_k: 2,
+                max_k: 8,
+                step: 1,
+            },
+            ..flare.config().clone()
+        };
+        let refitted = flare.refit(wider.clone()).unwrap();
+        let report = refitted.fit_report();
+        assert_eq!(report.cluster, StageOutcome::Recomputed);
+        assert_eq!(report.sweep_points_reused, 5, "k = 2..=6 carried over");
+        assert_eq!(report.scenarios_profiled, 0);
+        // Reused points change nothing.
+        let fresh = Flare::fit(flare.corpus().clone(), wider).unwrap();
+        assert_same_model(&refitted, &fresh);
+    }
+
+    #[test]
+    fn extend_profiles_only_the_delta_and_matches_full_fit() {
+        let flare = small_flare();
+        let delta = vec![
+            (Scenario::from_counts([(Job::DataCaching, 2)]), 9),
+            (
+                Scenario::from_counts([(Job::GraphAnalytics, 3), (Job::Mcf, 2)]),
+                4,
+            ),
+        ];
+        let extended = flare.extend(delta.clone()).unwrap();
+        assert_eq!(extended.corpus().len(), flare.corpus().len() + 2);
+        assert_eq!(extended.database().len(), flare.database().len() + 2);
+
+        let report = extended.fit_report();
+        assert_eq!(report.profile, StageOutcome::Extended);
+        assert_eq!(report.scenarios_profiled, 2, "only the delta is profiled");
+
+        // Byte-identical to profiling the extended corpus from scratch.
+        let full_corpus = flare.corpus().extended(delta).unwrap();
+        let fresh = Flare::fit(full_corpus, flare.config().clone()).unwrap();
+        assert_same_model(&extended, &fresh);
+    }
+
+    #[test]
+    fn extend_with_empty_delta_matches_refit() {
+        let flare = small_flare();
+        let extended = flare.extend(vec![]).unwrap();
+        assert_eq!(extended.fit_report().scenarios_profiled, 0);
+        assert_same_model(&extended, &flare);
+    }
+
+    #[test]
+    fn extend_validates_entries() {
+        let flare = small_flare();
+        assert!(flare.extend(vec![(Scenario::empty(), 1)]).is_err());
+        assert!(flare
+            .extend(vec![(Scenario::from_counts([(Job::Mcf, 1)]), 0)])
+            .is_err());
     }
 
     #[test]
@@ -348,9 +762,52 @@ mod tests {
         assert_eq!(reclustered.n_representatives(), 8);
         // Same corpus, same scenarios available.
         assert_eq!(reclustered.corpus().len(), flare.corpus().len());
+        // The profile stage is reused, not re-run.
+        assert_eq!(reclustered.fit_report().profile, StageOutcome::Reused);
+        assert_eq!(reclustered.fit_report().scenarios_profiled, 0);
         // Estimates still work after re-clustering.
         let est = reclustered.evaluate(&Feature::paper_feature3()).unwrap();
         assert!(est.impact_pct.is_finite());
+    }
+
+    #[test]
+    fn recluster_on_stage_graph_matches_manual_rebuild() {
+        let flare = small_flare();
+        let reweight = |e: &CorpusEntry| {
+            if e.scenario.occupancy(48) > 0.5 {
+                e.observations * 3
+            } else {
+                1
+            }
+        };
+        let reclustered = flare.recluster_with_weights(reweight).unwrap();
+
+        // The pre-stage-graph implementation: rebuild the database record
+        // by record with the new weights and run a monolithic fit.
+        let mut db = MetricDatabase::new(flare.database().schema().clone());
+        for entry in flare.corpus().entries() {
+            let w = reweight(entry);
+            if w == 0 {
+                continue;
+            }
+            let row = flare.database().get(entry.id).unwrap();
+            db.insert(ScenarioRecord {
+                observations: w,
+                ..row.to_record()
+            })
+            .unwrap();
+        }
+        let manual = Analyzer::fit(&db, flare.config()).unwrap();
+
+        assert_eq!(reclustered.database(), &db);
+        assert_eq!(
+            reclustered.analyzer().representatives(),
+            manual.representatives()
+        );
+        assert_eq!(
+            reclustered.analyzer().clustering().assignments,
+            manual.clustering().assignments
+        );
     }
 
     #[test]
@@ -370,6 +827,49 @@ mod tests {
             flare.analyzer().representatives(),
             reloaded.analyzer().representatives()
         );
+    }
+
+    #[test]
+    fn snapshot_carries_current_version() {
+        let flare = small_flare();
+        assert_eq!(flare.to_snapshot().version, SNAPSHOT_VERSION);
+    }
+
+    #[test]
+    fn future_snapshot_version_rejected() {
+        let flare = small_flare();
+        let mut snapshot = flare.to_snapshot();
+        snapshot.version = SNAPSHOT_VERSION + 1;
+        match Flare::from_snapshot(snapshot) {
+            Err(crate::FlareError::InvalidParameter(msg)) => {
+                assert!(msg.contains("newer"), "unexpected message: {msg}");
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_version_snapshot_loads() {
+        let flare = small_flare();
+        let mut snapshot = flare.to_snapshot();
+        snapshot.version = 0; // pre-versioning snapshots default to 0
+        let loaded = Flare::from_snapshot(snapshot).unwrap();
+        assert_eq!(loaded.n_representatives(), flare.n_representatives());
+        assert_eq!(loaded.fit_report(), &FitReport::loaded());
+    }
+
+    #[test]
+    fn loaded_model_refits_like_a_fresh_one() {
+        let flare = small_flare();
+        let reloaded = Flare::from_snapshot(flare.to_snapshot()).unwrap();
+        let new_cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(5),
+            ..flare.config().clone()
+        };
+        let a = flare.refit(new_cfg.clone()).unwrap();
+        let b = reloaded.refit(new_cfg).unwrap();
+        assert_eq!(a.fit_report(), b.fit_report());
+        assert_same_model(&a, &b);
     }
 
     #[test]
@@ -394,13 +894,7 @@ mod tests {
 
     #[test]
     fn temporal_enrichment_fits_and_evaluates() {
-        let cfg = CorpusConfig {
-            machines: 4,
-            days: 2.0,
-            tick_minutes: 15.0,
-            ..CorpusConfig::default()
-        };
-        let corpus = Corpus::generate(&cfg);
+        let corpus = small_corpus();
         let flare_cfg = FlareConfig {
             cluster_count: ClusterCountRule::Fixed(8),
             temporal_phases: Some(6),
@@ -414,6 +908,25 @@ mod tests {
         );
         let est = flare.evaluate(&Feature::paper_feature1()).unwrap();
         assert!(est.impact_pct > 0.0 && est.impact_pct < 60.0);
+    }
+
+    #[test]
+    fn temporal_extend_matches_full_fit() {
+        let flare_cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(8),
+            temporal_phases: Some(4),
+            ..FlareConfig::default()
+        };
+        let flare = Flare::fit(small_corpus(), flare_cfg).unwrap();
+        let delta = vec![(Scenario::from_counts([(Job::DataCaching, 3)]), 2)];
+        let extended = flare.extend(delta.clone()).unwrap();
+        assert_eq!(extended.fit_report().scenarios_profiled, 1);
+        let fresh = Flare::fit(
+            flare.corpus().extended(delta).unwrap(),
+            flare.config().clone(),
+        )
+        .unwrap();
+        assert_same_model(&extended, &fresh);
     }
 
     #[test]
@@ -447,7 +960,7 @@ mod tests {
         let mut pruned = MetricDatabase::new(snapshot.database.schema().clone());
         for rec in snapshot.database.iter() {
             if rec.id != dropped {
-                pruned.insert(rec.clone()).unwrap();
+                pruned.insert(rec.to_record()).unwrap();
             }
         }
         snapshot.database = pruned;

@@ -1,0 +1,705 @@
+//! The staged artifact pipeline: `Profile → Ingest/Repair → Featurize(PCA)
+//! → Cluster → Representatives`.
+//!
+//! Each stage consumes the previous stage's artifact plus the slice of
+//! [`FlareConfig`](crate::config::FlareConfig) it actually reads (the
+//! per-stage sub-configs of [`crate::config`]), and produces a
+//! serializable artifact stamped with a content [`Fingerprint`] — a stable
+//! hash chaining the input fingerprint with the stage's sub-config. The
+//! chain makes invalidation automatic: if a stage's fingerprint is
+//! unchanged between two configurations, so is everything upstream of it,
+//! and its artifact can be reused verbatim.
+//!
+//! [`Flare::refit`](crate::Flare::refit) and
+//! [`Flare::extend`](crate::Flare::extend) diff these fingerprints to
+//! re-run only invalidated stages; [`FitReport`] records which stages were
+//! reused, recomputed, or extended. The monolithic
+//! [`Analyzer::fit`](crate::analyzer::Analyzer::fit) runs the exact same
+//! stage functions end to end, so the incremental paths are byte-identical
+//! to a full fit by construction.
+
+use crate::config::{
+    ClusterStageConfig, FeaturizeConfig, FlareConfig, RepairConfig, RepresentativesConfig,
+};
+use crate::diagnostics::RepairReport;
+use crate::error::{FlareError, Result};
+use flare_cluster::hierarchical::agglomerative;
+use flare_cluster::kmeans::{kmeans, KMeansResult};
+use flare_cluster::sweep::{sweep_hierarchical, sweep_kmeans_cached, SweepResult};
+use flare_linalg::pca::Pca;
+use flare_linalg::stats::robust_scale;
+use flare_linalg::Matrix;
+use flare_metrics::correlation::{apply_refinement, refine, RefinementReport};
+use flare_metrics::database::{MetricDatabase, ScenarioId};
+use flare_metrics::schema::MetricSchema;
+use flare_sim::datacenter::Corpus;
+use serde::{Deserialize, Serialize};
+
+/// A 64-bit content fingerprint identifying one stage's inputs + config.
+pub type Fingerprint = u64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over the deterministic `Debug` rendering of
+/// values. `Debug` of every config type (and of `f64`, whose `Debug` is
+/// the shortest-roundtrip decimal) is stable across runs and thread
+/// counts, which is all a stage fingerprint needs.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintBuilder {
+    state: u64,
+}
+
+impl FingerprintBuilder {
+    /// Starts a fingerprint for the named stage.
+    pub fn new(stage: &str) -> Self {
+        FingerprintBuilder { state: FNV_OFFSET }.bytes(stage.as_bytes())
+    }
+
+    fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mixes in a raw 64-bit word (e.g. an upstream fingerprint or a
+    /// float's bit pattern).
+    pub fn word(self, w: u64) -> Self {
+        self.bytes(&w.to_le_bytes())
+    }
+
+    /// Mixes in a value via its `Debug` rendering, with a separator so
+    /// adjacent fields cannot alias.
+    pub fn field(self, value: &impl std::fmt::Debug) -> Self {
+        self.bytes(format!("{value:?}").as_bytes()).bytes(b"\x1f")
+    }
+
+    /// Finalizes the fingerprint.
+    pub fn finish(self) -> Fingerprint {
+        self.state
+    }
+}
+
+/// Content fingerprint of a scenario corpus (entries + collection config).
+pub fn fingerprint_corpus(corpus: &Corpus) -> Fingerprint {
+    FingerprintBuilder::new("corpus")
+        .field(&corpus.config())
+        .field(&corpus.entries())
+        .finish()
+}
+
+/// Content fingerprint of a metric database (schema, ids, observation
+/// weights, metric bit patterns, job mixes). Used as the chain root when
+/// fitting from a bare database, with no corpus in sight.
+pub fn fingerprint_database(db: &MetricDatabase) -> Fingerprint {
+    let mut b = FingerprintBuilder::new("database").field(db.schema());
+    for row in db.iter() {
+        b = b
+            .word(u64::from(row.id.0))
+            .word(u64::from(row.observations));
+        for &v in row.metrics {
+            b = b.word(v.to_bits());
+        }
+        b = b.field(&row.job_mix);
+    }
+    b.finish()
+}
+
+/// The chained per-stage fingerprints of one (input, config) pair.
+///
+/// Each stage's fingerprint hashes the previous stage's fingerprint plus
+/// the sub-config that stage reads, so a change anywhere upstream — corpus
+/// content or any earlier stage's config — cascades into every downstream
+/// fingerprint. Wall-clock-only knobs (`threads`, and the `k` field of the
+/// K-means config, which the cluster-count rule always overrides) are
+/// excluded; evaluation-time knobs (`weight_by_observations`, `retry`,
+/// `min_replay_coverage`) belong to no fit stage and never invalidate one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageFingerprints {
+    /// Profile stage: input fingerprint + temporal-enrichment config.
+    pub profile: Fingerprint,
+    /// Repair stage: profile fingerprint + winsorization config.
+    pub repair: Fingerprint,
+    /// Featurize stage: repair fingerprint + refinement/PCA config.
+    pub featurize: Fingerprint,
+    /// Cluster stage: featurize fingerprint + clustering config.
+    pub cluster: Fingerprint,
+    /// Representatives stage: cluster fingerprint + selection rule.
+    pub representatives: Fingerprint,
+}
+
+impl StageFingerprints {
+    /// Computes the full chain from the profile stage's input fingerprint
+    /// (a corpus or database fingerprint) and a pipeline config.
+    pub fn compute(input: Fingerprint, config: &FlareConfig) -> StageFingerprints {
+        let profile = FingerprintBuilder::new("profile")
+            .word(input)
+            .field(&config.profile_stage())
+            .finish();
+        let repair = FingerprintBuilder::new("repair")
+            .word(profile)
+            .field(&config.repair_stage())
+            .finish();
+        let featurize = FingerprintBuilder::new("featurize")
+            .word(repair)
+            .field(&config.featurize_stage())
+            .finish();
+        let cluster = FingerprintBuilder::new("cluster")
+            .word(featurize)
+            .field(&config.cluster_stage().fingerprint_view())
+            .finish();
+        let representatives = FingerprintBuilder::new("representatives")
+            .word(cluster)
+            .field(&config.representatives_stage())
+            .finish();
+        StageFingerprints {
+            profile,
+            repair,
+            featurize,
+            cluster,
+            representatives,
+        }
+    }
+}
+
+/// What happened to one stage during a fit, refit, or extend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageOutcome {
+    /// The stage ran from scratch.
+    Recomputed,
+    /// The previous artifact was reused verbatim (fingerprint unchanged).
+    Reused,
+    /// The stage processed only the appended delta (profile stage during
+    /// [`Flare::extend`](crate::Flare::extend)).
+    Extended,
+}
+
+/// Per-stage reuse diagnostics of one fit, refit, or extend call.
+///
+/// This is how the incremental paths prove their work: a clustering-only
+/// `refit` reports `profile: Reused` with `scenarios_profiled == 0`, and
+/// an `extend` reports `profile: Extended` with `scenarios_profiled`
+/// equal to the delta size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Profile (metric collection) stage outcome.
+    pub profile: StageOutcome,
+    /// Ingest/repair stage outcome.
+    pub repair: StageOutcome,
+    /// Featurize (refinement + PCA) stage outcome.
+    pub featurize: StageOutcome,
+    /// Cluster stage outcome.
+    pub cluster: StageOutcome,
+    /// Representatives stage outcome.
+    pub representatives: StageOutcome,
+    /// How many scenarios the profiler actually evaluated — the counting
+    /// instrumentation behind "refit never re-profiles".
+    pub scenarios_profiled: usize,
+    /// Sweep points reused from the previous fit when only the sweep
+    /// range changed (K-means sweeps only).
+    pub sweep_points_reused: usize,
+}
+
+impl FitReport {
+    /// The report of a from-scratch fit over `scenarios` scenarios.
+    pub fn full_fit(scenarios: usize) -> FitReport {
+        FitReport {
+            profile: StageOutcome::Recomputed,
+            repair: StageOutcome::Recomputed,
+            featurize: StageOutcome::Recomputed,
+            cluster: StageOutcome::Recomputed,
+            representatives: StageOutcome::Recomputed,
+            scenarios_profiled: scenarios,
+            sweep_points_reused: 0,
+        }
+    }
+
+    /// The report of a model restored from a snapshot (everything reused,
+    /// nothing profiled).
+    pub fn loaded() -> FitReport {
+        FitReport {
+            profile: StageOutcome::Reused,
+            repair: StageOutcome::Reused,
+            featurize: StageOutcome::Reused,
+            cluster: StageOutcome::Reused,
+            representatives: StageOutcome::Reused,
+            scenarios_profiled: 0,
+            sweep_points_reused: 0,
+        }
+    }
+
+    /// Stage outcomes in pipeline order, with display names.
+    pub fn stages(&self) -> [(&'static str, StageOutcome); 5] {
+        [
+            ("profile", self.profile),
+            ("repair", self.repair),
+            ("featurize", self.featurize),
+            ("cluster", self.cluster),
+            ("representatives", self.representatives),
+        ]
+    }
+
+    /// Number of stages whose artifact was reused verbatim.
+    pub fn reused_stages(&self) -> usize {
+        self.stages()
+            .iter()
+            .filter(|(_, o)| *o == StageOutcome::Reused)
+            .count()
+    }
+
+    /// Number of stages recomputed from scratch.
+    pub fn recomputed_stages(&self) -> usize {
+        self.stages()
+            .iter()
+            .filter(|(_, o)| *o == StageOutcome::Recomputed)
+            .count()
+    }
+}
+
+/// Artifact of the Ingest/Repair stage: the healed database (or `None`
+/// when the input was already clean and passes through untouched) plus
+/// the repair report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairArtifact {
+    /// The repaired database; `None` means the input needed no repair.
+    pub repaired: Option<MetricDatabase>,
+    /// What the repair did (imputed cells, winsorized cells, dead columns).
+    pub report: RepairReport,
+    /// Content fingerprint of this artifact.
+    pub fingerprint: Fingerprint,
+}
+
+/// Artifact of the Featurize stage: correlation refinement + PCA + the
+/// whitened PC coordinates every downstream stage operates on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeaturizeArtifact {
+    /// Which raw metrics were pruned as redundant, and why.
+    pub refinement: RefinementReport,
+    /// The post-refinement metric schema.
+    pub refined_schema: MetricSchema,
+    /// The fitted PCA model.
+    pub pca: Pca,
+    /// Number of principal components kept for the variance target.
+    pub n_pcs: usize,
+    /// Whitened PC coordinates (scenarios × kept PCs).
+    pub projected: Matrix,
+    /// Scenario ids in row order.
+    pub scenario_ids: Vec<ScenarioId>,
+    /// Observation weights in row order.
+    pub observations: Vec<u32>,
+    /// Content fingerprint of this artifact.
+    pub fingerprint: Fingerprint,
+}
+
+/// Artifact of the Cluster stage: the grouping over whitened PC space,
+/// plus the sweep curves when a cluster-count sweep ran.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterArtifact {
+    /// The clustering (assignments, centroids, SSE).
+    pub clustering: KMeansResult,
+    /// Sweep curves, present only under the sweep cluster-count rule.
+    pub sweep: Option<SweepResult>,
+    /// Content fingerprint of this artifact.
+    pub fingerprint: Fingerprint,
+}
+
+/// Artifact of the Representatives stage: every cluster's members ranked
+/// representative-first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepresentativesArtifact {
+    /// Per-cluster member rows ranked by the representative rule.
+    pub ranked_members: Vec<Vec<usize>>,
+    /// Content fingerprint of this artifact.
+    pub fingerprint: Fingerprint,
+}
+
+/// Runs the Ingest/Repair stage: missing samples (NaN markers left by
+/// quarantine-tolerant ingestion) are filled with the column median over
+/// the finite samples, and — when the config carries a winsorization
+/// band — finite outliers are clamped to `median ± k·MAD(σ-scaled)`.
+/// A clean database passes through as `repaired: None`.
+///
+/// # Errors
+///
+/// Propagates statistics errors from degenerate columns.
+pub fn run_repair(
+    db: &MetricDatabase,
+    cfg: &RepairConfig,
+    fingerprint: Fingerprint,
+) -> Result<RepairArtifact> {
+    use flare_linalg::stats::{mad, median, MAD_TO_SIGMA};
+    let d = db.schema().len();
+    let mut report = RepairReport {
+        records: db.len(),
+        ..RepairReport::default()
+    };
+    let mut fill = vec![0.0; d];
+    let mut band: Vec<Option<(f64, f64)>> = vec![None; d];
+    for j in 0..d {
+        let finite: Vec<f64> = db
+            .iter()
+            .map(|r| r.metrics[j])
+            .filter(|v| v.is_finite())
+            .collect();
+        if finite.is_empty() {
+            // No in-band value exists to borrow; 0.0 keeps the column
+            // constant so normalization neutralizes it.
+            report.dead_columns.push(j);
+            continue;
+        }
+        let m = median(&finite)?;
+        fill[j] = m;
+        if let Some(k) = cfg.winsorize_mad {
+            let spread = mad(&finite)? * MAD_TO_SIGMA;
+            if spread > f64::EPSILON {
+                band[j] = Some((m - k * spread, m + k * spread));
+            }
+        }
+    }
+    let mut records = Vec::with_capacity(db.len());
+    for row in db.iter() {
+        let mut rec = row.to_record();
+        for (j, v) in rec.metrics.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = fill[j];
+                report.imputed_cells += 1;
+            } else if let Some((lo, hi)) = band[j] {
+                if *v < lo || *v > hi {
+                    *v = v.clamp(lo, hi);
+                    report.winsorized_cells += 1;
+                }
+            }
+        }
+        records.push(rec);
+    }
+    let repaired = if report.is_clean() {
+        None
+    } else {
+        let mut repaired = MetricDatabase::new(db.schema().clone());
+        for rec in records {
+            repaired.insert(rec)?;
+        }
+        Some(repaired)
+    };
+    Ok(RepairArtifact {
+        repaired,
+        report,
+        fingerprint,
+    })
+}
+
+/// Runs the Featurize stage: strip per-job mix columns (unless §5.3
+/// augmentation is on), prune correlated raw metrics, z-score (or
+/// median/MAD) normalize, fit the PCA, and project every scenario into
+/// whitened kept-PC space.
+///
+/// # Errors
+///
+/// Propagates refinement and PCA errors.
+pub fn run_featurize(
+    db: &MetricDatabase,
+    cfg: &FeaturizeConfig,
+    fingerprint: Fingerprint,
+) -> Result<FeaturizeArtifact> {
+    // §5.3 per-job mix columns participate only when augmentation is
+    // requested; otherwise they're stripped before refinement so the
+    // default pipeline clusters on general characteristics only.
+    let db_owned;
+    let db = if cfg.per_job_augmentation {
+        db
+    } else {
+        let keep = db.schema().non_job_mix_indices();
+        if keep.len() == db.schema().len() {
+            db
+        } else {
+            db_owned = db.project(&keep)?;
+            &db_owned
+        }
+    };
+
+    let refinement = refine(db, cfg.correlation_threshold)?;
+    let refined = apply_refinement(db, &refinement)?;
+
+    // Robust normalization swaps the mean/std z-score for median/MAD so
+    // residual spikes cannot dominate the column variances the PCA sees.
+    let data = refined.to_matrix()?;
+    let pca = if cfg.robust_normalization {
+        Pca::fit_with(data, robust_scale(data)?)?
+    } else {
+        Pca::fit(data)?
+    };
+    let n_pcs = pca.components_for_variance(cfg.variance_threshold)?;
+    let projected = pca.transform_whitened(data, n_pcs)?;
+
+    Ok(FeaturizeArtifact {
+        refinement,
+        refined_schema: refined.schema().clone(),
+        scenario_ids: refined.scenario_ids().to_vec(),
+        observations: refined.iter().map(|r| r.observations).collect(),
+        pca,
+        n_pcs,
+        projected,
+        fingerprint,
+    })
+}
+
+/// Runs the Cluster stage: pick the cluster count (fixed or by sweep) and
+/// group the whitened PC coordinates.
+///
+/// `prev_sweep` enables sweep-point reuse: when the caller has proven the
+/// feature matrix and the K-means base config unchanged (featurize
+/// fingerprints equal, configs equal modulo `k`/`threads`), per-`k` points
+/// from the previous sweep are reused verbatim — each point is computed
+/// independently and serially, so reuse is byte-identical. Returns the
+/// artifact and the number of sweep points reused.
+///
+/// # Errors
+///
+/// - [`FlareError::InsufficientData`] if a sweep yields no recommendation
+///   or there are fewer scenarios than clusters.
+/// - Propagated clustering errors.
+pub fn run_cluster(
+    feat: &FeaturizeArtifact,
+    cfg: &ClusterStageConfig,
+    pipeline_threads: Option<usize>,
+    prev_sweep: Option<&SweepResult>,
+    fingerprint: Fingerprint,
+) -> Result<(ClusterArtifact, usize)> {
+    use crate::config::{ClusterCountRule, ClusterMethod};
+    // The pipeline-wide `threads` knob flows into the k-means stages
+    // unless the k-means config already pins its own thread count.
+    let mut kconfig = cfg.kmeans.clone();
+    kconfig.threads = kconfig.threads.or(pipeline_threads);
+    let mut reused_points = 0;
+    let (k, sweep) = match &cfg.cluster_count {
+        ClusterCountRule::Fixed(k) => (*k, None),
+        ClusterCountRule::Sweep { min_k, max_k, step } => {
+            let ks: Vec<usize> = (*min_k..=*max_k).step_by(*step).collect();
+            let sweep = match cfg.cluster_method {
+                ClusterMethod::KMeans => {
+                    let (sweep, reused) =
+                        sweep_kmeans_cached(&feat.projected, &ks, &kconfig, prev_sweep)?;
+                    reused_points = reused;
+                    sweep
+                }
+                ClusterMethod::Hierarchical(linkage) => {
+                    sweep_hierarchical(&feat.projected, &ks, linkage)?
+                }
+            };
+            let k = sweep.recommended_k().ok_or_else(|| {
+                FlareError::InsufficientData("sweep produced no recommendation".into())
+            })?;
+            (k, Some(sweep))
+        }
+    };
+    if feat.projected.nrows() < k {
+        return Err(FlareError::InsufficientData(format!(
+            "{} scenarios cannot form {k} clusters",
+            feat.projected.nrows()
+        )));
+    }
+    let clustering = match cfg.cluster_method {
+        ClusterMethod::KMeans => {
+            kconfig.k = k;
+            kmeans(&feat.projected, &kconfig)?
+        }
+        ClusterMethod::Hierarchical(linkage) => {
+            let dendrogram = agglomerative(&feat.projected, linkage)?;
+            let assignments = dendrogram.cut(k)?;
+            KMeansResult::from_assignments(&feat.projected, assignments, k)?
+        }
+    };
+    Ok((
+        ClusterArtifact {
+            clustering,
+            sweep,
+            fingerprint,
+        },
+        reused_points,
+    ))
+}
+
+/// Runs the Representatives stage: rank every cluster's members
+/// representative-first per the configured rule.
+pub fn run_representatives(
+    feat: &FeaturizeArtifact,
+    cluster: &ClusterArtifact,
+    cfg: &RepresentativesConfig,
+    fingerprint: Fingerprint,
+) -> RepresentativesArtifact {
+    use crate::config::RepresentativeRule;
+    let ranked_members = match cfg.representative_rule {
+        RepresentativeRule::NearestToCentroid => cluster
+            .clustering
+            .members_by_centroid_distance(&feat.projected),
+        RepresentativeRule::Medoid => medoid_rankings(&feat.projected, &cluster.clustering),
+    };
+    RepresentativesArtifact {
+        ranked_members,
+        fingerprint,
+    }
+}
+
+/// Ranks each cluster's members by ascending total distance to the other
+/// members: `ranked[c][0]` is the medoid.
+fn medoid_rankings(data: &Matrix, clustering: &KMeansResult) -> Vec<Vec<usize>> {
+    use flare_cluster::distance::euclidean;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); clustering.k()];
+    for (row, &c) in clustering.assignments.iter().enumerate() {
+        members[c].push(row);
+    }
+    for group in &mut members {
+        let totals: Vec<f64> = group
+            .iter()
+            .map(|&i| {
+                group
+                    .iter()
+                    .map(|&j| euclidean(data.row(i), data.row(j)))
+                    .sum()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..group.len()).collect();
+        // `total_cmp` keeps the ranking well-defined even if a degenerate
+        // projection produces a NaN distance (NaN sorts last).
+        order.sort_by(|&a, &b| totals[a].total_cmp(&totals[b]));
+        *group = order.iter().map(|&pos| group[pos]).collect();
+    }
+    members
+}
+
+/// Runs Repair → Featurize → Cluster → Representatives from a profiled
+/// database and assembles the fitted [`Analyzer`](crate::analyzer::Analyzer)
+/// plus the repaired-database cache the incremental paths keep around.
+///
+/// Both the monolithic `Analyzer::fit` and every `Flare` path (fit, refit,
+/// extend, recluster) funnel through this, so incremental results are
+/// byte-identical to full fits by construction.
+pub(crate) fn fit_database(
+    db: &MetricDatabase,
+    config: &FlareConfig,
+    fps: &StageFingerprints,
+) -> Result<(crate::analyzer::Analyzer, Option<MetricDatabase>)> {
+    if db.len() < 2 {
+        return Err(FlareError::InsufficientData(format!(
+            "{} scenarios in database",
+            db.len()
+        )));
+    }
+    let RepairArtifact {
+        repaired,
+        report: repair_report,
+        ..
+    } = run_repair(db, &config.repair_stage(), fps.repair)?;
+    let working = repaired.as_ref().unwrap_or(db);
+    let feat = run_featurize(working, &config.featurize_stage(), fps.featurize)?;
+    let (cluster, _) = run_cluster(
+        &feat,
+        &config.cluster_stage(),
+        config.threads,
+        None,
+        fps.cluster,
+    )?;
+    let reps = run_representatives(
+        &feat,
+        &cluster,
+        &config.representatives_stage(),
+        fps.representatives,
+    );
+    let analyzer = crate::analyzer::Analyzer::from_artifacts(repair_report, feat, cluster, reps);
+    Ok((analyzer, repaired))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterCountRule;
+
+    #[test]
+    fn fingerprints_are_stable_and_input_sensitive() {
+        let cfg = FlareConfig::default();
+        let a = StageFingerprints::compute(1, &cfg);
+        let b = StageFingerprints::compute(1, &cfg);
+        assert_eq!(a, b, "same input + config must fingerprint identically");
+        let c = StageFingerprints::compute(2, &cfg);
+        assert_ne!(a.profile, c.profile);
+        assert_ne!(a.representatives, c.representatives, "input cascades");
+    }
+
+    #[test]
+    fn clustering_change_invalidates_only_downstream_stages() {
+        let base = FlareConfig::default();
+        let changed = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(7),
+            ..FlareConfig::default()
+        };
+        let a = StageFingerprints::compute(42, &base);
+        let b = StageFingerprints::compute(42, &changed);
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.repair, b.repair);
+        assert_eq!(a.featurize, b.featurize);
+        assert_ne!(a.cluster, b.cluster);
+        assert_ne!(a.representatives, b.representatives);
+    }
+
+    #[test]
+    fn wall_clock_knobs_do_not_invalidate() {
+        let base = FlareConfig::default();
+        let threaded = FlareConfig {
+            threads: Some(7),
+            ..FlareConfig::default()
+        };
+        assert_eq!(
+            StageFingerprints::compute(9, &base),
+            StageFingerprints::compute(9, &threaded),
+            "threads is a wall-clock knob, never a result knob"
+        );
+        let mut pinned = FlareConfig::default();
+        pinned.kmeans.threads = Some(3);
+        pinned.kmeans.k = 99; // always overridden by the cluster-count rule
+        assert_eq!(
+            StageFingerprints::compute(9, &base),
+            StageFingerprints::compute(9, &pinned)
+        );
+    }
+
+    #[test]
+    fn evaluation_knobs_do_not_invalidate_fit_stages() {
+        let base = FlareConfig::default();
+        let eval_changed = FlareConfig {
+            weight_by_observations: false,
+            min_replay_coverage: 0.9,
+            ..FlareConfig::default()
+        };
+        assert_eq!(
+            StageFingerprints::compute(5, &base),
+            StageFingerprints::compute(5, &eval_changed)
+        );
+    }
+
+    #[test]
+    fn repair_change_invalidates_from_repair_down() {
+        let base = FlareConfig::default();
+        let wins = FlareConfig {
+            winsorize_mad: Some(6.0),
+            ..FlareConfig::default()
+        };
+        let a = StageFingerprints::compute(11, &base);
+        let b = StageFingerprints::compute(11, &wins);
+        assert_eq!(a.profile, b.profile);
+        assert_ne!(a.repair, b.repair);
+        assert_ne!(a.featurize, b.featurize);
+    }
+
+    #[test]
+    fn fit_report_accounting() {
+        let full = FitReport::full_fit(30);
+        assert_eq!(full.recomputed_stages(), 5);
+        assert_eq!(full.reused_stages(), 0);
+        assert_eq!(full.scenarios_profiled, 30);
+        let loaded = FitReport::loaded();
+        assert_eq!(loaded.reused_stages(), 5);
+        assert_eq!(loaded.scenarios_profiled, 0);
+    }
+}

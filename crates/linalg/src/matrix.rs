@@ -322,6 +322,63 @@ impl Matrix {
         true
     }
 
+    /// Appends a row at the bottom of the matrix.
+    ///
+    /// A `0 x cols` matrix (e.g. from [`Matrix::zeros`]) grows into a
+    /// `1 x cols` one, which is how incremental stores build matrices
+    /// without a transient `Vec<Vec<f64>>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `row.len() != ncols()`.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        self.insert_row(self.rows, row)
+    }
+
+    /// Inserts a row before index `at`, shifting later rows down.
+    /// `at == nrows()` appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `row.len() != ncols()`
+    /// and [`LinalgError::InvalidParameter`] if `at > nrows()`.
+    pub fn insert_row(&mut self, at: usize, row: &[f64]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "insert_row: row of length {} into a matrix with {} columns",
+                row.len(),
+                self.cols
+            )));
+        }
+        if at > self.rows {
+            return Err(LinalgError::InvalidParameter(format!(
+                "insert_row: index {at} out of bounds for {} rows",
+                self.rows
+            )));
+        }
+        self.data
+            .splice(at * self.cols..at * self.cols, row.iter().copied());
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Removes the row at index `at`, shifting later rows up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `at >= nrows()`.
+    pub fn remove_row(&mut self, at: usize) -> Result<()> {
+        if at >= self.rows {
+            return Err(LinalgError::InvalidParameter(format!(
+                "remove_row: index {at} out of bounds for {} rows",
+                self.rows
+            )));
+        }
+        self.data.drain(at * self.cols..(at + 1) * self.cols);
+        self.rows -= 1;
+        Ok(())
+    }
+
     /// Extracts the sub-matrix consisting of the given columns, in order.
     ///
     /// # Errors
@@ -506,6 +563,31 @@ mod tests {
         );
         assert!(m.select_columns(&[3]).is_err());
         assert!(m.select_columns(&[]).is_err());
+    }
+
+    #[test]
+    fn push_and_insert_rows_grow_from_empty() {
+        let mut m = Matrix::zeros(0, 2);
+        m.push_row(&[3.0, 4.0]).unwrap();
+        m.insert_row(0, &[1.0, 2.0]).unwrap();
+        m.insert_row(2, &[5.0, 6.0]).unwrap();
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+        );
+        assert!(m.push_row(&[1.0]).is_err());
+        assert!(m.insert_row(9, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn remove_row_shifts_up() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        m.remove_row(1).unwrap();
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![5.0, 6.0]]).unwrap()
+        );
+        assert!(m.remove_row(2).is_err());
     }
 
     #[test]

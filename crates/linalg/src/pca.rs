@@ -28,7 +28,8 @@ use serde::{Deserialize, Serialize};
 /// let pca = Pca::fit(&data).unwrap();
 /// assert!(pca.explained_variance_ratio()[0] > 0.99);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(into = "PcaSnapshot", try_from = "PcaSnapshot")]
 pub struct Pca {
     zscore: ZScore,
     components: Matrix, // columns = principal axes in (standardized) metric space
@@ -283,6 +284,20 @@ impl From<&Pca> for PcaSnapshot {
                 .collect(),
             eigenvalues: p.eigenvalues.clone(),
         }
+    }
+}
+
+impl From<Pca> for PcaSnapshot {
+    fn from(p: Pca) -> Self {
+        PcaSnapshot::from(&p)
+    }
+}
+
+impl TryFrom<PcaSnapshot> for Pca {
+    type Error = LinalgError;
+
+    fn try_from(s: PcaSnapshot) -> Result<Pca> {
+        Pca::try_from(&s)
     }
 }
 

@@ -149,7 +149,7 @@ pub fn refine_with(
         )));
     }
     let data = db.to_matrix()?;
-    let corr = correlation_matrix_with(&data, method)?;
+    let corr = correlation_matrix_with(data, method)?;
     let d = data.ncols();
 
     let mut kept_indices: Vec<usize> = Vec::new();

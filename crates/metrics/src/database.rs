@@ -2,8 +2,13 @@
 //!
 //! The paper records per-scenario average metrics, the commands and
 //! configurations of running jobs, in "our relational database". The
-//! equivalent here is an in-memory table of [`ScenarioRecord`]s with
-//! serde-JSON persistence.
+//! equivalent here is an in-memory columnar table: scenario ids, a dense
+//! scenario × metric [`Matrix`], observation weights, and job mixes are
+//! stored as parallel arrays sorted by scenario id. Rows are handed out as
+//! lightweight [`ScenarioRow`] views and [`MetricDatabase::to_matrix`] is a
+//! borrow of the primary representation, so the Analyzer's PCA/clustering
+//! hot path never re-materializes the data. [`ScenarioRecord`] remains the
+//! owned exchange type for insertion and the (unchanged) JSON wire format.
 
 use crate::error::{MetricsError, Result};
 use crate::schema::MetricSchema;
@@ -22,8 +27,21 @@ impl std::fmt::Display for ScenarioId {
     }
 }
 
-/// One row of the metric database: a scenario's averaged raw metrics plus
-/// the bookkeeping FLARE's Replayer needs to reconstruct it.
+/// Instance count of `job` in a `(job_name, instance_count)` mix (0 if
+/// absent).
+fn instances_in(job_mix: &[(String, u32)], job: &str) -> u32 {
+    job_mix
+        .iter()
+        .find(|(name, _)| name == job)
+        .map(|&(_, n)| n)
+        .unwrap_or(0)
+}
+
+/// One row of the metric database as an owned value: a scenario's averaged
+/// raw metrics plus the bookkeeping FLARE's Replayer needs to reconstruct
+/// it. This is the exchange type the Profiler produces and the JSON wire
+/// format stores; inside the database the same data lives in columnar
+/// arrays and is viewed through [`ScenarioRow`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioRecord {
     /// The scenario this row describes.
@@ -41,16 +59,49 @@ pub struct ScenarioRecord {
 impl ScenarioRecord {
     /// Instance count of `job` in this scenario (0 if absent).
     pub fn instances_of(&self, job: &str) -> u32 {
-        self.job_mix
-            .iter()
-            .find(|(name, _)| name == job)
-            .map(|&(_, n)| n)
-            .unwrap_or(0)
+        instances_in(&self.job_mix, job)
     }
 
     /// `true` if this scenario runs at least one instance of `job`.
     pub fn has_job(&self, job: &str) -> bool {
         self.instances_of(job) > 0
+    }
+}
+
+/// A borrowed view of one database row. Cheap to copy (three pointers and
+/// two words); the metric slice aliases the database's backing matrix
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioRow<'a> {
+    /// The scenario this row describes.
+    pub id: ScenarioId,
+    /// Raw metric values, a borrow of the backing matrix row.
+    pub metrics: &'a [f64],
+    /// Observation weight of this scenario.
+    pub observations: u32,
+    /// The job mix as `(job_name, instance_count)` pairs.
+    pub job_mix: &'a [(String, u32)],
+}
+
+impl ScenarioRow<'_> {
+    /// Instance count of `job` in this scenario (0 if absent).
+    pub fn instances_of(&self, job: &str) -> u32 {
+        instances_in(self.job_mix, job)
+    }
+
+    /// `true` if this scenario runs at least one instance of `job`.
+    pub fn has_job(&self, job: &str) -> bool {
+        self.instances_of(job) > 0
+    }
+
+    /// Copies the view into an owned [`ScenarioRecord`].
+    pub fn to_record(&self) -> ScenarioRecord {
+        ScenarioRecord {
+            id: self.id,
+            metrics: self.metrics.to_vec(),
+            observations: self.observations,
+            job_mix: self.job_mix.to_vec(),
+        }
     }
 }
 
@@ -157,7 +208,12 @@ impl IngestReport {
     }
 }
 
-/// In-memory metric database: schema + scenario rows.
+/// In-memory metric database: schema + columnar scenario rows.
+///
+/// The primary representation is a dense scenario × metric [`Matrix`] with
+/// parallel id / observation / job-mix arrays, all sorted by ascending
+/// scenario id. [`MetricDatabase::to_matrix`] therefore borrows rather
+/// than copies, and row lookups return [`ScenarioRow`] views.
 ///
 /// # Examples
 ///
@@ -174,20 +230,31 @@ impl IngestReport {
 ///     job_mix: vec![("memcached".into(), 2)],
 /// })?;
 /// assert_eq!(db.len(), 1);
+/// assert_eq!(db.get(ScenarioId(0)).unwrap().metrics[0], 1.0);
 /// # Ok::<(), flare_metrics::MetricsError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(into = "DbWire", try_from = "DbWire")]
 pub struct MetricDatabase {
     schema: MetricSchema,
-    records: BTreeMap<ScenarioId, ScenarioRecord>,
+    /// Scenario ids, ascending; row `i` of `data` belongs to `ids[i]`.
+    ids: Vec<ScenarioId>,
+    /// The scenario × metric data plane (one matrix row per scenario).
+    data: Matrix,
+    observations: Vec<u32>,
+    job_mixes: Vec<Vec<(String, u32)>>,
 }
 
 impl MetricDatabase {
     /// Creates an empty database over `schema`.
     pub fn new(schema: MetricSchema) -> Self {
+        let data = Matrix::zeros(0, schema.len());
         MetricDatabase {
             schema,
-            records: BTreeMap::new(),
+            ids: Vec::new(),
+            data,
+            observations: Vec::new(),
+            job_mixes: Vec::new(),
         }
     }
 
@@ -198,12 +265,38 @@ impl MetricDatabase {
 
     /// Number of scenarios stored.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.ids.len()
     }
 
     /// `true` if no scenarios are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.ids.is_empty()
+    }
+
+    /// Row position of `id`, if stored.
+    fn position(&self, id: ScenarioId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Stores a pre-validated record at its sorted position (replacing any
+    /// row with the same id).
+    fn store(&mut self, record: ScenarioRecord) {
+        debug_assert_eq!(record.metrics.len(), self.schema.len());
+        match self.ids.binary_search(&record.id) {
+            Ok(i) => {
+                self.data.row_mut(i).copy_from_slice(&record.metrics);
+                self.observations[i] = record.observations;
+                self.job_mixes[i] = record.job_mix;
+            }
+            Err(i) => {
+                self.data
+                    .insert_row(i, &record.metrics)
+                    .expect("length validated against schema");
+                self.ids.insert(i, record.id);
+                self.observations.insert(i, record.observations);
+                self.job_mixes.insert(i, record.job_mix);
+            }
+        }
     }
 
     /// Inserts (or replaces) a scenario row. This is the *strict* path:
@@ -236,7 +329,7 @@ impl MetricDatabase {
                 record.id
             )));
         }
-        self.records.insert(record.id, record);
+        self.store(record);
         Ok(())
     }
 
@@ -281,7 +374,7 @@ impl MetricDatabase {
                     .push((record.id, QuarantineReason::ZeroObservations));
                 continue;
             }
-            if self.records.contains_key(&record.id) {
+            if self.position(record.id).is_some() {
                 report
                     .quarantined
                     .push((record.id, QuarantineReason::Duplicate));
@@ -302,7 +395,7 @@ impl MetricDatabase {
             }
             report.accepted += 1;
             report.missing_cells += missing;
-            self.records.insert(record.id, record);
+            self.store(record);
         }
         report
     }
@@ -310,56 +403,70 @@ impl MetricDatabase {
     /// Number of NaN missing-sample markers across all stored rows (only
     /// the [`MetricDatabase::ingest`] path can introduce them).
     pub fn missing_cells(&self) -> usize {
-        self.records
-            .values()
-            .flat_map(|r| r.metrics.iter())
+        self.data
+            .as_slice()
+            .iter()
             .filter(|m| !m.is_finite())
             .count()
     }
 
     /// `true` if any stored row carries a missing-sample marker.
     pub fn has_missing(&self) -> bool {
-        self.records
-            .values()
-            .any(|r| r.metrics.iter().any(|m| !m.is_finite()))
+        self.data.as_slice().iter().any(|m| !m.is_finite())
     }
 
-    /// Looks up a scenario row.
-    pub fn get(&self, id: ScenarioId) -> Option<&ScenarioRecord> {
-        self.records.get(&id)
+    /// The row at sorted position `i` as a borrowed view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn row_at(&self, i: usize) -> ScenarioRow<'_> {
+        ScenarioRow {
+            id: self.ids[i],
+            metrics: self.data.row(i),
+            observations: self.observations[i],
+            job_mix: &self.job_mixes[i],
+        }
     }
 
-    /// Iterates rows in ascending scenario-id order.
-    pub fn iter(&self) -> impl Iterator<Item = &ScenarioRecord> {
-        self.records.values()
+    /// Looks up a scenario row as a borrowed view.
+    pub fn get(&self, id: ScenarioId) -> Option<ScenarioRow<'_>> {
+        self.position(id).map(|i| self.row_at(i))
     }
 
-    /// All scenario ids in ascending order.
-    pub fn scenario_ids(&self) -> Vec<ScenarioId> {
-        self.records.keys().copied().collect()
+    /// Iterates row views in ascending scenario-id order.
+    pub fn iter(&self) -> impl Iterator<Item = ScenarioRow<'_>> {
+        (0..self.len()).map(|i| self.row_at(i))
+    }
+
+    /// All scenario ids in ascending order, borrowed — no per-call
+    /// allocation.
+    pub fn scenario_ids(&self) -> &[ScenarioId] {
+        &self.ids
     }
 
     /// Total observation weight across all rows.
     pub fn total_observations(&self) -> u64 {
-        self.records.values().map(|r| r.observations as u64).sum()
+        self.observations.iter().map(|&o| o as u64).sum()
     }
 
     /// The scenario × metric data matrix, rows in ascending scenario-id
-    /// order (the Analyzer's input).
+    /// order (the Analyzer's input). A borrow of the primary columnar
+    /// representation — no copy.
     ///
     /// # Errors
     ///
     /// Returns [`MetricsError::EmptyDatabase`] if there are no rows.
-    pub fn to_matrix(&self) -> Result<Matrix> {
-        if self.records.is_empty() {
+    pub fn to_matrix(&self) -> Result<&Matrix> {
+        if self.ids.is_empty() {
             return Err(MetricsError::EmptyDatabase);
         }
-        let rows: Vec<Vec<f64>> = self.records.values().map(|r| r.metrics.clone()).collect();
-        Ok(Matrix::from_rows(&rows)?)
+        Ok(&self.data)
     }
 
     /// A new database containing the same scenarios but only the metric
-    /// columns at `indices` (used after refinement).
+    /// columns at `indices` (used after refinement). NaN missing-sample
+    /// markers are preserved for the repair stage.
     ///
     /// # Errors
     ///
@@ -378,22 +485,42 @@ impl MetricDatabase {
             )));
         }
         let schema = self.schema.subset(indices);
-        let mut db = MetricDatabase::new(schema);
-        for r in self.records.values() {
-            let metrics = indices.iter().map(|&i| r.metrics[i]).collect();
-            // Rows were validated on entry; reinsert directly so projection
-            // preserves NaN missing-sample markers awaiting repair.
-            db.records.insert(
-                r.id,
-                ScenarioRecord {
-                    id: r.id,
-                    metrics,
-                    observations: r.observations,
-                    job_mix: r.job_mix.clone(),
-                },
-            );
+        let data = if self.ids.is_empty() {
+            Matrix::zeros(0, indices.len())
+        } else {
+            self.data
+                .select_columns(indices)
+                .expect("indices validated against schema")
+        };
+        Ok(MetricDatabase {
+            schema,
+            ids: self.ids.clone(),
+            data,
+            observations: self.observations.clone(),
+            job_mixes: self.job_mixes.clone(),
+        })
+    }
+
+    /// A new database with the same scenarios and metrics but observation
+    /// weights remapped by `weight`; rows whose new weight is zero are
+    /// dropped. NaN missing-sample markers are preserved. This is the
+    /// stage-graph path for re-weighted reclustering (§5.5): the profile
+    /// artifact is reused, only the weights change.
+    pub fn reweighted(&self, mut weight: impl FnMut(ScenarioId, u32) -> u32) -> MetricDatabase {
+        let mut db = MetricDatabase::new(self.schema.clone());
+        for i in 0..self.len() {
+            let w = weight(self.ids[i], self.observations[i]);
+            if w == 0 {
+                continue;
+            }
+            db.data
+                .push_row(self.data.row(i))
+                .expect("same schema width");
+            db.ids.push(self.ids[i]);
+            db.observations.push(w);
+            db.job_mixes.push(self.job_mixes[i].clone());
         }
-        Ok(db)
+        db
     }
 
     /// Serializes the database to pretty JSON.
@@ -434,6 +561,50 @@ impl MetricDatabase {
         let json =
             std::fs::read_to_string(path).map_err(|e| MetricsError::Persistence(e.to_string()))?;
         Self::from_json(&json)
+    }
+}
+
+/// The JSON wire format: identical to the pre-columnar row-oriented
+/// representation (`{schema, records: {id: record}}`), so databases saved
+/// before the columnar refactor load unchanged and new files remain
+/// readable by old tooling. [`MetricDatabase`] converts through this type
+/// at the serde boundary (`into`/`try_from` container attributes).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct DbWire {
+    schema: MetricSchema,
+    records: BTreeMap<ScenarioId, ScenarioRecord>,
+}
+
+impl From<MetricDatabase> for DbWire {
+    fn from(db: MetricDatabase) -> DbWire {
+        DbWire {
+            records: db.iter().map(|r| (r.id, r.to_record())).collect(),
+            schema: db.schema,
+        }
+    }
+}
+
+impl TryFrom<DbWire> for MetricDatabase {
+    type Error = MetricsError;
+
+    fn try_from(wire: DbWire) -> Result<MetricDatabase> {
+        let mut db = MetricDatabase::new(wire.schema);
+        for (id, record) in wire.records {
+            if record.id != id {
+                return Err(MetricsError::Persistence(format!(
+                    "record keyed {id} carries id {}",
+                    record.id
+                )));
+            }
+            if record.metrics.len() != db.schema.len() {
+                return Err(MetricsError::SchemaMismatch {
+                    expected: db.schema.len(),
+                    actual: record.metrics.len(),
+                });
+            }
+            db.store(record);
+        }
+        Ok(db)
     }
 }
 
@@ -506,6 +677,30 @@ mod tests {
     }
 
     #[test]
+    fn matrix_is_a_borrow_of_the_columnar_store() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(0, 1.0)).unwrap();
+        let before = db.to_matrix().unwrap() as *const Matrix;
+        let again = db.to_matrix().unwrap() as *const Matrix;
+        // Same backing allocation both times: a borrow, not a copy.
+        assert_eq!(before, again);
+    }
+
+    #[test]
+    fn scenario_ids_borrow_sorted() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(9, 1.0)).unwrap();
+        db.insert(record(3, 1.0)).unwrap();
+        db.insert(record(6, 1.0)).unwrap();
+        assert_eq!(
+            db.scenario_ids(),
+            &[ScenarioId(3), ScenarioId(6), ScenarioId(9)]
+        );
+        let views: Vec<u32> = db.iter().map(|r| r.id.0).collect();
+        assert_eq!(views, vec![3, 6, 9]);
+    }
+
+    #[test]
     fn empty_matrix_errors() {
         let db = MetricDatabase::new(tiny_schema());
         assert!(matches!(db.to_matrix(), Err(MetricsError::EmptyDatabase)));
@@ -518,7 +713,7 @@ mod tests {
         db.insert(record(1, 4.0)).unwrap();
         let p = db.project(&[2, 0]).unwrap();
         assert_eq!(p.schema().len(), 2);
-        assert_eq!(p.get(ScenarioId(0)).unwrap().metrics, vec![3.0, 1.0]);
+        assert_eq!(p.get(ScenarioId(0)).unwrap().metrics, &[3.0, 1.0]);
         assert!(db.project(&[]).is_err());
         assert!(db.project(&[9]).is_err());
     }
@@ -530,6 +725,35 @@ mod tests {
         assert_eq!(r.instances_of("WSV"), 0);
         assert!(r.has_job("GA"));
         assert!(!r.has_job("WSV"));
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(r).unwrap();
+        let view = db.get(ScenarioId(0)).unwrap();
+        assert_eq!(view.instances_of("DC"), 2);
+        assert!(view.has_job("GA"));
+        assert!(!view.has_job("WSV"));
+    }
+
+    #[test]
+    fn row_view_roundtrips_to_record() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(4, 2.0)).unwrap();
+        assert_eq!(db.get(ScenarioId(4)).unwrap().to_record(), record(4, 2.0));
+    }
+
+    #[test]
+    fn reweighted_drops_zero_weight_rows() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(0, 1.0)).unwrap();
+        db.insert(record(1, 2.0)).unwrap();
+        db.insert(record(2, 3.0)).unwrap();
+        let rw = db.reweighted(|id, obs| if id.0 == 1 { 0 } else { obs * 10 });
+        assert_eq!(rw.len(), 2);
+        assert!(rw.get(ScenarioId(1)).is_none());
+        assert_eq!(rw.get(ScenarioId(0)).unwrap().observations, 10);
+        assert_eq!(
+            rw.get(ScenarioId(2)).unwrap().metrics,
+            db.get(ScenarioId(2)).unwrap().metrics
+        );
     }
 
     #[test]
@@ -548,6 +772,34 @@ mod tests {
         let json = db.to_json().unwrap();
         let back = MetricDatabase::from_json(&json).unwrap();
         assert_eq!(db, back);
+    }
+
+    #[test]
+    fn wire_format_is_the_legacy_row_oriented_shape() {
+        // Files written by the pre-columnar database (schema + records
+        // map) must keep loading, and new files must keep that shape.
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(2, 1.0)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&db.to_json().unwrap()).unwrap();
+        assert!(v.get("schema").is_some());
+        let records = v.get("records").expect("records map");
+        assert!(records
+            .get("2")
+            .expect("keyed by id")
+            .get("metrics")
+            .is_some());
+    }
+
+    #[test]
+    fn malformed_wire_records_are_rejected() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(2, 1.0)).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&db.to_json().unwrap()).unwrap();
+        v["records"]["2"]["metrics"] = serde_json::json!([1.0]); // wrong arity
+        assert!(MetricDatabase::from_json(&v.to_string()).is_err());
+        let mut v2: serde_json::Value = serde_json::from_str(&db.to_json().unwrap()).unwrap();
+        v2["records"]["2"]["id"] = serde_json::json!(7); // key/id disagreement
+        assert!(MetricDatabase::from_json(&v2.to_string()).is_err());
     }
 
     #[test]

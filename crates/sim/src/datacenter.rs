@@ -247,6 +247,49 @@ impl Corpus {
         Ok(Corpus { entries, config })
     }
 
+    /// Returns a copy of this corpus with `scenarios` appended, their ids
+    /// continuing the dense first-seen sequence. The original corpus is
+    /// untouched — this is the growth primitive behind incremental refits:
+    /// profiling the extension's tail and appending it to an existing
+    /// database is byte-identical to re-profiling the extended corpus from
+    /// scratch, because per-scenario noise seeds depend only on the corpus
+    /// seed and the scenario id.
+    ///
+    /// An empty `scenarios` list is allowed and yields an identical copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message under the same per-entry rules as
+    /// [`Corpus::from_entries`] (empty scenario, zero observations, vCPU
+    /// overcommit).
+    pub fn extended(&self, scenarios: Vec<(Scenario, u32)>) -> std::result::Result<Corpus, String> {
+        let cap = self.config.machine_config.schedulable_vcpus();
+        let mut entries = self.entries.clone();
+        for (i, (scenario, observations)) in scenarios.into_iter().enumerate() {
+            if scenario.is_empty() {
+                return Err(format!("extension entry {i}: empty scenario"));
+            }
+            if observations == 0 {
+                return Err(format!("extension entry {i}: zero observations"));
+            }
+            if scenario.total_vcpus() > cap {
+                return Err(format!(
+                    "extension entry {i}: {} vCPUs exceed the machine's {cap}",
+                    scenario.total_vcpus()
+                ));
+            }
+            entries.push(CorpusEntry {
+                id: ScenarioId(entries.len() as u32),
+                scenario,
+                observations,
+            });
+        }
+        Ok(Corpus {
+            entries,
+            config: self.config.clone(),
+        })
+    }
+
     /// The distinct scenarios, in first-seen (id) order.
     pub fn entries(&self) -> &[CorpusEntry] {
         &self.entries
@@ -308,7 +351,29 @@ impl Corpus {
         machine_config: &MachineConfig,
         threads: Option<usize>,
     ) -> MetricDatabase {
-        let records = par_map_indexed(&self.entries, threads, |_, e| {
+        let records = self.profile_tail_threaded(0, machine_config, threads);
+        let mut db = MetricDatabase::new(MetricSchema::canonical());
+        for record in records {
+            db.insert(record)
+                .expect("synthesized vector matches canonical schema");
+        }
+        db
+    }
+
+    /// Profiles only the entries with index `>= start` and returns their
+    /// records (canonical schema), in id order. `profile_tail_threaded(0, …)`
+    /// produces exactly the records of [`Corpus::to_metric_database_threaded`];
+    /// a nonzero `start` is the incremental path — profile just the scenarios
+    /// appended by [`Corpus::extended`] and insert them into an existing
+    /// database. A `start` at or past the corpus length yields no records.
+    pub fn profile_tail_threaded(
+        &self,
+        start: usize,
+        machine_config: &MachineConfig,
+        threads: Option<usize>,
+    ) -> Vec<ScenarioRecord> {
+        let tail = &self.entries[start.min(self.entries.len())..];
+        par_map_indexed(tail, threads, |_, e| {
             let perf = evaluate(&e.scenario, machine_config);
             let metrics = synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
             ScenarioRecord {
@@ -317,13 +382,7 @@ impl Corpus {
                 observations: e.observations,
                 job_mix: e.scenario.job_mix_strings(),
             }
-        });
-        let mut db = MetricDatabase::new(MetricSchema::canonical());
-        for record in records {
-            db.insert(record)
-                .expect("synthesized vector matches canonical schema");
-        }
-        db
+        })
     }
 
     /// Materializes the corpus with §4.1 temporal enrichment: every metric
@@ -355,10 +414,34 @@ impl Corpus {
         phases: usize,
         threads: Option<usize>,
     ) -> Result<MetricDatabase, String> {
+        let records = self.profile_tail_enriched_threaded(0, machine_config, phases, threads)?;
+        let mut db = MetricDatabase::new(MetricSchema::canonical_enriched());
+        for record in records {
+            db.insert(record)
+                .expect("enriched vector matches enriched schema");
+        }
+        Ok(db)
+    }
+
+    /// Temporally-enriched counterpart of [`Corpus::profile_tail_threaded`]:
+    /// profiles only the entries with index `>= start` against the enriched
+    /// schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `phases == 0`.
+    pub fn profile_tail_enriched_threaded(
+        &self,
+        start: usize,
+        machine_config: &MachineConfig,
+        phases: usize,
+        threads: Option<usize>,
+    ) -> Result<Vec<ScenarioRecord>, String> {
         if phases == 0 {
             return Err("temporal enrichment requires at least one phase".into());
         }
-        let records = par_map_indexed(&self.entries, threads, |_, e| {
+        let tail = &self.entries[start.min(self.entries.len())..];
+        Ok(par_map_indexed(tail, threads, |_, e| {
             let metrics = crate::profiler::synthesize_enriched(
                 &e.scenario,
                 machine_config,
@@ -372,13 +455,7 @@ impl Corpus {
                 observations: e.observations,
                 job_mix: e.scenario.job_mix_strings(),
             }
-        });
-        let mut db = MetricDatabase::new(MetricSchema::canonical_enriched());
-        for record in records {
-            db.insert(record)
-                .expect("enriched vector matches enriched schema");
-        }
-        Ok(db)
+        }))
     }
 
     /// Deterministic per-scenario measurement-noise seed.
@@ -506,6 +583,83 @@ mod tests {
         // Observation weights survive.
         let total: u64 = corpus.entries().iter().map(|e| e.observations as u64).sum();
         assert_eq!(db.total_observations(), total);
+    }
+
+    #[test]
+    fn extended_appends_with_continuing_ids() {
+        use flare_workloads::job::JobName;
+        let corpus = Corpus::generate(&small_config());
+        let n = corpus.len();
+        let grown = corpus
+            .extended(vec![
+                (Scenario::from_counts([(JobName::DataCaching, 2)]), 7),
+                (Scenario::from_counts([(JobName::Mcf, 3)]), 1),
+            ])
+            .unwrap();
+        assert_eq!(grown.len(), n + 2);
+        assert_eq!(grown.entries()[..n], corpus.entries()[..]);
+        assert_eq!(grown.entries()[n].id, ScenarioId(n as u32));
+        assert_eq!(grown.entries()[n].observations, 7);
+        assert_eq!(grown.entries()[n + 1].id, ScenarioId(n as u32 + 1));
+        // Empty extension is an identical copy.
+        let same = corpus.extended(vec![]).unwrap();
+        assert_eq!(same, corpus);
+    }
+
+    #[test]
+    fn extended_validates_like_from_entries() {
+        use flare_workloads::job::JobName;
+        let corpus = Corpus::generate(&small_config());
+        assert!(corpus.extended(vec![(Scenario::empty(), 1)]).is_err());
+        assert!(corpus
+            .extended(vec![(Scenario::from_counts([(JobName::Mcf, 1)]), 0)])
+            .is_err());
+        assert!(corpus
+            .extended(vec![(
+                Scenario::from_counts([(JobName::DataCaching, 13)]),
+                1
+            )])
+            .is_err());
+    }
+
+    #[test]
+    fn profile_tail_matches_full_profile() {
+        let corpus = Corpus::generate(&small_config());
+        let mcfg = corpus.config().machine_config.clone();
+        let full = corpus.to_metric_database(&mcfg);
+        // tail(0) reproduces the full profile record-for-record.
+        let records = corpus.profile_tail_threaded(0, &mcfg, Some(1));
+        assert_eq!(records.len(), full.len());
+        for rec in &records {
+            let row = full.get(rec.id).unwrap();
+            assert_eq!(row.to_record(), *rec);
+        }
+        // A mid-corpus tail covers exactly the suffix.
+        let start = corpus.len() / 2;
+        let tail = corpus.profile_tail_threaded(start, &mcfg, None);
+        assert_eq!(tail.len(), corpus.len() - start);
+        assert_eq!(tail[0].id, ScenarioId(start as u32));
+        // Past-the-end tails are empty, not a panic.
+        assert!(corpus
+            .profile_tail_threaded(corpus.len() + 5, &mcfg, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn enriched_profile_tail_matches_full_profile() {
+        let corpus = Corpus::generate(&small_config());
+        let mcfg = corpus.config().machine_config.clone();
+        let full = corpus.to_metric_database_enriched(&mcfg, 4).unwrap();
+        let records = corpus
+            .profile_tail_enriched_threaded(0, &mcfg, 4, Some(1))
+            .unwrap();
+        assert_eq!(records.len(), full.len());
+        for rec in &records {
+            assert_eq!(full.get(rec.id).unwrap().to_record(), *rec);
+        }
+        assert!(corpus
+            .profile_tail_enriched_threaded(0, &mcfg, 0, None)
+            .is_err());
     }
 
     #[test]

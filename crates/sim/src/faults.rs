@@ -14,7 +14,9 @@
 //! hopeless records, the Analyzer's repair stage imputes and winsorizes,
 //! and the Replayer retries or drops failed representatives.
 
-use flare_metrics::database::{IngestPolicy, IngestReport, MetricDatabase, ScenarioRecord};
+use flare_metrics::database::{
+    IngestPolicy, IngestReport, MetricDatabase, ScenarioRecord, ScenarioRow,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -169,11 +171,10 @@ impl FaultInjector {
     /// `(plan.seed, scenario id)` plus the previous record for the
     /// stuck-sensor channel.
     pub fn corrupt(&self, db: &MetricDatabase) -> Vec<ScenarioRecord> {
-        let records: Vec<&ScenarioRecord> = db.iter().collect();
         let p = &self.plan;
-        let mut out = Vec::with_capacity(records.len());
-        let mut prev: Option<&ScenarioRecord> = None;
-        for rec in records {
+        let mut out = Vec::with_capacity(db.len());
+        let mut prev: Option<ScenarioRow<'_>> = None;
+        for rec in db.iter() {
             let mut rng = StdRng::seed_from_u64(
                 p.seed ^ (rec.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
@@ -181,7 +182,7 @@ impl FaultInjector {
                 prev = Some(rec);
                 continue;
             }
-            let mut metrics = rec.metrics.clone();
+            let mut metrics = rec.metrics.to_vec();
             for (j, v) in metrics.iter_mut().enumerate() {
                 if p.stuck_sensor > 0.0 && rng.gen::<f64>() < p.stuck_sensor {
                     if let Some(stale) = prev {
@@ -205,7 +206,7 @@ impl FaultInjector {
                 id: rec.id,
                 metrics,
                 observations: rec.observations,
-                job_mix: rec.job_mix.clone(),
+                job_mix: rec.job_mix.to_vec(),
             };
             let duplicate = if p.record_duplication > 0.0 && rng.gen::<f64>() < p.record_duplication
             {
@@ -279,7 +280,7 @@ mod tests {
         let db = clean_db(20);
         let injector = FaultInjector::new(FaultPlan::default()).unwrap();
         let out = injector.corrupt(&db);
-        let original: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        let original: Vec<ScenarioRecord> = db.iter().map(|r| r.to_record()).collect();
         assert_eq!(out, original);
         assert!(FaultPlan::default().is_clean());
     }
@@ -373,7 +374,7 @@ mod tests {
         })
         .unwrap()
         .corrupt(&db);
-        let original: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        let original: Vec<ScenarioRecord> = db.iter().map(|r| r.to_record()).collect();
         // Some (but not all) cells must equal the previous record's value
         // where the original differed.
         let mut stuck = 0;
@@ -404,7 +405,7 @@ mod tests {
         })
         .unwrap()
         .corrupt(&db);
-        let original: Vec<ScenarioRecord> = db.iter().cloned().collect();
+        let original: Vec<ScenarioRecord> = db.iter().map(|r| r.to_record()).collect();
         let mut inflations = Vec::new();
         for (r, o) in out.iter().zip(&original) {
             for (v, ov) in r.metrics.iter().zip(&o.metrics) {

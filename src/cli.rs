@@ -4,6 +4,8 @@
 //!
 //! - `collect`         — simulate the datacenter and save the scenario corpus
 //! - `profile`         — materialize the corpus as a metric database (JSON)
+//! - `refit`           — re-fit a saved model under new settings, reusing
+//!   every pipeline stage the change does not invalidate
 //! - `representatives` — fit FLARE and list the representative scenarios
 //! - `interpret`       — fit FLARE and print the labeled PCs
 //! - `evaluate`        — fit FLARE and estimate a feature's impact
@@ -229,6 +231,41 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
             .map_err(w)?;
             Ok(())
         }
+        "refit" => {
+            let model_path = inv.required("model")?;
+            let flare = Flare::load(std::path::Path::new(model_path))
+                .map_err(|e| CliError(format!("cannot load model {model_path}: {e}")))?;
+            let mut config = flare.config().clone();
+            if inv.options.contains_key("clusters") {
+                let clusters: usize = inv.get_parse("clusters", 18usize)?;
+                config.cluster_count = ClusterCountRule::Fixed(clusters);
+            }
+            let refitted = flare
+                .refit(config)
+                .map_err(|e| CliError(format!("refit failed: {e}")))?;
+            let path = inv.required("out")?;
+            refitted
+                .save(std::path::Path::new(path))
+                .map_err(|e| CliError(format!("save model: {e}")))?;
+            let report = refitted.fit_report();
+            writeln!(
+                out,
+                "refitted {} representatives -> {path}",
+                refitted.n_representatives()
+            )
+            .map_err(w)?;
+            for (stage, outcome) in report.stages() {
+                writeln!(out, "  {stage:<16} {outcome:?}").map_err(w)?;
+            }
+            writeln!(
+                out,
+                "  scenarios profiled: {} of {}",
+                report.scenarios_profiled,
+                refitted.corpus().len()
+            )
+            .map_err(w)?;
+            Ok(())
+        }
         "representatives" => {
             let flare = load_or_fit(inv)?;
             let weights = flare.analyzer().cluster_weights(true);
@@ -331,6 +368,7 @@ USAGE:
   flare-cli collect  --out corpus.json [--machines 8] [--days 7] [--seed N] [--shape default|small]
   flare-cli profile  --corpus corpus.json --out db.json
   flare-cli fit      --corpus corpus.json --out model.json [--clusters 18]
+  flare-cli refit    --model model.json --out model2.json [--clusters N]
   flare-cli representatives (--corpus corpus.json | --model model.json) [--clusters 18]
   flare-cli interpret       (--corpus corpus.json | --model model.json) [--clusters 18]
   flare-cli evaluate (--corpus corpus.json | --model model.json) --feature <spec> [--job DC]

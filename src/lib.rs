@@ -68,7 +68,9 @@ pub use flare_workloads as workloads;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use flare_core::replayer::{SimTestbed, Testbed};
-    pub use flare_core::{ClusterCountRule, Flare, FlareConfig, FlareError};
+    pub use flare_core::{
+        ClusterCountRule, FitReport, Flare, FlareConfig, FlareError, StageOutcome,
+    };
     pub use flare_sim::datacenter::{Corpus, CorpusConfig};
     pub use flare_sim::feature::Feature;
     pub use flare_sim::machine::{MachineConfig, MachineShape};

@@ -1,0 +1,114 @@
+//! Property-based tests of the staged artifact pipeline's incremental
+//! paths: for *arbitrary* corpus deltas and cluster-count changes,
+//! `extend` and `refit` must be indistinguishable from a from-scratch
+//! `fit` — while demonstrably skipping the profiling stage.
+
+use flare::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small scenario delta (1..=4 entries, each 1..=6 containers
+/// drawn from all job types, with 1..=5 observations).
+fn delta_strategy() -> impl Strategy<Value = Vec<(Scenario, u32)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0usize..JobName::ALL.len(), 1..=6),
+            1u32..=5,
+        ),
+        1..=4,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(picks, obs)| {
+                let instances: Vec<JobInstance> = picks
+                    .into_iter()
+                    .map(|i| JobInstance::new(JobName::ALL[i]))
+                    .collect();
+                (Scenario::from_instances(&instances), obs)
+            })
+            .collect()
+    })
+}
+
+fn small_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        machines: 3,
+        days: 1.0,
+        tick_minutes: 30.0,
+        ..CorpusConfig::default()
+    })
+}
+
+fn config(k: usize) -> FlareConfig {
+    FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(k),
+        ..FlareConfig::default()
+    }
+}
+
+/// Snapshot JSON is the byte-level oracle: two models that serialize
+/// identically are identical in every field the pipeline persists.
+fn snapshot_json(flare: &Flare) -> String {
+    serde_json::to_string(&flare.to_snapshot()).expect("snapshot serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `fit(corpus ∪ Δ).snapshot == fit(corpus).extend(Δ).snapshot`, byte
+    /// for byte — incremental profiling of the delta must be
+    /// indistinguishable from profiling the grown corpus from scratch.
+    #[test]
+    fn extend_matches_full_fit_byte_identically(delta in delta_strategy()) {
+        let corpus = small_corpus();
+        let fitted = Flare::fit(corpus.clone(), config(6)).expect("fit");
+
+        let extended = fitted.extend(delta.clone()).expect("extend");
+        prop_assert_eq!(extended.fit_report().profile, StageOutcome::Extended);
+        prop_assert_eq!(extended.fit_report().scenarios_profiled, delta.len());
+
+        let grown = corpus.extended(delta).expect("extended corpus");
+        let full = Flare::fit(grown, config(6)).expect("full fit");
+        prop_assert_eq!(full.fit_report().scenarios_profiled, full.corpus().len());
+
+        prop_assert_eq!(snapshot_json(&extended), snapshot_json(&full));
+    }
+
+    /// A clustering-only refit never touches the profiler: the profile,
+    /// repair, and featurize artifacts are reused, zero scenarios are
+    /// profiled, and the result still matches a from-scratch fit byte for
+    /// byte.
+    #[test]
+    fn clustering_only_refit_never_profiles(k in 3usize..=9) {
+        let corpus = small_corpus();
+        let fitted = Flare::fit(corpus.clone(), config(6)).expect("fit");
+
+        let refitted = fitted.refit(config(k)).expect("refit");
+        let report = refitted.fit_report();
+        prop_assert_eq!(report.scenarios_profiled, 0);
+        prop_assert_eq!(report.profile, StageOutcome::Reused);
+        prop_assert_eq!(report.repair, StageOutcome::Reused);
+        prop_assert_eq!(report.featurize, StageOutcome::Reused);
+
+        let full = Flare::fit(corpus, config(k)).expect("full fit");
+        prop_assert_eq!(snapshot_json(&refitted), snapshot_json(&full));
+    }
+
+    /// Chaining the two paths — extend then refit — still matches a
+    /// single from-scratch fit of the grown corpus at the final config.
+    #[test]
+    fn extend_then_refit_matches_full_fit(delta in delta_strategy(), k in 3usize..=9) {
+        let corpus = small_corpus();
+        let fitted = Flare::fit(corpus.clone(), config(6)).expect("fit");
+        let chained = fitted
+            .extend(delta.clone())
+            .expect("extend")
+            .refit(config(k))
+            .expect("refit");
+        prop_assert_eq!(chained.fit_report().scenarios_profiled, 0);
+
+        let grown = corpus.extended(delta).expect("extended corpus");
+        let full = Flare::fit(grown, config(k)).expect("full fit");
+        prop_assert_eq!(snapshot_json(&chained), snapshot_json(&full));
+    }
+}

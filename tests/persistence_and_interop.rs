@@ -153,6 +153,51 @@ fn estimate_coverage_fields_default_on_legacy_json() {
 }
 
 #[test]
+fn legacy_snapshot_json_without_version_field_loads() {
+    use flare::core::{FlareSnapshot, SNAPSHOT_VERSION};
+
+    // Snapshot JSON written before the schema carried a version field must
+    // still parse (defaulting to the legacy version 0) and load into a
+    // working model that re-serializes at the current version.
+    let (corpus, _) = small_corpus();
+    let fitted = Flare::fit(
+        corpus,
+        FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(6),
+            ..FlareConfig::default()
+        },
+    )
+    .expect("fit");
+    let snapshot = fitted.to_snapshot();
+    assert_eq!(snapshot.version, SNAPSHOT_VERSION);
+
+    let json = serde_json::to_string(&snapshot).expect("serialize snapshot");
+    let legacy_json = {
+        let value: serde_json::Value = serde_json::from_str(&json).expect("parse as value");
+        let mut map = match value {
+            serde_json::Value::Object(map) => map,
+            other => panic!("snapshot must serialize as an object, got {other}"),
+        };
+        assert!(map.remove("version").is_some(), "version field present");
+        serde_json::to_string(&serde_json::Value::Object(map)).expect("re-serialize")
+    };
+
+    let legacy: FlareSnapshot = serde_json::from_str(&legacy_json).expect("parse legacy snapshot");
+    assert_eq!(legacy.version, 0, "missing version must default to legacy");
+    let restored = Flare::from_snapshot(legacy).expect("load legacy snapshot");
+    assert_eq!(
+        restored.analyzer().representatives(),
+        fitted.analyzer().representatives()
+    );
+    assert_eq!(restored.to_snapshot().version, SNAPSHOT_VERSION);
+
+    // A snapshot from a *future* build is rejected rather than misread.
+    let mut future = fitted.to_snapshot();
+    future.version = SNAPSHOT_VERSION + 1;
+    assert!(Flare::from_snapshot(future).is_err());
+}
+
+#[test]
 fn custom_testbed_implementations_plug_in() {
     // A user-supplied testbed (here: a simulator wrapper that injects a
     // fixed measurement bias) drops into the estimation path.

@@ -258,8 +258,9 @@ fn fault_injection_is_deterministic() {
     for (a, b) in db_a.iter().zip(db_b.iter()) {
         assert_eq!(a.id, b.id);
         // Bit-equality including NaN positions.
-        let bits =
-            |r: &ScenarioRecord| -> Vec<u64> { r.metrics.iter().map(|v| v.to_bits()).collect() };
+        let bits = |r: flare::metrics::database::ScenarioRow| -> Vec<u64> {
+            r.metrics.iter().map(|v| v.to_bits()).collect()
+        };
         assert_eq!(bits(a), bits(b));
     }
 }
@@ -273,8 +274,9 @@ fn clean_fault_plan_is_byte_identity() {
     assert_eq!(db.len(), clean_db.len());
     for (a, b) in db.iter().zip(clean_db.iter()) {
         assert_eq!(a.id, b.id);
-        let bits =
-            |r: &ScenarioRecord| -> Vec<u64> { r.metrics.iter().map(|v| v.to_bits()).collect() };
+        let bits = |r: flare::metrics::database::ScenarioRow| -> Vec<u64> {
+            r.metrics.iter().map(|v| v.to_bits()).collect()
+        };
         assert_eq!(bits(a), bits(b));
     }
 }
