@@ -40,6 +40,33 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     squared_euclidean(a, b).sqrt()
 }
 
+/// Squared Euclidean norm `‖a‖²` (the point's dot product with itself).
+///
+/// The kernel layer caches these per point and per centroid to drive the
+/// norm-bound pruning of the assignment step (see `crate::kernel`).
+///
+/// # Examples
+///
+/// ```
+/// use flare_cluster::distance::squared_norm;
+/// assert_eq!(squared_norm(&[3.0, 4.0]), 25.0);
+/// ```
+pub fn squared_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm `‖a‖`.
+///
+/// # Examples
+///
+/// ```
+/// use flare_cluster::distance::norm;
+/// assert_eq!(norm(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm(a: &[f64]) -> f64 {
+    squared_norm(a).sqrt()
+}
+
 /// Index and squared distance of the closest centroid to `point`.
 ///
 /// Returns `None` if `centroids` is empty.
@@ -78,5 +105,13 @@ mod tests {
     #[test]
     fn nearest_of_empty_is_none() {
         assert!(nearest_centroid(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn norms_are_consistent_with_distance_from_origin() {
+        let p = [1.0, -2.0, 2.0];
+        assert_eq!(squared_norm(&p), 9.0);
+        assert_eq!(norm(&p), 3.0);
+        assert_eq!(squared_norm(&p), squared_euclidean(&p, &[0.0; 3]));
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::distance::squared_euclidean;
 use crate::error::{ClusterError, Result};
+use crate::kernel::PairwiseDistances;
 use flare_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -136,14 +137,19 @@ pub fn agglomerative(data: &Matrix, linkage: Linkage) -> Result<Dendrogram> {
     let mut cluster_id: Vec<usize> = (0..n).collect();
     let mut sizes: Vec<usize> = vec![1; n];
     let mut active: Vec<bool> = vec![true; n];
+    // The initial fill goes through the shared pairwise-distance kernel
+    // (chunked across workers; every thread count yields identical bits),
+    // then expands into the dense symmetric matrix the Lance–Williams
+    // updates mutate in place.
+    let pairwise = PairwiseDistances::compute_with(data, None, |a, b| match linkage {
+        // Ward works on squared distances internally.
+        Linkage::Ward => squared_euclidean(a, b) / 2.0,
+        _ => squared_euclidean(a, b).sqrt(),
+    });
     let mut dist = vec![0.0f64; n * n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = match linkage {
-                // Ward works on squared distances internally.
-                Linkage::Ward => squared_euclidean(data.row(i), data.row(j)) / 2.0,
-                _ => squared_euclidean(data.row(i), data.row(j)).sqrt(),
-            };
+            let d = pairwise.get(i, j);
             dist[i * n + j] = d;
             dist[j * n + i] = d;
         }

@@ -1,0 +1,695 @@
+//! Exact-pruned k-means kernel layer.
+//!
+//! Everything in this module accelerates the Lloyd hot path **without
+//! changing a single output bit** relative to the naive reference
+//! implementation ([`crate::kmeans::kmeans_naive`]). Three ingredients:
+//!
+//! 1. **Flat centroid storage** — [`CentroidBuffer`] keeps the `k`
+//!    centroids in one row-major `Vec<f64>` with stride-`d` rows, replacing
+//!    the pointer-chasing `Vec<Vec<f64>>` (one heap allocation per
+//!    centroid) that the naive path scans for every point.
+//!
+//! 2. **Norm-bound pruning** — from the decomposition
+//!    `‖x−c‖² = ‖x‖² + ‖c‖² − 2⟨x,c⟩` and Cauchy–Schwarz
+//!    (`⟨x,c⟩ ≤ ‖x‖·‖c‖`) follows the lower bound
+//!    `‖x−c‖² ≥ (‖x‖ − ‖c‖)²`. With per-point and per-centroid norms
+//!    cached, a centroid whose bound already exceeds the best distance
+//!    found so far can be skipped in O(1) instead of paying the O(d) exact
+//!    distance. The bound carries a conservative multiplicative slack
+//!    ([`PRUNE_SLACK`]) absorbing all floating-point rounding in the cached
+//!    norms, and every *surviving* candidate is confirmed with the
+//!    existing scalar [`squared_euclidean`] kernel under the existing
+//!    lowest-index tie-break — so the selected index *and* the reported
+//!    distance are bit-identical to the naive full scan by construction
+//!    (see `DESIGN.md` §8 for the derivation).
+//!
+//! 3. **Intra-restart parallel assignment** — [`assign_rows`] chunks rows
+//!    through [`flare_exec::par_map_chunks`]. Each row's assignment is a
+//!    pure function of `(row, centroids)`, so every thread count and every
+//!    chunking yields identical assignments; this extends the repo's
+//!    byte-identical-determinism contract *inside* a single restart, which
+//!    matters when `restarts < cores` (the common case at FLARE's k ≈ 10).
+//!
+//! The module also provides [`LloydScratch`] (per-iteration sums/counts/
+//! norm buffers reused across iterations, eliminating the per-iteration
+//! `vec![vec![0.0; d]; k]` allocations) and [`PairwiseDistances`] (a
+//! shared cache of all pairwise point distances that the cluster-count
+//! sweep builds once and reuses for every per-`k` silhouette, instead of
+//! recomputing the O(n²·d) distance set per candidate count).
+
+use crate::distance::{norm, squared_euclidean};
+use flare_exec::{par_map_chunks, resolve_threads};
+use flare_linalg::Matrix;
+
+/// Multiplicative slack applied to the pruning bound before comparing it
+/// against the best distance found so far.
+///
+/// The true bound `(‖x‖−‖c‖)² ≤ ‖x−c‖²` holds in real arithmetic; the
+/// *computed* bound differs from it by a few ulps (two square roots, one
+/// subtraction, one multiply), and the computed exact distance differs
+/// from the true distance by at most ~`d · ε` relative. Scaling the bound
+/// down by `1e-9` — six orders of magnitude more slack than those errors
+/// combined for any realistic dimensionality (`d ≲ 10⁵`) — guarantees a
+/// centroid is only pruned when its *computed* exact distance would have
+/// been strictly greater than the current best, i.e. when the naive scan
+/// could never have selected it.
+pub const PRUNE_SLACK: f64 = 1.0 - 1e-9;
+
+/// Row count below which [`assign_rows`] always runs inline: the
+/// assignment step for fewer rows costs less than spawning workers.
+const MIN_ASSIGN_CHUNK: usize = 256;
+
+/// Row count per worker chunk when building a [`PairwiseDistances`] cache.
+const MIN_PAIRWISE_CHUNK: usize = 64;
+
+/// Flat row-major centroid storage: `k` rows of stride `d` in one
+/// contiguous buffer.
+///
+/// # Examples
+///
+/// ```
+/// use flare_cluster::kernel::CentroidBuffer;
+///
+/// let c = CentroidBuffer::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0]]);
+/// assert_eq!(c.k(), 2);
+/// assert_eq!(c.row(1), &[2.0, 3.0]);
+/// assert_eq!(c.to_rows(), vec![vec![0.0, 1.0], vec![2.0, 3.0]]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidBuffer {
+    k: usize,
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl CentroidBuffer {
+    /// A `k x d` buffer of zeros.
+    pub fn zeros(k: usize, d: usize) -> Self {
+        CentroidBuffer {
+            k,
+            d,
+            data: vec![0.0; k * d],
+        }
+    }
+
+    /// Builds a buffer from equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths (callers pass validated
+    /// centroid sets).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let d = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            assert_eq!(r.len(), d, "ragged centroid rows");
+            data.extend_from_slice(r);
+        }
+        CentroidBuffer {
+            k: rows.len(),
+            d,
+            data,
+        }
+    }
+
+    /// Builds a buffer from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k * d`.
+    pub fn from_flat(k: usize, d: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), k * d, "flat centroid buffer length mismatch");
+        CentroidBuffer { k, d, data }
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Centroid dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The `c`-th centroid as a slice.
+    pub fn row(&self, c: usize) -> &[f64] {
+        &self.data[c * self.d..(c + 1) * self.d]
+    }
+
+    /// Mutable view of the `c`-th centroid.
+    pub fn row_mut(&mut self, c: usize) -> &mut [f64] {
+        &mut self.data[c * self.d..(c + 1) * self.d]
+    }
+
+    /// Overwrites the `c`-th centroid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dim()`.
+    pub fn set_row(&mut self, c: usize, src: &[f64]) {
+        self.row_mut(c).copy_from_slice(src);
+    }
+
+    /// The underlying flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copies the buffer out as the legacy `Vec<Vec<f64>>` shape (the
+    /// serialized [`crate::kmeans::KMeansResult`] wire format, which stays
+    /// unchanged for snapshot compatibility).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.data
+            .chunks_exact(self.d.max(1))
+            .map(<[f64]>::to_vec)
+            .collect()
+    }
+
+    /// Fills `out` with the Euclidean norm of every centroid. `out` is
+    /// reused across Lloyd iterations via [`LloydScratch`].
+    pub fn norms_into(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.k);
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = norm(self.row(c));
+        }
+    }
+}
+
+/// Per-restart scratch arena for Lloyd iterations: accumulation sums
+/// (flat `k x d`), member counts, and cached centroid norms, all reused
+/// across iterations so the inner loop never allocates.
+#[derive(Debug)]
+pub struct LloydScratch {
+    /// Flat row-major `k x d` accumulation buffer for the update step.
+    pub sums: Vec<f64>,
+    /// Member count per cluster.
+    pub counts: Vec<usize>,
+    /// Cached `‖c‖` per centroid (refreshed each assignment step).
+    pub centroid_norms: Vec<f64>,
+    /// Staging row for the recomputed mean (movement is measured against
+    /// the old centroid before it is overwritten).
+    pub mean: Vec<f64>,
+}
+
+impl LloydScratch {
+    /// Allocates scratch for `k` clusters of dimension `d`.
+    pub fn new(k: usize, d: usize) -> Self {
+        LloydScratch {
+            sums: vec![0.0; k * d],
+            counts: vec![0; k],
+            centroid_norms: vec![0.0; k],
+            mean: vec![0.0; d],
+        }
+    }
+
+    /// Zeroes the accumulation buffers for the next update step.
+    pub fn reset_accumulators(&mut self) {
+        self.sums.fill(0.0);
+        self.counts.fill(0);
+    }
+}
+
+/// Squared Euclidean distance with partial-sum early exit: returns `None`
+/// as soon as the running sum exceeds `bound`, `Some(full distance)`
+/// otherwise.
+///
+/// Exactness: the accumulation is the same sequential index-order sum as
+/// [`squared_euclidean`], and every term `d·d` is non-negative, so each
+/// IEEE-754 add is monotone — once a prefix sum exceeds `bound`, the full
+/// sum would too (strictly), and a candidate rejected here could never
+/// have been selected, not even at a tie. A `Some` value carries the
+/// identical bits the unbounded kernel produces.
+pub fn squared_euclidean_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "distance between mismatched points");
+    const STRIDE: usize = 4;
+    let mut sum = 0.0;
+    let mut start = 0;
+    while start < a.len() {
+        let end = (start + STRIDE).min(a.len());
+        for i in start..end {
+            let d = a[i] - b[i];
+            sum += d * d;
+        }
+        if sum > bound {
+            return None;
+        }
+        start = end;
+    }
+    Some(sum)
+}
+
+/// Exact nearest-centroid search with norm-bound pruning.
+///
+/// Returns `(index, squared_distance)` of the centroid nearest to `point`,
+/// **bit-identical** to the naive full scan
+/// (`nearest_centroid(point, centroids)`): the same lowest-index
+/// tie-break, and a distance value produced by the same scalar
+/// [`squared_euclidean`] kernel.
+///
+/// `hint` is a warm-start candidate (typically the point's assignment from
+/// the previous Lloyd iteration); it is evaluated first so the pruning
+/// bound is tight from the start of the scan. Any `hint < k` yields the
+/// identical result — it only affects how many candidates get pruned.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `hint >= k` or the norm caches are stale.
+pub fn assign_exact_pruned(
+    point: &[f64],
+    point_norm: f64,
+    centroids: &CentroidBuffer,
+    centroid_norms: &[f64],
+    hint: usize,
+) -> (usize, f64) {
+    debug_assert!(hint < centroids.k(), "warm-start hint out of range");
+    debug_assert_eq!(centroid_norms.len(), centroids.k());
+    let mut best_idx = hint;
+    let mut best = squared_euclidean(point, centroids.row(hint));
+    for (c, &c_norm) in centroid_norms.iter().enumerate() {
+        if c == hint {
+            continue;
+        }
+        let gap = point_norm - c_norm;
+        if gap * gap * PRUNE_SLACK > best {
+            // (‖x‖−‖c‖)² already exceeds the best distance with slack to
+            // spare: the exact distance cannot win, skip the O(d) confirm.
+            continue;
+        }
+        // Confirm with the exact kernel, aborting mid-scan once the
+        // partial sum already exceeds the best (monotone non-negative
+        // accumulation: the full sum could only be larger).
+        let Some(dist) = squared_euclidean_bounded(point, centroids.row(c), best) else {
+            continue;
+        };
+        if dist < best || (dist == best && c < best_idx) {
+            best = dist;
+            best_idx = c;
+        }
+    }
+    (best_idx, best)
+}
+
+/// Squared distance from `point` to its nearest centroid (no pruning — a
+/// plain flat scan, used on the rare empty-cluster reseed path where the
+/// centroid buffer is mid-update and norm caches are stale).
+pub fn nearest_distance_flat(point: &[f64], centroids: &CentroidBuffer) -> f64 {
+    let mut best = f64::INFINITY;
+    for c in 0..centroids.k() {
+        if let Some(d) = squared_euclidean_bounded(point, centroids.row(c), best) {
+            if d < best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Euclidean norm of every row of `data`, computed once per k-means call
+/// and shared read-only across restarts.
+pub fn point_norms(data: &Matrix) -> Vec<f64> {
+    (0..data.nrows()).map(|i| norm(data.row(i))).collect()
+}
+
+/// The assignment step over all rows: writes each row's nearest-centroid
+/// index into `assignments`, using the *previous* content of
+/// `assignments` as warm-start hints.
+///
+/// With more than one worker the rows are chunked through
+/// [`par_map_chunks`]; each worker walks its contiguous
+/// [`Matrix::row_block`] with a tight `chunks_exact(d)` loop. Every
+/// thread count produces identical assignments because each row's result
+/// is a pure function of `(row, centroids)`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any existing assignment is `>= k`.
+pub fn assign_rows(
+    data: &Matrix,
+    point_norms: &[f64],
+    centroids: &CentroidBuffer,
+    centroid_norms: &[f64],
+    assignments: &mut [usize],
+    threads: Option<usize>,
+) {
+    let n = data.nrows();
+    let d = data.ncols();
+    debug_assert_eq!(assignments.len(), n);
+    let workers = resolve_threads(threads)
+        .min(n.div_ceil(MIN_ASSIGN_CHUNK))
+        .max(1);
+    if workers == 1 {
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            *slot = assign_exact_pruned(
+                data.row(i),
+                point_norms[i],
+                centroids,
+                centroid_norms,
+                *slot,
+            )
+            .0;
+        }
+        return;
+    }
+    let fresh = par_map_chunks(n, Some(workers), MIN_ASSIGN_CHUNK, |range| {
+        let block = data.row_block(range.clone());
+        block
+            .chunks_exact(d)
+            .zip(range)
+            .map(|(row, i)| {
+                assign_exact_pruned(
+                    row,
+                    point_norms[i],
+                    centroids,
+                    centroid_norms,
+                    assignments[i],
+                )
+                .0
+            })
+            .collect()
+    });
+    assignments.copy_from_slice(&fresh);
+}
+
+/// Sum of squared distances from each row to its assigned centroid —
+/// the flat-buffer twin of [`crate::kmeans::compute_sse`], summing in the
+/// same row order with the same scalar kernel (identical bits).
+pub fn sse_flat(data: &Matrix, centroids: &CentroidBuffer, assignments: &[usize]) -> f64 {
+    assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| squared_euclidean(data.row(i), centroids.row(a)))
+        .sum()
+}
+
+/// Mean of each cluster's member rows, accumulated into a flat buffer
+/// (empty clusters keep the origin). Bit-identical to the legacy
+/// `Vec<Vec<f64>>` accumulation: same row order, same scalar ops.
+pub fn centroids_of_flat(data: &Matrix, assignments: &[usize], k: usize) -> CentroidBuffer {
+    let d = data.ncols();
+    let mut buf = CentroidBuffer::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        counts[a] += 1;
+        for (s, v) in buf.row_mut(a).iter_mut().zip(data.row(i)) {
+            *s += v;
+        }
+    }
+    for (c, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            for s in buf.row_mut(c) {
+                *s /= count as f64;
+            }
+        }
+    }
+    buf
+}
+
+/// Cache of all pairwise Euclidean distances between the rows of a
+/// matrix, stored as a full symmetric `n x n` row-major matrix (zeros on
+/// the diagonal).
+///
+/// The cluster-count sweep computes a silhouette per candidate `k`; each
+/// silhouette needs every pairwise distance, and the distances depend only
+/// on the data — not on `k` or the assignments. Building this cache once
+/// per sweep replaces `|ks|` full O(n²·d) distance passes with one.
+/// Entry `(i, j)` holds exactly `squared_euclidean(row_i, row_j).sqrt()`
+/// — the same bits the on-the-fly computation produces (the scalar kernel
+/// is symmetric in its arguments at the bit level), so cached and
+/// uncached silhouettes are byte-identical. The full (mirrored) layout
+/// doubles memory versus a condensed triangle, but makes every [`row`]
+/// a contiguous slice — the silhouette accumulation walks it
+/// sequentially instead of gathering across a triangle.
+///
+/// [`row`]: PairwiseDistances::row
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseDistances {
+    n: usize,
+    /// Full `n x n` row-major distance matrix, `data[i*n + j] = d(i, j)`.
+    data: Vec<f64>,
+}
+
+impl PairwiseDistances {
+    /// Builds the cache with the Euclidean metric, chunking rows across
+    /// worker threads (`None` = available parallelism). Every thread
+    /// count yields the identical cache.
+    pub fn compute(data: &Matrix, threads: Option<usize>) -> Self {
+        Self::compute_with(data, threads, |a, b| squared_euclidean(a, b).sqrt())
+    }
+
+    /// Builds the cache with an arbitrary symmetric metric.
+    ///
+    /// Each unordered pair is evaluated once (upper triangle, chunked
+    /// across workers) and mirrored, so an asymmetric metric would be
+    /// symmetrized by construction.
+    pub fn compute_with(
+        data: &Matrix,
+        threads: Option<usize>,
+        metric: impl Fn(&[f64], &[f64]) -> f64 + Sync,
+    ) -> Self {
+        let n = data.nrows();
+        let entries = par_map_chunks(n, threads, MIN_PAIRWISE_CHUNK, |range| {
+            let mut out = Vec::new();
+            for i in range {
+                let ri = data.row(i);
+                for j in (i + 1)..n {
+                    out.push(metric(ri, data.row(j)));
+                }
+            }
+            out
+        });
+        let mut full = vec![0.0f64; n * n];
+        let mut pos = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = entries[pos];
+                pos += 1;
+                full[i * n + j] = d;
+                full[j * n + i] = d;
+            }
+        }
+        PairwiseDistances { n, data: full }
+    }
+
+    /// Number of points the cache covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The cached distance between points `i` and `j` (0 on the
+    /// diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n, "pairwise index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// All distances from point `i`, as a contiguous slice of length `n`
+    /// (entry `i` is the zero diagonal).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Approximate heap footprint in bytes (used by callers gating the
+    /// cache on corpus size).
+    pub fn footprint_bytes(n: usize) -> usize {
+        n.saturating_mul(n) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::nearest_centroid;
+
+    fn buffer3() -> CentroidBuffer {
+        CentroidBuffer::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 2.0]])
+    }
+
+    #[test]
+    fn centroid_buffer_round_trips_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let buf = CentroidBuffer::from_rows(&rows);
+        assert_eq!(buf.k(), 2);
+        assert_eq!(buf.dim(), 2);
+        assert_eq!(buf.row(0), &[1.0, 2.0]);
+        assert_eq!(buf.to_rows(), rows);
+        let flat = CentroidBuffer::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(flat, buf);
+    }
+
+    #[test]
+    fn centroid_buffer_mutation() {
+        let mut buf = CentroidBuffer::zeros(2, 3);
+        buf.set_row(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(buf.row(0), &[0.0; 3]);
+        assert_eq!(buf.row(1), &[1.0, 2.0, 3.0]);
+        buf.row_mut(0)[2] = 9.0;
+        assert_eq!(buf.as_slice(), &[0.0, 0.0, 9.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pruned_assignment_matches_naive_scan() {
+        let buf = buffer3();
+        let rows = buf.to_rows();
+        let mut norms = vec![0.0; 3];
+        buf.norms_into(&mut norms);
+        let points = [
+            vec![0.0, 1.5],
+            vec![9.0, 0.1],
+            vec![-3.0, -3.0],
+            vec![5.0, 1.0], // near-tie territory between clusters
+            vec![0.0, 0.0],
+        ];
+        for p in &points {
+            let naive = nearest_centroid(p, &rows).unwrap();
+            for hint in 0..3 {
+                let pruned = assign_exact_pruned(p, norm(p), &buf, &norms, hint);
+                assert_eq!(pruned, naive, "point {p:?} hint {hint}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_assignment_ties_break_to_lowest_index() {
+        // Two identical centroids: naive min_by keeps the first.
+        let buf = CentroidBuffer::from_rows(&[vec![1.0], vec![1.0], vec![5.0]]);
+        let mut norms = vec![0.0; 3];
+        buf.norms_into(&mut norms);
+        for hint in 0..3 {
+            let (idx, d) = assign_exact_pruned(&[1.2], norm(&[1.2]), &buf, &norms, hint);
+            assert_eq!(idx, 0, "hint {hint}");
+            assert_eq!(d, squared_euclidean(&[1.2], &[1.0]));
+        }
+    }
+
+    #[test]
+    fn assign_rows_is_thread_and_hint_invariant() {
+        // 1000 deterministic points, 8 centroids.
+        let rows: Vec<Vec<f64>> = (0..1000)
+            .map(|i| {
+                let c = (i % 8) as f64 * 3.0;
+                vec![c + (i as f64 * 0.37).sin(), c - (i as f64 * 0.73).cos()]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let cents = CentroidBuffer::from_rows(
+            &(0..8)
+                .map(|c| vec![c as f64 * 3.0, c as f64 * 3.0])
+                .collect::<Vec<_>>(),
+        );
+        let norms_x = point_norms(&data);
+        let mut norms_c = vec![0.0; 8];
+        cents.norms_into(&mut norms_c);
+        let mut serial = vec![0usize; 1000];
+        assign_rows(&data, &norms_x, &cents, &norms_c, &mut serial, Some(1));
+        for threads in [Some(2), Some(4), Some(64), None] {
+            // Start from different (valid) hints to prove hint-invariance.
+            let mut par = vec![7usize; 1000];
+            assign_rows(&data, &norms_x, &cents, &norms_c, &mut par, threads);
+            assert_eq!(serial, par, "threads={threads:?}");
+        }
+        // Cross-check a sample against the naive scan.
+        let legacy = cents.to_rows();
+        for i in (0..1000).step_by(97) {
+            assert_eq!(serial[i], nearest_centroid(data.row(i), &legacy).unwrap().0);
+        }
+    }
+
+    #[test]
+    fn flat_centroid_means_match_legacy() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![10.0]]).unwrap();
+        let buf = centroids_of_flat(&data, &[0, 0, 1], 2);
+        assert_eq!(buf.to_rows(), vec![vec![1.0], vec![10.0]]);
+        // Empty cluster keeps the origin.
+        let buf = centroids_of_flat(&data, &[0, 0, 0], 2);
+        assert_eq!(buf.row(1), &[0.0]);
+    }
+
+    #[test]
+    fn sse_flat_matches_definition() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        let buf = CentroidBuffer::from_rows(&[vec![1.0]]);
+        assert_eq!(sse_flat(&data, &buf, &[0, 0]), 2.0);
+    }
+
+    #[test]
+    fn pairwise_cache_matches_on_the_fly_bits() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.31).sin() * 20.0,
+                    (i as f64 * 0.17).cos() * 5.0,
+                ]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let serial = PairwiseDistances::compute(&data, Some(1));
+        for threads in [Some(2), Some(3), None] {
+            assert_eq!(serial, PairwiseDistances::compute(&data, threads));
+        }
+        for i in 0..40 {
+            for j in 0..40 {
+                let expected = if i == j {
+                    0.0
+                } else {
+                    squared_euclidean(data.row(i), data.row(j)).sqrt()
+                };
+                assert_eq!(serial.get(i, j).to_bits(), expected.to_bits(), "({i},{j})");
+            }
+        }
+        assert_eq!(serial.n(), 40);
+    }
+
+    #[test]
+    fn pairwise_footprint_is_full_matrix() {
+        assert_eq!(PairwiseDistances::footprint_bytes(0), 0);
+        assert_eq!(PairwiseDistances::footprint_bytes(2), 32);
+        assert_eq!(PairwiseDistances::footprint_bytes(1000), 1000 * 1000 * 8);
+    }
+
+    #[test]
+    fn pairwise_rows_are_contiguous_and_symmetric() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![3.0], vec![7.0]]).unwrap();
+        let dists = PairwiseDistances::compute(&data, Some(1));
+        assert_eq!(dists.row(1), &[3.0, 0.0, 4.0]);
+        for i in 0..3 {
+            assert_eq!(dists.row(i).len(), 3);
+            for j in 0..3 {
+                assert_eq!(dists.get(i, j).to_bits(), dists.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_distance_matches_unbounded_bits() {
+        let a: Vec<f64> = (0..13).map(|i| (i as f64 * 0.61).sin() * 9.0).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i as f64 * 0.29).cos() * 9.0).collect();
+        let full = squared_euclidean(&a, &b);
+        // Any bound >= the true distance yields the identical bits.
+        for bound in [full, full * 2.0, f64::INFINITY] {
+            assert_eq!(
+                squared_euclidean_bounded(&a, &b, bound).unwrap().to_bits(),
+                full.to_bits()
+            );
+        }
+        // A bound strictly below the distance rejects.
+        assert_eq!(squared_euclidean_bounded(&a, &b, full * 0.5), None);
+        // Equality is not an early exit: bound == full must survive.
+        assert!(squared_euclidean_bounded(&a, &b, full).is_some());
+    }
+
+    #[test]
+    fn nearest_distance_flat_matches_scan() {
+        let buf = buffer3();
+        let rows = buf.to_rows();
+        let p = [4.0, 1.0];
+        assert_eq!(
+            nearest_distance_flat(&p, &buf),
+            nearest_centroid(&p, &rows).unwrap().1
+        );
+    }
+}

@@ -7,7 +7,11 @@
 
 use crate::distance::{nearest_centroid, squared_euclidean};
 use crate::error::{ClusterError, Result};
-use flare_exec::par_map_range;
+use crate::kernel::{
+    assign_rows, nearest_distance_flat, point_norms, squared_euclidean_bounded, sse_flat,
+    CentroidBuffer, LloydScratch,
+};
+use flare_exec::{par_map_range, resolve_threads};
 use flare_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -162,14 +166,21 @@ impl KMeansResult {
             ranked[a].push(i);
         }
         for (c, members) in ranked.iter_mut().enumerate() {
-            // total_cmp: NaN distances (degenerate external assignments,
-            // e.g. via `from_assignments` on unvetted data) sort last
-            // instead of panicking.
-            members.sort_by(|&x, &y| {
-                let dx = squared_euclidean(data.row(x), &self.centroids[c]);
-                let dy = squared_euclidean(data.row(y), &self.centroids[c]);
-                dx.total_cmp(&dy)
-            });
+            // Each member's distance is computed once, not once per sort
+            // comparison (the comparator used to pay O(m log m) distance
+            // evaluations per cluster). total_cmp: NaN distances
+            // (degenerate external assignments, e.g. via
+            // `from_assignments` on unvetted data) sort last instead of
+            // panicking; the stable sort keeps equal distances in
+            // ascending row order, exactly like the comparator-based sort
+            // did.
+            let mut scored: Vec<(f64, usize)> = members
+                .iter()
+                .map(|&m| (squared_euclidean(data.row(m), &self.centroids[c]), m))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            members.clear();
+            members.extend(scored.into_iter().map(|(_, m)| m));
         }
         ranked
     }
@@ -209,15 +220,54 @@ impl KMeansResult {
 /// ```
 pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
     validate(data, config)?;
+    let restarts = config.restarts.max(1);
+    // The thread budget is split between the restart fan-out and the
+    // intra-restart assignment kernel: `outer` restarts run concurrently,
+    // each with `inner` assignment workers. When `restarts < cores` (the
+    // common case at FLARE's k ≈ 10) the leftover cores accelerate the
+    // assignment step *inside* each restart. Purely a wall-clock split:
+    // every (outer, inner) combination yields identical output.
+    let workers = resolve_threads(config.threads);
+    let outer = workers.min(restarts);
+    let inner = (workers / outer).max(1);
+    // Point norms depend only on the data — computed once, shared
+    // read-only across restarts.
+    let x_norms = point_norms(data);
     // Each restart derives its RNG from `seed + restart_index`, so restart
     // i produces the same run whether it executes on the calling thread or
     // a worker — the winner is identical for every thread count.
-    let runs = par_map_range(config.restarts.max(1), config.threads, |i| {
+    let runs = par_map_range(restarts, Some(outer), |i| {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
-        lloyd(data, config, &mut rng)
+        lloyd(data, config, &mut rng, &x_norms, Some(inner))
     });
     // Lowest SSE wins; ties break toward the lowest restart index (the
     // serial first-wins rule).
+    let best = runs
+        .into_iter()
+        .reduce(|best, run| if run.sse < best.sse { run } else { best })
+        .expect("at least one restart");
+    Ok(best)
+}
+
+/// The naive reference K-means: identical semantics to [`kmeans`] but with
+/// the pre-kernel implementation — `Vec<Vec<f64>>` centroid storage, a
+/// full O(k·d) scan per assignment, per-iteration accumulator
+/// allocations, and no intra-restart parallelism.
+///
+/// This is **not** the fast path; it exists as the differential-testing
+/// oracle (the pruned kernel must be byte-identical to it for every input)
+/// and as the baseline the `abl14_cluster_kernels` bench measures the
+/// kernel layer against.
+///
+/// # Errors
+///
+/// Same conditions as [`kmeans`].
+pub fn kmeans_naive(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
+    validate(data, config)?;
+    let runs = par_map_range(config.restarts.max(1), config.threads, |i| {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+        lloyd_naive(data, config, &mut rng)
+    });
     let best = runs
         .into_iter()
         .reduce(|best, run| if run.sse < best.sse { run } else { best })
@@ -251,8 +301,117 @@ fn validate(data: &Matrix, config: &KMeansConfig) -> Result<()> {
     Ok(())
 }
 
-/// One restart: k-means++ seeding followed by Lloyd iterations.
-fn lloyd(data: &Matrix, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResult {
+/// One restart: k-means++ seeding followed by Lloyd iterations, on the
+/// exact-pruned kernel layer (`crate::kernel`).
+///
+/// Byte-identical to [`lloyd_naive`] by construction: the k-means++ draws
+/// consume the RNG identically, the pruned assignment confirms every
+/// surviving candidate with the same scalar distance kernel under the
+/// same lowest-index tie-break, the flat update step accumulates in the
+/// same row order, and SSE sums in the same order. The differential
+/// proptest in `tests/proptest_cluster.rs` holds this equivalence to the
+/// serialized byte level.
+fn lloyd(
+    data: &Matrix,
+    config: &KMeansConfig,
+    rng: &mut StdRng,
+    x_norms: &[f64],
+    assign_threads: Option<usize>,
+) -> KMeansResult {
+    let n = data.nrows();
+    let d = data.ncols();
+    let k = config.k;
+    let mut centroids = kmeans_pp_init_flat(data, k, rng);
+    let mut scratch = LloydScratch::new(k, d);
+    let mut assignments = vec![0usize; n];
+
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step: norm-bound pruned, warm-started from the
+        // previous iteration's assignments, row-chunked across
+        // `assign_threads` workers.
+        centroids.norms_into(&mut scratch.centroid_norms);
+        assign_rows(
+            data,
+            x_norms,
+            &centroids,
+            &scratch.centroid_norms,
+            &mut assignments,
+            assign_threads,
+        );
+        // Update step, accumulating into the reused flat scratch arena.
+        scratch.reset_accumulators();
+        for (i, &a) in assignments.iter().enumerate() {
+            scratch.counts[a] += 1;
+            for (s, v) in scratch.sums[a * d..(a + 1) * d].iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if scratch.counts[c] == 0 {
+                // Empty cluster: re-seed it at the point farthest from its
+                // nearest centroid, the standard fix that keeps k
+                // constant. Each point's nearest-centroid distance is
+                // computed once per reseed (the naive version used to
+                // recompute full scans inside the argmax comparator);
+                // max_by + total_cmp keeps the selection identical —
+                // the *last* point among equal maxima wins. The buffer is
+                // mid-update here (clusters < c hold new means), exactly
+                // like the naive in-place update sequence.
+                let d_near: Vec<f64> = (0..n)
+                    .map(|i| nearest_distance_flat(data.row(i), &centroids))
+                    .collect();
+                let far = (0..n)
+                    .max_by(|&x, &y| d_near[x].total_cmp(&d_near[y]))
+                    .expect("n >= k >= 1");
+                movement += squared_euclidean(centroids.row(c), data.row(far));
+                centroids.set_row(c, data.row(far));
+                continue;
+            }
+            let count = scratch.counts[c] as f64;
+            for (m, s) in scratch
+                .mean
+                .iter_mut()
+                .zip(&scratch.sums[c * d..(c + 1) * d])
+            {
+                *m = s / count;
+            }
+            movement += squared_euclidean(centroids.row(c), &scratch.mean);
+            centroids.set_row(c, &scratch.mean);
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids.
+    centroids.norms_into(&mut scratch.centroid_norms);
+    assign_rows(
+        data,
+        x_norms,
+        &centroids,
+        &scratch.centroid_norms,
+        &mut assignments,
+        assign_threads,
+    );
+    let sse = sse_flat(data, &centroids, &assignments);
+    KMeansResult {
+        centroids: centroids.to_rows(),
+        assignments,
+        sse,
+        iterations,
+    }
+}
+
+/// One naive restart: the pre-kernel reference implementation (see
+/// [`kmeans_naive`]). The only change from the historical code is the
+/// empty-cluster reseed, which now precomputes each point's
+/// nearest-centroid distance once instead of recomputing two full O(k·d)
+/// scans inside every argmax comparison — `total_cmp` over the same
+/// values selects the identical point.
+fn lloyd_naive(data: &Matrix, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResult {
     let mut centroids = kmeans_pp_init(data, config.k, rng);
     let n = data.nrows();
     let d = data.ncols();
@@ -279,18 +438,15 @@ fn lloyd(data: &Matrix, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResult
         let mut movement = 0.0;
         for c in 0..config.k {
             if counts[c] == 0 {
-                // Empty cluster: re-seed it at the point farthest from its
-                // nearest centroid, the standard fix that keeps k constant.
-                let far = (0..n)
-                    .max_by(|&x, &y| {
-                        let dx = nearest_centroid(data.row(x), &centroids)
+                let d_near: Vec<f64> = (0..n)
+                    .map(|i| {
+                        nearest_centroid(data.row(i), &centroids)
                             .expect("nonempty")
-                            .1;
-                        let dy = nearest_centroid(data.row(y), &centroids)
-                            .expect("nonempty")
-                            .1;
-                        dx.total_cmp(&dy)
+                            .1
                     })
+                    .collect();
+                let far = (0..n)
+                    .max_by(|&x, &y| d_near[x].total_cmp(&d_near[y]))
                     .expect("n >= k >= 1");
                 movement += squared_euclidean(&centroids[c], data.row(far));
                 centroids[c] = data.row(far).to_vec();
@@ -357,6 +513,56 @@ fn kmeans_pp_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
         }
     }
     centroids
+}
+
+/// Flat-buffer k-means++ seeding: mirrors [`kmeans_pp_init`] draw for
+/// draw — the same RNG consumption, the same selection arithmetic, the
+/// same distance kernel — but writes centroids into a [`CentroidBuffer`]
+/// instead of per-centroid heap allocations.
+fn kmeans_pp_init_flat(data: &Matrix, k: usize, rng: &mut StdRng) -> CentroidBuffer {
+    let n = data.nrows();
+    let d = data.ncols();
+    let mut flat: Vec<f64> = Vec::with_capacity(k * d);
+    flat.extend_from_slice(data.row(rng.gen_range(0..n)));
+    let mut filled = 1usize;
+
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| squared_euclidean(data.row(i), &flat[..d]))
+        .collect();
+
+    while filled < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        flat.extend_from_slice(data.row(next));
+        filled += 1;
+        let last = &flat[(filled - 1) * d..filled * d];
+        for (i, slot) in d2.iter_mut().enumerate() {
+            // Bounded confirm: a partial sum already above the current
+            // nearest-centroid distance can never lower it (monotone
+            // non-negative accumulation), so the scan aborts early with
+            // the identical `d2` outcome as the naive full distance.
+            if let Some(nd) = squared_euclidean_bounded(data.row(i), last, *slot) {
+                if nd < *slot {
+                    *slot = nd;
+                }
+            }
+        }
+    }
+    CentroidBuffer::from_flat(k, d, flat)
 }
 
 /// Sum of squared distances from each point to its assigned centroid.
@@ -499,6 +705,39 @@ mod tests {
                 .unwrap();
                 assert_eq!(serial, parallel, "restarts={restarts} threads={threads:?}");
             }
+        }
+    }
+
+    #[test]
+    fn kernel_lloyd_matches_naive_reference_exactly() {
+        // The pruned kernel must be bit-identical to the naive scan on
+        // every field, including through restarts and thread splits.
+        let data = blobs();
+        for (k, restarts, seed) in [(1, 1, 0u64), (3, 8, 7), (5, 4, 42), (10, 2, 9)] {
+            let cfg = KMeansConfig::new(k).with_restarts(restarts).with_seed(seed);
+            let naive = kmeans_naive(&data, &cfg).unwrap();
+            for threads in [Some(1), Some(2), None] {
+                let fast = kmeans(&data, &cfg.clone().with_threads(threads)).unwrap();
+                assert_eq!(naive, fast, "k={k} restarts={restarts} threads={threads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_through_empty_cluster_reseeds() {
+        // Heavily duplicated points with k close to the number of distinct
+        // values force the empty-cluster reseed path in most restarts.
+        let mut rows = vec![vec![0.0, 0.0]; 12];
+        rows.extend(vec![vec![1.0, 1.0]; 12]);
+        rows.push(vec![50.0, 50.0]);
+        let data = Matrix::from_rows(&rows).unwrap();
+        for k in [3, 5, 8] {
+            let cfg = KMeansConfig::new(k).with_restarts(6).with_seed(k as u64);
+            assert_eq!(
+                kmeans_naive(&data, &cfg).unwrap(),
+                kmeans(&data, &cfg).unwrap(),
+                "k={k}"
+            );
         }
     }
 

@@ -26,6 +26,7 @@
 pub mod distance;
 mod error;
 pub mod hierarchical;
+pub mod kernel;
 pub mod kmeans;
 pub mod quality;
 pub mod sweep;

@@ -35,7 +35,58 @@ use flare_linalg::Matrix;
 /// assert!(s > 0.9);
 /// ```
 pub fn silhouette_score(data: &Matrix, assignments: &[usize], k: usize) -> Result<f64> {
-    let n = data.nrows();
+    silhouette_with(data.nrows(), assignments, k, |i, sums| {
+        let ri = data.row(i);
+        for (j, &a) in assignments.iter().enumerate() {
+            if j != i {
+                sums[a] += squared_euclidean(ri, data.row(j)).sqrt();
+            }
+        }
+    })
+}
+
+/// [`silhouette_score`] over a prebuilt [`PairwiseDistances`] cache.
+///
+/// The cluster-count sweep evaluates a silhouette per candidate `k` over
+/// the *same* points; the pairwise distances depend only on the data, so
+/// the sweep builds the cache once and calls this per candidate instead
+/// of re-deriving the full O(n²·d) distance set every time. The cache
+/// stores exactly the bits the on-the-fly computation produces and the
+/// accumulation order is unchanged, so cached and uncached scores are
+/// byte-identical (held by a differential proptest).
+///
+/// # Errors
+///
+/// Same conditions as [`silhouette_score`], with `n` taken from the cache.
+pub fn silhouette_score_cached(
+    dists: &crate::kernel::PairwiseDistances,
+    assignments: &[usize],
+    k: usize,
+) -> Result<f64> {
+    silhouette_with(dists.n(), assignments, k, |i, sums| {
+        // The cache row is a contiguous slice (full-matrix layout), so
+        // this is a straight sequential walk — same j order, same values,
+        // same bits as the on-the-fly accumulation above.
+        for (j, (&d, &a)) in dists.row(i).iter().zip(assignments).enumerate() {
+            if j != i {
+                sums[a] += d;
+            }
+        }
+    })
+}
+
+/// The shared silhouette core: validation plus the Rousseeuw 1987
+/// accumulation, generic over the per-point distance accumulator.
+/// `fill_sums(i, sums)` must add point `i`'s distance to every other
+/// point `j` into `sums[assignments[j]]`, in ascending `j` order — both
+/// providers feed the same values in the same order, so they produce the
+/// same bits.
+fn silhouette_with(
+    n: usize,
+    assignments: &[usize],
+    k: usize,
+    fill_sums: impl Fn(usize, &mut [f64]),
+) -> Result<f64> {
     if n < 2 {
         return Err(ClusterError::TooFewPoints { points: n, k });
     }
@@ -62,20 +113,15 @@ pub fn silhouette_score(data: &Matrix, assignments: &[usize], k: usize) -> Resul
     }
 
     let mut total = 0.0;
-    for i in 0..n {
-        let own = assignments[i];
+    let mut sums = vec![0.0f64; k];
+    for (i, &own) in assignments.iter().enumerate() {
         if sizes[own] <= 1 {
             // Singleton clusters contribute silhouette 0.
             continue;
         }
         // Mean distance from i to every cluster.
-        let mut sums = vec![0.0f64; k];
-        for j in 0..n {
-            if i == j {
-                continue;
-            }
-            sums[assignments[j]] += squared_euclidean(data.row(i), data.row(j)).sqrt();
-        }
+        sums.fill(0.0);
+        fill_sums(i, &mut sums);
         let a = sums[own] / (sizes[own] - 1) as f64;
         let b = (0..k)
             .filter(|&c| c != own && sizes[c] > 0)

@@ -6,11 +6,25 @@
 //! knee heuristic.
 
 use crate::error::{ClusterError, Result};
+use crate::kernel::{centroids_of_flat, PairwiseDistances};
 use crate::kmeans::{kmeans, KMeansConfig};
-use crate::quality::silhouette_score;
-use flare_exec::par_map_indexed;
+use crate::quality::{silhouette_score, silhouette_score_cached};
+use flare_exec::{par_map_indexed, resolve_threads};
 use flare_linalg::Matrix;
 use serde::{Deserialize, Serialize};
+
+/// Ceiling on the [`PairwiseDistances`] cache a sweep will allocate
+/// (64 MiB ≈ 2 800 points at the full-matrix layout). Above it the sweep
+/// falls back to on-the-fly silhouette distances — same bits, no O(n²)
+/// memory.
+const MAX_PAIRWISE_CACHE_BYTES: usize = 64 << 20;
+
+/// The per-sweep pairwise-distance cache, if the corpus is small enough
+/// to afford it. `None` and `Some` produce byte-identical silhouettes.
+fn pairwise_cache(data: &Matrix, threads: Option<usize>) -> Option<PairwiseDistances> {
+    (PairwiseDistances::footprint_bytes(data.nrows()) <= MAX_PAIRWISE_CACHE_BYTES)
+        .then(|| PairwiseDistances::compute(data, threads))
+}
 
 /// Quality measurements for one candidate cluster count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,12 +126,17 @@ pub fn sweep_hierarchical(
         ));
     }
     let dendrogram = crate::hierarchical::agglomerative(data, linkage)?;
+    // One pairwise-distance pass serves every cut's silhouette.
+    let cache = pairwise_cache(data, None);
     let mut points = Vec::with_capacity(ks.len());
     for &k in ks {
         let assignments = dendrogram.cut(k)?;
         let centroids = centroids_of(data, &assignments, k);
         let sse = crate::quality::sse(data, &centroids, &assignments)?;
-        let silhouette = silhouette_score(data, &assignments, k)?;
+        let silhouette = match &cache {
+            Some(d) => silhouette_score_cached(d, &assignments, k)?,
+            None => silhouette_score(data, &assignments, k)?,
+        };
         points.push(SweepPoint { k, sse, silhouette });
     }
     points.sort_by_key(|p| p.k);
@@ -126,34 +145,25 @@ pub fn sweep_hierarchical(
 
 /// Mean point of each cluster (empty clusters get the origin — they never
 /// occur for dendrogram cuts, which label densely).
+///
+/// Accumulates in a flat [`crate::kernel::CentroidBuffer`] (one allocation
+/// instead of `k + 1`); same row order and scalar ops as the legacy
+/// nested-`Vec` accumulation, so the means carry identical bits.
 pub fn centroids_of(data: &Matrix, assignments: &[usize], k: usize) -> Vec<Vec<f64>> {
-    let d = data.ncols();
-    let mut sums = vec![vec![0.0f64; d]; k];
-    let mut counts = vec![0usize; k];
-    for (i, &a) in assignments.iter().enumerate() {
-        counts[a] += 1;
-        for (s, v) in sums[a].iter_mut().zip(data.row(i)) {
-            *s += v;
-        }
-    }
-    for (c, sum) in counts.iter().zip(&mut sums) {
-        if *c > 0 {
-            for s in sum.iter_mut() {
-                *s /= *c as f64;
-            }
-        }
-    }
-    sums
+    centroids_of_flat(data, assignments, k).to_rows()
 }
 
 /// Sweeps K-means over `ks`, recording SSE and silhouette for each count.
 ///
 /// Candidate counts are evaluated across worker threads per
 /// `base.threads` (`None` = available parallelism, `Some(1)` = serial);
-/// each candidate's K-means runs its restarts serially inside its worker
-/// so the fan-out never nests. Results are identical for every thread
-/// count: per-candidate work is deterministic and collected in input
-/// order.
+/// when there are more workers than candidates, the surplus flows into
+/// each candidate's K-means (restart fan-out and intra-restart assignment)
+/// so cores stay busy even for short sweeps. Results are identical for
+/// every thread count: per-candidate work is deterministic and collected
+/// in input order. Silhouettes for all candidates are served from one
+/// shared pairwise-distance cache (built once per sweep, bit-identical to
+/// the on-the-fly computation) whenever the corpus is small enough.
 ///
 /// # Errors
 ///
@@ -173,9 +183,8 @@ pub fn sweep_kmeans(data: &Matrix, ks: &[usize], base: &KMeansConfig) -> Result<
 /// Caller contract: `prev` must have been produced from the **same** `data`
 /// and the same `base` parameters (modulo `k`/`threads`) — the function
 /// cannot detect a stale cache, it just trusts the `k` labels. Fresh points
-/// are computed with the exact per-candidate procedure of [`sweep_kmeans`]
-/// (serial K-means inside each worker), so a cached sweep is byte-identical
-/// to an uncached one.
+/// are computed with the exact per-candidate procedure of [`sweep_kmeans`],
+/// so a cached sweep is byte-identical to an uncached one.
 ///
 /// # Errors
 ///
@@ -203,12 +212,28 @@ pub fn sweep_kmeans_cached(
         }
     }
     let reused = points.len();
-    let fresh: Vec<SweepPoint> = par_map_indexed(&todo, base.threads, |_, &k| {
+    // Split the thread budget: `outer` workers across candidate counts,
+    // the surplus flowing into each candidate's K-means. Any split yields
+    // identical results (K-means is thread-invariant, candidates are
+    // collected in input order) — only wall-clock changes.
+    let workers = resolve_threads(base.threads);
+    let outer = workers.min(todo.len()).max(1);
+    let inner = (workers / outer).max(1);
+    // One O(n²·d) distance pass serves every candidate's silhouette.
+    let cache = if todo.is_empty() {
+        None
+    } else {
+        pairwise_cache(data, base.threads)
+    };
+    let fresh: Vec<SweepPoint> = par_map_indexed(&todo, Some(outer), |_, &k| {
         let mut cfg = base.clone();
         cfg.k = k;
-        cfg.threads = Some(1);
+        cfg.threads = Some(inner);
         let result = kmeans(data, &cfg)?;
-        let silhouette = silhouette_score(data, &result.assignments, k)?;
+        let silhouette = match &cache {
+            Some(d) => silhouette_score_cached(d, &result.assignments, k)?,
+            None => silhouette_score(data, &result.assignments, k)?,
+        };
         Ok(SweepPoint {
             k,
             sse: result.sse,
@@ -348,6 +373,27 @@ mod tests {
         let base = KMeansConfig::new(2);
         assert!(sweep_kmeans_cached(&data, &[], &base, None).is_err());
         assert!(sweep_kmeans_cached(&data, &[1, 2], &base, None).is_err());
+    }
+
+    #[test]
+    fn sweep_matches_per_candidate_composition() {
+        // The sweep (shared pairwise cache, thread split, flat centroid
+        // kernels) must equal the naive composition: one serial kmeans +
+        // one uncached silhouette per k — byte for byte.
+        let data = blobs5();
+        let ks: Vec<usize> = (2..=9).collect();
+        let base = KMeansConfig::new(2).with_restarts(5);
+        let sweep = sweep_kmeans(&data, &ks, &base).unwrap();
+        for (point, &k) in sweep.points.iter().zip(&ks) {
+            let mut cfg = base.clone();
+            cfg.k = k;
+            cfg.threads = Some(1);
+            let result = kmeans(&data, &cfg).unwrap();
+            let silhouette = silhouette_score(&data, &result.assignments, k).unwrap();
+            assert_eq!(point.k, k);
+            assert_eq!(point.sse.to_bits(), result.sse.to_bits(), "k={k}");
+            assert_eq!(point.silhouette.to_bits(), silhouette.to_bits(), "k={k}");
+        }
     }
 
     #[test]

@@ -1,14 +1,41 @@
 //! Property-based tests for the clustering substrate.
 
+use flare_cluster::distance::{nearest_centroid, norm};
 use flare_cluster::hierarchical::{agglomerative, Linkage};
-use flare_cluster::kmeans::{compute_sse, kmeans, KMeansConfig};
-use flare_cluster::quality::{silhouette_score, sse};
+use flare_cluster::kernel::{assign_exact_pruned, CentroidBuffer, PairwiseDistances};
+use flare_cluster::kmeans::{compute_sse, kmeans, kmeans_naive, KMeansConfig, KMeansResult};
+use flare_cluster::quality::{silhouette_score, silhouette_score_cached, sse};
 use flare_linalg::Matrix;
 use proptest::prelude::*;
 
 fn points(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(prop::collection::vec(-50.0f64..50.0, d), n..=n)
         .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular"))
+}
+
+/// Points whose coordinates come from a tiny integer grid: duplicates and
+/// exact distance ties are common, and with a large `k` most restarts hit
+/// the empty-cluster reseed path.
+fn gridded_points(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(
+        prop::collection::vec((0i8..4).prop_map(f64::from), d),
+        n..=n,
+    )
+    .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular"))
+}
+
+/// Every output field of a [`KMeansResult`], bit-exact: `f64`s as raw bit
+/// patterns, so `-0.0` vs `0.0` or any ulp drift fails the comparison.
+fn result_bits(r: &KMeansResult) -> (Vec<Vec<u64>>, Vec<usize>, u64, usize) {
+    (
+        r.centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v.to_bits()).collect())
+            .collect(),
+        r.assignments.clone(),
+        r.sse.to_bits(),
+        r.iterations,
+    )
 }
 
 proptest! {
@@ -81,6 +108,73 @@ proptest! {
         prop_assert_eq!(distinct.len(), k);
         // Labels are dense 0..k.
         prop_assert!(labels.iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn kernel_kmeans_byte_identical_to_naive(
+        data in points(24, 3),
+        k in 1usize..7,
+        seed in 0u64..500,
+        restarts in 1usize..5,
+        threads in prop::option::of(1usize..5),
+    ) {
+        // The tentpole contract: the pruned/flat/parallel kernel path is
+        // indistinguishable from the naive reference on every output
+        // field, at the bit level, for arbitrary data and any thread knob.
+        let cfg = KMeansConfig::new(k).with_seed(seed).with_restarts(restarts);
+        let naive = kmeans_naive(&data, &cfg).unwrap();
+        let fast = kmeans(&data, &cfg.with_threads(threads)).unwrap();
+        prop_assert_eq!(result_bits(&naive), result_bits(&fast));
+    }
+
+    #[test]
+    fn kernel_matches_naive_on_degenerate_grids(
+        data in gridded_points(20, 2),
+        k in 2usize..9,
+        seed in 0u64..200,
+    ) {
+        // Gridded coordinates produce duplicate points, exact distance
+        // ties (lowest-index tie-break must agree), and empty-cluster
+        // reseeds (last-max argmax must agree).
+        let cfg = KMeansConfig::new(k).with_seed(seed).with_restarts(4);
+        let naive = kmeans_naive(&data, &cfg).unwrap();
+        let fast = kmeans(&data, &cfg).unwrap();
+        prop_assert_eq!(result_bits(&naive), result_bits(&fast));
+    }
+
+    #[test]
+    fn pruned_assignment_matches_full_scan(
+        data in points(16, 3),
+        cents in points(5, 3),
+        hint in 0usize..5,
+    ) {
+        let buf = CentroidBuffer::from_rows(
+            &(0..5).map(|c| cents.row(c).to_vec()).collect::<Vec<_>>());
+        let legacy = buf.to_rows();
+        let mut norms = vec![0.0; 5];
+        buf.norms_into(&mut norms);
+        for i in 0..16 {
+            let p = data.row(i);
+            let (ni, nd) = nearest_centroid(p, &legacy).unwrap();
+            let (pi, pd) = assign_exact_pruned(p, norm(p), &buf, &norms, hint);
+            prop_assert_eq!(ni, pi);
+            prop_assert_eq!(nd.to_bits(), pd.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_silhouette_matches_uncached_bits(
+        data in points(14, 2),
+        k in 2usize..5,
+        threads in prop::option::of(1usize..4),
+    ) {
+        let r = kmeans(&data, &KMeansConfig::new(k)).unwrap();
+        let populated = r.cluster_sizes().iter().filter(|&&s| s > 0).count();
+        prop_assume!(populated >= 2);
+        let uncached = silhouette_score(&data, &r.assignments, k).unwrap();
+        let dists = PairwiseDistances::compute(&data, threads);
+        let cached = silhouette_score_cached(&dists, &r.assignments, k).unwrap();
+        prop_assert_eq!(uncached.to_bits(), cached.to_bits());
     }
 
     #[test]

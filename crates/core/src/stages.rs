@@ -452,8 +452,8 @@ pub fn run_featurize(
 /// feature matrix and the K-means base config unchanged (featurize
 /// fingerprints equal, configs equal modulo `k`/`threads`), per-`k` points
 /// from the previous sweep are reused verbatim — each point is computed
-/// independently and serially, so reuse is byte-identical. Returns the
-/// artifact and the number of sweep points reused.
+/// independently and deterministically, so reuse is byte-identical.
+/// Returns the artifact and the number of sweep points reused.
 ///
 /// # Errors
 ///
@@ -469,7 +469,10 @@ pub fn run_cluster(
 ) -> Result<(ClusterArtifact, usize)> {
     use crate::config::{ClusterCountRule, ClusterMethod};
     // The pipeline-wide `threads` knob flows into the k-means stages
-    // unless the k-means config already pins its own thread count.
+    // unless the k-means config already pins its own thread count. The
+    // budget cascades: sweep candidates → restarts → intra-restart
+    // assignment chunks (the kernel layer), so a single knob saturates
+    // the cores at every stage while outputs stay thread-invariant.
     let mut kconfig = cfg.kmeans.clone();
     kconfig.threads = kconfig.threads.or(pipeline_threads);
     let mut reused_points = 0;

@@ -108,6 +108,69 @@ where
     per_chunk.into_iter().flatten().collect()
 }
 
+/// Chunked variant of [`par_map_range`]: splits `0..n` into contiguous
+/// ranges of at least `min_chunk` indices, maps `f` over each range on a
+/// worker thread, and concatenates the per-range outputs in range order.
+///
+/// This is the right shape for blocked kernels (e.g. the k-means
+/// assignment step) where per-item closure dispatch would dominate: the
+/// worker receives a whole contiguous index range and can walk flat memory
+/// with a tight loop. `min_chunk` bounds the fan-out so tiny inputs never
+/// pay thread-spawn overhead — with `n <= min_chunk` (or one worker) the
+/// map runs inline on the calling thread.
+///
+/// # Determinism
+///
+/// If `f(range)` returns exactly the per-index results of `range` in
+/// ascending order (i.e. `f` is a pure per-index function applied over the
+/// range), the concatenated output is identical for **every** thread count
+/// and every `min_chunk`: ranges are contiguous, disjoint, cover `0..n`,
+/// and are concatenated in ascending order.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+///
+/// # Examples
+///
+/// ```
+/// use flare_exec::par_map_chunks;
+///
+/// let serial = par_map_chunks(10, Some(1), 1, |r| r.map(|i| i * 2).collect());
+/// let chunked = par_map_chunks(10, Some(3), 2, |r| r.map(|i| i * 2).collect());
+/// assert_eq!(serial, chunked);
+/// ```
+pub fn par_map_chunks<R, F>(n: usize, threads: Option<usize>, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let workers = resolve_threads(threads).min(n.div_ceil(min_chunk)).max(1);
+    if workers == 1 {
+        return f(0..n);
+    }
+    let chunk = n.div_ceil(workers);
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                scope.spawn(move || f(start..end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("flare-exec worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
 /// Index-only variant of [`par_map_indexed`]: maps `f` over `0..n` with the
 /// same ordering and determinism guarantees. The natural shape for
 /// fan-outs whose work is defined by an index alone (k-means restarts,
@@ -215,6 +278,47 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let got = par_map_indexed(&[1, 2], Some(64), |_, &x| x * 10);
         assert_eq!(got, vec![10, 20]);
+    }
+
+    #[test]
+    fn chunked_map_matches_serial_for_all_shapes() {
+        let expected: Vec<usize> = (0..533).map(|i| i * 7 + 3).collect();
+        for threads in [Some(1), Some(2), Some(3), Some(16), None] {
+            for min_chunk in [1, 2, 64, 256, 1000] {
+                let got =
+                    par_map_chunks(533, threads, min_chunk, |r| r.map(|i| i * 7 + 3).collect());
+                assert_eq!(got, expected, "threads={threads:?} min_chunk={min_chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_small_input_runs_inline() {
+        // n <= min_chunk must not spawn: the closure sees the whole range.
+        let got = par_map_chunks(5, Some(8), 256, |r| {
+            assert_eq!(r, 0..5);
+            r.map(|i| i + 1).collect()
+        });
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        let empty: Vec<usize> = par_map_chunks(0, Some(4), 1, |r| r.collect());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn chunked_ranges_are_contiguous_and_cover_input() {
+        use std::sync::Mutex;
+        let ranges: Mutex<Vec<std::ops::Range<usize>>> = Mutex::new(Vec::new());
+        let _ = par_map_chunks(100, Some(4), 1, |r| {
+            ranges.lock().unwrap().push(r.clone());
+            r.collect::<Vec<_>>()
+        });
+        let mut rs = ranges.lock().unwrap().clone();
+        rs.sort_by_key(|r| r.start);
+        assert_eq!(rs.first().unwrap().start, 0);
+        assert_eq!(rs.last().unwrap().end, 100);
+        for w in rs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must tile 0..n");
+        }
     }
 
     #[test]

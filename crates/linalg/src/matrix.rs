@@ -146,6 +146,36 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Flat view of a contiguous block of rows: the row-major slice
+    /// covering rows `rows.start..rows.end` (each of `ncols()` entries).
+    ///
+    /// This is the substrate for blocked kernels: a worker thread takes one
+    /// contiguous row block and walks it with `chunks_exact(ncols())`,
+    /// avoiding per-row bounds checks and pointer chasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.start > rows.end` or `rows.end > nrows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = flare_linalg::Matrix::from_rows(&[
+    ///     vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0],
+    /// ]).unwrap();
+    /// assert_eq!(m.row_block(1..3), &[3.0, 4.0, 5.0, 6.0]);
+    /// ```
+    pub fn row_block(&self, rows: std::ops::Range<usize>) -> &[f64] {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.rows,
+            "row block {}..{} out of bounds ({} rows)",
+            rows.start,
+            rows.end,
+            self.rows
+        );
+        &self.data[rows.start * self.cols..rows.end * self.cols]
+    }
+
     /// Copies the `j`-th column into a new `Vec`.
     ///
     /// # Panics
@@ -588,6 +618,24 @@ mod tests {
             Matrix::from_rows(&[vec![1.0, 2.0], vec![5.0, 6.0]]).unwrap()
         );
         assert!(m.remove_row(2).is_err());
+    }
+
+    #[test]
+    fn row_block_views_are_flat_and_checked() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m.row_block(0..3), m.as_slice());
+        assert_eq!(m.row_block(1..2), m.row(1));
+        assert!(m.row_block(2..2).is_empty());
+        // Block rows agree with `row` for every chunk decomposition.
+        for r in m.row_block(0..3).chunks_exact(2).zip(0..3) {
+            assert_eq!(r.0, m.row(r.1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_block_out_of_bounds_panics() {
+        let _ = m22().row_block(1..3);
     }
 
     #[test]

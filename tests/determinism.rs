@@ -40,7 +40,7 @@ fn fit_is_byte_identical_across_thread_counts() {
     let (corpus, _) = small_corpus();
     let serial = fit_with_threads(corpus.clone(), Some(1));
     let serial_json = snapshot_json(&serial);
-    for threads in [Some(2), Some(4), Some(64), None] {
+    for threads in [Some(2), Some(4), Some(7), Some(64), None] {
         let parallel = fit_with_threads(corpus.clone(), threads);
         assert_eq!(
             serial_json,
@@ -91,6 +91,31 @@ fn temporal_enriched_fit_is_thread_count_invariant() {
 }
 
 #[test]
+fn refit_is_byte_identical_across_thread_counts() {
+    // The incremental path must honor the same contract as fresh fits:
+    // re-clustering under any thread knob (including through the kernel
+    // layer's intra-restart split) serializes identically.
+    let (corpus, _) = small_corpus();
+    let refit_with = |threads| {
+        let base = fit_with_threads(corpus.clone(), threads);
+        let recluster = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(5),
+            threads,
+            ..FlareConfig::default()
+        };
+        base.refit(recluster).expect("refit")
+    };
+    let serial_json = snapshot_json(&refit_with(Some(1)));
+    for threads in [Some(2), Some(7), None] {
+        assert_eq!(
+            serial_json,
+            snapshot_json(&refit_with(threads)),
+            "refit threads={threads:?} diverged from serial"
+        );
+    }
+}
+
+#[test]
 fn estimates_are_identical_across_thread_counts() {
     let (corpus, _) = small_corpus();
     let serial = fit_with_threads(corpus.clone(), Some(1));
@@ -116,7 +141,7 @@ fn kmeans_restarts_are_thread_count_invariant() {
     let data = Matrix::from_rows(&rows).unwrap();
     let base = KMeansConfig::new(3).with_restarts(16);
     let serial = kmeans(&data, &base.clone().with_threads(Some(1))).unwrap();
-    for threads in [Some(2), Some(8), None] {
+    for threads in [Some(2), Some(7), Some(8), None] {
         let parallel = kmeans(&data, &base.clone().with_threads(threads)).unwrap();
         assert_eq!(serial, parallel, "threads={threads:?}");
     }
