@@ -46,7 +46,7 @@ pub struct CanaryEstimate {
 ///
 /// The canary inherits every workload parameter from
 /// `production_config` except fleet size, duration, and seed.
-pub fn canary_impact<T: Testbed>(
+pub fn canary_impact<T: Testbed + Sync>(
     testbed: &T,
     production_config: &CorpusConfig,
     canary: &CanaryConfig,

@@ -58,7 +58,7 @@ impl CostAccuracyCurve {
 /// `sample_sizes` (each with `trials` trials) and places FLARE's point
 /// from its estimate and replay cost.
 #[allow(clippy::too_many_arguments)]
-pub fn cost_accuracy_curve<T: Testbed>(
+pub fn cost_accuracy_curve<T: Testbed + Sync>(
     corpus: &Corpus,
     testbed: &T,
     baseline: &MachineConfig,

@@ -7,7 +7,8 @@
 //! and under the feature yields the per-representative impact that the
 //! estimator aggregates.
 
-use flare_sim::interference::evaluate;
+use flare_sim::interference::{evaluate, MachinePerf};
+use flare_sim::kernel::{CacheStats, EvalCache, ProfileTable};
 use flare_sim::machine::MachineConfig;
 use flare_sim::scenario::Scenario;
 use flare_workloads::job::JobName;
@@ -32,6 +33,20 @@ impl Measurement {
             .iter()
             .find(|(j, _)| *j == job)
             .map(|&(_, p)| p)
+    }
+
+    /// The HP summary of one evaluated colocation — the reduction every
+    /// simulator-backed testbed applies to a [`MachinePerf`].
+    pub fn from_perf(perf: &MachinePerf) -> Measurement {
+        let per_job_perf = JobName::HIGH_PRIORITY
+            .iter()
+            .filter_map(|&j| perf.job_normalized_perf(j).map(|p| (j, p)))
+            .collect();
+        Measurement {
+            hp_perf: perf.hp_normalized_perf(),
+            per_job_perf,
+            hp_mips: perf.hp_mips(),
+        }
     }
 }
 
@@ -64,6 +79,16 @@ impl std::error::Error for ReplayError {}
 /// client load generators; the default implementation here is the
 /// simulator ([`SimTestbed`]). The trait keeps FLARE's estimator agnostic
 /// so a physical-testbed implementation could be dropped in.
+///
+/// # Determinism contract
+///
+/// `run` must be a pure function of `(scenario, config)`: two calls with
+/// equal arguments return equal measurements, regardless of call order or
+/// thread. FLARE's impact baselines rely on this to deduplicate repeated
+/// colocation mixes and memoize testbed runs ([`CachedSimTestbed`],
+/// `full_datacenter_impact`) without changing any result byte. A testbed
+/// whose *attempts* can fail nondeterministically expresses that through
+/// [`Testbed::try_run`] instead.
 pub trait Testbed {
     /// Runs `scenario` under `config` and reports the measurement.
     fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement;
@@ -195,16 +220,40 @@ pub struct SimTestbed;
 
 impl Testbed for SimTestbed {
     fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
-        let perf = evaluate(scenario, config);
-        let per_job_perf = JobName::HIGH_PRIORITY
-            .iter()
-            .filter_map(|&j| perf.job_normalized_perf(j).map(|p| (j, p)))
-            .collect();
-        Measurement {
-            hp_perf: perf.hp_normalized_perf(),
-            per_job_perf,
-            hp_mips: perf.hp_mips(),
-        }
+        Measurement::from_perf(&evaluate(scenario, config))
+    }
+}
+
+/// A [`SimTestbed`] with a content-addressed evaluation memo
+/// ([`flare_sim::kernel::EvalCache`]): repeated (colocation multiset,
+/// machine config) runs return the stored evaluation instead of
+/// re-solving. Because [`Testbed::run`] is pure, the cached measurement is
+/// byte-identical to [`SimTestbed`]'s — the cache is a wall-clock knob
+/// only. Thread-safe: share one instance by reference across replay
+/// workers so both sides of every A/B reuse each other's baseline runs.
+#[derive(Debug, Default)]
+pub struct CachedSimTestbed {
+    cache: EvalCache,
+}
+
+impl CachedSimTestbed {
+    /// A testbed with an empty cache.
+    pub fn new() -> Self {
+        CachedSimTestbed::default()
+    }
+
+    /// Hit/miss/size counters of the underlying evaluation cache.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Testbed for CachedSimTestbed {
+    fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
+        let perf = flare_sim::kernel::with_scratch(|scratch| {
+            self.cache.evaluate(scenario, config, scratch)
+        });
+        Measurement::from_perf(&perf)
     }
 }
 
@@ -216,20 +265,30 @@ impl Testbed for SimTestbed {
 /// Use when the real services cannot be deployed on the evaluation
 /// testbed (licensing, data gravity, stack complexity). Fidelity is
 /// bounded by knob quantization — `abl04_proxy_replay` measures the cost.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ProxyTestbed {
-    overrides: std::collections::BTreeMap<JobName, flare_workloads::profile::JobProfile>,
+    /// Override/catalog profiles resolved once at construction into the
+    /// kernel layer's dense table, so every replay skips the per-instance
+    /// map lookup + clone.
+    table: ProfileTable,
+}
+
+impl Default for ProxyTestbed {
+    fn default() -> Self {
+        ProxyTestbed::with_overrides(Default::default())
+    }
 }
 
 impl ProxyTestbed {
     /// A proxy testbed with every catalog job replaced by its calibrated
     /// stressor.
     pub fn calibrated() -> Self {
-        let overrides = JobName::ALL
-            .iter()
-            .map(|&j| (j, flare_workloads::stressor::proxy_profile(j)))
-            .collect();
-        ProxyTestbed { overrides }
+        ProxyTestbed::with_overrides(
+            JobName::ALL
+                .iter()
+                .map(|&j| (j, flare_workloads::stressor::proxy_profile(j)))
+                .collect(),
+        )
     }
 
     /// A proxy testbed with explicit per-job profiles; jobs without an
@@ -237,27 +296,22 @@ impl ProxyTestbed {
     pub fn with_overrides(
         overrides: std::collections::BTreeMap<JobName, flare_workloads::profile::JobProfile>,
     ) -> Self {
-        ProxyTestbed { overrides }
+        let table = ProfileTable::from_fn(|job| {
+            overrides
+                .get(&job)
+                .cloned()
+                .unwrap_or_else(|| flare_workloads::catalog::profile(job))
+        });
+        ProxyTestbed { table }
     }
 }
 
 impl Testbed for ProxyTestbed {
     fn run(&self, scenario: &Scenario, config: &MachineConfig) -> Measurement {
-        let perf = flare_sim::interference::evaluate_with_profiles(scenario, config, &|job| {
-            self.overrides
-                .get(&job)
-                .cloned()
-                .unwrap_or_else(|| flare_workloads::catalog::profile(job))
+        let perf = flare_sim::kernel::with_scratch(|scratch| {
+            flare_sim::kernel::evaluate_with_table(scenario, config, &self.table, scratch)
         });
-        let per_job_perf = JobName::HIGH_PRIORITY
-            .iter()
-            .filter_map(|&j| perf.job_normalized_perf(j).map(|p| (j, p)))
-            .collect();
-        Measurement {
-            hp_perf: perf.hp_normalized_perf(),
-            per_job_perf,
-            hp_mips: perf.hp_mips(),
-        }
+        Measurement::from_perf(&perf)
     }
 }
 
@@ -506,6 +560,37 @@ mod tests {
         let m_proxy = empty.run(&s, &b);
         let m_real = SimTestbed.run(&s, &b);
         assert_eq!(m_proxy, m_real, "no overrides == real replay");
+    }
+
+    #[test]
+    fn cached_testbed_is_byte_identical_and_counts_hits() {
+        let b = baseline();
+        let f1 = Feature::paper_feature1().apply(&b);
+        let cached = CachedSimTestbed::new();
+        let mixes = [
+            Scenario::from_counts([(JobName::DataCaching, 2), (JobName::Mcf, 3)]),
+            Scenario::from_counts([(JobName::GraphAnalytics, 4)]),
+            Scenario::from_counts([(JobName::Sjeng, 2)]), // LP-only
+        ];
+        for s in &mixes {
+            for config in [&b, &f1] {
+                assert_eq!(cached.run(s, config), SimTestbed.run(s, config));
+                // Second run is a hit and still identical.
+                assert_eq!(cached.run(s, config), SimTestbed.run(s, config));
+            }
+            assert_eq!(
+                replay_impact(&cached, s, &b, &f1),
+                replay_impact(&SimTestbed, s, &b, &f1)
+            );
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 6, "one solve per distinct (mix, config)");
+        // 6 repeat runs + 5 replay_impact runs (the LP-only mix
+        // short-circuits before its feature-side run) — all hits.
+        assert_eq!(stats.hits, 11, "repeats must hit: {stats:?}");
+        assert_eq!(stats.entries, 6);
+        assert_eq!(stats.configs, 2);
+        assert!(stats.hit_rate() > 0.5);
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! corpus as a [`MetricDatabase`] by evaluating each scenario under a
 //! machine configuration and synthesizing the raw metrics.
 
-use crate::interference::{evaluate, MachinePerf};
+use crate::interference::{evaluate, evaluate_with_profiles, MachinePerf};
+use crate::kernel::EvalScratch;
 use crate::machine::{MachineConfig, MachineShape};
 use crate::profiler::synthesize;
 use crate::scenario::Scenario;
 use crate::scheduler::{MachineState, Placement, Scheduler, SchedulerPolicy};
-use flare_exec::par_map_indexed;
+use flare_exec::par_map_chunks;
 use flare_metrics::database::{MetricDatabase, ScenarioId, ScenarioRecord};
 use flare_metrics::schema::MetricSchema;
 use flare_workloads::job::{JobInstance, JobName};
@@ -373,16 +374,58 @@ impl Corpus {
         threads: Option<usize>,
     ) -> Vec<ScenarioRecord> {
         let tail = &self.entries[start.min(self.entries.len())..];
-        par_map_indexed(tail, threads, |_, e| {
-            let perf = evaluate(&e.scenario, machine_config);
-            let metrics = synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
-            ScenarioRecord {
-                id: e.id,
-                metrics,
-                observations: e.observations,
-                job_mix: e.scenario.job_mix_strings(),
-            }
+        // Chunked so each worker owns one scratch arena for its whole range
+        // of interference solves (`flare_sim::kernel`); the chunk split is a
+        // wall-clock knob only — records depend on nothing but (scenario,
+        // config, id).
+        par_map_chunks(tail.len(), threads, 8, |range| {
+            let mut scratch = EvalScratch::new();
+            range
+                .map(|i| {
+                    let e = &tail[i];
+                    let perf =
+                        crate::kernel::evaluate_catalog(&e.scenario, machine_config, &mut scratch);
+                    let metrics =
+                        synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
+                    ScenarioRecord {
+                        id: e.id,
+                        metrics,
+                        observations: e.observations,
+                        job_mix: e.scenario.job_mix_strings(),
+                    }
+                })
+                .collect()
         })
+    }
+
+    /// Unbatched serial reference of [`Corpus::profile_tail_threaded`]:
+    /// solves every scenario through the per-instance
+    /// [`evaluate_with_profiles`] oracle instead of the grouped kernel
+    /// (metric synthesis is shared, so this pins exactly the interference
+    /// solve). Kept for differential tests and the `abl15_sim_kernels`
+    /// bench — see DESIGN.md §9.
+    pub fn profile_tail_naive(
+        &self,
+        start: usize,
+        machine_config: &MachineConfig,
+    ) -> Vec<ScenarioRecord> {
+        let tail = &self.entries[start.min(self.entries.len())..];
+        tail.iter()
+            .map(|e| {
+                let perf = evaluate_with_profiles(
+                    &e.scenario,
+                    machine_config,
+                    &flare_workloads::catalog::profile,
+                );
+                let metrics = synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
+                ScenarioRecord {
+                    id: e.id,
+                    metrics,
+                    observations: e.observations,
+                    job_mix: e.scenario.job_mix_strings(),
+                }
+            })
+            .collect()
     }
 
     /// Materializes the corpus with §4.1 temporal enrichment: every metric
@@ -441,20 +484,29 @@ impl Corpus {
             return Err("temporal enrichment requires at least one phase".into());
         }
         let tail = &self.entries[start.min(self.entries.len())..];
-        Ok(par_map_indexed(tail, threads, |_, e| {
-            let metrics = crate::profiler::synthesize_enriched(
-                &e.scenario,
-                machine_config,
-                phases,
-                self.noise_seed(e.id),
-            )
-            .expect("phases > 0 checked above");
-            ScenarioRecord {
-                id: e.id,
-                metrics,
-                observations: e.observations,
-                job_mix: e.scenario.job_mix_strings(),
-            }
+        // Smaller chunks than the plain path: each record costs `phases`
+        // interference solves. Chunking shares one scratch arena per worker.
+        Ok(par_map_chunks(tail.len(), threads, 4, |range| {
+            let mut scratch = EvalScratch::new();
+            range
+                .map(|i| {
+                    let e = &tail[i];
+                    let metrics = crate::profiler::synthesize_enriched_scratch(
+                        &e.scenario,
+                        machine_config,
+                        phases,
+                        self.noise_seed(e.id),
+                        &mut scratch,
+                    )
+                    .expect("phases > 0 checked above");
+                    ScenarioRecord {
+                        id: e.id,
+                        metrics,
+                        observations: e.observations,
+                        job_mix: e.scenario.job_mix_strings(),
+                    }
+                })
+                .collect()
         }))
     }
 
@@ -642,6 +694,40 @@ mod tests {
         // Past-the-end tails are empty, not a panic.
         assert!(corpus
             .profile_tail_threaded(corpus.len() + 5, &mcfg, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn profile_tail_naive_is_bit_identical_to_kernel_path() {
+        let corpus = Corpus::generate(&small_config());
+        let mcfg = corpus.config().machine_config.clone();
+        let naive = corpus.profile_tail_naive(0, &mcfg);
+        for threads in [Some(1), Some(3), None] {
+            let fast = corpus.profile_tail_threaded(0, &mcfg, threads);
+            assert_eq!(naive.len(), fast.len());
+            for (a, b) in naive.iter().zip(&fast) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.observations, b.observations);
+                assert_eq!(a.job_mix, b.job_mix);
+                assert_eq!(a.metrics.len(), b.metrics.len());
+                for (x, y) in a.metrics.iter().zip(&b.metrics) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "scenario {:?} diverged under threads {threads:?}",
+                        a.id
+                    );
+                }
+            }
+        }
+        // Naive tails slice identically.
+        let start = corpus.len() / 2;
+        assert_eq!(
+            corpus.profile_tail_naive(start, &mcfg),
+            corpus.profile_tail_threaded(start, &mcfg, Some(2))
+        );
+        assert!(corpus
+            .profile_tail_naive(corpus.len() + 5, &mcfg)
             .is_empty());
     }
 

@@ -41,14 +41,14 @@ const LATENCY_INFLATION_GAIN: f64 = 0.7;
 
 /// Performance penalty per (latency-weighted) extra LLC miss per
 /// kilo-instruction.
-const MISS_PENALTY_PER_MPKI: f64 = 0.038;
+pub(crate) const MISS_PENALTY_PER_MPKI: f64 = 0.038;
 
 /// Saturation constant (MB/s) above which a job counts as fully
 /// I/O-dependent on the NIC.
-const NET_DEPENDENCY_SCALE: f64 = 200.0;
+pub(crate) const NET_DEPENDENCY_SCALE: f64 = 200.0;
 
 /// Saturation constant (MB/s) for disk dependency.
-const DISK_DEPENDENCY_SCALE: f64 = 150.0;
+pub(crate) const DISK_DEPENDENCY_SCALE: f64 = 150.0;
 
 /// Achieved performance and micro-state of one instance in a colocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -245,7 +245,9 @@ pub fn latency_inflation(dram_utilization: f64) -> f64 {
 /// assert!(p_crowded.instances[0].mips < p_solo.instances[0].mips);
 /// ```
 pub fn evaluate(scenario: &Scenario, config: &MachineConfig) -> MachinePerf {
-    evaluate_at_load(scenario, config, 1.0)
+    crate::kernel::with_scratch(|scratch| {
+        crate::kernel::evaluate_catalog(scenario, config, scratch)
+    })
 }
 
 /// Evaluates a scenario at a momentary *load factor*: user demand swings
@@ -255,6 +257,21 @@ pub fn evaluate(scenario: &Scenario, config: &MachineConfig) -> MachinePerf {
 ///
 /// The factor is clamped to `[0.1, 1.5]`; CPU utilization saturates at 1.
 pub fn evaluate_at_load(scenario: &Scenario, config: &MachineConfig, load: f64) -> MachinePerf {
+    crate::kernel::with_scratch(|scratch| {
+        crate::kernel::evaluate_at_load_scratch(scenario, config, load, scratch)
+    })
+}
+
+/// The unbatched reference implementation of [`evaluate_at_load`]: resolves
+/// the load-scaled catalog profile per instance through
+/// [`evaluate_with_profiles`]. Kept as the in-tree differential oracle the
+/// kernel path (`crate::kernel`) is byte-compared against — see
+/// DESIGN.md §9.
+pub fn evaluate_at_load_naive(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    load: f64,
+) -> MachinePerf {
     let load = load.clamp(0.1, 1.5);
     evaluate_with_profiles(scenario, config, &|job| {
         let mut p = catalog::profile(job);

@@ -1,0 +1,734 @@
+//! Scenario-evaluation kernels: zero-allocation interference solves and a
+//! content-addressed evaluation cache (DESIGN.md §9).
+//!
+//! The paper's premise is that datacenter behaviour is massively redundant:
+//! thousands of machine-ticks exhibit the same few colocation mixes, and a
+//! [`Scenario`] is itself a *multiset* — a mix with eight instances of one
+//! job resolves the same profile eight times and solves eight identical
+//! per-instance equations in the unbatched
+//! [`evaluate_with_profiles`](crate::interference::evaluate_with_profiles)
+//! path. The kernels here exploit both redundancies without changing a
+//! single output bit:
+//!
+//! - [`ProfileTable`] — the catalog resolved once into a flat, dense
+//!   per-job slot array indexed by [`JobName::index`], replacing one
+//!   `profile_of` closure call (and `JobProfile` clone) per instance.
+//! - [`EvalScratch`] — a reusable arena for the solver's intermediate
+//!   buffers (LLC demands/shares, miss rates, bandwidth demands), sized
+//!   per *distinct job* rather than per instance, so a steady-state solve
+//!   allocates only its output `MachinePerf`.
+//! - [`EvalCache`] — a content-addressed memo keyed by the canonical
+//!   colocation-multiset key and an exact `MachineConfig` identity: since
+//!   evaluation is a pure function of `(scenario, config)`, a stored
+//!   [`MachinePerf`] is byte-identical to recomputing it. Hit/miss
+//!   counters surface in diagnostics ([`EvalCache::stats`]).
+//!
+//! # Exactness
+//!
+//! The grouped solver reproduces the unbatched path's floating-point
+//! operations *in the same order*. Instances of one job are adjacent in
+//! the scenario's canonical instance order (a `Scenario` stores a
+//! `BTreeMap`), and every machine-level aggregate in the unbatched path is
+//! a left fold over instances in that order. Each per-instance addend
+//! depends only on the instance's job, so the grouped solver adds the same
+//! per-job constant `n` times in a loop — never `constant * n`, which
+//! would round differently — and multiple independent accumulators share
+//! one pass because each receives exactly the addend sequence its own
+//! separate fold would. Per-instance outcomes depend only on (profile,
+//! shared machine scalars, per-job share/miss-rate), so one
+//! [`InstanceOutcome`] is solved per distinct job and cloned `n` times.
+//! Parallelism and reuse stay wall-clock knobs, never result knobs — the
+//! PR 4 contract, now covering the simulation substrate.
+
+use crate::interference::{
+    latency_inflation, smt_pairing_probability, InstanceOutcome, MachinePerf,
+    DISK_DEPENDENCY_SCALE, MISS_PENALTY_PER_MPKI, NET_DEPENDENCY_SCALE, REFERENCE_FREQ_GHZ,
+};
+use crate::machine::MachineConfig;
+use crate::scenario::Scenario;
+use flare_workloads::catalog;
+use flare_workloads::job::JobName;
+use flare_workloads::profile::JobProfile;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A dense per-job profile table: one [`JobProfile`] slot per
+/// [`JobName::ALL`] entry, indexed by [`JobName::index`]. Resolving the
+/// profile for an instance is a direct slot borrow — no closure call, no
+/// clone, one resolution per table lifetime instead of per instance.
+#[derive(Debug, Clone)]
+pub struct ProfileTable {
+    slots: Vec<JobProfile>,
+}
+
+impl ProfileTable {
+    /// Builds a table by resolving every job once through `f`.
+    pub fn from_fn(mut f: impl FnMut(JobName) -> JobProfile) -> Self {
+        ProfileTable {
+            slots: JobName::ALL.iter().map(|&j| f(j)).collect(),
+        }
+    }
+
+    /// The catalog's profiles, resolved once per process.
+    pub fn catalog() -> &'static ProfileTable {
+        static TABLE: OnceLock<ProfileTable> = OnceLock::new();
+        TABLE.get_or_init(|| ProfileTable::from_fn(catalog::profile))
+    }
+
+    /// The profile of `job`.
+    pub fn get(&self, job: JobName) -> &JobProfile {
+        &self.slots[job.index()]
+    }
+
+    /// The dense slot array (index = [`JobName::index`]).
+    pub fn slots(&self) -> &[JobProfile] {
+        &self.slots
+    }
+}
+
+/// Per-distinct-job intermediate buffers of one interference solve,
+/// cleared (not freed) between solves.
+#[derive(Debug, Default)]
+struct GroupBuffers {
+    demands: Vec<f64>,
+    shares: Vec<f64>,
+    mpkis: Vec<f64>,
+    bw_demands: Vec<f64>,
+}
+
+/// Reusable arena for interference solves: the per-distinct-job buffers
+/// plus a scratch profile table for load-scaled evaluation. Create one per
+/// worker (or use [`with_scratch`] for the thread-local one) and reuse it
+/// across a whole corpus — steady-state solves allocate only their output
+/// [`MachinePerf`].
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    bufs: GroupBuffers,
+    scaled: Vec<JobProfile>,
+}
+
+impl EvalScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::new());
+}
+
+/// Runs `f` with the calling thread's evaluation scratch arena — the
+/// zero-setup way to reach the kernel path from code without its own
+/// per-worker scratch. Do not call [`with_scratch`] (or anything that
+/// does, e.g. [`crate::interference::evaluate`]) from inside `f`.
+pub fn with_scratch<R>(f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Evaluates `scenario` on `config` resolving profiles from `table` — the
+/// kernel equivalent of
+/// [`evaluate_with_profiles`](crate::interference::evaluate_with_profiles)
+/// with a table-backed `profile_of`, byte-identical by the grouped-fold
+/// argument in the module docs.
+pub fn evaluate_with_table(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    table: &ProfileTable,
+    scratch: &mut EvalScratch,
+) -> MachinePerf {
+    evaluate_grouped(scenario, config, table.slots(), &mut scratch.bufs)
+}
+
+/// Evaluates `scenario` on `config` with the catalog's profiles — the
+/// kernel path behind [`crate::interference::evaluate`].
+pub fn evaluate_catalog(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    scratch: &mut EvalScratch,
+) -> MachinePerf {
+    evaluate_grouped(
+        scenario,
+        config,
+        ProfileTable::catalog().slots(),
+        &mut scratch.bufs,
+    )
+}
+
+/// Evaluates `scenario` at a momentary load factor — the kernel path
+/// behind [`crate::interference::evaluate_at_load`], byte-identical to the
+/// unbatched [`crate::interference::evaluate_at_load_naive`] oracle. The
+/// factor is clamped to `[0.1, 1.5]`; CPU utilization saturates at 1.
+pub fn evaluate_at_load_scratch(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    load: f64,
+    scratch: &mut EvalScratch,
+) -> MachinePerf {
+    let load = load.clamp(0.1, 1.5);
+    let EvalScratch { bufs, scaled } = scratch;
+    if (load - 1.0).abs() > f64::EPSILON {
+        // Scale the whole catalog once per solve (14 jobs) instead of once
+        // per instance, applying exactly the unbatched path's operations.
+        scaled.clear();
+        for &job in JobName::ALL {
+            let mut p = catalog::profile(job);
+            p.cpu_util = (p.cpu_util * load).min(1.0);
+            p.mem_bw_gbps *= load;
+            p.net_rx_mbps *= load;
+            p.net_tx_mbps *= load;
+            p.disk_read_mbps *= load;
+            p.disk_write_mbps *= load;
+            p.syscalls_ps *= load;
+            scaled.push(p);
+        }
+        evaluate_grouped(scenario, config, scaled, bufs)
+    } else {
+        evaluate_grouped(scenario, config, ProfileTable::catalog().slots(), bufs)
+    }
+}
+
+/// The grouped interference solve over a dense per-job slot array. See the
+/// module docs for the bit-exactness argument; every accumulator below
+/// adds its per-job constant once per *instance* to replicate the
+/// unbatched left fold's rounding.
+fn evaluate_grouped(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    slots: &[JobProfile],
+    bufs: &mut GroupBuffers,
+) -> MachinePerf {
+    let GroupBuffers {
+        demands,
+        shares,
+        mpkis,
+        bw_demands,
+    } = bufs;
+    demands.clear();
+    shares.clear();
+    mpkis.clear();
+    bw_demands.clear();
+
+    let cores = config.shape.total_cores() as f64;
+    let logical = config.schedulable_vcpus() as f64;
+
+    // ---- CPU occupancy + LLC demand (one pass, independent folds) -------
+    // Accumulators start at -0.0 because `Sum for f64` folds from -0.0;
+    // starting at +0.0 would flip the sign bit of empty (and all-negative-
+    // zero) sums, breaking bit-identity with the unbatched path.
+    let mut active_vcpus = -0.0f64;
+    let mut total_demand = -0.0f64;
+    let mut total_instances = 0usize;
+    for (job, n) in scenario.iter() {
+        let p = &slots[job.index()];
+        let per_active = 4.0 * p.cpu_util;
+        let demand = p.working_set_mb;
+        for _ in 0..n {
+            active_vcpus += per_active;
+            total_demand += demand;
+        }
+        demands.push(demand);
+        total_instances += n as usize;
+    }
+    let resident = active_vcpus.min(logical);
+    let timeslice_global = if active_vcpus > logical {
+        logical / active_vcpus
+    } else {
+        1.0
+    };
+    let pairing = if config.smt_enabled {
+        smt_pairing_probability(resident, cores)
+    } else {
+        0.0
+    };
+    let core_active_fraction = resident.min(cores) / cores;
+
+    // ---- Frequency ------------------------------------------------------
+    let freq = config.achieved_freq_ghz(core_active_fraction);
+
+    // ---- LLC partitioning (llc_partition's branch, buffer-reusing) ------
+    let total_mb = config.total_llc_mb();
+    if total_demand <= total_mb || total_demand <= f64::EPSILON {
+        shares.extend_from_slice(demands);
+    } else {
+        let scale = total_mb / total_demand;
+        shares.extend(demands.iter().map(|d| d * scale));
+    }
+    for ((job, _), &share) in scenario.iter().zip(shares.iter()) {
+        mpkis.push(slots[job.index()].llc_mpki_at(share));
+    }
+
+    // ---- DRAM bandwidth + shared I/O (one pass, independent folds) ------
+    // Traffic stays *demand-based* (see the monotonicity note in
+    // `evaluate_with_profiles`); the kernel only changes where the numbers
+    // are stored, not what they are.
+    for ((job, _), &mpki) in scenario.iter().zip(mpkis.iter()) {
+        let p = &slots[job.index()];
+        let blowup = if p.base_llc_mpki > 0.0 {
+            mpki / p.base_llc_mpki
+        } else {
+            1.0
+        };
+        bw_demands.push(p.mem_bw_gbps * blowup);
+    }
+    // -0.0 starts again: see the CPU-occupancy fold above.
+    let mut total_bw_demand = -0.0f64;
+    let mut latency_critical_bw = -0.0f64;
+    let mut total_net = -0.0f64;
+    let mut total_disk = -0.0f64;
+    for ((job, n), &bw) in scenario.iter().zip(bw_demands.iter()) {
+        let p = &slots[job.index()];
+        let critical = bw * (0.2 + 0.8 * p.latency_sensitivity);
+        let net = p.net_rx_mbps + p.net_tx_mbps;
+        let disk = p.disk_read_mbps + p.disk_write_mbps;
+        for _ in 0..n {
+            total_bw_demand += bw;
+            latency_critical_bw += critical;
+            total_net += net;
+            total_disk += disk;
+        }
+    }
+    let dram_utilization = total_bw_demand / config.shape.dram_bw_gbps;
+    let bw_throttle = if dram_utilization > 1.0 {
+        1.0 / dram_utilization
+    } else {
+        1.0
+    };
+    let lat_inflation = latency_inflation(latency_critical_bw / config.shape.dram_bw_gbps);
+    let nic_capacity_mbps = config.shape.nic_gbps * 1000.0 / 8.0;
+    let net_throttle = if total_net > nic_capacity_mbps {
+        nic_capacity_mbps / total_net
+    } else {
+        1.0
+    };
+    let disk_throttle = if total_disk > config.shape.disk_mbps {
+        config.shape.disk_mbps / total_disk
+    } else {
+        1.0
+    };
+
+    // ---- Per-instance composition: one solve per distinct job -----------
+    let mut outcomes = Vec::with_capacity(total_instances);
+    for (((job, n), &share), &mpki) in scenario.iter().zip(shares.iter()).zip(mpkis.iter()) {
+        let profile = &slots[job.index()];
+        let freq_factor = profile.cpu_bound_fraction * (freq / REFERENCE_FREQ_GHZ)
+            + (1.0 - profile.cpu_bound_fraction);
+        let smt_factor = 1.0 - pairing * (1.0 - profile.smt_friendliness);
+        let effective_extra_mpki = (mpki * lat_inflation - profile.base_llc_mpki).max(0.0);
+        let mem_factor = 1.0
+            / (1.0 + profile.latency_sensitivity * MISS_PENALTY_PER_MPKI * effective_extra_mpki);
+        let bw_dependency = (1.0 - profile.latency_sensitivity).max(0.2);
+        let bw_factor = 1.0 - bw_dependency * (1.0 - bw_throttle);
+        let net_dep = (profile.net_rx_mbps + profile.net_tx_mbps)
+            / ((profile.net_rx_mbps + profile.net_tx_mbps) + NET_DEPENDENCY_SCALE);
+        let disk_dep = (profile.disk_read_mbps + profile.disk_write_mbps)
+            / ((profile.disk_read_mbps + profile.disk_write_mbps) + DISK_DEPENDENCY_SCALE);
+        let io_factor =
+            (1.0 - net_dep * (1.0 - net_throttle)) * (1.0 - disk_dep * (1.0 - disk_throttle));
+
+        let mips = profile.inherent_mips
+            * freq_factor
+            * smt_factor
+            * timeslice_global
+            * mem_factor
+            * bw_factor
+            * io_factor;
+        let outcome = InstanceOutcome {
+            job,
+            mips,
+            normalized_perf: mips / profile.inherent_mips,
+            llc_share_mb: share,
+            llc_mpki: mpki,
+            mem_bw_gbps: JobProfile::mem_bw_from_misses(mips, mpki),
+            freq_ghz: freq,
+            smt_factor,
+            timeslice_factor: timeslice_global,
+            freq_factor,
+            mem_factor,
+            bw_factor,
+            io_factor,
+        };
+        for _ in 1..n {
+            outcomes.push(outcome.clone());
+        }
+        outcomes.push(outcome);
+    }
+
+    MachinePerf {
+        instances: outcomes,
+        core_active_fraction,
+        active_vcpus,
+        dram_utilization,
+        latency_inflation: lat_inflation,
+        freq_ghz: freq,
+        smt_pairing_probability: pairing,
+    }
+}
+
+/// `true` if two evaluations are bit-for-bit identical (every `f64`
+/// compared by its bit pattern, so `-0.0 != 0.0` and NaNs compare by
+/// payload) — the equivalence the kernel layer guarantees and the
+/// differential tests assert.
+pub fn perf_bits_equal(a: &MachinePerf, b: &MachinePerf) -> bool {
+    let scalar = |x: f64, y: f64| x.to_bits() == y.to_bits();
+    a.instances.len() == b.instances.len()
+        && scalar(a.core_active_fraction, b.core_active_fraction)
+        && scalar(a.active_vcpus, b.active_vcpus)
+        && scalar(a.dram_utilization, b.dram_utilization)
+        && scalar(a.latency_inflation, b.latency_inflation)
+        && scalar(a.freq_ghz, b.freq_ghz)
+        && scalar(a.smt_pairing_probability, b.smt_pairing_probability)
+        && a.instances.iter().zip(&b.instances).all(|(x, y)| {
+            x.job == y.job
+                && scalar(x.mips, y.mips)
+                && scalar(x.normalized_perf, y.normalized_perf)
+                && scalar(x.llc_share_mb, y.llc_share_mb)
+                && scalar(x.llc_mpki, y.llc_mpki)
+                && scalar(x.mem_bw_gbps, y.mem_bw_gbps)
+                && scalar(x.freq_ghz, y.freq_ghz)
+                && scalar(x.smt_factor, y.smt_factor)
+                && scalar(x.timeslice_factor, y.timeslice_factor)
+                && scalar(x.freq_factor, y.freq_factor)
+                && scalar(x.mem_factor, y.mem_factor)
+                && scalar(x.bw_factor, y.bw_factor)
+                && scalar(x.io_factor, y.io_factor)
+        })
+}
+
+/// Canonical identity of a colocation multiset: the scenario's sorted
+/// `(job, count)` pairs. Two scenarios with the same key are the same
+/// multiset by construction, so their evaluations are interchangeable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioKey(Box<[(JobName, u32)]>);
+
+impl ScenarioKey {
+    /// The canonical key of `scenario`.
+    pub fn of(scenario: &Scenario) -> Self {
+        ScenarioKey(scenario.iter().collect())
+    }
+}
+
+/// Diagnostics snapshot of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to solve.
+    pub misses: u64,
+    /// Stored evaluations.
+    pub entries: usize,
+    /// Distinct machine configurations seen.
+    pub configs: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A content-addressed evaluation cache: `(scenario multiset, machine
+/// config) → MachinePerf`.
+///
+/// Configs are interned exactly — an FNV-1a fingerprint pre-filters, then
+/// full `PartialEq` confirms before a config id is reused, so two configs
+/// share an id only when they are equal field-for-field (`f64`s compared
+/// by value; a fingerprint collision can never alias distinct configs).
+/// Because evaluation is pure, a stored result is byte-identical to
+/// recomputing it; concurrent racers that solve the same key keep the
+/// first stored value, which is the same value by purity. Thread-safe and
+/// shareable by reference across workers.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    configs: RwLock<Vec<(u64, MachineConfig)>>,
+    entries: RwLock<HashMap<(usize, ScenarioKey), Arc<MachinePerf>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Evaluates `scenario` on `config` with the catalog's profiles,
+    /// returning the stored result when the same (multiset, config) pair
+    /// was evaluated before.
+    pub fn evaluate(
+        &self,
+        scenario: &Scenario,
+        config: &MachineConfig,
+        scratch: &mut EvalScratch,
+    ) -> Arc<MachinePerf> {
+        let key = (self.config_id(config), ScenarioKey::of(scenario));
+        if let Some(perf) = self.entries.read().expect("eval cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(perf);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let perf = Arc::new(evaluate_catalog(scenario, config, scratch));
+        Arc::clone(
+            self.entries
+                .write()
+                .expect("eval cache poisoned")
+                .entry(key)
+                .or_insert(perf),
+        )
+    }
+
+    /// Hit/miss/size counters for diagnostics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.read().expect("eval cache poisoned").len(),
+            configs: self.configs.read().expect("eval cache poisoned").len(),
+        }
+    }
+
+    /// Interns `config`, returning its dense id. Fingerprint pre-filter,
+    /// exact `PartialEq` confirm.
+    fn config_id(&self, config: &MachineConfig) -> usize {
+        let fp = config_fingerprint(config);
+        let find = |configs: &[(u64, MachineConfig)]| {
+            configs.iter().position(|(f, c)| *f == fp && c == config)
+        };
+        if let Some(i) = find(&self.configs.read().expect("eval cache poisoned")) {
+            return i;
+        }
+        let mut configs = self.configs.write().expect("eval cache poisoned");
+        if let Some(i) = find(&configs) {
+            return i;
+        }
+        configs.push((fp, config.clone()));
+        configs.len() - 1
+    }
+}
+
+/// FNV-1a over every field of the config (floats by bit pattern) — a
+/// pre-filter only; [`EvalCache`] always confirms with `PartialEq`.
+fn config_fingerprint(config: &MachineConfig) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut fnv = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    let shape = &config.shape;
+    fnv(shape.model.as_bytes());
+    for v in [
+        shape.sockets,
+        shape.cores_per_socket,
+        shape.vcpus_per_socket,
+    ] {
+        fnv(&v.to_le_bytes());
+    }
+    for v in [
+        shape.llc_mb_per_socket,
+        shape.dram_gb,
+        shape.dram_bw_gbps,
+        shape.freq_min_ghz,
+        shape.freq_max_ghz,
+        shape.disk_mbps,
+        shape.nic_gbps,
+        config.llc_mb_per_socket,
+        config.freq_min_ghz,
+        config.freq_max_ghz,
+    ] {
+        fnv(&v.to_bits().to_le_bytes());
+    }
+    fnv(&[config.smt_enabled as u8]);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Feature;
+    use crate::interference::{evaluate_at_load_naive, evaluate_with_profiles};
+    use crate::machine::MachineShape;
+
+    fn base() -> MachineConfig {
+        MachineShape::default_shape().baseline_config()
+    }
+
+    /// A spread of mixes: empty, solo, duplicate-heavy, oversubscribed,
+    /// LP-only, and the full job roster.
+    fn mixes() -> Vec<Scenario> {
+        vec![
+            Scenario::empty(),
+            Scenario::from_counts([(JobName::WebSearch, 1)]),
+            Scenario::from_counts([(JobName::MediaStreaming, 8)]),
+            Scenario::from_counts([
+                (JobName::GraphAnalytics, 3),
+                (JobName::Mcf, 6),
+                (JobName::Libquantum, 3),
+            ]),
+            Scenario::from_counts([(JobName::Sjeng, 2), (JobName::Perlbench, 2)]),
+            Scenario::from_counts(JobName::ALL.iter().map(|&j| (j, 1))),
+            Scenario::from_counts([(JobName::DataCaching, 12)]),
+        ]
+    }
+
+    fn configs() -> Vec<MachineConfig> {
+        let b = base();
+        let small = MachineShape::small_shape().baseline_config();
+        vec![
+            b.clone(),
+            Feature::paper_feature1().apply(&b),
+            Feature::paper_feature2().apply(&b),
+            Feature::paper_feature3().apply(&b),
+            small,
+        ]
+    }
+
+    #[test]
+    fn catalog_table_matches_catalog() {
+        let table = ProfileTable::catalog();
+        for &job in JobName::ALL {
+            assert_eq!(*table.get(job), catalog::profile(job), "{job}");
+        }
+        assert_eq!(table.slots().len(), JobName::ALL.len());
+    }
+
+    #[test]
+    fn grouped_solve_is_bit_identical_to_unbatched() {
+        let mut scratch = EvalScratch::new();
+        for config in configs() {
+            for scenario in mixes() {
+                let naive = evaluate_with_profiles(&scenario, &config, &catalog::profile);
+                let fast = evaluate_catalog(&scenario, &config, &mut scratch);
+                assert!(
+                    perf_bits_equal(&naive, &fast),
+                    "kernel diverged for {scenario:?} on {}",
+                    config.shape.model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_solve_matches_closure_solve_with_overrides() {
+        let table = ProfileTable::from_fn(|job| {
+            let mut p = catalog::profile(job);
+            p.cpu_util = (p.cpu_util * 0.7).min(1.0);
+            p.mem_bw_gbps *= 1.3;
+            p
+        });
+        let profile_of = |job: JobName| {
+            let mut p = catalog::profile(job);
+            p.cpu_util = (p.cpu_util * 0.7).min(1.0);
+            p.mem_bw_gbps *= 1.3;
+            p
+        };
+        let mut scratch = EvalScratch::new();
+        let config = base();
+        for scenario in mixes() {
+            let naive = evaluate_with_profiles(&scenario, &config, &profile_of);
+            let fast = evaluate_with_table(&scenario, &config, &table, &mut scratch);
+            assert!(perf_bits_equal(&naive, &fast), "diverged for {scenario:?}");
+        }
+    }
+
+    #[test]
+    fn at_load_solve_is_bit_identical_to_naive_oracle() {
+        let mut scratch = EvalScratch::new();
+        let config = base();
+        for scenario in mixes() {
+            for load in [0.0, 0.1, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
+                let naive = evaluate_at_load_naive(&scenario, &config, load);
+                let fast = evaluate_at_load_scratch(&scenario, &config, load, &mut scratch);
+                assert!(
+                    perf_bits_equal(&naive, &fast),
+                    "load {load} diverged for {scenario:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_returns_identical_bits_and_counts_hits() {
+        let cache = EvalCache::new();
+        let mut scratch = EvalScratch::new();
+        let b = base();
+        let f1 = Feature::paper_feature1().apply(&b);
+        let s = Scenario::from_counts([(JobName::GraphAnalytics, 2), (JobName::Mcf, 4)]);
+
+        let direct = evaluate_catalog(&s, &b, &mut scratch);
+        let first = cache.evaluate(&s, &b, &mut scratch);
+        let second = cache.evaluate(&s, &b, &mut scratch);
+        assert!(perf_bits_equal(&direct, &first));
+        assert!(perf_bits_equal(&first, &second));
+        // Same multiset built differently still hits.
+        let same = Scenario::from_counts([(JobName::Mcf, 4), (JobName::GraphAnalytics, 2)]);
+        let third = cache.evaluate(&same, &b, &mut scratch);
+        assert!(perf_bits_equal(&first, &third));
+        // A different config misses and is kept apart.
+        let other = cache.evaluate(&s, &f1, &mut scratch);
+        assert!(!perf_bits_equal(&first, &other));
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.configs, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_interns_equal_configs_once() {
+        let cache = EvalCache::new();
+        let mut scratch = EvalScratch::new();
+        let s = Scenario::from_counts([(JobName::DataCaching, 2)]);
+        // Two separately-constructed but equal configs share one id.
+        cache.evaluate(&s, &base(), &mut scratch);
+        cache.evaluate(&s, &base(), &mut scratch);
+        let stats = cache.stats();
+        assert_eq!(stats.configs, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn empty_cache_stats_are_zero() {
+        let stats = EvalCache::new().stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries, stats.configs),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn scenario_key_is_order_insensitive_and_count_sensitive() {
+        let a = Scenario::from_counts([(JobName::Mcf, 3), (JobName::DataCaching, 2)]);
+        let b = Scenario::from_counts([(JobName::DataCaching, 2), (JobName::Mcf, 3)]);
+        let c = Scenario::from_counts([(JobName::DataCaching, 3), (JobName::Mcf, 2)]);
+        assert_eq!(ScenarioKey::of(&a), ScenarioKey::of(&b));
+        assert_ne!(ScenarioKey::of(&a), ScenarioKey::of(&c));
+    }
+
+    #[test]
+    fn config_fingerprint_separates_feature_configs() {
+        let b = base();
+        let mut fps: Vec<u64> = configs().iter().map(config_fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(
+            fps.len(),
+            configs().len(),
+            "feature configs must not collide"
+        );
+        assert_eq!(config_fingerprint(&b), config_fingerprint(&base()));
+    }
+}

@@ -37,6 +37,7 @@ pub mod datacenter;
 pub mod faults;
 pub mod feature;
 pub mod interference;
+pub mod kernel;
 pub mod machine;
 pub mod profiler;
 pub mod scenario;

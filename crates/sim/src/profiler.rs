@@ -10,17 +10,25 @@
 
 use crate::faults::multiplicative_noise;
 use crate::interference::MachinePerf;
+use crate::kernel::{EvalScratch, ProfileTable};
 use crate::machine::MachineConfig;
 use crate::scenario::Scenario;
 use flare_metrics::schema::{Level, MetricKind, MetricSchema};
-use flare_workloads::catalog;
 use flare_workloads::job::JobName;
 use flare_workloads::profile::JobProfile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
 
 /// Relative standard deviation of the multiplicative measurement noise.
 const NOISE_REL_STD: f64 = 0.012;
+
+/// The canonical schema, built once per process — `MetricSchema::canonical`
+/// allocates, and the profiler consults it for every synthesized vector.
+fn canonical_schema() -> &'static MetricSchema {
+    static SCHEMA: OnceLock<MetricSchema> = OnceLock::new();
+    SCHEMA.get_or_init(MetricSchema::canonical)
+}
 
 /// Synthesizes the full canonical metric vector for `scenario` evaluated
 /// as `perf` on `config`.
@@ -44,7 +52,7 @@ pub fn synthesize(
 
 /// The noise-free canonical metric vector for one evaluated scenario.
 fn clean_vector(scenario: &Scenario, perf: &MachinePerf, config: &MachineConfig) -> Vec<f64> {
-    let schema = MetricSchema::canonical();
+    let schema = canonical_schema();
     let machine = LevelAggregate::compute(scenario, perf, config, LevelSel::Machine);
     let hp = LevelAggregate::compute(scenario, perf, config, LevelSel::HpOnly);
     schema
@@ -74,6 +82,25 @@ pub fn synthesize_enriched(
     phases: usize,
     noise_seed: u64,
 ) -> Result<Vec<f64>, String> {
+    crate::kernel::with_scratch(|scratch| {
+        synthesize_enriched_scratch(scenario, config, phases, noise_seed, scratch)
+    })
+}
+
+/// [`synthesize_enriched`] against a caller-owned [`EvalScratch`] — the
+/// form corpus-profiling workers call so each chunk reuses one arena for
+/// all of its per-phase interference solves.
+///
+/// # Errors
+///
+/// Returns a message if `phases == 0`.
+pub(crate) fn synthesize_enriched_scratch(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    phases: usize,
+    noise_seed: u64,
+    scratch: &mut EvalScratch,
+) -> Result<Vec<f64>, String> {
     if phases == 0 {
         return Err("temporal enrichment requires at least one phase".into());
     }
@@ -85,12 +112,12 @@ pub fn synthesize_enriched(
         .map(|i| {
             let angle = offset + std::f64::consts::TAU * i as f64 / phases as f64;
             let load = 1.0 + 0.25 * angle.sin();
-            let perf = crate::interference::evaluate_at_load(scenario, config, load);
+            let perf = crate::kernel::evaluate_at_load_scratch(scenario, config, load, scratch);
             clean_vector(scenario, &perf, config)
         })
         .collect();
 
-    let n = MetricSchema::canonical().len();
+    let n = canonical_schema().len();
     let mut out = Vec::with_capacity(2 * n);
     for j in 0..n {
         let series: Vec<f64> = phase_vectors.iter().map(|v| v[j]).collect();
@@ -158,14 +185,15 @@ impl LevelAggregate {
         config: &MachineConfig,
         sel: LevelSel,
     ) -> Self {
-        let selected: Vec<(&crate::interference::InstanceOutcome, JobProfile)> = perf
+        let table = ProfileTable::catalog();
+        let selected: Vec<(&crate::interference::InstanceOutcome, &'static JobProfile)> = perf
             .instances
             .iter()
             .filter(|o| match sel {
                 LevelSel::Machine => true,
                 LevelSel::HpOnly => JobName::HIGH_PRIORITY.contains(&o.job),
             })
-            .map(|o| (o, catalog::profile(o.job)))
+            .map(|o| (o, table.get(o.job)))
             .collect();
 
         if selected.is_empty() {

@@ -113,14 +113,18 @@ impl Scenario {
         self.counts.iter().map(|(&j, &n)| (j, n))
     }
 
+    /// Iterates the flat instance expansion in canonical order without
+    /// materializing it — what the interference kernels walk; the hot
+    /// evaluation path (`flare_sim::kernel`) never builds the `Vec` form.
+    pub fn instances(&self) -> impl Iterator<Item = JobInstance> + '_ {
+        self.iter()
+            .flat_map(|(job, n)| (0..n).map(move |_| JobInstance::new(job)))
+    }
+
     /// Expands back to a flat instance list (canonical order).
     pub fn to_instances(&self) -> Vec<JobInstance> {
         let mut out = Vec::with_capacity(self.total_instances() as usize);
-        for (job, n) in self.iter() {
-            for _ in 0..n {
-                out.push(JobInstance::new(job));
-            }
-        }
+        out.extend(self.instances());
         out
     }
 

@@ -1,0 +1,149 @@
+//! Property-based differential tests of the scenario-evaluation kernel
+//! layer: for *arbitrary* schedulable scenarios the grouped scratch/table
+//! kernels, the load-scaled kernel, and the content-addressed evaluation
+//! cache must be **byte-identical** to the unbatched closure-based
+//! reference solves they replaced — the kernels are wall-clock knobs,
+//! never result knobs (DESIGN.md §9).
+
+use flare_sim::feature::Feature;
+use flare_sim::interference::{
+    evaluate, evaluate_at_load, evaluate_at_load_naive, evaluate_with_profiles,
+};
+use flare_sim::kernel::{evaluate_catalog, perf_bits_equal, with_scratch, EvalCache};
+use flare_sim::machine::MachineShape;
+use flare_sim::scenario::Scenario;
+use flare_workloads::catalog;
+use flare_workloads::job::{JobInstance, JobName};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary scenario on the default shape (0..=12 containers
+/// drawn from all 14 job types; 0 exercises the empty-machine edge where
+/// the naive path's empty `Sum` folds yield `-0.0`).
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    prop::collection::vec(0usize..JobName::ALL.len(), 0..=12).prop_map(|picks| {
+        let instances: Vec<JobInstance> = picks
+            .into_iter()
+            .map(|i| JobInstance::new(JobName::ALL[i]))
+            .collect();
+        Scenario::from_instances(&instances)
+    })
+}
+
+/// Strategy: a machine configuration — the baseline of either paper shape,
+/// optionally transformed by one of the three paper features.
+fn config_strategy() -> impl Strategy<Value = flare_sim::machine::MachineConfig> {
+    let shapes = prop_oneof![
+        Just(MachineShape::default_shape()),
+        Just(MachineShape::small_shape()),
+    ];
+    (shapes, 0usize..4).prop_map(|(shape, feature)| {
+        let baseline = shape.baseline_config();
+        match feature {
+            1 => Feature::paper_feature1().apply(&baseline),
+            2 => Feature::paper_feature2().apply(&baseline),
+            3 => Feature::paper_feature3().apply(&baseline),
+            _ => baseline,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_solve_is_bit_identical_to_unbatched_reference(
+        scenario in scenario_strategy(),
+        config in config_strategy(),
+    ) {
+        let naive = evaluate_with_profiles(&scenario, &config, &catalog::profile);
+        let kernel = evaluate(&scenario, &config);
+        prop_assert!(
+            perf_bits_equal(&naive, &kernel),
+            "kernel diverged from unbatched solve for {scenario:?}"
+        );
+    }
+
+    #[test]
+    fn load_scaled_kernel_matches_naive_oracle(
+        scenario in scenario_strategy(),
+        config in config_strategy(),
+        load in 0.0f64..2.0,
+    ) {
+        let naive = evaluate_at_load_naive(&scenario, &config, load);
+        let kernel = evaluate_at_load(&scenario, &config, load);
+        prop_assert!(
+            perf_bits_equal(&naive, &kernel),
+            "load-scaled kernel diverged at load={load} for {scenario:?}"
+        );
+    }
+
+    #[test]
+    fn cache_returns_the_direct_solve_bits(
+        scenario in scenario_strategy(),
+        config in config_strategy(),
+    ) {
+        let cache = EvalCache::new();
+        let direct = evaluate(&scenario, &config);
+        // Miss then hit: both lookups must return the direct solve's bits.
+        for _ in 0..2 {
+            let cached = with_scratch(|scratch| cache.evaluate(&scenario, &config, scratch));
+            prop_assert!(
+                perf_bits_equal(&direct, &cached),
+                "cache diverged from direct solve for {scenario:?}"
+            );
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, 1);
+        prop_assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn feature_ab_is_cache_transparent(scenario in scenario_strategy()) {
+        // The A/B shape every replay runs: baseline and feature config of
+        // the same scenario through one shared cache, checked against
+        // fresh solves — feature attribution must be unaffected by reuse.
+        let baseline = MachineShape::default_shape().baseline_config();
+        let cache = EvalCache::new();
+        for feature in [
+            Feature::paper_feature1(),
+            Feature::paper_feature2(),
+            Feature::paper_feature3(),
+        ] {
+            let with = feature.apply(&baseline);
+            for config in [&baseline, &with] {
+                let direct = evaluate(&scenario, config);
+                let cached =
+                    with_scratch(|scratch| cache.evaluate(&scenario, config, scratch));
+                prop_assert!(
+                    perf_bits_equal(&direct, &cached),
+                    "{feature}: cached A/B diverged for {scenario:?}"
+                );
+            }
+        }
+        // Baseline solved once, hit twice more; each feature config missed
+        // once and hit once (feature 3 toggles SMT — a distinct config).
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 4);
+        prop_assert_eq!(stats.hits, 2);
+        prop_assert_eq!(stats.configs, 4);
+    }
+
+    #[test]
+    fn scratch_reuse_carries_no_state_between_solves(
+        first in scenario_strategy(),
+        second in scenario_strategy(),
+        config in config_strategy(),
+    ) {
+        // Solving `first` then `second` on one scratch must equal solving
+        // `second` alone on a fresh scratch — leftover buffer contents and
+        // capacities are invisible in the results.
+        let fresh = with_scratch(|scratch| evaluate_catalog(&second, &config, scratch));
+        let mut scratch = flare_sim::kernel::EvalScratch::new();
+        let _ = evaluate_catalog(&first, &config, &mut scratch);
+        let reused = evaluate_catalog(&second, &config, &mut scratch);
+        prop_assert!(
+            perf_bits_equal(&fresh, &reused),
+            "scratch reuse leaked state from {first:?} into {second:?}"
+        );
+    }
+}

@@ -82,6 +82,12 @@ impl JobName {
         JobName::Mcf,
     ];
 
+    /// Dense index of the job in [`JobName::ALL`] (declaration order), the
+    /// key into flat per-job tables such as `flare_sim`'s `ProfileTable`.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Scheduling priority class of the job.
     pub fn priority(self) -> Priority {
         if Self::HIGH_PRIORITY.contains(&self) {
@@ -204,6 +210,13 @@ mod tests {
             let in_hp = JobName::HIGH_PRIORITY.contains(j);
             let in_lp = JobName::LOW_PRIORITY.contains(j);
             assert!(in_hp ^ in_lp, "{j} must be in exactly one class");
+        }
+    }
+
+    #[test]
+    fn index_is_dense_and_matches_all_order() {
+        for (i, &j) in JobName::ALL.iter().enumerate() {
+            assert_eq!(j.index(), i, "{j}: ALL order must match declaration order");
         }
     }
 

@@ -67,7 +67,7 @@ pub use flare_workloads as workloads;
 
 /// The most common imports, bundled.
 pub mod prelude {
-    pub use flare_core::replayer::{SimTestbed, Testbed};
+    pub use flare_core::replayer::{CachedSimTestbed, SimTestbed, Testbed};
     pub use flare_core::{
         ClusterCountRule, FitReport, Flare, FlareConfig, FlareError, StageOutcome,
     };

@@ -177,6 +177,52 @@ fn full_datacenter_parallel_matches_serial() {
 }
 
 #[test]
+fn evaluation_cache_and_thread_count_are_jointly_result_invariant() {
+    // One CachedSimTestbed shared across every thread count and feature:
+    // the cache accumulates entries run over run (later runs are mostly
+    // hits, and hit/miss interleavings differ per thread count), yet every
+    // configuration must serialize byte-identically to the uncached
+    // serial ground truth. Cache reuse and parallelism are wall-clock
+    // knobs, never result knobs.
+    let (corpus, cfg) = small_corpus();
+    let baseline = &cfg.machine_config;
+    let cached = CachedSimTestbed::new();
+    for feature in Feature::paper_features() {
+        let feature_config = feature.apply(baseline);
+        let uncached_serial = serde_json::to_string(&full_datacenter_impact(
+            &corpus,
+            &SimTestbed,
+            baseline,
+            &feature_config,
+            true,
+        ))
+        .unwrap();
+        for threads in [1, 2, 4, 64] {
+            let with_cache = full_datacenter_impact_parallel(
+                &corpus,
+                &cached,
+                baseline,
+                &feature_config,
+                true,
+                threads,
+            );
+            assert_eq!(
+                uncached_serial,
+                serde_json::to_string(&with_cache).unwrap(),
+                "{feature} threads={threads} diverged through the shared cache"
+            );
+        }
+    }
+    let stats = cached.stats();
+    assert!(stats.hits > 0, "repeat runs must hit the shared cache");
+    assert!(
+        stats.hit_rate() > 0.5,
+        "three repeat runs per feature should be hit-dominated, got {:.3}",
+        stats.hit_rate()
+    );
+}
+
+#[test]
 fn exec_primitive_preserves_order_under_load() {
     let items: Vec<u64> = (0..997).collect();
     let serial = flare::core::exec::par_map_indexed(&items, Some(1), |i, &x| x * 3 + i as u64);
