@@ -46,6 +46,12 @@ pub struct CanaryEstimate {
 ///
 /// The canary inherits every workload parameter from
 /// `production_config` except fleet size, duration, and seed.
+///
+/// Pass one shared [`flare_core::replayer::CachedSimTestbed`] when running
+/// several baselines side by side: its evaluation memo is keyed on
+/// colocation content, so any scenario the canary shares with the
+/// production corpus (or with a sampling/cost run on the same testbed) is
+/// solved once and reused byte-identically everywhere.
 pub fn canary_impact<T: Testbed + Sync>(
     testbed: &T,
     production_config: &CorpusConfig,
@@ -71,7 +77,7 @@ pub fn canary_impact<T: Testbed + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flare_core::replayer::SimTestbed;
+    use flare_core::replayer::{CachedSimTestbed, SimTestbed};
     use flare_sim::feature::Feature;
 
     fn production() -> CorpusConfig {
@@ -141,5 +147,27 @@ mod tests {
             &f1,
         );
         assert!(large.evaluation_cost > small.evaluation_cost);
+    }
+
+    #[test]
+    fn shared_cache_is_byte_identical_and_free_on_repeat() {
+        let prod_cfg = production();
+        let baseline = prod_cfg.machine_config.clone();
+        let f1 = Feature::paper_feature1().apply(&baseline);
+        let canary_cfg = CanaryConfig {
+            machines: 2,
+            days: 1.0,
+            seed: 9,
+        };
+        let truth = canary_impact(&SimTestbed, &prod_cfg, &canary_cfg, &baseline, &f1);
+        let cached = CachedSimTestbed::new();
+        let first = canary_impact(&cached, &prod_cfg, &canary_cfg, &baseline, &f1);
+        assert_eq!(first, truth, "cached canary must match the plain testbed");
+        let before = cached.stats();
+        let second = canary_impact(&cached, &prod_cfg, &canary_cfg, &baseline, &f1);
+        assert_eq!(second, truth);
+        let after = cached.stats();
+        assert_eq!(after.misses, before.misses, "repeat canary re-solved");
+        assert!(after.hits > before.hits, "repeat canary must hit the cache");
     }
 }

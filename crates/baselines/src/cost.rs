@@ -57,6 +57,12 @@ impl CostAccuracyCurve {
 /// Builds the Fig. 13 curve: evaluates sampling at each cost in
 /// `sample_sizes` (each with `trials` trials) and places FLARE's point
 /// from its estimate and replay cost.
+///
+/// The full-datacenter truth and the sampling populations replay the same
+/// `(scenario, config)` pairs, so handing this function a
+/// [`flare_core::replayer::CachedSimTestbed`] makes the sampling pass hit
+/// the truth pass's solves — the curve costs one full-DC sweep instead of
+/// two, and the numbers stay byte-identical to the uncached testbed.
 #[allow(clippy::too_many_arguments)]
 pub fn cost_accuracy_curve<T: Testbed + Sync>(
     corpus: &Corpus,
@@ -105,7 +111,7 @@ pub fn cost_accuracy_curve<T: Testbed + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flare_core::replayer::SimTestbed;
+    use flare_core::replayer::{CachedSimTestbed, SimTestbed};
     use flare_sim::datacenter::CorpusConfig;
     use flare_sim::feature::Feature;
 
@@ -140,5 +146,41 @@ mod tests {
         );
         assert!(curve.full_cost > 80);
         assert!(curve.flare_overhead_reduction() > 1.0);
+    }
+
+    #[test]
+    fn shared_cache_matches_uncached_curve_and_reuses_truth_solves() {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let baseline = cfg.machine_config.clone();
+        let f2 = Feature::paper_feature2().apply(&baseline);
+        let sizes = [5usize, 20];
+        let truth = cost_accuracy_curve(
+            &corpus,
+            &SimTestbed,
+            &baseline,
+            &f2,
+            &sizes,
+            100,
+            11,
+            0.0,
+            18,
+        );
+        let cached = CachedSimTestbed::new();
+        let curve = cost_accuracy_curve(&corpus, &cached, &baseline, &f2, &sizes, 100, 11, 0.0, 18);
+        assert_eq!(curve, truth, "cached curve must match the plain testbed");
+        // The sampling populations replay the exact (scenario, config)
+        // pairs the full-DC truth pass already solved: a single curve build
+        // on a shared cache must produce cross-baseline hits.
+        let stats = cached.stats();
+        assert!(
+            stats.hits > 0,
+            "sampling passes must reuse the full-DC solves (stats: {stats:?})"
+        );
     }
 }

@@ -46,6 +46,11 @@ pub fn load_test_impact<T: Testbed>(
 }
 
 /// Load-tests every HP service (the bar set of Fig. 2).
+///
+/// With a shared [`flare_core::replayer::CachedSimTestbed`], a repeated
+/// sweep (another feature comparison over the same baseline, a report that
+/// re-runs the bar set) reuses every single-service solve instead of
+/// re-simulating it, with byte-identical results.
 pub fn load_test_all_hp<T: Testbed>(
     testbed: &T,
     baseline: &MachineConfig,
@@ -60,7 +65,7 @@ pub fn load_test_all_hp<T: Testbed>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flare_core::replayer::SimTestbed;
+    use flare_core::replayer::{CachedSimTestbed, SimTestbed};
     use flare_sim::feature::Feature;
     use flare_sim::machine::MachineShape;
 
@@ -93,6 +98,24 @@ mod tests {
         for r in &results {
             assert!(r.impact_pct > 0.0, "{}: {}%", r.job, r.impact_pct);
         }
+    }
+
+    #[test]
+    fn shared_cache_reproduces_the_bar_set_bitwise() {
+        let b = baseline();
+        let f2 = Feature::paper_feature2().apply(&b);
+        let truth = load_test_all_hp(&SimTestbed, &b, &f2);
+        let cached = CachedSimTestbed::new();
+        let first = load_test_all_hp(&cached, &b, &f2);
+        assert_eq!(first, truth, "cached bar set must match the plain testbed");
+        let before = cached.stats();
+        let second = load_test_all_hp(&cached, &b, &f2);
+        assert_eq!(second, truth);
+        let after = cached.stats();
+        assert_eq!(after.misses, before.misses, "warm sweep re-solved");
+        // Each job replays twice (baseline + feature); the warm sweep must
+        // serve every one of those solves from the cache.
+        assert_eq!(after.hits, before.hits + 2 * truth.len() as u64);
     }
 
     #[test]

@@ -76,16 +76,28 @@ impl SamplingDistribution {
 }
 
 /// Weighted random index sampler (linear scan; populations are ≤ ~1 000).
-fn sample_index(weights: &[f64], rng: &mut StdRng) -> usize {
+///
+/// Returns `None` when the weights cannot support a draw — an empty slice,
+/// a non-finite total, or no strictly positive mass left. The previous
+/// version fell through to `weights.len() - 1` in those cases, silently
+/// re-drawing an already-exhausted (zero-weight) slot. The degenerate check
+/// happens *before* the RNG draw, so valid inputs consume exactly the same
+/// random stream as before the guard existed.
+fn sample_index(weights: &[f64], rng: &mut StdRng) -> Option<usize> {
     let total: f64 = weights.iter().sum();
+    if !total.is_finite() || total <= 0.0 {
+        return None;
+    }
     let mut target = rng.gen::<f64>() * total;
     for (i, &w) in weights.iter().enumerate() {
         if target < w {
-            return i;
+            return Some(i);
         }
         target -= w;
     }
-    weights.len() - 1
+    // Floating-point residue pushed `target` past every weight: fall back
+    // to the last slot that still has mass (never a zero-weight one).
+    weights.iter().rposition(|&w| w > 0.0)
 }
 
 /// Runs the all-job sampling experiment: each trial draws `n_samples`
@@ -167,12 +179,22 @@ fn run_trials(population: &[(f64, f64)], config: &SamplingConfig) -> Option<Samp
         // Weighted sampling without replacement.
         let mut weights: Vec<f64> = population.iter().map(|&(w, _)| w).collect();
         let mut total_impact = 0.0;
+        let mut drawn = 0usize;
         for _ in 0..n {
-            let idx = sample_index(&weights, &mut rng);
+            // The weight mass can run dry before `n` draws when the
+            // population carries zero or non-finite weights; stop rather
+            // than re-draw an exhausted slot.
+            let Some(idx) = sample_index(&weights, &mut rng) else {
+                break;
+            };
             total_impact += population[idx].1;
             weights[idx] = 0.0;
+            drawn += 1;
         }
-        estimates.push(total_impact / n as f64);
+        if drawn == 0 {
+            return None;
+        }
+        estimates.push(total_impact / drawn as f64);
     }
     let summary = DistributionSummary::from_samples(&estimates).ok()?;
     Some(SamplingDistribution {
@@ -216,7 +238,8 @@ pub fn stratified_sampling_distribution<T: Testbed>(
         }
     }
     let total_w: f64 = buckets.iter().flatten().map(|&(w, _)| w).sum();
-    if total_w <= 0.0 {
+    // `!(x > 0.0)` also rejects a NaN total, which `x <= 0.0` lets through.
+    if !(total_w > 0.0) || !total_w.is_finite() {
         return None;
     }
 
@@ -240,7 +263,9 @@ pub fn stratified_sampling_distribution<T: Testbed>(
                 .min(buckets[b].len());
             let mut weights: Vec<f64> = buckets[b].iter().map(|&(w, _)| w).collect();
             for _ in 0..quota {
-                let idx = sample_index(&weights, &mut rng);
+                let Some(idx) = sample_index(&weights, &mut rng) else {
+                    break;
+                };
                 drawn.push(buckets[b][idx].1);
                 weights[idx] = 0.0;
             }
@@ -418,6 +443,40 @@ mod tests {
         let again =
             stratified_sampling_distribution(&corpus, &SimTestbed, &baseline, &f3, &cfg).unwrap();
         assert_eq!(strat.estimates, again.estimates);
+    }
+
+    #[test]
+    fn sample_index_guards_degenerate_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_index(&[], &mut rng), None);
+        assert_eq!(sample_index(&[0.0, 0.0, 0.0], &mut rng), None);
+        assert_eq!(sample_index(&[f64::NAN, 1.0], &mut rng), None);
+        assert_eq!(sample_index(&[f64::INFINITY, 1.0], &mut rng), None);
+        assert_eq!(sample_index(&[1.0, f64::NEG_INFINITY], &mut rng), None);
+        // A valid draw still lands on a slot with mass, never a zeroed one.
+        for _ in 0..32 {
+            let idx = sample_index(&[0.0, 2.0, 0.0, 3.0], &mut rng).unwrap();
+            assert!(idx == 1 || idx == 3, "drew zero-weight slot {idx}");
+        }
+        // Degenerate calls must not consume randomness: after rejecting an
+        // all-zero slice, the stream matches a fresh RNG that never saw it.
+        let mut guarded = StdRng::seed_from_u64(7);
+        let mut fresh = StdRng::seed_from_u64(7);
+        assert_eq!(sample_index(&[0.0; 4], &mut guarded), None);
+        assert_eq!(
+            sample_index(&[1.0, 2.0, 3.0], &mut guarded),
+            sample_index(&[1.0, 2.0, 3.0], &mut fresh)
+        );
+    }
+
+    #[test]
+    fn all_zero_weight_population_yields_no_distribution() {
+        // Regression: this used to "sample" the last index every draw and
+        // return a distribution built from duplicate picks.
+        let population = vec![(0.0, 1.0), (0.0, 2.0), (0.0, 3.0)];
+        assert!(run_trials(&population, &quick_config()).is_none());
+        let nan_population = vec![(f64::NAN, 1.0), (1.0, 2.0)];
+        assert!(run_trials(&nan_population, &quick_config()).is_none());
     }
 
     #[test]

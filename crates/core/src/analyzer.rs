@@ -5,7 +5,10 @@
 //!
 //! 1. refinement — prune highly correlated raw metrics (§4.2);
 //! 2. high-level metric construction — z-score + PCA, keep enough PCs for
-//!    the variance target (§4.3, Fig. 7);
+//!    the variance target (§4.3, Fig. 7). The PCA eigendecomposition runs
+//!    on `flare_linalg`'s tridiagonal implicit-QL kernel, with the cyclic
+//!    Jacobi solver kept as its differential oracle (see
+//!    `flare_linalg::kernel`);
 //! 3. representative extraction — whiten the kept PCs, K-means cluster,
 //!    and pick each group's nearest-to-centroid scenario (§4.4, Fig. 9/10).
 

@@ -226,11 +226,16 @@ impl Testbed for SimTestbed {
 
 /// A [`SimTestbed`] with a content-addressed evaluation memo
 /// ([`flare_sim::kernel::EvalCache`]): repeated (colocation multiset,
-/// machine config) runs return the stored evaluation instead of
+/// machine config, load) runs return the stored evaluation instead of
 /// re-solving. Because [`Testbed::run`] is pure, the cached measurement is
 /// byte-identical to [`SimTestbed`]'s — the cache is a wall-clock knob
 /// only. Thread-safe: share one instance by reference across replay
-/// workers so both sides of every A/B reuse each other's baseline runs.
+/// workers so both sides of every A/B reuse each other's baseline runs —
+/// and across *baselines*: the canary, sampling, load-test, and cost
+/// experiments (plus the CLI's `evaluate`/`report` subcommands) all replay
+/// overlapping `(scenario, config)` pairs, so one shared instance turns
+/// their duplicate solves into cache hits without changing a single bit of
+/// any estimate.
 #[derive(Debug, Default)]
 pub struct CachedSimTestbed {
     cache: EvalCache,

@@ -1,9 +1,14 @@
-//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//! Symmetric eigendecomposition entry points.
 //!
 //! PCA only ever needs the eigendecomposition of a covariance matrix, which
-//! is symmetric positive semi-definite. The cyclic Jacobi algorithm is
-//! simple, numerically robust for this class, and converges quadratically —
-//! ideal for the ~100×100 covariance matrices FLARE produces.
+//! is symmetric positive semi-definite. [`symmetric_eigen`] routes through
+//! the tridiagonalize-then-implicit-QL kernel in [`crate::kernel`]; the
+//! cyclic Jacobi implementation it replaced stays in-tree as
+//! [`symmetric_eigen_naive`], the differential oracle the kernel is pinned
+//! against (see the exactness contract in the kernel module docs). Jacobi is
+//! simple and numerically robust for this class — ideal as a reference — but
+//! needs ~an order of magnitude more flops at the ~100×100 covariance sizes
+//! FLARE produces.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
@@ -46,17 +51,53 @@ impl EigenDecomposition {
 /// finish in < 15 sweeps even at n = 500.
 const MAX_SWEEPS: usize = 64;
 
-/// Computes all eigenvalues and eigenvectors of a symmetric matrix using
-/// cyclic Jacobi rotations.
+/// Validates a symmetric-eigendecomposition input and returns its order.
+///
+/// Shared by every symmetric-eigen entry point so the validation order is
+/// uniform: square → non-empty → finite → symmetric. In particular a 0×0
+/// matrix always reports [`LinalgError::Empty`] (historically
+/// `symmetric_eigen` tested symmetry first and `symmetric_eigen_top_k`
+/// tested emptiness first).
+pub(crate) fn validate_symmetric_input(a: &Matrix, context: &str) -> Result<usize> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "{context}: matrix is {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty(format!("{context} of 0x0 matrix")));
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite(format!("{context} input")));
+    }
+    let sym_tol = 1e-8 * a.max_abs().max(1.0);
+    if !a.is_symmetric(sym_tol) {
+        return Err(LinalgError::InvalidParameter(format!(
+            "{context} requires a symmetric matrix"
+        )));
+    }
+    Ok(n)
+}
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix.
+///
+/// Routes through the tridiagonalize + implicit-QL kernel
+/// ([`crate::kernel::symmetric_eigen_tridiagonal`]); the cyclic Jacobi
+/// reference it replaced is available as [`symmetric_eigen_naive`] and the
+/// two agree to the tolerance documented in [`crate::kernel`].
 ///
 /// # Errors
 ///
 /// - [`LinalgError::DimensionMismatch`] if `a` is not square.
+/// - [`LinalgError::Empty`] if `a` is 0×0.
 /// - [`LinalgError::NonFinite`] if `a` contains NaN/∞.
 /// - [`LinalgError::InvalidParameter`] if `a` is not symmetric
 ///   (tolerance `1e-8 * max_abs`).
-/// - [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
-///   within the sweep budget (practically unreachable for symmetric input).
+/// - [`LinalgError::NoConvergence`] if an eigenvalue fails to settle within
+///   the iteration budget (practically unreachable for symmetric input).
 ///
 /// # Examples
 ///
@@ -69,26 +110,23 @@ const MAX_SWEEPS: usize = 64;
 /// assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
 /// ```
 pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition> {
-    let n = a.nrows();
-    if a.ncols() != n {
-        return Err(LinalgError::DimensionMismatch(format!(
-            "symmetric_eigen: matrix is {}x{}",
-            a.nrows(),
-            a.ncols()
-        )));
-    }
-    if !a.is_finite() {
-        return Err(LinalgError::NonFinite("symmetric_eigen input".into()));
-    }
-    let sym_tol = 1e-8 * a.max_abs().max(1.0);
-    if !a.is_symmetric(sym_tol) {
-        return Err(LinalgError::InvalidParameter(
-            "symmetric_eigen requires a symmetric matrix".into(),
-        ));
-    }
-    if n == 0 {
-        return Err(LinalgError::Empty("symmetric_eigen of 0x0 matrix".into()));
-    }
+    crate::kernel::symmetric_eigen_tridiagonal(a)
+}
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix using
+/// cyclic Jacobi rotations — the differential oracle for the kernel path.
+///
+/// This is the original `symmetric_eigen` implementation, kept in-tree so
+/// the differential tests and the `abl16_eigen_kernels` bench can pin the
+/// fast path against it (the same pattern the k-means and evaluation kernel
+/// layers use). Production code should call [`symmetric_eigen`].
+///
+/// # Errors
+///
+/// Same conditions as [`symmetric_eigen`]; non-convergence reports the
+/// Jacobi sweep budget.
+pub fn symmetric_eigen_naive(a: &Matrix) -> Result<EigenDecomposition> {
+    let n = validate_symmetric_input(a, "symmetric_eigen")?;
 
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
@@ -154,30 +192,11 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition> {
 /// - [`LinalgError::InvalidParameter`] if `k == 0` or `k > n`.
 /// - [`LinalgError::NoConvergence`] if an eigenpair fails to settle.
 pub fn symmetric_eigen_top_k(a: &Matrix, k: usize) -> Result<EigenDecomposition> {
-    let n = a.nrows();
-    if a.ncols() != n {
-        return Err(LinalgError::DimensionMismatch(format!(
-            "symmetric_eigen_top_k: matrix is {}x{}",
-            a.nrows(),
-            a.ncols()
-        )));
-    }
-    if n == 0 {
-        return Err(LinalgError::Empty("symmetric_eigen_top_k of 0x0".into()));
-    }
+    let n = validate_symmetric_input(a, "symmetric_eigen_top_k")?;
     if k == 0 || k > n {
         return Err(LinalgError::InvalidParameter(format!(
             "cannot extract {k} of {n} eigenpairs"
         )));
-    }
-    if !a.is_finite() {
-        return Err(LinalgError::NonFinite("symmetric_eigen_top_k input".into()));
-    }
-    let sym_tol = 1e-8 * a.max_abs().max(1.0);
-    if !a.is_symmetric(sym_tol) {
-        return Err(LinalgError::InvalidParameter(
-            "symmetric_eigen_top_k requires a symmetric matrix".into(),
-        ));
     }
 
     const MAX_ITERS: usize = 10_000;
@@ -313,11 +332,20 @@ fn rotate_eigenvectors(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
 
 /// Sorts eigenpairs by descending eigenvalue and fixes sign conventions
 /// (largest-magnitude component of each eigenvector is positive) so results
-/// are deterministic across runs.
+/// are deterministic across runs. `m` holds the converged (near-diagonal)
+/// matrix, `v` the accumulated rotations.
 fn finalize(m: Matrix, v: Matrix) -> EigenDecomposition {
-    let n = m.nrows();
+    let raw: Vec<f64> = (0..m.nrows()).map(|i| m[(i, i)]).collect();
+    finalize_pairs(raw, v)
+}
+
+/// Shared eigenpair post-processing: descending sort plus the
+/// sign-canonicalization above. Both the Jacobi oracle and the tridiagonal
+/// kernel finish through this helper, so the two paths emit identical
+/// ordering and sign conventions by construction.
+pub(crate) fn finalize_pairs(raw: Vec<f64>, v: Matrix) -> EigenDecomposition {
+    let n = raw.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    let raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
     idx.sort_by(|&a, &b| raw[b].partial_cmp(&raw[a]).expect("finite eigenvalues"));
 
     let eigenvalues: Vec<f64> = idx.iter().map(|&i| raw[i]).collect();
@@ -524,5 +552,36 @@ mod tests {
         let e = symmetric_eigen(&a).unwrap();
         assert_eq!(e.eigenvalues, vec![7.0]);
         assert_eq!(e.eigenvector(0), vec![1.0]);
+    }
+
+    #[test]
+    fn zero_by_zero_reports_empty_from_every_entry_point() {
+        // All entry points share `validate_symmetric_input`, so a 0×0
+        // matrix uniformly reports Empty (it used to fall through to the
+        // symmetry test in `symmetric_eigen`).
+        let z = Matrix::zeros(0, 0);
+        assert!(matches!(symmetric_eigen(&z), Err(LinalgError::Empty(_))));
+        assert!(matches!(
+            symmetric_eigen_naive(&z),
+            Err(LinalgError::Empty(_))
+        ));
+        assert!(matches!(
+            symmetric_eigen_top_k(&z, 1),
+            Err(LinalgError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn naive_oracle_validates_and_solves_like_the_kernel_path() {
+        assert!(symmetric_eigen_naive(&Matrix::zeros(2, 3)).is_err());
+        let nan = Matrix::from_rows(&[vec![f64::NAN, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            symmetric_eigen_naive(&nan),
+            Err(LinalgError::NonFinite(_))
+        ));
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen_naive(&a).unwrap();
+        assert_close(e.eigenvalues[0], 3.0, 1e-10);
+        assert_close(e.eigenvalues[1], 1.0, 1e-10);
     }
 }

@@ -68,15 +68,20 @@ mod tests {
     }
 
     #[test]
-    fn display_no_convergence() {
-        let e = LinalgError::NoConvergence {
-            algorithm: "jacobi",
-            iterations: 100,
-        };
-        assert_eq!(
-            e.to_string(),
-            "jacobi did not converge after 100 iterations"
-        );
+    fn display_no_convergence_renders_iterations_field() {
+        // The message must reflect whatever budget the failing algorithm
+        // actually used (symmetric_eigen's 64 sweeps, QL's 30 iterations,
+        // power iteration's 10_000) — never a hardcoded literal.
+        for iterations in [64usize, 30, 10_000] {
+            let e = LinalgError::NoConvergence {
+                algorithm: "jacobi",
+                iterations,
+            };
+            assert_eq!(
+                e.to_string(),
+                format!("jacobi did not converge after {iterations} iterations")
+            );
+        }
     }
 
     #[test]

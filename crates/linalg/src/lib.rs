@@ -1,9 +1,11 @@
 //! # flare-linalg
 //!
 //! Dense linear-algebra and statistics substrate for the FLARE
-//! reproduction: matrices, symmetric eigendecomposition (cyclic Jacobi),
-//! PCA with whitening, and the descriptive statistics the pipeline needs
-//! (z-scores, Pearson correlation, quantiles, distribution summaries).
+//! reproduction: matrices, symmetric eigendecomposition (a tridiagonal
+//! implicit-QL kernel with the cyclic Jacobi reference kept as its
+//! differential oracle — see [`kernel`]), PCA with whitening, and the
+//! descriptive statistics the pipeline needs (z-scores, Pearson
+//! correlation, quantiles, distribution summaries).
 //!
 //! Everything is implemented from scratch on `Vec<f64>` — the FLARE data
 //! sizes (hundreds of scenarios × ~100 metrics) do not justify an external
@@ -30,6 +32,7 @@
 
 pub mod eigen;
 mod error;
+pub mod kernel;
 mod matrix;
 pub mod pca;
 pub mod stats;

@@ -6,6 +6,11 @@
 //! non-linear techniques precisely because the principal components are
 //! *linear combinations of named raw metrics* and can therefore be labeled
 //! ("CPU-intensive + frontend-bandwidth-bound + ALU-heavy", Fig. 8).
+//!
+//! Both [`Pca::fit`] and [`Pca::fit_with`] route the covariance
+//! eigendecomposition through [`symmetric_eigen`] and therefore through the
+//! tridiagonal QL kernel in [`crate::kernel`], whose tolerance contract
+//! against the Jacobi oracle is documented there.
 
 use crate::eigen::symmetric_eigen;
 use crate::error::{LinalgError, Result};

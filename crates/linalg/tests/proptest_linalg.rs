@@ -1,6 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use flare_linalg::eigen::symmetric_eigen;
+use flare_linalg::eigen::{symmetric_eigen, symmetric_eigen_naive};
+use flare_linalg::kernel::{eigenvalues_agree, symmetric_eigen_tridiagonal};
 use flare_linalg::pca::{covariance, Pca};
 use flare_linalg::stats::{self, zscore_columns};
 use flare_linalg::Matrix;
@@ -139,6 +140,118 @@ proptest! {
         let q2 = stats::quantile(&xs, 0.5).unwrap();
         let q3 = stats::quantile(&xs, 0.75).unwrap();
         prop_assert!(q1 <= q2 && q2 <= q3);
+    }
+}
+
+/// Strategy: a symmetric matrix with a degenerate spectrum — `c·I + v·vᵀ`
+/// has eigenvalue `c` with multiplicity `n − 1` plus `c + ‖v‖²`.
+fn degenerate_spectrum_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    (prop::collection::vec(-3.0f64..3.0, n..=n), -5.0f64..5.0).prop_map(move |(v, c)| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = v[i] * v[j];
+            }
+            m[(i, i)] += c;
+        }
+        m
+    })
+}
+
+/// For each eigenvector column, the first entry attaining the maximum
+/// absolute value must be non-negative — the canonicalization
+/// `finalize_pairs` applies, which both solver paths share.
+fn sign_canonical(vectors: &Matrix) -> bool {
+    (0..vectors.ncols()).all(|j| {
+        let col = vectors.col(j);
+        let lead = col
+            .iter()
+            .fold((0.0f64, 0.0f64), |(best, lead), &x| {
+                if x.abs() > best {
+                    (x.abs(), x)
+                } else {
+                    (best, lead)
+                }
+            })
+            .1;
+        lead >= 0.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential contract of the tridiagonal implicit-QL kernel against
+    /// the cyclic Jacobi oracle: eigenvalues agree to the documented
+    /// tolerance ([`flare_linalg::kernel::ORACLE_EIGENVALUE_RTOL`]), both
+    /// spectra descend, both eigenvector sets reconstruct the input, and
+    /// both carry the shared sign canonicalization.
+    #[test]
+    fn kernel_matches_jacobi_oracle(m in symmetric_matrix(6)) {
+        let kernel = symmetric_eigen_tridiagonal(&m).unwrap();
+        let oracle = symmetric_eigen_naive(&m).unwrap();
+        prop_assert!(
+            eigenvalues_agree(&kernel.eigenvalues, &oracle.eigenvalues),
+            "kernel {:?} vs oracle {:?}",
+            kernel.eigenvalues,
+            oracle.eigenvalues
+        );
+        for e in [&kernel, &oracle] {
+            for w in e.eigenvalues.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-9, "spectrum not descending");
+            }
+            let mut lambda = Matrix::zeros(6, 6);
+            for i in 0..6 {
+                lambda[(i, i)] = e.eigenvalues[i];
+            }
+            let recon = e
+                .eigenvectors
+                .matmul(&lambda)
+                .unwrap()
+                .matmul(&e.eigenvectors.transpose())
+                .unwrap();
+            let err = recon.sub(&m).unwrap().frobenius_norm();
+            let scale = m.frobenius_norm().max(1.0);
+            prop_assert!(err / scale < 1e-8, "relative reconstruction error {}", err / scale);
+            prop_assert!(sign_canonical(&e.eigenvectors));
+        }
+    }
+
+    /// The same contract on degenerate (repeated-eigenvalue) spectra,
+    /// where subspace rotations make eigenvector comparison meaningless
+    /// but eigenvalues and reconstruction must still line up.
+    #[test]
+    fn kernel_matches_oracle_on_degenerate_spectra(m in degenerate_spectrum_matrix(5)) {
+        let kernel = symmetric_eigen_tridiagonal(&m).unwrap();
+        let oracle = symmetric_eigen_naive(&m).unwrap();
+        prop_assert!(
+            eigenvalues_agree(&kernel.eigenvalues, &oracle.eigenvalues),
+            "kernel {:?} vs oracle {:?}",
+            kernel.eigenvalues,
+            oracle.eigenvalues
+        );
+        let mut lambda = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            lambda[(i, i)] = kernel.eigenvalues[i];
+        }
+        let recon = kernel
+            .eigenvectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&kernel.eigenvectors.transpose())
+            .unwrap();
+        let err = recon.sub(&m).unwrap().frobenius_norm();
+        prop_assert!(err / m.frobenius_norm().max(1.0) < 1e-8);
+    }
+
+    /// The public `symmetric_eigen` entry point IS the kernel path — the
+    /// routing must stay bit-exact.
+    #[test]
+    fn public_entry_point_routes_through_the_kernel(m in symmetric_matrix(4)) {
+        let routed = symmetric_eigen(&m).unwrap();
+        let direct = symmetric_eigen_tridiagonal(&m).unwrap();
+        prop_assert_eq!(routed.eigenvalues, direct.eigenvalues);
+        prop_assert_eq!(routed.eigenvectors, direct.eigenvectors);
     }
 }
 

@@ -18,10 +18,14 @@
 //!   per *distinct job* rather than per instance, so a steady-state solve
 //!   allocates only its output `MachinePerf`.
 //! - [`EvalCache`] — a content-addressed memo keyed by the canonical
-//!   colocation-multiset key and an exact `MachineConfig` identity: since
-//!   evaluation is a pure function of `(scenario, config)`, a stored
-//!   [`MachinePerf`] is byte-identical to recomputing it. Hit/miss
-//!   counters surface in diagnostics ([`EvalCache::stats`]).
+//!   colocation-multiset key, an exact `MachineConfig` identity, and the
+//!   bit pattern of the (clamped) momentary load factor: since evaluation
+//!   is a pure function of `(scenario, config, load)`, a stored
+//!   [`MachinePerf`] is byte-identical to recomputing it. The plain
+//!   [`EvalCache::evaluate`] path is the load-1.0 slice of the key space,
+//!   so steady-state solves and the Profiler's diurnal phase solves ride
+//!   one cache. Hit/miss counters surface in diagnostics
+//!   ([`EvalCache::stats`]).
 //!
 //! # Exactness
 //!
@@ -436,20 +440,24 @@ impl CacheStats {
 }
 
 /// A content-addressed evaluation cache: `(scenario multiset, machine
-/// config) → MachinePerf`.
+/// config, load-bits) → MachinePerf`.
 ///
 /// Configs are interned exactly — an FNV-1a fingerprint pre-filters, then
 /// full `PartialEq` confirms before a config id is reused, so two configs
 /// share an id only when they are equal field-for-field (`f64`s compared
 /// by value; a fingerprint collision can never alias distinct configs).
-/// Because evaluation is pure, a stored result is byte-identical to
+/// The load factor is keyed by the bit pattern of its *clamped* value
+/// (`[0.1, 1.5]`, the solver's domain), so loads that solve identically
+/// share an entry and distinct loads can never collide; the steady-state
+/// [`EvalCache::evaluate`] path is exactly the load-1.0 slice of the key
+/// space. Because evaluation is pure, a stored result is byte-identical to
 /// recomputing it; concurrent racers that solve the same key keep the
 /// first stored value, which is the same value by purity. Thread-safe and
 /// shareable by reference across workers.
 #[derive(Debug, Default)]
 pub struct EvalCache {
     configs: RwLock<Vec<(u64, MachineConfig)>>,
-    entries: RwLock<HashMap<(usize, ScenarioKey), Arc<MachinePerf>>>,
+    entries: RwLock<HashMap<(usize, ScenarioKey, u64), Arc<MachinePerf>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -462,20 +470,46 @@ impl EvalCache {
 
     /// Evaluates `scenario` on `config` with the catalog's profiles,
     /// returning the stored result when the same (multiset, config) pair
-    /// was evaluated before.
+    /// was evaluated before. Equivalent to [`EvalCache::evaluate_at_load`]
+    /// at load 1.0 and shares its cache entries.
     pub fn evaluate(
         &self,
         scenario: &Scenario,
         config: &MachineConfig,
         scratch: &mut EvalScratch,
     ) -> Arc<MachinePerf> {
-        let key = (self.config_id(config), ScenarioKey::of(scenario));
+        self.evaluate_at_load(scenario, config, 1.0, scratch)
+    }
+
+    /// Evaluates `scenario` on `config` at a momentary `load` factor,
+    /// returning the stored result when the same (multiset, config, load)
+    /// triple was solved before — the cache path behind the Profiler's
+    /// diurnal phase solves.
+    ///
+    /// The load is clamped to the solver's `[0.1, 1.5]` domain *before*
+    /// keying, so out-of-range loads share the entry of the boundary value
+    /// they solve as, and a load of exactly 1.0 shares the steady-state
+    /// [`EvalCache::evaluate`] entries. Bit-identical to
+    /// [`evaluate_at_load_scratch`] by purity.
+    pub fn evaluate_at_load(
+        &self,
+        scenario: &Scenario,
+        config: &MachineConfig,
+        load: f64,
+        scratch: &mut EvalScratch,
+    ) -> Arc<MachinePerf> {
+        let load = load.clamp(0.1, 1.5);
+        let key = (
+            self.config_id(config),
+            ScenarioKey::of(scenario),
+            load.to_bits(),
+        );
         if let Some(perf) = self.entries.read().expect("eval cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(perf);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let perf = Arc::new(evaluate_catalog(scenario, config, scratch));
+        let perf = Arc::new(evaluate_at_load_scratch(scenario, config, load, scratch));
         Arc::clone(
             self.entries
                 .write()
@@ -697,6 +731,65 @@ mod tests {
         assert_eq!(stats.configs, 1);
         assert_eq!(stats.entries, 1);
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_mix_config_load_triples_never_collide() {
+        // Every (mix, config, load) triple must get its own entry: a full
+        // cold pass is all misses, a full warm pass is all hits, and the
+        // entry count is exactly the number of distinct triples.
+        let cache = EvalCache::new();
+        let mut scratch = EvalScratch::new();
+        let mixes: Vec<Scenario> = mixes().into_iter().take(3).collect();
+        let configs: Vec<MachineConfig> = configs().into_iter().take(3).collect();
+        let loads = [0.5, 0.75, 1.0, 1.25];
+        for scenario in &mixes {
+            for config in &configs {
+                for &load in &loads {
+                    let cached = cache.evaluate_at_load(scenario, config, load, &mut scratch);
+                    let direct = evaluate_at_load_scratch(scenario, config, load, &mut scratch);
+                    assert!(
+                        perf_bits_equal(&cached, &direct),
+                        "cold solve diverged at load {load} for {scenario:?}"
+                    );
+                }
+            }
+        }
+        let expected = (mixes.len() * configs.len() * loads.len()) as u64;
+        let cold = cache.stats();
+        assert_eq!(cold.misses, expected);
+        assert_eq!(cold.hits, 0);
+        assert_eq!(cold.entries, expected as usize);
+        for scenario in &mixes {
+            for config in &configs {
+                for &load in &loads {
+                    let warm = cache.evaluate_at_load(scenario, config, load, &mut scratch);
+                    let direct = evaluate_at_load_scratch(scenario, config, load, &mut scratch);
+                    assert!(perf_bits_equal(&warm, &direct));
+                }
+            }
+        }
+        let warm = cache.stats();
+        assert_eq!(warm.misses, expected);
+        assert_eq!(warm.hits, expected);
+        assert_eq!(warm.entries, expected as usize);
+    }
+
+    #[test]
+    fn at_load_cache_clamps_before_keying() {
+        let cache = EvalCache::new();
+        let mut scratch = EvalScratch::new();
+        let b = base();
+        let s = Scenario::from_counts([(JobName::WebSearch, 4)]);
+        // 2.0 clamps to 1.5, so the explicit 1.5 lookup must hit...
+        cache.evaluate_at_load(&s, &b, 2.0, &mut scratch);
+        cache.evaluate_at_load(&s, &b, 1.5, &mut scratch);
+        // ...and an exact-1.0 phase solve shares the steady-state entry.
+        cache.evaluate_at_load(&s, &b, 1.0, &mut scratch);
+        cache.evaluate(&s, &b, &mut scratch);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+        assert_eq!(stats.entries, 2);
     }
 
     #[test]

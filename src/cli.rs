@@ -15,6 +15,7 @@
 //! the subcommand.
 
 use flare_core::interpret::interpret_pcs;
+use flare_core::replayer::CachedSimTestbed;
 use flare_core::{ClusterCountRule, Flare, FlareConfig};
 use flare_sim::datacenter::{Corpus, CorpusConfig};
 use flare_sim::feature::Feature;
@@ -311,11 +312,14 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
         }
         "report" => {
             let flare = load_or_fit(inv)?;
+            // One evaluation cache per invocation: the feature run reuses
+            // the baseline solves of any earlier run, byte-identically.
+            let testbed = CachedSimTestbed::new();
             let mut evaluations = Vec::new();
             if let Some(spec) = inv.options.get("feature") {
                 let feature = parse_feature(spec)?;
                 let estimate = flare
-                    .evaluate(&feature)
+                    .evaluate_on(&testbed, &feature)
                     .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
                 evaluations.push((feature, estimate));
             }
@@ -333,8 +337,14 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
         "evaluate" => {
             let feature = parse_feature(inv.required("feature")?)?;
             let flare = load_or_fit(inv)?;
+            // One shared evaluation cache for the whole invocation: the
+            // per-job follow-up replays the same representatives, so its
+            // baseline (and often feature) solves hit the entries the
+            // all-job pass already paid for. Estimates stay byte-identical
+            // to the uncached testbed.
+            let testbed = CachedSimTestbed::new();
             let estimate = flare
-                .evaluate(&feature)
+                .evaluate_on(&testbed, &feature)
                 .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
             writeln!(
                 out,
@@ -349,7 +359,7 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
                     .parse()
                     .map_err(|_| CliError(format!("unknown job `{job_spec}`")))?;
                 let per_job = flare
-                    .evaluate_job(job, &feature)
+                    .evaluate_job_on(&testbed, job, &feature)
                     .map_err(|e| CliError(format!("per-job evaluation failed: {e}")))?;
                 writeln!(out, "  {job}: {:.2}%", per_job.impact_pct).map_err(w)?;
             }

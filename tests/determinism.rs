@@ -2,7 +2,11 @@
 //! thread-count setting must produce *byte-identical* pipeline output.
 //! Parallelism in FLARE is a wall-clock knob, never a result knob.
 
+use flare::baselines::canary::{canary_impact, CanaryConfig};
+use flare::baselines::cost::cost_accuracy_curve;
 use flare::baselines::fulldc::{full_datacenter_impact, full_datacenter_impact_parallel};
+use flare::baselines::loadtest::load_test_all_hp;
+use flare::baselines::sampling::{sampling_distribution, SamplingConfig};
 use flare::cluster::kmeans::{kmeans, KMeansConfig};
 use flare::cluster::sweep::sweep_kmeans;
 use flare::linalg::Matrix;
@@ -220,6 +224,103 @@ fn evaluation_cache_and_thread_count_are_jointly_result_invariant() {
         "three repeat runs per feature should be hit-dominated, got {:.3}",
         stats.hit_rate()
     );
+}
+
+#[test]
+fn one_shared_cache_serves_every_baseline_byte_identically() {
+    // The cache-reach contract: canary, sampling, load-test, and cost
+    // baselines all route through ONE CachedSimTestbed. Every estimate
+    // must serialize byte-identically to its uncached SimTestbed ground
+    // truth, and because the experiments replay overlapping
+    // (scenario, config) pairs, the shared cache must record
+    // cross-baseline hits.
+    let (corpus, cfg) = small_corpus();
+    let baseline = &cfg.machine_config;
+    let feature_config = Feature::paper_feature2().apply(baseline);
+    let cached = CachedSimTestbed::new();
+
+    let canary_cfg = CanaryConfig {
+        machines: 2,
+        days: 1.0,
+        seed: 13,
+    };
+    let canary_truth = canary_impact(&SimTestbed, &cfg, &canary_cfg, baseline, &feature_config);
+    let canary_cached = canary_impact(&cached, &cfg, &canary_cfg, baseline, &feature_config);
+    assert_eq!(
+        serde_json::to_string(&canary_truth).unwrap(),
+        serde_json::to_string(&canary_cached).unwrap(),
+        "canary diverged through the shared cache"
+    );
+
+    let sampling_cfg = SamplingConfig {
+        n_samples: 10,
+        trials: 100,
+        ..SamplingConfig::default()
+    };
+    let dist_truth = sampling_distribution(
+        &corpus,
+        &SimTestbed,
+        baseline,
+        &feature_config,
+        &sampling_cfg,
+    )
+    .expect("sampling truth");
+    let dist_cached =
+        sampling_distribution(&corpus, &cached, baseline, &feature_config, &sampling_cfg)
+            .expect("sampling cached");
+    assert!(
+        dist_truth
+            .estimates
+            .iter()
+            .zip(&dist_cached.estimates)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "sampling estimates diverged through the shared cache"
+    );
+
+    let bars_truth = load_test_all_hp(&SimTestbed, baseline, &feature_config);
+    let bars_cached = load_test_all_hp(&cached, baseline, &feature_config);
+    assert_eq!(
+        serde_json::to_string(&bars_truth).unwrap(),
+        serde_json::to_string(&bars_cached).unwrap(),
+        "load-test bar set diverged through the shared cache"
+    );
+
+    let sizes = [5usize, 20];
+    let curve_truth = cost_accuracy_curve(
+        &corpus,
+        &SimTestbed,
+        baseline,
+        &feature_config,
+        &sizes,
+        100,
+        3,
+        0.0,
+        18,
+    );
+    let curve_cached = cost_accuracy_curve(
+        &corpus,
+        &cached,
+        baseline,
+        &feature_config,
+        &sizes,
+        100,
+        3,
+        0.0,
+        18,
+    );
+    assert_eq!(
+        serde_json::to_string(&curve_truth).unwrap(),
+        serde_json::to_string(&curve_cached).unwrap(),
+        "cost/accuracy curve diverged through the shared cache"
+    );
+
+    let stats = cached.stats();
+    assert!(
+        stats.hits > 0,
+        "baselines replay overlapping scenarios; the shared cache must \
+         record cross-baseline hits (stats: {stats:?})"
+    );
+    assert!(stats.misses > 0 && stats.entries > 0);
 }
 
 #[test]
