@@ -54,6 +54,7 @@ mod pipeline;
 pub mod replayer;
 pub mod report;
 pub mod stages;
+pub mod stream;
 
 pub use config::{
     ClusterCountRule, ClusterMethod, ClusterStageConfig, FeaturizeConfig, FlareConfig,
@@ -62,6 +63,9 @@ pub use config::{
 pub use error::{FlareError, Result};
 pub use pipeline::{Flare, FlareSnapshot, SNAPSHOT_VERSION};
 pub use stages::{FitReport, StageFingerprints, StageOutcome};
+pub use stream::{
+    BatchDisposition, BatchOutcome, DriftReport, StreamConfig, StreamCursor, StreamSession,
+};
 
 /// Deterministic order-preserving parallel fan-out primitives shared by
 /// the profiling, clustering, and evaluation stages.

@@ -218,9 +218,35 @@ impl Flare {
         }
         let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &self.config);
         let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
-        let mut report = FitReport::full_fit(0);
-        report.profile = StageOutcome::Extended;
-        report.scenarios_profiled = profiled;
+        let report = FitReport::extended(profiled, &self.report);
+        Ok(Flare {
+            corpus,
+            database,
+            analyzer,
+            config: self.config.clone(),
+            baseline: self.baseline.clone(),
+            repaired,
+            report,
+        })
+    }
+
+    /// Re-fits over a corpus/database pair this model's streaming session
+    /// has grown out-of-band (profiling each batch delta itself), running
+    /// the same shared stage functions as [`Flare::fit`] so the result is
+    /// byte-identical to a one-shot fit over the same corpus. `report`
+    /// carries the session's cumulative ingest accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analyzer errors (insufficient data, invalid config).
+    pub(crate) fn refit_grown(
+        &self,
+        corpus: Corpus,
+        database: MetricDatabase,
+        report: FitReport,
+    ) -> Result<Flare> {
+        let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &self.config);
+        let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
         Ok(Flare {
             corpus,
             database,

@@ -158,7 +158,9 @@ impl RetryPolicy {
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
-        exp + x % (exp / 2 + 1)
+        // Saturating: with a huge base the exponential term pins at
+        // u64::MAX and the jitter add must not wrap past it.
+        exp.saturating_add(x % (exp / 2 + 1))
     }
 }
 
@@ -738,6 +740,50 @@ mod tests {
             assert!(ms >= exp && ms <= exp + exp / 2, "attempt {attempt}: {ms}");
         }
         assert_ne!(p.backoff_ms(55, 1), p.backoff_ms(56, 1)); // jitter keyed by scenario
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing_at_extremes() {
+        // A pathological base pins the exponential term at u64::MAX; the
+        // jitter add must saturate there rather than wrap.
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            backoff_base_ms: u64::MAX,
+            seed: 3,
+        };
+        for attempt in [0, 1, 16, 17, 1_000_000, u32::MAX] {
+            assert_eq!(p.backoff_ms(7, attempt), u64::MAX, "attempt {attempt}");
+        }
+        // A base just under the saturation edge: exp + exp/2 can exceed
+        // u64::MAX, so the sum must clamp, never panic or wrap.
+        let p = RetryPolicy {
+            max_retries: 20,
+            backoff_base_ms: u64::MAX / (1 << 16) + 1,
+            seed: 11,
+        };
+        let ms = p.backoff_ms(42, u32::MAX);
+        assert_eq!(ms, u64::MAX);
+    }
+
+    #[test]
+    fn backoff_attempt_cap_freezes_exponent_but_keeps_jitter_determinism() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            backoff_base_ms: 10,
+            seed: 9,
+        };
+        // Past attempt 16 the exponent freezes at base << 16; the bound
+        // and the per-(key, attempt) determinism contract still hold.
+        let exp = 10u64 << 16;
+        for attempt in [16, 17, 100, 1_000_000, u32::MAX] {
+            let ms = p.backoff_ms(55, attempt);
+            assert_eq!(ms, p.backoff_ms(55, attempt), "attempt {attempt}");
+            assert!(ms >= exp && ms <= exp + exp / 2, "attempt {attempt}: {ms}");
+        }
+        // Jitter stays seeded by the attempt even once the exponent is
+        // frozen — huge-attempt retries do not collapse to one delay.
+        assert_ne!(p.backoff_ms(55, 17), p.backoff_ms(55, 18));
+        assert_ne!(p.backoff_ms(55, 100), p.backoff_ms(55, 101));
     }
 
     #[test]

@@ -200,6 +200,17 @@ pub struct FitReport {
     /// Sweep points reused from the previous fit when only the sweep
     /// range changed (K-means sweeps only).
     pub sweep_points_reused: usize,
+    /// Cumulative scenarios ingested into the model across its whole
+    /// lineage: the original fit plus every [`crate::Flare::extend`] /
+    /// streaming batch since. A full fit seeds this with the corpus size;
+    /// each extend adds its delta, so multi-batch sessions report the
+    /// honest running total rather than just the last delta.
+    #[serde(default)]
+    pub ingested_total: usize,
+    /// Cumulative records quarantined across the same lineage (streaming
+    /// ingest only — the clean extend path never quarantines).
+    #[serde(default)]
+    pub quarantined_total: usize,
 }
 
 impl FitReport {
@@ -213,6 +224,22 @@ impl FitReport {
             representatives: StageOutcome::Recomputed,
             scenarios_profiled: scenarios,
             sweep_points_reused: 0,
+            ingested_total: scenarios,
+            quarantined_total: 0,
+        }
+    }
+
+    /// The report of an incremental extension that profiled `delta` new
+    /// scenarios on top of `prev`: profile is `Extended`, every downstream
+    /// stage recomputed, and the cumulative ingest/quarantine counters
+    /// carry forward from the previous report.
+    pub fn extended(delta: usize, prev: &FitReport) -> FitReport {
+        FitReport {
+            profile: StageOutcome::Extended,
+            scenarios_profiled: delta,
+            ingested_total: prev.ingested_total + delta,
+            quarantined_total: prev.quarantined_total,
+            ..FitReport::full_fit(0)
         }
     }
 
@@ -227,6 +254,8 @@ impl FitReport {
             representatives: StageOutcome::Reused,
             scenarios_profiled: 0,
             sweep_points_reused: 0,
+            ingested_total: 0,
+            quarantined_total: 0,
         }
     }
 

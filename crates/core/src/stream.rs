@@ -1,0 +1,1046 @@
+//! Streaming ingest with drift-aware continuous refit, crash-safe
+//! checkpoints, and degraded-mode operation (DESIGN.md §11).
+//!
+//! The paper fits FLARE once over a fixed trace; production telemetry
+//! never stops. A [`StreamSession`] treats the corpus as an append-only
+//! stream of arrival batches of `(Scenario, weight)`:
+//!
+//! - **Bounded-memory ingest** — each batch is absorbed in chunks of
+//!   [`StreamConfig::chunk_size`]: the corpus is extended, only the new
+//!   tail is profiled (the same delta-profiling contract as
+//!   [`Flare::extend`]), and the records pass through the validating
+//!   [`MetricDatabase::ingest`] path so degraded telemetry is quarantined
+//!   with full accounting instead of poisoning the model.
+//! - **Drift detection** — every accepted, fully-finite record is
+//!   projected through the serving model's featurize stage (job-mix
+//!   strip → correlation refinement → whitened PCA) and its distance to
+//!   the nearest centroid compared against a cutoff calibrated as a
+//!   quantile of the model's own distance distribution. Reclustering runs
+//!   only when the drifted fraction crosses
+//!   [`StreamConfig::drift_threshold`]; quiet batches are absorbed with
+//!   zero re-profiling and zero refits. Coverage decay on
+//!   [`StreamSession::evaluate`] feeds the same trigger.
+//! - **Degraded mode** — a recluster failure never takes the session
+//!   down: the last-good model keeps serving, the stall is recorded in
+//!   the [`DriftReport`], and the refit is retried on later batches after
+//!   a deterministic [`RetryPolicy`]-seeded backoff. Batches whose
+//!   degraded fraction exceeds [`StreamConfig::max_degraded_fraction`]
+//!   are quarantined — their drift statistic is distrusted, so a
+//!   stuck-sensor or dropout burst cannot masquerade as drift.
+//! - **Crash safety** — at every batch boundary the full session state
+//!   (model snapshot, grown corpus/database, versioned [`StreamCursor`],
+//!   drift log, fault plan) is written atomically (write-tmp-then-rename)
+//!   to `checkpoint.json`, so a killed session resumes byte-identically.
+//!
+//! The clean path is byte-identical to a one-shot [`Flare::fit`] over the
+//! concatenated corpus: batch extension appends scenarios with the same
+//! dense ids a one-shot corpus would assign, per-scenario profiling noise
+//! depends only on `(corpus seed, id)`, and reclustering runs the same
+//! shared stage functions as `fit`.
+
+use crate::error::{FlareError, Result};
+use crate::estimate::AllJobEstimate;
+use crate::pipeline::{Flare, FlareSnapshot};
+use crate::replayer::RetryPolicy;
+use crate::stages::FitReport;
+use flare_cluster::distance::euclidean;
+use flare_linalg::Matrix;
+use flare_metrics::database::{IngestPolicy, MetricDatabase, ScenarioId};
+use flare_sim::datacenter::Corpus;
+use flare_sim::faults::{FaultInjector, FaultPlan};
+use flare_sim::feature::Feature;
+use flare_sim::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Current checkpoint/cursor schema version written by
+/// [`StreamSession::checkpoint`]. Older versions load (fields default);
+/// newer versions are rejected.
+pub const CURSOR_VERSION: u32 = 1;
+
+/// Stable key mixed into the retry jitter for refit backoff, so stream
+/// backoff draws a different (but deterministic) jitter stream than
+/// scenario replays sharing the same [`RetryPolicy`] seed.
+const REFIT_BACKOFF_KEY: u64 = 0x5712_EA4B_ACC0_FF5E;
+
+/// Knobs of a [`StreamSession`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Scenarios absorbed per corpus-extension step — the bounded-memory
+    /// unit; a batch larger than this is split into chunks. Must be ≥ 1.
+    pub chunk_size: usize,
+    /// Fraction of a batch's clean accepted scenarios that must land
+    /// beyond the calibrated distance cutoff for the batch to count as
+    /// drifted (in `[0, 1]`).
+    pub drift_threshold: f64,
+    /// Quantile (in `(0, 1]`) of the serving model's own
+    /// distance-to-assigned-centroid distribution used as the drift
+    /// cutoff: new scenarios farther out than this fraction of the
+    /// training data are "unlike anything represented".
+    pub calibration_quantile: f64,
+    /// Replay-coverage floor for [`StreamSession::evaluate`]: an estimate
+    /// whose coverage decays below this marks the model as drifted (the
+    /// representatives no longer answer for enough of the corpus).
+    pub coverage_floor: f64,
+    /// Largest tolerable fraction of a batch's records that are degraded
+    /// (quarantined, or accepted with missing cells) before the batch is
+    /// quarantined outright: its drift statistic is distrusted and no
+    /// refit is attempted on its evidence (in `[0, 1]`).
+    pub max_degraded_fraction: f64,
+    /// Quarantine tolerances for the validating ingest path.
+    pub ingest: IngestPolicy,
+    /// Backoff policy for failed reclusters; with the default
+    /// `backoff_base_ms: 0` retries are immediate on the next batch.
+    pub retry: RetryPolicy,
+    /// Directory for crash-safe checkpoints; `None` disables
+    /// checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            chunk_size: 64,
+            drift_threshold: 0.25,
+            calibration_quantile: 0.95,
+            coverage_floor: 0.5,
+            max_degraded_fraction: 0.5,
+            ingest: IngestPolicy::default(),
+            retry: RetryPolicy::default(),
+            checkpoint_dir: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Validates every knob, returning a description of the first
+    /// offending field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending field and value as a `String`.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be >= 1".into());
+        }
+        for (name, v) in [
+            ("drift_threshold", self.drift_threshold),
+            ("coverage_floor", self.coverage_floor),
+            ("max_degraded_fraction", self.max_degraded_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(format!("{name} {v} outside [0, 1]"));
+            }
+        }
+        let q = self.calibration_quantile;
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(format!("calibration_quantile {q} outside (0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one arrival batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchDisposition {
+    /// Absorbed into the corpus/database without triggering a refit.
+    Absorbed,
+    /// Too degraded to trust: absorbed with quarantine accounting, drift
+    /// evidence discarded, no refit attempted.
+    Quarantined,
+    /// Drift crossed the threshold and the recluster succeeded — the
+    /// serving model was replaced.
+    Reclustered,
+    /// A refit was due but failed; the last-good model keeps serving and
+    /// the refit will be retried on a later batch (degraded mode).
+    Stalled,
+}
+
+/// Per-batch accounting appended to the [`DriftReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// 0-based batch index.
+    pub batch: u64,
+    /// Scenarios in the arrival batch.
+    pub arrived: usize,
+    /// Records accepted into the database (faults can duplicate or drop
+    /// records, so this can differ from `arrived`).
+    pub accepted: usize,
+    /// Records refused by the validating ingest path.
+    pub quarantined: usize,
+    /// Accepted records carrying at least one missing (non-finite) cell.
+    pub degraded_rows: usize,
+    /// Degraded share of the batch's records:
+    /// `(quarantined + degraded_rows) / records seen`.
+    pub degraded_fraction: f64,
+    /// Fraction of clean accepted records beyond the drift cutoff.
+    pub drift_fraction: f64,
+    /// The calibrated distance cutoff the batch was judged against.
+    pub drift_cutoff: f64,
+    /// What the session did with the batch.
+    pub disposition: BatchDisposition,
+    /// Milliseconds of deterministic backoff served before a refit
+    /// retry (0 unless a previous refit stalled and
+    /// `retry.backoff_base_ms > 0`).
+    pub backoff_ms: u64,
+    /// Why the refit stalled, when `disposition` is
+    /// [`BatchDisposition::Stalled`].
+    pub stall_reason: Option<String>,
+}
+
+/// The session's drift log: one entry per ingested batch, surviving
+/// checkpoint/resume.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Per-batch outcomes in arrival order.
+    pub batches: Vec<BatchOutcome>,
+}
+
+impl DriftReport {
+    /// The most recent batch outcome.
+    pub fn last(&self) -> Option<&BatchOutcome> {
+        self.batches.last()
+    }
+
+    /// Batches that triggered a successful recluster.
+    pub fn reclusters(&self) -> usize {
+        self.batches
+            .iter()
+            .filter(|b| b.disposition == BatchDisposition::Reclustered)
+            .count()
+    }
+
+    /// Batches on which a due refit failed (degraded-mode stalls).
+    pub fn stalls(&self) -> usize {
+        self.batches
+            .iter()
+            .filter(|b| b.disposition == BatchDisposition::Stalled)
+            .count()
+    }
+}
+
+/// Cumulative position of a session in its arrival stream — the small
+/// versioned state that, together with the model snapshot and the grown
+/// corpus/database, makes a checkpoint resumable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCursor {
+    /// Checkpoint schema version; see [`CURSOR_VERSION`].
+    #[serde(default)]
+    pub version: u32,
+    /// Batches fully ingested so far.
+    pub batches: u64,
+    /// Scenarios that arrived across all batches.
+    pub arrivals: u64,
+    /// Scenarios actually profiled (exactly once each — the zero
+    /// re-profiling instrumentation).
+    pub profiled: u64,
+    /// Records accepted into the database.
+    pub accepted: u64,
+    /// Records quarantined by the validating ingest path.
+    pub quarantined: u64,
+    /// Missing-sample markers across accepted records.
+    pub missing_cells: u64,
+    /// Successful reclusters.
+    pub reclusters: u64,
+    /// Failed refit attempts (degraded-mode stalls).
+    pub stalls: u64,
+    /// Of `quarantined`, how many have already been folded into the
+    /// serving model's cumulative [`FitReport`] counters by a successful
+    /// refit (bookkeeping for honest multi-refit accounting).
+    #[serde(default)]
+    pub quarantined_folded: u64,
+    /// A refit is due (drift or coverage decay seen) but has not run yet.
+    pub pending_drift: bool,
+    /// Consecutive failed refit attempts — the backoff exponent.
+    pub stall_attempts: u32,
+}
+
+impl StreamCursor {
+    fn new() -> StreamCursor {
+        StreamCursor {
+            version: CURSOR_VERSION,
+            batches: 0,
+            arrivals: 0,
+            profiled: 0,
+            accepted: 0,
+            quarantined: 0,
+            missing_cells: 0,
+            reclusters: 0,
+            stalls: 0,
+            quarantined_folded: 0,
+            pending_drift: false,
+            stall_attempts: 0,
+        }
+    }
+}
+
+/// Everything needed to resume a session byte-identically: written
+/// atomically at every batch boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StreamCheckpoint {
+    cursor: StreamCursor,
+    /// The last-good serving model (possibly stale relative to the grown
+    /// corpus when drift has not yet crossed the threshold).
+    model: FlareSnapshot,
+    /// The session's grown corpus — the model's corpus plus every
+    /// absorbed batch.
+    corpus: Corpus,
+    /// The session's grown database (profiled + ingested records).
+    database: MetricDatabase,
+    report: DriftReport,
+    /// The fault plan replayed against arriving telemetry, so a resumed
+    /// session corrupts the remaining batches identically.
+    fault_plan: Option<FaultPlan>,
+}
+
+/// A continuously-fed FLARE model: ingest arrival batches, serve
+/// estimates from the last-good model, recluster only on drift, and
+/// checkpoint at every batch boundary. See the module docs for the full
+/// state machine.
+#[derive(Debug)]
+pub struct StreamSession {
+    model: Flare,
+    corpus: Corpus,
+    database: MetricDatabase,
+    config: StreamConfig,
+    cursor: StreamCursor,
+    report: DriftReport,
+    /// Calibrated distance cutoff; recomputed from the model, so it never
+    /// needs to be checkpointed.
+    cutoff: f64,
+    injector: Option<FaultInjector>,
+    #[cfg(test)]
+    forced_refit_failures: u32,
+}
+
+impl StreamSession {
+    /// Starts a session serving from a fitted model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlareError::InvalidParameter`] for invalid
+    /// [`StreamConfig`] knobs.
+    pub fn new(model: Flare, config: StreamConfig) -> Result<StreamSession> {
+        config.validate().map_err(FlareError::InvalidParameter)?;
+        let cutoff = calibrate_cutoff(&model, config.calibration_quantile);
+        Ok(StreamSession {
+            corpus: model.corpus().clone(),
+            database: model.database().clone(),
+            model,
+            config,
+            cursor: StreamCursor::new(),
+            report: DriftReport::default(),
+            cutoff,
+            injector: None,
+            #[cfg(test)]
+            forced_refit_failures: 0,
+        })
+    }
+
+    /// Replays a telemetry fault plan against every arriving batch — the
+    /// end-to-end fault path of the PR 2 layer on the streaming ingest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlareError::InvalidParameter`] for an invalid plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Result<StreamSession> {
+        self.injector = Some(FaultInjector::new(plan).map_err(FlareError::InvalidParameter)?);
+        Ok(self)
+    }
+
+    /// The last-good serving model. Possibly stale relative to
+    /// [`StreamSession::corpus`] between refits — that is the point:
+    /// absorbing quiet batches costs no recluster.
+    pub fn model(&self) -> &Flare {
+        &self.model
+    }
+
+    /// The session's grown corpus (model corpus + every absorbed batch).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The session's grown metric database.
+    pub fn database(&self) -> &MetricDatabase {
+        &self.database
+    }
+
+    /// Cumulative stream position and ingest accounting.
+    pub fn cursor(&self) -> &StreamCursor {
+        &self.cursor
+    }
+
+    /// Per-batch drift log.
+    pub fn drift_report(&self) -> &DriftReport {
+        &self.report
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The calibrated drift cutoff currently in force.
+    pub fn drift_cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Ingests one arrival batch: extend the corpus in bounded chunks,
+    /// profile only the new tail, pass the (possibly fault-corrupted)
+    /// records through validating ingest, score drift, and refit only
+    /// when due. The session checkpoints after the batch is absorbed.
+    ///
+    /// A refit *failure* is not an ingest error — the session enters
+    /// degraded mode (outcome [`BatchDisposition::Stalled`]) and the
+    /// last-good model keeps serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlareError::InvalidParameter`] for invalid batch entries
+    /// (empty scenario, zero observations, vCPU overcommit) or checkpoint
+    /// I/O failures. The batch is not absorbed on error.
+    pub fn ingest_batch(&mut self, batch: Vec<(Scenario, u32)>) -> Result<BatchOutcome> {
+        let arrived = batch.len();
+        let first_new = self.corpus.len();
+        let mut profiled = 0u64;
+        // Bounded-memory absorption: extend + profile + ingest one chunk
+        // at a time; only a chunk's records are ever held in flight.
+        let mut accepted = 0usize;
+        let mut quarantined = 0usize;
+        let mut missing_cells = 0usize;
+        let mut records_seen = 0usize;
+        let mut batch_entries = batch;
+        while !batch_entries.is_empty() {
+            let rest = batch_entries.split_off(self.config.chunk_size.min(batch_entries.len()));
+            let chunk = std::mem::replace(&mut batch_entries, rest);
+            let start = self.corpus.len();
+            let corpus = self
+                .corpus
+                .extended(chunk)
+                .map_err(FlareError::InvalidParameter)?;
+            let tail = match self.model.config().temporal_phases {
+                Some(phases) => corpus
+                    .profile_tail_enriched_threaded(
+                        start,
+                        self.model.baseline(),
+                        phases,
+                        self.model.config().threads,
+                    )
+                    .map_err(FlareError::InvalidParameter)?,
+                None => corpus.profile_tail_threaded(
+                    start,
+                    self.model.baseline(),
+                    self.model.config().threads,
+                ),
+            };
+            profiled += tail.len() as u64;
+            let tail = match &self.injector {
+                Some(inj) => inj.corrupt_records(&tail),
+                None => tail,
+            };
+            records_seen += tail.len();
+            let ingest = self.database.ingest(tail, &self.config.ingest);
+            accepted += ingest.accepted;
+            quarantined += ingest.quarantined_count();
+            missing_cells += ingest.missing_cells;
+            self.corpus = corpus;
+        }
+
+        // Drift statistic over the batch's accepted records: clean rows
+        // (no missing cells) are projected through the serving model and
+        // scored against the calibrated cutoff; rows with missing cells
+        // count as degraded, never as drift evidence.
+        let mut clean = 0usize;
+        let mut drifted = 0usize;
+        let mut degraded_rows = 0usize;
+        for id in first_new as u32..self.corpus.len() as u32 {
+            let Some(row) = self.database.get(ScenarioId(id)) else {
+                continue; // quarantined or lost
+            };
+            if row.metrics.iter().any(|v| !v.is_finite()) {
+                degraded_rows += 1;
+                continue;
+            }
+            clean += 1;
+            if let Some(distance) = nearest_centroid_distance(&self.model, row.metrics)? {
+                if distance > self.cutoff {
+                    drifted += 1;
+                }
+            }
+        }
+        let degraded_fraction = if records_seen == 0 {
+            0.0
+        } else {
+            (quarantined + degraded_rows) as f64 / records_seen as f64
+        };
+        let drift_fraction = if clean == 0 {
+            0.0
+        } else {
+            drifted as f64 / clean as f64
+        };
+
+        // Decide: a too-degraded batch is quarantined outright (its drift
+        // statistic is distrusted); otherwise fresh drift evidence or a
+        // pending trigger runs the refit, with seeded backoff after a
+        // previous stall.
+        let poisoned = degraded_fraction > self.config.max_degraded_fraction;
+        if !poisoned && drift_fraction > self.config.drift_threshold {
+            self.cursor.pending_drift = true;
+        }
+        let mut disposition = if poisoned {
+            BatchDisposition::Quarantined
+        } else {
+            BatchDisposition::Absorbed
+        };
+        let mut backoff_ms = 0;
+        let mut stall_reason = None;
+        if self.cursor.pending_drift && !poisoned {
+            if self.cursor.stall_attempts > 0 {
+                backoff_ms = self
+                    .config
+                    .retry
+                    .backoff_ms(REFIT_BACKOFF_KEY, self.cursor.stall_attempts - 1);
+                if backoff_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                }
+            }
+            match self.recluster() {
+                Ok(()) => {
+                    disposition = BatchDisposition::Reclustered;
+                    self.cursor.reclusters += 1;
+                    self.cursor.pending_drift = false;
+                    self.cursor.stall_attempts = 0;
+                }
+                Err(e) => {
+                    // Degraded mode: hold the last good model, log the
+                    // stall, retry on a later batch.
+                    disposition = BatchDisposition::Stalled;
+                    stall_reason = Some(e.to_string());
+                    self.cursor.stalls += 1;
+                    self.cursor.stall_attempts += 1;
+                }
+            }
+        }
+
+        self.cursor.batches += 1;
+        self.cursor.arrivals += arrived as u64;
+        self.cursor.profiled += profiled;
+        self.cursor.accepted += accepted as u64;
+        self.cursor.quarantined += quarantined as u64;
+        self.cursor.missing_cells += missing_cells as u64;
+
+        let outcome = BatchOutcome {
+            batch: self.cursor.batches - 1,
+            arrived,
+            accepted,
+            quarantined,
+            degraded_rows,
+            degraded_fraction,
+            drift_fraction,
+            drift_cutoff: self.cutoff,
+            disposition,
+            backoff_ms,
+            stall_reason,
+        };
+        self.report.batches.push(outcome.clone());
+        self.checkpoint()?;
+        Ok(outcome)
+    }
+
+    /// Serves an estimate from the last-good model, feeding coverage
+    /// decay back into the drift trigger: an estimate whose replay
+    /// coverage falls below [`StreamConfig::coverage_floor`] (or fails
+    /// outright with [`FlareError::ReplayFailed`]) marks the model as
+    /// drifted, so the next clean batch refits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors.
+    pub fn evaluate(&mut self, feature: &Feature) -> Result<AllJobEstimate> {
+        match self.model.evaluate(feature) {
+            Ok(est) => {
+                if est.coverage < self.config.coverage_floor {
+                    self.cursor.pending_drift = true;
+                }
+                Ok(est)
+            }
+            Err(e @ FlareError::ReplayFailed { .. }) => {
+                self.cursor.pending_drift = true;
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Forces the model current: reclusters if any absorbed data or a
+    /// pending drift trigger has not been folded in yet, checkpoints, and
+    /// returns the serving model. Unlike the per-batch path, a refit
+    /// failure here *is* an error — finalize is the one place the caller
+    /// asked for a current model, not continued service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates refit and checkpoint errors.
+    pub fn finalize(&mut self) -> Result<&Flare> {
+        if self.model.corpus().len() != self.corpus.len() || self.cursor.pending_drift {
+            self.recluster()?;
+            self.cursor.reclusters += 1;
+            self.cursor.pending_drift = false;
+            self.cursor.stall_attempts = 0;
+            self.checkpoint()?;
+        }
+        Ok(&self.model)
+    }
+
+    /// Refits the serving model over the session's grown corpus/database
+    /// through the same shared stage functions as [`Flare::fit`], then
+    /// recalibrates the drift cutoff.
+    fn recluster(&mut self) -> Result<()> {
+        #[cfg(test)]
+        if self.forced_refit_failures > 0 {
+            self.forced_refit_failures -= 1;
+            return Err(FlareError::InsufficientData(
+                "forced refit failure (test hook)".into(),
+            ));
+        }
+        let delta = self.corpus.len() - self.model.corpus().len();
+        let mut report = FitReport::extended(delta, self.model.fit_report());
+        report.quarantined_total +=
+            (self.cursor.quarantined - self.cursor.quarantined_folded) as usize;
+        let next = self
+            .model
+            .refit_grown(self.corpus.clone(), self.database.clone(), report)?;
+        self.model = next;
+        self.cursor.quarantined_folded = self.cursor.quarantined;
+        self.cutoff = calibrate_cutoff(&self.model, self.config.calibration_quantile);
+        Ok(())
+    }
+
+    /// Atomically writes the full session state to
+    /// `<checkpoint_dir>/checkpoint.json` (write-tmp-then-rename, so a
+    /// crash mid-write leaves the previous checkpoint intact). A no-op
+    /// when no checkpoint directory is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlareError::InvalidParameter`] wrapping serialization or
+    /// I/O failures.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(dir) = &self.config.checkpoint_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| FlareError::InvalidParameter(format!("create checkpoint dir: {e}")))?;
+        let state = StreamCheckpoint {
+            cursor: self.cursor.clone(),
+            model: self.model.to_snapshot(),
+            corpus: self.corpus.clone(),
+            database: self.database.clone(),
+            report: self.report.clone(),
+            fault_plan: self.injector.as_ref().map(|i| *i.plan()),
+        };
+        let json = serde_json::to_string(&state)
+            .map_err(|e| FlareError::InvalidParameter(format!("serialize checkpoint: {e}")))?;
+        let tmp = dir.join("checkpoint.json.tmp");
+        let dst = dir.join("checkpoint.json");
+        std::fs::write(&tmp, json)
+            .map_err(|e| FlareError::InvalidParameter(format!("write checkpoint: {e}")))?;
+        std::fs::rename(&tmp, &dst)
+            .map_err(|e| FlareError::InvalidParameter(format!("commit checkpoint: {e}")))
+    }
+
+    /// Resumes a session from the checkpoint in `dir`, restoring the
+    /// model, grown corpus/database, cursor, drift log, and fault plan
+    /// exactly as they were at the last batch boundary; the drift cutoff
+    /// is recalibrated from the model (it is a pure function of it).
+    /// `config` supplies the runtime knobs — pass the same values as the
+    /// original session for byte-identical continuation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlareError::InvalidParameter`] for missing/corrupt
+    /// checkpoints, a newer-than-supported cursor version, or invalid
+    /// config/fault-plan knobs.
+    pub fn resume(dir: &Path, config: StreamConfig) -> Result<StreamSession> {
+        config.validate().map_err(FlareError::InvalidParameter)?;
+        let path = dir.join("checkpoint.json");
+        let json = std::fs::read_to_string(&path).map_err(|e| {
+            FlareError::InvalidParameter(format!("read checkpoint {}: {e}", path.display()))
+        })?;
+        let state: StreamCheckpoint = serde_json::from_str(&json)
+            .map_err(|e| FlareError::InvalidParameter(format!("parse checkpoint: {e}")))?;
+        if state.cursor.version > CURSOR_VERSION {
+            return Err(FlareError::InvalidParameter(format!(
+                "checkpoint cursor version {} is newer than this build supports (max {CURSOR_VERSION})",
+                state.cursor.version
+            )));
+        }
+        let model = Flare::from_snapshot(state.model)?;
+        let cutoff = calibrate_cutoff(&model, config.calibration_quantile);
+        let injector = match state.fault_plan {
+            Some(plan) => Some(FaultInjector::new(plan).map_err(FlareError::InvalidParameter)?),
+            None => None,
+        };
+        Ok(StreamSession {
+            model,
+            corpus: state.corpus,
+            database: state.database,
+            config,
+            cursor: state.cursor,
+            report: state.report,
+            cutoff,
+            injector,
+            #[cfg(test)]
+            forced_refit_failures: 0,
+        })
+    }
+
+    /// Test hook: make the next `n` recluster attempts fail, exercising
+    /// the degraded-mode state machine without needing pathological data.
+    #[cfg(test)]
+    pub(crate) fn force_refit_failures(&mut self, n: u32) {
+        self.forced_refit_failures = n;
+    }
+}
+
+/// The drift cutoff: the `quantile`-th distance-to-assigned-centroid over
+/// the model's own projected training rows. A pure, deterministic
+/// function of the model — resuming from a checkpoint recomputes the
+/// identical value. Returns `+inf` for a degenerate model with no rows
+/// (nothing can ever drift).
+fn calibrate_cutoff(model: &Flare, quantile: f64) -> f64 {
+    let analyzer = model.analyzer();
+    let projected = analyzer.projected();
+    let clustering = analyzer.clustering();
+    let mut distances: Vec<f64> = (0..projected.nrows())
+        .map(|i| {
+            euclidean(
+                projected.row(i),
+                &clustering.centroids[clustering.assignments[i]],
+            )
+        })
+        .collect();
+    if distances.is_empty() {
+        return f64::INFINITY;
+    }
+    distances.sort_by(f64::total_cmp);
+    let idx = ((distances.len() - 1) as f64 * quantile).ceil() as usize;
+    distances[idx.min(distances.len() - 1)]
+}
+
+/// Projects one fully-finite metric row through the model's featurize
+/// stage (job-mix strip → refinement columns → whitened PCA) and returns
+/// its distance to the nearest centroid, or `None` when the model keeps
+/// zero PCs for it to land in.
+///
+/// The repair stage's winsorization is deliberately not applied: the
+/// cutoff is calibrated against the model's *own* post-repair rows, and a
+/// raw row clamped toward the training median could only look *less*
+/// drifted — the detector errs on the sensitive side.
+fn nearest_centroid_distance(model: &Flare, metrics: &[f64]) -> Result<Option<f64>> {
+    let analyzer = model.analyzer();
+    let schema = model.database().schema();
+    // Same column pipeline as stages::run_featurize, applied to one row.
+    let stripped: Vec<f64> = if model.config().per_job_augmentation {
+        metrics.to_vec()
+    } else {
+        let keep = schema.non_job_mix_indices();
+        if keep.len() == schema.len() {
+            metrics.to_vec()
+        } else {
+            keep.iter().map(|&j| metrics[j]).collect()
+        }
+    };
+    let refined: Vec<f64> = analyzer
+        .refinement()
+        .kept_indices
+        .iter()
+        .map(|&j| stripped[j])
+        .collect();
+    let row = Matrix::from_rows(&[refined])?;
+    let projected = analyzer.pca().transform_whitened(&row, analyzer.n_pcs())?;
+    let centroids = &analyzer.clustering().centroids;
+    Ok(centroids
+        .iter()
+        .map(|c| euclidean(projected.row(0), c))
+        .min_by(f64::total_cmp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterCountRule, FlareConfig};
+    use flare_sim::datacenter::CorpusConfig;
+    use flare_workloads::job::JobName as Job;
+
+    fn small_corpus() -> Corpus {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        Corpus::generate(&cfg)
+    }
+
+    fn small_model() -> Flare {
+        let cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(6),
+            ..FlareConfig::default()
+        };
+        Flare::fit(small_corpus(), cfg).unwrap()
+    }
+
+    /// Arrivals far from the training distribution: a fully-packed
+    /// (12 × 4 vCPUs = 48), LP-dominated mix the corpus generator never
+    /// produces.
+    fn heavy_batch(n: usize) -> Vec<(Scenario, u32)> {
+        (0..n)
+            .map(|i| {
+                let s = Scenario::from_counts([
+                    (Job::DataCaching, 6),
+                    (Job::Mcf, 2 + (i % 3) as u32),
+                    (Job::Libquantum, 2),
+                ]);
+                (s, 1 + i as u32)
+            })
+            .collect()
+    }
+
+    /// In-distribution arrivals: scenarios the model's own corpus already
+    /// contains (re-observed colocations — the streaming steady state).
+    fn quiet_batch(model: &Flare, n: usize) -> Vec<(Scenario, u32)> {
+        (0..n)
+            .map(|i| {
+                let entry = &model.corpus().entries()[i % model.corpus().len()];
+                (entry.scenario.clone(), 1 + i as u32)
+            })
+            .collect()
+    }
+
+    /// Everything that makes two fitted models "the same result".
+    fn assert_same_model(a: &Flare, b: &Flare) {
+        assert_eq!(a.database(), b.database());
+        assert_eq!(
+            a.analyzer().clustering().assignments,
+            b.analyzer().clustering().assignments
+        );
+        assert_eq!(a.analyzer().projected(), b.analyzer().projected());
+        assert_eq!(
+            a.analyzer().representatives(),
+            b.analyzer().representatives()
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        let model = small_model;
+        for bad in [
+            StreamConfig {
+                chunk_size: 0,
+                ..StreamConfig::default()
+            },
+            StreamConfig {
+                drift_threshold: 1.5,
+                ..StreamConfig::default()
+            },
+            StreamConfig {
+                drift_threshold: f64::NAN,
+                ..StreamConfig::default()
+            },
+            StreamConfig {
+                calibration_quantile: 0.0,
+                ..StreamConfig::default()
+            },
+            StreamConfig {
+                max_degraded_fraction: -0.1,
+                ..StreamConfig::default()
+            },
+        ] {
+            assert!(StreamSession::new(model(), bad).is_err());
+        }
+    }
+
+    #[test]
+    fn cutoff_calibration_is_deterministic_and_monotone_in_quantile() {
+        let model = small_model();
+        let c95 = calibrate_cutoff(&model, 0.95);
+        assert_eq!(c95.to_bits(), calibrate_cutoff(&model, 0.95).to_bits());
+        let c50 = calibrate_cutoff(&model, 0.5);
+        assert!(c95.is_finite() && c95 > 0.0);
+        assert!(c50 <= c95);
+        // The max quantile is the largest observed distance — no training
+        // row can ever sit beyond it.
+        let c100 = calibrate_cutoff(&model, 1.0);
+        assert!(c95 <= c100);
+    }
+
+    #[test]
+    fn quiet_batches_absorb_without_reprofiling_or_refit() {
+        let model = small_model();
+        let base_len = model.corpus().len();
+        let quiet = quiet_batch(&model, 5);
+        let mut session = StreamSession::new(
+            model,
+            StreamConfig {
+                // Familiar scenarios should never cross this.
+                drift_threshold: 0.9,
+                chunk_size: 3,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let out = session.ingest_batch(quiet).unwrap();
+        assert_eq!(out.disposition, BatchDisposition::Absorbed);
+        assert_eq!(out.arrived, 5);
+        assert_eq!(out.accepted, 5);
+        assert_eq!(out.quarantined, 0);
+        // Model unchanged (stale by design), corpus grown, each arrival
+        // profiled exactly once.
+        assert_eq!(session.model().corpus().len(), base_len);
+        assert_eq!(session.corpus().len(), base_len + 5);
+        assert_eq!(session.cursor().profiled, 5);
+        assert_eq!(session.cursor().reclusters, 0);
+    }
+
+    #[test]
+    fn streamed_finalize_matches_one_shot_fit() {
+        let model = small_model();
+        let mut session = StreamSession::new(
+            model.clone(),
+            StreamConfig {
+                chunk_size: 2,
+                drift_threshold: 0.9,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let batches = [
+            quiet_batch(&model, 3),
+            heavy_batch(4),
+            quiet_batch(&model, 2),
+        ];
+        let all: Vec<(Scenario, u32)> = batches.iter().flatten().cloned().collect();
+        for b in batches {
+            session.ingest_batch(b).unwrap();
+        }
+        let streamed = session.finalize().unwrap();
+        let one_shot = Flare::fit(
+            model.corpus().clone().extended(all).unwrap(),
+            model.config().clone(),
+        )
+        .unwrap();
+        assert_same_model(streamed, &one_shot);
+        // Cumulative ingest accounting carried on the report.
+        assert_eq!(
+            streamed.fit_report().ingested_total,
+            model.corpus().len() + 9
+        );
+    }
+
+    #[test]
+    fn drifting_batch_triggers_recluster() {
+        let model = small_model();
+        let mut session = StreamSession::new(
+            model,
+            StreamConfig {
+                // Lenient on purpose: the assertion is about the state
+                // machine, not about tuning the detector's sharpness.
+                drift_threshold: 0.2,
+                calibration_quantile: 0.5,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        // A burst of far-out colocations beyond the median-distance
+        // cutoff → drift crosses the threshold → immediate recluster.
+        let out = session.ingest_batch(heavy_batch(6)).unwrap();
+        assert_eq!(out.disposition, BatchDisposition::Reclustered);
+        assert!(out.drift_fraction > 0.2, "{}", out.drift_fraction);
+        assert_eq!(session.cursor().reclusters, 1);
+        // The refreshed model is current with the grown corpus.
+        assert_eq!(session.model().corpus().len(), session.corpus().len());
+    }
+
+    #[test]
+    fn stalled_refit_holds_last_good_model_and_recovers() {
+        let model = small_model();
+        let mut session = StreamSession::new(
+            model.clone(),
+            StreamConfig {
+                drift_threshold: 0.2,
+                calibration_quantile: 0.5,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        session.force_refit_failures(1);
+        let out = session.ingest_batch(heavy_batch(6)).unwrap();
+        assert_eq!(out.disposition, BatchDisposition::Stalled);
+        assert!(out.stall_reason.is_some());
+        assert_eq!(session.cursor().stalls, 1);
+        assert_eq!(session.cursor().stall_attempts, 1);
+        assert!(session.cursor().pending_drift);
+        // Degraded mode: the last-good model still serves.
+        assert_same_model(session.model(), &model);
+        let est = session.evaluate(&Feature::paper_feature1()).unwrap();
+        assert!(est.impact_pct.is_finite());
+        // Next batch retries the refit and recovers.
+        let retry = quiet_batch(&model, 2);
+        let out = session.ingest_batch(retry).unwrap();
+        assert_eq!(out.disposition, BatchDisposition::Reclustered);
+        assert!(!session.cursor().pending_drift);
+        assert_eq!(session.cursor().stall_attempts, 0);
+        assert_eq!(session.model().corpus().len(), session.corpus().len());
+    }
+
+    #[test]
+    fn poisoned_batch_is_quarantined_not_mistaken_for_drift() {
+        let model = small_model();
+        let mut session = StreamSession::new(
+            model.clone(),
+            StreamConfig {
+                drift_threshold: 0.25,
+                max_degraded_fraction: 0.5,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap()
+        .with_faults(FaultPlan {
+            sample_dropout: 0.95,
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        // Heavy dropout degrades (nearly) every record: the batch must be
+        // quarantined, not treated as drift — no refit, model unchanged.
+        let out = session.ingest_batch(heavy_batch(6)).unwrap();
+        assert_eq!(out.disposition, BatchDisposition::Quarantined);
+        assert!(out.degraded_fraction > 0.5);
+        assert_eq!(session.cursor().reclusters, 0);
+        assert!(!session.cursor().pending_drift);
+        assert_same_model(session.model(), &model);
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_absorbed_state() {
+        let model = small_model();
+        let mut grown: Vec<(Corpus, MetricDatabase)> = Vec::new();
+        for chunk_size in [1, 3, 64] {
+            let mut session = StreamSession::new(
+                model.clone(),
+                StreamConfig {
+                    chunk_size,
+                    drift_threshold: 0.9,
+                    ..StreamConfig::default()
+                },
+            )
+            .unwrap();
+            session.ingest_batch(quiet_batch(&model, 7)).unwrap();
+            grown.push((session.corpus().clone(), session.database().clone()));
+        }
+        for (corpus, database) in &grown[1..] {
+            assert_eq!(corpus.len(), grown[0].0.len());
+            assert_eq!(database, &grown[0].1);
+        }
+    }
+}

@@ -14,9 +14,7 @@
 //! hopeless records, the Analyzer's repair stage imputes and winsorizes,
 //! and the Replayer retries or drops failed representatives.
 
-use flare_metrics::database::{
-    IngestPolicy, IngestReport, MetricDatabase, ScenarioRecord, ScenarioRow,
-};
+use flare_metrics::database::{IngestPolicy, IngestReport, MetricDatabase, ScenarioRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -171,10 +169,25 @@ impl FaultInjector {
     /// `(plan.seed, scenario id)` plus the previous record for the
     /// stuck-sensor channel.
     pub fn corrupt(&self, db: &MetricDatabase) -> Vec<ScenarioRecord> {
+        let records: Vec<ScenarioRecord> = db.iter().map(|row| row.to_record()).collect();
+        self.corrupt_records(&records)
+    }
+
+    /// Corrupts a slice of clean records — the per-batch form of
+    /// [`FaultInjector::corrupt`] used by the streaming ingest path, where
+    /// telemetry arrives in batches rather than as a whole database.
+    ///
+    /// Deterministic with the same per-record contract as `corrupt`:
+    /// corruption of each record depends only on `(plan.seed, scenario
+    /// id)`, plus the previous clean record *within this slice* for the
+    /// stuck-sensor channel (each batch starts with no stale predecessor,
+    /// so a batch's corruption is a pure function of its own content — a
+    /// resumed session replays it identically).
+    pub fn corrupt_records(&self, records: &[ScenarioRecord]) -> Vec<ScenarioRecord> {
         let p = &self.plan;
-        let mut out = Vec::with_capacity(db.len());
-        let mut prev: Option<ScenarioRow<'_>> = None;
-        for rec in db.iter() {
+        let mut out = Vec::with_capacity(records.len());
+        let mut prev: Option<&ScenarioRecord> = None;
+        for rec in records {
             let mut rng = StdRng::seed_from_u64(
                 p.seed ^ (rec.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );

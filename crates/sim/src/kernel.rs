@@ -54,7 +54,7 @@ use flare_workloads::catalog;
 use flare_workloads::job::JobName;
 use flare_workloads::profile::JobProfile;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -421,6 +421,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to solve.
     pub misses: u64,
+    /// Entries evicted to honour a capacity bound (always 0 for the
+    /// default unbounded cache).
+    pub evictions: u64,
     /// Stored evaluations.
     pub entries: usize,
     /// Distinct machine configurations seen.
@@ -454,18 +457,56 @@ impl CacheStats {
 /// recomputing it; concurrent racers that solve the same key keep the
 /// first stored value, which is the same value by purity. Thread-safe and
 /// shareable by reference across workers.
-#[derive(Debug, Default)]
+///
+/// The default cache is unbounded; [`EvalCache::with_capacity`] bounds it
+/// to a fixed number of entries with deterministic FIFO (insertion-order)
+/// eviction. Eviction only ever changes *which* lookups hit — every
+/// returned value is still byte-identical to an uncached solve by purity —
+/// and the [`CacheStats::evictions`] counter reports what was dropped.
+#[derive(Debug)]
 pub struct EvalCache {
     configs: RwLock<Vec<(u64, MachineConfig)>>,
-    entries: RwLock<HashMap<(usize, ScenarioKey, u64), Arc<MachinePerf>>>,
+    entries: RwLock<EntryStore>,
+    /// Maximum stored entries; `usize::MAX` means unbounded.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Entry map plus FIFO insertion order for deterministic eviction.
+#[derive(Debug, Default)]
+struct EntryStore {
+    map: HashMap<(usize, ScenarioKey, u64), Arc<MachinePerf>>,
+    order: VecDeque<(usize, ScenarioKey, u64)>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::with_capacity(usize::MAX)
+    }
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         EvalCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries: once full, each
+    /// insertion evicts the oldest-inserted entry (deterministic FIFO, so
+    /// a replayed workload evicts identically). A capacity of 0 stores
+    /// nothing — every lookup solves. Config interning is never bounded;
+    /// it is a few dozen entries at most in practice.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalCache {
+            configs: RwLock::default(),
+            entries: RwLock::default(),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// Evaluates `scenario` on `config` with the catalog's profiles,
@@ -504,27 +545,48 @@ impl EvalCache {
             ScenarioKey::of(scenario),
             load.to_bits(),
         );
-        if let Some(perf) = self.entries.read().expect("eval cache poisoned").get(&key) {
+        if let Some(perf) = self
+            .entries
+            .read()
+            .expect("eval cache poisoned")
+            .map
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(perf);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let perf = Arc::new(evaluate_at_load_scratch(scenario, config, load, scratch));
-        Arc::clone(
-            self.entries
-                .write()
-                .expect("eval cache poisoned")
-                .entry(key)
-                .or_insert(perf),
-        )
+        let mut store = self.entries.write().expect("eval cache poisoned");
+        let EntryStore { map, order } = &mut *store;
+        let result = match map.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let stored = Arc::clone(v.insert(perf));
+                order.push_back(key);
+                stored
+            }
+        };
+        while map.len() > self.capacity {
+            match order.pop_front() {
+                Some(oldest) => {
+                    if map.remove(&oldest).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+        result
     }
 
-    /// Hit/miss/size counters for diagnostics.
+    /// Hit/miss/eviction/size counters for diagnostics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.read().expect("eval cache poisoned").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.read().expect("eval cache poisoned").map.len(),
             configs: self.configs.read().expect("eval cache poisoned").len(),
         }
     }
@@ -799,7 +861,64 @@ mod tests {
             (stats.hits, stats.misses, stats.entries, stats.configs),
             (0, 0, 0, 0)
         );
+        assert_eq!(stats.evictions, 0);
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo_and_stays_byte_identical() {
+        let cache = EvalCache::with_capacity(2);
+        let mut scratch = EvalScratch::new();
+        let b = base();
+        let a = Scenario::from_counts([(JobName::DataCaching, 2)]);
+        let s2 = Scenario::from_counts([(JobName::Mcf, 3)]);
+        let s3 = Scenario::from_counts([(JobName::GraphAnalytics, 1), (JobName::Libquantum, 1)]);
+
+        let direct_a = evaluate_catalog(&a, &b, &mut scratch);
+        cache.evaluate(&a, &b, &mut scratch); // miss, store [a]
+        cache.evaluate(&s2, &b, &mut scratch); // miss, store [a, s2]
+        cache.evaluate(&a, &b, &mut scratch); // hit — FIFO ignores recency
+        cache.evaluate(&s3, &b, &mut scratch); // miss, evicts a → [s2, s3]
+        let recomputed = cache.evaluate(&a, &b, &mut scratch); // miss again
+        assert!(perf_bits_equal(&direct_a, &recomputed)); // eviction never changes bits
+
+        let stats = cache.stats();
+        // a, s2, s3, a-after-eviction: 4 misses; one hit; two evictions
+        // (s3 evicted a, then re-inserting a evicted s2 — FIFO order).
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 4, 2));
+        assert_eq!(stats.entries, 2);
+        // The second-oldest entry (s3) is still resident.
+        cache.evaluate(&s3, &b, &mut scratch);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_stores_nothing_but_still_answers() {
+        let cache = EvalCache::with_capacity(0);
+        let mut scratch = EvalScratch::new();
+        let b = base();
+        let s = Scenario::from_counts([(JobName::WebSearch, 2)]);
+        let direct = evaluate_catalog(&s, &b, &mut scratch);
+        let first = cache.evaluate(&s, &b, &mut scratch);
+        let second = cache.evaluate(&s, &b, &mut scratch);
+        assert!(perf_bits_equal(&direct, &first));
+        assert!(perf_bits_equal(&direct, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 2, 2));
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn unbounded_default_cache_never_evicts() {
+        let cache = EvalCache::new();
+        let mut scratch = EvalScratch::new();
+        let b = base();
+        for mix in mixes() {
+            cache.evaluate(&mix, &b, &mut scratch);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries as u64, stats.misses);
     }
 
     #[test]

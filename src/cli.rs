@@ -6,6 +6,8 @@
 //! - `profile`         — materialize the corpus as a metric database (JSON)
 //! - `refit`           — re-fit a saved model under new settings, reusing
 //!   every pipeline stage the change does not invalidate
+//! - `stream`          — feed arrival batches to a saved model with
+//!   drift-aware reclustering and crash-safe checkpoints
 //! - `representatives` — fit FLARE and list the representative scenarios
 //! - `interpret`       — fit FLARE and print the labeled PCs
 //! - `evaluate`        — fit FLARE and estimate a feature's impact
@@ -16,10 +18,11 @@
 
 use flare_core::interpret::interpret_pcs;
 use flare_core::replayer::CachedSimTestbed;
-use flare_core::{ClusterCountRule, Flare, FlareConfig};
+use flare_core::{ClusterCountRule, Flare, FlareConfig, StreamConfig, StreamSession};
 use flare_sim::datacenter::{Corpus, CorpusConfig};
 use flare_sim::feature::Feature;
 use flare_sim::machine::MachineShape;
+use flare_sim::scenario::Scenario;
 use flare_workloads::job::JobName;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -334,6 +337,86 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
             }
             Ok(())
         }
+        "stream" => {
+            let batches_path = inv.required("batches")?;
+            let out_path = inv.required("out")?;
+            let json = std::fs::read_to_string(batches_path)
+                .map_err(|e| CliError(format!("cannot read {batches_path}: {e}")))?;
+            let batches: Vec<Vec<(Scenario, u32)>> = serde_json::from_str(&json)
+                .map_err(|e| CliError(format!("cannot parse {batches_path}: {e}")))?;
+            let mut config = StreamConfig {
+                checkpoint_dir: inv.options.get("checkpoint").map(std::path::PathBuf::from),
+                ..StreamConfig::default()
+            };
+            config.chunk_size = inv.get_parse("chunk", config.chunk_size)?;
+            config.drift_threshold = inv.get_parse("drift-threshold", config.drift_threshold)?;
+            config.calibration_quantile = inv.get_parse("quantile", config.calibration_quantile)?;
+            config.coverage_floor = inv.get_parse("coverage-floor", config.coverage_floor)?;
+            config.max_degraded_fraction =
+                inv.get_parse("max-degraded", config.max_degraded_fraction)?;
+            // Resume from an existing checkpoint if one is present;
+            // otherwise start a fresh session from the saved model.
+            let resumable = config
+                .checkpoint_dir
+                .as_deref()
+                .filter(|dir| dir.join("checkpoint.json").is_file());
+            let mut session = match resumable {
+                Some(dir) => {
+                    let session = StreamSession::resume(dir, config.clone())
+                        .map_err(|e| CliError(format!("cannot resume from checkpoint: {e}")))?;
+                    writeln!(
+                        out,
+                        "resumed from checkpoint: {} batches already ingested",
+                        session.cursor().batches
+                    )
+                    .map_err(w)?;
+                    session
+                }
+                None => {
+                    let model_path = inv.required("model")?;
+                    let flare = Flare::load(std::path::Path::new(model_path))
+                        .map_err(|e| CliError(format!("cannot load model {model_path}: {e}")))?;
+                    StreamSession::new(flare, config.clone())
+                        .map_err(|e| CliError(format!("cannot start stream: {e}")))?
+                }
+            };
+            let done = session.cursor().batches as usize;
+            for (i, batch) in batches.into_iter().enumerate().skip(done) {
+                let outcome = session
+                    .ingest_batch(batch)
+                    .map_err(|e| CliError(format!("batch {i} failed: {e}")))?;
+                writeln!(
+                    out,
+                    "  batch {:>3}: {:>3} arrived, {:>3} accepted, {:>2} quarantined, drift {:>5.2} -> {:?}",
+                    outcome.batch,
+                    outcome.arrived,
+                    outcome.accepted,
+                    outcome.quarantined,
+                    outcome.drift_fraction,
+                    outcome.disposition
+                )
+                .map_err(w)?;
+            }
+            let cursor = session.cursor().clone();
+            let model = session
+                .finalize()
+                .map_err(|e| CliError(format!("finalize failed: {e}")))?;
+            model
+                .save(std::path::Path::new(out_path))
+                .map_err(|e| CliError(format!("save model: {e}")))?;
+            writeln!(
+                out,
+                "streamed {} batches ({} arrivals, {} accepted, {} quarantined, {} reclusters, {} stalls) -> {out_path}",
+                cursor.batches,
+                cursor.arrivals,
+                cursor.accepted,
+                cursor.quarantined,
+                cursor.reclusters,
+                cursor.stalls
+            )
+            .map_err(w)?;
+            Ok(())
+        }
         "evaluate" => {
             let feature = parse_feature(inv.required("feature")?)?;
             let flare = load_or_fit(inv)?;
@@ -379,6 +462,9 @@ USAGE:
   flare-cli profile  --corpus corpus.json --out db.json
   flare-cli fit      --corpus corpus.json --out model.json [--clusters 18]
   flare-cli refit    --model model.json --out model2.json [--clusters N]
+  flare-cli stream   --model model.json --batches batches.json --out model2.json
+                     [--checkpoint dir] [--chunk 64] [--drift-threshold 0.25]
+                     [--quantile 0.95] [--coverage-floor 0.5] [--max-degraded 0.5]
   flare-cli representatives (--corpus corpus.json | --model model.json) [--clusters 18]
   flare-cli interpret       (--corpus corpus.json | --model model.json) [--clusters 18]
   flare-cli evaluate (--corpus corpus.json | --model model.json) --feature <spec> [--job DC]
@@ -462,6 +548,17 @@ mod tests {
         );
         let bad = parse_args(&args(&["collect", "--out", "x", "--shape", "huge"])).unwrap();
         assert!(corpus_config_from(&bad).is_err());
+    }
+
+    #[test]
+    fn stream_requires_batches_and_out() {
+        let inv = parse_args(&args(&["stream", "--model", "m.json"])).unwrap();
+        let mut sink = Vec::new();
+        let err = run(&inv, &mut sink).unwrap_err();
+        assert!(err.0.contains("--batches"), "{err}");
+        let inv = parse_args(&args(&["stream", "--batches", "b.json"])).unwrap();
+        let err = run(&inv, &mut sink).unwrap_err();
+        assert!(err.0.contains("--out"), "{err}");
     }
 
     #[test]

@@ -69,7 +69,8 @@ pub use flare_workloads as workloads;
 pub mod prelude {
     pub use flare_core::replayer::{CachedSimTestbed, SimTestbed, Testbed};
     pub use flare_core::{
-        ClusterCountRule, FitReport, Flare, FlareConfig, FlareError, StageOutcome,
+        BatchDisposition, BatchOutcome, ClusterCountRule, DriftReport, FitReport, Flare,
+        FlareConfig, FlareError, StageOutcome, StreamConfig, StreamCursor, StreamSession,
     };
     pub use flare_sim::datacenter::{Corpus, CorpusConfig};
     pub use flare_sim::feature::Feature;

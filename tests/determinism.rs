@@ -133,6 +133,133 @@ fn estimates_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn streamed_ingest_matches_one_shot_fit_byte_identically() {
+    // The streaming acceptance contract: feeding N clean arrival batches
+    // through a StreamSession and finalizing must serialize byte-identically
+    // to a one-shot `Flare::fit` over the concatenated corpus.
+    let (corpus, _) = small_corpus();
+    let model = fit_with_threads(corpus, Some(2));
+    let in_distribution: Vec<(Scenario, u32)> = model
+        .corpus()
+        .entries()
+        .iter()
+        .take(4)
+        .enumerate()
+        .map(|(i, e)| (e.scenario.clone(), 1 + i as u32))
+        .collect();
+    let novel: Vec<(Scenario, u32)> = (0..3)
+        .map(|i| {
+            let s = Scenario::from_counts([(JobName::WebSearch, 2), (JobName::Omnetpp, 1 + i)]);
+            (s, 2)
+        })
+        .collect();
+    let batches = [in_distribution, novel];
+    let all: Vec<(Scenario, u32)> = batches.iter().flatten().cloned().collect();
+
+    let mut session = StreamSession::new(
+        model.clone(),
+        StreamConfig {
+            chunk_size: 2,
+            drift_threshold: 0.9,
+            ..StreamConfig::default()
+        },
+    )
+    .expect("valid config");
+    for b in batches {
+        session.ingest_batch(b).expect("ingest");
+    }
+    let streamed_json = snapshot_json(session.finalize().expect("finalize"));
+
+    let one_shot = Flare::fit(
+        model.corpus().clone().extended(all).expect("extend"),
+        model.config().clone(),
+    )
+    .expect("one-shot fit");
+    assert_eq!(
+        streamed_json,
+        snapshot_json(&one_shot),
+        "streamed finalize diverged from the one-shot fit"
+    );
+}
+
+#[test]
+fn killed_stream_session_resumes_to_identical_snapshot() {
+    // Crash safety, deterministically: a fault-injected session killed
+    // after the first batch resumes from its checkpoint and finishes with
+    // the same snapshot bytes as the uninterrupted run.
+    use flare::sim::faults::FaultPlan;
+    let (corpus, _) = small_corpus();
+    let model = fit_with_threads(corpus, Some(2));
+    let plan = FaultPlan {
+        seed: 7,
+        sample_dropout: 0.05,
+        stuck_sensor: 0.05,
+        ..FaultPlan::default()
+    };
+    let batches = || {
+        [
+            model
+                .corpus()
+                .entries()
+                .iter()
+                .take(3)
+                .map(|e| (e.scenario.clone(), 2))
+                .collect::<Vec<_>>(),
+            (0..4)
+                .map(|i| {
+                    let s = Scenario::from_counts([
+                        (JobName::DataCaching, 6),
+                        (JobName::Mcf, 2 + (i % 3)),
+                        (JobName::Libquantum, 2),
+                    ]);
+                    (s, 1 + i)
+                })
+                .collect::<Vec<_>>(),
+        ]
+    };
+    let config = |dir: Option<std::path::PathBuf>| StreamConfig {
+        chunk_size: 2,
+        drift_threshold: 0.2,
+        calibration_quantile: 0.5,
+        checkpoint_dir: dir,
+        ..StreamConfig::default()
+    };
+
+    let mut uninterrupted = StreamSession::new(model.clone(), config(None))
+        .expect("valid config")
+        .with_faults(plan)
+        .expect("valid plan");
+    for b in batches() {
+        uninterrupted.ingest_batch(b).expect("ingest");
+    }
+    let snap_a = snapshot_json(uninterrupted.finalize().expect("finalize"));
+
+    let dir = std::env::temp_dir().join(format!("flare_stream_kill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut doomed = StreamSession::new(model.clone(), config(Some(dir.clone())))
+            .expect("valid config")
+            .with_faults(plan)
+            .expect("valid plan");
+        doomed
+            .ingest_batch(batches().into_iter().next().unwrap())
+            .expect("ingest");
+        // Dropped here without finalize: the simulated kill.
+    }
+    let mut resumed = StreamSession::resume(&dir, config(Some(dir.clone()))).expect("resume");
+    assert_eq!(resumed.cursor().batches, 1);
+    for b in batches().into_iter().skip(1) {
+        resumed.ingest_batch(b).expect("ingest");
+    }
+    let snap_b = snapshot_json(resumed.finalize().expect("finalize"));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        snap_a, snap_b,
+        "resumed run diverged from uninterrupted run"
+    );
+}
+
+#[test]
 fn kmeans_restarts_are_thread_count_invariant() {
     // 3 planted blobs, deterministic coordinates.
     let rows: Vec<Vec<f64>> = (0..60)

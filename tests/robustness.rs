@@ -353,6 +353,200 @@ proptest! {
     }
 }
 
+/// A fitted model over the fault corpus, shared by the streaming tests
+/// (fitting is the expensive part; every property clones it).
+fn stream_model() -> &'static Flare {
+    static MODEL: OnceLock<Flare> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let (corpus, _, _) = fault_setup();
+        Flare::fit(corpus.clone(), hardened_config()).expect("fit stream model")
+    })
+}
+
+/// In-distribution arrivals: scenarios the model's corpus already holds
+/// (re-observed colocations — the streaming steady state).
+fn replayed_batch(model: &Flare, n: usize) -> Vec<(Scenario, u32)> {
+    (0..n)
+        .map(|i| {
+            let entry = &model.corpus().entries()[i % model.corpus().len()];
+            (entry.scenario.clone(), 1 + i as u32)
+        })
+        .collect()
+}
+
+/// Out-of-distribution arrivals: a fully-packed, LP-dominated mix the
+/// corpus generator never produces.
+fn outlandish_batch(n: usize) -> Vec<(Scenario, u32)> {
+    (0..n)
+        .map(|i| {
+            let s = Scenario::from_counts([
+                (JobName::DataCaching, 6),
+                (JobName::Mcf, 2 + (i % 3) as u32),
+                (JobName::Libquantum, 2),
+            ]);
+            (s, 1 + i as u32)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Under every fault mode at once — dropout, stuck sensors, outlier
+    /// spikes, record loss, record duplication — a streaming session
+    /// never panics: every batch lands in a legal disposition with sane
+    /// fractions, estimates stay finite, and finalize either refits or
+    /// fails with a typed error.
+    #[test]
+    fn stream_session_never_panics_under_faults(
+        rate in 0.0f64..=0.6,
+        seed in 0u64..1_000_000,
+    ) {
+        let model = stream_model().clone();
+        let mut session = StreamSession::new(
+            model.clone(),
+            StreamConfig { chunk_size: 3, ..StreamConfig::default() },
+        )
+        .expect("valid config")
+        .with_faults(FaultPlan {
+            seed,
+            sample_dropout: rate,
+            stuck_sensor: rate * 0.3,
+            outlier_spike: rate * 0.2,
+            record_loss: rate * 0.2,
+            record_duplication: rate * 0.2,
+            ..FaultPlan::default()
+        })
+        .expect("valid plan");
+        let batches = [
+            replayed_batch(&model, 4),
+            outlandish_batch(3),
+            replayed_batch(&model, 2),
+        ];
+        for batch in batches {
+            let arrived = batch.len();
+            let out = session.ingest_batch(batch).expect("ingest never hard-fails");
+            prop_assert_eq!(out.arrived, arrived);
+            prop_assert!((0.0..=1.0).contains(&out.degraded_fraction));
+            prop_assert!((0.0..=1.0).contains(&out.drift_fraction));
+            prop_assert!(out.accepted + out.quarantined >= 1);
+        }
+        match session.evaluate(&Feature::paper_feature2()) {
+            Ok(est) => prop_assert!(est.impact_pct.is_finite()),
+            Err(FlareError::ReplayFailed { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected evaluate error: {e}"))),
+        }
+        let grown = session.corpus().len();
+        match session.finalize() {
+            Ok(refreshed) => prop_assert_eq!(refreshed.corpus().len(), grown),
+            // Heavy record loss can legitimately starve the refit.
+            Err(FlareError::InsufficientData(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected finalize error: {e}"))),
+        }
+    }
+
+    /// A poisoned batch (heavy dropout degrades nearly every record) is
+    /// quarantined — never mistaken for drift, never refitted on: the
+    /// last-good model keeps serving untouched.
+    #[test]
+    fn poisoned_batches_quarantine_rather_than_refit(seed in 0u64..1_000_000) {
+        let model = stream_model().clone();
+        let mut session = StreamSession::new(
+            model.clone(),
+            StreamConfig {
+                drift_threshold: 0.2,
+                calibration_quantile: 0.5,
+                max_degraded_fraction: 0.5,
+                ..StreamConfig::default()
+            },
+        )
+        .expect("valid config")
+        .with_faults(FaultPlan {
+            seed,
+            sample_dropout: 0.95,
+            ..FaultPlan::default()
+        })
+        .expect("valid plan");
+        let out = session.ingest_batch(outlandish_batch(6)).expect("ingest");
+        prop_assert_eq!(out.disposition, BatchDisposition::Quarantined);
+        prop_assert!(out.degraded_fraction > 0.5, "degraded {}", out.degraded_fraction);
+        prop_assert_eq!(session.cursor().reclusters, 0);
+        prop_assert!(!session.cursor().pending_drift);
+        prop_assert_eq!(session.model().corpus().len(), model.corpus().len());
+    }
+
+    /// Crash safety: killing a fault-injected session after any batch
+    /// boundary and resuming from its checkpoint produces byte-identical
+    /// final state to the uninterrupted run.
+    #[test]
+    fn kill_and_resume_is_byte_identical(
+        seed in 0u64..1_000_000,
+        kill_after in 1usize..3,
+    ) {
+        let model = stream_model().clone();
+        let plan = FaultPlan {
+            seed,
+            sample_dropout: 0.05,
+            stuck_sensor: 0.05,
+            ..FaultPlan::default()
+        };
+        let batches = [
+            replayed_batch(&model, 3),
+            outlandish_batch(4),
+            replayed_batch(&model, 2),
+        ];
+        let config = |dir: Option<std::path::PathBuf>| StreamConfig {
+            chunk_size: 2,
+            drift_threshold: 0.2,
+            calibration_quantile: 0.5,
+            checkpoint_dir: dir,
+            ..StreamConfig::default()
+        };
+
+        let mut uninterrupted = StreamSession::new(model.clone(), config(None))
+            .expect("valid config")
+            .with_faults(plan)
+            .expect("valid plan");
+        for b in batches.clone() {
+            uninterrupted.ingest_batch(b).expect("ingest");
+        }
+        let snap_a = serde_json::to_string(
+            &uninterrupted.finalize().expect("finalize").to_snapshot(),
+        )
+        .expect("serialize");
+
+        let dir = std::env::temp_dir().join(format!(
+            "flare_stream_resume_{seed}_{kill_after}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // The doomed first run: checkpoints at each batch boundary,
+            // then is dropped without finalize — the simulated kill.
+            let mut doomed = StreamSession::new(model.clone(), config(Some(dir.clone())))
+                .expect("valid config")
+                .with_faults(plan)
+                .expect("valid plan");
+            for b in batches.iter().take(kill_after).cloned() {
+                doomed.ingest_batch(b).expect("ingest");
+            }
+        }
+        let mut resumed =
+            StreamSession::resume(&dir, config(Some(dir.clone()))).expect("resume");
+        prop_assert_eq!(resumed.cursor().batches, kill_after as u64);
+        for b in batches.iter().skip(kill_after).cloned() {
+            resumed.ingest_batch(b).expect("ingest");
+        }
+        let snap_b =
+            serde_json::to_string(&resumed.finalize().expect("finalize").to_snapshot())
+                .expect("serialize");
+        let reports_match = resumed.drift_report() == uninterrupted.drift_report();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(snap_a, snap_b);
+        prop_assert!(reports_match, "drift logs diverged across the resume");
+    }
+}
+
 #[test]
 fn refinement_threshold_extremes_behave() {
     let corpus = tiny_corpus(1.0);
