@@ -275,7 +275,7 @@ pub fn kmeans_naive(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult
     Ok(best)
 }
 
-fn validate(data: &Matrix, config: &KMeansConfig) -> Result<()> {
+pub(crate) fn validate(data: &Matrix, config: &KMeansConfig) -> Result<()> {
     if config.k == 0 {
         return Err(ClusterError::InvalidParameter("k must be >= 1".into()));
     }
@@ -318,10 +318,26 @@ fn lloyd(
     x_norms: &[f64],
     assign_threads: Option<usize>,
 ) -> KMeansResult {
+    let centroids = kmeans_pp_init_flat(data, config.k, rng);
+    lloyd_from(data, config, centroids, x_norms, assign_threads)
+}
+
+/// Lloyd iterations from an externally supplied initial centroid set — the
+/// seam the mini-batch tier (`crate::minibatch`) uses to warm-start the
+/// exact-pruned kernel for its final full-data passes. Identical to the
+/// post-seeding body of [`lloyd`] (which now delegates here); needs no RNG
+/// because the only data-dependent choice after seeding — the
+/// empty-cluster reseed — is a deterministic farthest-point selection.
+pub(crate) fn lloyd_from(
+    data: &Matrix,
+    config: &KMeansConfig,
+    mut centroids: CentroidBuffer,
+    x_norms: &[f64],
+    assign_threads: Option<usize>,
+) -> KMeansResult {
     let n = data.nrows();
     let d = data.ncols();
     let k = config.k;
-    let mut centroids = kmeans_pp_init_flat(data, k, rng);
     let mut scratch = LloydScratch::new(k, d);
     let mut assignments = vec![0usize; n];
 

@@ -2,8 +2,10 @@
 //!
 //! Clustering substrate for the FLARE reproduction: K-means with k-means++
 //! initialization (the paper's method of choice, §4.4), SSE and Silhouette
-//! quality metrics (Fig. 9), cluster-count sweeps with knee detection, and
-//! agglomerative hierarchical clustering (the paper's cited alternative).
+//! quality metrics (Fig. 9), cluster-count sweeps with knee detection,
+//! agglomerative hierarchical clustering (the paper's cited alternative),
+//! and a mini-batch/coreset tier ([`minibatch`]) that scales the fit to
+//! 10⁵+ rows under a documented SSE-tolerance contract.
 //!
 //! ## Example
 //!
@@ -28,6 +30,7 @@ mod error;
 pub mod hierarchical;
 pub mod kernel;
 pub mod kmeans;
+pub mod minibatch;
 pub mod quality;
 pub mod sweep;
 

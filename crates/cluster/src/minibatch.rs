@@ -1,0 +1,572 @@
+//! Mini-batch K-means tier with k-means‖ coreset seeding: the scale-out
+//! front end that pushes clustering to 10⁵+ rows.
+//!
+//! The exact pipeline (`crate::kmeans`) runs `restarts` full k-means++
+//! seedings plus Lloyd passes over every row — O(restarts · iters · n·k·d).
+//! At 10⁵–10⁶ scenarios that dominates the fit. This module adds a tiered
+//! entry point, [`kmeans_tiered`]:
+//!
+//! - **at or below** [`MiniBatchConfig::threshold`] rows it delegates to
+//!   [`kmeans`] verbatim — same code path, same RNG stream, byte-identical
+//!   output (held by proptests in `tests/proptest_cluster.rs`), so the
+//!   repo-wide determinism suite is unchanged at paper scale;
+//! - **above** the threshold it runs [`kmeans_minibatch`]: one k-means‖
+//!   oversampled seeding pass (Bahmani et al., incremental distance
+//!   maintenance), a weighted Lloyd reduction of the candidate coreset to
+//!   `k` seeds, Sculley-style mini-batch refinement with per-center
+//!   `1/count` learning rates, and finally a warm-started run of the
+//!   existing exact-pruned Lloyd kernel over the full data to polish and
+//!   produce exact assignments/SSE.
+//!
+//! ## Tolerance contract
+//!
+//! Mirroring the eigensolver kernel's documented-tolerance contract, the
+//! exact path stays in-tree as the differential oracle: on clusterable
+//! inputs (the well-separated synthetic corpora the contract tests and the
+//! `abl18_scale_out` bench gate on), the tier's final SSE is within
+//! [`MINIBATCH_SSE_RTOL`] of the exact path's, and representative
+//! selection on separated clusters is stable (each true cluster maps to
+//! one fitted cluster). Unlike the exact path the tier runs a single
+//! warm-started restart, so its output is *not* bit-identical to
+//! [`kmeans`] — which is exactly why it only engages above the threshold.
+//!
+//! Determinism *within* the tier is still absolute: one seeded RNG stream
+//! drives seeding, coreset reduction, and batch sampling, and the thread
+//! knob remains a pure wall-clock knob (the parallel assignment kernel is
+//! deterministic for every thread count).
+
+use crate::distance::squared_euclidean;
+use crate::error::{ClusterError, Result};
+use crate::kernel::{assign_rows, point_norms, squared_euclidean_bounded, CentroidBuffer};
+use crate::kmeans::{kmeans, lloyd_from, validate, KMeansConfig, KMeansResult};
+use flare_exec::resolve_threads;
+use flare_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Documented SSE-tolerance contract of the mini-batch tier: on
+/// clusterable inputs the tier's final SSE is within this relative bound
+/// of the exact path's (`tier_sse <= (1 + RTOL) * exact_sse`). Verified by
+/// the contract tests below and gated by `abl18_scale_out --smoke`.
+pub const MINIBATCH_SSE_RTOL: f64 = 0.05;
+
+/// Configuration of the mini-batch/coreset tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiniBatchConfig {
+    /// Row-count threshold: inputs with `nrows <= threshold` take the
+    /// exact path byte-identically; larger inputs engage the tier.
+    pub threshold: usize,
+    /// Rows sampled per mini-batch refinement step.
+    pub batch_size: usize,
+    /// Maximum mini-batch refinement steps (convergence on centroid
+    /// movement usually stops earlier).
+    pub max_batches: usize,
+    /// k-means‖ oversampling rounds.
+    pub seeding_rounds: usize,
+    /// Oversampling factor: each round draws ~`oversample * k` candidates
+    /// in expectation.
+    pub oversample: usize,
+}
+
+impl Default for MiniBatchConfig {
+    fn default() -> Self {
+        MiniBatchConfig {
+            threshold: 20_000,
+            batch_size: 1024,
+            max_batches: 100,
+            seeding_rounds: 5,
+            oversample: 2,
+        }
+    }
+}
+
+impl MiniBatchConfig {
+    /// Replaces the engage threshold (builder-style).
+    pub fn with_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Replaces the mini-batch size (builder-style).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(ClusterError::InvalidParameter(
+                "minibatch batch_size must be >= 1".into(),
+            ));
+        }
+        if self.max_batches == 0 {
+            return Err(ClusterError::InvalidParameter(
+                "minibatch max_batches must be >= 1".into(),
+            ));
+        }
+        if self.seeding_rounds == 0 || self.oversample == 0 {
+            return Err(ClusterError::InvalidParameter(
+                "minibatch seeding_rounds and oversample must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The tiered public entry point: exact [`kmeans`] at or below
+/// [`MiniBatchConfig::threshold`] rows (byte-identical routing — same
+/// function, same RNG stream), [`kmeans_minibatch`] above it.
+///
+/// # Errors
+///
+/// Same conditions as [`kmeans`], plus
+/// [`ClusterError::InvalidParameter`] for degenerate tier settings.
+pub fn kmeans_tiered(
+    data: &Matrix,
+    config: &KMeansConfig,
+    tier: &MiniBatchConfig,
+) -> Result<KMeansResult> {
+    tier.validate()?;
+    if data.nrows() <= tier.threshold {
+        return kmeans(data, config);
+    }
+    kmeans_minibatch(data, config, tier)
+}
+
+/// The scale tier itself: k-means‖ seeding → weighted coreset reduction →
+/// mini-batch refinement → one warm-started exact-pruned Lloyd run over
+/// the full data. See the [module docs](self) for the algorithm and the
+/// tolerance contract. Exposed directly (bypassing the threshold) for
+/// benches and contract tests; production routing goes through
+/// [`kmeans_tiered`].
+///
+/// # Errors
+///
+/// Same conditions as [`kmeans`], plus
+/// [`ClusterError::InvalidParameter`] for degenerate tier settings.
+pub fn kmeans_minibatch(
+    data: &Matrix,
+    config: &KMeansConfig,
+    tier: &MiniBatchConfig,
+) -> Result<KMeansResult> {
+    validate(data, config)?;
+    tier.validate()?;
+    let k = config.k;
+    let workers = resolve_threads(config.threads);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Shared with the final warm-started Lloyd run.
+    let x_norms = point_norms(data);
+
+    let candidates = parallel_seed(data, k, tier, &mut rng);
+    let (weights, cand_buffer) = weigh_candidates(data, &x_norms, &candidates, workers);
+    let mut centers = reduce_coreset(&cand_buffer, &weights, k, config, &mut rng);
+    minibatch_refine(data, &mut centers, config, tier, &mut rng);
+
+    // Final polish on the full data with the exact-pruned kernel: exact
+    // assignments, exact SSE, and the standard deterministic
+    // empty-cluster reseed if refinement collapsed a center.
+    Ok(lloyd_from(data, config, centers, &x_norms, Some(workers)))
+}
+
+/// k-means‖ oversampled seeding (Bahmani et al.): each round samples every
+/// row independently with probability `min(1, oversample·k·d²(x)/Σd²)`,
+/// then folds the new candidates into the incrementally maintained
+/// nearest-candidate distances (only the *new* candidates are scanned —
+/// never the whole candidate set again).
+fn parallel_seed(data: &Matrix, k: usize, tier: &MiniBatchConfig, rng: &mut StdRng) -> Vec<usize> {
+    let n = data.nrows();
+    let mut candidates: Vec<usize> = Vec::with_capacity(tier.oversample * k * tier.seeding_rounds);
+    let mut is_candidate = vec![false; n];
+    let first = rng.gen_range(0..n);
+    candidates.push(first);
+    is_candidate[first] = true;
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| squared_euclidean(data.row(i), data.row(first)))
+        .collect();
+
+    let ell = (tier.oversample * k) as f64;
+    for _ in 0..tier.seeding_rounds {
+        let total: f64 = d2.iter().sum();
+        if total <= f64::EPSILON {
+            break; // every row coincides with a candidate
+        }
+        let round_start = candidates.len();
+        for i in 0..n {
+            let p = (ell * d2[i] / total).min(1.0);
+            if rng.gen::<f64>() < p && !is_candidate[i] {
+                candidates.push(i);
+                is_candidate[i] = true;
+            }
+        }
+        for &c in &candidates[round_start..] {
+            let row_c = data.row(c);
+            for (i, slot) in d2.iter_mut().enumerate() {
+                if let Some(nd) = squared_euclidean_bounded(data.row(i), row_c, *slot) {
+                    if nd < *slot {
+                        *slot = nd;
+                    }
+                }
+            }
+        }
+    }
+
+    // The oversampled set is ~oversample·k·rounds in expectation but the
+    // draws are probabilistic: top up deterministically (farthest-point)
+    // if a degenerate input left fewer than k candidates.
+    while candidates.len() < k {
+        let far = (0..n)
+            .max_by(|&x, &y| d2[x].total_cmp(&d2[y]))
+            .expect("n >= k >= 1");
+        candidates.push(far);
+        is_candidate[far] = true;
+        let row_far = data.row(far);
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let nd = squared_euclidean(data.row(i), row_far);
+            if nd < *slot {
+                *slot = nd;
+            }
+        }
+    }
+    candidates
+}
+
+/// Weights every candidate by the number of input rows nearest to it (one
+/// pass of the parallel exact-pruned assignment kernel) and packs the
+/// candidate rows into a [`CentroidBuffer`].
+fn weigh_candidates(
+    data: &Matrix,
+    x_norms: &[f64],
+    candidates: &[usize],
+    workers: usize,
+) -> (Vec<f64>, CentroidBuffer) {
+    let d = data.ncols();
+    let m = candidates.len();
+    let mut flat = Vec::with_capacity(m * d);
+    for &c in candidates {
+        flat.extend_from_slice(data.row(c));
+    }
+    let buffer = CentroidBuffer::from_flat(m, d, flat);
+    let mut norms = vec![0.0; m];
+    buffer.norms_into(&mut norms);
+    let mut assign = vec![0usize; data.nrows()];
+    assign_rows(data, x_norms, &buffer, &norms, &mut assign, Some(workers));
+    let mut weights = vec![0.0f64; m];
+    for &a in &assign {
+        weights[a] += 1.0;
+    }
+    (weights, buffer)
+}
+
+/// Reduces the weighted candidate coreset to `k` seeds with a small
+/// weighted k-means++ + Lloyd run (the candidate set is ~oversample·k·
+/// rounds points, so this is O(k²·d·rounds) — negligible next to a full
+/// pass over the data).
+fn reduce_coreset(
+    cands: &CentroidBuffer,
+    weights: &[f64],
+    k: usize,
+    config: &KMeansConfig,
+    rng: &mut StdRng,
+) -> CentroidBuffer {
+    let m = cands.k();
+    let d = cands.dim();
+
+    // Weighted k-means++ over the candidates.
+    let mut seed_idx: Vec<usize> = Vec::with_capacity(k);
+    let total_w: f64 = weights.iter().sum();
+    seed_idx.push(weighted_pick(weights, total_w, rng));
+    let mut d2: Vec<f64> = (0..m)
+        .map(|i| squared_euclidean(cands.row(i), cands.row(seed_idx[0])))
+        .collect();
+    while seed_idx.len() < k {
+        let scores: Vec<f64> = d2.iter().zip(weights).map(|(&dd, &w)| dd * w).collect();
+        let total: f64 = scores.iter().sum();
+        let next = if total <= f64::EPSILON {
+            weighted_pick(weights, total_w, rng)
+        } else {
+            weighted_pick(&scores, total, rng)
+        };
+        seed_idx.push(next);
+        let row_next = cands.row(next);
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let nd = squared_euclidean(cands.row(i), row_next);
+            if nd < *slot {
+                *slot = nd;
+            }
+        }
+    }
+
+    let mut seeds_flat = Vec::with_capacity(k * d);
+    for &s in &seed_idx {
+        seeds_flat.extend_from_slice(cands.row(s));
+    }
+    let mut seeds = CentroidBuffer::from_flat(k, d, seeds_flat);
+
+    // Weighted Lloyd to convergence on the tiny candidate set.
+    let mut assign = vec![0usize; m];
+    let mut sums = vec![0.0f64; k * d];
+    let mut counts = vec![0.0f64; k];
+    let mut mean = vec![0.0f64; d];
+    for _ in 0..config.max_iters {
+        for (i, a) in assign.iter_mut().enumerate() {
+            let row = cands.row(i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dd = squared_euclidean(row, seeds.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            *a = best;
+        }
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        counts.iter_mut().for_each(|c| *c = 0.0);
+        for (i, &a) in assign.iter().enumerate() {
+            counts[a] += weights[i];
+            for (s, v) in sums[a * d..(a + 1) * d].iter_mut().zip(cands.row(i)) {
+                *s += v * weights[i];
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] <= 0.0 {
+                // Re-seed an empty seed at the heaviest-scoring candidate
+                // (deterministic farthest-point analogue on the coreset).
+                let far = (0..m)
+                    .max_by(|&x, &y| (d2[x] * weights[x]).total_cmp(&(d2[y] * weights[y])))
+                    .expect("m >= k >= 1");
+                movement += squared_euclidean(seeds.row(c), cands.row(far));
+                seeds.set_row(c, cands.row(far));
+                continue;
+            }
+            for (mm, s) in mean.iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+                *mm = s / counts[c];
+            }
+            movement += squared_euclidean(seeds.row(c), &mean);
+            seeds.set_row(c, &mean);
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+    seeds
+}
+
+/// One weighted draw: index sampled proportionally to `weights` (cumulative
+/// scan, identical arithmetic shape to the k-means++ selector in
+/// `crate::kmeans`).
+fn weighted_pick(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    if total <= f64::EPSILON {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut target = rng.gen::<f64>() * total;
+    let mut chosen = weights.len() - 1;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            chosen = i;
+            break;
+        }
+        target -= w;
+    }
+    chosen
+}
+
+/// Sculley-style mini-batch refinement: each step samples `batch_size`
+/// rows with replacement, assigns them to their nearest center, then pulls
+/// each center toward its batch members with a per-center `1/count`
+/// learning rate. Stops early once total squared center movement in a step
+/// falls to the configured tolerance.
+fn minibatch_refine(
+    data: &Matrix,
+    centers: &mut CentroidBuffer,
+    config: &KMeansConfig,
+    tier: &MiniBatchConfig,
+    rng: &mut StdRng,
+) {
+    let n = data.nrows();
+    let k = centers.k();
+    let d = centers.dim();
+    let batch = tier.batch_size.min(n);
+    let mut counts = vec![0u64; k];
+    let mut sampled = vec![0usize; batch];
+    let mut assigned = vec![0usize; batch];
+    let mut old = vec![0.0f64; d];
+    for _ in 0..tier.max_batches {
+        for s in sampled.iter_mut() {
+            *s = rng.gen_range(0..n);
+        }
+        for (s, a) in sampled.iter().zip(assigned.iter_mut()) {
+            let row = data.row(*s);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dd = squared_euclidean(row, centers.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            *a = best;
+        }
+        let mut movement = 0.0;
+        for (s, &a) in sampled.iter().zip(assigned.iter()) {
+            counts[a] += 1;
+            let eta = 1.0 / counts[a] as f64;
+            old.copy_from_slice(centers.row(a));
+            let row = data.row(*s);
+            let center = centers.row_mut(a);
+            for (cv, xv) in center.iter_mut().zip(row) {
+                *cv += eta * (xv - *cv);
+            }
+            movement += squared_euclidean(&old, centers.row(a));
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::compute_sse;
+
+    /// `blobs(per)` — 4 well-separated clusters of `per` points each.
+    fn blobs(per: usize) -> Matrix {
+        let centers = [(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0)];
+        let mut rows = Vec::with_capacity(4 * per);
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for p in 0..per {
+                let dx = (p as f64 * 0.37 + ci as f64).sin();
+                let dy = (p as f64 * 0.71 + ci as f64).cos();
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn below_threshold_routes_byte_identically() {
+        let data = blobs(25); // 100 rows
+        let cfg = KMeansConfig::new(4).with_seed(7);
+        let tier = MiniBatchConfig::default(); // threshold 20k >> 100
+        let exact = kmeans(&data, &cfg).unwrap();
+        let tiered = kmeans_tiered(&data, &cfg, &tier).unwrap();
+        assert_eq!(exact, tiered);
+    }
+
+    #[test]
+    fn tier_honors_the_sse_tolerance_contract() {
+        // THE tolerance contract (module docs): above the threshold, the
+        // tier's SSE on clusterable data is within MINIBATCH_SSE_RTOL of
+        // the exact oracle's.
+        let data = blobs(150); // 600 rows, threshold forces the tier
+        let cfg = KMeansConfig::new(4).with_seed(11);
+        let tier = MiniBatchConfig::default()
+            .with_threshold(200)
+            .with_batch_size(64);
+        let exact = kmeans(&data, &cfg).unwrap();
+        let tiered = kmeans_tiered(&data, &cfg, &tier).unwrap();
+        assert!(
+            tiered.sse <= (1.0 + MINIBATCH_SSE_RTOL) * exact.sse,
+            "tier SSE {} vs exact {} breaks the contract",
+            tiered.sse,
+            exact.sse
+        );
+        // SSE is reported against the tier's own centroids, exactly.
+        let recomputed = compute_sse(&data, &tiered.centroids, &tiered.assignments);
+        assert!((tiered.sse - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_selects_stable_representatives_on_separated_clusters() {
+        // Each true cluster maps to exactly one fitted cluster, so the
+        // representative of every fitted cluster is drawn from a single
+        // true cluster — stable selection under the contract.
+        let data = blobs(100); // 400 rows
+        let cfg = KMeansConfig::new(4).with_seed(3);
+        let tier = MiniBatchConfig::default()
+            .with_threshold(300)
+            .with_batch_size(64);
+        let r = kmeans_tiered(&data, &cfg, &tier).unwrap();
+        let mut seen = [usize::MAX; 4];
+        for blob in 0..4 {
+            let first = r.assignments[blob * 100];
+            assert!(
+                r.assignments[blob * 100..(blob + 1) * 100]
+                    .iter()
+                    .all(|&a| a == first),
+                "blob {blob} split across fitted clusters"
+            );
+            assert!(
+                !seen[..blob].contains(&first),
+                "two blobs merged into fitted cluster {first}"
+            );
+            seen[blob] = first;
+        }
+        let reps = r.representatives(&data);
+        for (c, rep) in reps.iter().enumerate() {
+            let rep = rep.expect("no empty clusters on separated blobs");
+            assert_eq!(r.assignments[rep], c);
+        }
+    }
+
+    #[test]
+    fn tier_is_deterministic_and_thread_invariant() {
+        let data = blobs(80); // 320 rows
+        let tier = MiniBatchConfig::default()
+            .with_threshold(100)
+            .with_batch_size(32);
+        let base = KMeansConfig::new(4).with_seed(5).with_threads(Some(1));
+        let serial = kmeans_tiered(&data, &base, &tier).unwrap();
+        let again = kmeans_tiered(&data, &base, &tier).unwrap();
+        assert_eq!(serial, again);
+        for threads in [Some(2), Some(4), None] {
+            let parallel =
+                kmeans_tiered(&data, &base.clone().with_threads(threads), &tier).unwrap();
+            assert_eq!(serial, parallel, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_tier_settings_are_rejected() {
+        let data = blobs(5);
+        let cfg = KMeansConfig::new(2);
+        for bad in [
+            MiniBatchConfig::default().with_batch_size(0),
+            MiniBatchConfig {
+                max_batches: 0,
+                ..MiniBatchConfig::default()
+            },
+            MiniBatchConfig {
+                seeding_rounds: 0,
+                ..MiniBatchConfig::default()
+            },
+            MiniBatchConfig {
+                oversample: 0,
+                ..MiniBatchConfig::default()
+            },
+        ] {
+            assert!(kmeans_tiered(&data, &cfg, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn tier_handles_duplicate_heavy_inputs() {
+        // Mostly-duplicate data stresses the seeding top-up and the
+        // empty-cluster reseed inside the warm-started Lloyd run.
+        let mut rows = vec![vec![1.0, 1.0]; 40];
+        rows.extend(vec![vec![9.0, 9.0]; 40]);
+        let data = Matrix::from_rows(&rows).unwrap();
+        let cfg = KMeansConfig::new(2).with_seed(13);
+        let tier = MiniBatchConfig::default()
+            .with_threshold(10)
+            .with_batch_size(16);
+        let r = kmeans_tiered(&data, &cfg, &tier).unwrap();
+        assert!(r.sse < 1e-9);
+        assert_eq!(r.assignments.len(), 80);
+    }
+}

@@ -7,6 +7,8 @@
 use crate::distance::squared_euclidean;
 use crate::error::{ClusterError, Result};
 use flare_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Mean Silhouette Score over all points, in `[-1, 1]`; higher is better.
 ///
@@ -75,18 +77,77 @@ pub fn silhouette_score_cached(
     })
 }
 
-/// The shared silhouette core: validation plus the Rousseeuw 1987
-/// accumulation, generic over the per-point distance accumulator.
-/// `fill_sums(i, sums)` must add point `i`'s distance to every other
-/// point `j` into `sums[assignments[j]]`, in ascending `j` order — both
-/// providers feed the same values in the same order, so they produce the
-/// same bits.
-fn silhouette_with(
-    n: usize,
+/// [`silhouette_score`] estimated on a deterministic, seeded, stratified
+/// subsample of at most `sample` points — the scale fallback for corpora
+/// too large for the O(n²) pairwise cache *and* too large for the exact
+/// O(n²·d) on-the-fly recompute.
+///
+/// The subsample is stratified by cluster: each populated cluster
+/// contributes `ceil(sample · size/n)` members (always at least one, so no
+/// populated cluster vanishes from the estimate), drawn without
+/// replacement by a seeded partial Fisher–Yates shuffle and re-sorted into
+/// ascending row order. The exact silhouette is then computed on the
+/// subset. Fully deterministic given `(assignments, sample, seed)` —
+/// repeated sweeps produce identical estimates.
+///
+/// `sample == 0` disables subsampling; it and `n <= sample` delegate to
+/// the exact [`silhouette_score`] (bit-identical).
+///
+/// # Errors
+///
+/// Same conditions as [`silhouette_score`], validated against the *full*
+/// input.
+pub fn silhouette_score_subsampled(
+    data: &Matrix,
     assignments: &[usize],
     k: usize,
-    fill_sums: impl Fn(usize, &mut [f64]),
+    sample: usize,
+    seed: u64,
 ) -> Result<f64> {
+    let n = data.nrows();
+    if sample == 0 || n <= sample {
+        return silhouette_score(data, assignments, k);
+    }
+    // Validate the full input up front so error messages refer to it, then
+    // score the subset exactly.
+    validate_silhouette_input(n, assignments, k)?;
+    let picked = stratified_sample(assignments, k, sample, seed);
+    let rows: Vec<Vec<f64>> = picked.iter().map(|&i| data.row(i).to_vec()).collect();
+    let sub_assignments: Vec<usize> = picked.iter().map(|&i| assignments[i]).collect();
+    let sub = Matrix::from_rows(&rows).expect("sampled rows share the data's width");
+    silhouette_score(&sub, &sub_assignments, k)
+}
+
+/// Stratified sampling core of [`silhouette_score_subsampled`]: per-cluster
+/// proportional allocation (ceil, so every populated cluster keeps at
+/// least one member), seeded partial Fisher–Yates within each cluster,
+/// ascending row order out.
+fn stratified_sample(assignments: &[usize], k: usize, sample: usize, seed: u64) -> Vec<usize> {
+    let n = assignments.len();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        members[a].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(sample + k);
+    for cluster in members.iter_mut().filter(|m| !m.is_empty()) {
+        let take = (sample * cluster.len()).div_ceil(n).min(cluster.len());
+        // Partial Fisher–Yates: the first `take` slots end up holding a
+        // uniform without-replacement draw.
+        for slot in 0..take {
+            let j = rng.gen_range(slot..cluster.len());
+            cluster.swap(slot, j);
+        }
+        picked.extend_from_slice(&cluster[..take]);
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// The validation half of [`silhouette_with`], shared with the subsampled
+/// estimator (which must reject bad input by looking at the full
+/// assignment vector, not the subset).
+fn validate_silhouette_input(n: usize, assignments: &[usize], k: usize) -> Result<()> {
     if n < 2 {
         return Err(ClusterError::TooFewPoints { points: n, k });
     }
@@ -105,11 +166,30 @@ fn silhouette_with(
     for &a in assignments {
         sizes[a] += 1;
     }
-    let populated = sizes.iter().filter(|&&s| s > 0).count();
-    if populated < 2 {
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
         return Err(ClusterError::InvalidParameter(
             "silhouette requires at least two non-empty clusters".into(),
         ));
+    }
+    Ok(())
+}
+
+/// The shared silhouette core: validation plus the Rousseeuw 1987
+/// accumulation, generic over the per-point distance accumulator.
+/// `fill_sums(i, sums)` must add point `i`'s distance to every other
+/// point `j` into `sums[assignments[j]]`, in ascending `j` order — both
+/// providers feed the same values in the same order, so they produce the
+/// same bits.
+fn silhouette_with(
+    n: usize,
+    assignments: &[usize],
+    k: usize,
+    fill_sums: impl Fn(usize, &mut [f64]),
+) -> Result<f64> {
+    validate_silhouette_input(n, assignments, k)?;
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
     }
 
     let mut total = 0.0;
@@ -226,6 +306,67 @@ mod tests {
         assert!(silhouette_score(&data, &asg[..5], 2).is_err());
         assert!(silhouette_score(&data, &[0; 6], 2).is_err()); // single populated cluster
         assert!(silhouette_score(&data, &[0, 0, 0, 1, 1, 5], 2).is_err());
+    }
+
+    #[test]
+    fn subsampled_delegates_to_exact_when_not_needed() {
+        let (data, asg) = two_blobs();
+        let exact = silhouette_score(&data, &asg, 2).unwrap();
+        // sample >= n and sample == 0 are both exact, bit for bit.
+        for sample in [0, 6, 100] {
+            let s = silhouette_score_subsampled(&data, &asg, 2, sample, 7).unwrap();
+            assert_eq!(s.to_bits(), exact.to_bits(), "sample={sample}");
+        }
+    }
+
+    #[test]
+    fn subsampled_is_deterministic_and_bounded() {
+        // 3 clusters of very different sizes, far apart.
+        let mut rows = Vec::new();
+        let mut asg = Vec::new();
+        for (c, (cx, size)) in [(0.0, 40), (100.0, 12), (200.0, 3)].iter().enumerate() {
+            for p in 0..*size {
+                rows.push(vec![cx + (p as f64 * 0.01), 0.0]);
+                asg.push(c);
+            }
+        }
+        let data = Matrix::from_rows(&rows).unwrap();
+        let a = silhouette_score_subsampled(&data, &asg, 3, 10, 42).unwrap();
+        let b = silhouette_score_subsampled(&data, &asg, 3, 10, 42).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!((-1.0..=1.0).contains(&a));
+        // Well-separated clusters estimate high even from 10 of 55 points.
+        assert!(a > 0.9, "subsampled silhouette {a}");
+    }
+
+    #[test]
+    fn stratified_sample_keeps_every_populated_cluster() {
+        // Heavily skewed sizes: 50 / 5 / 1. Proportional-floor sampling
+        // would drop the singleton; the ceil allocation must keep it.
+        let mut asg = vec![0usize; 50];
+        asg.extend(vec![1usize; 5]);
+        asg.push(2);
+        for seed in 0..20u64 {
+            let picked = stratified_sample(&asg, 3, 8, seed);
+            assert!(picked.len() >= 3 && picked.len() <= 8 + 3, "{picked:?}");
+            assert!(picked.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            for c in 0..3 {
+                assert!(
+                    picked.iter().any(|&i| asg[i] == c),
+                    "cluster {c} lost from {picked:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subsampled_validates_against_the_full_input() {
+        let (data, asg) = two_blobs();
+        // Length mismatch and out-of-range assignments are caught even
+        // though only a subset would be scored.
+        assert!(silhouette_score_subsampled(&data, &asg[..5], 2, 3, 0).is_err());
+        assert!(silhouette_score_subsampled(&data, &[0, 0, 0, 1, 1, 5], 2, 3, 0).is_err());
+        assert!(silhouette_score_subsampled(&data, &[0; 6], 2, 3, 0).is_err());
     }
 
     #[test]

@@ -8,22 +8,78 @@
 use crate::error::{ClusterError, Result};
 use crate::kernel::{centroids_of_flat, PairwiseDistances};
 use crate::kmeans::{kmeans, KMeansConfig};
-use crate::quality::{silhouette_score, silhouette_score_cached};
+use crate::quality::{silhouette_score_cached, silhouette_score_subsampled};
 use flare_exec::{par_map_indexed, resolve_threads};
 use flare_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
-/// Ceiling on the [`PairwiseDistances`] cache a sweep will allocate
-/// (64 MiB ≈ 2 800 points at the full-matrix layout). Above it the sweep
-/// falls back to on-the-fly silhouette distances — same bits, no O(n²)
-/// memory.
-const MAX_PAIRWISE_CACHE_BYTES: usize = 64 << 20;
+/// Default ceiling on the [`PairwiseDistances`] cache a sweep will
+/// allocate (64 MiB ≈ 2 800 points at the full-matrix layout). Above it
+/// the sweep falls back to the seeded subsampled silhouette estimate (see
+/// [`SweepOptions`]) instead of silently recomputing the full O(n²·d)
+/// distance set per candidate.
+pub const MAX_PAIRWISE_CACHE_BYTES: usize = 64 << 20;
+
+/// Default subsample size of the above-cap silhouette fallback.
+pub const DEFAULT_SILHOUETTE_SAMPLE: usize = 4096;
+
+/// Scale knobs of a cluster-count sweep.
+///
+/// Below `max_pairwise_cache_bytes` nothing changes: one pairwise cache
+/// serves every candidate, byte-identical to the historical behavior (the
+/// determinism suite's corpora are far below the default cap). Above the
+/// cap, silhouettes are *estimated* on a deterministic seeded stratified
+/// subsample of `silhouette_sample` points per candidate
+/// ([`silhouette_score_subsampled`]) instead of the historical silent
+/// quadratic recompute; `silhouette_sample == 0` restores the exact
+/// (slow) fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Largest pairwise-distance cache the sweep may allocate, in bytes.
+    pub max_pairwise_cache_bytes: usize,
+    /// Subsample size of the above-cap silhouette estimate (0 = exact).
+    pub silhouette_sample: usize,
+    /// Seed of the subsample draw.
+    pub seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            max_pairwise_cache_bytes: MAX_PAIRWISE_CACHE_BYTES,
+            silhouette_sample: DEFAULT_SILHOUETTE_SAMPLE,
+            seed: 0xF1A7E,
+        }
+    }
+}
 
 /// The per-sweep pairwise-distance cache, if the corpus is small enough
-/// to afford it. `None` and `Some` produce byte-identical silhouettes.
-fn pairwise_cache(data: &Matrix, threads: Option<usize>) -> Option<PairwiseDistances> {
-    (PairwiseDistances::footprint_bytes(data.nrows()) <= MAX_PAIRWISE_CACHE_BYTES)
+/// to afford it. `None` and `Some` produce byte-identical silhouettes
+/// (when `None` falls back to the exact path).
+fn pairwise_cache(
+    data: &Matrix,
+    threads: Option<usize>,
+    opts: &SweepOptions,
+) -> Option<PairwiseDistances> {
+    (PairwiseDistances::footprint_bytes(data.nrows()) <= opts.max_pairwise_cache_bytes)
         .then(|| PairwiseDistances::compute(data, threads))
+}
+
+/// One candidate's silhouette: cached when the cache exists, otherwise the
+/// subsampled (or exact, if disabled) fallback.
+fn silhouette_of(
+    data: &Matrix,
+    cache: &Option<PairwiseDistances>,
+    assignments: &[usize],
+    k: usize,
+    opts: &SweepOptions,
+) -> Result<f64> {
+    match cache {
+        Some(d) => silhouette_score_cached(d, assignments, k),
+        None => {
+            silhouette_score_subsampled(data, assignments, k, opts.silhouette_sample, opts.seed)
+        }
+    }
 }
 
 /// Quality measurements for one candidate cluster count.
@@ -127,16 +183,14 @@ pub fn sweep_hierarchical(
     }
     let dendrogram = crate::hierarchical::agglomerative(data, linkage)?;
     // One pairwise-distance pass serves every cut's silhouette.
-    let cache = pairwise_cache(data, None);
+    let opts = SweepOptions::default();
+    let cache = pairwise_cache(data, None, &opts);
     let mut points = Vec::with_capacity(ks.len());
     for &k in ks {
         let assignments = dendrogram.cut(k)?;
         let centroids = centroids_of(data, &assignments, k);
         let sse = crate::quality::sse(data, &centroids, &assignments)?;
-        let silhouette = match &cache {
-            Some(d) => silhouette_score_cached(d, &assignments, k)?,
-            None => silhouette_score(data, &assignments, k)?,
-        };
+        let silhouette = silhouette_of(data, &cache, &assignments, k, &opts)?;
         points.push(SweepPoint { k, sse, silhouette });
     }
     points.sort_by_key(|p| p.k);
@@ -195,6 +249,24 @@ pub fn sweep_kmeans_cached(
     base: &KMeansConfig,
     prev: Option<&SweepResult>,
 ) -> Result<(SweepResult, usize)> {
+    sweep_kmeans_cached_with(data, ks, base, prev, &SweepOptions::default())
+}
+
+/// [`sweep_kmeans_cached`] with explicit [`SweepOptions`] — the seam the
+/// scale configuration plumbs through (cache ceiling, above-cap
+/// silhouette subsample, subsample seed). The default options reproduce
+/// [`sweep_kmeans_cached`] exactly.
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_kmeans`].
+pub fn sweep_kmeans_cached_with(
+    data: &Matrix,
+    ks: &[usize],
+    base: &KMeansConfig,
+    prev: Option<&SweepResult>,
+    opts: &SweepOptions,
+) -> Result<(SweepResult, usize)> {
     if ks.is_empty() {
         return Err(ClusterError::InvalidParameter("empty sweep range".into()));
     }
@@ -223,17 +295,14 @@ pub fn sweep_kmeans_cached(
     let cache = if todo.is_empty() {
         None
     } else {
-        pairwise_cache(data, base.threads)
+        pairwise_cache(data, base.threads, opts)
     };
     let fresh: Vec<SweepPoint> = par_map_indexed(&todo, Some(outer), |_, &k| {
         let mut cfg = base.clone();
         cfg.k = k;
         cfg.threads = Some(inner);
         let result = kmeans(data, &cfg)?;
-        let silhouette = match &cache {
-            Some(d) => silhouette_score_cached(d, &result.assignments, k)?,
-            None => silhouette_score(data, &result.assignments, k)?,
-        };
+        let silhouette = silhouette_of(data, &cache, &result.assignments, k, opts)?;
         Ok(SweepPoint {
             k,
             sse: result.sse,
@@ -250,6 +319,7 @@ pub fn sweep_kmeans_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::quality::silhouette_score;
 
     /// Five well-separated blobs.
     fn blobs5() -> Matrix {
@@ -393,6 +463,47 @@ mod tests {
             assert_eq!(point.k, k);
             assert_eq!(point.sse.to_bits(), result.sse.to_bits(), "k={k}");
             assert_eq!(point.silhouette.to_bits(), silhouette.to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn tiny_cache_cap_with_exact_fallback_is_byte_identical() {
+        // Starving the pairwise cache must not change a single bit when
+        // the subsampled estimate is disabled: the exact fallback and the
+        // cached path compute the same silhouette.
+        let data = blobs5();
+        let ks: Vec<usize> = (2..=8).collect();
+        let base = KMeansConfig::new(2).with_restarts(5);
+        let (cached, _) = sweep_kmeans_cached(&data, &ks, &base, None).unwrap();
+        let exact_opts = SweepOptions {
+            max_pairwise_cache_bytes: 0,
+            silhouette_sample: 0,
+            ..SweepOptions::default()
+        };
+        let (uncached, _) = sweep_kmeans_cached_with(&data, &ks, &base, None, &exact_opts).unwrap();
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn subsampled_fallback_is_deterministic_and_sane() {
+        // Above the (here: zero) cap with a subsample smaller than the
+        // corpus, the sweep estimates silhouettes — deterministically for
+        // a fixed seed, and still peaking at the true cluster count on
+        // well-separated blobs.
+        let data = blobs5();
+        let ks: Vec<usize> = (2..=8).collect();
+        let base = KMeansConfig::new(2).with_restarts(10);
+        let opts = SweepOptions {
+            max_pairwise_cache_bytes: 0,
+            silhouette_sample: 20,
+            seed: 7,
+        };
+        let (a, _) = sweep_kmeans_cached_with(&data, &ks, &base, None, &opts).unwrap();
+        let (b, _) = sweep_kmeans_cached_with(&data, &ks, &base, None, &opts).unwrap();
+        assert_eq!(a, b, "seeded subsampling must be deterministic");
+        assert_eq!(a.best_silhouette_k(), Some(5));
+        for p in &a.points {
+            assert!((-1.0..=1.0).contains(&p.silhouette), "k={}", p.k);
         }
     }
 

@@ -4,6 +4,7 @@ use flare_cluster::distance::{nearest_centroid, norm};
 use flare_cluster::hierarchical::{agglomerative, Linkage};
 use flare_cluster::kernel::{assign_exact_pruned, CentroidBuffer, PairwiseDistances};
 use flare_cluster::kmeans::{compute_sse, kmeans, kmeans_naive, KMeansConfig, KMeansResult};
+use flare_cluster::minibatch::{kmeans_tiered, MiniBatchConfig};
 use flare_cluster::quality::{silhouette_score, silhouette_score_cached, sse};
 use flare_linalg::Matrix;
 use proptest::prelude::*;
@@ -175,6 +176,26 @@ proptest! {
         let dists = PairwiseDistances::compute(&data, threads);
         let cached = silhouette_score_cached(&dists, &r.assignments, k).unwrap();
         prop_assert_eq!(uncached.to_bits(), cached.to_bits());
+    }
+
+    #[test]
+    fn tiered_entry_point_is_bit_exact_below_the_threshold(
+        data in points(24, 3),
+        k in 1usize..7,
+        seed in 0u64..500,
+        threshold in 24usize..50_000,
+        batch_size in 1usize..64,
+    ) {
+        // The scale-tier routing contract: at or below the threshold the
+        // public tiered entry point IS the exact path — same RNG stream,
+        // bit-identical on every output field — for any tier settings.
+        let cfg = KMeansConfig::new(k).with_seed(seed);
+        let tier = MiniBatchConfig::default()
+            .with_threshold(threshold)
+            .with_batch_size(batch_size);
+        let exact = kmeans(&data, &cfg).unwrap();
+        let tiered = kmeans_tiered(&data, &cfg, &tier).unwrap();
+        prop_assert_eq!(result_bits(&exact), result_bits(&tiered));
     }
 
     #[test]

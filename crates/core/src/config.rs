@@ -46,6 +46,48 @@ pub enum ClusterCountRule {
     },
 }
 
+/// Scale-out knobs of the metric data plane and the clustering tier.
+///
+/// `shard_rows` is a **layout-only** knob: the sharded columnar store
+/// coalesces to the same dense matrix bit-for-bit regardless of shard
+/// size, so it is normalized away from stage fingerprints and never
+/// invalidates cached artifacts. The remaining fields change *results*
+/// above their thresholds (the mini-batch tier trades exactness for a
+/// documented SSE tolerance; the silhouette subsample estimates rather
+/// than computes) and therefore participate in the cluster-stage
+/// fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// Rows per shard of the columnar metric store (bounds the largest
+    /// single allocation the ingest path makes).
+    pub shard_rows: usize,
+    /// Row count above which the cluster stage warm-starts exact Lloyd
+    /// iterations from a mini-batch/coreset solution instead of running
+    /// k-means++ from scratch. At or below the threshold routing is
+    /// byte-identical to the exact path.
+    pub tier_threshold: usize,
+    /// Mini-batch size of the tier's refinement passes.
+    pub minibatch_size: usize,
+    /// Largest pairwise-distance cache the cluster-count sweep may
+    /// allocate, in bytes; above it silhouettes are estimated on a
+    /// seeded subsample.
+    pub silhouette_cache_bytes: usize,
+    /// Subsample size of the above-cap silhouette estimate (0 = exact).
+    pub silhouette_sample: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            shard_rows: 8192,
+            tier_threshold: 20_000,
+            minibatch_size: 1024,
+            silhouette_cache_bytes: 64 << 20,
+            silhouette_sample: 4096,
+        }
+    }
+}
+
 /// All tunables of the four-step FLARE pipeline (Fig. 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlareConfig {
@@ -105,6 +147,10 @@ pub struct FlareConfig {
     /// extrapolating from the surviving clusters.
     #[serde(default = "default_min_replay_coverage")]
     pub min_replay_coverage: f64,
+    /// Scale-out knobs: metric-store shard size, mini-batch clustering
+    /// tier, and silhouette cache/subsample limits.
+    #[serde(default)]
+    pub scale: ScaleConfig,
 }
 
 fn default_min_replay_coverage() -> f64 {
@@ -128,6 +174,7 @@ impl Default for FlareConfig {
             winsorize_mad: None,
             retry: RetryPolicy::default(),
             min_replay_coverage: default_min_replay_coverage(),
+            scale: ScaleConfig::default(),
         }
     }
 }
@@ -168,17 +215,25 @@ pub struct ClusterStageConfig {
     pub cluster_method: ClusterMethod,
     /// K-means settings; ignored when the method is hierarchical.
     pub kmeans: KMeansConfig,
+    /// Scale knobs the cluster stage reads: the mini-batch tier
+    /// threshold/batch size and the silhouette cache/subsample limits.
+    pub scale: ScaleConfig,
 }
 
 impl ClusterStageConfig {
     /// The copy a content fingerprint should see: `kmeans.k` is always
-    /// overridden by the cluster-count rule and `kmeans.threads` is a
-    /// wall-clock knob, so both are normalized away to keep them from
-    /// spuriously invalidating the cluster stage.
+    /// overridden by the cluster-count rule, `kmeans.threads` is a
+    /// wall-clock knob, and `scale.shard_rows` is a layout-only knob
+    /// (the sharded store coalesces bit-identically at any shard size),
+    /// so all three are normalized away to keep them from spuriously
+    /// invalidating the cluster stage. The remaining scale fields stay:
+    /// they change which code path (and, above their thresholds, which
+    /// bits) the stage produces.
     pub fn fingerprint_view(&self) -> ClusterStageConfig {
         let mut view = self.clone();
         view.kmeans.k = 0;
         view.kmeans.threads = None;
+        view.scale.shard_rows = 0;
         view
     }
 }
@@ -221,6 +276,7 @@ impl FlareConfig {
             cluster_count: self.cluster_count.clone(),
             cluster_method: self.cluster_method,
             kmeans: self.kmeans.clone(),
+            scale: self.scale,
         }
     }
 
@@ -269,6 +325,15 @@ impl FlareConfig {
                 "min_replay_coverage {} outside [0, 1]",
                 self.min_replay_coverage
             ));
+        }
+        if self.scale.shard_rows == 0 {
+            return Err("scale.shard_rows must be >= 1".into());
+        }
+        if self.scale.tier_threshold == 0 {
+            return Err("scale.tier_threshold must be >= 1".into());
+        }
+        if self.scale.minibatch_size == 0 {
+            return Err("scale.minibatch_size must be >= 1".into());
         }
         match &self.cluster_count {
             ClusterCountRule::Fixed(k) if *k == 0 => {
@@ -375,16 +440,65 @@ mod tests {
             c.representatives_stage().representative_rule,
             c.representative_rule
         );
-        // The fingerprint view normalizes the two knobs the pipeline never
-        // reads as-is: the overridden `k` and the wall-clock `threads`.
+        // The fingerprint view normalizes the knobs the pipeline never
+        // reads as-is: the overridden `k`, the wall-clock `threads`, and
+        // the layout-only shard size.
         let mut c2 = c.clone();
         c2.kmeans.threads = Some(5);
         c2.kmeans.k = 3;
+        c2.scale.shard_rows = 512;
         assert_eq!(
             c.cluster_stage().fingerprint_view(),
             c2.cluster_stage().fingerprint_view()
         );
         assert_ne!(c.cluster_stage(), c2.cluster_stage());
+        // The result-affecting scale knobs are NOT normalized away.
+        let mut c3 = c.clone();
+        c3.scale.tier_threshold = 7;
+        assert_ne!(
+            c.cluster_stage().fingerprint_view(),
+            c3.cluster_stage().fingerprint_view()
+        );
+    }
+
+    #[test]
+    fn scale_config_defaults_and_validation() {
+        let c = FlareConfig::default();
+        assert_eq!(c.scale.shard_rows, 8192);
+        assert_eq!(c.scale.tier_threshold, 20_000);
+        assert_eq!(c.scale.minibatch_size, 1024);
+        assert_eq!(c.scale.silhouette_cache_bytes, 64 << 20);
+        assert_eq!(c.scale.silhouette_sample, 4096);
+
+        for bad in [
+            ScaleConfig {
+                shard_rows: 0,
+                ..ScaleConfig::default()
+            },
+            ScaleConfig {
+                tier_threshold: 0,
+                ..ScaleConfig::default()
+            },
+            ScaleConfig {
+                minibatch_size: 0,
+                ..ScaleConfig::default()
+            },
+        ] {
+            let c = FlareConfig {
+                scale: bad,
+                ..FlareConfig::default()
+            };
+            assert!(c.validate().is_err(), "{bad:?}");
+        }
+        // A zero silhouette sample means "exact" and is valid.
+        let c = FlareConfig {
+            scale: ScaleConfig {
+                silhouette_sample: 0,
+                ..ScaleConfig::default()
+            },
+            ..FlareConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

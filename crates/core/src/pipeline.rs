@@ -205,16 +205,30 @@ impl Flare {
             .extended(new_scenarios)
             .map_err(crate::FlareError::InvalidParameter)?;
         let start = self.corpus.len();
-        let tail = match self.config.temporal_phases {
-            Some(phases) => corpus
-                .profile_tail_enriched_threaded(start, &self.baseline, phases, self.config.threads)
-                .map_err(crate::FlareError::InvalidParameter)?,
-            None => corpus.profile_tail_threaded(start, &self.baseline, self.config.threads),
-        };
-        let profiled = tail.len();
+        // The delta is profiled window-by-window (shard-sized), so even a
+        // huge extension never buffers more than `scale.shard_rows`
+        // records at once. Window boundaries are invisible in the output.
         let mut database = self.database.clone();
-        for rec in tail {
-            database.insert(rec)?;
+        let mut profiled = 0;
+        let mut lo = start;
+        while lo < corpus.len() {
+            let hi = (lo + self.config.scale.shard_rows.max(1)).min(corpus.len());
+            let chunk = match self.config.temporal_phases {
+                Some(phases) => corpus
+                    .profile_window_enriched_threaded(
+                        lo..hi,
+                        &self.baseline,
+                        phases,
+                        self.config.threads,
+                    )
+                    .map_err(crate::FlareError::InvalidParameter)?,
+                None => corpus.profile_window_threaded(lo..hi, &self.baseline, self.config.threads),
+            };
+            profiled += chunk.len();
+            for rec in chunk {
+                database.insert(rec)?;
+            }
+            lo = hi;
         }
         let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &self.config);
         let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
@@ -502,17 +516,29 @@ impl Flare {
 }
 
 /// Profiles every corpus scenario under `baseline` per the config's
-/// temporal-enrichment and threading knobs.
+/// temporal-enrichment, threading, and shard-size knobs. Profiling runs
+/// shard-by-shard into the sharded store, so the largest in-flight
+/// buffer is bounded by `config.scale.shard_rows` — byte-identical to a
+/// monolithic profile for every shard size (records depend only on
+/// scenario ids, and the store coalesces bit-exactly).
 fn profile_corpus(
     corpus: &Corpus,
     baseline: &MachineConfig,
     config: &FlareConfig,
 ) -> Result<MetricDatabase> {
+    let shard_rows = config.scale.shard_rows;
     match config.temporal_phases {
         Some(phases) => corpus
-            .to_metric_database_enriched_threaded(baseline, phases, config.threads)
+            .to_metric_database_enriched_sharded_threaded(
+                baseline,
+                phases,
+                config.threads,
+                shard_rows,
+            )
             .map_err(crate::FlareError::InvalidParameter),
-        None => Ok(corpus.to_metric_database_threaded(baseline, config.threads)),
+        None => {
+            Ok(corpus.to_metric_database_sharded_threaded(baseline, config.threads, shard_rows))
+        }
     }
 }
 

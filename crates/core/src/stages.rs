@@ -24,8 +24,11 @@ use crate::config::{
 use crate::diagnostics::RepairReport;
 use crate::error::{FlareError, Result};
 use flare_cluster::hierarchical::agglomerative;
-use flare_cluster::kmeans::{kmeans, KMeansResult};
-use flare_cluster::sweep::{sweep_hierarchical, sweep_kmeans_cached, SweepResult};
+use flare_cluster::kmeans::KMeansResult;
+use flare_cluster::minibatch::{kmeans_tiered, MiniBatchConfig};
+use flare_cluster::sweep::{
+    sweep_hierarchical, sweep_kmeans_cached_with, SweepOptions, SweepResult,
+};
 use flare_linalg::pca::Pca;
 use flare_linalg::stats::robust_scale;
 use flare_linalg::Matrix;
@@ -504,6 +507,18 @@ pub fn run_cluster(
     // the cores at every stage while outputs stay thread-invariant.
     let mut kconfig = cfg.kmeans.clone();
     kconfig.threads = kconfig.threads.or(pipeline_threads);
+    // The scale knobs translate into the cluster substrate's own types:
+    // the mini-batch tier (engaged only above `tier_threshold`; at or
+    // below it `kmeans_tiered` IS the exact path, bit for bit) and the
+    // sweep's silhouette cache cap / subsample size.
+    let tier = MiniBatchConfig::default()
+        .with_threshold(cfg.scale.tier_threshold)
+        .with_batch_size(cfg.scale.minibatch_size);
+    let sweep_opts = SweepOptions {
+        max_pairwise_cache_bytes: cfg.scale.silhouette_cache_bytes,
+        silhouette_sample: cfg.scale.silhouette_sample,
+        ..SweepOptions::default()
+    };
     let mut reused_points = 0;
     let (k, sweep) = match &cfg.cluster_count {
         ClusterCountRule::Fixed(k) => (*k, None),
@@ -511,8 +526,13 @@ pub fn run_cluster(
             let ks: Vec<usize> = (*min_k..=*max_k).step_by(*step).collect();
             let sweep = match cfg.cluster_method {
                 ClusterMethod::KMeans => {
-                    let (sweep, reused) =
-                        sweep_kmeans_cached(&feat.projected, &ks, &kconfig, prev_sweep)?;
+                    let (sweep, reused) = sweep_kmeans_cached_with(
+                        &feat.projected,
+                        &ks,
+                        &kconfig,
+                        prev_sweep,
+                        &sweep_opts,
+                    )?;
                     reused_points = reused;
                     sweep
                 }
@@ -535,7 +555,7 @@ pub fn run_cluster(
     let clustering = match cfg.cluster_method {
         ClusterMethod::KMeans => {
             kconfig.k = k;
-            kmeans(&feat.projected, &kconfig)?
+            kmeans_tiered(&feat.projected, &kconfig, &tier)?
         }
         ClusterMethod::Hierarchical(linkage) => {
             let dendrogram = agglomerative(&feat.projected, linkage)?;
@@ -694,6 +714,34 @@ mod tests {
             StageFingerprints::compute(9, &base),
             StageFingerprints::compute(9, &pinned)
         );
+        // The metric-store shard size is layout-only: any shard size
+        // coalesces to the same matrix bit-for-bit, so it never
+        // invalidates an artifact.
+        let mut sharded = FlareConfig::default();
+        sharded.scale.shard_rows = 333;
+        assert_eq!(
+            StageFingerprints::compute(9, &base),
+            StageFingerprints::compute(9, &sharded)
+        );
+    }
+
+    #[test]
+    fn scale_tier_knobs_invalidate_only_the_cluster_stages() {
+        // Unlike shard_rows, the tier threshold / batch size / silhouette
+        // limits can change which bits the cluster stage produces, so
+        // they invalidate it (and everything downstream) — but nothing
+        // upstream.
+        let base = FlareConfig::default();
+        let mut tiered = FlareConfig::default();
+        tiered.scale.tier_threshold = 500;
+        tiered.scale.minibatch_size = 64;
+        let a = StageFingerprints::compute(13, &base);
+        let b = StageFingerprints::compute(13, &tiered);
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.repair, b.repair);
+        assert_eq!(a.featurize, b.featurize);
+        assert_ne!(a.cluster, b.cluster);
+        assert_ne!(a.representatives, b.representatives);
     }
 
     #[test]

@@ -35,7 +35,9 @@ mod error;
 pub mod kernel;
 mod matrix;
 pub mod pca;
+mod sharded;
 pub mod stats;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
+pub use sharded::ShardedMatrix;

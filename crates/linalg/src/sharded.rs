@@ -1,0 +1,517 @@
+//! Sharded row-major storage: a matrix split into bounded row blocks.
+//!
+//! The metric data plane grows one profiled scenario at a time. Backing it
+//! with a single dense [`Matrix`] means every capacity growth copies the
+//! entire buffer and every mid-matrix insert memmoves everything below the
+//! insertion point — at 10⁵–10⁶ rows that is a giant allocation plus O(n)
+//! work per record. A [`ShardedMatrix`] keeps the same logical row-major
+//! contents in shards of at most `shard_rows` rows each, so:
+//!
+//! - growth allocates one shard at a time (peak transient allocation is
+//!   bounded by the shard size, not the database size);
+//! - inserting a row is shard-local (splice within one shard, split the
+//!   shard when it overflows — never a whole-matrix memmove);
+//! - row views are served shard-aware with a binary search over shard
+//!   start offsets.
+//!
+//! **Determinism contract:** the shard layout is a storage detail. Row
+//! contents and row order are identical to the unsharded representation
+//! for every `shard_rows` (held by proptests in `flare-metrics`), and
+//! [`ShardedMatrix::coalesced`] produces the exact dense matrix an
+//! unsharded store would hold — same bytes, same row order. Equality
+//! ([`PartialEq`]) compares logical content only, never layout: two stores
+//! with different shard boundaries (e.g. one grown incrementally with
+//! splits, one rebuilt in sorted order from the wire format) compare equal
+//! when their rows do.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A row-major matrix stored as a sequence of bounded row blocks.
+///
+/// See the [module docs](self) for the layout and determinism contract.
+///
+/// # Examples
+///
+/// ```
+/// use flare_linalg::ShardedMatrix;
+///
+/// let mut m = ShardedMatrix::new(2, 2); // 2 columns, 2 rows per shard
+/// for i in 0..5 {
+///     m.push_row(&[i as f64, -(i as f64)]).unwrap();
+/// }
+/// assert_eq!(m.nrows(), 5);
+/// assert_eq!(m.shard_count(), 3); // 2 + 2 + 1 rows
+/// assert_eq!(m.row(3), &[3.0, -3.0]);
+/// assert_eq!(m.coalesced().row(3), &[3.0, -3.0]);
+/// ```
+pub struct ShardedMatrix {
+    cols: usize,
+    shard_rows: usize,
+    shards: Vec<Matrix>,
+    /// `starts[s]` = logical index of shard `s`'s first row.
+    starts: Vec<usize>,
+    nrows: usize,
+    /// Lazily coalesced dense view for multi-shard stores; invalidated on
+    /// every mutation so [`ShardedMatrix::coalesced`] is pointer-stable
+    /// between mutations.
+    coalesced: OnceLock<Matrix>,
+}
+
+impl ShardedMatrix {
+    /// An empty store with `cols` columns and at most `shard_rows` rows
+    /// per shard (`shard_rows` is clamped to at least 1).
+    pub fn new(cols: usize, shard_rows: usize) -> Self {
+        ShardedMatrix {
+            cols,
+            shard_rows: shard_rows.max(1),
+            shards: Vec::new(),
+            starts: Vec::new(),
+            nrows: 0,
+            coalesced: OnceLock::new(),
+        }
+    }
+
+    /// Splits an existing dense matrix into shards of at most
+    /// `shard_rows` rows, preserving row order and bytes.
+    pub fn from_matrix(m: &Matrix, shard_rows: usize) -> Self {
+        let mut out = ShardedMatrix::new(m.ncols(), shard_rows);
+        let mut start = 0;
+        while start < m.nrows() {
+            let end = (start + out.shard_rows).min(m.nrows());
+            let shard = Matrix::from_vec(end - start, m.ncols(), m.row_block(start..end).to_vec())
+                .expect("block dimensions are consistent by construction");
+            out.starts.push(start);
+            out.shards.push(shard);
+            start = end;
+        }
+        out.nrows = m.nrows();
+        out
+    }
+
+    /// Number of logical rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// The configured shard capacity (maximum rows per shard).
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Number of shards currently allocated.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in row order. Every shard holds at most
+    /// [`ShardedMatrix::shard_rows`] rows — the bounded-memory invariant
+    /// scale benches assert.
+    pub fn shards(&self) -> &[Matrix] {
+        &self.shards
+    }
+
+    /// `(shard index, row index within that shard)` for logical row `i`.
+    fn locate(&self, i: usize) -> (usize, usize) {
+        assert!(
+            i < self.nrows,
+            "row index {i} out of bounds ({})",
+            self.nrows
+        );
+        // partition_point returns the first shard starting past `i`.
+        let s = self.starts.partition_point(|&start| start <= i) - 1;
+        (s, i - self.starts[s])
+    }
+
+    /// Immutable view of logical row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let (s, local) = self.locate(i);
+        self.shards[s].row(local)
+    }
+
+    /// Mutable view of logical row `i`. Invalidates the coalesced cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        self.coalesced.take();
+        let (s, local) = self.locate(i);
+        self.shards[s].row_mut(local)
+    }
+
+    /// Iterator over logical rows, in order, across shard boundaries.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.shards.iter().flat_map(Matrix::rows_iter)
+    }
+
+    /// Appends a row: fills the last shard or opens a new one — never a
+    /// whole-store copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `row.len() != ncols()`.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "push_row: row of length {} into a store with {} columns",
+                row.len(),
+                self.cols
+            )));
+        }
+        self.coalesced.take();
+        match self.shards.last_mut() {
+            Some(last) if last.nrows() < self.shard_rows => last.push_row(row)?,
+            _ => {
+                let mut shard = Matrix::zeros(0, self.cols);
+                shard.push_row(row)?;
+                self.starts.push(self.nrows);
+                self.shards.push(shard);
+            }
+        }
+        self.nrows += 1;
+        Ok(())
+    }
+
+    /// Inserts a row before logical index `at` (`at == nrows()` appends).
+    /// The splice is shard-local; a shard that overflows its capacity is
+    /// split in half instead of spilling into its neighbours, so the cost
+    /// is O(`shard_rows`) regardless of the store size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `row.len() != ncols()`
+    /// and [`LinalgError::InvalidParameter`] if `at > nrows()`.
+    pub fn insert_row(&mut self, at: usize, row: &[f64]) -> Result<()> {
+        if at == self.nrows {
+            return self.push_row(row);
+        }
+        if at > self.nrows {
+            return Err(LinalgError::InvalidParameter(format!(
+                "insert_row: index {at} out of bounds for {} rows",
+                self.nrows
+            )));
+        }
+        if row.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "insert_row: row of length {} into a store with {} columns",
+                row.len(),
+                self.cols
+            )));
+        }
+        self.coalesced.take();
+        let (s, local) = self.locate(at);
+        self.shards[s].insert_row(local, row)?;
+        self.nrows += 1;
+        if self.shards[s].nrows() > self.shard_rows {
+            self.split_shard(s);
+        }
+        self.rebuild_starts();
+        Ok(())
+    }
+
+    /// Removes the row at logical index `at`; an emptied shard is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `at >= nrows()`.
+    pub fn remove_row(&mut self, at: usize) -> Result<()> {
+        if at >= self.nrows {
+            return Err(LinalgError::InvalidParameter(format!(
+                "remove_row: index {at} out of bounds for {} rows",
+                self.nrows
+            )));
+        }
+        self.coalesced.take();
+        let (s, local) = self.locate(at);
+        self.shards[s].remove_row(local)?;
+        self.nrows -= 1;
+        if self.shards[s].nrows() == 0 {
+            self.shards.remove(s);
+        }
+        self.rebuild_starts();
+        Ok(())
+    }
+
+    /// Splits shard `s` into two halves (the overflow path of
+    /// [`ShardedMatrix::insert_row`]).
+    fn split_shard(&mut self, s: usize) {
+        let total = self.shards[s].nrows();
+        let keep = total.div_ceil(2);
+        let tail = Matrix::from_vec(
+            total - keep,
+            self.cols,
+            self.shards[s].row_block(keep..total).to_vec(),
+        )
+        .expect("block dimensions are consistent by construction");
+        let old = std::mem::replace(&mut self.shards[s], Matrix::zeros(0, self.cols));
+        let mut data = old.into_vec();
+        data.truncate(keep * self.cols);
+        self.shards[s] = Matrix::from_vec(keep, self.cols, data)
+            .expect("truncated buffer keeps row-major shape");
+        self.shards.insert(s + 1, tail);
+    }
+
+    fn rebuild_starts(&mut self) {
+        self.starts.clear();
+        let mut acc = 0;
+        for shard in &self.shards {
+            self.starts.push(acc);
+            acc += shard.nrows();
+        }
+    }
+
+    /// The dense row-major view of the whole store.
+    ///
+    /// A single-shard store (every database below `shard_rows` rows —
+    /// i.e. all paper-scale workloads) returns a direct borrow of its one
+    /// shard: zero copies, pointer-stable across calls. A multi-shard
+    /// store coalesces once into a cached dense matrix (also
+    /// pointer-stable until the next mutation). The coalesced bytes are
+    /// identical to what an unsharded store would hold — row order is
+    /// preserved exactly.
+    pub fn coalesced(&self) -> &Matrix {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        self.coalesced.get_or_init(|| {
+            let mut data = Vec::with_capacity(self.nrows * self.cols);
+            for shard in &self.shards {
+                data.extend_from_slice(shard.as_slice());
+            }
+            Matrix::from_vec(self.nrows, self.cols, data)
+                .expect("shard row counts sum to nrows by invariant")
+        })
+    }
+
+    /// Extracts the given columns, in order, preserving the shard layout
+    /// (each shard is projected independently — no dense intermediate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if `indices` is empty and
+    /// [`LinalgError::InvalidParameter`] if any index is out of bounds.
+    pub fn select_columns(&self, indices: &[usize]) -> Result<ShardedMatrix> {
+        if indices.is_empty() {
+            return Err(LinalgError::Empty("select_columns: no indices".into()));
+        }
+        if let Some(&bad) = indices.iter().find(|&&j| j >= self.cols) {
+            return Err(LinalgError::InvalidParameter(format!(
+                "select_columns: index {bad} out of bounds for {} columns",
+                self.cols
+            )));
+        }
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| s.select_columns(indices))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedMatrix {
+            cols: indices.len(),
+            shard_rows: self.shard_rows,
+            starts: self.starts.clone(),
+            nrows: self.nrows,
+            shards,
+            coalesced: OnceLock::new(),
+        })
+    }
+}
+
+impl Clone for ShardedMatrix {
+    fn clone(&self) -> Self {
+        ShardedMatrix {
+            cols: self.cols,
+            shard_rows: self.shard_rows,
+            shards: self.shards.clone(),
+            starts: self.starts.clone(),
+            nrows: self.nrows,
+            // The clone rebuilds its own cache on demand.
+            coalesced: OnceLock::new(),
+        }
+    }
+}
+
+impl fmt::Debug for ShardedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The coalesce cache is deliberately excluded: Debug output must
+        // be a pure function of logical content + configuration, never of
+        // whether a lazy cache happens to be populated.
+        f.debug_struct("ShardedMatrix")
+            .field("nrows", &self.nrows)
+            .field("cols", &self.cols)
+            .field("shard_rows", &self.shard_rows)
+            .field("shards", &self.shards)
+            .finish()
+    }
+}
+
+impl PartialEq for ShardedMatrix {
+    /// Logical content equality: same shape, same rows in the same order.
+    /// Shard boundaries and the configured `shard_rows` are layout, not
+    /// content — a store rebuilt from the wire format compares equal to
+    /// one grown incrementally even when their shard layouts differ.
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.cols == other.cols
+            && self.rows_iter().eq(other.rows_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize, shard_rows: usize) -> ShardedMatrix {
+        let mut m = ShardedMatrix::new(3, shard_rows);
+        for i in 0..n {
+            let v = i as f64;
+            m.push_row(&[v, v * 0.5, -v]).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn rows_match_dense_for_every_shard_size() {
+        let dense = filled(17, usize::MAX).coalesced().clone();
+        for shard_rows in [1, 2, 3, 5, 16, 17, 100] {
+            let sharded = filled(17, shard_rows);
+            assert_eq!(sharded.nrows(), 17);
+            for i in 0..17 {
+                assert_eq!(
+                    sharded.row(i),
+                    dense.row(i),
+                    "shard_rows={shard_rows} row {i}"
+                );
+            }
+            assert_eq!(sharded.coalesced(), &dense, "shard_rows={shard_rows}");
+            assert_eq!(sharded.rows_iter().count(), 17, "shard_rows={shard_rows}");
+        }
+    }
+
+    #[test]
+    fn shards_never_exceed_capacity() {
+        let mut m = filled(50, 8);
+        for at in [0, 7, 8, 25, 49] {
+            m.insert_row(at, &[9.0, 9.0, 9.0]).unwrap();
+        }
+        for shard in m.shards() {
+            assert!(shard.nrows() <= 8, "shard of {} rows", shard.nrows());
+            assert!(shard.nrows() > 0, "empty shard left behind");
+        }
+        assert_eq!(m.nrows(), 55);
+    }
+
+    #[test]
+    fn insert_matches_dense_semantics() {
+        let mut sharded = filled(10, 3);
+        let mut dense = filled(10, usize::MAX).coalesced().clone();
+        for (at, v) in [(0, 100.0), (5, 200.0), (12, 300.0), (7, 400.0)] {
+            sharded.insert_row(at, &[v, v, v]).unwrap();
+            dense.insert_row(at, &[v, v, v]).unwrap();
+        }
+        assert_eq!(sharded.coalesced(), &dense);
+        // Equality is logical: a re-split of the same contents is equal.
+        assert_eq!(sharded, ShardedMatrix::from_matrix(&dense, 4));
+    }
+
+    #[test]
+    fn remove_matches_dense_semantics() {
+        let mut sharded = filled(9, 2);
+        let mut dense = filled(9, usize::MAX).coalesced().clone();
+        for at in [8, 0, 3] {
+            sharded.remove_row(at).unwrap();
+            dense.remove_row(at).unwrap();
+        }
+        assert_eq!(sharded.coalesced(), &dense);
+        assert!(sharded.remove_row(6).is_err());
+        for shard in sharded.shards() {
+            assert!(shard.nrows() > 0);
+        }
+    }
+
+    #[test]
+    fn coalesced_is_pointer_stable_between_mutations() {
+        let m = filled(10, 3);
+        let a = m.coalesced() as *const Matrix;
+        let b = m.coalesced() as *const Matrix;
+        assert_eq!(a, b);
+        // Single-shard stores borrow the shard directly.
+        let single = filled(5, 100);
+        assert_eq!(single.shard_count(), 1);
+        assert!(std::ptr::eq(single.coalesced(), &single.shards()[0]));
+    }
+
+    #[test]
+    fn mutation_invalidates_the_coalesced_cache() {
+        let mut m = filled(10, 3);
+        assert_eq!(m.coalesced().row(4)[0], 4.0);
+        m.row_mut(4)[0] = 99.0;
+        assert_eq!(m.row(4)[0], 99.0);
+        assert_eq!(m.coalesced().row(4)[0], 99.0);
+        m.push_row(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.coalesced().nrows(), 11);
+    }
+
+    #[test]
+    fn select_columns_projects_each_shard() {
+        let m = filled(11, 4);
+        let p = m.select_columns(&[2, 0]).unwrap();
+        assert_eq!(p.ncols(), 2);
+        assert_eq!(p.shard_count(), m.shard_count());
+        for i in 0..11 {
+            assert_eq!(p.row(i), &[m.row(i)[2], m.row(i)[0]]);
+        }
+        assert!(m.select_columns(&[]).is_err());
+        assert!(m.select_columns(&[3]).is_err());
+    }
+
+    #[test]
+    fn validation_and_empty_store() {
+        let mut m = ShardedMatrix::new(2, 4);
+        assert!(m.is_empty());
+        assert_eq!(m.coalesced().nrows(), 0);
+        assert!(m.push_row(&[1.0]).is_err());
+        assert!(m.insert_row(1, &[1.0, 2.0]).is_err());
+        assert!(m.remove_row(0).is_err());
+        m.insert_row(0, &[1.0, 2.0]).unwrap(); // insert-at-end == append
+        assert_eq!(m.nrows(), 1);
+    }
+
+    #[test]
+    fn clone_and_debug_are_layout_faithful() {
+        let m = filled(7, 2);
+        let c = m.clone();
+        assert_eq!(m, c);
+        assert_eq!(c.shard_count(), m.shard_count());
+        // Debug is cache-independent: rendering before and after a
+        // coalesce produces identical text.
+        let before = format!("{m:?}");
+        let _ = m.coalesced();
+        assert_eq!(before, format!("{m:?}"));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut m = ShardedMatrix::new(1, 0);
+        assert_eq!(m.shard_rows(), 1);
+        m.push_row(&[1.0]).unwrap();
+        m.push_row(&[2.0]).unwrap();
+        assert_eq!(m.shard_count(), 2);
+    }
+}

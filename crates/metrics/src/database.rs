@@ -2,20 +2,38 @@
 //!
 //! The paper records per-scenario average metrics, the commands and
 //! configurations of running jobs, in "our relational database". The
-//! equivalent here is an in-memory columnar table: scenario ids, a dense
-//! scenario × metric [`Matrix`], observation weights, and job mixes are
-//! stored as parallel arrays sorted by scenario id. Rows are handed out as
-//! lightweight [`ScenarioRow`] views and [`MetricDatabase::to_matrix`] is a
-//! borrow of the primary representation, so the Analyzer's PCA/clustering
-//! hot path never re-materializes the data. [`ScenarioRecord`] remains the
-//! owned exchange type for insertion and the (unchanged) JSON wire format.
+//! equivalent here is an in-memory columnar table: scenario ids, a sharded
+//! scenario × metric [`ShardedMatrix`], observation weights, and job mixes
+//! are stored as parallel arrays sorted by scenario id. Rows are handed out
+//! as lightweight [`ScenarioRow`] views and [`MetricDatabase::to_matrix`]
+//! is a borrow of the primary representation, so the Analyzer's
+//! PCA/clustering hot path never re-materializes the data.
+//! [`ScenarioRecord`] remains the owned exchange type for insertion and
+//! the (unchanged) JSON wire format.
+//!
+//! ## Sharding
+//!
+//! The data plane is stored in row shards of at most
+//! [`MetricDatabase::shard_rows`] rows each (default
+//! [`DEFAULT_SHARD_ROWS`]), so a 10⁵–10⁶-scenario database grows one
+//! bounded block at a time instead of reallocating (and memmoving) one
+//! giant matrix per insert. The shard layout is a storage detail: row
+//! contents, row order, the wire format, and every query are identical to
+//! the unsharded representation for any shard size — held by the proptests
+//! below.
 
 use crate::error::{MetricsError, Result};
 use crate::schema::MetricSchema;
-use flare_linalg::Matrix;
+use flare_linalg::{Matrix, ShardedMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// Default maximum rows per shard of the metric data plane. At the
+/// canonical ~100-metric schema this bounds a shard to ~6.5 MiB, while
+/// every paper-scale database (hundreds of scenarios) stays single-shard —
+/// and therefore byte-for-byte identical to the pre-sharding layout.
+pub const DEFAULT_SHARD_ROWS: usize = 8192;
 
 /// Opaque identifier of a job-colocation scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -210,10 +228,13 @@ impl IngestReport {
 
 /// In-memory metric database: schema + columnar scenario rows.
 ///
-/// The primary representation is a dense scenario × metric [`Matrix`] with
-/// parallel id / observation / job-mix arrays, all sorted by ascending
-/// scenario id. [`MetricDatabase::to_matrix`] therefore borrows rather
-/// than copies, and row lookups return [`ScenarioRow`] views.
+/// The primary representation is a sharded scenario × metric
+/// [`ShardedMatrix`] with parallel id / observation / job-mix arrays, all
+/// sorted by ascending scenario id. [`MetricDatabase::to_matrix`]
+/// therefore borrows rather than copies, and row lookups return
+/// [`ScenarioRow`] views. Shard size is a layout knob
+/// ([`MetricDatabase::with_shard_rows`]) that never changes contents,
+/// query results, or the wire format.
 ///
 /// # Examples
 ///
@@ -239,16 +260,26 @@ pub struct MetricDatabase {
     schema: MetricSchema,
     /// Scenario ids, ascending; row `i` of `data` belongs to `ids[i]`.
     ids: Vec<ScenarioId>,
-    /// The scenario × metric data plane (one matrix row per scenario).
-    data: Matrix,
+    /// The scenario × metric data plane (one logical row per scenario),
+    /// stored in bounded row shards.
+    data: ShardedMatrix,
     observations: Vec<u32>,
     job_mixes: Vec<Vec<(String, u32)>>,
 }
 
 impl MetricDatabase {
-    /// Creates an empty database over `schema`.
+    /// Creates an empty database over `schema` with the default shard size
+    /// ([`DEFAULT_SHARD_ROWS`]).
     pub fn new(schema: MetricSchema) -> Self {
-        let data = Matrix::zeros(0, schema.len());
+        Self::with_shard_rows(schema, DEFAULT_SHARD_ROWS)
+    }
+
+    /// Creates an empty database over `schema` whose data plane is stored
+    /// in shards of at most `shard_rows` rows (clamped to at least 1).
+    /// Purely a memory-layout knob: contents, queries, and the wire format
+    /// are identical for every shard size.
+    pub fn with_shard_rows(schema: MetricSchema, shard_rows: usize) -> Self {
+        let data = ShardedMatrix::new(schema.len(), shard_rows);
         MetricDatabase {
             schema,
             ids: Vec::new(),
@@ -256,6 +287,17 @@ impl MetricDatabase {
             observations: Vec::new(),
             job_mixes: Vec::new(),
         }
+    }
+
+    /// The configured shard capacity of the data plane (maximum rows per
+    /// shard).
+    pub fn shard_rows(&self) -> usize {
+        self.data.shard_rows()
+    }
+
+    /// Number of shards the data plane currently occupies.
+    pub fn shard_count(&self) -> usize {
+        self.data.shard_count()
     }
 
     /// The metric schema rows are aligned to.
@@ -404,15 +446,20 @@ impl MetricDatabase {
     /// the [`MetricDatabase::ingest`] path can introduce them).
     pub fn missing_cells(&self) -> usize {
         self.data
-            .as_slice()
+            .shards()
             .iter()
+            .flat_map(|s| s.as_slice())
             .filter(|m| !m.is_finite())
             .count()
     }
 
     /// `true` if any stored row carries a missing-sample marker.
     pub fn has_missing(&self) -> bool {
-        self.data.as_slice().iter().any(|m| !m.is_finite())
+        self.data
+            .shards()
+            .iter()
+            .flat_map(|s| s.as_slice())
+            .any(|m| !m.is_finite())
     }
 
     /// The row at sorted position `i` as a borrowed view.
@@ -452,7 +499,11 @@ impl MetricDatabase {
 
     /// The scenario × metric data matrix, rows in ascending scenario-id
     /// order (the Analyzer's input). A borrow of the primary columnar
-    /// representation — no copy.
+    /// representation: single-shard databases (everything below
+    /// [`MetricDatabase::shard_rows`] rows) hand out their one shard with
+    /// zero copies; larger databases coalesce lazily into a cached dense
+    /// matrix that stays pointer-stable until the next mutation. Either
+    /// way the bytes and row order are identical to an unsharded store.
     ///
     /// # Errors
     ///
@@ -461,7 +512,13 @@ impl MetricDatabase {
         if self.ids.is_empty() {
             return Err(MetricsError::EmptyDatabase);
         }
-        Ok(&self.data)
+        Ok(self.data.coalesced())
+    }
+
+    /// The sharded data plane itself, for callers that want to walk shards
+    /// without coalescing (bounded-memory consumers).
+    pub fn data_shards(&self) -> &ShardedMatrix {
+        &self.data
     }
 
     /// A new database containing the same scenarios but only the metric
@@ -486,7 +543,7 @@ impl MetricDatabase {
         }
         let schema = self.schema.subset(indices);
         let data = if self.ids.is_empty() {
-            Matrix::zeros(0, indices.len())
+            ShardedMatrix::new(indices.len(), self.data.shard_rows())
         } else {
             self.data
                 .select_columns(indices)
@@ -507,7 +564,7 @@ impl MetricDatabase {
     /// stage-graph path for re-weighted reclustering (§5.5): the profile
     /// artifact is reused, only the weights change.
     pub fn reweighted(&self, mut weight: impl FnMut(ScenarioId, u32) -> u32) -> MetricDatabase {
-        let mut db = MetricDatabase::new(self.schema.clone());
+        let mut db = MetricDatabase::with_shard_rows(self.schema.clone(), self.data.shard_rows());
         for i in 0..self.len() {
             let w = weight(self.ids[i], self.observations[i]);
             if w == 0 {
@@ -569,16 +626,37 @@ impl MetricDatabase {
 /// before the columnar refactor load unchanged and new files remain
 /// readable by old tooling. [`MetricDatabase`] converts through this type
 /// at the serde boundary (`into`/`try_from` container attributes).
+///
+/// A database configured with a non-default shard size additionally
+/// writes a `shard_rows` key so checkpoints resume with the same layout;
+/// at the default the key is omitted and the legacy shape is preserved
+/// exactly. Old tooling that ignores unknown keys is unaffected either
+/// way — shard size never changes contents.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct DbWire {
     schema: MetricSchema,
     records: BTreeMap<ScenarioId, ScenarioRecord>,
+    #[serde(
+        default = "default_shard_rows",
+        skip_serializing_if = "is_default_shard_rows"
+    )]
+    shard_rows: usize,
+}
+
+fn default_shard_rows() -> usize {
+    DEFAULT_SHARD_ROWS
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)] // serde's skip_serializing_if signature
+fn is_default_shard_rows(v: &usize) -> bool {
+    *v == DEFAULT_SHARD_ROWS
 }
 
 impl From<MetricDatabase> for DbWire {
     fn from(db: MetricDatabase) -> DbWire {
         DbWire {
             records: db.iter().map(|r| (r.id, r.to_record())).collect(),
+            shard_rows: db.data.shard_rows(),
             schema: db.schema,
         }
     }
@@ -588,7 +666,7 @@ impl TryFrom<DbWire> for MetricDatabase {
     type Error = MetricsError;
 
     fn try_from(wire: DbWire) -> Result<MetricDatabase> {
-        let mut db = MetricDatabase::new(wire.schema);
+        let mut db = MetricDatabase::with_shard_rows(wire.schema, wire.shard_rows);
         for (id, record) in wire.records {
             if record.id != id {
                 return Err(MetricsError::Persistence(format!(
@@ -915,6 +993,72 @@ mod tests {
             db.insert(nan),
             Err(MetricsError::NonFiniteMetric { id: 0, index: 2 })
         ));
+    }
+
+    #[test]
+    fn sharded_database_matches_unsharded_queries() {
+        let mut tiny = MetricDatabase::with_shard_rows(tiny_schema(), 2);
+        let mut dflt = MetricDatabase::new(tiny_schema());
+        for id in [9, 1, 5, 3, 7, 2, 8, 0, 6, 4] {
+            tiny.insert(record(id, id as f64)).unwrap();
+            dflt.insert(record(id, id as f64)).unwrap();
+        }
+        assert!(tiny.shard_count() > 1);
+        assert_eq!(dflt.shard_count(), 1);
+        // Layout never leaks into contents: equality, row views, and the
+        // dense matrix are identical.
+        assert_eq!(tiny, dflt);
+        for i in 0..tiny.len() {
+            assert_eq!(tiny.row_at(i).to_record(), dflt.row_at(i).to_record());
+        }
+        assert_eq!(
+            tiny.to_matrix().unwrap().as_slice(),
+            dflt.to_matrix().unwrap().as_slice()
+        );
+        let pt = tiny.project(&[2, 0]).unwrap();
+        let pd = dflt.project(&[2, 0]).unwrap();
+        assert_eq!(pt, pd);
+        assert_eq!(pt.shard_rows(), 2); // projection preserves the layout knob
+    }
+
+    #[test]
+    fn multi_shard_matrix_borrow_is_pointer_stable() {
+        let mut db = MetricDatabase::with_shard_rows(tiny_schema(), 2);
+        for id in 0..7 {
+            db.insert(record(id, id as f64)).unwrap();
+        }
+        let before = db.to_matrix().unwrap() as *const Matrix;
+        let again = db.to_matrix().unwrap() as *const Matrix;
+        assert_eq!(before, again);
+    }
+
+    #[test]
+    fn wire_format_omits_shard_rows_at_default_and_roundtrips_custom() {
+        let mut dflt = MetricDatabase::new(tiny_schema());
+        dflt.insert(record(1, 1.0)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&dflt.to_json().unwrap()).unwrap();
+        // Legacy shape exactly: no shard_rows key at the default.
+        assert!(v.get("shard_rows").is_none());
+
+        let mut custom = MetricDatabase::with_shard_rows(tiny_schema(), 3);
+        custom.insert(record(1, 1.0)).unwrap();
+        let json = custom.to_json().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get("shard_rows").and_then(|s| s.as_u64()), Some(3));
+        let back = MetricDatabase::from_json(&json).unwrap();
+        assert_eq!(back, custom);
+        assert_eq!(back.shard_rows(), 3);
+    }
+
+    #[test]
+    fn legacy_json_without_shard_rows_loads_with_default() {
+        let mut db = MetricDatabase::new(tiny_schema());
+        db.insert(record(2, 1.0)).unwrap();
+        let json = db.to_json().unwrap();
+        assert!(!json.contains("shard_rows"));
+        let back = MetricDatabase::from_json(&json).unwrap();
+        assert_eq!(back.shard_rows(), DEFAULT_SHARD_ROWS);
+        assert_eq!(back, db);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! machine configuration and synthesizing the raw metrics.
 
 use crate::interference::{evaluate, evaluate_with_profiles, MachinePerf};
-use crate::kernel::EvalScratch;
+use crate::kernel::{EvalCache, EvalScratch};
 use crate::machine::{MachineConfig, MachineShape};
 use crate::profiler::synthesize;
 use crate::scenario::Scenario;
@@ -361,6 +361,33 @@ impl Corpus {
         db
     }
 
+    /// [`Corpus::to_metric_database_threaded`] into a sharded store:
+    /// profiling proceeds shard-by-shard, so the largest in-flight record
+    /// buffer and the largest single matrix allocation are both bounded
+    /// by `shard_rows` — the bounded-memory path for 10⁵+-scenario
+    /// corpora. Byte-identical to the unsharded materialization (per-
+    /// scenario noise seeds depend only on the corpus seed and the
+    /// scenario id, never on batch boundaries).
+    pub fn to_metric_database_sharded_threaded(
+        &self,
+        machine_config: &MachineConfig,
+        threads: Option<usize>,
+        shard_rows: usize,
+    ) -> MetricDatabase {
+        let shard_rows = shard_rows.max(1);
+        let mut db = MetricDatabase::with_shard_rows(MetricSchema::canonical(), shard_rows);
+        let mut start = 0;
+        while start < self.entries.len() {
+            let end = (start + shard_rows).min(self.entries.len());
+            for record in self.profile_window_threaded(start..end, machine_config, threads) {
+                db.insert(record)
+                    .expect("synthesized vector matches canonical schema");
+            }
+            start = end;
+        }
+        db
+    }
+
     /// Profiles only the entries with index `>= start` and returns their
     /// records (canonical schema), in id order. `profile_tail_threaded(0, …)`
     /// produces exactly the records of [`Corpus::to_metric_database_threaded`];
@@ -373,18 +400,65 @@ impl Corpus {
         machine_config: &MachineConfig,
         threads: Option<usize>,
     ) -> Vec<ScenarioRecord> {
-        let tail = &self.entries[start.min(self.entries.len())..];
+        self.profile_window_threaded(start..self.entries.len(), machine_config, threads)
+    }
+
+    /// Profiles exactly the entries whose index falls in `range`
+    /// (clamped to the corpus) and returns their records in id order —
+    /// the windowed primitive behind both the tail paths and the
+    /// shard-by-shard materialization of
+    /// [`Corpus::to_metric_database_sharded_threaded`]. Window boundaries
+    /// are invisible in the output: records depend on nothing but
+    /// (scenario, config, id).
+    pub fn profile_window_threaded(
+        &self,
+        range: std::ops::Range<usize>,
+        machine_config: &MachineConfig,
+        threads: Option<usize>,
+    ) -> Vec<ScenarioRecord> {
+        let end = range.end.min(self.entries.len());
+        let window = &self.entries[range.start.min(end)..end];
         // Chunked so each worker owns one scratch arena for its whole range
         // of interference solves (`flare_sim::kernel`); the chunk split is a
-        // wall-clock knob only — records depend on nothing but (scenario,
-        // config, id).
+        // wall-clock knob only.
+        par_map_chunks(window.len(), threads, 8, |r| {
+            let mut scratch = EvalScratch::new();
+            r.map(|i| {
+                let e = &window[i];
+                let perf =
+                    crate::kernel::evaluate_catalog(&e.scenario, machine_config, &mut scratch);
+                let metrics = synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
+                ScenarioRecord {
+                    id: e.id,
+                    metrics,
+                    observations: e.observations,
+                    job_mix: e.scenario.job_mix_strings(),
+                }
+            })
+            .collect()
+        })
+    }
+
+    /// [`Corpus::profile_tail_threaded`] through an [`EvalCache`]:
+    /// repeated colocation multisets (ubiquitous in real corpora — the
+    /// paper observes only ~900 distinct mixes) are solved once and
+    /// served from the cache thereafter. Bit-identical to the uncached
+    /// path: the cache stores exact solver outputs, and metric synthesis
+    /// runs per scenario id regardless of cache hits.
+    pub fn profile_tail_cached_threaded(
+        &self,
+        start: usize,
+        machine_config: &MachineConfig,
+        threads: Option<usize>,
+        cache: &EvalCache,
+    ) -> Vec<ScenarioRecord> {
+        let tail = &self.entries[start.min(self.entries.len())..];
         par_map_chunks(tail.len(), threads, 8, |range| {
             let mut scratch = EvalScratch::new();
             range
                 .map(|i| {
                     let e = &tail[i];
-                    let perf =
-                        crate::kernel::evaluate_catalog(&e.scenario, machine_config, &mut scratch);
+                    let perf = cache.evaluate(&e.scenario, machine_config, &mut scratch);
                     let metrics =
                         synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
                     ScenarioRecord {
@@ -466,6 +540,41 @@ impl Corpus {
         Ok(db)
     }
 
+    /// Sharded counterpart of
+    /// [`Corpus::to_metric_database_enriched_threaded`]; bounded-memory
+    /// like [`Corpus::to_metric_database_sharded_threaded`], byte-identical
+    /// to the unsharded enriched materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `phases == 0`.
+    pub fn to_metric_database_enriched_sharded_threaded(
+        &self,
+        machine_config: &MachineConfig,
+        phases: usize,
+        threads: Option<usize>,
+        shard_rows: usize,
+    ) -> Result<MetricDatabase, String> {
+        if phases == 0 {
+            return Err("temporal enrichment requires at least one phase".into());
+        }
+        let shard_rows = shard_rows.max(1);
+        let mut db =
+            MetricDatabase::with_shard_rows(MetricSchema::canonical_enriched(), shard_rows);
+        let mut start = 0;
+        while start < self.entries.len() {
+            let end = (start + shard_rows).min(self.entries.len());
+            let records =
+                self.profile_window_enriched_threaded(start..end, machine_config, phases, threads)?;
+            for record in records {
+                db.insert(record)
+                    .expect("enriched vector matches enriched schema");
+            }
+            start = end;
+        }
+        Ok(db)
+    }
+
     /// Temporally-enriched counterpart of [`Corpus::profile_tail_threaded`]:
     /// profiles only the entries with index `>= start` against the enriched
     /// schema.
@@ -480,10 +589,33 @@ impl Corpus {
         phases: usize,
         threads: Option<usize>,
     ) -> Result<Vec<ScenarioRecord>, String> {
+        self.profile_window_enriched_threaded(
+            start..self.entries.len(),
+            machine_config,
+            phases,
+            threads,
+        )
+    }
+
+    /// Enriched counterpart of [`Corpus::profile_window_threaded`]:
+    /// profiles exactly the entries whose index falls in `range` against
+    /// the enriched schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `phases == 0`.
+    pub fn profile_window_enriched_threaded(
+        &self,
+        range: std::ops::Range<usize>,
+        machine_config: &MachineConfig,
+        phases: usize,
+        threads: Option<usize>,
+    ) -> Result<Vec<ScenarioRecord>, String> {
         if phases == 0 {
             return Err("temporal enrichment requires at least one phase".into());
         }
-        let tail = &self.entries[start.min(self.entries.len())..];
+        let end = range.end.min(self.entries.len());
+        let tail = &self.entries[range.start.min(end)..end];
         // Smaller chunks than the plain path: each record costs `phases`
         // interference solves. Chunking shares one scratch arena per worker.
         Ok(par_map_chunks(tail.len(), threads, 4, |range| {
@@ -746,6 +878,83 @@ mod tests {
         assert!(corpus
             .profile_tail_enriched_threaded(0, &mcfg, 0, None)
             .is_err());
+    }
+
+    #[test]
+    fn sharded_materialization_is_byte_identical_and_bounded() {
+        let corpus = Corpus::generate(&small_config());
+        let mcfg = corpus.config().machine_config.clone();
+        let dense = corpus.to_metric_database(&mcfg);
+        for shard_rows in [7, 64, 100_000] {
+            let sharded = corpus.to_metric_database_sharded_threaded(&mcfg, None, shard_rows);
+            assert_eq!(sharded.shard_rows(), shard_rows);
+            assert_eq!(sharded, dense, "shard_rows={shard_rows}");
+            // Every shard respects the bound.
+            for shard in sharded.data_shards().shards() {
+                assert!(shard.nrows() <= shard_rows);
+            }
+            // The coalesced matrix carries identical bits.
+            let a = dense.to_matrix().unwrap();
+            let b = sharded.to_matrix().unwrap();
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn enriched_sharded_materialization_is_byte_identical() {
+        let corpus = Corpus::generate(&small_config());
+        let mcfg = corpus.config().machine_config.clone();
+        let dense = corpus.to_metric_database_enriched(&mcfg, 3).unwrap();
+        let sharded = corpus
+            .to_metric_database_enriched_sharded_threaded(&mcfg, 3, None, 11)
+            .unwrap();
+        assert_eq!(sharded, dense);
+        assert!(corpus
+            .to_metric_database_enriched_sharded_threaded(&mcfg, 0, None, 11)
+            .is_err());
+    }
+
+    #[test]
+    fn profile_window_slices_consistently() {
+        let corpus = Corpus::generate(&small_config());
+        let mcfg = corpus.config().machine_config.clone();
+        let full = corpus.profile_tail_threaded(0, &mcfg, Some(1));
+        // Stitching adjacent windows reproduces the tail record-for-record.
+        let mid = corpus.len() / 3;
+        let mut stitched = corpus.profile_window_threaded(0..mid, &mcfg, None);
+        stitched.extend(corpus.profile_window_threaded(mid..corpus.len(), &mcfg, None));
+        assert_eq!(stitched, full);
+        // Out-of-range windows clamp instead of panicking.
+        assert!(corpus
+            .profile_window_threaded(corpus.len() + 1..corpus.len() + 9, &mcfg, None)
+            .is_empty());
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = corpus.profile_window_threaded(5..2, &mcfg, None);
+        assert!(inverted.is_empty());
+    }
+
+    #[test]
+    fn cached_profiling_is_bit_identical_and_hits() {
+        let corpus = Corpus::generate(&small_config());
+        let mcfg = corpus.config().machine_config.clone();
+        let uncached = corpus.profile_tail_threaded(0, &mcfg, Some(1));
+        let cache = EvalCache::new();
+        for threads in [Some(1), Some(3), None] {
+            let cached = corpus.profile_tail_cached_threaded(0, &mcfg, threads, &cache);
+            assert_eq!(cached.len(), uncached.len());
+            for (a, b) in uncached.iter().zip(&cached) {
+                assert_eq!(a.id, b.id);
+                for (x, y) in a.metrics.iter().zip(&b.metrics) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "scenario {:?}", a.id);
+                }
+            }
+        }
+        let stats = cache.stats();
+        // Second and third passes re-solve nothing.
+        assert!(stats.hits >= 2 * corpus.len() as u64);
+        assert!(stats.entries <= corpus.len());
     }
 
     #[test]

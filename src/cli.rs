@@ -335,6 +335,15 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 }
                 None => write!(out, "{report}").map_err(w)?,
             }
+            if !evaluations.is_empty() {
+                let stats = testbed.stats();
+                writeln!(
+                    out,
+                    "eval cache: {} hits, {} misses, {} entries across {} configs",
+                    stats.hits, stats.misses, stats.entries, stats.configs
+                )
+                .map_err(w)?;
+            }
             Ok(())
         }
         "stream" => {
@@ -385,15 +394,18 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 let outcome = session
                     .ingest_batch(batch)
                     .map_err(|e| CliError(format!("batch {i} failed: {e}")))?;
+                let cache = session.cache_stats();
                 writeln!(
                     out,
-                    "  batch {:>3}: {:>3} arrived, {:>3} accepted, {:>2} quarantined, drift {:>5.2} -> {:?}",
+                    "  batch {:>3}: {:>3} arrived, {:>3} accepted, {:>2} quarantined, drift {:>5.2} -> {:?} (cache {} hits / {} misses)",
                     outcome.batch,
                     outcome.arrived,
                     outcome.accepted,
                     outcome.quarantined,
                     outcome.drift_fraction,
-                    outcome.disposition
+                    outcome.disposition,
+                    cache.hits,
+                    cache.misses
                 )
                 .map_err(w)?;
             }
@@ -404,15 +416,18 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
             model
                 .save(std::path::Path::new(out_path))
                 .map_err(|e| CliError(format!("save model: {e}")))?;
+            let cache = session.cache_stats();
             writeln!(
                 out,
-                "streamed {} batches ({} arrivals, {} accepted, {} quarantined, {} reclusters, {} stalls) -> {out_path}",
+                "streamed {} batches ({} arrivals, {} accepted, {} quarantined, {} reclusters, {} stalls; solve cache {} hits / {} misses) -> {out_path}",
                 cursor.batches,
                 cursor.arrivals,
                 cursor.accepted,
                 cursor.quarantined,
                 cursor.reclusters,
-                cursor.stalls
+                cursor.stalls,
+                cache.hits,
+                cache.misses
             )
             .map_err(w)?;
             Ok(())
