@@ -1,0 +1,263 @@
+//! Ablation 19: out-of-core featurization (DESIGN.md §13).
+//!
+//! PR 8 bounded *ingest* memory by sharding the metric data plane; this
+//! ablation proves the *featurize* stage now holds the same line. A
+//! 10⁵-row feature store is spilled to disk behind an LRU
+//! [`ShardStore`] (4 resident shards), and the whole PCA fit + whitened
+//! projection runs against it while a counting global allocator tracks
+//! peak live bytes. Two gates:
+//!
+//! 1. **Peak-allocation bound** — the featurize pass must stay under
+//!    `C · shard_rows × d` transient bytes plus the model it returns
+//!    (projected n×k matrix, PCA axes). In particular it must stay
+//!    strictly under `n × d` bytes — the dense coalesce the old
+//!    `to_matrix()` path would have allocated up front.
+//! 2. **Byte-identity** — the streamed fit and projection must equal
+//!    the dense in-memory oracle (`Pca::fit` + `transform_whitened`
+//!    over one coalesced matrix) bit for bit, and the spill knob must
+//!    be invisible: spilled and resident stores produce identical bits.
+//!
+//! Results land in `results/BENCH_ooc.json`. `--smoke` is the CI
+//! variant (same gates, fewer rows).
+
+use flare_bench::banner;
+use flare_linalg::pca::Pca;
+use flare_linalg::{Matrix, ShardAccess, ShardStore, ShardedMatrix};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Counting allocator: live bytes and a resettable high-water mark.
+/// Layout-exact (counts requested sizes, not allocator slack), which is
+/// the right currency for a "no n×d materialization" gate.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Deterministic synthetic feature row: `latents` correlated signals
+/// mixed across `d` columns plus small per-cell jitter, so the PCA keeps
+/// a handful of components (realistic post-refinement shape) instead of
+/// all `d`.
+fn feature_row(i: usize, d: usize, latents: usize) -> Vec<f64> {
+    let signals: Vec<f64> = (0..latents)
+        .map(|s| ((i as f64 * 0.0137 + s as f64) * (1.0 + s as f64 * 0.41)).sin())
+        .collect();
+    (0..d)
+        .map(|j| {
+            let mixed: f64 = signals
+                .iter()
+                .enumerate()
+                .map(|(s, v)| v * (1.0 + ((j * (s + 2)) as f64 * 0.73).cos()))
+                .sum();
+            mixed * 20.0 + ((i * 31 + j * 7) as f64 * 0.193).sin() * 0.5
+        })
+        .collect()
+}
+
+fn build_store(n: usize, d: usize, shard_rows: usize, latents: usize) -> ShardedMatrix {
+    let mut m = ShardedMatrix::new(d, shard_rows);
+    m.reserve_rows(n);
+    for i in 0..n {
+        m.push_row(&feature_row(i, d, latents))
+            .expect("row width matches");
+    }
+    m
+}
+
+/// The featurize loop of `stages::run_featurize`, verbatim: streaming
+/// PCA fit, then per-shard whitened projection into a dense n×k matrix
+/// (the model output — the only O(n) allocation allowed).
+fn featurize<A: ShardAccess>(store: &A, variance_threshold: f64) -> (Pca, usize, Matrix) {
+    let pca = Pca::fit_sharded(store).expect("streaming fit");
+    let k = pca
+        .components_for_variance(variance_threshold)
+        .expect("variance threshold");
+    let mut projected = Matrix::zeros(0, k);
+    projected.reserve_rows(store.nrows());
+    for s in 0..store.shard_count() {
+        let block = store
+            .with_shard(s, |shard| pca.transform_whitened(shard, k))
+            .expect("shard access")
+            .expect("transform");
+        for row in block.rows_iter() {
+            projected.push_row(row).expect("width k");
+        }
+    }
+    (pca, k, projected)
+}
+
+fn assert_bits_equal(a: &Matrix, b: &Matrix, label: &str) {
+    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "{label}: shape");
+    for (i, (ra, rb)) in a.rows_iter().zip(b.rows_iter()).enumerate() {
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: row {i} bits diverged");
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "Ablation: out-of-core featurization (spilled shards, streaming PCA)",
+        "peak featurize allocation bounded by the shard, not by n — DESIGN.md S13",
+    );
+
+    let (n, d, shard_rows, latents) = if smoke {
+        (100_000, 24, 8_192, 4)
+    } else {
+        (100_000, 24, 8_192, 4)
+    };
+    let max_resident = 4usize;
+    let variance_threshold = 0.9;
+
+    // --- Build and spill the feature store --------------------------------
+    let store = build_store(n, d, shard_rows, latents);
+    let shard_count = store.shard_count();
+    let dir = std::env::temp_dir().join(format!("flare-abl19-{}", std::process::id()));
+    let spilled =
+        ShardStore::spill_to(store, &dir, max_resident).expect("spill feature store to disk");
+    assert!(
+        spilled.resident_shards() <= max_resident,
+        "resident budget violated after spill"
+    );
+    println!(
+        "\n  store: {n} x {d} features -> {shard_count} shards, {} resident (budget {max_resident})",
+        spilled.resident_shards()
+    );
+
+    // --- Measured out-of-core featurize -----------------------------------
+    let baseline = live_bytes();
+    reset_peak();
+    let start = Instant::now();
+    let (pca, k, projected) = featurize(&spilled, variance_threshold);
+    let fit_ns = start.elapsed().as_nanos();
+    let peak_delta = peak_bytes().saturating_sub(baseline);
+    let stats = spilled.stats();
+    assert_eq!(projected.nrows(), n);
+    assert!(
+        spilled.resident_shards() <= max_resident,
+        "resident budget violated during featurize"
+    );
+
+    // Bound: C shard-sized transients (faulted shard + per-shard transform
+    // block + accumulator scratch + I/O buffers) plus the returned model
+    // (projected n x k and the PCA's d x d-scale internals).
+    let shard_bytes = 8 * shard_rows * d;
+    let model_bytes = 8 * n * k + 8 * 6 * d * d;
+    let bound = 6 * shard_bytes + model_bytes;
+    let dense_bytes = 8 * n * d;
+    println!(
+        "  featurize: k={k} in {:.0}ms | peak +{:.2} MiB (bound {:.2} MiB, dense coalesce {:.2} MiB)",
+        fit_ns as f64 / 1e6,
+        peak_delta as f64 / (1 << 20) as f64,
+        bound as f64 / (1 << 20) as f64,
+        dense_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  spill:     {} hits, {} faults, {} evictions across the passes",
+        stats.hits, stats.faults, stats.evictions
+    );
+    assert!(
+        peak_delta <= bound,
+        "featurize peak {peak_delta} B exceeds C*shard + model bound {bound} B"
+    );
+    assert!(
+        peak_delta < dense_bytes,
+        "featurize peak {peak_delta} B reaches the dense n*d coalesce {dense_bytes} B"
+    );
+    assert!(
+        stats.faults > 0 && stats.evictions > 0,
+        "a {shard_count}-shard fit under a {max_resident}-shard budget must fault and evict: {stats:?}"
+    );
+
+    // --- Dense oracle: bit-identical fit and projection --------------------
+    // Rebuilt from the same generator (the spilled store stays on disk).
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| feature_row(i, d, latents)).collect();
+    let dense = Matrix::from_rows(&rows).expect("rectangular");
+    drop(rows);
+    let oracle_pca = Pca::fit(&dense).expect("dense fit");
+    let oracle_k = oracle_pca
+        .components_for_variance(variance_threshold)
+        .expect("variance threshold");
+    assert_eq!(k, oracle_k, "component count diverged from the dense oracle");
+    for (a, b) in pca.eigenvalues().iter().zip(oracle_pca.eigenvalues()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "eigenvalue bits diverged");
+    }
+    let oracle_projected = oracle_pca
+        .transform_whitened(&dense, oracle_k)
+        .expect("dense transform");
+    assert_bits_equal(&projected, &oracle_projected, "streamed vs dense projection");
+
+    // Spill invisibility: the same fit over a fully-resident store.
+    let resident = build_store(n, d, shard_rows, latents);
+    let (_, k_resident, projected_resident) = featurize(&resident, variance_threshold);
+    assert_eq!(k, k_resident);
+    assert_bits_equal(&projected, &projected_resident, "spilled vs resident");
+    println!("  identity:  streamed == dense oracle == resident store, bit for bit");
+
+    let spill_dir = spilled.spill_dir().to_path_buf();
+    drop(spilled); // removes the store's spill directory
+    assert!(
+        !spill_dir.exists(),
+        "spill dir should be cleaned up on drop"
+    );
+    let _ = std::fs::remove_dir(&dir);
+
+    // --- Machine-readable results ----------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"abl19_ooc_featurize\",\n  \"mode\": \"{mode}\",\n  \
+         \"config\": {{\"n\": {n}, \"d\": {d}, \"shard_rows\": {shard_rows}, \
+         \"max_resident\": {max_resident}, \"variance_threshold\": {variance_threshold}}},\n  \
+         \"featurize\": {{\"k\": {k}, \"ns\": {fit_ns}, \"peak_bytes\": {peak_delta}, \
+         \"bound_bytes\": {bound}, \"dense_coalesce_bytes\": {dense_bytes}}},\n  \
+         \"spill\": {{\"shards\": {shard_count}, \"hits\": {hits}, \"faults\": {faults}, \
+         \"evictions\": {evictions}}},\n  \
+         \"byte_identical_to_dense_oracle\": true\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        hits = stats.hits,
+        faults = stats.faults,
+        evictions = stats.evictions,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_ooc.json");
+    std::fs::write(out, &json).expect("write BENCH_ooc.json");
+    println!("\nwrote {out}");
+
+    println!(
+        "\ntakeaway: featurization now streams — the PCA's moments, the fit,\n\
+         and the whitened projection all walk shards that fault in from disk\n\
+         under a fixed residency budget, so peak memory is a few shards plus\n\
+         the model itself, and the bits match the dense in-memory oracle."
+    );
+}

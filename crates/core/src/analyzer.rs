@@ -22,7 +22,7 @@ use crate::stages::{
 use flare_cluster::kmeans::KMeansResult;
 use flare_cluster::sweep::SweepResult;
 use flare_linalg::pca::Pca;
-use flare_linalg::Matrix;
+use flare_linalg::{Matrix, SpillStats};
 use flare_metrics::correlation::RefinementReport;
 use flare_metrics::database::{MetricDatabase, ScenarioId};
 use flare_metrics::schema::MetricSchema;
@@ -41,6 +41,7 @@ pub struct Analyzer {
     ranked_members: Vec<Vec<usize>>,
     sweep: Option<SweepResult>,
     repair: RepairReport,
+    spill: Option<SpillStats>,
 }
 
 impl Analyzer {
@@ -83,6 +84,7 @@ impl Analyzer {
             ranked_members: reps.ranked_members,
             sweep: cluster.sweep,
             repair,
+            spill: feat.spill,
         }
     }
 
@@ -97,6 +99,7 @@ impl Analyzer {
             projected: self.projected.clone(),
             scenario_ids: self.scenario_ids.clone(),
             observations: self.observations.clone(),
+            spill: self.spill,
             fingerprint,
         }
     }
@@ -130,6 +133,12 @@ impl Analyzer {
     /// refinement (all-zero for a clean database).
     pub fn repair_report(&self) -> &RepairReport {
         &self.repair
+    }
+
+    /// Cold-shard spill counters (hits, faults, evictions) of the
+    /// featurize stage, or `None` when the fit ran with spill disabled.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill
     }
 
     /// The post-refinement metric schema the PCA operates on.
@@ -322,6 +331,11 @@ pub struct AnalyzerSnapshot {
     /// keep loading).
     #[serde(default)]
     pub repair: RepairReport,
+    /// Cold-shard spill counters of the featurize stage. Omitted from
+    /// the wire when `None` (spill off), so spill-off snapshots are
+    /// byte-identical to pre-spill files and old files keep loading.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spill: Option<SpillStats>,
 }
 
 impl Analyzer {
@@ -339,6 +353,7 @@ impl Analyzer {
             ranked_members: self.ranked_members.clone(),
             sweep: self.sweep.clone(),
             repair: self.repair.clone(),
+            spill: self.spill,
         }
     }
 
@@ -380,6 +395,7 @@ impl Analyzer {
             ranked_members: snapshot.ranked_members,
             sweep: snapshot.sweep,
             repair: snapshot.repair,
+            spill: snapshot.spill,
         })
     }
 }

@@ -4,6 +4,7 @@ use crate::replayer::RetryPolicy;
 use flare_cluster::hierarchical::Linkage;
 use flare_cluster::kmeans::KMeansConfig;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// Which clustering algorithm groups the scenarios (§4.4: "we use K-means
 /// clustering ... but alternatives (e.g., hierarchical clustering) can
@@ -56,7 +57,7 @@ pub enum ClusterCountRule {
 /// documented SSE tolerance; the silhouette subsample estimates rather
 /// than computes) and therefore participate in the cluster-stage
 /// fingerprint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScaleConfig {
     /// Rows per shard of the columnar metric store (bounds the largest
     /// single allocation the ingest path makes).
@@ -74,6 +75,14 @@ pub struct ScaleConfig {
     pub silhouette_cache_bytes: usize,
     /// Subsample size of the above-cap silhouette estimate (0 = exact).
     pub silhouette_sample: usize,
+    /// Cold-shard spill of the featurize data plane. Like `shard_rows`,
+    /// a **layout-only** knob: spilling changes where shard bytes live,
+    /// never what they are, so it is normalized out of stage
+    /// fingerprints. Off by default — the clean path never touches the
+    /// filesystem, and at the default the key is omitted from the wire
+    /// so existing config/snapshot JSON is byte-identical.
+    #[serde(default, skip_serializing_if = "SpillConfig::is_default")]
+    pub spill: SpillConfig,
 }
 
 impl Default for ScaleConfig {
@@ -84,7 +93,56 @@ impl Default for ScaleConfig {
             minibatch_size: 1024,
             silhouette_cache_bytes: 64 << 20,
             silhouette_sample: 4096,
+            spill: SpillConfig::default(),
         }
+    }
+}
+
+/// Cold-shard spill knobs: when enabled, the featurize stage moves the
+/// refined metric shards into an LRU-pinned
+/// [`ShardStore`](flare_linalg::ShardStore) that writes
+/// least-recently-touched shards to a spill directory and faults them
+/// back on access, bounding resident featurize memory to
+/// `max_resident_shards × shard_rows × d` regardless of corpus size.
+///
+/// Spilling is byte-transparent: every streaming algorithm reads shards
+/// through the same access trait whether they are resident or faulted
+/// back, so fits with spill on and off are bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillConfig {
+    /// Enables cold-shard spill during featurization.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Spill root directory; `None` (default) uses the OS temp dir. The
+    /// store creates a uniquely-named subdirectory and removes it when
+    /// the fit completes.
+    #[serde(default)]
+    pub dir: Option<PathBuf>,
+    /// Maximum shards kept resident in memory (≥ 1).
+    #[serde(default = "default_max_resident_shards")]
+    pub max_resident_shards: usize,
+}
+
+fn default_max_resident_shards() -> usize {
+    4
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig {
+            enabled: false,
+            dir: None,
+            max_resident_shards: default_max_resident_shards(),
+        }
+    }
+}
+
+impl SpillConfig {
+    /// `true` when every field is at its default — the serde
+    /// skip-at-default gate that keeps spill-off JSON byte-identical to
+    /// pre-spill versions.
+    pub fn is_default(&self) -> bool {
+        *self == SpillConfig::default()
     }
 }
 
@@ -223,9 +281,10 @@ pub struct ClusterStageConfig {
 impl ClusterStageConfig {
     /// The copy a content fingerprint should see: `kmeans.k` is always
     /// overridden by the cluster-count rule, `kmeans.threads` is a
-    /// wall-clock knob, and `scale.shard_rows` is a layout-only knob
-    /// (the sharded store coalesces bit-identically at any shard size),
-    /// so all three are normalized away to keep them from spuriously
+    /// wall-clock knob, and `scale.shard_rows` / `scale.spill` are
+    /// layout-only knobs (the sharded store coalesces bit-identically at
+    /// any shard size, and spilled shards read back the same bytes), so
+    /// all of them are normalized away to keep them from spuriously
     /// invalidating the cluster stage. The remaining scale fields stay:
     /// they change which code path (and, above their thresholds, which
     /// bits) the stage produces.
@@ -234,6 +293,7 @@ impl ClusterStageConfig {
         view.kmeans.k = 0;
         view.kmeans.threads = None;
         view.scale.shard_rows = 0;
+        view.scale.spill = SpillConfig::default();
         view
     }
 }
@@ -276,7 +336,7 @@ impl FlareConfig {
             cluster_count: self.cluster_count.clone(),
             cluster_method: self.cluster_method,
             kmeans: self.kmeans.clone(),
-            scale: self.scale,
+            scale: self.scale.clone(),
         }
     }
 
@@ -334,6 +394,9 @@ impl FlareConfig {
         }
         if self.scale.minibatch_size == 0 {
             return Err("scale.minibatch_size must be >= 1".into());
+        }
+        if self.scale.spill.enabled && self.scale.spill.max_resident_shards == 0 {
+            return Err("scale.spill.max_resident_shards must be >= 1 when spill is enabled".into());
         }
         match &self.cluster_count {
             ClusterCountRule::Fixed(k) if *k == 0 => {
@@ -447,6 +510,8 @@ mod tests {
         c2.kmeans.threads = Some(5);
         c2.kmeans.k = 3;
         c2.scale.shard_rows = 512;
+        c2.scale.spill.enabled = true;
+        c2.scale.spill.max_resident_shards = 2;
         assert_eq!(
             c.cluster_stage().fingerprint_view(),
             c2.cluster_stage().fingerprint_view()
@@ -485,7 +550,7 @@ mod tests {
             },
         ] {
             let c = FlareConfig {
-                scale: bad,
+                scale: bad.clone(),
                 ..FlareConfig::default()
             };
             assert!(c.validate().is_err(), "{bad:?}");
@@ -498,6 +563,24 @@ mod tests {
             },
             ..FlareConfig::default()
         };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn spill_config_defaults_off_and_validates() {
+        let c = FlareConfig::default();
+        assert!(!c.scale.spill.enabled);
+        assert_eq!(c.scale.spill.dir, None);
+        assert_eq!(c.scale.spill.max_resident_shards, 4);
+        assert!(c.scale.spill.is_default());
+
+        // A zero residency budget is only rejected when spill is on.
+        let mut c = FlareConfig::default();
+        c.scale.spill.max_resident_shards = 0;
+        assert!(c.validate().is_ok());
+        c.scale.spill.enabled = true;
+        assert!(c.validate().is_err());
+        c.scale.spill.max_resident_shards = 1;
         assert!(c.validate().is_ok());
     }
 

@@ -62,7 +62,8 @@ impl Flare {
         let database = profile_corpus(&corpus, &baseline, &config)?;
         let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &config);
         let (analyzer, repaired) = stages::fit_database(&database, &config, &fps)?;
-        let report = FitReport::full_fit(corpus.len());
+        let mut report = FitReport::full_fit(corpus.len());
+        report.spill = analyzer.spill_stats();
         Ok(Flare {
             corpus,
             database,
@@ -127,8 +128,14 @@ impl Flare {
             self.analyzer.extract_featurize(new.featurize)
         } else {
             report.featurize = StageOutcome::Recomputed;
-            stages::run_featurize(working, &new_config.featurize_stage(), new.featurize)?
+            stages::run_featurize(
+                working,
+                &new_config.featurize_stage(),
+                &new_config.scale.spill,
+                new.featurize,
+            )?
         };
+        report.spill = feat.spill;
 
         let cluster = if report.featurize == StageOutcome::Reused && new.cluster == old.cluster {
             self.analyzer.extract_cluster(new.cluster)
@@ -225,6 +232,9 @@ impl Flare {
                 None => corpus.profile_window_threaded(lo..hi, &self.baseline, self.config.threads),
             };
             profiled += chunk.len();
+            // One capacity decision per window: `insert` then appends
+            // without re-checking headroom until the window is drained.
+            database.reserve_rows(chunk.len());
             for rec in chunk {
                 database.insert(rec)?;
             }
@@ -232,7 +242,8 @@ impl Flare {
         }
         let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &self.config);
         let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
-        let report = FitReport::extended(profiled, &self.report);
+        let mut report = FitReport::extended(profiled, &self.report);
+        report.spill = analyzer.spill_stats();
         Ok(Flare {
             corpus,
             database,
@@ -257,10 +268,11 @@ impl Flare {
         &self,
         corpus: Corpus,
         database: MetricDatabase,
-        report: FitReport,
+        mut report: FitReport,
     ) -> Result<Flare> {
         let fps = StageFingerprints::compute(stages::fingerprint_corpus(&corpus), &self.config);
         let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
+        report.spill = analyzer.spill_stats();
         Ok(Flare {
             corpus,
             database,
@@ -503,6 +515,7 @@ impl Flare {
         let (analyzer, repaired) = stages::fit_database(&database, &self.config, &fps)?;
         let mut report = FitReport::full_fit(0);
         report.profile = StageOutcome::Reused;
+        report.spill = analyzer.spill_stats();
         Ok(Flare {
             corpus: self.corpus.clone(),
             database,

@@ -54,6 +54,13 @@ pub fn markdown_report(flare: &Flare, evaluations: &[(Feature, AllJobEstimate)])
         analyzer.n_clusters(),
         flare.n_representatives()
     );
+    if let Some(spill) = analyzer.spill_stats() {
+        let _ = writeln!(
+            out,
+            "- featurize spill: {} hits, {} faults, {} evictions",
+            spill.hits, spill.faults, spill.evictions
+        );
+    }
 
     let _ = writeln!(out, "\n## Representative scenarios\n");
     let _ = writeln!(
@@ -171,5 +178,30 @@ mod tests {
         let report = markdown_report(&flare, &[]);
         assert!(!report.contains("## Feature evaluations"));
         assert!(report.contains("## Representative scenarios"));
+        // In-memory fit: no spill counters to surface.
+        assert!(!report.contains("featurize spill"));
+    }
+
+    #[test]
+    fn report_surfaces_spill_counters_when_out_of_core() {
+        let cfg = CorpusConfig {
+            machines: 4,
+            days: 2.0,
+            tick_minutes: 15.0,
+            ..CorpusConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("flare-report-spill-{}", std::process::id()));
+        let mut config = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(6),
+            ..FlareConfig::default()
+        };
+        config.scale.shard_rows = 16;
+        config.scale.spill.enabled = true;
+        config.scale.spill.dir = Some(dir.clone());
+        config.scale.spill.max_resident_shards = 1;
+        let flare = Flare::fit(Corpus::generate(&cfg), config).expect("fit");
+        let report = markdown_report(&flare, &[]);
+        assert!(report.contains("featurize spill"), "{report}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::config::{
     ClusterStageConfig, FeaturizeConfig, FlareConfig, RepairConfig, RepresentativesConfig,
+    SpillConfig,
 };
 use crate::diagnostics::RepairReport;
 use crate::error::{FlareError, Result};
@@ -30,8 +31,8 @@ use flare_cluster::sweep::{
     sweep_hierarchical, sweep_kmeans_cached_with, SweepOptions, SweepResult,
 };
 use flare_linalg::pca::Pca;
-use flare_linalg::stats::robust_scale;
-use flare_linalg::Matrix;
+use flare_linalg::stats::robust_scale_sharded;
+use flare_linalg::{Matrix, ShardAccess, ShardStore, SpillStats};
 use flare_metrics::correlation::{apply_refinement, refine, RefinementReport};
 use flare_metrics::database::{MetricDatabase, ScenarioId};
 use flare_metrics::schema::MetricSchema;
@@ -214,6 +215,10 @@ pub struct FitReport {
     /// ingest only — the clean extend path never quarantines).
     #[serde(default)]
     pub quarantined_total: usize,
+    /// Cold-shard spill counters of the featurize stage (hits, faults,
+    /// evictions), present only when the fit ran with spill enabled.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spill: Option<SpillStats>,
 }
 
 impl FitReport {
@@ -229,6 +234,7 @@ impl FitReport {
             sweep_points_reused: 0,
             ingested_total: scenarios,
             quarantined_total: 0,
+            spill: None,
         }
     }
 
@@ -259,6 +265,7 @@ impl FitReport {
             sweep_points_reused: 0,
             ingested_total: 0,
             quarantined_total: 0,
+            spill: None,
         }
     }
 
@@ -321,6 +328,11 @@ pub struct FeaturizeArtifact {
     pub scenario_ids: Vec<ScenarioId>,
     /// Observation weights in row order.
     pub observations: Vec<u32>,
+    /// Cold-shard spill counters of the featurize passes; `None` when
+    /// spill was disabled (the key is then omitted from the wire, so
+    /// spill-off artifacts serialize byte-identically to pre-spill ones).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spill: Option<SpillStats>,
     /// Content fingerprint of this artifact.
     pub fingerprint: Fingerprint,
 }
@@ -427,12 +439,23 @@ pub fn run_repair(
 /// median/MAD) normalize, fit the PCA, and project every scenario into
 /// whitened kept-PC space.
 ///
+/// The whole stage is **shard-streaming**: refinement, normalization,
+/// the PCA moment passes, and the whitened projection all walk the
+/// refined database shard by shard, so no n×d matrix is ever
+/// materialized — peak transient memory is one shard plus the O(d²)
+/// accumulators, and the n×k whitened output is the only row-count-sized
+/// allocation. With `spill.enabled` the refined shards additionally move
+/// into an LRU-pinned [`ShardStore`] that keeps at most
+/// `spill.max_resident_shards` in memory and pages the rest to disk;
+/// every path is bit-identical to the dense (and non-spilled) oracle.
+///
 /// # Errors
 ///
-/// Propagates refinement and PCA errors.
+/// Propagates refinement, PCA, and (spill only) shard-store I/O errors.
 pub fn run_featurize(
     db: &MetricDatabase,
     cfg: &FeaturizeConfig,
+    spill: &SpillConfig,
     fingerprint: Fingerprint,
 ) -> Result<FeaturizeArtifact> {
     // §5.3 per-job mix columns participate only when augmentation is
@@ -453,28 +476,63 @@ pub fn run_featurize(
 
     let refinement = refine(db, cfg.correlation_threshold)?;
     let refined = apply_refinement(db, &refinement)?;
+    let refined_schema = refined.schema().clone();
+    let scenario_ids = refined.scenario_ids().to_vec();
+    let observations: Vec<u32> = refined.iter().map(|r| r.observations).collect();
 
-    // Robust normalization swaps the mean/std z-score for median/MAD so
-    // residual spikes cannot dominate the column variances the PCA sees.
-    let data = refined.to_matrix()?;
-    let pca = if cfg.robust_normalization {
-        Pca::fit_with(data, robust_scale(data)?)?
+    let (pca, n_pcs, projected, spill_stats) = if spill.enabled {
+        let root = spill.dir.clone().unwrap_or_else(std::env::temp_dir);
+        let store = ShardStore::spill_to(
+            refined.into_data_shards(),
+            &root,
+            spill.max_resident_shards,
+        )?;
+        let (pca, n_pcs, projected) = featurize_shards(&store, cfg)?;
+        (pca, n_pcs, projected, Some(store.stats()))
     } else {
-        Pca::fit(data)?
+        let (pca, n_pcs, projected) = featurize_shards(refined.data_shards(), cfg)?;
+        (pca, n_pcs, projected, None)
     };
-    let n_pcs = pca.components_for_variance(cfg.variance_threshold)?;
-    let projected = pca.transform_whitened(data, n_pcs)?;
 
     Ok(FeaturizeArtifact {
         refinement,
-        refined_schema: refined.schema().clone(),
-        scenario_ids: refined.scenario_ids().to_vec(),
-        observations: refined.iter().map(|r| r.observations).collect(),
+        refined_schema,
+        scenario_ids,
+        observations,
         pca,
         n_pcs,
         projected,
+        spill: spill_stats,
         fingerprint,
     })
+}
+
+/// The shard-generic core of the Featurize stage: fit the PCA from
+/// streaming moment passes (robust median/MAD normalization swaps in for
+/// the mean/std z-score so residual spikes cannot dominate the column
+/// variances), pick the kept-PC count, and build the whitened n×k
+/// projection one shard at a time. Generic over [`ShardAccess`] so the
+/// in-memory and spilled stores run the identical code — which is what
+/// makes spill-on/off bit-identity structural rather than coincidental.
+fn featurize_shards<A: ShardAccess>(
+    data: &A,
+    cfg: &FeaturizeConfig,
+) -> Result<(Pca, usize, Matrix)> {
+    let pca = if cfg.robust_normalization {
+        Pca::fit_sharded_with(data, robust_scale_sharded(data)?)?
+    } else {
+        Pca::fit_sharded(data)?
+    };
+    let n_pcs = pca.components_for_variance(cfg.variance_threshold)?;
+    let mut projected = Matrix::zeros(0, n_pcs);
+    projected.reserve_rows(data.nrows());
+    for s in 0..data.shard_count() {
+        let t = data.with_shard(s, |shard| pca.transform_whitened(shard, n_pcs))??;
+        for row in t.rows_iter() {
+            projected.push_row(row)?;
+        }
+    }
+    Ok((pca, n_pcs, projected))
 }
 
 /// Runs the Cluster stage: pick the cluster count (fixed or by sweep) and
@@ -645,7 +703,12 @@ pub(crate) fn fit_database(
         ..
     } = run_repair(db, &config.repair_stage(), fps.repair)?;
     let working = repaired.as_ref().unwrap_or(db);
-    let feat = run_featurize(working, &config.featurize_stage(), fps.featurize)?;
+    let feat = run_featurize(
+        working,
+        &config.featurize_stage(),
+        &config.scale.spill,
+        fps.featurize,
+    )?;
     let (cluster, _) = run_cluster(
         &feat,
         &config.cluster_stage(),

@@ -44,7 +44,7 @@ use crate::pipeline::{Flare, FlareSnapshot};
 use crate::replayer::RetryPolicy;
 use crate::stages::FitReport;
 use flare_cluster::distance::euclidean;
-use flare_linalg::Matrix;
+use flare_linalg::pca::RowProjector;
 use flare_metrics::database::{IngestPolicy, MetricDatabase, ScenarioId};
 use flare_sim::datacenter::Corpus;
 use flare_sim::faults::{FaultInjector, FaultPlan};
@@ -471,6 +471,7 @@ impl StreamSession {
         let mut clean = 0usize;
         let mut drifted = 0usize;
         let mut degraded_rows = 0usize;
+        let mut scorer = DriftScorer::new(&self.model)?;
         for id in first_new as u32..self.corpus.len() as u32 {
             let Some(row) = self.database.get(ScenarioId(id)) else {
                 continue; // quarantined or lost
@@ -480,8 +481,8 @@ impl StreamSession {
                 continue;
             }
             clean += 1;
-            if let Some(distance) = nearest_centroid_distance(&self.model, row.metrics)? {
-                if distance > self.cutoff {
+            if let Some(scorer) = scorer.as_mut() {
+                if scorer.nearest_centroid_distance(row.metrics)? > self.cutoff {
                     drifted += 1;
                 }
             }
@@ -747,42 +748,73 @@ fn calibrate_cutoff(model: &Flare, quantile: f64) -> f64 {
     distances[idx.min(distances.len() - 1)]
 }
 
-/// Projects one fully-finite metric row through the model's featurize
-/// stage (job-mix strip → refinement columns → whitened PCA) and returns
-/// its distance to the nearest centroid, or `None` when the model keeps
-/// zero PCs for it to land in.
+/// The model's featurize column pipeline (job-mix strip → refinement
+/// columns → whitened PCA row projection) compiled once per batch, so
+/// scoring each accepted record reuses fixed scratch buffers instead of
+/// allocating a 1×d matrix and a 1×k result per row. The projection is
+/// bit-identical to routing the row through `Pca::transform_whitened`.
 ///
 /// The repair stage's winsorization is deliberately not applied: the
 /// cutoff is calibrated against the model's *own* post-repair rows, and a
 /// raw row clamped toward the training median could only look *less*
 /// drifted — the detector errs on the sensitive side.
-fn nearest_centroid_distance(model: &Flare, metrics: &[f64]) -> Result<Option<f64>> {
-    let analyzer = model.analyzer();
-    let schema = model.database().schema();
-    // Same column pipeline as stages::run_featurize, applied to one row.
-    let stripped: Vec<f64> = if model.config().per_job_augmentation {
-        metrics.to_vec()
-    } else {
-        let keep = schema.non_job_mix_indices();
-        if keep.len() == schema.len() {
-            metrics.to_vec()
+struct DriftScorer<'a> {
+    /// Raw-row column index per refined feature: the job-mix strip and
+    /// the refinement gather collapsed into one lookup.
+    gather: Vec<usize>,
+    refined: Vec<f64>,
+    projector: RowProjector,
+    projected: Vec<f64>,
+    centroids: &'a [Vec<f64>],
+}
+
+impl<'a> DriftScorer<'a> {
+    /// Compiles the scorer for `model`, or `None` when the model keeps
+    /// zero PCs or zero centroids (no row can ever score as drifted).
+    fn new(model: &'a Flare) -> Result<Option<Self>> {
+        let analyzer = model.analyzer();
+        let schema = model.database().schema();
+        // Same column pipeline as stages::run_featurize, per-row.
+        let strip: Vec<usize> = if model.config().per_job_augmentation {
+            (0..schema.len()).collect()
         } else {
-            keep.iter().map(|&j| metrics[j]).collect()
+            schema.non_job_mix_indices()
+        };
+        let gather: Vec<usize> = analyzer
+            .refinement()
+            .kept_indices
+            .iter()
+            .map(|&j| strip[j])
+            .collect();
+        let k = analyzer.n_pcs();
+        let centroids = analyzer.clustering().centroids.as_slice();
+        if k == 0 || centroids.is_empty() {
+            return Ok(None);
         }
-    };
-    let refined: Vec<f64> = analyzer
-        .refinement()
-        .kept_indices
-        .iter()
-        .map(|&j| stripped[j])
-        .collect();
-    let row = Matrix::from_rows(&[refined])?;
-    let projected = analyzer.pca().transform_whitened(&row, analyzer.n_pcs())?;
-    let centroids = &analyzer.clustering().centroids;
-    Ok(centroids
-        .iter()
-        .map(|c| euclidean(projected.row(0), c))
-        .min_by(f64::total_cmp))
+        let projector = analyzer.pca().row_projector(k)?;
+        Ok(Some(DriftScorer {
+            refined: vec![0.0; gather.len()],
+            gather,
+            projector,
+            projected: vec![0.0; k],
+            centroids,
+        }))
+    }
+
+    /// Distance from one fully-finite metric row to its nearest centroid.
+    fn nearest_centroid_distance(&mut self, metrics: &[f64]) -> Result<f64> {
+        for (dst, &j) in self.refined.iter_mut().zip(&self.gather) {
+            *dst = metrics[j];
+        }
+        self.projector
+            .project_whitened_into(&self.refined, &mut self.projected)?;
+        Ok(self
+            .centroids
+            .iter()
+            .map(|c| euclidean(&self.projected, c))
+            .min_by(f64::total_cmp)
+            .expect("scorer is only built for models with centroids"))
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,8 @@ pub enum LinalgError {
     NonFinite(String),
     /// A parameter was outside its valid range.
     InvalidParameter(String),
+    /// A spill/fault file operation failed (out-of-core shard store).
+    Io(String),
 }
 
 impl fmt::Display for LinalgError {
@@ -48,6 +50,7 @@ impl fmt::Display for LinalgError {
             LinalgError::InvalidParameter(msg) => {
                 write!(f, "invalid parameter: {msg}")
             }
+            LinalgError::Io(msg) => write!(f, "spill i/o failure: {msg}"),
         }
     }
 }

@@ -40,4 +40,4 @@ pub mod stats;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
-pub use sharded::ShardedMatrix;
+pub use sharded::{ShardAccess, ShardStore, ShardedMatrix, SpillStats};

@@ -365,6 +365,13 @@ impl Matrix {
         self.insert_row(self.rows, row)
     }
 
+    /// Reserves capacity for at least `additional` more rows, so a chunk
+    /// of known size appended via [`Matrix::push_row`] performs at most
+    /// one reallocation instead of amortized doubling.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional.saturating_mul(self.cols));
+    }
+
     /// Inserts a row before index `at`, shifting later rows down.
     /// `at == nrows()` appends.
     ///

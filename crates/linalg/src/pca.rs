@@ -15,6 +15,7 @@
 use crate::eigen::symmetric_eigen;
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use crate::sharded::{ShardAccess, ShardedMatrix};
 use crate::stats::ZScore;
 use serde::{Deserialize, Serialize};
 
@@ -88,9 +89,66 @@ impl Pca {
             return Err(LinalgError::NonFinite("PCA input".into()));
         }
         let standardized = normalizer.transform(data)?;
-        let zscore = normalizer;
         let cov = covariance(&standardized)?;
-        let eig = symmetric_eigen(&cov)?;
+        Self::from_covariance(normalizer, &cov)
+    }
+
+    /// Shard-streaming [`Pca::fit`]: the default z-score normalizer and
+    /// the covariance are accumulated shard by shard in the same left-fold
+    /// order as the dense path, so the result is **bit-identical** to
+    /// `Pca::fit(data.coalesced())` — the dense fit stays in-tree as this
+    /// path's differential oracle. Peak transient allocation is one d×d
+    /// covariance plus one standardized scratch row, never n×d.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::fit`], plus shard-access failures.
+    pub fn fit_sharded<A: ShardAccess>(data: &A) -> Result<Self> {
+        Self::validate_sharded(data)?;
+        let normalizer = ZScore::fit_sharded(data)?;
+        Self::fit_sharded_with(data, normalizer)
+    }
+
+    /// Shard-streaming [`Pca::fit_with`]: like [`Pca::fit_sharded`] but
+    /// with a caller-supplied normalizer (e.g.
+    /// [`crate::stats::robust_scale_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::fit_with`], plus shard-access failures.
+    pub fn fit_sharded_with<A: ShardAccess>(data: &A, normalizer: ZScore) -> Result<Self> {
+        Self::validate_sharded(data)?;
+        if normalizer.means.len() != data.ncols() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "zscore transform: fitted on {} columns, got {}",
+                normalizer.means.len(),
+                data.ncols()
+            )));
+        }
+        let cov = covariance_standardized_sharded(data, &normalizer)?;
+        Self::from_covariance(normalizer, &cov)
+    }
+
+    /// Shared validation of the streaming fits, mirroring the dense
+    /// entry-point checks shard by shard.
+    fn validate_sharded<A: ShardAccess>(data: &A) -> Result<()> {
+        if data.nrows() < 2 {
+            return Err(LinalgError::Empty(
+                "PCA requires at least two observations".into(),
+            ));
+        }
+        for s in 0..data.shard_count() {
+            if !data.with_shard(s, Matrix::is_finite)? {
+                return Err(LinalgError::NonFinite("PCA input".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared eigendecomposition tail of every fit path — one body of
+    /// code, so the dense and streaming fits cannot drift apart.
+    fn from_covariance(zscore: ZScore, cov: &Matrix) -> Result<Self> {
+        let eig = symmetric_eigen(cov)?;
 
         // Numerical noise can make tiny eigenvalues slightly negative; clamp.
         let eigenvalues: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
@@ -222,6 +280,170 @@ impl Pca {
         }
         Ok(projected)
     }
+
+    /// Shard-streaming [`Pca::transform`]: standardizes and projects one
+    /// shard at a time (each output row depends only on its input row, so
+    /// per-shard matmul is bit-identical to the dense product), returning
+    /// a sharded result under the input's row bound. Peak transient
+    /// allocation is one standardized shard plus its k-column projection.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::transform`], plus shard-access failures.
+    pub fn transform_sharded<A: ShardAccess>(&self, data: &A, k: usize) -> Result<ShardedMatrix> {
+        if k == 0 || k > self.components.ncols() {
+            return Err(LinalgError::InvalidParameter(format!(
+                "cannot keep {k} of {} components",
+                self.components.ncols()
+            )));
+        }
+        let sub = self
+            .components
+            .select_columns(&(0..k).collect::<Vec<_>>())?;
+        let mut out = ShardedMatrix::new(k, data.shard_rows());
+        for s in 0..data.shard_count() {
+            let block = data.with_shard(s, |shard| -> Result<Matrix> {
+                self.zscore.transform(shard)?.matmul(&sub)
+            })??;
+            out.reserve_rows(block.nrows());
+            for row in block.rows_iter() {
+                out.push_row(row)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Shard-streaming [`Pca::transform_whitened`] — see
+    /// [`Pca::transform_sharded`] for the memory contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::transform_whitened`], plus shard-access
+    /// failures.
+    pub fn transform_whitened_sharded<A: ShardAccess>(
+        &self,
+        data: &A,
+        k: usize,
+    ) -> Result<ShardedMatrix> {
+        let mut projected = self.transform_sharded(data, k)?;
+        let whiten: Vec<f64> = self.eigenvalues[..k].iter().map(|&l| l.sqrt()).collect();
+        for i in 0..projected.nrows() {
+            let row = projected.row_mut(i);
+            for (v, &sd) in row.iter_mut().zip(&whiten) {
+                if sd <= 1e-12 {
+                    continue;
+                }
+                *v /= sd;
+            }
+        }
+        Ok(projected)
+    }
+
+    /// A reusable single-row whitened projector for streaming consumers
+    /// (drift scoring): replicates standardize → project → whiten on one
+    /// row at a time, bit-identical to [`Pca::transform_whitened`] on a
+    /// 1-row matrix, with zero per-call allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `k` is zero or exceeds
+    /// the number of fitted components.
+    pub fn row_projector(&self, k: usize) -> Result<RowProjector> {
+        if k == 0 || k > self.components.ncols() {
+            return Err(LinalgError::InvalidParameter(format!(
+                "cannot keep {k} of {} components",
+                self.components.ncols()
+            )));
+        }
+        Ok(RowProjector {
+            means: self.zscore.means.clone(),
+            std_devs: self.zscore.std_devs.clone(),
+            sub: self
+                .components
+                .select_columns(&(0..k).collect::<Vec<_>>())?,
+            whiten: self.eigenvalues[..k].iter().map(|&l| l.sqrt()).collect(),
+            scratch: vec![0.0; self.components.nrows()],
+        })
+    }
+}
+
+/// Single-row whitened PCA projection with reusable scratch space.
+///
+/// Built by [`Pca::row_projector`]; used by the streaming drift scorer so
+/// a 10⁶-row session allocates nothing per row.
+#[derive(Debug, Clone)]
+pub struct RowProjector {
+    means: Vec<f64>,
+    std_devs: Vec<f64>,
+    /// The first k principal axes (features × k).
+    sub: Matrix,
+    /// `sqrt(eigenvalue)` per kept component.
+    whiten: Vec<f64>,
+    /// Standardized-row buffer, reused across calls.
+    scratch: Vec<f64>,
+}
+
+impl RowProjector {
+    /// Number of kept components (the length `out` must have).
+    pub fn k(&self) -> usize {
+        self.sub.ncols()
+    }
+
+    /// Number of input features (the length `row` must have).
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Projects one observation into whitened PC space, writing the `k`
+    /// coordinates into `out`. Bit-identical to
+    /// `pca.transform_whitened(&Matrix::from_rows(&[row.to_vec()])?, k)`:
+    /// the same standardize expression, the same ikj product with the
+    /// dense kernel's zero-skip, the same `sd ≤ 1e-12` whitening guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `row` or `out` have
+    /// the wrong length.
+    pub fn project_whitened_into(&mut self, row: &[f64], out: &mut [f64]) -> Result<()> {
+        if row.len() != self.means.len() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "zscore transform: fitted on {} columns, got {}",
+                self.means.len(),
+                row.len()
+            )));
+        }
+        if out.len() != self.sub.ncols() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "project_whitened_into: output of length {} for {} components",
+                out.len(),
+                self.sub.ncols()
+            )));
+        }
+        for (dst, ((v, m), sd)) in self
+            .scratch
+            .iter_mut()
+            .zip(row.iter().zip(&self.means).zip(&self.std_devs))
+        {
+            *dst = (*v - *m) / *sd;
+        }
+        out.fill(0.0);
+        for (i, &a) in self.scratch.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let rhs_row = self.sub.row(i);
+            for (o, &b) in out.iter_mut().zip(rhs_row) {
+                *o += a * b;
+            }
+        }
+        for (o, &sd) in out.iter_mut().zip(&self.whiten) {
+            if sd <= 1e-12 {
+                continue;
+            }
+            *o /= sd;
+        }
+        Ok(())
+    }
 }
 
 /// Population covariance matrix of `data`'s columns (rows = observations).
@@ -264,6 +486,87 @@ pub fn covariance(data: &Matrix) -> Result<Matrix> {
         }
     }
     Ok(cov)
+}
+
+/// Population covariance of the **standardized** columns, accumulated
+/// shard by shard: each row is standardized into a reused scratch buffer
+/// (the identical elementwise expression [`ZScore::transform`] applies)
+/// and folded into the same per-column mean and upper-triangle product
+/// accumulators, in the same row order, as the dense
+/// `covariance(&normalizer.transform(data))` path — so the result is
+/// bit-identical while never materializing the n×d standardized matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] below two rows,
+/// [`LinalgError::DimensionMismatch`] if `normalizer` was fitted on a
+/// different column count, plus shard-access failures.
+pub fn covariance_standardized_sharded<A: ShardAccess>(
+    data: &A,
+    normalizer: &ZScore,
+) -> Result<Matrix> {
+    let n = data.nrows();
+    if n < 2 {
+        return Err(LinalgError::Empty(
+            "covariance requires at least two observations".into(),
+        ));
+    }
+    let d = data.ncols();
+    if normalizer.means.len() != d {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "zscore transform: fitted on {} columns, got {d}",
+            normalizer.means.len()
+        )));
+    }
+    let mut scratch = vec![0.0; d];
+    let mut means = vec![0.0; d];
+    for s in 0..data.shard_count() {
+        data.with_shard(s, |shard| {
+            for row in shard.rows_iter() {
+                standardize_into(&mut scratch, row, normalizer);
+                for (m, v) in means.iter_mut().zip(&scratch) {
+                    *m += v;
+                }
+            }
+        })?;
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let mut cov = Matrix::zeros(d, d);
+    for s in 0..data.shard_count() {
+        data.with_shard(s, |shard| {
+            for row in shard.rows_iter() {
+                standardize_into(&mut scratch, row, normalizer);
+                for i in 0..d {
+                    let di = scratch[i] - means[i];
+                    for j in i..d {
+                        let dj = scratch[j] - means[j];
+                        cov[(i, j)] += di * dj;
+                    }
+                }
+            }
+        })?;
+    }
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] / n as f64;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// The elementwise op of [`ZScore::transform`], applied into a scratch
+/// buffer — one expression shared by both streaming covariance passes.
+fn standardize_into(scratch: &mut [f64], row: &[f64], z: &ZScore) {
+    for (dst, ((v, m), sd)) in scratch
+        .iter_mut()
+        .zip(row.iter().zip(&z.means).zip(&z.std_devs))
+    {
+        *dst = (*v - *m) / *sd;
+    }
 }
 
 /// A serializable snapshot of a fitted PCA (used to persist analyzer state).
@@ -468,6 +771,123 @@ mod tests {
         assert!((c[(0, 1)] - 16.0 / 3.0).abs() < 1e-12);
         assert!((c[(1, 1)] - 32.0 / 3.0).abs() < 1e-12);
         assert!(c.is_symmetric(1e-12));
+    }
+
+    /// Bit-level equality of two fitted models via their snapshots.
+    fn assert_same_bits(a: &Pca, b: &Pca, label: &str) {
+        let sa = PcaSnapshot::from(a);
+        let sb = PcaSnapshot::from(b);
+        let pairs = [
+            (&sa.means, &sb.means, "means"),
+            (&sa.std_devs, &sb.std_devs, "std_devs"),
+            (&sa.eigenvalues, &sb.eigenvalues, "eigenvalues"),
+        ];
+        for (xs, ys, field) in pairs {
+            assert_eq!(xs.len(), ys.len(), "{label}: {field} length");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: {field} bits");
+            }
+        }
+        for (ra, rb) in sa.components.iter().zip(&sb.components) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: component bits");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_sharded_is_bit_identical_to_dense() {
+        let data = correlated_data();
+        let dense = Pca::fit(&data).unwrap();
+        // Shard sizes straddling every boundary case, including the
+        // single-shard and one-row-per-shard extremes.
+        for shard_rows in [1, 3, 7, 39, 40, 41, 100] {
+            let sharded = ShardedMatrix::from_matrix(&data, shard_rows);
+            let stream = Pca::fit_sharded(&sharded).unwrap();
+            assert_same_bits(&dense, &stream, &format!("shard_rows={shard_rows}"));
+        }
+    }
+
+    #[test]
+    fn fit_sharded_with_robust_normalizer_matches_dense() {
+        let data = correlated_data();
+        let dense =
+            Pca::fit_with(&data, crate::stats::robust_scale(&data).unwrap()).unwrap();
+        let sharded = ShardedMatrix::from_matrix(&data, 7);
+        let stream = Pca::fit_sharded_with(
+            &sharded,
+            crate::stats::robust_scale_sharded(&sharded).unwrap(),
+        )
+        .unwrap();
+        assert_same_bits(&dense, &stream, "robust normalizer");
+    }
+
+    #[test]
+    fn transform_sharded_matches_dense_bits() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let dense_t = pca.transform(&data, 2).unwrap();
+        let dense_w = pca.transform_whitened(&data, 2).unwrap();
+        for shard_rows in [1, 6, 40, 64] {
+            let sharded = ShardedMatrix::from_matrix(&data, shard_rows);
+            let t = pca.transform_sharded(&sharded, 2).unwrap();
+            let w = pca.transform_whitened_sharded(&sharded, 2).unwrap();
+            assert_eq!(t.nrows(), dense_t.nrows());
+            for i in 0..t.nrows() {
+                for (x, y) in t.row(i).iter().zip(dense_t.row(i)) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "transform row {i}");
+                }
+                for (x, y) in w.row(i).iter().zip(dense_w.row(i)) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "whitened row {i}");
+                }
+            }
+        }
+        assert!(pca.transform_sharded(&ShardedMatrix::from_matrix(&data, 8), 0).is_err());
+        assert!(pca.transform_sharded(&ShardedMatrix::from_matrix(&data, 8), 4).is_err());
+    }
+
+    #[test]
+    fn fit_sharded_validates_like_dense() {
+        // Below two rows.
+        let one = ShardedMatrix::from_matrix(&Matrix::zeros(1, 3), 4);
+        assert!(Pca::fit_sharded(&one).is_err());
+        // Non-finite input.
+        let nan = Matrix::from_rows(&[vec![f64::NAN], vec![1.0]]).unwrap();
+        assert!(Pca::fit_sharded(&ShardedMatrix::from_matrix(&nan, 1)).is_err());
+        // Mismatched normalizer.
+        let data = correlated_data();
+        let narrow = ZScore {
+            means: vec![0.0; 2],
+            std_devs: vec![1.0; 2],
+        };
+        assert!(
+            Pca::fit_sharded_with(&ShardedMatrix::from_matrix(&data, 8), narrow).is_err()
+        );
+    }
+
+    #[test]
+    fn row_projector_matches_whitened_transform_bits() {
+        let data = correlated_data();
+        let pca = Pca::fit(&data).unwrap();
+        let k = 2;
+        let dense = pca.transform_whitened(&data, k).unwrap();
+        let mut proj = pca.row_projector(k).unwrap();
+        assert_eq!(proj.k(), k);
+        assert_eq!(proj.n_features(), 3);
+        let mut out = vec![0.0; k];
+        for i in 0..data.nrows() {
+            proj.project_whitened_into(data.row(i), &mut out).unwrap();
+            for (x, y) in out.iter().zip(dense.row(i)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {i}");
+            }
+        }
+        assert!(proj.project_whitened_into(&[1.0], &mut out).is_err());
+        let mut short = vec![0.0; k + 1];
+        assert!(proj
+            .project_whitened_into(data.row(0), &mut short)
+            .is_err());
+        assert!(pca.row_projector(0).is_err());
+        assert!(pca.row_projector(4).is_err());
     }
 
     #[test]

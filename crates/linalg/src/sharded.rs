@@ -26,8 +26,39 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Uniform read access to row shards, whether they are all resident
+/// ([`ShardedMatrix`]) or faulted in on demand from a spill directory
+/// ([`ShardStore`]).
+///
+/// Streaming algorithms (`Pca::fit_sharded`, the sharded correlation
+/// pass, …) are generic over this trait, so the spill knob changes only
+/// *where* a shard lives, never the order in which its rows are folded —
+/// which is what makes spill-on/spill-off byte-identity structural
+/// rather than accidental.
+pub trait ShardAccess {
+    /// Total logical rows across all shards.
+    fn nrows(&self) -> usize;
+    /// Number of columns.
+    fn ncols(&self) -> usize;
+    /// Number of shards, in row order.
+    fn shard_count(&self) -> usize;
+    /// The layout bound: no shard holds more than this many rows.
+    fn shard_rows(&self) -> usize;
+    /// Runs `f` against shard `s`, faulting it in first if it is spilled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `s` is out of bounds
+    /// and [`LinalgError::Io`] if a spilled shard cannot be read back.
+    fn with_shard<R>(&self, s: usize, f: impl FnOnce(&Matrix) -> R) -> Result<R>;
+}
 
 /// A row-major matrix stored as a sequence of bounded row blocks.
 ///
@@ -54,6 +85,10 @@ pub struct ShardedMatrix {
     /// `starts[s]` = logical index of shard `s`'s first row.
     starts: Vec<usize>,
     nrows: usize,
+    /// Rows promised by [`ShardedMatrix::reserve_rows`] that have not yet
+    /// been pushed; drained as new shards pre-size their buffers. A pure
+    /// capacity hint — never part of content, equality, or Debug output.
+    pending_reserve: usize,
     /// Lazily coalesced dense view for multi-shard stores; invalidated on
     /// every mutation so [`ShardedMatrix::coalesced`] is pointer-stable
     /// between mutations.
@@ -70,6 +105,7 @@ impl ShardedMatrix {
             shards: Vec::new(),
             starts: Vec::new(),
             nrows: 0,
+            pending_reserve: 0,
             coalesced: OnceLock::new(),
         }
     }
@@ -180,6 +216,12 @@ impl ShardedMatrix {
             Some(last) if last.nrows() < self.shard_rows => last.push_row(row)?,
             _ => {
                 let mut shard = Matrix::zeros(0, self.cols);
+                // One capacity decision per shard: size the fresh shard for
+                // whatever remains of the announced window (but never past
+                // the shard bound) instead of growing per push.
+                let want = self.shard_rows.min(self.pending_reserve.max(1));
+                shard.reserve_rows(want);
+                self.pending_reserve = self.pending_reserve.saturating_sub(want);
                 shard.push_row(row)?;
                 self.starts.push(self.nrows);
                 self.shards.push(shard);
@@ -187,6 +229,26 @@ impl ShardedMatrix {
         }
         self.nrows += 1;
         Ok(())
+    }
+
+    /// Announces that `additional` rows are about to be appended via
+    /// [`ShardedMatrix::push_row`], so the chunked ingest path makes one
+    /// capacity decision per window instead of one per record: the tail
+    /// shard reserves whatever fits under its row bound immediately, and
+    /// the remainder pre-sizes each new shard as it opens.
+    ///
+    /// A pure capacity hint: contents, equality, and layout are unchanged.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        let mut remaining = additional;
+        if let Some(last) = self.shards.last_mut() {
+            let room = self.shard_rows.saturating_sub(last.nrows());
+            let fill = room.min(remaining);
+            if fill > 0 {
+                last.reserve_rows(fill);
+                remaining -= fill;
+            }
+        }
+        self.pending_reserve = remaining;
     }
 
     /// Inserts a row before logical index `at` (`at == nrows()` appends).
@@ -328,8 +390,37 @@ impl ShardedMatrix {
             starts: self.starts.clone(),
             nrows: self.nrows,
             shards,
+            pending_reserve: 0,
             coalesced: OnceLock::new(),
         })
+    }
+}
+
+impl ShardAccess for ShardedMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    fn with_shard<R>(&self, s: usize, f: impl FnOnce(&Matrix) -> R) -> Result<R> {
+        match self.shards.get(s) {
+            Some(shard) => Ok(f(shard)),
+            None => Err(LinalgError::InvalidParameter(format!(
+                "with_shard: shard {s} out of bounds for {} shards",
+                self.shards.len()
+            ))),
+        }
     }
 }
 
@@ -341,7 +432,9 @@ impl Clone for ShardedMatrix {
             shards: self.shards.clone(),
             starts: self.starts.clone(),
             nrows: self.nrows,
-            // The clone rebuilds its own cache on demand.
+            // Capacity hints and the coalesce cache are per-instance:
+            // the clone starts clean and rebuilds both on demand.
+            pending_reserve: 0,
             coalesced: OnceLock::new(),
         }
     }
@@ -370,6 +463,379 @@ impl PartialEq for ShardedMatrix {
         self.nrows == other.nrows
             && self.cols == other.cols
             && self.rows_iter().eq(other.rows_iter())
+    }
+}
+
+/// Counters of the spill store's residency traffic, surfaced through the
+/// fit report and `flare-cli report`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillStats {
+    /// Shard accesses served from memory.
+    pub hits: u64,
+    /// Shard accesses that had to read the shard back from disk.
+    pub faults: u64,
+    /// Shards written out (or dropped, if already on disk) to stay under
+    /// the residency budget.
+    pub evictions: u64,
+}
+
+/// Where a spill-store shard currently lives.
+enum Residency {
+    /// In memory, evictable when unpinned.
+    Resident(Matrix),
+    /// Moved out into a running [`ShardStore::with_shard`] closure.
+    CheckedOut,
+    /// On disk only, in the store's spill directory.
+    Spilled,
+}
+
+struct Slot {
+    rows: usize,
+    residency: Residency,
+    /// The shard's spill file is current (shards are immutable once
+    /// stored, so a written file never needs rewriting).
+    on_disk: bool,
+    last_touch: u64,
+    /// Pin count: pinned shards are never evicted. Checked-out shards are
+    /// implicitly pinned for the duration of the access.
+    pins: u32,
+}
+
+struct StoreState {
+    slots: Vec<Slot>,
+    /// LRU clock: bumped on every access, stamped into `last_touch`.
+    clock: u64,
+    /// Shards currently occupying memory (resident or checked out).
+    resident: usize,
+    stats: SpillStats,
+}
+
+/// Monotonic id making each store's spill subdirectory unique within the
+/// process, so two stores sharing a spill root never collide.
+static STORE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// An out-of-core shard store: holds the same logical rows as the
+/// [`ShardedMatrix`] it was built from, but keeps at most `max_resident`
+/// shards in memory, writing the least-recently-touched ones to a spill
+/// directory and faulting them back on access.
+///
+/// Spill files are written atomically (write to `…​.tmp`, then rename —
+/// the same discipline as the stream checkpoints), are deleted on drop,
+/// and hold raw little-endian `f64` row-major bytes, so a faulted shard
+/// is bit-identical to the one written out. Combined with the
+/// [`ShardAccess`] fold order being independent of residency, a pipeline
+/// run with spill enabled is byte-identical to one without.
+///
+/// # Examples
+///
+/// ```
+/// use flare_linalg::{ShardAccess, ShardedMatrix, ShardStore};
+///
+/// let mut m = ShardedMatrix::new(2, 2);
+/// for i in 0..6 {
+///     m.push_row(&[i as f64, -(i as f64)]).unwrap();
+/// }
+/// let dir = std::env::temp_dir().join("flare-doc-spill");
+/// let store = ShardStore::spill_to(m, &dir, 1).unwrap();
+/// let mut total = 0.0;
+/// for s in 0..store.shard_count() {
+///     total += store.with_shard(s, |shard| shard.row(0)[0]).unwrap();
+/// }
+/// assert_eq!(total, 0.0 + 2.0 + 4.0);
+/// assert!(store.stats().evictions > 0);
+/// ```
+pub struct ShardStore {
+    cols: usize,
+    shard_rows: usize,
+    nrows: usize,
+    dir: PathBuf,
+    max_resident: usize,
+    state: RefCell<StoreState>,
+}
+
+impl ShardStore {
+    /// Takes ownership of a [`ShardedMatrix`] and rehomes it under `root`
+    /// (in a unique per-store subdirectory), immediately evicting down to
+    /// `max_resident` in-memory shards (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Io`] if the spill directory cannot be
+    /// created or an evicted shard cannot be written.
+    pub fn spill_to(m: ShardedMatrix, root: &std::path::Path, max_resident: usize) -> Result<Self> {
+        let id = STORE_ID.fetch_add(1, Ordering::Relaxed);
+        let dir = root.join(format!("shard-store-{}-{id}", std::process::id()));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| LinalgError::Io(format!("create spill dir {}: {e}", dir.display())))?;
+        let slots: Vec<Slot> = m
+            .shards
+            .into_iter()
+            .map(|shard| Slot {
+                rows: shard.nrows(),
+                residency: Residency::Resident(shard),
+                on_disk: false,
+                last_touch: 0,
+                pins: 0,
+            })
+            .collect();
+        let resident = slots.len();
+        let store = ShardStore {
+            cols: m.cols,
+            shard_rows: m.shard_rows,
+            nrows: m.nrows,
+            dir,
+            max_resident: max_resident.max(1),
+            state: RefCell::new(StoreState {
+                slots,
+                clock: 0,
+                resident,
+                stats: SpillStats::default(),
+            }),
+        };
+        store.enforce_budget(&mut store.state.borrow_mut())?;
+        Ok(store)
+    }
+
+    /// The residency-traffic counters accumulated so far.
+    pub fn stats(&self) -> SpillStats {
+        self.state.borrow().stats
+    }
+
+    /// Shards currently occupying memory.
+    pub fn resident_shards(&self) -> usize {
+        self.state.borrow().resident
+    }
+
+    /// The store's private spill directory.
+    pub fn spill_dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Pins shard `s`: a pinned shard is never evicted, so an in-flight
+    /// chunked producer can hold its working shards in memory without
+    /// thrashing against the LRU. Pins nest; balance with
+    /// [`ShardStore::unpin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `s` is out of bounds.
+    pub fn pin(&self, s: usize) -> Result<()> {
+        let mut state = self.state.borrow_mut();
+        let n = state.slots.len();
+        let slot = state
+            .slots
+            .get_mut(s)
+            .ok_or_else(|| LinalgError::InvalidParameter(format!(
+                "pin: shard {s} out of bounds for {n} shards"
+            )))?;
+        slot.pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on shard `s` (a no-op at zero pins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `s` is out of bounds.
+    pub fn unpin(&self, s: usize) -> Result<()> {
+        let mut state = self.state.borrow_mut();
+        let n = state.slots.len();
+        let slot = state
+            .slots
+            .get_mut(s)
+            .ok_or_else(|| LinalgError::InvalidParameter(format!(
+                "unpin: shard {s} out of bounds for {n} shards"
+            )))?;
+        slot.pins = slot.pins.saturating_sub(1);
+        self.enforce_budget(&mut state)?;
+        Ok(())
+    }
+
+    fn shard_path(&self, s: usize) -> PathBuf {
+        self.dir.join(format!("shard-{s:05}.bin"))
+    }
+
+    fn write_shard(&self, s: usize, shard: &Matrix) -> Result<()> {
+        let mut bytes = Vec::with_capacity(shard.as_slice().len() * 8);
+        for v in shard.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = self.shard_path(s);
+        let tmp = self.dir.join(format!("shard-{s:05}.bin.tmp"));
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| LinalgError::Io(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| LinalgError::Io(format!("rename {}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    fn read_shard(&self, s: usize, rows: usize) -> Result<Matrix> {
+        let path = self.shard_path(s);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| LinalgError::Io(format!("read {}: {e}", path.display())))?;
+        let expect = rows * self.cols * 8;
+        if bytes.len() != expect {
+            return Err(LinalgError::Io(format!(
+                "spill file {} holds {} bytes, expected {expect}",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        let data: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Matrix::from_vec(rows, self.cols, data)
+    }
+
+    /// Evicts least-recently-touched unpinned resident shards until the
+    /// residency budget is met. Already-written shards are dropped without
+    /// a rewrite (spill files are immutable).
+    fn enforce_budget(&self, state: &mut StoreState) -> Result<()> {
+        while state.resident > self.max_resident {
+            let victim = state
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| {
+                    slot.pins == 0 && matches!(slot.residency, Residency::Resident(_))
+                })
+                .min_by_key(|(_, slot)| slot.last_touch)
+                .map(|(s, _)| s);
+            let Some(s) = victim else { break };
+            if !state.slots[s].on_disk {
+                let Residency::Resident(shard) = &state.slots[s].residency else {
+                    unreachable!("victim filter keeps only resident slots");
+                };
+                self.write_shard(s, shard)?;
+                state.slots[s].on_disk = true;
+            }
+            state.slots[s].residency = Residency::Spilled;
+            state.resident -= 1;
+            state.stats.evictions += 1;
+        }
+        Ok(())
+    }
+}
+
+impl ShardAccess for ShardStore {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    fn shard_count(&self) -> usize {
+        self.state.borrow().slots.len()
+    }
+
+    fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    fn with_shard<R>(&self, s: usize, f: impl FnOnce(&Matrix) -> R) -> Result<R> {
+        // Check the shard out (faulting it in if spilled) so the RefCell
+        // borrow is released while the caller's closure runs; checked-out
+        // shards count as pinned, so nested accesses to *other* shards
+        // can evict without touching this one.
+        let shard = self.checkout(s)?;
+        let r = f(&shard);
+        self.checkin(s, shard)?;
+        Ok(r)
+    }
+}
+
+impl ShardStore {
+    /// Takes shard `s` out of its slot, faulting it from disk if spilled,
+    /// leaving the slot `CheckedOut` (implicitly pinned).
+    fn checkout(&self, s: usize) -> Result<Matrix> {
+        let rows = {
+            let mut state = self.state.borrow_mut();
+            let n = state.slots.len();
+            if s >= n {
+                return Err(LinalgError::InvalidParameter(format!(
+                    "with_shard: shard {s} out of bounds for {n} shards"
+                )));
+            }
+            state.clock += 1;
+            let clock = state.clock;
+            let slot = &mut state.slots[s];
+            slot.last_touch = clock;
+            match std::mem::replace(&mut slot.residency, Residency::CheckedOut) {
+                Residency::Resident(m) => {
+                    slot.pins += 1;
+                    state.stats.hits += 1;
+                    return Ok(m);
+                }
+                Residency::Spilled => {
+                    slot.pins += 1;
+                    slot.rows
+                }
+                Residency::CheckedOut => {
+                    slot.residency = Residency::CheckedOut;
+                    return Err(LinalgError::InvalidParameter(format!(
+                        "with_shard: re-entrant access to shard {s}"
+                    )));
+                }
+            }
+        };
+        // Fault path: read outside the borrow (read_shard only touches
+        // immutable fields), then account for the new resident shard.
+        match self.read_shard(s, rows) {
+            Ok(m) => {
+                let mut state = self.state.borrow_mut();
+                state.stats.faults += 1;
+                state.resident += 1;
+                Ok(m)
+            }
+            Err(e) => {
+                let mut state = self.state.borrow_mut();
+                state.slots[s].residency = Residency::Spilled;
+                state.slots[s].pins -= 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns shard `s` to its slot and re-applies the residency budget.
+    fn checkin(&self, s: usize, shard: Matrix) -> Result<()> {
+        let mut state = self.state.borrow_mut();
+        state.slots[s].residency = Residency::Resident(shard);
+        state.slots[s].pins -= 1;
+        self.enforce_budget(&mut state)
+    }
+}
+
+impl Drop for ShardStore {
+    /// Best-effort cleanup: spill files and the per-store directory are
+    /// scratch space, not a persistence format.
+    fn drop(&mut self) {
+        let state = self.state.borrow();
+        for (s, slot) in state.slots.iter().enumerate() {
+            if slot.on_disk {
+                let _ = std::fs::remove_file(self.shard_path(s));
+            }
+        }
+        drop(state);
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
+impl fmt::Debug for ShardStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.borrow();
+        f.debug_struct("ShardStore")
+            .field("nrows", &self.nrows)
+            .field("cols", &self.cols)
+            .field("shard_rows", &self.shard_rows)
+            .field("shards", &state.slots.len())
+            .field("resident", &state.resident)
+            .field("max_resident", &self.max_resident)
+            .field("dir", &self.dir)
+            .field("stats", &state.stats)
+            .finish()
     }
 }
 
@@ -513,5 +979,151 @@ mod tests {
         m.push_row(&[1.0]).unwrap();
         m.push_row(&[2.0]).unwrap();
         assert_eq!(m.shard_count(), 2);
+    }
+
+    #[test]
+    fn reserve_rows_is_content_neutral() {
+        let mut reserved = ShardedMatrix::new(3, 4);
+        reserved.reserve_rows(11);
+        let mut plain = ShardedMatrix::new(3, 4);
+        for i in 0..11 {
+            let v = i as f64;
+            reserved.push_row(&[v, v * 0.5, -v]).unwrap();
+            plain.push_row(&[v, v * 0.5, -v]).unwrap();
+        }
+        assert_eq!(reserved, plain);
+        assert_eq!(reserved.shard_count(), plain.shard_count());
+        for (a, b) in reserved.shards().iter().zip(plain.shards()) {
+            assert_eq!(a.nrows(), b.nrows());
+        }
+        // Reserving into a partially filled tail and overshooting are both
+        // fine — it is a hint, never a constraint.
+        reserved.reserve_rows(2);
+        reserved.push_row(&[99.0, 99.0, 99.0]).unwrap();
+        assert_eq!(reserved.nrows(), 12);
+        // Unbounded shard capacity must not overflow the reserve math.
+        let mut unbounded = ShardedMatrix::new(1, usize::MAX);
+        unbounded.reserve_rows(3);
+        unbounded.push_row(&[1.0]).unwrap();
+        assert_eq!(unbounded.nrows(), 1);
+    }
+
+    fn spill_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("flare-spill-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn shard_access_trait_reads_match_direct_reads() {
+        let m = filled(17, 4);
+        assert_eq!(ShardAccess::nrows(&m), 17);
+        assert_eq!(ShardAccess::ncols(&m), 3);
+        assert_eq!(ShardAccess::shard_rows(&m), 4);
+        let mut seen = Vec::new();
+        for s in 0..ShardAccess::shard_count(&m) {
+            m.with_shard(s, |shard| {
+                for row in shard.rows_iter() {
+                    seen.push(row[0]);
+                }
+            })
+            .unwrap();
+        }
+        let direct: Vec<f64> = m.rows_iter().map(|r| r[0]).collect();
+        assert_eq!(seen, direct);
+        assert!(m.with_shard(99, |_| ()).is_err());
+    }
+
+    #[test]
+    fn spill_store_roundtrips_bytes_under_memory_pressure() {
+        let m = filled(23, 4); // 6 shards
+        let expect: Vec<Vec<f64>> = m.rows_iter().map(|r| r.to_vec()).collect();
+        let dir = spill_dir("roundtrip");
+        let store = ShardStore::spill_to(m, &dir, 2).unwrap();
+        assert_eq!(store.nrows(), 23);
+        assert_eq!(store.ncols(), 3);
+        assert_eq!(store.shard_count(), 6);
+        assert!(store.resident_shards() <= 2);
+        // Two full sweeps: the first faults spilled shards back in, the
+        // second re-faults what the first evicted. Bytes must survive.
+        for sweep in 0..2 {
+            let mut at = 0;
+            for s in 0..store.shard_count() {
+                store
+                    .with_shard(s, |shard| {
+                        for row in shard.rows_iter() {
+                            let want = &expect[at];
+                            for (x, y) in row.iter().zip(want) {
+                                assert_eq!(
+                                    x.to_bits(),
+                                    y.to_bits(),
+                                    "sweep {sweep} row {at}"
+                                );
+                            }
+                            at += 1;
+                        }
+                    })
+                    .unwrap();
+                assert!(store.resident_shards() <= 2, "budget violated");
+            }
+            assert_eq!(at, 23);
+        }
+        let stats = store.stats();
+        assert!(stats.evictions >= 4, "evictions {}", stats.evictions);
+        assert!(stats.faults >= 4, "faults {}", stats.faults);
+        // A re-touch of the most recent shard is served from memory.
+        let last = store.shard_count() - 1;
+        store.with_shard(last, |_| ()).unwrap();
+        assert!(store.stats().hits >= 1, "hits {}", store.stats().hits);
+        // Spill files exist while the store lives, and vanish on drop.
+        let dir_path = store.spill_dir().to_path_buf();
+        assert!(dir_path.exists());
+        drop(store);
+        assert!(!dir_path.exists(), "spill dir should be removed on drop");
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn spill_store_pins_block_eviction() {
+        let m = filled(12, 3); // 4 shards
+        let dir = spill_dir("pins");
+        let store = ShardStore::spill_to(m, &dir, 1).unwrap();
+        store.with_shard(0, |_| ()).unwrap(); // shard 0 resident
+        store.pin(0).unwrap();
+        // Touching every other shard evicts around the pin, never through it.
+        for s in 1..4 {
+            store.with_shard(s, |_| ()).unwrap();
+        }
+        // Shard 0 must still be served from memory: hits, not faults.
+        let before = store.stats().faults;
+        store.with_shard(0, |_| ()).unwrap();
+        assert_eq!(store.stats().faults, before, "pinned shard was evicted");
+        store.unpin(0).unwrap();
+        assert!(store.pin(9).is_err());
+        assert!(store.unpin(9).is_err());
+        drop(store);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn spill_store_single_resident_shard_streams_a_full_scan() {
+        // max_resident = 1 forces the worst case: every access after the
+        // first evicts the previous shard. The scan must still see every
+        // row in order.
+        let m = filled(10, 2); // 5 shards
+        let dir = spill_dir("scan");
+        let store = ShardStore::spill_to(m, &dir, 1).unwrap();
+        let mut seen = Vec::new();
+        for s in 0..store.shard_count() {
+            store
+                .with_shard(s, |shard| {
+                    for row in shard.rows_iter() {
+                        seen.push(row[0]);
+                    }
+                })
+                .unwrap();
+            assert_eq!(store.resident_shards(), 1);
+        }
+        assert_eq!(seen, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+        drop(store);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

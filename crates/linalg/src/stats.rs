@@ -5,6 +5,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use crate::sharded::ShardAccess;
 
 /// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
 ///
@@ -225,6 +226,57 @@ pub fn robust_scale(data: &Matrix) -> Result<ZScore> {
     Ok(ZScore { means, std_devs })
 }
 
+/// Extracts column `j` across all shards, in logical row order — the
+/// streaming counterpart of [`Matrix::col`]. The returned buffer is the
+/// only O(n) allocation; no shard is coalesced. Exact column statistics
+/// (medians, ranks) need the full column, so the rank-based streaming
+/// paths ([`robust_scale_sharded`], the sharded Spearman pass) go one
+/// column at a time through this.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidParameter`] if `j` is out of bounds.
+pub fn gather_column<A: ShardAccess>(data: &A, j: usize) -> Result<Vec<f64>> {
+    if j >= data.ncols() {
+        return Err(LinalgError::InvalidParameter(format!(
+            "gather_column: column {j} out of bounds for {} columns",
+            data.ncols()
+        )));
+    }
+    let mut col = Vec::with_capacity(data.nrows());
+    for s in 0..data.shard_count() {
+        data.with_shard(s, |shard| {
+            for row in shard.rows_iter() {
+                col.push(row[j]);
+            }
+        })?;
+    }
+    Ok(col)
+}
+
+/// Shard-streaming [`robust_scale`]: identical output (medians and MADs
+/// are computed from per-column gathers in the same row order), but the
+/// peak transient allocation is one column plus one shard instead of the
+/// dense n×d matrix.
+///
+/// # Errors
+///
+/// Same conditions as [`robust_scale`], plus shard-access failures.
+pub fn robust_scale_sharded<A: ShardAccess>(data: &A) -> Result<ZScore> {
+    if data.nrows() == 0 {
+        return Err(LinalgError::Empty("robust scale of empty matrix".into()));
+    }
+    let mut means = Vec::with_capacity(data.ncols());
+    let mut std_devs = Vec::with_capacity(data.ncols());
+    for j in 0..data.ncols() {
+        let col = gather_column(data, j)?;
+        means.push(median(&col)?);
+        let spread = mad(&col)? * MAD_TO_SIGMA;
+        std_devs.push(if spread <= f64::EPSILON { 1.0 } else { spread });
+    }
+    Ok(ZScore { means, std_devs })
+}
+
 /// Summary of a sample distribution: used for the violin/box plots of
 /// Fig. 12a and the CI bands of Fig. 12b/13.
 #[derive(Debug, Clone, PartialEq)]
@@ -316,6 +368,70 @@ impl ZScore {
             let sd = std_dev(&col);
             std_devs.push(if sd <= f64::EPSILON { 1.0 } else { sd });
         }
+        Ok(ZScore { means, std_devs })
+    }
+
+    /// Shard-streaming [`ZScore::fit`]: two passes over the shards
+    /// (column sums, then squared deviations), with every per-column
+    /// accumulator receiving exactly the additions the dense fit's
+    /// column extraction would produce, in the same order — so the
+    /// result is **bit-identical** to `ZScore::fit(data.coalesced())`
+    /// while allocating only the 2·d accumulator vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the store has no rows.
+    pub fn fit_sharded<A: ShardAccess>(data: &A) -> Result<Self> {
+        let n = data.nrows();
+        if n == 0 {
+            return Err(LinalgError::Empty("zscore fit on empty matrix".into()));
+        }
+        let d = data.ncols();
+        // Pass 1: column sums — the left fold `mean` performs on an
+        // extracted column, interleaved across all columns at once.
+        let mut sums = vec![0.0; d];
+        for s in 0..data.shard_count() {
+            data.with_shard(s, |shard| {
+                for row in shard.rows_iter() {
+                    for (acc, v) in sums.iter_mut().zip(row) {
+                        *acc += v;
+                    }
+                }
+            })?;
+        }
+        let means: Vec<f64> = sums.iter().map(|&s| s / n as f64).collect();
+        // Pass 2: squared deviations about the pass-1 means (the dense
+        // path recomputes the identical mean from the identical column).
+        // `variance` returns 0.0 below two samples, making every column
+        // "constant" — mirror that short-circuit exactly.
+        if n < 2 {
+            return Ok(ZScore {
+                means,
+                std_devs: vec![1.0; d],
+            });
+        }
+        let mut sq = vec![0.0; d];
+        for s in 0..data.shard_count() {
+            data.with_shard(s, |shard| {
+                for row in shard.rows_iter() {
+                    for ((acc, v), m) in sq.iter_mut().zip(row).zip(&means) {
+                        let dv = v - m;
+                        *acc += dv * dv;
+                    }
+                }
+            })?;
+        }
+        let std_devs = sq
+            .iter()
+            .map(|&q| {
+                let sd = (q / n as f64).sqrt();
+                if sd <= f64::EPSILON {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
         Ok(ZScore { means, std_devs })
     }
 

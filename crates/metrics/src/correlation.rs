@@ -11,8 +11,8 @@
 use crate::database::MetricDatabase;
 use crate::error::{MetricsError, Result};
 use crate::schema::MetricId;
-use flare_linalg::stats::{pearson, spearman};
-use flare_linalg::Matrix;
+use flare_linalg::stats::{gather_column, pearson, spearman};
+use flare_linalg::{LinalgError, Matrix, ShardAccess};
 use serde::{Deserialize, Serialize};
 
 /// Which correlation coefficient drives the pruning.
@@ -64,6 +64,10 @@ impl RefinementReport {
 /// Computes the full |Pearson| correlation matrix between the columns of
 /// `data`.
 ///
+/// This dense entry point is the **differential oracle** for
+/// [`correlation_matrix_sharded`]; production refinement streams shards
+/// and never coalesces the corpus.
+///
 /// # Errors
 ///
 /// Propagates [`MetricsError::Linalg`] if `data` has no rows.
@@ -92,6 +96,117 @@ pub fn correlation_matrix_with(data: &Matrix, method: CorrelationMethod) -> Resu
         }
     }
     Ok(m)
+}
+
+/// Shard-streaming [`correlation_matrix_with`]: **bit-identical** to the
+/// dense oracle without ever materializing the n×d matrix.
+///
+/// Pearson runs two shard passes: column sums (the same left fold
+/// [`flare_linalg::stats::mean`] performs on an extracted column), then a
+/// per-row deviation vector feeding each `sxx[j]` and upper-triangle
+/// `sxy[(i, j)]` accumulator — every accumulator receives exactly the
+/// additions the dense pairwise [`pearson`] performs, in the same row
+/// order, so the assembled coefficients match to the bit (including the
+/// `sxx ≤ ε → 0.0` constant-column rule). Peak transient allocation is
+/// O(d²) accumulators plus one resident shard.
+///
+/// Spearman needs full-column ranks, so it gathers two columns at a time
+/// via [`gather_column`] — O(n) per pair, still never n×d — and defers to
+/// the identical rank-based [`spearman`].
+///
+/// # Errors
+///
+/// Propagates [`MetricsError::Linalg`] exactly where the dense oracle
+/// would: an empty store errors once a pairwise coefficient is required
+/// (d ≥ 2), and shard-access failures surface as-is.
+pub fn correlation_matrix_sharded<A: ShardAccess>(
+    data: &A,
+    method: CorrelationMethod,
+) -> Result<Matrix> {
+    let d = data.ncols();
+    let n = data.nrows();
+    if n == 0 {
+        if d >= 2 {
+            // The dense path errors on the first pairwise call; replicate
+            // its exact message per method.
+            let what = match method {
+                CorrelationMethod::Pearson => "pearson of empty slices",
+                CorrelationMethod::Spearman => "spearman of empty slices",
+            };
+            return Err(LinalgError::Empty(what.into()).into());
+        }
+        let mut m = Matrix::zeros(d, d);
+        for i in 0..d {
+            m[(i, i)] = 1.0;
+        }
+        return Ok(m);
+    }
+    match method {
+        CorrelationMethod::Pearson => {
+            // Pass 1: column means.
+            let mut sums = vec![0.0; d];
+            for s in 0..data.shard_count() {
+                data.with_shard(s, |shard| {
+                    for row in shard.rows_iter() {
+                        for (acc, v) in sums.iter_mut().zip(row) {
+                            *acc += v;
+                        }
+                    }
+                })?;
+            }
+            let means: Vec<f64> = sums.iter().map(|&s| s / n as f64).collect();
+            // Pass 2: squared deviations and cross-products about the
+            // pass-1 means (bitwise the means the dense path recomputes
+            // per pair from the identical columns).
+            let mut sxx = vec![0.0; d];
+            let mut sxy = Matrix::zeros(d, d);
+            let mut dev = vec![0.0; d];
+            for s in 0..data.shard_count() {
+                data.with_shard(s, |shard| {
+                    for row in shard.rows_iter() {
+                        for ((dv, v), m) in dev.iter_mut().zip(row).zip(&means) {
+                            *dv = v - m;
+                        }
+                        for i in 0..d {
+                            let di = dev[i];
+                            sxx[i] += di * di;
+                            for j in (i + 1)..d {
+                                sxy[(i, j)] += di * dev[j];
+                            }
+                        }
+                    }
+                })?;
+            }
+            let mut m = Matrix::zeros(d, d);
+            for i in 0..d {
+                m[(i, i)] = 1.0;
+                for j in (i + 1)..d {
+                    let r = if sxx[i] <= f64::EPSILON || sxx[j] <= f64::EPSILON {
+                        0.0
+                    } else {
+                        sxy[(i, j)] / (sxx[i].sqrt() * sxx[j].sqrt())
+                    };
+                    m[(i, j)] = r;
+                    m[(j, i)] = r;
+                }
+            }
+            Ok(m)
+        }
+        CorrelationMethod::Spearman => {
+            let mut m = Matrix::zeros(d, d);
+            for i in 0..d {
+                m[(i, i)] = 1.0;
+                let col_i = gather_column(data, i)?;
+                for j in (i + 1)..d {
+                    let col_j = gather_column(data, j)?;
+                    let r = spearman(&col_i, &col_j)?;
+                    m[(i, j)] = r;
+                    m[(j, i)] = r;
+                }
+            }
+            Ok(m)
+        }
+    }
 }
 
 /// Greedy correlation pruning of the database's metric columns.
@@ -148,9 +263,11 @@ pub fn refine_with(
             "correlation threshold {threshold} outside (0, 1]"
         )));
     }
-    let data = db.to_matrix()?;
-    let corr = correlation_matrix_with(data, method)?;
-    let d = data.ncols();
+    if db.len() == 0 {
+        return Err(MetricsError::EmptyDatabase);
+    }
+    let corr = correlation_matrix_sharded(db.data_shards(), method)?;
+    let d = db.schema().len();
 
     let mut kept_indices: Vec<usize> = Vec::new();
     let mut dropped = Vec::new();
@@ -311,6 +428,60 @@ mod tests {
             2,
             "Spearman sees the monotone dup"
         );
+    }
+
+    #[test]
+    fn sharded_correlation_is_bit_identical_to_dense() {
+        // Shard sizes straddling every boundary of the 30-row corpus,
+        // including single-row shards and the everything-in-one-shard
+        // default. The streaming path must match the dense oracle to the
+        // bit for both coefficients.
+        for &shard_rows in &[1usize, 3, 7, 29, 30, 31, 8192] {
+            let schema = MetricSchema::canonical().subset(&[0, 1, 2, 3, 4]);
+            let mut db = MetricDatabase::with_shard_rows(schema, shard_rows);
+            for i in 0..30u32 {
+                let x = (i as f64 * 0.7).sin() * 10.0;
+                let y = (i as f64 * 1.3).cos() * 5.0;
+                let z = ((i * 37) % 11) as f64;
+                db.insert(ScenarioRecord {
+                    id: ScenarioId(i),
+                    metrics: vec![x, 3.0 * x, y, -y, z],
+                    observations: 1,
+                    job_mix: vec![],
+                })
+                .unwrap();
+            }
+            for method in [CorrelationMethod::Pearson, CorrelationMethod::Spearman] {
+                let dense = correlation_matrix_with(db.to_matrix().unwrap(), method).unwrap();
+                let streamed = correlation_matrix_sharded(db.data_shards(), method).unwrap();
+                assert_eq!(dense.shape(), streamed.shape());
+                for i in 0..5 {
+                    for j in 0..5 {
+                        assert_eq!(
+                            dense[(i, j)].to_bits(),
+                            streamed[(i, j)].to_bits(),
+                            "({i},{j}) {method:?} shard_rows {shard_rows}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_correlation_empty_matches_dense_errors() {
+        // d ≥ 2 with no rows: the dense oracle errors on the first pair.
+        let schema = MetricSchema::canonical().subset(&[0, 1]);
+        let db = MetricDatabase::new(schema);
+        for method in [CorrelationMethod::Pearson, CorrelationMethod::Spearman] {
+            assert!(correlation_matrix_sharded(db.data_shards(), method).is_err());
+        }
+        // A single column never forms a pair: identity matrix, like dense.
+        let one = MetricDatabase::new(MetricSchema::canonical().subset(&[0]));
+        let m =
+            correlation_matrix_sharded(one.data_shards(), CorrelationMethod::Pearson).unwrap();
+        assert_eq!(m.shape(), (1, 1));
+        assert_eq!(m[(0, 0)], 1.0);
     }
 
     #[test]

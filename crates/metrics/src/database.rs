@@ -497,13 +497,31 @@ impl MetricDatabase {
         self.observations.iter().map(|&o| o as u64).sum()
     }
 
+    /// Pre-sizes the data plane for `additional` rows about to be
+    /// appended — one capacity decision per ingest window instead of one
+    /// per [`MetricDatabase::insert`]. Purely an allocation hint: the
+    /// hint is consumed as shards fill, and contents, shard layout, and
+    /// the wire format are unchanged whether or not it was given.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve_rows(additional);
+        self.ids.reserve(additional);
+        self.observations.reserve(additional);
+        self.job_mixes.reserve(additional);
+    }
+
     /// The scenario × metric data matrix, rows in ascending scenario-id
-    /// order (the Analyzer's input). A borrow of the primary columnar
+    /// order, **densified**. A borrow of the primary columnar
     /// representation: single-shard databases (everything below
     /// [`MetricDatabase::shard_rows`] rows) hand out their one shard with
     /// zero copies; larger databases coalesce lazily into a cached dense
     /// matrix that stays pointer-stable until the next mutation. Either
     /// way the bytes and row order are identical to an unsharded store.
+    ///
+    /// This is a **test/oracle seam**: production featurization and
+    /// refinement stream shards via [`MetricDatabase::data_shards`] and
+    /// never coalesce, so the dense borrow exists for differential tests,
+    /// benches, and small ad-hoc consumers. Avoid it on corpora large
+    /// enough that an n×d materialization matters.
     ///
     /// # Errors
     ///
@@ -519,6 +537,14 @@ impl MetricDatabase {
     /// without coalescing (bounded-memory consumers).
     pub fn data_shards(&self) -> &ShardedMatrix {
         &self.data
+    }
+
+    /// Consumes the database, handing out its sharded data plane without
+    /// copying — the entry point for moving the shards into an
+    /// out-of-core store (e.g. `flare_linalg::ShardStore`) once the
+    /// id/observation/job-mix sidecars have been extracted.
+    pub fn into_data_shards(self) -> ShardedMatrix {
+        self.data
     }
 
     /// A new database containing the same scenarios but only the metric

@@ -83,11 +83,190 @@ pub struct CorpusEntry {
     pub observations: u32,
 }
 
+/// Rows per block of the sharded corpus entry store. Fixed (not a
+/// config knob): it only shapes allocation granularity, never output.
+const ENTRY_SHARD_ROWS: usize = 4096;
+
+/// Sharded backing store for corpus entries: fixed-size blocks instead
+/// of one contiguous `Vec`, so growing to 10⁶ scenarios never asks the
+/// allocator for one giant slab and never doubles the whole corpus
+/// transiently during a `Vec` regrow. Append-only; id order is block
+/// order.
+#[derive(Debug, Clone, Default)]
+struct EntryStore {
+    shards: Vec<Vec<CorpusEntry>>,
+    len: usize,
+}
+
+impl EntryStore {
+    fn with_capacity(n: usize) -> EntryStore {
+        EntryStore {
+            shards: Vec::with_capacity(n.div_ceil(ENTRY_SHARD_ROWS)),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, entry: CorpusEntry) {
+        if self.len % ENTRY_SHARD_ROWS == 0 {
+            self.shards.push(Vec::with_capacity(ENTRY_SHARD_ROWS));
+        }
+        self.shards
+            .last_mut()
+            .expect("push created the tail shard")
+            .push(entry);
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, i: usize) -> Option<&CorpusEntry> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&self.shards[i / ENTRY_SHARD_ROWS][i % ENTRY_SHARD_ROWS])
+    }
+
+    /// Panicking index (the window paths only touch validated ranges).
+    fn index(&self, i: usize) -> &CorpusEntry {
+        self.get(i).expect("entry index out of bounds")
+    }
+
+    fn iter(&self) -> std::iter::Flatten<std::slice::Iter<'_, Vec<CorpusEntry>>> {
+        self.shards.iter().flatten()
+    }
+}
+
+impl PartialEq for EntryStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl FromIterator<CorpusEntry> for EntryStore {
+    fn from_iter<I: IntoIterator<Item = CorpusEntry>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut store = EntryStore::with_capacity(iter.size_hint().0);
+        for entry in iter {
+            store.push(entry);
+        }
+        store
+    }
+}
+
+/// Borrowed view over the sharded entry store, in id order. `Copy`,
+/// iterable, and indexable like the slice it replaced; its `Debug`
+/// rendering is exactly the slice's list rendering (the corpus
+/// fingerprint hashes that rendering, so the sharded store changes no
+/// fingerprints).
+#[derive(Clone, Copy)]
+pub struct Entries<'a> {
+    store: &'a EntryStore,
+}
+
+impl<'a> Entries<'a> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the corpus has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.store.len() == 0
+    }
+
+    /// Iterates entries in id order.
+    pub fn iter(&self) -> std::iter::Flatten<std::slice::Iter<'a, Vec<CorpusEntry>>> {
+        self.store.iter()
+    }
+
+    /// Entry at index `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<&'a CorpusEntry> {
+        self.store.get(i)
+    }
+
+    /// The highest-id entry.
+    pub fn last(&self) -> Option<&'a CorpusEntry> {
+        let n = self.store.len();
+        if n == 0 {
+            None
+        } else {
+            self.store.get(n - 1)
+        }
+    }
+}
+
+impl<'a> IntoIterator for Entries<'a> {
+    type Item = &'a CorpusEntry;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Vec<CorpusEntry>>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.store.iter()
+    }
+}
+
+impl std::ops::Index<usize> for Entries<'_> {
+    type Output = CorpusEntry;
+    fn index(&self, i: usize) -> &CorpusEntry {
+        self.store.index(i)
+    }
+}
+
+impl PartialEq for Entries<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.store == other.store
+    }
+}
+
+impl std::fmt::Debug for Entries<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// The collected scenario corpus of a datacenter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialized through [`CorpusWire`] — the flat `{entries, config}`
+/// shape the pre-sharded store used — so the wire format is unchanged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "CorpusWire", into = "CorpusWire")]
 pub struct Corpus {
+    entries: EntryStore,
+    config: CorpusConfig,
+}
+
+impl PartialEq for Corpus {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.entries == other.entries
+    }
+}
+
+/// Wire shape of [`Corpus`]: the legacy flat entry list. Serialization
+/// coalesces the sharded store (a save already materializes the whole
+/// JSON string, so the transient flat copy does not change peak-memory
+/// class); deserialization re-shards.
+#[derive(Serialize, Deserialize)]
+struct CorpusWire {
     entries: Vec<CorpusEntry>,
     config: CorpusConfig,
+}
+
+impl From<CorpusWire> for Corpus {
+    fn from(wire: CorpusWire) -> Corpus {
+        Corpus {
+            entries: wire.entries.into_iter().collect(),
+            config: wire.config,
+        }
+    }
+}
+
+impl From<Corpus> for CorpusWire {
+    fn from(corpus: Corpus) -> CorpusWire {
+        CorpusWire {
+            entries: corpus.entries.shards.into_iter().flatten().collect(),
+            config: corpus.config,
+        }
+    }
 }
 
 impl Corpus {
@@ -190,7 +369,7 @@ impl Corpus {
             }
         }
 
-        let entries = order
+        let entries: EntryStore = order
             .into_iter()
             .enumerate()
             .map(|(i, scenario)| {
@@ -225,7 +404,7 @@ impl Corpus {
             return Err("a corpus needs at least one scenario".into());
         }
         let cap = config.machine_config.schedulable_vcpus();
-        let mut entries = Vec::with_capacity(scenarios.len());
+        let mut entries = EntryStore::with_capacity(scenarios.len());
         for (i, (scenario, observations)) in scenarios.into_iter().enumerate() {
             if scenario.is_empty() {
                 return Err(format!("entry {i}: empty scenario"));
@@ -291,9 +470,13 @@ impl Corpus {
         })
     }
 
-    /// The distinct scenarios, in first-seen (id) order.
-    pub fn entries(&self) -> &[CorpusEntry] {
-        &self.entries
+    /// The distinct scenarios, in first-seen (id) order: a borrowed view
+    /// over the sharded store that iterates, indexes, and `Debug`-renders
+    /// like the contiguous slice it replaced.
+    pub fn entries(&self) -> Entries<'_> {
+        Entries {
+            store: &self.entries,
+        }
     }
 
     /// Number of distinct scenarios.
@@ -303,7 +486,7 @@ impl Corpus {
 
     /// `true` if no scenarios were collected.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.len() == 0
     }
 
     /// The configuration the corpus was collected under.
@@ -379,6 +562,8 @@ impl Corpus {
         let mut start = 0;
         while start < self.entries.len() {
             let end = (start + shard_rows).min(self.entries.len());
+            // One capacity decision per window instead of one per insert.
+            db.reserve_rows(end - start);
             for record in self.profile_window_threaded(start..end, machine_config, threads) {
                 db.insert(record)
                     .expect("synthesized vector matches canonical schema");
@@ -417,14 +602,15 @@ impl Corpus {
         threads: Option<usize>,
     ) -> Vec<ScenarioRecord> {
         let end = range.end.min(self.entries.len());
-        let window = &self.entries[range.start.min(end)..end];
+        let start = range.start.min(end);
+        let entries = &self.entries;
         // Chunked so each worker owns one scratch arena for its whole range
         // of interference solves (`flare_sim::kernel`); the chunk split is a
         // wall-clock knob only.
-        par_map_chunks(window.len(), threads, 8, |r| {
+        par_map_chunks(end - start, threads, 8, |r| {
             let mut scratch = EvalScratch::new();
             r.map(|i| {
-                let e = &window[i];
+                let e = entries.index(start + i);
                 let perf =
                     crate::kernel::evaluate_catalog(&e.scenario, machine_config, &mut scratch);
                 let metrics = synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
@@ -452,12 +638,13 @@ impl Corpus {
         threads: Option<usize>,
         cache: &EvalCache,
     ) -> Vec<ScenarioRecord> {
-        let tail = &self.entries[start.min(self.entries.len())..];
-        par_map_chunks(tail.len(), threads, 8, |range| {
+        let start = start.min(self.entries.len());
+        let entries = &self.entries;
+        par_map_chunks(self.entries.len() - start, threads, 8, |range| {
             let mut scratch = EvalScratch::new();
             range
                 .map(|i| {
-                    let e = &tail[i];
+                    let e = entries.index(start + i);
                     let perf = cache.evaluate(&e.scenario, machine_config, &mut scratch);
                     let metrics =
                         synthesize(&e.scenario, &perf, machine_config, self.noise_seed(e.id));
@@ -483,8 +670,10 @@ impl Corpus {
         start: usize,
         machine_config: &MachineConfig,
     ) -> Vec<ScenarioRecord> {
-        let tail = &self.entries[start.min(self.entries.len())..];
-        tail.iter()
+        let start = start.min(self.entries.len());
+        self.entries
+            .iter()
+            .skip(start)
             .map(|e| {
                 let perf = evaluate_with_profiles(
                     &e.scenario,
@@ -564,6 +753,8 @@ impl Corpus {
         let mut start = 0;
         while start < self.entries.len() {
             let end = (start + shard_rows).min(self.entries.len());
+            // One capacity decision per window instead of one per insert.
+            db.reserve_rows(end - start);
             let records =
                 self.profile_window_enriched_threaded(start..end, machine_config, phases, threads)?;
             for record in records {
@@ -615,14 +806,15 @@ impl Corpus {
             return Err("temporal enrichment requires at least one phase".into());
         }
         let end = range.end.min(self.entries.len());
-        let tail = &self.entries[range.start.min(end)..end];
+        let start = range.start.min(end);
+        let entries = &self.entries;
         // Smaller chunks than the plain path: each record costs `phases`
         // interference solves. Chunking shares one scratch arena per worker.
-        Ok(par_map_chunks(tail.len(), threads, 4, |range| {
+        Ok(par_map_chunks(end - start, threads, 4, |range| {
             let mut scratch = EvalScratch::new();
             range
                 .map(|i| {
-                    let e = &tail[i];
+                    let e = entries.index(start + i);
                     let metrics = crate::profiler::synthesize_enriched_scratch(
                         &e.scenario,
                         machine_config,
@@ -781,7 +973,7 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(grown.len(), n + 2);
-        assert_eq!(grown.entries()[..n], corpus.entries()[..]);
+        assert!(grown.entries().iter().take(n).eq(corpus.entries().iter()));
         assert_eq!(grown.entries()[n].id, ScenarioId(n as u32));
         assert_eq!(grown.entries()[n].observations, 7);
         assert_eq!(grown.entries()[n + 1].id, ScenarioId(n as u32 + 1));

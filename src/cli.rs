@@ -148,10 +148,22 @@ pub fn corpus_config_from(inv: &Invocation) -> Result<CorpusConfig, CliError> {
 /// Returns [`CliError`] for malformed options.
 pub fn flare_config_from(inv: &Invocation) -> Result<FlareConfig, CliError> {
     let clusters: usize = inv.get_parse("clusters", 18usize)?;
-    Ok(FlareConfig {
+    let mut config = FlareConfig {
         cluster_count: ClusterCountRule::Fixed(clusters),
         ..FlareConfig::default()
-    })
+    };
+    // Out-of-core featurization: `--spill-dir` turns it on (bounded
+    // resident shards, cold shards on disk); the fit itself stays
+    // byte-identical to the in-memory path.
+    if let Some(dir) = inv.options.get("spill-dir") {
+        config.scale.spill.enabled = true;
+        config.scale.spill.dir = Some(std::path::PathBuf::from(dir));
+    }
+    if inv.options.contains_key("spill-max-resident") {
+        config.scale.spill.enabled = true;
+        config.scale.spill.max_resident_shards = inv.get_parse("spill-max-resident", 4usize)?;
+    }
+    Ok(config)
 }
 
 fn load_corpus(inv: &Invocation) -> Result<Corpus, CliError> {
@@ -233,6 +245,14 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 flare.corpus().len()
             )
             .map_err(w)?;
+            if let Some(spill) = flare.fit_report().spill {
+                writeln!(
+                    out,
+                    "  spill: {} hits, {} faults, {} evictions",
+                    spill.hits, spill.faults, spill.evictions
+                )
+                .map_err(w)?;
+            }
             Ok(())
         }
         "refit" => {
@@ -476,6 +496,7 @@ USAGE:
   flare-cli collect  --out corpus.json [--machines 8] [--days 7] [--seed N] [--shape default|small]
   flare-cli profile  --corpus corpus.json --out db.json
   flare-cli fit      --corpus corpus.json --out model.json [--clusters 18]
+                     [--spill-dir dir] [--spill-max-resident 4]
   flare-cli refit    --model model.json --out model2.json [--clusters N]
   flare-cli stream   --model model.json --batches batches.json --out model2.json
                      [--checkpoint dir] [--chunk 64] [--drift-threshold 0.25]
@@ -563,6 +584,32 @@ mod tests {
         );
         let bad = parse_args(&args(&["collect", "--out", "x", "--shape", "huge"])).unwrap();
         assert!(corpus_config_from(&bad).is_err());
+    }
+
+    #[test]
+    fn spill_flags_enable_out_of_core_fit() {
+        let inv = parse_args(&args(&[
+            "fit",
+            "--corpus",
+            "c.json",
+            "--out",
+            "m.json",
+            "--spill-dir",
+            "/tmp/spill",
+            "--spill-max-resident",
+            "2",
+        ]))
+        .unwrap();
+        let cfg = flare_config_from(&inv).unwrap();
+        assert!(cfg.scale.spill.enabled);
+        assert_eq!(
+            cfg.scale.spill.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/spill"))
+        );
+        assert_eq!(cfg.scale.spill.max_resident_shards, 2);
+
+        let plain = parse_args(&args(&["fit", "--corpus", "c.json", "--out", "m.json"])).unwrap();
+        assert!(!flare_config_from(&plain).unwrap().scale.spill.enabled);
     }
 
     #[test]

@@ -260,6 +260,137 @@ fn killed_stream_session_resumes_to_identical_snapshot() {
 }
 
 #[test]
+fn spill_on_fit_matches_in_memory_fit_byte_identically() {
+    // Out-of-core featurization is a layout knob, not a math knob: a fit
+    // whose cold shards live on disk (1 resident shard, maximal churn)
+    // must produce the same model bits as the all-in-memory fit. Only
+    // the knob itself and the observability counters may differ, so the
+    // comparison normalizes those exactly like the thread knob above.
+    let (corpus, _) = small_corpus();
+    let base_config = |spill_dir: Option<std::path::PathBuf>| {
+        let mut cfg = FlareConfig {
+            cluster_count: ClusterCountRule::Fixed(8),
+            threads: Some(2),
+            ..FlareConfig::default()
+        };
+        // Small shards so the corpus spans many of them.
+        cfg.scale.shard_rows = 16;
+        if let Some(dir) = spill_dir {
+            cfg.scale.spill.enabled = true;
+            cfg.scale.spill.dir = Some(dir);
+            cfg.scale.spill.max_resident_shards = 1;
+        }
+        cfg
+    };
+    let normalized_json = |flare: &Flare| {
+        let mut snapshot = flare.to_snapshot();
+        snapshot.config.threads = None;
+        snapshot.config.scale.spill = Default::default();
+        snapshot.analyzer.spill = None;
+        serde_json::to_string(&snapshot).expect("serialize")
+    };
+
+    let in_memory = Flare::fit(corpus.clone(), base_config(None)).expect("fit");
+    let dir = std::env::temp_dir().join(format!("flare_det_spill_{}", std::process::id()));
+    let spilled = Flare::fit(corpus, base_config(Some(dir.clone()))).expect("spilled fit");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let stats = spilled.fit_report().spill.expect("spill counters recorded");
+    assert!(
+        stats.faults > 0,
+        "1 resident shard across a multi-shard fit must fault: {stats:?}"
+    );
+    assert_eq!(
+        in_memory.analyzer().representatives(),
+        spilled.analyzer().representatives()
+    );
+    assert_eq!(
+        in_memory.analyzer().clustering().assignments,
+        spilled.analyzer().clustering().assignments
+    );
+    assert_eq!(in_memory.analyzer().projected(), spilled.analyzer().projected());
+    assert_eq!(
+        normalized_json(&in_memory),
+        normalized_json(&spilled),
+        "spill-on fit diverged from the in-memory fit"
+    );
+}
+
+#[test]
+fn killed_spill_enabled_stream_session_resumes_identically() {
+    // Crash safety and out-of-core featurization compose: a session
+    // serving a spill-enabled model, killed after its first batch,
+    // resumes from the checkpoint and finishes with the same snapshot
+    // bytes (spill counters included) as the uninterrupted run.
+    let (corpus, _) = small_corpus();
+    let mut fit_config = FlareConfig {
+        cluster_count: ClusterCountRule::Fixed(8),
+        threads: Some(2),
+        ..FlareConfig::default()
+    };
+    fit_config.scale.shard_rows = 16;
+    fit_config.scale.spill.enabled = true;
+    fit_config.scale.spill.max_resident_shards = 2;
+    let model = Flare::fit(corpus, fit_config).expect("spilled fit");
+
+    let batches = || {
+        [
+            model
+                .corpus()
+                .entries()
+                .iter()
+                .take(3)
+                .map(|e| (e.scenario.clone(), 2))
+                .collect::<Vec<_>>(),
+            (0..4)
+                .map(|i| {
+                    let s = Scenario::from_counts([
+                        (JobName::DataCaching, 6),
+                        (JobName::Mcf, 2 + (i % 3)),
+                    ]);
+                    (s, 1 + i)
+                })
+                .collect::<Vec<_>>(),
+        ]
+    };
+    let config = |dir: Option<std::path::PathBuf>| StreamConfig {
+        chunk_size: 2,
+        drift_threshold: 0.2,
+        calibration_quantile: 0.5,
+        checkpoint_dir: dir,
+        ..StreamConfig::default()
+    };
+
+    let mut uninterrupted = StreamSession::new(model.clone(), config(None)).expect("valid config");
+    for b in batches() {
+        uninterrupted.ingest_batch(b).expect("ingest");
+    }
+    let snap_a = snapshot_json(uninterrupted.finalize().expect("finalize"));
+
+    let dir = std::env::temp_dir().join(format!("flare_stream_spill_kill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut doomed =
+            StreamSession::new(model.clone(), config(Some(dir.clone()))).expect("valid config");
+        doomed
+            .ingest_batch(batches().into_iter().next().unwrap())
+            .expect("ingest");
+        // Dropped here without finalize: the simulated kill.
+    }
+    let mut resumed = StreamSession::resume(&dir, config(Some(dir.clone()))).expect("resume");
+    assert_eq!(resumed.cursor().batches, 1);
+    for b in batches().into_iter().skip(1) {
+        resumed.ingest_batch(b).expect("ingest");
+    }
+    let snap_b = snapshot_json(resumed.finalize().expect("finalize"));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        snap_a, snap_b,
+        "spill-enabled resumed run diverged from uninterrupted run"
+    );
+}
+
+#[test]
 fn kmeans_restarts_are_thread_count_invariant() {
     // 3 planted blobs, deterministic coordinates.
     let rows: Vec<Vec<f64>> = (0..60)
