@@ -131,7 +131,7 @@ fn bench_hierarchical(c: &mut Criterion) {
     let db = corpus.to_metric_database(&cfg.machine_config);
     let flare_cfg = FlareConfig::default();
     let analyzer = flare_core::analyzer::Analyzer::fit(&db, &flare_cfg).expect("fit");
-    let projected = analyzer.projected().clone();
+    let projected = analyzer.projected().coalesced().clone();
     let mut group = c.benchmark_group("hierarchical");
     group.sample_size(10);
     group.bench_function("ward_dendrogram_corpus", |b| {

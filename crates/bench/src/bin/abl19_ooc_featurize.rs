@@ -12,10 +12,12 @@
 //!    (projected n×k matrix, PCA axes). In particular it must stay
 //!    strictly under `n × d` bytes — the dense coalesce the old
 //!    `to_matrix()` path would have allocated up front.
-//! 2. **Byte-identity** — the streamed fit and projection must equal
-//!    the dense in-memory oracle (`Pca::fit` + `transform_whitened`
-//!    over one coalesced matrix) bit for bit, and the spill knob must
-//!    be invisible: spilled and resident stores produce identical bits.
+//! 2. **Identity** — the spill knob must be invisible: spilled and
+//!    resident stores produce identical bits. The dense in-memory
+//!    oracle (`Pca::fit` + `transform_whitened` over one coalesced
+//!    matrix) is checked within a tight relative tolerance — the
+//!    sharded fit combines per-shard moment partials in shard order,
+//!    which reassociates the oracle's single running accumulation.
 //!
 //! Results land in `results/BENCH_ooc.json`. `--smoke` is the CI
 //! variant (same gates, fewer rows).
@@ -97,29 +99,64 @@ fn build_store(n: usize, d: usize, shard_rows: usize, latents: usize) -> Sharded
 }
 
 /// The featurize loop of `stages::run_featurize`, verbatim: streaming
-/// PCA fit, then per-shard whitened projection into a dense n×k matrix
-/// (the model output — the only O(n) allocation allowed).
-fn featurize<A: ShardAccess>(store: &A, variance_threshold: f64) -> (Pca, usize, Matrix) {
+/// PCA fit, then per-shard whitened projection through the single-row
+/// `RowProjector` kernel into a sharded n×k plane (the model output —
+/// the only O(n) allocation allowed).
+fn featurize<A: ShardAccess + Sync>(
+    store: &A,
+    variance_threshold: f64,
+) -> (Pca, usize, ShardedMatrix) {
     let pca = Pca::fit_sharded(store).expect("streaming fit");
     let k = pca
         .components_for_variance(variance_threshold)
         .expect("variance threshold");
-    let mut projected = Matrix::zeros(0, k);
+    let mut projector = pca.row_projector(k).expect("projector");
+    let mut projected = ShardedMatrix::new(k, store.shard_rows());
     projected.reserve_rows(store.nrows());
+    let mut out = vec![0.0; k];
     for s in 0..store.shard_count() {
-        let block = store
-            .with_shard(s, |shard| pca.transform_whitened(shard, k))
-            .expect("shard access")
-            .expect("transform");
-        for row in block.rows_iter() {
-            projected.push_row(row).expect("width k");
-        }
+        store
+            .with_shard(s, |shard| {
+                for i in 0..shard.nrows() {
+                    projector
+                        .project_whitened_into(shard.row(i), &mut out)
+                        .expect("projection");
+                    projected.push_row(&out).expect("width k");
+                }
+            })
+            .expect("shard access");
     }
     (pca, k, projected)
 }
 
-fn assert_bits_equal(a: &Matrix, b: &Matrix, label: &str) {
-    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "{label}: shape");
+/// Relative-tolerance comparison for the dense oracle: the sharded fit
+/// combines per-shard moment partials in shard order, which reassociates
+/// the dense oracle's single running accumulation, so multi-shard bits
+/// may differ in the last few ulps.
+fn assert_close<'a>(
+    a: impl Iterator<Item = &'a [f64]>,
+    b: impl Iterator<Item = &'a [f64]>,
+    rtol: f64,
+    label: &str,
+) {
+    for (i, (ra, rb)) in a.zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{label}: row {i} width");
+        for (x, y) in ra.iter().zip(rb) {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            assert!(
+                (x - y).abs() <= rtol * scale,
+                "{label}: row {i} diverged beyond rtol ({x} vs {y})"
+            );
+        }
+    }
+}
+
+fn assert_bits_equal(a: &ShardedMatrix, b: &ShardedMatrix, label: &str) {
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "{label}: shape"
+    );
     for (i, (ra, rb)) in a.rows_iter().zip(b.rows_iter()).enumerate() {
         for (x, y) in ra.iter().zip(rb) {
             assert_eq!(x.to_bits(), y.to_bits(), "{label}: row {i} bits diverged");
@@ -211,21 +248,35 @@ fn main() {
     let oracle_k = oracle_pca
         .components_for_variance(variance_threshold)
         .expect("variance threshold");
-    assert_eq!(k, oracle_k, "component count diverged from the dense oracle");
+    assert_eq!(
+        k, oracle_k,
+        "component count diverged from the dense oracle"
+    );
     for (a, b) in pca.eigenvalues().iter().zip(oracle_pca.eigenvalues()) {
-        assert_eq!(a.to_bits(), b.to_bits(), "eigenvalue bits diverged");
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= 1e-9 * scale,
+            "eigenvalue diverged from the dense oracle ({a} vs {b})"
+        );
     }
     let oracle_projected = oracle_pca
         .transform_whitened(&dense, oracle_k)
         .expect("dense transform");
-    assert_bits_equal(&projected, &oracle_projected, "streamed vs dense projection");
+    assert_close(
+        projected.rows_iter(),
+        oracle_projected.rows_iter(),
+        1e-8,
+        "streamed vs dense projection",
+    );
 
-    // Spill invisibility: the same fit over a fully-resident store.
+    // Spill invisibility: the same fit over a fully-resident store. This
+    // one IS bitwise — residency changes where shard bytes live, never
+    // what they are.
     let resident = build_store(n, d, shard_rows, latents);
     let (_, k_resident, projected_resident) = featurize(&resident, variance_threshold);
     assert_eq!(k, k_resident);
     assert_bits_equal(&projected, &projected_resident, "spilled vs resident");
-    println!("  identity:  streamed == dense oracle == resident store, bit for bit");
+    println!("  identity:  spilled == resident bit for bit; dense oracle within 1e-8");
 
     let spill_dir = spilled.spill_dir().to_path_buf();
     drop(spilled); // removes the store's spill directory
@@ -244,7 +295,8 @@ fn main() {
          \"bound_bytes\": {bound}, \"dense_coalesce_bytes\": {dense_bytes}}},\n  \
          \"spill\": {{\"shards\": {shard_count}, \"hits\": {hits}, \"faults\": {faults}, \
          \"evictions\": {evictions}}},\n  \
-         \"byte_identical_to_dense_oracle\": true\n}}\n",
+         \"spilled_bitwise_equals_resident\": true,\n  \
+         \"dense_oracle_within_rtol\": 1e-8\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
         hits = stats.hits,
         faults = stats.faults,
@@ -258,6 +310,7 @@ fn main() {
         "\ntakeaway: featurization now streams — the PCA's moments, the fit,\n\
          and the whitened projection all walk shards that fault in from disk\n\
          under a fixed residency budget, so peak memory is a few shards plus\n\
-         the model itself, and the bits match the dense in-memory oracle."
+         the model itself; spill is bit-invisible and the dense oracle agrees\n\
+         to within 1e-8."
     );
 }

@@ -8,7 +8,7 @@ use flare_cluster::sweep::sweep_kmeans;
 fn main() {
     banner("SSE and Silhouette Score vs cluster count", "Fig. 9");
     let ctx = ExperimentContext::standard();
-    let projected = ctx.flare.analyzer().projected();
+    let projected = ctx.flare.analyzer().projected().coalesced();
 
     let ks: Vec<usize> = (2..=40).step_by(2).collect();
     let sweep = sweep_kmeans(projected, &ks, &KMeansConfig::new(2).with_restarts(4))

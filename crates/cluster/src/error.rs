@@ -19,6 +19,10 @@ pub enum ClusterError {
     DimensionMismatch(String),
     /// Data contained NaN or infinity.
     NonFinite(String),
+    /// A shard of an out-of-core store could not be accessed (e.g. a
+    /// spilled shard failed to read back) during a sharded clustering
+    /// pass.
+    ShardAccess(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -30,6 +34,7 @@ impl fmt::Display for ClusterError {
             ClusterError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             ClusterError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             ClusterError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
+            ClusterError::ShardAccess(msg) => write!(f, "shard access failed: {msg}"),
         }
     }
 }

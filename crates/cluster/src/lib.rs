@@ -32,6 +32,7 @@ pub mod kernel;
 pub mod kmeans;
 pub mod minibatch;
 pub mod quality;
+pub mod sharded;
 pub mod sweep;
 
 pub use error::{ClusterError, Result};

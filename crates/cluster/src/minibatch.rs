@@ -94,7 +94,7 @@ impl MiniBatchConfig {
         self
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.batch_size == 0 {
             return Err(ClusterError::InvalidParameter(
                 "minibatch batch_size must be >= 1".into(),
@@ -262,7 +262,7 @@ fn weigh_candidates(
 /// weighted k-means++ + Lloyd run (the candidate set is ~oversample·k·
 /// rounds points, so this is O(k²·d·rounds) — negligible next to a full
 /// pass over the data).
-fn reduce_coreset(
+pub(crate) fn reduce_coreset(
     cands: &CentroidBuffer,
     weights: &[f64],
     k: usize,

@@ -1,0 +1,868 @@
+//! Shard-streaming clustering: the out-of-core twin of [`crate::minibatch`].
+//!
+//! The dense tier ([`kmeans_tiered`]) needs the full `n x d` projection
+//! resident as one [`Matrix`]. This module walks any [`ShardAccess`]
+//! implementor instead — a resident [`flare_linalg::ShardedMatrix`] or a
+//! spill-backed [`flare_linalg::ShardStore`] — so clustering peak memory
+//! is bounded by the shard budget plus O(n) scalar state (norms,
+//! distances, assignments), never by `n x d`.
+//!
+//! ## Determinism contract
+//!
+//! [`kmeans_tiered_sharded`] is **bit-identical** to running
+//! [`kmeans_tiered`] on the coalesced dense matrix, for every shard
+//! layout, every thread count, and both residency modes:
+//!
+//! - at or below the threshold the shards are gathered into a dense
+//!   matrix (shard order *is* row order) and handed to the exact
+//!   [`kmeans`] path — same function, same RNG stream;
+//! - above it, [`kmeans_minibatch_sharded`] mirrors
+//!   [`kmeans_minibatch`] draw for draw: the RNG consumption depends only
+//!   on `n` and the incrementally maintained distances, every distance
+//!   uses the same scalar kernel on the same row bytes, and every
+//!   accumulation (moment sums, SSE) walks shards in order so the
+//!   addition sequence is exactly the dense row order. The per-shard
+//!   seeding sweeps fan out through [`par_map_range`] and are combined in
+//!   shard-index order, so the thread knob stays a pure wall-clock knob.
+//!
+//! The differential tests below hold this equivalence on the full
+//! [`crate::kmeans::KMeansResult`] (centroids, assignments, SSE bits).
+//!
+//! [`kmeans_tiered`]: crate::minibatch::kmeans_tiered
+//! [`kmeans_minibatch`]: crate::minibatch::kmeans_minibatch
+
+use crate::distance::squared_euclidean;
+use crate::error::{ClusterError, Result};
+use crate::kernel::{
+    assign_rows, nearest_distance_flat, point_norms, squared_euclidean_bounded, CentroidBuffer,
+    LloydScratch,
+};
+use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+use crate::minibatch::{reduce_coreset, MiniBatchConfig};
+use flare_exec::{par_map_range, resolve_threads};
+use flare_linalg::{Matrix, ShardAccess};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn shard_err(e: flare_linalg::LinalgError) -> ClusterError {
+    ClusterError::ShardAccess(e.to_string())
+}
+
+/// Logical start offset of every shard, computed once per clustering call
+/// so random row lookups don't re-sum shard lengths.
+fn shard_starts<A: ShardAccess>(data: &A) -> Vec<usize> {
+    (0..data.shard_count())
+        .map(|s| data.shard_start(s))
+        .collect()
+}
+
+/// Maps a logical row index to its shard: the last shard whose start is
+/// `<= i` (empty shards share their successor's start and hold no rows,
+/// so "last" is always the shard that actually owns the row).
+fn locate_shard(starts: &[usize], i: usize) -> usize {
+    starts.partition_point(|&st| st <= i).saturating_sub(1)
+}
+
+/// Copies logical row `i` into `out` (one shard fault at most).
+fn fetch_row<A: ShardAccess>(
+    data: &A,
+    starts: &[usize],
+    i: usize,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let s = locate_shard(starts, i);
+    data.with_shard(s, |m| {
+        out.clear();
+        out.extend_from_slice(m.row(i - starts[s]));
+    })
+    .map_err(shard_err)
+}
+
+/// Copies the rows at `indices` (in `indices` order) out of the store,
+/// faulting each touched shard exactly once: lookups are grouped by shard
+/// and shards are visited in ascending order, so a spill-backed store
+/// pays at most `shard_count` faults per call instead of one per row.
+fn fetch_rows<A: ShardAccess>(
+    data: &A,
+    starts: &[usize],
+    indices: &[usize],
+) -> Result<Vec<Vec<f64>>> {
+    let mut out = vec![Vec::new(); indices.len()];
+    let mut by_shard: Vec<(usize, usize)> = indices
+        .iter()
+        .enumerate()
+        .map(|(p, &i)| (locate_shard(starts, i), p))
+        .collect();
+    by_shard.sort_unstable();
+    let mut idx = 0;
+    while idx < by_shard.len() {
+        let s = by_shard[idx].0;
+        data.with_shard(s, |m| {
+            while idx < by_shard.len() && by_shard[idx].0 == s {
+                let p = by_shard[idx].1;
+                out[p] = m.row(indices[p] - starts[s]).to_vec();
+                idx += 1;
+            }
+        })
+        .map_err(shard_err)?;
+    }
+    Ok(out)
+}
+
+/// Gathers every shard into one dense matrix, in shard (= row) order.
+/// The below-threshold tier path uses this to hand the exact [`kmeans`]
+/// the same bytes `ShardedMatrix::coalesced` would produce.
+pub fn gather_dense<A: ShardAccess>(data: &A) -> Result<Matrix> {
+    let mut out = Matrix::zeros(data.nrows(), data.ncols());
+    let mut base = 0;
+    for s in 0..data.shard_count() {
+        let len = data.shard_len(s);
+        data.with_shard(s, |m| {
+            for local in 0..len {
+                out.row_mut(base + local).copy_from_slice(m.row(local));
+            }
+        })
+        .map_err(shard_err)?;
+        base += len;
+    }
+    Ok(out)
+}
+
+/// Euclidean norm of every logical row: per-shard [`point_norms`] passes
+/// fanned out over `threads`, concatenated in shard order — bit-identical
+/// to `point_norms(coalesced)` because each row's norm is a pure function
+/// of its bytes.
+fn point_norms_sharded<A: ShardAccess + Sync>(
+    data: &A,
+    threads: Option<usize>,
+) -> Result<Vec<f64>> {
+    let chunks = par_map_range(data.shard_count(), threads, |s| {
+        data.with_shard(s, |m| point_norms(m))
+    });
+    let mut out = Vec::with_capacity(data.nrows());
+    for c in chunks {
+        out.extend(c.map_err(shard_err)?);
+    }
+    Ok(out)
+}
+
+/// Squared distance from every logical row to `point`, in row order
+/// (per-shard parallel, shard-order concat — same bits as the dense scan).
+fn distances_to<A: ShardAccess + Sync>(
+    data: &A,
+    point: &[f64],
+    threads: Option<usize>,
+) -> Result<Vec<f64>> {
+    let chunks = par_map_range(data.shard_count(), threads, |s| {
+        data.with_shard(s, |m| {
+            (0..m.nrows())
+                .map(|i| squared_euclidean(m.row(i), point))
+                .collect::<Vec<f64>>()
+        })
+    });
+    let mut out = Vec::with_capacity(data.nrows());
+    for c in chunks {
+        out.extend(c.map_err(shard_err)?);
+    }
+    Ok(out)
+}
+
+/// Folds candidate rows into the maintained nearest-candidate distances.
+///
+/// The dense seeding loop iterates candidates outer / rows inner; here the
+/// loops are interchanged (shards outer, candidates in order inner) so
+/// each shard is faulted once per round. The interchange is exact: each
+/// `d2` slot's update sequence depends only on the candidate order, which
+/// is preserved, and slots never interact. `bounded` selects the bounded
+/// kernel (the per-round fold) or the plain one (the farthest-point
+/// top-up), matching the dense code path for path-identical bits.
+fn fold_rows<A: ShardAccess + Sync>(
+    data: &A,
+    starts: &[usize],
+    rows: &[Vec<f64>],
+    d2: &mut [f64],
+    threads: Option<usize>,
+    bounded: bool,
+) -> Result<()> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let snapshot: &[f64] = d2;
+    let chunks = par_map_range(data.shard_count(), threads, |s| {
+        data.with_shard(s, |m| {
+            let mut chunk = snapshot[starts[s]..starts[s] + m.nrows()].to_vec();
+            for row_c in rows {
+                for (local, slot) in chunk.iter_mut().enumerate() {
+                    if bounded {
+                        if let Some(nd) = squared_euclidean_bounded(m.row(local), row_c, *slot) {
+                            if nd < *slot {
+                                *slot = nd;
+                            }
+                        }
+                    } else {
+                        let nd = squared_euclidean(m.row(local), row_c);
+                        if nd < *slot {
+                            *slot = nd;
+                        }
+                    }
+                }
+            }
+            chunk
+        })
+    });
+    let mut off = 0;
+    for c in chunks {
+        let chunk = c.map_err(shard_err)?;
+        d2[off..off + chunk.len()].copy_from_slice(&chunk);
+        off += chunk.len();
+    }
+    Ok(())
+}
+
+/// The assignment step over a sharded store: shards walked in order, each
+/// handed to the exact-pruned [`assign_rows`] kernel with the matching
+/// offset slices of the norm and assignment vectors. Warm-start hints are
+/// the slice's previous contents, exactly as in the dense call; each
+/// row's result is a pure function of `(row, centroids)`, so this is
+/// bit-identical to `assign_rows(coalesced, ..)` for every thread count.
+fn assign_rows_sharded<A: ShardAccess>(
+    data: &A,
+    x_norms: &[f64],
+    centroids: &CentroidBuffer,
+    centroid_norms: &[f64],
+    assignments: &mut [usize],
+    threads: Option<usize>,
+) -> Result<()> {
+    let mut start = 0;
+    for s in 0..data.shard_count() {
+        let len = data.shard_len(s);
+        let x_slice = &x_norms[start..start + len];
+        let a_slice = &mut assignments[start..start + len];
+        data.with_shard(s, |m| {
+            assign_rows(m, x_slice, centroids, centroid_norms, a_slice, threads);
+        })
+        .map_err(shard_err)?;
+        start += len;
+    }
+    Ok(())
+}
+
+/// Mirrors `crate::kmeans::validate` for a sharded store (same checks in
+/// the same order; finiteness is checked per shard, fanned out over the
+/// configured workers).
+fn validate_sharded<A: ShardAccess + Sync>(data: &A, config: &KMeansConfig) -> Result<()> {
+    if config.k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be >= 1".into()));
+    }
+    if config.threads == Some(0) {
+        return Err(ClusterError::InvalidParameter(
+            "threads must be >= 1 when set (None = available parallelism)".into(),
+        ));
+    }
+    if config.max_iters == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "max_iters must be >= 1".into(),
+        ));
+    }
+    if data.nrows() < config.k {
+        return Err(ClusterError::TooFewPoints {
+            points: data.nrows(),
+            k: config.k,
+        });
+    }
+    let finite = par_map_range(data.shard_count(), config.threads, |s| {
+        data.with_shard(s, |m| m.is_finite())
+    });
+    for f in finite {
+        if !f.map_err(shard_err)? {
+            return Err(ClusterError::NonFinite("kmeans input".into()));
+        }
+    }
+    Ok(())
+}
+
+/// The tiered entry point over a sharded store: gathers to the exact
+/// dense [`kmeans`] at or below [`MiniBatchConfig::threshold`] rows,
+/// streams [`kmeans_minibatch_sharded`] above it. Bit-identical to
+/// [`crate::minibatch::kmeans_tiered`] on the coalesced matrix in both
+/// regimes (see the [module docs](self)).
+///
+/// # Errors
+///
+/// Same conditions as [`kmeans`], plus
+/// [`ClusterError::InvalidParameter`] for degenerate tier settings and
+/// [`ClusterError::ShardAccess`] if a spilled shard cannot be read back.
+pub fn kmeans_tiered_sharded<A: ShardAccess + Sync>(
+    data: &A,
+    config: &KMeansConfig,
+    tier: &MiniBatchConfig,
+) -> Result<KMeansResult> {
+    tier.validate()?;
+    if data.nrows() <= tier.threshold {
+        let dense = gather_dense(data)?;
+        return kmeans(&dense, config);
+    }
+    kmeans_minibatch_sharded(data, config, tier)
+}
+
+/// The scale tier over a sharded store: k-means‖ seeding → weighted
+/// coreset reduction → mini-batch refinement → one warm-started
+/// exact-pruned Lloyd run, all walking shards in row order. Bit-identical
+/// to [`crate::minibatch::kmeans_minibatch`] on the coalesced matrix.
+///
+/// # Errors
+///
+/// Same conditions as [`kmeans_tiered_sharded`].
+pub fn kmeans_minibatch_sharded<A: ShardAccess + Sync>(
+    data: &A,
+    config: &KMeansConfig,
+    tier: &MiniBatchConfig,
+) -> Result<KMeansResult> {
+    validate_sharded(data, config)?;
+    tier.validate()?;
+    let k = config.k;
+    let workers = resolve_threads(config.threads);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let starts = shard_starts(data);
+    // Shared with the final warm-started Lloyd run.
+    let x_norms = point_norms_sharded(data, config.threads)?;
+
+    let candidates = parallel_seed_sharded(data, &starts, k, tier, &mut rng, config.threads)?;
+    let (weights, cand_buffer) =
+        weigh_candidates_sharded(data, &starts, &x_norms, &candidates, workers)?;
+    let mut centers = reduce_coreset(&cand_buffer, &weights, k, config, &mut rng);
+    minibatch_refine_sharded(data, &starts, &mut centers, config, tier, &mut rng)?;
+
+    lloyd_from_sharded(data, &starts, config, centers, &x_norms, Some(workers))
+}
+
+/// k-means‖ oversampled seeding over shards: the same RNG stream and the
+/// same per-row arithmetic as the dense `parallel_seed`, with the
+/// distance-maintenance sweeps running per shard (in parallel) and the
+/// sampling scan — the only RNG consumer — running serially over the
+/// maintained distance vector.
+fn parallel_seed_sharded<A: ShardAccess + Sync>(
+    data: &A,
+    starts: &[usize],
+    k: usize,
+    tier: &MiniBatchConfig,
+    rng: &mut StdRng,
+    threads: Option<usize>,
+) -> Result<Vec<usize>> {
+    let n = data.nrows();
+    let mut candidates: Vec<usize> = Vec::with_capacity(tier.oversample * k * tier.seeding_rounds);
+    let mut is_candidate = vec![false; n];
+    let first = rng.gen_range(0..n);
+    candidates.push(first);
+    is_candidate[first] = true;
+    let mut row_buf = Vec::new();
+    fetch_row(data, starts, first, &mut row_buf)?;
+    let mut d2 = distances_to(data, &row_buf, threads)?;
+
+    let ell = (tier.oversample * k) as f64;
+    for _ in 0..tier.seeding_rounds {
+        let total: f64 = d2.iter().sum();
+        if total <= f64::EPSILON {
+            break; // every row coincides with a candidate
+        }
+        let round_start = candidates.len();
+        for i in 0..n {
+            let p = (ell * d2[i] / total).min(1.0);
+            if rng.gen::<f64>() < p && !is_candidate[i] {
+                candidates.push(i);
+                is_candidate[i] = true;
+            }
+        }
+        let new_rows = fetch_rows(data, starts, &candidates[round_start..])?;
+        fold_rows(data, starts, &new_rows, &mut d2, threads, true)?;
+    }
+
+    // Deterministic farthest-point top-up for degenerate draws, exactly
+    // like the dense path (plain distance kernel, one row per step).
+    while candidates.len() < k {
+        let far = (0..n)
+            .max_by(|&x, &y| d2[x].total_cmp(&d2[y]))
+            .expect("n >= k >= 1");
+        candidates.push(far);
+        is_candidate[far] = true;
+        fetch_row(data, starts, far, &mut row_buf)?;
+        let far_row = vec![row_buf.clone()];
+        fold_rows(data, starts, &far_row, &mut d2, threads, false)?;
+    }
+    Ok(candidates)
+}
+
+/// Weights every candidate by its nearest-row count (one sharded pass of
+/// the exact-pruned assignment kernel) and packs the candidate rows into
+/// a [`CentroidBuffer`], faulting each shard once for the row gather.
+fn weigh_candidates_sharded<A: ShardAccess>(
+    data: &A,
+    starts: &[usize],
+    x_norms: &[f64],
+    candidates: &[usize],
+    workers: usize,
+) -> Result<(Vec<f64>, CentroidBuffer)> {
+    let d = data.ncols();
+    let m = candidates.len();
+    let rows = fetch_rows(data, starts, candidates)?;
+    let mut flat = Vec::with_capacity(m * d);
+    for r in &rows {
+        flat.extend_from_slice(r);
+    }
+    let buffer = CentroidBuffer::from_flat(m, d, flat);
+    let mut norms = vec![0.0; m];
+    buffer.norms_into(&mut norms);
+    let mut assign = vec![0usize; data.nrows()];
+    assign_rows_sharded(data, x_norms, &buffer, &norms, &mut assign, Some(workers))?;
+    let mut weights = vec![0.0f64; m];
+    for &a in &assign {
+        weights[a] += 1.0;
+    }
+    Ok((weights, buffer))
+}
+
+/// Sculley-style mini-batch refinement over shards: identical RNG draws
+/// and update arithmetic to the dense `minibatch_refine`; the sampled
+/// rows of each batch are gathered shard-grouped (one fault per touched
+/// shard per batch) before the sequential center updates.
+fn minibatch_refine_sharded<A: ShardAccess>(
+    data: &A,
+    starts: &[usize],
+    centers: &mut CentroidBuffer,
+    config: &KMeansConfig,
+    tier: &MiniBatchConfig,
+    rng: &mut StdRng,
+) -> Result<()> {
+    let n = data.nrows();
+    let k = centers.k();
+    let d = centers.dim();
+    let batch = tier.batch_size.min(n);
+    let mut counts = vec![0u64; k];
+    let mut sampled = vec![0usize; batch];
+    let mut assigned = vec![0usize; batch];
+    let mut old = vec![0.0f64; d];
+    for _ in 0..tier.max_batches {
+        for s in sampled.iter_mut() {
+            *s = rng.gen_range(0..n);
+        }
+        let rows = fetch_rows(data, starts, &sampled)?;
+        for (row, a) in rows.iter().zip(assigned.iter_mut()) {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dd = squared_euclidean(row, centers.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            *a = best;
+        }
+        let mut movement = 0.0;
+        for (row, &a) in rows.iter().zip(assigned.iter()) {
+            counts[a] += 1;
+            let eta = 1.0 / counts[a] as f64;
+            old.copy_from_slice(centers.row(a));
+            let center = centers.row_mut(a);
+            for (cv, xv) in center.iter_mut().zip(row) {
+                *cv += eta * (xv - *cv);
+            }
+            movement += squared_euclidean(&old, centers.row(a));
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Lloyd iterations over a sharded store from externally supplied
+/// centroids: the streaming twin of `crate::kmeans::lloyd_from`.
+/// Assignment goes through the per-shard kernel; the update-step moment
+/// accumulation, the empty-cluster farthest-point reseed, and the final
+/// SSE all walk shards in order so every floating-point addition happens
+/// in the exact dense row order — bit-identical output by construction.
+fn lloyd_from_sharded<A: ShardAccess>(
+    data: &A,
+    starts: &[usize],
+    config: &KMeansConfig,
+    mut centroids: CentroidBuffer,
+    x_norms: &[f64],
+    assign_threads: Option<usize>,
+) -> Result<KMeansResult> {
+    let n = data.nrows();
+    let d = data.ncols();
+    let k = config.k;
+    let shards = data.shard_count();
+    let mut scratch = LloydScratch::new(k, d);
+    let mut assignments = vec![0usize; n];
+
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        centroids.norms_into(&mut scratch.centroid_norms);
+        assign_rows_sharded(
+            data,
+            x_norms,
+            &centroids,
+            &scratch.centroid_norms,
+            &mut assignments,
+            assign_threads,
+        )?;
+        // Update step: accumulate in row order, one shard at a time.
+        scratch.reset_accumulators();
+        let mut base = 0;
+        for s in 0..shards {
+            let len = data.shard_len(s);
+            data.with_shard(s, |m| {
+                for local in 0..len {
+                    let a = assignments[base + local];
+                    scratch.counts[a] += 1;
+                    for (sum, v) in scratch.sums[a * d..(a + 1) * d]
+                        .iter_mut()
+                        .zip(m.row(local))
+                    {
+                        *sum += v;
+                    }
+                }
+            })
+            .map_err(shard_err)?;
+            base += len;
+        }
+        let mut movement = 0.0;
+        let mut row_buf = Vec::new();
+        for c in 0..k {
+            if scratch.counts[c] == 0 {
+                // Empty cluster: farthest-point reseed, with the
+                // per-point nearest-centroid distances streamed shard by
+                // shard (O(n) scalars, never n x d) and the same
+                // last-max-wins selection as the dense path.
+                let mut d_near = vec![0.0f64; n];
+                let mut off = 0;
+                for s in 0..shards {
+                    let len = data.shard_len(s);
+                    data.with_shard(s, |m| {
+                        for local in 0..len {
+                            d_near[off + local] = nearest_distance_flat(m.row(local), &centroids);
+                        }
+                    })
+                    .map_err(shard_err)?;
+                    off += len;
+                }
+                let far = (0..n)
+                    .max_by(|&x, &y| d_near[x].total_cmp(&d_near[y]))
+                    .expect("n >= k >= 1");
+                fetch_row(data, starts, far, &mut row_buf)?;
+                movement += squared_euclidean(centroids.row(c), &row_buf);
+                centroids.set_row(c, &row_buf);
+                continue;
+            }
+            let count = scratch.counts[c] as f64;
+            for (m, s) in scratch
+                .mean
+                .iter_mut()
+                .zip(&scratch.sums[c * d..(c + 1) * d])
+            {
+                *m = s / count;
+            }
+            movement += squared_euclidean(centroids.row(c), &scratch.mean);
+            centroids.set_row(c, &scratch.mean);
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment and SSE against the converged centroids; the SSE
+    // fold adds per-row terms in row order, exactly like `sse_flat`.
+    centroids.norms_into(&mut scratch.centroid_norms);
+    assign_rows_sharded(
+        data,
+        x_norms,
+        &centroids,
+        &scratch.centroid_norms,
+        &mut assignments,
+        assign_threads,
+    )?;
+    let mut sse = 0.0f64;
+    let mut base = 0;
+    for s in 0..shards {
+        let len = data.shard_len(s);
+        data.with_shard(s, |m| {
+            for local in 0..len {
+                sse += squared_euclidean(m.row(local), centroids.row(assignments[base + local]));
+            }
+        })
+        .map_err(shard_err)?;
+        base += len;
+    }
+    Ok(KMeansResult {
+        centroids: centroids.to_rows(),
+        assignments,
+        sse,
+        iterations,
+    })
+}
+
+impl KMeansResult {
+    /// The sharded twin of
+    /// [`members_by_centroid_distance`](KMeansResult::members_by_centroid_distance):
+    /// row indices of each cluster's members sorted by ascending distance
+    /// to that cluster's centroid, computed by streaming shards in row
+    /// order. Holds O(n) scalar scores instead of requiring the dense
+    /// `n x d` matrix, and produces the identical ranking (same scalar
+    /// kernel on the same row bytes, same stable total_cmp sort).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DimensionMismatch`] if the store's row count does
+    /// not match the assignment count, [`ClusterError::ShardAccess`] if a
+    /// spilled shard cannot be read back.
+    pub fn members_by_centroid_distance_sharded<A: ShardAccess>(
+        &self,
+        data: &A,
+    ) -> Result<Vec<Vec<usize>>> {
+        if self.assignments.len() != data.nrows() {
+            return Err(ClusterError::DimensionMismatch(format!(
+                "{} assignments for {} points",
+                self.assignments.len(),
+                data.nrows()
+            )));
+        }
+        let mut ranked: Vec<Vec<usize>> = vec![Vec::new(); self.centroids.len()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            ranked[a].push(i);
+        }
+        // One streaming pass scores every row against its own centroid —
+        // the only distances the per-cluster sorts consume.
+        let mut scores = vec![0.0f64; self.assignments.len()];
+        let mut base = 0;
+        for s in 0..data.shard_count() {
+            let len = data.shard_len(s);
+            data.with_shard(s, |m| {
+                for local in 0..len {
+                    let i = base + local;
+                    scores[i] =
+                        squared_euclidean(m.row(local), &self.centroids[self.assignments[i]]);
+                }
+            })
+            .map_err(shard_err)?;
+            base += len;
+        }
+        for members in ranked.iter_mut() {
+            let mut scored: Vec<(f64, usize)> = members.iter().map(|&m| (scores[m], m)).collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            members.clear();
+            members.extend(scored.into_iter().map(|(_, m)| m));
+        }
+        Ok(ranked)
+    }
+
+    /// The sharded twin of
+    /// [`representatives`](KMeansResult::representatives): the nearest
+    /// member to each centroid, via
+    /// [`members_by_centroid_distance_sharded`](KMeansResult::members_by_centroid_distance_sharded).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`members_by_centroid_distance_sharded`](KMeansResult::members_by_centroid_distance_sharded).
+    pub fn representatives_sharded<A: ShardAccess>(&self, data: &A) -> Result<Vec<Option<usize>>> {
+        Ok(self
+            .members_by_centroid_distance_sharded(data)?
+            .into_iter()
+            .map(|m| m.first().copied())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minibatch::{kmeans_minibatch, kmeans_tiered};
+    use flare_linalg::{ShardStore, ShardedMatrix};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// `blobs(per)` — 4 well-separated clusters of `per` points each
+    /// (same generator as the minibatch tests).
+    fn blobs(per: usize) -> Matrix {
+        let centers = [(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0)];
+        let mut rows = Vec::with_capacity(4 * per);
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for p in 0..per {
+                let dx = (p as f64 * 0.37 + ci as f64).sin();
+                let dy = (p as f64 * 0.71 + ci as f64).cos();
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn temp_spill_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "flare-cluster-sharded-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn below_threshold_gather_matches_dense_tier_bitwise() {
+        let data = blobs(25); // 100 rows, threshold 20k
+        let cfg = KMeansConfig::new(4).with_seed(7);
+        let tier = MiniBatchConfig::default();
+        let dense = kmeans_tiered(&data, &cfg, &tier).unwrap();
+        // Shard-boundary coverage includes n = shard_rows ± 1.
+        for shard_rows in [7, 30, 99, 100, 101] {
+            let sm = ShardedMatrix::from_matrix(&data, shard_rows);
+            let sharded = kmeans_tiered_sharded(&sm, &cfg, &tier).unwrap();
+            assert_eq!(dense, sharded, "shard_rows={shard_rows}");
+        }
+    }
+
+    #[test]
+    fn minibatch_sharded_is_bit_identical_to_dense_minibatch() {
+        let data = blobs(150); // 600 rows
+        let cfg = KMeansConfig::new(4).with_seed(11);
+        let tier = MiniBatchConfig::default()
+            .with_threshold(200)
+            .with_batch_size(64);
+        let dense = kmeans_minibatch(&data, &cfg, &tier).unwrap();
+        for shard_rows in [13, 64, 599, 600, 601] {
+            let sm = ShardedMatrix::from_matrix(&data, shard_rows);
+            assert_eq!(
+                dense,
+                kmeans_minibatch_sharded(&sm, &cfg, &tier).unwrap(),
+                "shard_rows={shard_rows}"
+            );
+            // The tiered router takes the same path above the threshold.
+            assert_eq!(
+                dense,
+                kmeans_tiered_sharded(&sm, &cfg, &tier).unwrap(),
+                "tiered shard_rows={shard_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_tier_is_thread_invariant() {
+        let data = blobs(80); // 320 rows
+        let tier = MiniBatchConfig::default()
+            .with_threshold(100)
+            .with_batch_size(32);
+        let sm = ShardedMatrix::from_matrix(&data, 37);
+        let base = KMeansConfig::new(4).with_seed(5).with_threads(Some(1));
+        let serial = kmeans_tiered_sharded(&sm, &base, &tier).unwrap();
+        for threads in [Some(2), Some(3), Some(8), None] {
+            let parallel =
+                kmeans_tiered_sharded(&sm, &base.clone().with_threads(threads), &tier).unwrap();
+            assert_eq!(serial, parallel, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn spilled_store_matches_resident_store_bitwise() {
+        let data = blobs(100); // 400 rows
+        let cfg = KMeansConfig::new(4).with_seed(3);
+        let tier = MiniBatchConfig::default()
+            .with_threshold(300)
+            .with_batch_size(64);
+        let sm = ShardedMatrix::from_matrix(&data, 48);
+        let resident = kmeans_tiered_sharded(&sm, &cfg, &tier).unwrap();
+        let dir = temp_spill_dir("tier");
+        let store = ShardStore::spill_to(ShardedMatrix::from_matrix(&data, 48), &dir, 2).unwrap();
+        let spilled = kmeans_tiered_sharded(&store, &cfg, &tier).unwrap();
+        assert_eq!(resident, spilled);
+        // Representative extraction is identical across residency too.
+        assert_eq!(
+            resident.members_by_centroid_distance_sharded(&sm).unwrap(),
+            spilled
+                .members_by_centroid_distance_sharded(&store)
+                .unwrap()
+        );
+        let store_dir = store.spill_dir().to_path_buf();
+        drop(store);
+        assert!(
+            !store_dir.exists(),
+            "spill dir should be cleaned up on drop"
+        );
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn sharded_rankings_match_dense_rankings() {
+        let data = blobs(30); // 120 rows
+        let cfg = KMeansConfig::new(4).with_seed(9);
+        let r = kmeans(&data, &cfg).unwrap();
+        let dense_ranked = r.members_by_centroid_distance(&data);
+        let dense_reps = r.representatives(&data);
+        for shard_rows in [11, 40, 119, 120, 121] {
+            let sm = ShardedMatrix::from_matrix(&data, shard_rows);
+            assert_eq!(
+                dense_ranked,
+                r.members_by_centroid_distance_sharded(&sm).unwrap(),
+                "shard_rows={shard_rows}"
+            );
+            assert_eq!(dense_reps, r.representatives_sharded(&sm).unwrap());
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_match_dense_through_reseeds() {
+        // Mostly-duplicate data stresses the seeding top-up and the
+        // empty-cluster reseed inside the streamed Lloyd run.
+        let mut rows = vec![vec![1.0, 1.0]; 40];
+        rows.extend(vec![vec![9.0, 9.0]; 40]);
+        let data = Matrix::from_rows(&rows).unwrap();
+        let cfg = KMeansConfig::new(2).with_seed(13);
+        let tier = MiniBatchConfig::default()
+            .with_threshold(10)
+            .with_batch_size(16);
+        let dense = kmeans_tiered(&data, &cfg, &tier).unwrap();
+        for shard_rows in [9, 16, 80] {
+            let sm = ShardedMatrix::from_matrix(&data, shard_rows);
+            assert_eq!(
+                dense,
+                kmeans_tiered_sharded(&sm, &cfg, &tier).unwrap(),
+                "shard_rows={shard_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_validation_mirrors_dense() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let sm = ShardedMatrix::from_matrix(&data, 1);
+        let tier = MiniBatchConfig::default();
+        assert!(matches!(
+            kmeans_tiered_sharded(&sm, &KMeansConfig::new(0), &tier),
+            Err(ClusterError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            kmeans_minibatch_sharded(&sm, &KMeansConfig::new(3), &tier),
+            Err(ClusterError::TooFewPoints { points: 2, k: 3 })
+        ));
+        let nan = Matrix::from_rows(&[vec![f64::NAN], vec![0.0]]).unwrap();
+        let nan_sm = ShardedMatrix::from_matrix(&nan, 1);
+        assert!(matches!(
+            kmeans_minibatch_sharded(&nan_sm, &KMeansConfig::new(1), &tier),
+            Err(ClusterError::NonFinite(_))
+        ));
+        assert!(matches!(
+            kmeans_minibatch_sharded(&sm, &KMeansConfig::new(1).with_threads(Some(0)), &tier),
+            Err(ClusterError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn ranking_rejects_mismatched_store() {
+        let data = blobs(10);
+        let r = kmeans(&data, &KMeansConfig::new(2)).unwrap();
+        let short = ShardedMatrix::from_matrix(&blobs(5), 16);
+        assert!(matches!(
+            r.members_by_centroid_distance_sharded(&short),
+            Err(ClusterError::DimensionMismatch(_))
+        ));
+    }
+}

@@ -22,7 +22,7 @@ use crate::stages::{
 use flare_cluster::kmeans::KMeansResult;
 use flare_cluster::sweep::SweepResult;
 use flare_linalg::pca::Pca;
-use flare_linalg::{Matrix, SpillStats};
+use flare_linalg::{Matrix, ShardedMatrix, SpillStats};
 use flare_metrics::correlation::RefinementReport;
 use flare_metrics::database::{MetricDatabase, ScenarioId};
 use flare_metrics::schema::MetricSchema;
@@ -34,7 +34,7 @@ pub struct Analyzer {
     refined_schema: MetricSchema,
     pca: Pca,
     n_pcs: usize,
-    projected: Matrix,
+    projected: ShardedMatrix,
     scenario_ids: Vec<ScenarioId>,
     observations: Vec<u32>,
     clustering: KMeansResult,
@@ -156,9 +156,11 @@ impl Analyzer {
         self.n_pcs
     }
 
-    /// Whitened PC coordinates (scenarios × kept PCs), row order matching
-    /// [`Analyzer::scenario_ids`].
-    pub fn projected(&self) -> &Matrix {
+    /// Whitened PC coordinates (scenarios × kept PCs) in their sharded
+    /// layout, row order matching [`Analyzer::scenario_ids`]. Use
+    /// [`ShardedMatrix::row`] for point lookups or
+    /// [`ShardedMatrix::coalesced`] for a dense view.
+    pub fn projected(&self) -> &ShardedMatrix {
         &self.projected
     }
 
@@ -314,7 +316,9 @@ pub struct AnalyzerSnapshot {
     pub pca: flare_linalg::pca::PcaSnapshot,
     /// Number of kept PCs.
     pub n_pcs: usize,
-    /// Whitened PC coordinates.
+    /// Whitened PC coordinates, in the dense row-major wire form (the
+    /// in-memory sharded layout is a wall-clock detail, so snapshots stay
+    /// byte-compatible across shard sizes and with pre-sharding files).
     pub projected: Matrix,
     /// Scenario ids in row order.
     pub scenario_ids: Vec<ScenarioId>,
@@ -346,7 +350,7 @@ impl Analyzer {
             refined_schema: self.refined_schema.clone(),
             pca: flare_linalg::pca::PcaSnapshot::from(&self.pca),
             n_pcs: self.n_pcs,
-            projected: self.projected.clone(),
+            projected: self.projected.coalesced().clone(),
             scenario_ids: self.scenario_ids.clone(),
             observations: self.observations.clone(),
             clustering: self.clustering.clone(),
@@ -383,12 +387,18 @@ impl Analyzer {
                 "inconsistent snapshot: rankings do not match cluster count".into(),
             ));
         }
+        // Re-shard the dense wire form at the default layout; shard size
+        // is wall-clock-only, so any choice restores identical bytes.
+        let projected = ShardedMatrix::from_matrix(
+            &snapshot.projected,
+            crate::config::ScaleConfig::default().shard_rows,
+        );
         Ok(Analyzer {
             refinement: snapshot.refinement,
             refined_schema: snapshot.refined_schema,
             pca,
             n_pcs: snapshot.n_pcs,
-            projected: snapshot.projected,
+            projected,
             scenario_ids: snapshot.scenario_ids,
             observations: snapshot.observations,
             clustering: snapshot.clustering,

@@ -121,10 +121,20 @@ pub struct SpillConfig {
     /// Maximum shards kept resident in memory (≥ 1).
     #[serde(default = "default_max_resident_shards")]
     pub max_resident_shards: usize,
+    /// How many shards ahead the background prefetcher faults into
+    /// residency while compute runs on the current one (0 disables
+    /// readahead). Wall-clock-only: prefetching changes when bytes are
+    /// read, never what they are.
+    #[serde(default = "default_prefetch_depth")]
+    pub prefetch_depth: usize,
 }
 
 fn default_max_resident_shards() -> usize {
     4
+}
+
+fn default_prefetch_depth() -> usize {
+    1
 }
 
 impl Default for SpillConfig {
@@ -133,6 +143,7 @@ impl Default for SpillConfig {
             enabled: false,
             dir: None,
             max_resident_shards: default_max_resident_shards(),
+            prefetch_depth: default_prefetch_depth(),
         }
     }
 }
@@ -396,7 +407,9 @@ impl FlareConfig {
             return Err("scale.minibatch_size must be >= 1".into());
         }
         if self.scale.spill.enabled && self.scale.spill.max_resident_shards == 0 {
-            return Err("scale.spill.max_resident_shards must be >= 1 when spill is enabled".into());
+            return Err(
+                "scale.spill.max_resident_shards must be >= 1 when spill is enabled".into(),
+            );
         }
         match &self.cluster_count {
             ClusterCountRule::Fixed(k) if *k == 0 => {

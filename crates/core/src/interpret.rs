@@ -131,7 +131,9 @@ pub fn radar_chart(analyzer: &Analyzer, by_observations: bool) -> RadarChart {
     let profiles: Vec<ClusterPcProfile> = (0..analyzer.n_clusters())
         .filter_map(|c| analyzer.cluster_pc_profile(c))
         .collect();
-    let proj = analyzer.projected();
+    // Column extraction wants the dense view; the reporting path is cold,
+    // so coalescing (cached inside the sharded plane) is fine here.
+    let proj = analyzer.projected().coalesced();
     let corpus_std: Vec<f64> = (0..analyzer.n_pcs())
         .map(|j| flare_linalg::stats::std_dev(&proj.col(j)))
         .collect();

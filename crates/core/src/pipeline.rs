@@ -132,6 +132,7 @@ impl Flare {
                 working,
                 &new_config.featurize_stage(),
                 &new_config.scale.spill,
+                new_config.threads,
                 new.featurize,
             )?
         };
@@ -173,7 +174,7 @@ impl Flare {
                 &cluster,
                 &new_config.representatives_stage(),
                 new.representatives,
-            )
+            )?
         };
 
         let analyzer = Analyzer::from_artifacts(repair_report, feat, cluster, reps);

@@ -57,8 +57,12 @@ pub fn markdown_report(flare: &Flare, evaluations: &[(Feature, AllJobEstimate)])
     if let Some(spill) = analyzer.spill_stats() {
         let _ = writeln!(
             out,
-            "- featurize spill: {} hits, {} faults, {} evictions",
-            spill.hits, spill.faults, spill.evictions
+            "- featurize spill: {:.1}% hit rate ({} hits / {} faults, {} prefetched, {} evictions)",
+            spill.hit_rate() * 100.0,
+            spill.hits,
+            spill.faults,
+            spill.prefetch_hits,
+            spill.evictions
         );
     }
 

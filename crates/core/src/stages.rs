@@ -26,14 +26,18 @@ use crate::diagnostics::RepairReport;
 use crate::error::{FlareError, Result};
 use flare_cluster::hierarchical::agglomerative;
 use flare_cluster::kmeans::KMeansResult;
-use flare_cluster::minibatch::{kmeans_tiered, MiniBatchConfig};
+use flare_cluster::minibatch::MiniBatchConfig;
+use flare_cluster::sharded::kmeans_tiered_sharded;
 use flare_cluster::sweep::{
     sweep_hierarchical, sweep_kmeans_cached_with, SweepOptions, SweepResult,
 };
+use flare_exec::par_map_range;
 use flare_linalg::pca::Pca;
 use flare_linalg::stats::robust_scale_sharded;
-use flare_linalg::{Matrix, ShardAccess, ShardStore, SpillStats};
-use flare_metrics::correlation::{apply_refinement, refine, RefinementReport};
+use flare_linalg::{Matrix, ShardAccess, ShardStore, ShardedMatrix, SpillStats};
+use flare_metrics::correlation::{
+    apply_refinement, refine_with_threaded, CorrelationMethod, RefinementReport,
+};
 use flare_metrics::database::{MetricDatabase, ScenarioId};
 use flare_metrics::schema::MetricSchema;
 use flare_sim::datacenter::Corpus;
@@ -312,7 +316,12 @@ pub struct RepairArtifact {
 
 /// Artifact of the Featurize stage: correlation refinement + PCA + the
 /// whitened PC coordinates every downstream stage operates on.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// In-memory only (never serialized): the projected plane lives in the
+/// sharded layout the cluster stage walks shard-wise, and only the
+/// [`AnalyzerSnapshot`](crate::analyzer::AnalyzerSnapshot) boundary
+/// coalesces it to the dense wire form.
+#[derive(Debug, Clone)]
 pub struct FeaturizeArtifact {
     /// Which raw metrics were pruned as redundant, and why.
     pub refinement: RefinementReport,
@@ -322,16 +331,17 @@ pub struct FeaturizeArtifact {
     pub pca: Pca,
     /// Number of principal components kept for the variance target.
     pub n_pcs: usize,
-    /// Whitened PC coordinates (scenarios × kept PCs).
-    pub projected: Matrix,
+    /// Whitened PC coordinates (scenarios × kept PCs), sharded with the
+    /// same row layout as the refined feature shards so downstream stages
+    /// can walk them block-wise instead of requiring one dense resident
+    /// matrix.
+    pub projected: ShardedMatrix,
     /// Scenario ids in row order.
     pub scenario_ids: Vec<ScenarioId>,
     /// Observation weights in row order.
     pub observations: Vec<u32>,
     /// Cold-shard spill counters of the featurize passes; `None` when
-    /// spill was disabled (the key is then omitted from the wire, so
-    /// spill-off artifacts serialize byte-identically to pre-spill ones).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// spill was disabled.
     pub spill: Option<SpillStats>,
     /// Content fingerprint of this artifact.
     pub fingerprint: Fingerprint,
@@ -443,10 +453,14 @@ pub fn run_repair(
 /// the PCA moment passes, and the whitened projection all walk the
 /// refined database shard by shard, so no n×d matrix is ever
 /// materialized — peak transient memory is one shard plus the O(d²)
-/// accumulators, and the n×k whitened output is the only row-count-sized
-/// allocation. With `spill.enabled` the refined shards additionally move
-/// into an LRU-pinned [`ShardStore`] that keeps at most
-/// `spill.max_resident_shards` in memory and pages the rest to disk;
+/// accumulators, and the sharded n×k whitened plane is the only
+/// row-count-sized allocation. The per-shard passes fan out across
+/// `threads` workers with partials combined in shard-index order, so
+/// every thread count produces the serial bits. With `spill.enabled` the
+/// refined shards additionally move into an LRU-pinned [`ShardStore`]
+/// that keeps at most `spill.max_resident_shards` in memory and pages
+/// the rest to disk, with a background prefetcher
+/// (`spill.prefetch_depth`) faulting upcoming shards while compute runs;
 /// every path is bit-identical to the dense (and non-spilled) oracle.
 ///
 /// # Errors
@@ -456,6 +470,7 @@ pub fn run_featurize(
     db: &MetricDatabase,
     cfg: &FeaturizeConfig,
     spill: &SpillConfig,
+    threads: Option<usize>,
     fingerprint: Fingerprint,
 ) -> Result<FeaturizeArtifact> {
     // §5.3 per-job mix columns participate only when augmentation is
@@ -474,7 +489,12 @@ pub fn run_featurize(
         }
     };
 
-    let refinement = refine(db, cfg.correlation_threshold)?;
+    let refinement = refine_with_threaded(
+        db,
+        cfg.correlation_threshold,
+        CorrelationMethod::Pearson,
+        threads,
+    )?;
     let refined = apply_refinement(db, &refinement)?;
     let refined_schema = refined.schema().clone();
     let scenario_ids = refined.scenario_ids().to_vec();
@@ -482,15 +502,13 @@ pub fn run_featurize(
 
     let (pca, n_pcs, projected, spill_stats) = if spill.enabled {
         let root = spill.dir.clone().unwrap_or_else(std::env::temp_dir);
-        let store = ShardStore::spill_to(
-            refined.into_data_shards(),
-            &root,
-            spill.max_resident_shards,
-        )?;
-        let (pca, n_pcs, projected) = featurize_shards(&store, cfg)?;
+        let store =
+            ShardStore::spill_to(refined.into_data_shards(), &root, spill.max_resident_shards)?
+                .with_prefetch(spill.prefetch_depth);
+        let (pca, n_pcs, projected) = featurize_shards(&store, cfg, threads)?;
         (pca, n_pcs, projected, Some(store.stats()))
     } else {
-        let (pca, n_pcs, projected) = featurize_shards(refined.data_shards(), cfg)?;
+        let (pca, n_pcs, projected) = featurize_shards(refined.data_shards(), cfg, threads)?;
         (pca, n_pcs, projected, None)
     };
 
@@ -511,24 +529,43 @@ pub fn run_featurize(
 /// streaming moment passes (robust median/MAD normalization swaps in for
 /// the mean/std z-score so residual spikes cannot dominate the column
 /// variances), pick the kept-PC count, and build the whitened n×k
-/// projection one shard at a time. Generic over [`ShardAccess`] so the
+/// projection shard by shard. Generic over [`ShardAccess`] so the
 /// in-memory and spilled stores run the identical code — which is what
 /// makes spill-on/off bit-identity structural rather than coincidental.
-fn featurize_shards<A: ShardAccess>(
+///
+/// The moment passes and the projection both fan out one task per shard
+/// across `threads` workers; projected blocks are reassembled in
+/// shard-index order and each row goes through the single-row
+/// [`RowProjector`](flare_linalg::pca::RowProjector) kernel (bit-identical
+/// to `transform_whitened`, no per-shard transformed temporary), so the
+/// output bytes are invariant across thread counts and shard layouts.
+fn featurize_shards<A: ShardAccess + Sync>(
     data: &A,
     cfg: &FeaturizeConfig,
-) -> Result<(Pca, usize, Matrix)> {
+    threads: Option<usize>,
+) -> Result<(Pca, usize, ShardedMatrix)> {
     let pca = if cfg.robust_normalization {
-        Pca::fit_sharded_with(data, robust_scale_sharded(data)?)?
+        Pca::fit_sharded_with_threaded(data, robust_scale_sharded(data)?, threads)?
     } else {
-        Pca::fit_sharded(data)?
+        Pca::fit_sharded_threaded(data, threads)?
     };
     let n_pcs = pca.components_for_variance(cfg.variance_threshold)?;
-    let mut projected = Matrix::zeros(0, n_pcs);
+    let projector = pca.row_projector(n_pcs)?;
+    let blocks = par_map_range(data.shard_count(), threads, |s| {
+        let mut projector = projector.clone();
+        data.with_shard(s, |shard| -> flare_linalg::Result<Matrix> {
+            let mut block = Matrix::zeros(shard.nrows(), n_pcs);
+            for i in 0..shard.nrows() {
+                projector.project_whitened_into(shard.row(i), block.row_mut(i))?;
+            }
+            Ok(block)
+        })
+    });
+    let mut projected = ShardedMatrix::new(n_pcs, data.shard_rows());
     projected.reserve_rows(data.nrows());
-    for s in 0..data.shard_count() {
-        let t = data.with_shard(s, |shard| pca.transform_whitened(shard, n_pcs))??;
-        for row in t.rows_iter() {
+    for block in blocks {
+        let block: Matrix = block??;
+        for row in block.rows_iter() {
             projected.push_row(row)?;
         }
     }
@@ -582,10 +619,14 @@ pub fn run_cluster(
         ClusterCountRule::Fixed(k) => (*k, None),
         ClusterCountRule::Sweep { min_k, max_k, step } => {
             let ks: Vec<usize> = (*min_k..=*max_k).step_by(*step).collect();
+            // Sweeps score silhouettes over pairwise distances, which
+            // needs random row access — they operate on the coalesced
+            // dense view (cached inside the sharded plane). The direct
+            // fit below walks the shards themselves.
             let sweep = match cfg.cluster_method {
                 ClusterMethod::KMeans => {
                     let (sweep, reused) = sweep_kmeans_cached_with(
-                        &feat.projected,
+                        feat.projected.coalesced(),
                         &ks,
                         &kconfig,
                         prev_sweep,
@@ -595,7 +636,7 @@ pub fn run_cluster(
                     sweep
                 }
                 ClusterMethod::Hierarchical(linkage) => {
-                    sweep_hierarchical(&feat.projected, &ks, linkage)?
+                    sweep_hierarchical(feat.projected.coalesced(), &ks, linkage)?
                 }
             };
             let k = sweep.recommended_k().ok_or_else(|| {
@@ -613,12 +654,15 @@ pub fn run_cluster(
     let clustering = match cfg.cluster_method {
         ClusterMethod::KMeans => {
             kconfig.k = k;
-            kmeans_tiered(&feat.projected, &kconfig, &tier)?
+            // Shard-wise ingestion: bit-identical to the dense tiered
+            // path for every shard layout and thread count, without
+            // requiring the projected plane coalesced.
+            kmeans_tiered_sharded(&feat.projected, &kconfig, &tier)?
         }
         ClusterMethod::Hierarchical(linkage) => {
-            let dendrogram = agglomerative(&feat.projected, linkage)?;
+            let dendrogram = agglomerative(feat.projected.coalesced(), linkage)?;
             let assignments = dendrogram.cut(k)?;
-            KMeansResult::from_assignments(&feat.projected, assignments, k)?
+            KMeansResult::from_assignments(feat.projected.coalesced(), assignments, k)?
         }
     };
     Ok((
@@ -632,29 +676,35 @@ pub fn run_cluster(
 }
 
 /// Runs the Representatives stage: rank every cluster's members
-/// representative-first per the configured rule.
+/// representative-first per the configured rule. Both rules walk the
+/// sharded projected plane (streaming centroid distances / row views)
+/// rather than requiring a dense resident matrix.
+///
+/// # Errors
+///
+/// Propagates shard-access failures from the centroid-distance pass.
 pub fn run_representatives(
     feat: &FeaturizeArtifact,
     cluster: &ClusterArtifact,
     cfg: &RepresentativesConfig,
     fingerprint: Fingerprint,
-) -> RepresentativesArtifact {
+) -> Result<RepresentativesArtifact> {
     use crate::config::RepresentativeRule;
     let ranked_members = match cfg.representative_rule {
         RepresentativeRule::NearestToCentroid => cluster
             .clustering
-            .members_by_centroid_distance(&feat.projected),
+            .members_by_centroid_distance_sharded(&feat.projected)?,
         RepresentativeRule::Medoid => medoid_rankings(&feat.projected, &cluster.clustering),
     };
-    RepresentativesArtifact {
+    Ok(RepresentativesArtifact {
         ranked_members,
         fingerprint,
-    }
+    })
 }
 
 /// Ranks each cluster's members by ascending total distance to the other
 /// members: `ranked[c][0]` is the medoid.
-fn medoid_rankings(data: &Matrix, clustering: &KMeansResult) -> Vec<Vec<usize>> {
+fn medoid_rankings(data: &ShardedMatrix, clustering: &KMeansResult) -> Vec<Vec<usize>> {
     use flare_cluster::distance::euclidean;
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); clustering.k()];
     for (row, &c) in clustering.assignments.iter().enumerate() {
@@ -707,6 +757,7 @@ pub(crate) fn fit_database(
         working,
         &config.featurize_stage(),
         &config.scale.spill,
+        config.threads,
         fps.featurize,
     )?;
     let (cluster, _) = run_cluster(
@@ -721,7 +772,7 @@ pub(crate) fn fit_database(
         &cluster,
         &config.representatives_stage(),
         fps.representatives,
-    );
+    )?;
     let analyzer = crate::analyzer::Analyzer::from_artifacts(repair_report, feat, cluster, reps);
     Ok((analyzer, repaired))
 }

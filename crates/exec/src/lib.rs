@@ -171,6 +171,50 @@ where
     per_chunk.into_iter().flatten().collect()
 }
 
+/// Deterministic two-level fold: computes one partial per index of `0..n`
+/// in parallel (via [`par_map_range`]), then combines the partials **in
+/// index order** on the calling thread. Returns `None` when `n == 0`.
+///
+/// This is the shape of FLARE's shard-parallel moment passes: each shard
+/// produces a partial accumulator (column sums, cross-moments, projected
+/// blocks), and the combine step is a strictly ordered left-fold seeded
+/// with partial 0. Because the combine order is fixed — never "whoever
+/// finishes first" — the result is **bitwise identical for every thread
+/// count**, including the serial baseline (`threads == Some(1)` runs the
+/// identical two-level structure inline). Note the guarantee is serial ≡
+/// parallel for a *fixed* partition; folds over different partitions of
+/// the same data may differ in float rounding, which is why the dense
+/// single-pass oracles stay in-tree as tolerance-based differential tests.
+///
+/// # Panics
+///
+/// Propagates a panic from `partial` or `combine`.
+///
+/// # Examples
+///
+/// ```
+/// use flare_exec::par_fold_ordered;
+///
+/// let serial = par_fold_ordered(5, Some(1), |i| vec![i], |mut a, b| { a.extend(b); a });
+/// let parallel = par_fold_ordered(5, Some(4), |i| vec![i], |mut a, b| { a.extend(b); a });
+/// assert_eq!(serial, parallel);
+/// assert_eq!(serial, Some(vec![0, 1, 2, 3, 4]));
+/// ```
+pub fn par_fold_ordered<R, F, G>(
+    n: usize,
+    threads: Option<usize>,
+    partial: F,
+    combine: G,
+) -> Option<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: Fn(R, R) -> R,
+{
+    let partials = par_map_range(n, threads, partial);
+    partials.into_iter().reduce(combine)
+}
+
 /// Index-only variant of [`par_map_indexed`]: maps `f` over `0..n` with the
 /// same ordering and determinism guarantees. The natural shape for
 /// fan-outs whose work is defined by an index alone (k-means restarts,
@@ -319,6 +363,20 @@ mod tests {
         for w in rs.windows(2) {
             assert_eq!(w[0].end, w[1].start, "ranges must tile 0..n");
         }
+    }
+
+    #[test]
+    fn ordered_fold_is_thread_invariant_and_ordered() {
+        // Non-commutative combine (string concat) exposes any out-of-order
+        // combination immediately.
+        let serial = par_fold_ordered(9, Some(1), |i| i.to_string(), |a, b| a + &b);
+        assert_eq!(serial.as_deref(), Some("012345678"));
+        for threads in [Some(2), Some(3), Some(8), None] {
+            let parallel = par_fold_ordered(9, threads, |i| i.to_string(), |a, b| a + &b);
+            assert_eq!(serial, parallel, "threads={threads:?}");
+        }
+        let empty: Option<u64> = par_fold_ordered(0, Some(4), |i| i as u64, |a, b| a + b);
+        assert_eq!(empty, None);
     }
 
     #[test]

@@ -93,20 +93,38 @@ impl Pca {
         Self::from_covariance(normalizer, &cov)
     }
 
-    /// Shard-streaming [`Pca::fit`]: the default z-score normalizer and
-    /// the covariance are accumulated shard by shard in the same left-fold
-    /// order as the dense path, so the result is **bit-identical** to
-    /// `Pca::fit(data.coalesced())` — the dense fit stays in-tree as this
-    /// path's differential oracle. Peak transient allocation is one d×d
-    /// covariance plus one standardized scratch row, never n×d.
+    /// Shard-streaming [`Pca::fit`]: serial wrapper around
+    /// [`Pca::fit_sharded_threaded`] with one worker. Serial and parallel
+    /// fits run the identical two-level fold, so this is bit-identical to
+    /// the threaded variant for every thread count.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Pca::fit`], plus shard-access failures.
-    pub fn fit_sharded<A: ShardAccess>(data: &A) -> Result<Self> {
-        Self::validate_sharded(data)?;
-        let normalizer = ZScore::fit_sharded(data)?;
-        Self::fit_sharded_with(data, normalizer)
+    pub fn fit_sharded<A: ShardAccess + Sync>(data: &A) -> Result<Self> {
+        Self::fit_sharded_threaded(data, Some(1))
+    }
+
+    /// Shard-parallel [`Pca::fit`]: the z-score normalizer and the
+    /// covariance are accumulated through the deterministic two-level fold
+    /// — per-shard partial moments in parallel, combined in shard-index
+    /// order — so every thread count produces identical bits. Single-shard
+    /// stores additionally match `Pca::fit(coalesced)` bitwise; multi-shard
+    /// layouts regroup the float additions at shard boundaries and agree
+    /// with the dense fit to rounding (the dense fit stays in-tree as this
+    /// path's differential oracle). Peak transient allocation is
+    /// `workers` d×d partial covariances plus in-flight shards, never n×d.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::fit`], plus shard-access failures.
+    pub fn fit_sharded_threaded<A: ShardAccess + Sync>(
+        data: &A,
+        threads: Option<usize>,
+    ) -> Result<Self> {
+        Self::validate_sharded(data, threads)?;
+        let normalizer = ZScore::fit_sharded_threaded(data, threads)?;
+        Self::fit_sharded_with_threaded(data, normalizer, threads)
     }
 
     /// Shard-streaming [`Pca::fit_with`]: like [`Pca::fit_sharded`] but
@@ -116,8 +134,23 @@ impl Pca {
     /// # Errors
     ///
     /// Same conditions as [`Pca::fit_with`], plus shard-access failures.
-    pub fn fit_sharded_with<A: ShardAccess>(data: &A, normalizer: ZScore) -> Result<Self> {
-        Self::validate_sharded(data)?;
+    pub fn fit_sharded_with<A: ShardAccess + Sync>(data: &A, normalizer: ZScore) -> Result<Self> {
+        Self::fit_sharded_with_threaded(data, normalizer, Some(1))
+    }
+
+    /// Shard-parallel [`Pca::fit_with`] — the threaded two-level-fold
+    /// variant of [`Pca::fit_sharded_with`]; see
+    /// [`Pca::fit_sharded_threaded`] for the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::fit_with`], plus shard-access failures.
+    pub fn fit_sharded_with_threaded<A: ShardAccess + Sync>(
+        data: &A,
+        normalizer: ZScore,
+        threads: Option<usize>,
+    ) -> Result<Self> {
+        Self::validate_sharded(data, threads)?;
         if normalizer.means.len() != data.ncols() {
             return Err(LinalgError::DimensionMismatch(format!(
                 "zscore transform: fitted on {} columns, got {}",
@@ -125,20 +158,24 @@ impl Pca {
                 data.ncols()
             )));
         }
-        let cov = covariance_standardized_sharded(data, &normalizer)?;
+        let cov = covariance_standardized_sharded_threaded(data, &normalizer, threads)?;
         Self::from_covariance(normalizer, &cov)
     }
 
     /// Shared validation of the streaming fits, mirroring the dense
-    /// entry-point checks shard by shard.
-    fn validate_sharded<A: ShardAccess>(data: &A) -> Result<()> {
+    /// entry-point checks shard by shard (finiteness checked per shard in
+    /// parallel — a pure per-shard predicate, so thread-count invariant).
+    fn validate_sharded<A: ShardAccess + Sync>(data: &A, threads: Option<usize>) -> Result<()> {
         if data.nrows() < 2 {
             return Err(LinalgError::Empty(
                 "PCA requires at least two observations".into(),
             ));
         }
-        for s in 0..data.shard_count() {
-            if !data.with_shard(s, Matrix::is_finite)? {
+        let finite = flare_exec::par_map_range(data.shard_count(), threads, |s| {
+            data.with_shard(s, Matrix::is_finite)
+        });
+        for shard_ok in finite {
+            if !shard_ok? {
                 return Err(LinalgError::NonFinite("PCA input".into()));
             }
         }
@@ -488,22 +525,42 @@ pub fn covariance(data: &Matrix) -> Result<Matrix> {
     Ok(cov)
 }
 
+/// Population covariance of the **standardized** columns — serial wrapper
+/// around [`covariance_standardized_sharded_threaded`] with one worker
+/// (bit-identical to the threaded variant for every thread count).
+///
+/// # Errors
+///
+/// Same conditions as [`covariance_standardized_sharded_threaded`].
+pub fn covariance_standardized_sharded<A: ShardAccess + Sync>(
+    data: &A,
+    normalizer: &ZScore,
+) -> Result<Matrix> {
+    covariance_standardized_sharded_threaded(data, normalizer, Some(1))
+}
+
 /// Population covariance of the **standardized** columns, accumulated
-/// shard by shard: each row is standardized into a reused scratch buffer
-/// (the identical elementwise expression [`ZScore::transform`] applies)
-/// and folded into the same per-column mean and upper-triangle product
-/// accumulators, in the same row order, as the dense
-/// `covariance(&normalizer.transform(data))` path — so the result is
-/// bit-identical while never materializing the n×d standardized matrix.
+/// through the deterministic two-level fold: each shard standardizes its
+/// rows into a reused scratch buffer (the identical elementwise
+/// expression [`ZScore::transform`] applies) and produces a partial
+/// accumulator — the per-column sums of pass 1, the upper-triangle
+/// cross-moments of pass 2 — in parallel, and the partials are combined
+/// **in shard-index order**, seeded with shard 0's. Serial and parallel
+/// runs execute the identical fold (bitwise identical for every thread
+/// count); a single-shard store also matches the dense
+/// `covariance(&normalizer.transform(data))` bitwise, while multi-shard
+/// layouts agree with it to rounding. The n×d standardized matrix is
+/// never materialized.
 ///
 /// # Errors
 ///
 /// Returns [`LinalgError::Empty`] below two rows,
 /// [`LinalgError::DimensionMismatch`] if `normalizer` was fitted on a
 /// different column count, plus shard-access failures.
-pub fn covariance_standardized_sharded<A: ShardAccess>(
+pub fn covariance_standardized_sharded_threaded<A: ShardAccess + Sync>(
     data: &A,
     normalizer: &ZScore,
+    threads: Option<usize>,
 ) -> Result<Matrix> {
     let n = data.nrows();
     if n < 2 {
@@ -518,36 +575,53 @@ pub fn covariance_standardized_sharded<A: ShardAccess>(
             normalizer.means.len()
         )));
     }
-    let mut scratch = vec![0.0; d];
-    let mut means = vec![0.0; d];
-    for s in 0..data.shard_count() {
-        data.with_shard(s, |shard| {
-            for row in shard.rows_iter() {
-                standardize_into(&mut scratch, row, normalizer);
-                for (m, v) in means.iter_mut().zip(&scratch) {
-                    *m += v;
-                }
+    // Pass 1: standardized column sums, one partial per shard.
+    let mut means = crate::stats::fold_column_moments(data, threads, |shard, acc| {
+        let mut scratch = vec![0.0; d];
+        for row in shard.rows_iter() {
+            standardize_into(&mut scratch, row, normalizer);
+            for (slot, v) in acc.iter_mut().zip(&scratch) {
+                *slot += v;
             }
-        })?;
-    }
+        }
+    })?;
     for m in &mut means {
         *m /= n as f64;
     }
-    let mut cov = Matrix::zeros(d, d);
-    for s in 0..data.shard_count() {
+    // Pass 2: upper-triangle cross-moments, one d×d partial per shard,
+    // combined in shard-index order.
+    let partials = flare_exec::par_map_range(data.shard_count(), threads, |s| {
         data.with_shard(s, |shard| {
+            let mut scratch = vec![0.0; d];
+            let mut part = Matrix::zeros(d, d);
             for row in shard.rows_iter() {
                 standardize_into(&mut scratch, row, normalizer);
                 for i in 0..d {
                     let di = scratch[i] - means[i];
                     for j in i..d {
                         let dj = scratch[j] - means[j];
-                        cov[(i, j)] += di * dj;
+                        part[(i, j)] += di * dj;
                     }
                 }
             }
-        })?;
+            part
+        })
+    });
+    let mut cov: Option<Matrix> = None;
+    for partial in partials {
+        let partial = partial?;
+        match &mut cov {
+            None => cov = Some(partial),
+            Some(c) => {
+                for i in 0..d {
+                    for j in i..d {
+                        c[(i, j)] += partial[(i, j)];
+                    }
+                }
+            }
+        }
     }
+    let mut cov = cov.unwrap_or_else(|| Matrix::zeros(d, d));
     for i in 0..d {
         for j in i..d {
             let v = cov[(i, j)] / n as f64;
@@ -795,13 +869,47 @@ mod tests {
         }
     }
 
+    /// Tolerance comparison of two fitted models: means/std_devs/
+    /// eigenvalues within `tol`, components within `tol` up to a per-column
+    /// sign flip (the eigensolver's sign convention can legitimately flip
+    /// under sub-ulp covariance perturbations).
+    fn assert_close(a: &Pca, b: &Pca, tol: f64, label: &str) {
+        let sa = PcaSnapshot::from(a);
+        let sb = PcaSnapshot::from(b);
+        let pairs = [
+            (&sa.means, &sb.means, "means"),
+            (&sa.std_devs, &sb.std_devs, "std_devs"),
+            (&sa.eigenvalues, &sb.eigenvalues, "eigenvalues"),
+        ];
+        for (xs, ys, field) in pairs {
+            assert_eq!(xs.len(), ys.len(), "{label}: {field} length");
+            for (x, y) in xs.iter().zip(ys) {
+                assert!((x - y).abs() <= tol, "{label}: {field} {x} vs {y}");
+            }
+        }
+        let d = sa.components.len();
+        for c in 0..d {
+            let dot: f64 = (0..d)
+                .map(|i| sa.components[i][c] * sb.components[i][c])
+                .sum();
+            let sign = if dot < 0.0 { -1.0 } else { 1.0 };
+            for i in 0..d {
+                let (x, y) = (sa.components[i][c], sign * sb.components[i][c]);
+                assert!(
+                    (x - y).abs() <= tol,
+                    "{label}: component ({i},{c}) {x} vs {y}"
+                );
+            }
+        }
+    }
+
     #[test]
-    fn fit_sharded_is_bit_identical_to_dense() {
+    fn fit_sharded_single_shard_is_bit_identical_to_dense() {
+        // With one shard the two-level fold degenerates to the dense
+        // column fold: bitwise identity holds.
         let data = correlated_data();
         let dense = Pca::fit(&data).unwrap();
-        // Shard sizes straddling every boundary case, including the
-        // single-shard and one-row-per-shard extremes.
-        for shard_rows in [1, 3, 7, 39, 40, 41, 100] {
+        for shard_rows in [40, 41, 100] {
             let sharded = ShardedMatrix::from_matrix(&data, shard_rows);
             let stream = Pca::fit_sharded(&sharded).unwrap();
             assert_same_bits(&dense, &stream, &format!("shard_rows={shard_rows}"));
@@ -809,17 +917,59 @@ mod tests {
     }
 
     #[test]
+    fn fit_sharded_multi_shard_matches_dense_to_rounding() {
+        // Multi-shard folds regroup the float additions at shard
+        // boundaries, so the dense fit is a tolerance-based differential
+        // oracle here (bitwise identity is held serial-vs-parallel
+        // instead — see the thread-invariance test).
+        let data = correlated_data();
+        let dense = Pca::fit(&data).unwrap();
+        for shard_rows in [1, 3, 7, 39] {
+            let sharded = ShardedMatrix::from_matrix(&data, shard_rows);
+            let stream = Pca::fit_sharded(&sharded).unwrap();
+            assert_close(&dense, &stream, 1e-9, &format!("shard_rows={shard_rows}"));
+        }
+    }
+
+    #[test]
+    fn fit_sharded_threaded_is_bit_identical_across_thread_counts() {
+        // THE tentpole invariant: serial ≡ parallel bitwise for every
+        // thread count, at shard-boundary row counts.
+        let data = correlated_data();
+        for shard_rows in [7, 13, 40] {
+            let sharded = ShardedMatrix::from_matrix(&data, shard_rows);
+            let serial = Pca::fit_sharded_threaded(&sharded, Some(1)).unwrap();
+            for threads in [Some(2), Some(3), Some(8), None] {
+                let parallel = Pca::fit_sharded_threaded(&sharded, threads).unwrap();
+                assert_same_bits(
+                    &serial,
+                    &parallel,
+                    &format!("shard_rows={shard_rows} threads={threads:?}"),
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fit_sharded_with_robust_normalizer_matches_dense() {
         let data = correlated_data();
-        let dense =
-            Pca::fit_with(&data, crate::stats::robust_scale(&data).unwrap()).unwrap();
+        let dense = Pca::fit_with(&data, crate::stats::robust_scale(&data).unwrap()).unwrap();
+        // Multi-shard: tolerance against the dense oracle.
         let sharded = ShardedMatrix::from_matrix(&data, 7);
         let stream = Pca::fit_sharded_with(
             &sharded,
             crate::stats::robust_scale_sharded(&sharded).unwrap(),
         )
         .unwrap();
-        assert_same_bits(&dense, &stream, "robust normalizer");
+        assert_close(&dense, &stream, 1e-9, "robust normalizer multi-shard");
+        // Single shard: bitwise.
+        let single = ShardedMatrix::from_matrix(&data, 64);
+        let stream = Pca::fit_sharded_with(
+            &single,
+            crate::stats::robust_scale_sharded(&single).unwrap(),
+        )
+        .unwrap();
+        assert_same_bits(&dense, &stream, "robust normalizer single-shard");
     }
 
     #[test]
@@ -842,8 +992,12 @@ mod tests {
                 }
             }
         }
-        assert!(pca.transform_sharded(&ShardedMatrix::from_matrix(&data, 8), 0).is_err());
-        assert!(pca.transform_sharded(&ShardedMatrix::from_matrix(&data, 8), 4).is_err());
+        assert!(pca
+            .transform_sharded(&ShardedMatrix::from_matrix(&data, 8), 0)
+            .is_err());
+        assert!(pca
+            .transform_sharded(&ShardedMatrix::from_matrix(&data, 8), 4)
+            .is_err());
     }
 
     #[test]
@@ -860,9 +1014,7 @@ mod tests {
             means: vec![0.0; 2],
             std_devs: vec![1.0; 2],
         };
-        assert!(
-            Pca::fit_sharded_with(&ShardedMatrix::from_matrix(&data, 8), narrow).is_err()
-        );
+        assert!(Pca::fit_sharded_with(&ShardedMatrix::from_matrix(&data, 8), narrow).is_err());
     }
 
     #[test]
@@ -883,9 +1035,7 @@ mod tests {
         }
         assert!(proj.project_whitened_into(&[1.0], &mut out).is_err());
         let mut short = vec![0.0; k + 1];
-        assert!(proj
-            .project_whitened_into(data.row(0), &mut short)
-            .is_err());
+        assert!(proj.project_whitened_into(data.row(0), &mut short).is_err());
         assert!(pca.row_projector(0).is_err());
         assert!(pca.row_projector(4).is_err());
     }

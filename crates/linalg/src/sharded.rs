@@ -27,11 +27,11 @@
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Uniform read access to row shards, whether they are all resident
 /// ([`ShardedMatrix`]) or faulted in on demand from a spill directory
@@ -51,6 +51,17 @@ pub trait ShardAccess {
     fn shard_count(&self) -> usize;
     /// The layout bound: no shard holds more than this many rows.
     fn shard_rows(&self) -> usize;
+    /// Rows held by shard `s` (0 for an out-of-bounds index). Lets random
+    /// row access map a logical index to a `(shard, local)` pair without
+    /// faulting every shard in first.
+    fn shard_len(&self, s: usize) -> usize;
+    /// Logical index of shard `s`'s first row (`nrows()` past the end).
+    /// Default: sum of preceding shard lengths.
+    fn shard_start(&self, s: usize) -> usize {
+        (0..s.min(self.shard_count()))
+            .map(|p| self.shard_len(p))
+            .sum()
+    }
     /// Runs `f` against shard `s`, faulting it in first if it is spilled.
     ///
     /// # Errors
@@ -413,6 +424,14 @@ impl ShardAccess for ShardedMatrix {
         self.shard_rows
     }
 
+    fn shard_len(&self, s: usize) -> usize {
+        self.shards.get(s).map_or(0, Matrix::nrows)
+    }
+
+    fn shard_start(&self, s: usize) -> usize {
+        self.starts.get(s).copied().unwrap_or(self.nrows)
+    }
+
     fn with_shard<R>(&self, s: usize, f: impl FnOnce(&Matrix) -> R) -> Result<R> {
         match self.shards.get(s) {
             Some(shard) => Ok(f(shard)),
@@ -466,6 +485,13 @@ impl PartialEq for ShardedMatrix {
     }
 }
 
+// NOTE: `ShardedMatrix` deliberately has no serde impls. The wire format
+// for projected planes stays the dense [`Matrix`] representation —
+// snapshot types hold a `Matrix` and convert at the boundary
+// (`coalesced()` out, [`ShardedMatrix::from_matrix`] in), so snapshots
+// written by dense builds and sharded builds interchange freely and the
+// shard layout never leaks into persisted bytes.
+
 /// Counters of the spill store's residency traffic, surfaced through the
 /// fit report and `flare-cli report`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -477,6 +503,24 @@ pub struct SpillStats {
     /// Shards written out (or dropped, if already on disk) to stay under
     /// the residency budget.
     pub evictions: u64,
+    /// Shard accesses served from memory because the background
+    /// prefetcher had already faulted the shard in. A subset of `hits`;
+    /// always zero when prefetching is disabled (the default).
+    #[serde(default)]
+    pub prefetch_hits: u64,
+}
+
+impl SpillStats {
+    /// Fraction of shard accesses served from memory, in `[0, 1]`
+    /// (`0.0` when no accesses were recorded).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.faults;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Where a spill-store shard currently lives.
@@ -487,6 +531,10 @@ enum Residency {
     CheckedOut,
     /// On disk only, in the store's spill directory.
     Spilled,
+    /// The background prefetcher is reading it from disk right now; a
+    /// concurrent checkout waits on the store's condvar instead of
+    /// issuing a second read.
+    Faulting,
 }
 
 struct Slot {
@@ -499,15 +547,32 @@ struct Slot {
     /// Pin count: pinned shards are never evicted. Checked-out shards are
     /// implicitly pinned for the duration of the access.
     pins: u32,
+    /// Set when the resident copy was faulted in by the prefetcher and
+    /// has not yet been consumed by a checkout (feeds
+    /// [`SpillStats::prefetch_hits`]).
+    prefetched: bool,
 }
 
 struct StoreState {
     slots: Vec<Slot>,
     /// LRU clock: bumped on every access, stamped into `last_touch`.
     clock: u64,
-    /// Shards currently occupying memory (resident or checked out).
+    /// Shards currently occupying memory: resident, checked out, or
+    /// reserved by an in-flight prefetch read (`Faulting`).
     resident: usize,
     stats: SpillStats,
+}
+
+/// The lock-guarded heart of a [`ShardStore`], shared with the optional
+/// background prefetch thread through an [`Arc`].
+struct StoreCore {
+    cols: usize,
+    dir: PathBuf,
+    max_resident: usize,
+    state: Mutex<StoreState>,
+    /// Signalled whenever a `Faulting` slot settles (the prefetch read
+    /// finished, successfully or not), waking checkouts parked on it.
+    cond: Condvar,
 }
 
 /// Monotonic id making each store's spill subdirectory unique within the
@@ -525,6 +590,11 @@ static STORE_ID: AtomicU64 = AtomicU64::new(0);
 /// is bit-identical to the one written out. Combined with the
 /// [`ShardAccess`] fold order being independent of residency, a pipeline
 /// run with spill enabled is byte-identical to one without.
+///
+/// An optional background prefetcher ([`ShardStore::with_prefetch`])
+/// overlaps the disk read of upcoming shards with compute on the current
+/// one. Readahead is invisible to the determinism contract: it changes
+/// only *when* bytes move, never which bytes a fold observes.
 ///
 /// # Examples
 ///
@@ -548,9 +618,17 @@ pub struct ShardStore {
     cols: usize,
     shard_rows: usize,
     nrows: usize,
-    dir: PathBuf,
+    /// Shard count, cached so trait reads never take the lock.
+    shards: usize,
     max_resident: usize,
-    state: RefCell<StoreState>,
+    /// Shards enqueued ahead of a checkout when prefetching is on.
+    prefetch_depth: usize,
+    core: Arc<StoreCore>,
+    /// Hint channel into the prefetch thread; present iff prefetching is
+    /// enabled. Wrapped in a `Mutex` so the store stays `Sync` on every
+    /// supported toolchain.
+    prefetch_tx: Option<Mutex<mpsc::Sender<usize>>>,
+    prefetch_join: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ShardStore {
@@ -567,6 +645,9 @@ impl ShardStore {
         let dir = root.join(format!("shard-store-{}-{id}", std::process::id()));
         std::fs::create_dir_all(&dir)
             .map_err(|e| LinalgError::Io(format!("create spill dir {}: {e}", dir.display())))?;
+        let cols = m.cols;
+        let shard_rows = m.shard_rows;
+        let nrows = m.nrows;
         let slots: Vec<Slot> = m
             .shards
             .into_iter()
@@ -576,39 +657,108 @@ impl ShardStore {
                 on_disk: false,
                 last_touch: 0,
                 pins: 0,
+                prefetched: false,
             })
             .collect();
         let resident = slots.len();
-        let store = ShardStore {
-            cols: m.cols,
-            shard_rows: m.shard_rows,
-            nrows: m.nrows,
+        let shards = slots.len();
+        let core = Arc::new(StoreCore {
+            cols,
             dir,
             max_resident: max_resident.max(1),
-            state: RefCell::new(StoreState {
+            state: Mutex::new(StoreState {
                 slots,
                 clock: 0,
                 resident,
                 stats: SpillStats::default(),
             }),
-        };
-        store.enforce_budget(&mut store.state.borrow_mut())?;
-        Ok(store)
+            cond: Condvar::new(),
+        });
+        core.enforce_budget(&mut core.lock())?;
+        Ok(ShardStore {
+            cols,
+            shard_rows,
+            nrows,
+            shards,
+            max_resident: max_resident.max(1),
+            prefetch_depth: 0,
+            core,
+            prefetch_tx: None,
+            prefetch_join: None,
+        })
+    }
+
+    /// Enables background readahead: every checkout of shard `s` enqueues
+    /// the next `depth` shards, which a dedicated thread faults in off the
+    /// caller's critical path. Sequential shard walks then overlap compute
+    /// on shard `s` with the disk read of `s + 1`; satisfied readaheads
+    /// surface as [`SpillStats::prefetch_hits`].
+    ///
+    /// The prefetcher is strictly budget- and pin-respecting: it makes
+    /// room only by evicting least-recently-touched *unpinned* resident
+    /// shards, and drops a readahead request entirely rather than exceed
+    /// `max_resident` or touch a pin. (With `max_resident` of 1 there is
+    /// never a spare slot, so readahead degrades to a no-op.) A `depth`
+    /// of 0 leaves the store unchanged.
+    pub fn with_prefetch(mut self, depth: usize) -> Self {
+        if depth == 0 || self.shards == 0 {
+            return self;
+        }
+        let (tx, rx) = mpsc::channel::<usize>();
+        let core = Arc::clone(&self.core);
+        let join = std::thread::Builder::new()
+            .name("flare-shard-prefetch".into())
+            .spawn(move || {
+                while let Ok(s) = rx.recv() {
+                    core.prefetch_one(s);
+                }
+            })
+            .expect("spawn shard prefetch thread");
+        self.prefetch_depth = depth;
+        self.prefetch_tx = Some(Mutex::new(tx));
+        self.prefetch_join = Some(join);
+        self
+    }
+
+    /// Enqueues an explicit readahead hint for shard `s`. A no-op when
+    /// prefetching is disabled or `s` is out of bounds; never blocks on
+    /// disk I/O.
+    pub fn prefetch(&self, s: usize) {
+        if s >= self.shards {
+            return;
+        }
+        if let Some(tx) = &self.prefetch_tx {
+            if let Ok(tx) = tx.lock() {
+                let _ = tx.send(s);
+            }
+        }
+    }
+
+    /// Readahead hints for the shards following `s`, issued on every
+    /// checkout so sequential scans stay ahead of the fold.
+    fn hint_sequential(&self, s: usize) {
+        if self.prefetch_tx.is_none() {
+            return;
+        }
+        let end = s.saturating_add(1 + self.prefetch_depth).min(self.shards);
+        for next in s + 1..end {
+            self.prefetch(next);
+        }
     }
 
     /// The residency-traffic counters accumulated so far.
     pub fn stats(&self) -> SpillStats {
-        self.state.borrow().stats
+        self.core.lock().stats
     }
 
     /// Shards currently occupying memory.
     pub fn resident_shards(&self) -> usize {
-        self.state.borrow().resident
+        self.core.lock().resident
     }
 
     /// The store's private spill directory.
     pub fn spill_dir(&self) -> &std::path::Path {
-        &self.dir
+        &self.core.dir
     }
 
     /// Pins shard `s`: a pinned shard is never evicted, so an in-flight
@@ -620,14 +770,11 @@ impl ShardStore {
     ///
     /// Returns [`LinalgError::InvalidParameter`] if `s` is out of bounds.
     pub fn pin(&self, s: usize) -> Result<()> {
-        let mut state = self.state.borrow_mut();
+        let mut state = self.core.lock();
         let n = state.slots.len();
-        let slot = state
-            .slots
-            .get_mut(s)
-            .ok_or_else(|| LinalgError::InvalidParameter(format!(
-                "pin: shard {s} out of bounds for {n} shards"
-            )))?;
+        let slot = state.slots.get_mut(s).ok_or_else(|| {
+            LinalgError::InvalidParameter(format!("pin: shard {s} out of bounds for {n} shards"))
+        })?;
         slot.pins += 1;
         Ok(())
     }
@@ -638,17 +785,20 @@ impl ShardStore {
     ///
     /// Returns [`LinalgError::InvalidParameter`] if `s` is out of bounds.
     pub fn unpin(&self, s: usize) -> Result<()> {
-        let mut state = self.state.borrow_mut();
+        let mut state = self.core.lock();
         let n = state.slots.len();
-        let slot = state
-            .slots
-            .get_mut(s)
-            .ok_or_else(|| LinalgError::InvalidParameter(format!(
-                "unpin: shard {s} out of bounds for {n} shards"
-            )))?;
+        let slot = state.slots.get_mut(s).ok_or_else(|| {
+            LinalgError::InvalidParameter(format!("unpin: shard {s} out of bounds for {n} shards"))
+        })?;
         slot.pins = slot.pins.saturating_sub(1);
-        self.enforce_budget(&mut state)?;
+        self.core.enforce_budget(&mut state)?;
         Ok(())
+    }
+}
+
+impl StoreCore {
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreState> {
+        self.state.lock().expect("shard store lock poisoned")
     }
 
     fn shard_path(&self, s: usize) -> PathBuf {
@@ -688,33 +838,96 @@ impl ShardStore {
         Matrix::from_vec(rows, self.cols, data)
     }
 
+    /// Evicts the least-recently-touched unpinned resident shard, writing
+    /// it out first if its spill file is stale (already-written shards are
+    /// dropped without a rewrite — spill files are immutable). Returns
+    /// `false` when nothing is evictable.
+    fn evict_one(&self, state: &mut StoreState) -> Result<bool> {
+        let victim = state
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.pins == 0 && matches!(slot.residency, Residency::Resident(_)))
+            .min_by_key(|(_, slot)| slot.last_touch)
+            .map(|(s, _)| s);
+        let Some(s) = victim else { return Ok(false) };
+        if !state.slots[s].on_disk {
+            let Residency::Resident(shard) = &state.slots[s].residency else {
+                unreachable!("victim filter keeps only resident slots");
+            };
+            self.write_shard(s, shard)?;
+            state.slots[s].on_disk = true;
+        }
+        state.slots[s].residency = Residency::Spilled;
+        state.slots[s].prefetched = false;
+        state.resident -= 1;
+        state.stats.evictions += 1;
+        Ok(true)
+    }
+
     /// Evicts least-recently-touched unpinned resident shards until the
-    /// residency budget is met. Already-written shards are dropped without
-    /// a rewrite (spill files are immutable).
+    /// residency budget is met.
     fn enforce_budget(&self, state: &mut StoreState) -> Result<()> {
         while state.resident > self.max_resident {
-            let victim = state
-                .slots
-                .iter()
-                .enumerate()
-                .filter(|(_, slot)| {
-                    slot.pins == 0 && matches!(slot.residency, Residency::Resident(_))
-                })
-                .min_by_key(|(_, slot)| slot.last_touch)
-                .map(|(s, _)| s);
-            let Some(s) = victim else { break };
-            if !state.slots[s].on_disk {
-                let Residency::Resident(shard) = &state.slots[s].residency else {
-                    unreachable!("victim filter keeps only resident slots");
-                };
-                self.write_shard(s, shard)?;
-                state.slots[s].on_disk = true;
+            if !self.evict_one(state)? {
+                break;
             }
-            state.slots[s].residency = Residency::Spilled;
-            state.resident -= 1;
-            state.stats.evictions += 1;
         }
         Ok(())
+    }
+
+    /// One readahead request, run on the prefetch thread: fault shard `s`
+    /// in off the caller's critical path so the next sequential checkout
+    /// is served from memory. Skips shards that are already in memory or
+    /// in flight, and drops the request when no unpinned shard can be
+    /// evicted to make room. Readahead errors are deliberately swallowed:
+    /// the shard stays spilled and the demand path faults it in (and
+    /// reports the error) on the next checkout.
+    fn prefetch_one(&self, s: usize) {
+        let rows = {
+            let mut state = self.lock();
+            let Some(slot) = state.slots.get(s) else {
+                return;
+            };
+            if !matches!(slot.residency, Residency::Spilled) {
+                return;
+            }
+            while state.resident >= self.max_resident {
+                match self.evict_one(&mut state) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return,
+                }
+            }
+            // Reserve the slot before dropping the lock so concurrent
+            // demand faults cannot land the store over budget while the
+            // readahead is in flight.
+            state.resident += 1;
+            let slot = &mut state.slots[s];
+            slot.residency = Residency::Faulting;
+            slot.rows
+        };
+        // Read outside the lock: checkouts of other shards proceed, and a
+        // checkout of *this* shard parks on the condvar.
+        match self.read_shard(s, rows) {
+            Ok(m) => {
+                let mut state = self.lock();
+                state.clock += 1;
+                let clock = state.clock;
+                let slot = &mut state.slots[s];
+                slot.residency = Residency::Resident(m);
+                slot.prefetched = true;
+                // Fresh touch so the budget sweep prefers older shards
+                // over the readahead the scan is about to consume.
+                slot.last_touch = clock;
+                self.cond.notify_all();
+            }
+            Err(_) => {
+                let mut state = self.lock();
+                state.slots[s].residency = Residency::Spilled;
+                state.resident -= 1;
+                self.cond.notify_all();
+            }
+        }
     }
 }
 
@@ -728,19 +941,24 @@ impl ShardAccess for ShardStore {
     }
 
     fn shard_count(&self) -> usize {
-        self.state.borrow().slots.len()
+        self.shards
     }
 
     fn shard_rows(&self) -> usize {
         self.shard_rows
     }
 
+    fn shard_len(&self, s: usize) -> usize {
+        self.core.lock().slots.get(s).map_or(0, |slot| slot.rows)
+    }
+
     fn with_shard<R>(&self, s: usize, f: impl FnOnce(&Matrix) -> R) -> Result<R> {
-        // Check the shard out (faulting it in if spilled) so the RefCell
-        // borrow is released while the caller's closure runs; checked-out
-        // shards count as pinned, so nested accesses to *other* shards
-        // can evict without touching this one.
+        // Check the shard out (faulting it in if spilled) so the lock is
+        // released while the caller's closure runs; checked-out shards
+        // count as pinned, so concurrent accesses to *other* shards can
+        // evict without touching this one.
         let shard = self.checkout(s)?;
+        self.hint_sequential(s);
         let r = f(&shard);
         self.checkin(s, shard)?;
         Ok(r)
@@ -749,49 +967,66 @@ impl ShardAccess for ShardStore {
 
 impl ShardStore {
     /// Takes shard `s` out of its slot, faulting it from disk if spilled,
-    /// leaving the slot `CheckedOut` (implicitly pinned).
+    /// leaving the slot `CheckedOut` (implicitly pinned). A shard the
+    /// prefetcher is mid-read on is waited for, never read twice.
     fn checkout(&self, s: usize) -> Result<Matrix> {
         let rows = {
-            let mut state = self.state.borrow_mut();
-            let n = state.slots.len();
-            if s >= n {
-                return Err(LinalgError::InvalidParameter(format!(
-                    "with_shard: shard {s} out of bounds for {n} shards"
-                )));
-            }
-            state.clock += 1;
-            let clock = state.clock;
-            let slot = &mut state.slots[s];
-            slot.last_touch = clock;
-            match std::mem::replace(&mut slot.residency, Residency::CheckedOut) {
-                Residency::Resident(m) => {
-                    slot.pins += 1;
-                    state.stats.hits += 1;
-                    return Ok(m);
-                }
-                Residency::Spilled => {
-                    slot.pins += 1;
-                    slot.rows
-                }
-                Residency::CheckedOut => {
-                    slot.residency = Residency::CheckedOut;
+            let mut state = self.core.lock();
+            loop {
+                let n = state.slots.len();
+                if s >= n {
                     return Err(LinalgError::InvalidParameter(format!(
-                        "with_shard: re-entrant access to shard {s}"
+                        "with_shard: shard {s} out of bounds for {n} shards"
                     )));
+                }
+                state.clock += 1;
+                let clock = state.clock;
+                let slot = &mut state.slots[s];
+                slot.last_touch = clock;
+                match std::mem::replace(&mut slot.residency, Residency::CheckedOut) {
+                    Residency::Resident(m) => {
+                        slot.pins += 1;
+                        let prefetched = std::mem::take(&mut slot.prefetched);
+                        state.stats.hits += 1;
+                        if prefetched {
+                            state.stats.prefetch_hits += 1;
+                        }
+                        return Ok(m);
+                    }
+                    Residency::Spilled => {
+                        slot.pins += 1;
+                        break slot.rows;
+                    }
+                    Residency::Faulting => {
+                        // The prefetcher is already reading this shard;
+                        // park until it settles, then re-inspect.
+                        slot.residency = Residency::Faulting;
+                        state = self
+                            .core
+                            .cond
+                            .wait(state)
+                            .expect("shard store lock poisoned");
+                    }
+                    Residency::CheckedOut => {
+                        slot.residency = Residency::CheckedOut;
+                        return Err(LinalgError::InvalidParameter(format!(
+                            "with_shard: re-entrant access to shard {s}"
+                        )));
+                    }
                 }
             }
         };
-        // Fault path: read outside the borrow (read_shard only touches
+        // Fault path: read outside the lock (read_shard only touches
         // immutable fields), then account for the new resident shard.
-        match self.read_shard(s, rows) {
+        match self.core.read_shard(s, rows) {
             Ok(m) => {
-                let mut state = self.state.borrow_mut();
+                let mut state = self.core.lock();
                 state.stats.faults += 1;
                 state.resident += 1;
                 Ok(m)
             }
             Err(e) => {
-                let mut state = self.state.borrow_mut();
+                let mut state = self.core.lock();
                 state.slots[s].residency = Residency::Spilled;
                 state.slots[s].pins -= 1;
                 Err(e)
@@ -801,39 +1036,45 @@ impl ShardStore {
 
     /// Returns shard `s` to its slot and re-applies the residency budget.
     fn checkin(&self, s: usize, shard: Matrix) -> Result<()> {
-        let mut state = self.state.borrow_mut();
+        let mut state = self.core.lock();
         state.slots[s].residency = Residency::Resident(shard);
         state.slots[s].pins -= 1;
-        self.enforce_budget(&mut state)
+        self.core.enforce_budget(&mut state)
     }
 }
 
 impl Drop for ShardStore {
-    /// Best-effort cleanup: spill files and the per-store directory are
-    /// scratch space, not a persistence format.
+    /// Shuts the prefetcher down (closing the hint channel, then joining
+    /// the thread) before best-effort cleanup: spill files and the
+    /// per-store directory are scratch space, not a persistence format.
     fn drop(&mut self) {
-        let state = self.state.borrow();
+        self.prefetch_tx = None; // closes the channel; recv() errors out
+        if let Some(join) = self.prefetch_join.take() {
+            let _ = join.join();
+        }
+        let state = self.core.lock();
         for (s, slot) in state.slots.iter().enumerate() {
             if slot.on_disk {
-                let _ = std::fs::remove_file(self.shard_path(s));
+                let _ = std::fs::remove_file(self.core.shard_path(s));
             }
         }
         drop(state);
-        let _ = std::fs::remove_dir(&self.dir);
+        let _ = std::fs::remove_dir(&self.core.dir);
     }
 }
 
 impl fmt::Debug for ShardStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = self.state.borrow();
+        let state = self.core.lock();
         f.debug_struct("ShardStore")
             .field("nrows", &self.nrows)
             .field("cols", &self.cols)
             .field("shard_rows", &self.shard_rows)
-            .field("shards", &state.slots.len())
+            .field("shards", &self.shards)
             .field("resident", &state.resident)
             .field("max_resident", &self.max_resident)
-            .field("dir", &self.dir)
+            .field("prefetch_depth", &self.prefetch_depth)
+            .field("dir", &self.core.dir)
             .field("stats", &state.stats)
             .finish()
     }
@@ -1052,11 +1293,7 @@ mod tests {
                         for row in shard.rows_iter() {
                             let want = &expect[at];
                             for (x, y) in row.iter().zip(want) {
-                                assert_eq!(
-                                    x.to_bits(),
-                                    y.to_bits(),
-                                    "sweep {sweep} row {at}"
-                                );
+                                assert_eq!(x.to_bits(), y.to_bits(), "sweep {sweep} row {at}");
                             }
                             at += 1;
                         }
@@ -1124,6 +1361,117 @@ mod tests {
         }
         assert_eq!(seen, (0..10).map(|i| i as f64).collect::<Vec<_>>());
         drop(store);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn shard_len_and_start_match_layout() {
+        let m = filled(10, 3); // shards of 3, 3, 3, 1 rows
+        assert_eq!(ShardAccess::shard_len(&m, 0), 3);
+        assert_eq!(ShardAccess::shard_len(&m, 3), 1);
+        assert_eq!(ShardAccess::shard_len(&m, 4), 0);
+        assert_eq!(ShardAccess::shard_start(&m, 0), 0);
+        assert_eq!(ShardAccess::shard_start(&m, 3), 9);
+        assert_eq!(ShardAccess::shard_start(&m, 4), 10);
+        let dir = spill_dir("lens");
+        let store = ShardStore::spill_to(m, &dir, 1).unwrap();
+        assert_eq!(store.shard_len(2), 3);
+        assert_eq!(store.shard_len(9), 0);
+        assert_eq!(store.shard_start(3), 9); // default impl sums lens
+        drop(store);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn prefetch_hit_is_counted_and_skips_the_demand_fault() {
+        let m = filled(20, 2); // 10 shards
+        let dir = spill_dir("prefetch-hit");
+        let store = ShardStore::spill_to(m, &dir, 3).unwrap().with_prefetch(2);
+        let base = store.stats();
+        assert_eq!(base.prefetch_hits, 0);
+        // Shard 0 was evicted by the initial budget pass; ask the
+        // prefetcher for it and wait until its eviction-for-room shows up
+        // in the stats — from that point shard 0 is Faulting or Resident,
+        // so the checkout below is served without a demand fault.
+        store.prefetch(0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while store.stats().evictions == base.evictions {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "prefetch thread never picked up the hint"
+            );
+            std::thread::yield_now();
+        }
+        let faults_before = store.stats().faults;
+        store
+            .with_shard(0, |shard| assert_eq!(shard.row(0)[0], 0.0))
+            .unwrap();
+        let stats = store.stats();
+        assert_eq!(
+            stats.faults, faults_before,
+            "prefetched shard demand-faulted"
+        );
+        assert_eq!(stats.prefetch_hits, 1);
+        assert!(store.resident_shards() <= 3, "budget violated by readahead");
+        drop(store);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn prefetch_never_evicts_pinned_shards() {
+        let m = filled(12, 2); // 6 shards
+        let dir = spill_dir("prefetch-pins");
+        let store = ShardStore::spill_to(m, &dir, 2).unwrap().with_prefetch(3);
+        // Make shard 0 resident and pin it: half the budget is immovable.
+        store.with_shard(0, |_| ()).unwrap();
+        store.pin(0).unwrap();
+        // Walk the rest; readahead evicts freely among unpinned shards.
+        for s in 1..store.shard_count() {
+            store.with_shard(s, |_| ()).unwrap();
+            assert!(store.resident_shards() <= 2, "budget violated");
+        }
+        // Shard 0 was never evicted — by the LRU sweep or the prefetcher —
+        // so touching it is a hit, not a fault.
+        let before = store.stats().faults;
+        store.with_shard(0, |_| ()).unwrap();
+        assert_eq!(
+            store.stats().faults,
+            before,
+            "pinned shard was evicted by readahead"
+        );
+        store.unpin(0).unwrap();
+        drop(store);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn prefetch_scan_preserves_bytes_and_budget() {
+        let m = filled(23, 4); // 6 shards
+        let expect: Vec<Vec<f64>> = m.rows_iter().map(|r| r.to_vec()).collect();
+        let dir = spill_dir("prefetch-scan");
+        let store = ShardStore::spill_to(m, &dir, 2).unwrap().with_prefetch(2);
+        for sweep in 0..3 {
+            let mut at = 0;
+            for s in 0..store.shard_count() {
+                store
+                    .with_shard(s, |shard| {
+                        for row in shard.rows_iter() {
+                            for (x, y) in row.iter().zip(&expect[at]) {
+                                assert_eq!(x.to_bits(), y.to_bits(), "sweep {sweep} row {at}");
+                            }
+                            at += 1;
+                        }
+                    })
+                    .unwrap();
+                assert!(store.resident_shards() <= 2, "budget violated");
+            }
+            assert_eq!(at, 23);
+        }
+        let stats = store.stats();
+        assert!(stats.prefetch_hits <= stats.hits);
+        let dir_path = store.spill_dir().to_path_buf();
+        drop(store);
+        assert!(!dir_path.exists(), "spill dir should be removed on drop");
         let _ = std::fs::remove_dir(&dir);
     }
 }

@@ -371,34 +371,56 @@ impl ZScore {
         Ok(ZScore { means, std_devs })
     }
 
-    /// Shard-streaming [`ZScore::fit`]: two passes over the shards
-    /// (column sums, then squared deviations), with every per-column
-    /// accumulator receiving exactly the additions the dense fit's
-    /// column extraction would produce, in the same order — so the
-    /// result is **bit-identical** to `ZScore::fit(data.coalesced())`
-    /// while allocating only the 2·d accumulator vectors.
+    /// Shard-streaming [`ZScore::fit`]: serial wrapper around
+    /// [`ZScore::fit_sharded_threaded`] with one worker. Serial and
+    /// parallel fits run the identical two-level fold, so this is
+    /// bit-identical to the threaded variant for every thread count.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::Empty`] if the store has no rows.
-    pub fn fit_sharded<A: ShardAccess>(data: &A) -> Result<Self> {
+    pub fn fit_sharded<A: ShardAccess + Sync>(data: &A) -> Result<Self> {
+        Self::fit_sharded_threaded(data, Some(1))
+    }
+
+    /// Shard-parallel [`ZScore::fit`]: two moment passes over the shards
+    /// (column sums, then squared deviations), each structured as a
+    /// deterministic two-level fold — every shard produces a partial
+    /// accumulator (in parallel via `flare_exec::par_map_range`), and the
+    /// partials are combined **in shard-index order**, seeded with shard
+    /// 0's partial. Serial (`threads == Some(1)`) and parallel runs
+    /// execute the identical fold, so the result is bit-identical for
+    /// every thread count. For a single-shard store the fold degenerates
+    /// to the dense column fold, so single-shard results also match
+    /// `ZScore::fit(coalesced)` bitwise; multi-shard layouts regroup the
+    /// float additions at shard boundaries and agree with the dense fit
+    /// to rounding (held by tolerance-based differential tests).
+    ///
+    /// Peak transient allocation is `workers` shard-partial vectors of
+    /// length `d` plus whatever shards are in flight — never the dense
+    /// n×d matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the store has no rows.
+    pub fn fit_sharded_threaded<A: ShardAccess + Sync>(
+        data: &A,
+        threads: Option<usize>,
+    ) -> Result<Self> {
         let n = data.nrows();
         if n == 0 {
             return Err(LinalgError::Empty("zscore fit on empty matrix".into()));
         }
         let d = data.ncols();
-        // Pass 1: column sums — the left fold `mean` performs on an
-        // extracted column, interleaved across all columns at once.
-        let mut sums = vec![0.0; d];
-        for s in 0..data.shard_count() {
-            data.with_shard(s, |shard| {
-                for row in shard.rows_iter() {
-                    for (acc, v) in sums.iter_mut().zip(row) {
-                        *acc += v;
-                    }
+        // Pass 1: column sums. Level one: per-shard partial sums, in
+        // parallel. Level two: ordered combine.
+        let sums = fold_column_moments(data, threads, |shard, acc| {
+            for row in shard.rows_iter() {
+                for (slot, v) in acc.iter_mut().zip(row) {
+                    *slot += v;
                 }
-            })?;
-        }
+            }
+        })?;
         let means: Vec<f64> = sums.iter().map(|&s| s / n as f64).collect();
         // Pass 2: squared deviations about the pass-1 means (the dense
         // path recomputes the identical mean from the identical column).
@@ -410,17 +432,14 @@ impl ZScore {
                 std_devs: vec![1.0; d],
             });
         }
-        let mut sq = vec![0.0; d];
-        for s in 0..data.shard_count() {
-            data.with_shard(s, |shard| {
-                for row in shard.rows_iter() {
-                    for ((acc, v), m) in sq.iter_mut().zip(row).zip(&means) {
-                        let dv = v - m;
-                        *acc += dv * dv;
-                    }
+        let sq = fold_column_moments(data, threads, |shard, acc| {
+            for row in shard.rows_iter() {
+                for ((slot, v), m) in acc.iter_mut().zip(row).zip(&means) {
+                    let dv = v - m;
+                    *slot += dv * dv;
                 }
-            })?;
-        }
+            }
+        })?;
         let std_devs = sq
             .iter()
             .map(|&q| {
@@ -459,6 +478,40 @@ impl ZScore {
         }
         Ok(out)
     }
+}
+
+/// Two-level fold of a per-column moment accumulator over the shards of
+/// `data`: level one computes one `d`-length partial per shard (in
+/// parallel via `flare_exec::par_map_range` — contiguous chunks, results
+/// in shard order), level two adds the partials together **in shard-index
+/// order**, seeded with shard 0's partial. The fixed combine order makes
+/// the fold bitwise identical for every thread count.
+pub(crate) fn fold_column_moments<A: ShardAccess + Sync>(
+    data: &A,
+    threads: Option<usize>,
+    accumulate: impl Fn(&Matrix, &mut [f64]) + Sync,
+) -> Result<Vec<f64>> {
+    let d = data.ncols();
+    let partials = flare_exec::par_map_range(data.shard_count(), threads, |s| {
+        data.with_shard(s, |shard| {
+            let mut acc = vec![0.0; d];
+            accumulate(shard, &mut acc);
+            acc
+        })
+    });
+    let mut total: Option<Vec<f64>> = None;
+    for partial in partials {
+        let partial = partial?;
+        match &mut total {
+            None => total = Some(partial),
+            Some(t) => {
+                for (slot, p) in t.iter_mut().zip(&partial) {
+                    *slot += p;
+                }
+            }
+        }
+    }
+    Ok(total.unwrap_or_else(|| vec![0.0; d]))
 }
 
 /// Fits a z-score normalization and applies it, returning both the

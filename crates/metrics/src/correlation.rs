@@ -98,30 +98,53 @@ pub fn correlation_matrix_with(data: &Matrix, method: CorrelationMethod) -> Resu
     Ok(m)
 }
 
-/// Shard-streaming [`correlation_matrix_with`]: **bit-identical** to the
-/// dense oracle without ever materializing the n×d matrix.
+/// Shard-streaming [`correlation_matrix_with`]: matches the dense oracle
+/// without ever materializing the n×d matrix.
 ///
-/// Pearson runs two shard passes: column sums (the same left fold
-/// [`flare_linalg::stats::mean`] performs on an extracted column), then a
-/// per-row deviation vector feeding each `sxx[j]` and upper-triangle
-/// `sxy[(i, j)]` accumulator — every accumulator receives exactly the
-/// additions the dense pairwise [`pearson`] performs, in the same row
-/// order, so the assembled coefficients match to the bit (including the
-/// `sxx ≤ ε → 0.0` constant-column rule). Peak transient allocation is
-/// O(d²) accumulators plus one resident shard.
+/// Pearson runs two shard passes as a **two-level fold**: every shard
+/// produces a partial accumulator (column sums in pass 1; `sxx[j]` and
+/// upper-triangle `sxy[(i, j)]` in pass 2), and the partials are combined
+/// in shard-index order. Within a shard, each accumulator receives
+/// exactly the additions the dense pairwise [`pearson`] performs, in the
+/// same row order — so a **single-shard** store matches the dense oracle
+/// to the bit (including the `sxx ≤ ε → 0.0` constant-column rule), and a
+/// multi-shard store matches to rounding (the partial-combine reassociates
+/// the sums at shard boundaries). The fold shape is fixed per layout,
+/// never per thread count: [`correlation_matrix_sharded_threaded`] is
+/// bit-identical for every `threads` setting, and this serial entry point
+/// is that fold at one thread. Peak transient allocation is O(d²)
+/// accumulators per in-flight shard plus the shard itself.
 ///
 /// Spearman needs full-column ranks, so it gathers two columns at a time
 /// via [`gather_column`] — O(n) per pair, still never n×d — and defers to
-/// the identical rank-based [`spearman`].
+/// the identical rank-based [`spearman`] (bit-identical to dense for
+/// every layout).
 ///
 /// # Errors
 ///
 /// Propagates [`MetricsError::Linalg`] exactly where the dense oracle
 /// would: an empty store errors once a pairwise coefficient is required
 /// (d ≥ 2), and shard-access failures surface as-is.
-pub fn correlation_matrix_sharded<A: ShardAccess>(
+pub fn correlation_matrix_sharded<A: ShardAccess + Sync>(
     data: &A,
     method: CorrelationMethod,
+) -> Result<Matrix> {
+    correlation_matrix_sharded_threaded(data, method, Some(1))
+}
+
+/// [`correlation_matrix_sharded`] with the per-shard moment passes fanned
+/// out across `threads` workers (`None` = all cores). Partials are
+/// combined in shard-index order regardless of which worker produced
+/// them, so the result is **bit-identical across every thread count** —
+/// `Some(1)` is the reference the parallel runs must reproduce exactly.
+///
+/// # Errors
+///
+/// Same as [`correlation_matrix_sharded`].
+pub fn correlation_matrix_sharded_threaded<A: ShardAccess + Sync>(
+    data: &A,
+    method: CorrelationMethod,
+    threads: Option<usize>,
 ) -> Result<Matrix> {
     let d = data.ncols();
     let n = data.nrows();
@@ -143,26 +166,39 @@ pub fn correlation_matrix_sharded<A: ShardAccess>(
     }
     match method {
         CorrelationMethod::Pearson => {
-            // Pass 1: column means.
-            let mut sums = vec![0.0; d];
-            for s in 0..data.shard_count() {
+            // Pass 1: per-shard column sums, combined in shard order.
+            let sum_partials = flare_exec::par_map_range(data.shard_count(), threads, |s| {
                 data.with_shard(s, |shard| {
+                    let mut acc = vec![0.0; d];
                     for row in shard.rows_iter() {
-                        for (acc, v) in sums.iter_mut().zip(row) {
-                            *acc += v;
+                        for (a, v) in acc.iter_mut().zip(row) {
+                            *a += v;
                         }
                     }
-                })?;
+                    acc
+                })
+            });
+            let mut sums: Option<Vec<f64>> = None;
+            for partial in sum_partials {
+                let partial = partial?;
+                match &mut sums {
+                    None => sums = Some(partial),
+                    Some(t) => {
+                        for (a, b) in t.iter_mut().zip(&partial) {
+                            *a += b;
+                        }
+                    }
+                }
             }
+            let sums = sums.unwrap_or_else(|| vec![0.0; d]);
             let means: Vec<f64> = sums.iter().map(|&s| s / n as f64).collect();
-            // Pass 2: squared deviations and cross-products about the
-            // pass-1 means (bitwise the means the dense path recomputes
-            // per pair from the identical columns).
-            let mut sxx = vec![0.0; d];
-            let mut sxy = Matrix::zeros(d, d);
-            let mut dev = vec![0.0; d];
-            for s in 0..data.shard_count() {
+            // Pass 2: per-shard squared deviations and cross-products
+            // about the pass-1 means, combined in shard order.
+            let moment_partials = flare_exec::par_map_range(data.shard_count(), threads, |s| {
                 data.with_shard(s, |shard| {
+                    let mut sxx = vec![0.0; d];
+                    let mut sxy = Matrix::zeros(d, d);
+                    let mut dev = vec![0.0; d];
                     for row in shard.rows_iter() {
                         for ((dv, v), m) in dev.iter_mut().zip(row).zip(&means) {
                             *dv = v - m;
@@ -175,8 +211,27 @@ pub fn correlation_matrix_sharded<A: ShardAccess>(
                             }
                         }
                     }
-                })?;
+                    (sxx, sxy)
+                })
+            });
+            let mut moments: Option<(Vec<f64>, Matrix)> = None;
+            for partial in moment_partials {
+                let partial = partial?;
+                match &mut moments {
+                    None => moments = Some(partial),
+                    Some((tsxx, tsxy)) => {
+                        for (a, b) in tsxx.iter_mut().zip(&partial.0) {
+                            *a += b;
+                        }
+                        for i in 0..d {
+                            for j in (i + 1)..d {
+                                tsxy[(i, j)] += partial.1[(i, j)];
+                            }
+                        }
+                    }
+                }
             }
+            let (sxx, sxy) = moments.unwrap_or_else(|| (vec![0.0; d], Matrix::zeros(d, d)));
             let mut m = Matrix::zeros(d, d);
             for i in 0..d {
                 m[(i, i)] = 1.0;
@@ -258,6 +313,22 @@ pub fn refine_with(
     threshold: f64,
     method: CorrelationMethod,
 ) -> Result<RefinementReport> {
+    refine_with_threaded(db, threshold, method, Some(1))
+}
+
+/// [`refine_with`] with the correlation passes fanned out across
+/// `threads` workers via [`correlation_matrix_sharded_threaded`]. The
+/// report is bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Same as [`refine`].
+pub fn refine_with_threaded(
+    db: &MetricDatabase,
+    threshold: f64,
+    method: CorrelationMethod,
+    threads: Option<usize>,
+) -> Result<RefinementReport> {
     if !(threshold > 0.0 && threshold <= 1.0) {
         return Err(MetricsError::InvalidParameter(format!(
             "correlation threshold {threshold} outside (0, 1]"
@@ -266,7 +337,7 @@ pub fn refine_with(
     if db.len() == 0 {
         return Err(MetricsError::EmptyDatabase);
     }
-    let corr = correlation_matrix_sharded(db.data_shards(), method)?;
+    let corr = correlation_matrix_sharded_threaded(db.data_shards(), method, threads)?;
     let d = db.schema().len();
 
     let mut kept_indices: Vec<usize> = Vec::new();
@@ -430,27 +501,32 @@ mod tests {
         );
     }
 
+    fn sharded_db(shard_rows: usize) -> MetricDatabase {
+        let schema = MetricSchema::canonical().subset(&[0, 1, 2, 3, 4]);
+        let mut db = MetricDatabase::with_shard_rows(schema, shard_rows);
+        for i in 0..30u32 {
+            let x = (i as f64 * 0.7).sin() * 10.0;
+            let y = (i as f64 * 1.3).cos() * 5.0;
+            let z = ((i * 37) % 11) as f64;
+            db.insert(ScenarioRecord {
+                id: ScenarioId(i),
+                metrics: vec![x, 3.0 * x, y, -y, z],
+                observations: 1,
+                job_mix: vec![],
+            })
+            .unwrap();
+        }
+        db
+    }
+
     #[test]
-    fn sharded_correlation_is_bit_identical_to_dense() {
-        // Shard sizes straddling every boundary of the 30-row corpus,
-        // including single-row shards and the everything-in-one-shard
-        // default. The streaming path must match the dense oracle to the
-        // bit for both coefficients.
-        for &shard_rows in &[1usize, 3, 7, 29, 30, 31, 8192] {
-            let schema = MetricSchema::canonical().subset(&[0, 1, 2, 3, 4]);
-            let mut db = MetricDatabase::with_shard_rows(schema, shard_rows);
-            for i in 0..30u32 {
-                let x = (i as f64 * 0.7).sin() * 10.0;
-                let y = (i as f64 * 1.3).cos() * 5.0;
-                let z = ((i * 37) % 11) as f64;
-                db.insert(ScenarioRecord {
-                    id: ScenarioId(i),
-                    metrics: vec![x, 3.0 * x, y, -y, z],
-                    observations: 1,
-                    job_mix: vec![],
-                })
-                .unwrap();
-            }
+    fn sharded_correlation_single_shard_is_bit_identical_to_dense() {
+        // With one shard the two-level fold has a single partial, so the
+        // streamed coefficients must match the dense oracle to the bit
+        // for both methods (Spearman matches for *every* layout — it
+        // gathers whole columns).
+        for &shard_rows in &[30usize, 31, 8192] {
+            let db = sharded_db(shard_rows);
             for method in [CorrelationMethod::Pearson, CorrelationMethod::Spearman] {
                 let dense = correlation_matrix_with(db.to_matrix().unwrap(), method).unwrap();
                 let streamed = correlation_matrix_sharded(db.data_shards(), method).unwrap();
@@ -469,6 +545,73 @@ mod tests {
     }
 
     #[test]
+    fn sharded_correlation_multi_shard_matches_dense_to_rounding() {
+        // Multi-shard Pearson reassociates sums at shard boundaries (the
+        // per-shard partial combine), so it matches the dense oracle to
+        // rounding, not to the bit. Spearman stays bitwise.
+        for &shard_rows in &[1usize, 3, 7, 29] {
+            let db = sharded_db(shard_rows);
+            let dense =
+                correlation_matrix_with(db.to_matrix().unwrap(), CorrelationMethod::Pearson)
+                    .unwrap();
+            let streamed =
+                correlation_matrix_sharded(db.data_shards(), CorrelationMethod::Pearson).unwrap();
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert!(
+                        (dense[(i, j)] - streamed[(i, j)]).abs() < 1e-12,
+                        "({i},{j}) shard_rows {shard_rows}: {} vs {}",
+                        dense[(i, j)],
+                        streamed[(i, j)]
+                    );
+                }
+            }
+            let dense_sp =
+                correlation_matrix_with(db.to_matrix().unwrap(), CorrelationMethod::Spearman)
+                    .unwrap();
+            let streamed_sp =
+                correlation_matrix_sharded(db.data_shards(), CorrelationMethod::Spearman).unwrap();
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert_eq!(
+                        dense_sp[(i, j)].to_bits(),
+                        streamed_sp[(i, j)].to_bits(),
+                        "spearman ({i},{j}) shard_rows {shard_rows}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_correlation_is_bit_identical_across_thread_counts() {
+        // The shard-order combine makes the result independent of which
+        // worker folded which shard: every thread count reproduces the
+        // serial (Some(1)) bits exactly.
+        for &shard_rows in &[3usize, 7, 30] {
+            let db = sharded_db(shard_rows);
+            for method in [CorrelationMethod::Pearson, CorrelationMethod::Spearman] {
+                let reference =
+                    correlation_matrix_sharded_threaded(db.data_shards(), method, Some(1)).unwrap();
+                for threads in [Some(2), Some(3), Some(8), None] {
+                    let par =
+                        correlation_matrix_sharded_threaded(db.data_shards(), method, threads)
+                            .unwrap();
+                    for i in 0..5 {
+                        for j in 0..5 {
+                            assert_eq!(
+                                reference[(i, j)].to_bits(),
+                                par[(i, j)].to_bits(),
+                                "({i},{j}) {method:?} shard_rows {shard_rows} threads {threads:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn sharded_correlation_empty_matches_dense_errors() {
         // d ≥ 2 with no rows: the dense oracle errors on the first pair.
         let schema = MetricSchema::canonical().subset(&[0, 1]);
@@ -478,8 +621,7 @@ mod tests {
         }
         // A single column never forms a pair: identity matrix, like dense.
         let one = MetricDatabase::new(MetricSchema::canonical().subset(&[0]));
-        let m =
-            correlation_matrix_sharded(one.data_shards(), CorrelationMethod::Pearson).unwrap();
+        let m = correlation_matrix_sharded(one.data_shards(), CorrelationMethod::Pearson).unwrap();
         assert_eq!(m.shape(), (1, 1));
         assert_eq!(m[(0, 0)], 1.0);
     }

@@ -163,6 +163,11 @@ pub fn flare_config_from(inv: &Invocation) -> Result<FlareConfig, CliError> {
         config.scale.spill.enabled = true;
         config.scale.spill.max_resident_shards = inv.get_parse("spill-max-resident", 4usize)?;
     }
+    // Readahead depth of the spill store's background prefetcher
+    // (wall-clock only; 0 disables it).
+    if inv.options.contains_key("spill-prefetch") {
+        config.scale.spill.prefetch_depth = inv.get_parse("spill-prefetch", 1usize)?;
+    }
     Ok(config)
 }
 
@@ -248,8 +253,12 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
             if let Some(spill) = flare.fit_report().spill {
                 writeln!(
                     out,
-                    "  spill: {} hits, {} faults, {} evictions",
-                    spill.hits, spill.faults, spill.evictions
+                    "  spill: {:.1}% hit rate ({} hits, {} faults, {} prefetched, {} evictions)",
+                    spill.hit_rate() * 100.0,
+                    spill.hits,
+                    spill.faults,
+                    spill.prefetch_hits,
+                    spill.evictions
                 )
                 .map_err(w)?;
             }
@@ -359,8 +368,8 @@ pub fn run(inv: &Invocation, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 let stats = testbed.stats();
                 writeln!(
                     out,
-                    "eval cache: {} hits, {} misses, {} entries across {} configs",
-                    stats.hits, stats.misses, stats.entries, stats.configs
+                    "eval cache: {} hits, {} misses, {} evictions, {} entries across {} configs",
+                    stats.hits, stats.misses, stats.evictions, stats.entries, stats.configs
                 )
                 .map_err(w)?;
             }
@@ -496,7 +505,7 @@ USAGE:
   flare-cli collect  --out corpus.json [--machines 8] [--days 7] [--seed N] [--shape default|small]
   flare-cli profile  --corpus corpus.json --out db.json
   flare-cli fit      --corpus corpus.json --out model.json [--clusters 18]
-                     [--spill-dir dir] [--spill-max-resident 4]
+                     [--spill-dir dir] [--spill-max-resident 4] [--spill-prefetch 1]
   flare-cli refit    --model model.json --out model2.json [--clusters N]
   flare-cli stream   --model model.json --batches batches.json --out model2.json
                      [--checkpoint dir] [--chunk 64] [--drift-threshold 0.25]
@@ -598,6 +607,8 @@ mod tests {
             "/tmp/spill",
             "--spill-max-resident",
             "2",
+            "--spill-prefetch",
+            "3",
         ]))
         .unwrap();
         let cfg = flare_config_from(&inv).unwrap();
@@ -607,6 +618,7 @@ mod tests {
             Some(std::path::Path::new("/tmp/spill"))
         );
         assert_eq!(cfg.scale.spill.max_resident_shards, 2);
+        assert_eq!(cfg.scale.spill.prefetch_depth, 3);
 
         let plain = parse_args(&args(&["fit", "--corpus", "c.json", "--out", "m.json"])).unwrap();
         assert!(!flare_config_from(&plain).unwrap().scale.spill.enabled);

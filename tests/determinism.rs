@@ -308,7 +308,10 @@ fn spill_on_fit_matches_in_memory_fit_byte_identically() {
         in_memory.analyzer().clustering().assignments,
         spilled.analyzer().clustering().assignments
     );
-    assert_eq!(in_memory.analyzer().projected(), spilled.analyzer().projected());
+    assert_eq!(
+        in_memory.analyzer().projected(),
+        spilled.analyzer().projected()
+    );
     assert_eq!(
         normalized_json(&in_memory),
         normalized_json(&spilled),
